@@ -1,0 +1,109 @@
+//! Criterion benches, one per paper table/figure: each group times the
+//! experiment driver that regenerates the corresponding result (at a
+//! reduced scale so a full `cargo bench` stays in minutes).
+//!
+//! The *output* of each experiment at full scale lives in EXPERIMENTS.md;
+//! these benches exist to (a) keep the drivers honest about cost and
+//! (b) provide the one-bench-per-figure harness entry points.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use heteropipe::experiments::{characterize_filtered, fig3, fig456, fig78, fig9, tables, validate};
+use heteropipe_workloads::{Scale, Suite};
+
+const BENCH_SCALE: Scale = Scale::TEST;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_system_parameters", |b| {
+        b.iter(|| black_box(tables::render_table1()))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_census", |b| {
+        b.iter(|| black_box(tables::render_table2()))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3_kmeans_case_study", |b| {
+        b.iter(|| black_box(fig3::compute(BENCH_SCALE)))
+    });
+}
+
+/// The shared characterization pass (figs. 4-9 input), one suite at a time
+/// so the per-figure costs are visible.
+fn bench_characterize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("characterize");
+    g.sample_size(10);
+    for suite in [Suite::Rodinia, Suite::Pannotia] {
+        g.bench_function(format!("{suite}"), |b| {
+            b.iter(|| black_box(characterize_filtered(BENCH_SCALE, |m| m.suite == suite)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let pairs = characterize_filtered(BENCH_SCALE, |m| m.suite == Suite::Parboil);
+    c.bench_function("fig4_footprint", |b| {
+        b.iter(|| black_box(fig456::fig4(&pairs)))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let pairs = characterize_filtered(BENCH_SCALE, |m| m.suite == Suite::Parboil);
+    c.bench_function("fig5_accesses", |b| {
+        b.iter(|| black_box(fig456::fig5(&pairs)))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let pairs = characterize_filtered(BENCH_SCALE, |m| m.suite == Suite::Parboil);
+    c.bench_function("fig6_runtime", |b| {
+        b.iter(|| black_box(fig456::fig6(&pairs)))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let pairs = characterize_filtered(BENCH_SCALE, |m| m.suite == Suite::Parboil);
+    c.bench_function("fig7_overlap_estimates", |b| {
+        b.iter(|| black_box(fig78::fig7(&pairs)))
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let pairs = characterize_filtered(BENCH_SCALE, |m| m.suite == Suite::Parboil);
+    c.bench_function("fig8_migrate_estimates", |b| {
+        b.iter(|| black_box(fig78::fig8(&pairs)))
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let pairs = characterize_filtered(BENCH_SCALE, |m| m.suite == Suite::Parboil);
+    c.bench_function("fig9_access_classes", |b| {
+        b.iter(|| black_box(fig9::fig9(&pairs)))
+    });
+}
+
+fn bench_validations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("validate");
+    g.sample_size(10);
+    g.bench_function("overlap", |b| {
+        b.iter(|| black_box(validate::validate_overlap(BENCH_SCALE)))
+    });
+    g.bench_function("migrate", |b| {
+        b.iter(|| black_box(validate::validate_migrate(BENCH_SCALE)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default();
+    targets = bench_table1, bench_table2, bench_fig3, bench_characterize,
+              bench_fig4, bench_fig5, bench_fig6, bench_fig7, bench_fig8,
+              bench_fig9, bench_validations
+}
+criterion_main!(figures);

@@ -1,0 +1,116 @@
+//! Criterion benches for the simulator substrates themselves: the cache
+//! model, the fluid bandwidth network, the pattern generators, and the
+//! off-chip classifier. These set the cost floor of the characterization
+//! pass (every benchmark run is millions of these operations).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use heteropipe::OffchipClassifier;
+use heteropipe_mem::hierarchy::HierarchyConfig;
+use heteropipe_mem::{
+    AccessKind, Addr, AddrRange, CacheConfig, ChipHierarchy, LineAddr, SetAssocCache,
+};
+use heteropipe_sim::fluid::{FlowSpec, FluidNet};
+use heteropipe_sim::{Ps, SplitMix64};
+use heteropipe_workloads::Pattern;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("l2_stream_access", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig::new(1024 * 1024, 16));
+        b.iter(|| {
+            for i in 0..n {
+                black_box(cache.access(LineAddr(i % 20_000), AccessKind::Read));
+            }
+        })
+    });
+    g.bench_function("hierarchy_gpu_access", |b| {
+        let mut h = ChipHierarchy::new(HierarchyConfig::paper_heterogeneous());
+        b.iter(|| {
+            for i in 0..n {
+                black_box(h.gpu_access((i % 16) as u8, LineAddr(i % 20_000), AccessKind::Read));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_fluid(c: &mut Criterion) {
+    c.bench_function("fluid_1000_flows", |b| {
+        b.iter(|| {
+            let mut net = FluidNet::new();
+            let link = net.add_resource("link", 100.0e9);
+            let mut t = Ps::ZERO;
+            for i in 0..1000u64 {
+                net.start_flow(t, FlowSpec::new(1.0e6).over(link));
+                if i % 4 == 3 {
+                    let (at, f) = net.next_completion().unwrap();
+                    net.retire(at, f);
+                    t = at;
+                }
+            }
+            while let Some((at, f)) = net.next_completion() {
+                net.retire(at, f);
+            }
+            black_box(net.now())
+        })
+    });
+}
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("patterns");
+    let range = AddrRange::new(Addr(0), 8 << 20);
+    for (name, p) in [
+        ("stream", Pattern::Stream { passes: 1 }),
+        ("stencil", Pattern::Stencil { row_elems: 1024 }),
+        (
+            "gather",
+            Pattern::Gather {
+                count: 65_536,
+                region: 1.0,
+            },
+        ),
+        ("neighbors", Pattern::Neighbors { degree: 0.2 }),
+    ] {
+        g.bench_function(name, |b| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                out.clear();
+                let mut rng = SplitMix64::new(1);
+                p.emit(range, 4, &mut rng, &mut out);
+                black_box(out.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let n = 100_000u64;
+    let mut g = c.benchmark_group("classifier");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("fetch_stream", |b| {
+        b.iter(|| {
+            let mut cls = OffchipClassifier::new();
+            for stage in 0..4u32 {
+                for i in 0..n / 4 {
+                    cls.fetch(LineAddr(i % 10_000), stage);
+                }
+            }
+            black_box(cls.finish())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    substrates,
+    bench_cache,
+    bench_fluid,
+    bench_patterns,
+    bench_classifier
+);
+criterion_main!(substrates);

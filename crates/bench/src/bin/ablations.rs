@@ -1,0 +1,21 @@
+//! Runs every ablation sweep of DESIGN.md §5.
+
+use heteropipe::experiments::ablations;
+
+fn main() {
+    let args = heteropipe_bench::HarnessArgs::parse();
+    let sweeps = [
+        ablations::chunk_sweep(args.scale),
+        ablations::mlp_sweep(args.scale),
+        ablations::l2_sweep(args.scale),
+        ablations::fault_sweep(args.scale),
+        ablations::pcie_sweep(args.scale),
+        ablations::gpu_scaling_sweep(args.scale),
+        ablations::spill_window_sweep(args.scale),
+        ablations::alignment_sweep(args.scale),
+    ];
+    for s in &sweeps {
+        println!("== {} vs {} ==", s.metric, s.parameter);
+        println!("{}", s.render());
+    }
+}

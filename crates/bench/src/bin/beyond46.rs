@@ -1,0 +1,8 @@
+//! Characterizes the 12 benchmarks outside the paper's examined set.
+
+use heteropipe::experiments::beyond;
+
+fn main() {
+    let args = heteropipe_bench::HarnessArgs::parse();
+    print!("{}", beyond::render(&beyond::beyond46(args.scale)));
+}

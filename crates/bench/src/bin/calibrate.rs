@@ -1,0 +1,38 @@
+//! Calibration probe: per-benchmark component shares and copy-removal
+//! ratios, used while tuning the workload models against the paper's
+//! Fig. 6 distribution. Not part of the reproduction outputs.
+
+use heteropipe::experiments::characterize_all;
+use heteropipe::render::{pct, TextTable};
+
+fn main() {
+    let args = heteropipe_bench::HarnessArgs::parse();
+    let pairs = characterize_all(args.scale);
+    let mut t = TextTable::new(&[
+        "benchmark",
+        "copy roi",
+        "copy%",
+        "cpu%",
+        "gpu%",
+        "lim/copy",
+        "faults",
+        "lim cpu%",
+        "lim gpu%",
+    ]);
+    for p in &pairs {
+        let (c, u, g) = p.copy.busy.portions(p.copy.roi);
+        let (_, lu, lg) = p.limited.busy.portions(p.limited.roi);
+        t.row_owned(vec![
+            p.meta.full_name(),
+            p.copy.roi.to_string(),
+            pct(c),
+            pct(u),
+            pct(g),
+            format!("{:.2}", p.limited.roi.fraction_of(p.copy.roi)),
+            p.limited.faults.to_string(),
+            pct(lu),
+            pct(lg),
+        ]);
+    }
+    println!("{}", t.render());
+}

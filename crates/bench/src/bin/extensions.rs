@@ -1,0 +1,20 @@
+//! Runs the §VI optimization-direction studies: kernel fusion, model-driven
+//! compute migration, and footprint-aware chunk sizing.
+
+use heteropipe::experiments::extensions;
+
+fn main() {
+    let args = heteropipe_bench::HarnessArgs::parse();
+    print!(
+        "{}\n",
+        extensions::render_fusion(&extensions::fusion_study(args.scale))
+    );
+    print!(
+        "{}\n",
+        extensions::render_migrate_study(&extensions::migrate_study(args.scale))
+    );
+    print!(
+        "{}\n",
+        extensions::render_chunks(&extensions::chunk_suggestion_study(args.scale))
+    );
+}

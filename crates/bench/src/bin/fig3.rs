@@ -1,0 +1,9 @@
+//! Regenerates Fig. 3 — the kmeans case study.
+
+use heteropipe::experiments::fig3;
+
+fn main() {
+    let args = heteropipe_bench::HarnessArgs::parse();
+    let rows = fig3::compute(args.scale);
+    print!("{}", fig3::render(&rows));
+}

@@ -1,0 +1,17 @@
+//! Regenerates Fig. 4 — memory footprint by component subset.
+
+use heteropipe::experiments::{characterize_all, fig456};
+
+fn main() {
+    let args = heteropipe_bench::HarnessArgs::parse();
+    let pairs = characterize_all(args.scale);
+    let rows = fig456::fig4(&pairs);
+    print!(
+        "{}",
+        if args.csv {
+            fig456::csv_fig4(&rows)
+        } else {
+            fig456::render_fig4(&rows)
+        }
+    );
+}

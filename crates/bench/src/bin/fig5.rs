@@ -1,0 +1,17 @@
+//! Regenerates Fig. 5 — memory accesses by component.
+
+use heteropipe::experiments::{characterize_all, fig456};
+
+fn main() {
+    let args = heteropipe_bench::HarnessArgs::parse();
+    let pairs = characterize_all(args.scale);
+    let rows = fig456::fig5(&pairs);
+    print!(
+        "{}",
+        if args.csv {
+            fig456::csv_fig5(&rows)
+        } else {
+            fig456::render_fig5(&rows)
+        }
+    );
+}

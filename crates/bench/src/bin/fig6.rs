@@ -1,0 +1,17 @@
+//! Regenerates Fig. 6 — run time component activity.
+
+use heteropipe::experiments::{characterize_all, fig456};
+
+fn main() {
+    let args = heteropipe_bench::HarnessArgs::parse();
+    let pairs = characterize_all(args.scale);
+    let rows = fig456::fig6(&pairs);
+    print!(
+        "{}",
+        if args.csv {
+            fig456::csv_fig6(&rows)
+        } else {
+            fig456::render_fig6_with_effects(&rows, &pairs)
+        }
+    );
+}

@@ -1,0 +1,17 @@
+//! Regenerates Fig. 7 — component-overlap run time estimates (Eq. 1).
+
+use heteropipe::experiments::{characterize_all, fig78};
+
+fn main() {
+    let args = heteropipe_bench::HarnessArgs::parse();
+    let pairs = characterize_all(args.scale);
+    let rows = fig78::fig7(&pairs);
+    print!(
+        "{}",
+        if args.csv {
+            fig78::csv_estimates(&rows)
+        } else {
+            fig78::render_fig7(&rows)
+        }
+    );
+}

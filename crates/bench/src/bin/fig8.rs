@@ -1,0 +1,17 @@
+//! Regenerates Fig. 8 — migrated-compute run time estimates (Eq. 2-4).
+
+use heteropipe::experiments::{characterize_all, fig78};
+
+fn main() {
+    let args = heteropipe_bench::HarnessArgs::parse();
+    let pairs = characterize_all(args.scale);
+    let rows = fig78::fig8(&pairs);
+    print!(
+        "{}",
+        if args.csv {
+            fig78::csv_estimates(&rows)
+        } else {
+            fig78::render_fig8(&rows)
+        }
+    );
+}

@@ -1,0 +1,17 @@
+//! Regenerates Fig. 9 — off-chip memory accesses by cause.
+
+use heteropipe::experiments::{characterize_all, fig9};
+
+fn main() {
+    let args = heteropipe_bench::HarnessArgs::parse();
+    let pairs = characterize_all(args.scale);
+    let rows = fig9::fig9(&pairs);
+    print!(
+        "{}",
+        if args.csv {
+            fig9::csv(&rows)
+        } else {
+            fig9::render(&rows)
+        }
+    );
+}

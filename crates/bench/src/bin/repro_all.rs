@@ -1,0 +1,73 @@
+//! Runs the full reproduction: every table, figure, validation, and
+//! ablation, printing each section in order. This is what EXPERIMENTS.md is
+//! generated from.
+
+use heteropipe::experiments::{
+    ablations, beyond, characterize_all, extensions, fig3, fig456, fig78, fig9, sensitivity,
+    tables, validate,
+};
+
+fn main() {
+    let args = heteropipe_bench::HarnessArgs::parse();
+    println!("heteropipe full reproduction (scale {:?})\n", args.scale);
+
+    print!("{}\n", tables::render_table1());
+    print!("{}\n", tables::render_table2());
+
+    let rows = fig3::compute(args.scale);
+    print!("{}\n", fig3::render(&rows));
+
+    let pairs = characterize_all(args.scale);
+    print!("{}\n", fig456::render_fig4(&fig456::fig4(&pairs)));
+    print!("{}\n", fig456::render_fig5(&fig456::fig5(&pairs)));
+    print!(
+        "{}\n",
+        fig456::render_fig6_with_effects(&fig456::fig6(&pairs), &pairs)
+    );
+    print!("{}\n", fig78::render_fig7(&fig78::fig7(&pairs)));
+    print!("{}\n", fig78::render_fig8(&fig78::fig8(&pairs)));
+    print!("{}\n", fig9::render(&fig9::fig9(&pairs)));
+
+    print!(
+        "{}\n",
+        validate::render_overlap(&validate::validate_overlap(args.scale))
+    );
+    print!(
+        "{}\n",
+        validate::render_migrate(&validate::validate_migrate(args.scale))
+    );
+
+    print!("{}\n", beyond::render(&beyond::beyond46(args.scale)));
+
+    print!(
+        "{}\n",
+        extensions::render_fusion(&extensions::fusion_study(args.scale))
+    );
+    print!(
+        "{}\n",
+        extensions::render_migrate_study(&extensions::migrate_study(args.scale))
+    );
+    print!(
+        "{}\n",
+        extensions::render_chunks(&extensions::chunk_suggestion_study(args.scale))
+    );
+
+    for s in [
+        ablations::chunk_sweep(args.scale),
+        ablations::mlp_sweep(args.scale),
+        ablations::l2_sweep(args.scale),
+        ablations::fault_sweep(args.scale),
+        ablations::pcie_sweep(args.scale),
+        ablations::gpu_scaling_sweep(args.scale),
+        ablations::spill_window_sweep(args.scale),
+        ablations::alignment_sweep(args.scale),
+    ] {
+        println!("== ablation: {} vs {} ==", s.metric, s.parameter);
+        println!("{}", s.render());
+    }
+
+    print!(
+        "{}\n",
+        sensitivity::render(&sensitivity::sensitivity_study(args.scale))
+    );
+}

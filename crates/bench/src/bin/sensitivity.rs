@@ -1,0 +1,11 @@
+//! Tornado sensitivity analysis of the model constants.
+
+use heteropipe::experiments::sensitivity;
+
+fn main() {
+    let args = heteropipe_bench::HarnessArgs::parse();
+    print!(
+        "{}",
+        sensitivity::render(&sensitivity::sensitivity_study(args.scale))
+    );
+}

@@ -1,0 +1,164 @@
+//! General-purpose driver: run any registered benchmark on either system
+//! under any organization, print the full report, and optionally export a
+//! Chrome trace.
+//!
+//! ```sh
+//! simulate --bench rodinia/kmeans --platform hetero --org chunked:8 \
+//!          --scale 0.5 --trace /tmp/kmeans.json
+//! simulate --list
+//! ```
+
+use heteropipe::render::{pct, TextTable};
+use heteropipe::trace::to_chrome_json;
+use heteropipe::{run, AccessClass, Organization, SystemConfig};
+use heteropipe_workloads::{registry, Scale};
+
+struct Args {
+    bench: String,
+    platform: SystemConfig,
+    org: Organization,
+    scale: Scale,
+    trace: Option<String>,
+}
+
+const USAGE: &str = "usage: simulate --bench <suite/name> [--platform discrete|hetero] \
+[--org serial|streams:<n>|chunked:<n>] [--scale <f64>] [--trace <path>] | --list";
+
+fn parse() -> Result<Args, String> {
+    let mut bench = None;
+    let mut platform = SystemConfig::discrete();
+    let mut org = Organization::Serial;
+    let mut scale = Scale::PAPER;
+    let mut trace = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--list" => {
+                for w in registry::examined() {
+                    println!("{}", w.meta.full_name());
+                }
+                std::process::exit(0);
+            }
+            "--bench" => bench = it.next(),
+            "--platform" => match it.next().as_deref() {
+                Some("discrete") => platform = SystemConfig::discrete(),
+                Some("hetero") | Some("heterogeneous") => platform = SystemConfig::heterogeneous(),
+                other => return Err(format!("bad --platform {other:?}; {USAGE}")),
+            },
+            "--org" => {
+                let v = it.next().unwrap_or_default();
+                org = if v == "serial" {
+                    Organization::Serial
+                } else if let Some(n) = v.strip_prefix("streams:") {
+                    Organization::AsyncStreams {
+                        streams: n.parse().map_err(|_| format!("bad stream count {n}"))?,
+                    }
+                } else if let Some(n) = v.strip_prefix("chunked:") {
+                    Organization::ChunkedParallel {
+                        chunks: n.parse().map_err(|_| format!("bad chunk count {n}"))?,
+                    }
+                } else {
+                    return Err(format!("bad --org {v}; {USAGE}"));
+                };
+            }
+            "--scale" => {
+                let v = it
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .ok_or_else(|| "--scale needs a number".to_string())?;
+                scale = Scale::new(v);
+            }
+            "--trace" => trace = it.next(),
+            other => return Err(format!("unknown argument {other}; {USAGE}")),
+        }
+    }
+    Ok(Args {
+        bench: bench.ok_or_else(|| USAGE.to_string())?,
+        platform,
+        org,
+        scale,
+        trace,
+    })
+}
+
+fn main() {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let w = match registry::find(&args.bench) {
+        Some(w) if w.meta.examined => w,
+        _ => {
+            eprintln!("unknown or unexamined benchmark {}; try --list", args.bench);
+            std::process::exit(2);
+        }
+    };
+    let pipeline = w.pipeline(args.scale).expect("examined workloads build");
+    let (r, spans) = run::run_traced(
+        &pipeline,
+        &args.platform,
+        args.org,
+        w.meta.misalignment_sensitive,
+    );
+
+    println!(
+        "{} on {} under {} (scale {:?})\n",
+        r.benchmark, r.platform, r.organization, args.scale
+    );
+    let mut t = TextTable::new(&["metric", "value"]);
+    let (p, c, g) = r.busy.portions(r.roi);
+    t.row_owned(vec!["region of interest".into(), r.roi.to_string()]);
+    t.row_owned(vec![
+        "copy busy".into(),
+        format!("{} ({})", r.busy.copy, pct(p)),
+    ]);
+    t.row_owned(vec![
+        "cpu busy".into(),
+        format!("{} ({})", r.busy.cpu, pct(c)),
+    ]);
+    t.row_owned(vec![
+        "gpu busy".into(),
+        format!("{} ({})", r.busy.gpu, pct(g)),
+    ]);
+    t.row_owned(vec!["gpu utilization".into(), pct(r.gpu_utilization())]);
+    t.row_owned(vec![
+        "accesses (copy/cpu/gpu)".into(),
+        format!("{} / {} / {}", r.accesses[0], r.accesses[1], r.accesses[2]),
+    ]);
+    t.row_owned(vec![
+        "off-chip".into(),
+        format!(
+            "{} fetches + {} writebacks",
+            r.offchip_fetches, r.offchip_writebacks
+        ),
+    ]);
+    for cl in AccessClass::ALL {
+        t.row_owned(vec![
+            format!("  {}", cl.label()),
+            format!("{} ({})", r.classes.get(cl), pct(r.classes.fraction(cl))),
+        ]);
+    }
+    t.row_owned(vec![
+        "footprint".into(),
+        heteropipe::render::bytes_human(r.total_footprint),
+    ]);
+    t.row_owned(vec!["page faults".into(), r.faults.to_string()]);
+    t.row_owned(vec!["C_serial".into(), r.c_serial.to_string()]);
+    t.row_owned(vec![
+        "bandwidth-limited".into(),
+        if r.bw_limited { "yes" } else { "no" }.into(),
+    ]);
+    print!("{}", t.render());
+
+    if let Some(path) = args.trace {
+        let json = to_chrome_json(&r.benchmark, &spans);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write trace {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\ntrace written to {path} ({} tasks)", spans.len());
+    }
+}

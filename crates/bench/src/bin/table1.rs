@@ -1,0 +1,6 @@
+//! Regenerates Table I — heterogeneous system parameters.
+
+fn main() {
+    let _ = heteropipe_bench::HarnessArgs::parse();
+    print!("{}", heteropipe::experiments::tables::render_table1());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table II — producer-consumer constructs census.
+
+fn main() {
+    let _ = heteropipe_bench::HarnessArgs::parse();
+    print!("{}", heteropipe::experiments::tables::render_table2());
+}

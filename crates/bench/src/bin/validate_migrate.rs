@@ -1,0 +1,9 @@
+//! Regenerates the §V-B migrated-compute model validation.
+
+use heteropipe::experiments::validate;
+
+fn main() {
+    let args = heteropipe_bench::HarnessArgs::parse();
+    let rows = validate::validate_migrate(args.scale);
+    print!("{}", validate::render_migrate(&rows));
+}

@@ -1,0 +1,9 @@
+//! Regenerates the §V-A component-overlap model validation.
+
+use heteropipe::experiments::validate;
+
+fn main() {
+    let args = heteropipe_bench::HarnessArgs::parse();
+    let rows = validate::validate_overlap(args.scale);
+    print!("{}", validate::render_overlap(&rows));
+}

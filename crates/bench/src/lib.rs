@@ -1,0 +1,93 @@
+//! # heteropipe-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper. Each `fig*` / `table*` / `validate_*` / `ablation*` binary prints
+//! the corresponding result (see DESIGN.md §4 for the index), and the
+//! Criterion benches under `benches/` time both the experiment drivers and
+//! the simulator substrates.
+//!
+//! All binaries accept `--scale <f64>` (default 1.0, the paper-equivalent
+//! scaled input) and `--csv` where a CSV form exists.
+
+#![warn(missing_docs)]
+
+use heteropipe_workloads::Scale;
+
+/// Parses the common CLI arguments of the harness binaries.
+///
+/// Recognized: `--scale <f64>` (input scale factor, default 1.0) and
+/// `--csv` (machine-readable output where supported). Unknown arguments are
+/// rejected with a message listing the accepted ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HarnessArgs {
+    /// Input scale for the workload models.
+    pub scale: Scale,
+    /// Whether to emit CSV instead of the aligned text table.
+    pub csv: bool,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments (these are
+    /// operator-facing binaries; a panic with context is the UX).
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = HarnessArgs {
+            scale: Scale::PAPER,
+            csv: false,
+        };
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    let v = it
+                        .next()
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .unwrap_or_else(|| panic!("--scale requires a positive number"));
+                    out.scale = Scale::new(v);
+                }
+                "--csv" => out.csv = true,
+                other => panic!("unknown argument {other}; accepted: --scale <f64>, --csv"),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let a = HarnessArgs::from_iter(Vec::new());
+        assert_eq!(a.scale, Scale::PAPER);
+        assert!(!a.csv);
+    }
+
+    #[test]
+    fn parses_scale_and_csv() {
+        let a = HarnessArgs::from_iter(["--scale", "0.25", "--csv"].iter().map(|s| s.to_string()));
+        assert_eq!(a.scale, Scale::new(0.25));
+        assert!(a.csv);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn rejects_unknown() {
+        HarnessArgs::from_iter(["--nope".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--scale requires")]
+    fn rejects_bad_scale() {
+        HarnessArgs::from_iter(["--scale".to_string(), "abc".to_string()]);
+    }
+}

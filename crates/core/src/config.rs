@@ -1,0 +1,195 @@
+//! System configurations (the paper's Table I).
+//!
+//! Two systems share identical CPU cores, GPU SMs, and cache geometries and
+//! differ only in connectivity and memory:
+//!
+//! * **Discrete GPU system** — CPU chip with 2-channel DDR3-1600 (24 GB/s
+//!   peak), GPU chip with 4-channel GDDR5 (179 GB/s peak), PCIe 2.0 x16
+//!   (8 GB/s) between them, no CPU-GPU cache coherence, explicit copies.
+//! * **Heterogeneous CPU-GPU processor** — one chip, CPU and GPU cores
+//!   sharing the 4-channel GDDR5 through a high-bandwidth 12-port switch,
+//!   cache coherent, no copies, GPU page faults handled by the CPU.
+
+use std::fmt;
+
+use heteropipe_cpu::CpuConfig;
+use heteropipe_gpu::GpuConfig;
+use heteropipe_mem::dram::DramConfig;
+use heteropipe_mem::hierarchy::HierarchyConfig;
+use heteropipe_mem::pcie::PcieConfig;
+use heteropipe_mem::xbar::InterconnectConfig;
+
+/// Which of the two Table I systems a run models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Separate CPU and GPU chips joined by PCIe; benchmarks run their
+    /// original *copy* versions.
+    DiscreteGpu,
+    /// Single-chip heterogeneous processor; benchmarks run their
+    /// *limited-copy* versions (elidable copies removed).
+    Heterogeneous,
+}
+
+impl Platform {
+    /// Both platforms, discrete first (the paper's left/right bar order).
+    pub const BOTH: [Platform; 2] = [Platform::DiscreteGpu, Platform::Heterogeneous];
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Platform::DiscreteGpu => write!(f, "discrete"),
+            Platform::Heterogeneous => write!(f, "heterogeneous"),
+        }
+    }
+}
+
+/// Full parameterization of one simulated system.
+///
+/// # Examples
+///
+/// ```
+/// use heteropipe::SystemConfig;
+///
+/// let d = SystemConfig::discrete();
+/// let h = SystemConfig::heterogeneous();
+/// assert!(d.pcie.is_some() && h.pcie.is_none());
+/// assert!(h.hierarchy.coherent_probes);
+/// // Both share Table I's compute: 56 + 358.4 GFLOP/s.
+/// assert_eq!(d.peak_flops_total(), h.peak_flops_total());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Which system shape this is.
+    pub platform: Platform,
+    /// CPU cores (Table I: 4x 4-wide OoO x86 at 3.5 GHz).
+    pub cpu: CpuConfig,
+    /// GPU (Table I: 16 Fermi-like SMs at 700 MHz).
+    pub gpu: GpuConfig,
+    /// Cache geometry and coherence connectivity.
+    pub hierarchy: HierarchyConfig,
+    /// CPU-side memory (discrete only; `None` on the heterogeneous chip).
+    pub cpu_mem: Option<DramConfig>,
+    /// GPU-side / shared memory.
+    pub gpu_mem: DramConfig,
+    /// PCIe link (discrete only).
+    pub pcie: Option<PcieConfig>,
+    /// On-chip interconnect joining L2s and memory controllers.
+    pub interconnect: InterconnectConfig,
+    /// Whether shared allocations keep cache-line alignment (the paper
+    /// notes an aligned allocator would avoid the `*` benchmarks' extra
+    /// accesses; flipping this is the alignment ablation).
+    pub aligned_allocator: bool,
+    /// Rate cap for residual copies executed as on-chip memcpy on the
+    /// heterogeneous processor, bytes per second.
+    pub memcpy_rate: f64,
+    /// Off-chip classifier spill window: reuse up to this many pipeline
+    /// stages later counts as a spill rather than long-range reuse (the
+    /// paper's definition is 1 = the next stage).
+    pub spill_window: u32,
+}
+
+impl SystemConfig {
+    /// The Table I discrete GPU system.
+    pub fn discrete() -> Self {
+        SystemConfig {
+            platform: Platform::DiscreteGpu,
+            cpu: CpuConfig::paper(),
+            gpu: GpuConfig::paper(),
+            hierarchy: HierarchyConfig::paper_discrete(),
+            cpu_mem: Some(DramConfig::ddr3_1600_2ch()),
+            gpu_mem: DramConfig::gddr5_4ch(),
+            pcie: Some(PcieConfig::gen2_x16()),
+            interconnect: InterconnectConfig::cpu_6port(),
+            aligned_allocator: true,
+            memcpy_rate: 20.0e9,
+            spill_window: 1,
+        }
+    }
+
+    /// The Table I heterogeneous CPU-GPU processor. Shared allocations are
+    /// *not* line-aligned by default, reproducing the paper's misalignment
+    /// observation for the `*` benchmarks.
+    pub fn heterogeneous() -> Self {
+        SystemConfig {
+            platform: Platform::Heterogeneous,
+            cpu: CpuConfig::paper(),
+            gpu: GpuConfig::paper(),
+            hierarchy: HierarchyConfig::paper_heterogeneous(),
+            cpu_mem: None,
+            gpu_mem: DramConfig::gddr5_4ch(),
+            pcie: None,
+            interconnect: InterconnectConfig::hetero_12port(),
+            aligned_allocator: false,
+            memcpy_rate: 20.0e9,
+            spill_window: 1,
+        }
+    }
+
+    /// The config for a platform.
+    pub fn for_platform(platform: Platform) -> Self {
+        match platform {
+            Platform::DiscreteGpu => SystemConfig::discrete(),
+            Platform::Heterogeneous => SystemConfig::heterogeneous(),
+        }
+    }
+
+    /// Effective (achievable) bandwidth of the memory CPU stages drain,
+    /// bytes/s.
+    pub fn cpu_mem_bw(&self) -> f64 {
+        self.cpu_mem.unwrap_or(self.gpu_mem).effective_bw()
+    }
+
+    /// Effective bandwidth of the memory GPU kernels drain, bytes/s.
+    pub fn gpu_mem_bw(&self) -> f64 {
+        self.gpu_mem.effective_bw()
+    }
+
+    /// Total peak FLOP rate of the chip(s): `F_cpu + F_gpu` of Eq. 2.
+    pub fn peak_flops_total(&self) -> f64 {
+        self.cpu.peak_flops_total() + self.gpu.peak_flops_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discrete_matches_table1() {
+        let c = SystemConfig::discrete();
+        assert_eq!(c.platform, Platform::DiscreteGpu);
+        assert!(c.pcie.is_some());
+        assert_eq!(c.cpu_mem.unwrap().peak_bw(), 24.0e9);
+        assert_eq!(c.gpu_mem.peak_bw(), 179.0e9);
+        assert!(!c.hierarchy.coherent_probes);
+        assert!(c.aligned_allocator);
+    }
+
+    #[test]
+    fn heterogeneous_matches_table1() {
+        let c = SystemConfig::heterogeneous();
+        assert!(c.pcie.is_none());
+        assert!(c.cpu_mem.is_none());
+        assert!(c.hierarchy.coherent_probes);
+        // CPU and GPU share the GDDR5.
+        assert_eq!(c.cpu_mem_bw(), c.gpu_mem_bw());
+        assert!(!c.aligned_allocator);
+    }
+
+    #[test]
+    fn peak_flops_sum() {
+        let c = SystemConfig::discrete();
+        assert!((c.peak_flops_total() - (56.0e9 + 358.4e9)).abs() < 1e6);
+    }
+
+    #[test]
+    fn platform_display_and_order() {
+        assert_eq!(Platform::BOTH[0].to_string(), "discrete");
+        assert_eq!(Platform::BOTH[1].to_string(), "heterogeneous");
+        assert_eq!(
+            SystemConfig::for_platform(Platform::Heterogeneous).platform,
+            Platform::Heterogeneous
+        );
+    }
+}

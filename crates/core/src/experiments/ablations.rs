@@ -1,0 +1,333 @@
+//! Ablation sweeps over the design choices DESIGN.md §5 calls out.
+//!
+//! Each sweep perturbs one parameter of the Table I systems and reruns a
+//! representative benchmark, showing which modelling choices the paper's
+//! conclusions actually depend on.
+
+use heteropipe_mem::cache::CacheConfig;
+use heteropipe_workloads::{registry, Scale};
+
+use crate::classify::AccessClass;
+use crate::config::SystemConfig;
+use crate::organize::Organization;
+use crate::render::TextTable;
+use crate::run::run;
+
+/// A generic sweep result: one `(x, value)` series with labels.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// What was swept.
+    pub parameter: String,
+    /// What was measured.
+    pub metric: String,
+    /// `(parameter value, measurement)` points.
+    pub points: Vec<(String, f64)>,
+}
+
+impl Sweep {
+    /// Renders the sweep as a table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[self.parameter.as_str(), self.metric.as_str()]);
+        for (x, y) in &self.points {
+            t.row_owned(vec![x.clone(), format!("{y:.4}")]);
+        }
+        t.render()
+    }
+}
+
+fn kmeans_pipeline(scale: Scale) -> heteropipe_workloads::Pipeline {
+    registry::find("rodinia/kmeans")
+        .expect("kmeans exists")
+        .pipeline(scale)
+        .expect("builds")
+}
+
+/// Chunk-width sweep: how many concurrent chunks until the heterogeneous
+/// processor's chunked producer-consumer organization stops improving
+/// (paper §V-A: ≥4 streams suffice).
+pub fn chunk_sweep(scale: Scale) -> Sweep {
+    let p = kmeans_pipeline(scale);
+    let hetero = SystemConfig::heterogeneous();
+    let base = run(&p, &hetero, Organization::Serial, false).roi;
+    let mut points = vec![("serial".to_string(), 1.0)];
+    for chunks in [2u32, 4, 8, 16, 32] {
+        let r = run(&p, &hetero, Organization::ChunkedParallel { chunks }, false);
+        points.push((chunks.to_string(), r.roi.fraction_of(base)));
+    }
+    Sweep {
+        parameter: "chunks".into(),
+        metric: "kmeans run time (rel. to hetero serial)".into(),
+        points,
+    }
+}
+
+/// CPU MLP sweep: how latency-sensitive the CPU stages are (the paper cites
+/// [14]: CPUs are far more latency-sensitive than GPUs).
+pub fn mlp_sweep(scale: Scale) -> Sweep {
+    let p = kmeans_pipeline(scale);
+    let mut points = Vec::new();
+    for mlp in [1.0f64, 2.0, 4.0, 8.0, 16.0] {
+        let mut cfg = SystemConfig::heterogeneous();
+        cfg.cpu = cfg.cpu.with_mlp(mlp);
+        let r = run(&p, &cfg, Organization::Serial, false);
+        points.push((format!("{mlp}"), r.busy.cpu.as_millis_f64()));
+    }
+    Sweep {
+        parameter: "CPU MLP".into(),
+        metric: "kmeans CPU busy time (ms)".into(),
+        points,
+    }
+}
+
+/// GPU L2 capacity sweep: contention share of off-chip traffic vs cache
+/// size, on a contention-heavy graph benchmark.
+pub fn l2_sweep(scale: Scale) -> Sweep {
+    let w = registry::find("pannotia/pr").expect("pr exists");
+    let p = w.pipeline(scale).expect("builds");
+    let mut points = Vec::new();
+    for mb in [256u64, 512, 1024, 2048, 4096] {
+        let mut cfg = SystemConfig::heterogeneous();
+        cfg.hierarchy.gpu_l2 = CacheConfig::new(mb * 1024, 16);
+        let r = run(&p, &cfg, Organization::Serial, false);
+        let total = r.classes.total().max(1) as f64;
+        let contention = (r.classes.get(AccessClass::RrContention)
+            + r.classes.get(AccessClass::WrContention)) as f64
+            / total;
+        points.push((format!("{}KiB", mb), contention));
+    }
+    Sweep {
+        parameter: "GPU L2 capacity".into(),
+        metric: "pannotia/pr contention share of off-chip accesses".into(),
+        points,
+    }
+}
+
+/// Page-fault handler latency sweep on srad (the paper's 7x fault-slowdown
+/// benchmark).
+pub fn fault_sweep(scale: Scale) -> Sweep {
+    let w = registry::find("rodinia/srad").expect("srad exists");
+    let p = w.pipeline(scale).expect("builds");
+    let mut base = None;
+    let mut points = Vec::new();
+    for us in [0u64, 1, 2, 4, 8, 16] {
+        let mut cfg = SystemConfig::heterogeneous();
+        cfg.gpu.page_fault_latency = heteropipe_sim::Ps::from_micros(us);
+        let r = run(&p, &cfg, Organization::Serial, false);
+        let b = *base.get_or_insert(r.roi);
+        points.push((format!("{us}us"), r.roi.fraction_of(b)));
+    }
+    Sweep {
+        parameter: "GPU page-fault latency".into(),
+        metric: "srad run time (rel. to zero-cost faults)".into(),
+        points,
+    }
+}
+
+/// PCIe generation sweep: does more copy bandwidth close the discrete vs
+/// heterogeneous gap for the copy-bound case study?
+pub fn pcie_sweep(scale: Scale) -> Sweep {
+    let p = kmeans_pipeline(scale);
+    let hetero_roi = run(
+        &p,
+        &SystemConfig::heterogeneous(),
+        Organization::Serial,
+        false,
+    )
+    .roi;
+    let mut points = Vec::new();
+    for gbps in [8.0f64, 16.0, 32.0, 64.0] {
+        let mut cfg = SystemConfig::discrete();
+        cfg.pcie = Some(cfg.pcie.expect("discrete").with_peak_bw(gbps * 1e9));
+        let r = run(&p, &cfg, Organization::Serial, false);
+        points.push((
+            format!("{gbps:.0}GB/s"),
+            r.roi.as_secs_f64() / hetero_roi.as_secs_f64(),
+        ));
+    }
+    Sweep {
+        parameter: "PCIe peak bandwidth".into(),
+        metric: "kmeans discrete/hetero run-time ratio".into(),
+        points,
+    }
+}
+
+/// Forward-looking GPU scaling: how the heterogeneous processor's win over
+/// the discrete system grows as the integrated GPU scales up (more SMs,
+/// proportionally more memory bandwidth) — the processors the paper's
+/// conclusions anticipate.
+pub fn gpu_scaling_sweep(scale: Scale) -> Sweep {
+    let p = kmeans_pipeline(scale);
+    let discrete_roi = run(&p, &SystemConfig::discrete(), Organization::Serial, false).roi;
+    let mut points = Vec::new();
+    for mult in [1u32, 2, 4] {
+        let mut cfg = SystemConfig::heterogeneous();
+        cfg.gpu.sms = (cfg.gpu.sms as u32 * mult).min(64) as u8;
+        cfg.gpu_mem = cfg.gpu_mem.with_peak_bw(179.0e9 * mult as f64);
+        let r = run(&p, &cfg, Organization::ChunkedParallel { chunks: 8 }, false);
+        points.push((
+            format!("{}x SMs+BW", mult),
+            discrete_roi.as_secs_f64() / r.roi.as_secs_f64(),
+        ));
+    }
+    Sweep {
+        parameter: "integrated GPU scale".into(),
+        metric: "kmeans discrete/hetero-chunked speedup".into(),
+        points,
+    }
+}
+
+/// Classifier spill-window sensitivity: how the Fig. 9 spill vs
+/// long-range split moves as "next stage" widens to "within N stages".
+/// The contention classes are unaffected by construction (same-stage reuse
+/// is window-independent), which this sweep demonstrates.
+pub fn spill_window_sweep(scale: Scale) -> Sweep {
+    let w = registry::find("rodinia/srad").expect("srad exists");
+    let p = w.pipeline(scale).expect("builds");
+    let mut points = Vec::new();
+    for window in [1u32, 2, 3, 4] {
+        let mut cfg = SystemConfig::heterogeneous();
+        cfg.spill_window = window;
+        let r = run(&p, &cfg, Organization::Serial, false);
+        let total = r.classes.total().max(1) as f64;
+        let spills = (r.classes.get(AccessClass::WrSpill) + r.classes.get(AccessClass::RrSpill))
+            as f64
+            / total;
+        points.push((window.to_string(), spills));
+    }
+    Sweep {
+        parameter: "spill window (stages)".into(),
+        metric: "srad spill share of off-chip accesses".into(),
+        points,
+    }
+}
+
+/// Alignment ablation: total GPU accesses of the misalignment-sensitive
+/// benchmarks with and without an aligning shared allocator.
+pub fn alignment_sweep(scale: Scale) -> Sweep {
+    let mut points = Vec::new();
+    for w in registry::examined() {
+        if !w.meta.misalignment_sensitive {
+            continue;
+        }
+        let p = w.pipeline(scale).expect("builds");
+        let misaligned = run(
+            &p,
+            &SystemConfig::heterogeneous(),
+            Organization::Serial,
+            true,
+        );
+        let mut aligned_cfg = SystemConfig::heterogeneous();
+        aligned_cfg.aligned_allocator = true;
+        let aligned = run(&p, &aligned_cfg, Organization::Serial, true);
+        let gpu = heteropipe_mem::access::Component::Gpu.index();
+        points.push((
+            w.meta.full_name(),
+            misaligned.accesses[gpu] as f64 / aligned.accesses[gpu].max(1) as f64,
+        ));
+    }
+    Sweep {
+        parameter: "benchmark (misalignment-sensitive)".into(),
+        metric: "GPU accesses misaligned/aligned".into(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_sweep_is_monotone_decreasing() {
+        let s = mlp_sweep(Scale::TEST);
+        assert_eq!(s.points.len(), 5);
+        for w in s.points.windows(2) {
+            assert!(w[1].1 <= w[0].1 * 1.01, "{:?}", s.points);
+        }
+    }
+
+    #[test]
+    fn l2_sweep_contention_falls_with_capacity() {
+        let s = l2_sweep(Scale::new(0.4));
+        let first = s.points.first().unwrap().1;
+        let last = s.points.last().unwrap().1;
+        assert!(
+            last < first,
+            "contention should fall with bigger L2: {:?}",
+            s.points
+        );
+    }
+
+    #[test]
+    fn fault_sweep_monotone_increasing() {
+        let s = fault_sweep(Scale::TEST);
+        let first = s.points.first().unwrap().1;
+        let last = s.points.last().unwrap().1;
+        assert!(last > first, "{:?}", s.points);
+    }
+
+    #[test]
+    fn pcie_sweep_narrows_the_gap() {
+        let s = pcie_sweep(Scale::new(0.4));
+        let first = s.points.first().unwrap().1;
+        let last = s.points.last().unwrap().1;
+        assert!(
+            last < first,
+            "more PCIe bandwidth should close the gap: {:?}",
+            s.points
+        );
+        // But never makes discrete faster than hetero for kmeans.
+        assert!(last > 0.9, "{:?}", s.points);
+    }
+
+    #[test]
+    fn spill_window_is_monotone_and_preserves_contention() {
+        let s = spill_window_sweep(Scale::TEST);
+        for w in s.points.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12, "{:?}", s.points);
+        }
+        // Contention is window-independent: check directly.
+        let p = registry::find("pannotia/pr")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let narrow = run(
+            &p,
+            &SystemConfig::heterogeneous(),
+            Organization::Serial,
+            false,
+        );
+        let mut cfg = SystemConfig::heterogeneous();
+        cfg.spill_window = 4;
+        let wide = run(&p, &cfg, Organization::Serial, false);
+        assert_eq!(
+            narrow.classes.get(AccessClass::RrContention),
+            wide.classes.get(AccessClass::RrContention)
+        );
+    }
+
+    #[test]
+    fn gpu_scaling_widens_the_gap() {
+        let s = gpu_scaling_sweep(Scale::new(0.4));
+        let first = s.points.first().unwrap().1;
+        let last = s.points.last().unwrap().1;
+        assert!(last >= first, "{:?}", s.points);
+        assert!(first > 1.0, "hetero must already win at 1x: {:?}", s.points);
+    }
+
+    #[test]
+    fn alignment_sweep_shows_inflation() {
+        let s = alignment_sweep(Scale::TEST);
+        assert!(!s.points.is_empty());
+        for (name, ratio) in &s.points {
+            assert!(*ratio >= 1.0, "{name}: {ratio}");
+        }
+        assert!(s.points.iter().any(|(_, r)| *r > 1.001), "{:?}", s.points);
+    }
+
+    #[test]
+    fn sweep_renders() {
+        let s = mlp_sweep(Scale::TEST);
+        let out = s.render();
+        assert!(out.contains("CPU MLP"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Beyond the paper's 46: the 12 benchmarks that did not run (or did
+//! trivial work) in gem5-gpu, characterized under the same copy vs
+//! limited-copy comparison. The workload models have no full-system porting
+//! constraints, so the whole 58-benchmark census is measurable here — a
+//! coverage extension the paper explicitly could not provide.
+
+use heteropipe_workloads::{registry, Scale};
+
+use crate::config::SystemConfig;
+use crate::organize::Organization;
+use crate::render::{pct, TextTable};
+use crate::run::run;
+
+/// One extra benchmark's characterization.
+#[derive(Debug, Clone)]
+pub struct BeyondRow {
+    /// `suite/bench`.
+    pub name: String,
+    /// Copy-version copy share of run time.
+    pub copy_share: f64,
+    /// Limited-copy run time over copy run time.
+    pub limited_rel: f64,
+    /// Limited-copy page faults.
+    pub faults: u64,
+}
+
+/// Characterizes the 12 unexamined benchmarks.
+pub fn beyond46(scale: Scale) -> Vec<BeyondRow> {
+    let mut out = Vec::new();
+    for w in registry::runnable() {
+        if w.meta.examined {
+            continue;
+        }
+        let p = w.pipeline(scale).expect("extras build");
+        let mis = w.meta.misalignment_sensitive;
+        let copy = run(&p, &SystemConfig::discrete(), Organization::Serial, mis);
+        let limited = run(
+            &p,
+            &SystemConfig::heterogeneous(),
+            Organization::Serial,
+            mis,
+        );
+        out.push(BeyondRow {
+            name: w.meta.full_name(),
+            copy_share: copy.busy.copy.fraction_of(copy.roi),
+            limited_rel: limited.roi.fraction_of(copy.roi),
+            faults: limited.faults,
+        });
+    }
+    out
+}
+
+/// Renders the beyond-46 characterization.
+pub fn render(rows: &[BeyondRow]) -> String {
+    let mut t = TextTable::new(&["benchmark", "copy share", "limited/copy time", "faults"]);
+    for r in rows {
+        t.row_owned(vec![
+            r.name.clone(),
+            pct(r.copy_share),
+            format!("{:.2}", r.limited_rel),
+            r.faults.to_string(),
+        ]);
+    }
+    format!(
+        "Beyond the paper's 46 — the 12 benchmarks gem5-gpu could not run, same comparison\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_twelve_extras_characterize() {
+        let rows = beyond46(Scale::TEST);
+        assert_eq!(rows.len(), 12);
+        for r in &rows {
+            assert!(r.limited_rel > 0.0, "{}", r.name);
+            assert!((0.0..=1.0).contains(&r.copy_share), "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn serial_ode_solver_gains_least() {
+        // myocyte's dependent solver chain has almost nothing to overlap or
+        // uncopy: its limited/copy ratio should sit near 1.
+        let rows = beyond46(Scale::TEST);
+        let myo = rows.iter().find(|r| r.name == "rodinia/myocyte").unwrap();
+        assert!(
+            (0.5..=1.3).contains(&myo.limited_rel),
+            "myocyte ratio {}",
+            myo.limited_rel
+        );
+    }
+
+    #[test]
+    fn render_lists_extras() {
+        let rows = beyond46(Scale::TEST);
+        let s = render(&rows);
+        assert!(s.contains("rodinia/btree"));
+        assert!(s.contains("parboil/tpacf"));
+    }
+}

@@ -1,0 +1,128 @@
+//! The shared characterization pass behind Figs. 4-9: every examined
+//! benchmark run twice — its copy version on the discrete GPU system and
+//! its limited-copy version on the heterogeneous processor — exactly the
+//! paired bars of the paper's plots.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use heteropipe_workloads::{registry, BenchMeta, Scale};
+
+use crate::config::SystemConfig;
+use crate::organize::Organization;
+use crate::report::RunReport;
+use crate::run::run;
+
+/// One benchmark's paired runs.
+#[derive(Debug, Clone)]
+pub struct BenchPair {
+    /// Table II metadata.
+    pub meta: BenchMeta,
+    /// Copy version on the discrete system (left bars).
+    pub copy: RunReport,
+    /// Limited-copy version on the heterogeneous processor (right bars).
+    pub limited: RunReport,
+}
+
+/// Runs the full characterization at `scale` over all 46 examined
+/// benchmarks, in parallel across OS threads. Results are ordered by
+/// suite then name (the paper's plotting order).
+pub fn characterize_all(scale: Scale) -> Vec<BenchPair> {
+    characterize_filtered(scale, |_| true)
+}
+
+/// Runs the characterization for the benchmarks accepted by `filter`.
+pub fn characterize_filtered(scale: Scale, filter: impl Fn(&BenchMeta) -> bool) -> Vec<BenchPair> {
+    let workloads: Vec<_> = registry::examined()
+        .into_iter()
+        .filter(|w| filter(&w.meta))
+        .collect();
+    let n = workloads.len();
+    let results: Mutex<Vec<Option<BenchPair>>> = Mutex::new(vec![None; n]);
+    let cursor = AtomicUsize::new(0);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let w = &workloads[i];
+                let pipeline = w.pipeline(scale).expect("examined workloads build");
+                let mis = w.meta.misalignment_sensitive;
+                let copy = run(
+                    &pipeline,
+                    &SystemConfig::discrete(),
+                    Organization::Serial,
+                    mis,
+                );
+                let limited = run(
+                    &pipeline,
+                    &SystemConfig::heterogeneous(),
+                    Organization::Serial,
+                    mis,
+                );
+                results.lock().unwrap()[i] = Some(BenchPair {
+                    meta: w.meta,
+                    copy,
+                    limited,
+                });
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|p| p.expect("all benchmarks characterized"))
+        .collect()
+}
+
+/// Geometric mean of positive ratios (the paper's aggregate statistic).
+pub fn geomean(ratios: impl Iterator<Item = f64>) -> f64 {
+    let mut sum_ln = 0.0;
+    let mut n = 0u32;
+    for r in ratios {
+        if r > 0.0 && r.is_finite() {
+            sum_ln += r.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (sum_ln / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0].into_iter()) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+        // Non-finite and non-positive entries are skipped.
+        assert!((geomean([1.0, f64::NAN, 0.0, 4.0].into_iter()) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn characterize_subset_runs_both_platforms() {
+        let pairs =
+            characterize_filtered(Scale::TEST, |m| m.name == "kmeans" || m.name == "backprop");
+        assert_eq!(pairs.len(), 2);
+        for p in &pairs {
+            assert!(p.copy.roi > heteropipe_sim::Ps::ZERO);
+            assert!(p.limited.roi > heteropipe_sim::Ps::ZERO);
+            assert_eq!(p.copy.platform, crate::Platform::DiscreteGpu);
+            assert_eq!(p.limited.platform, crate::Platform::Heterogeneous);
+        }
+    }
+}

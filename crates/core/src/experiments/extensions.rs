@@ -1,0 +1,262 @@
+//! Experiments over the §VI optimization directions: kernel fusion,
+//! model-driven compute migration, and footprint-aware chunk sizing. These
+//! go beyond the paper's measurements — they *apply* the optimizations the
+//! paper recommends and measure what they buy on the workload models.
+
+use heteropipe_workloads::{registry, Scale};
+
+use crate::classify::AccessClass;
+use crate::config::SystemConfig;
+use crate::organize::Organization;
+use crate::render::{pct, TextTable};
+use crate::run::run;
+use crate::transform::{auto_migrate, fuse_adjacent_kernels, suggest_chunks};
+
+/// One benchmark's kernel-fusion outcome.
+#[derive(Debug, Clone)]
+pub struct FusionRow {
+    /// `suite/bench`.
+    pub name: String,
+    /// Kernels merged away.
+    pub fused: usize,
+    /// Run time after fusion relative to before (heterogeneous, serial).
+    pub rel_runtime: f64,
+    /// W-R spill fraction of off-chip accesses before fusion.
+    pub spills_before: f64,
+    /// ...and after.
+    pub spills_after: f64,
+}
+
+/// Applies kernel fusion to every examined benchmark where it fires and
+/// measures the gain on the heterogeneous processor.
+pub fn fusion_study(scale: Scale) -> Vec<FusionRow> {
+    let cfg = SystemConfig::heterogeneous();
+    let mut out = Vec::new();
+    for w in registry::examined() {
+        let p = w.pipeline(scale).expect("builds");
+        let (fused_p, fused) = fuse_adjacent_kernels(&p);
+        if fused == 0 {
+            continue;
+        }
+        let mis = w.meta.misalignment_sensitive;
+        let before = run(&p, &cfg, Organization::Serial, mis);
+        let after = run(&fused_p, &cfg, Organization::Serial, mis);
+        let spill_frac = |r: &crate::report::RunReport| {
+            let t = r.classes.total().max(1) as f64;
+            (r.classes.get(AccessClass::WrSpill) + r.classes.get(AccessClass::RrSpill)) as f64 / t
+        };
+        out.push(FusionRow {
+            name: w.meta.full_name(),
+            fused,
+            rel_runtime: after.roi.fraction_of(before.roi),
+            spills_before: spill_frac(&before),
+            spills_after: spill_frac(&after),
+        });
+    }
+    out
+}
+
+/// Renders the fusion study.
+pub fn render_fusion(rows: &[FusionRow]) -> String {
+    let mut t = TextTable::new(&[
+        "benchmark",
+        "kernels fused",
+        "rel.time",
+        "spills before",
+        "spills after",
+    ]);
+    for r in rows {
+        t.row_owned(vec![
+            r.name.clone(),
+            r.fused.to_string(),
+            format!("{:.2}", r.rel_runtime),
+            pct(r.spills_before),
+            pct(r.spills_after),
+        ]);
+    }
+    format!(
+        "Kernel fusion study (§VI / [36]): producer-consumer kernels merged, heterogeneous processor\n\n{}",
+        t.render()
+    )
+}
+
+/// One benchmark's auto-migration outcome.
+#[derive(Debug, Clone)]
+pub struct MigrateRow {
+    /// `suite/bench`.
+    pub name: String,
+    /// CPU stages the cost model chose to migrate.
+    pub migrated: usize,
+    /// Run time after migration relative to before (heterogeneous, serial).
+    pub rel_runtime: f64,
+}
+
+/// Applies model-driven compute migration to every examined benchmark.
+pub fn migrate_study(scale: Scale) -> Vec<MigrateRow> {
+    let cfg = SystemConfig::heterogeneous();
+    let mut out = Vec::new();
+    for w in registry::examined() {
+        let p = w.pipeline(scale).expect("builds");
+        let (m, migrated) = auto_migrate(&p, &cfg);
+        if migrated == 0 {
+            continue;
+        }
+        let mis = w.meta.misalignment_sensitive;
+        let before = run(&p, &cfg, Organization::Serial, mis);
+        let after = run(&m, &cfg, Organization::Serial, mis);
+        out.push(MigrateRow {
+            name: w.meta.full_name(),
+            migrated,
+            rel_runtime: after.roi.fraction_of(before.roi),
+        });
+    }
+    out
+}
+
+/// Renders the migration study.
+pub fn render_migrate_study(rows: &[MigrateRow]) -> String {
+    let mut t = TextTable::new(&["benchmark", "stages migrated", "rel.time"]);
+    for r in rows {
+        t.row_owned(vec![
+            r.name.clone(),
+            r.migrated.to_string(),
+            format!("{:.2}", r.rel_runtime),
+        ]);
+    }
+    format!(
+        "Model-driven compute migration study (§VI): CPU stages rewritten as kernels where the bounds models predict a win\n\n{}",
+        t.render()
+    )
+}
+
+/// One benchmark's chunk-suggestion outcome.
+#[derive(Debug, Clone)]
+pub struct ChunkRow {
+    /// `suite/bench`.
+    pub name: String,
+    /// The footprint-model suggestion.
+    pub suggested: u32,
+    /// Run time at the suggestion, relative to hetero serial.
+    pub rel_suggested: f64,
+    /// Best run time found by sweeping {2,4,8,16,32}, relative.
+    pub rel_best: f64,
+}
+
+/// Compares the concurrent-footprint chunk suggestion against an oracle
+/// sweep on the pipeline-parallelizable Rodinia benchmarks.
+pub fn chunk_suggestion_study(scale: Scale) -> Vec<ChunkRow> {
+    let cfg = SystemConfig::heterogeneous();
+    let mut out = Vec::new();
+    for name in [
+        "rodinia/kmeans",
+        "rodinia/strmclstr",
+        "rodinia/backprop",
+        "parboil/stencil",
+    ] {
+        let w = registry::find(name).expect("exists");
+        let p = w.pipeline(scale).expect("builds");
+        let mis = w.meta.misalignment_sensitive;
+        let serial = run(&p, &cfg, Organization::Serial, mis).roi;
+        let suggested = suggest_chunks(&p, &cfg);
+        let at = |chunks: u32| {
+            run(&p, &cfg, Organization::ChunkedParallel { chunks }, mis)
+                .roi
+                .fraction_of(serial)
+        };
+        let rel_suggested = at(suggested);
+        let rel_best = [2u32, 4, 8, 16, 32]
+            .into_iter()
+            .map(at)
+            .fold(f64::INFINITY, f64::min);
+        out.push(ChunkRow {
+            name: name.to_string(),
+            suggested,
+            rel_suggested,
+            rel_best,
+        });
+    }
+    out
+}
+
+/// Renders the chunk-suggestion study.
+pub fn render_chunks(rows: &[ChunkRow]) -> String {
+    let mut t = TextTable::new(&[
+        "benchmark",
+        "suggested",
+        "rel.time @suggested",
+        "rel.time @oracle",
+    ]);
+    for r in rows {
+        t.row_owned(vec![
+            r.name.clone(),
+            r.suggested.to_string(),
+            format!("{:.2}", r.rel_suggested),
+            format!("{:.2}", r.rel_best),
+        ]);
+    }
+    format!(
+        "Footprint-aware chunk sizing (§VI): suggestion vs oracle sweep, heterogeneous processor\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fusion_fires_and_rarely_hurts() {
+        let rows = fusion_study(Scale::TEST);
+        assert!(
+            rows.len() >= 5,
+            "fusion should fire on several benchmarks: {}",
+            rows.len()
+        );
+        let hurt = rows.iter().filter(|r| r.rel_runtime > 1.1).count();
+        assert!(
+            hurt * 3 <= rows.len(),
+            "fusion regressed on too many benchmarks: {hurt}/{}",
+            rows.len()
+        );
+    }
+
+    #[test]
+    fn fusion_reduces_spills_where_it_fires() {
+        let rows = fusion_study(Scale::TEST);
+        let improved = rows
+            .iter()
+            .filter(|r| r.spills_after <= r.spills_before + 1e-9)
+            .count();
+        assert!(improved * 2 >= rows.len(), "{rows:#?}");
+    }
+
+    #[test]
+    fn migration_targets_cpu_heavy_benchmarks() {
+        let rows = migrate_study(Scale::TEST);
+        let dwt = rows.iter().find(|r| r.name == "rodinia/dwt");
+        assert!(dwt.is_some(), "dwt must be a migration target");
+        assert!(dwt.unwrap().rel_runtime < 0.9);
+    }
+
+    #[test]
+    fn chunk_suggestion_close_to_oracle() {
+        let rows = chunk_suggestion_study(Scale::new(0.5));
+        for r in &rows {
+            assert!(
+                r.rel_suggested <= r.rel_best * 1.25 + 0.05,
+                "{}: suggested {} vs best {}",
+                r.name,
+                r.rel_suggested,
+                r.rel_best
+            );
+        }
+    }
+
+    #[test]
+    fn renders() {
+        let f = fusion_study(Scale::TEST);
+        assert!(render_fusion(&f).contains("fusion"));
+        let m = migrate_study(Scale::TEST);
+        assert!(render_migrate_study(&m).contains("migration"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Fig. 9 — off-chip memory accesses broken down by cause, copy vs
+//! limited-copy, normalized to the copy version's total.
+//!
+//! Paper reference points: spills are ~10% of accesses on average; R-R
+//! contention averages 38% and reaches 80%+; W-R contention reaches 36%;
+//! bandwidth-limited benchmarks (`*`) are mostly the contention-heavy ones.
+
+use crate::classify::AccessClass;
+use crate::experiments::characterize::BenchPair;
+use crate::render::{pct, TextTable};
+
+/// One version's class fractions (of the copy version's total off-chip
+/// transactions).
+#[derive(Debug, Clone, Copy)]
+pub struct ClassFractions {
+    /// Fractions in [`AccessClass::ALL`] order.
+    pub fractions: [f64; 5],
+    /// Whether this run pushed against the off-chip bandwidth limit.
+    pub bw_limited: bool,
+}
+
+/// Fig. 9 row.
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// `suite/bench`.
+    pub name: String,
+    /// Copy version.
+    pub copy: ClassFractions,
+    /// Limited-copy version (fractions of copy total).
+    pub limited: ClassFractions,
+}
+
+impl Fig9Row {
+    /// Contention share of the copy version's own traffic.
+    pub fn copy_contention_share(&self) -> f64 {
+        let total: f64 = self.copy.fractions.iter().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        (self.copy.fractions[AccessClass::RrContention.index()]
+            + self.copy.fractions[AccessClass::WrContention.index()])
+            / total
+    }
+}
+
+/// Computes Fig. 9 rows.
+pub fn fig9(pairs: &[BenchPair]) -> Vec<Fig9Row> {
+    pairs
+        .iter()
+        .map(|p| {
+            let base = p.copy.classes.total().max(1) as f64;
+            let f = |r: &crate::report::RunReport| {
+                let mut fractions = [0.0; 5];
+                for c in AccessClass::ALL {
+                    fractions[c.index()] = r.classes.get(c) as f64 / base;
+                }
+                ClassFractions {
+                    fractions,
+                    bw_limited: r.bw_limited,
+                }
+            };
+            Fig9Row {
+                name: p.meta.full_name(),
+                copy: f(&p.copy),
+                limited: f(&p.limited),
+            }
+        })
+        .collect()
+}
+
+/// Aggregate class shares across all rows for one version (mean of
+/// per-benchmark shares), in [`AccessClass::ALL`] order.
+pub fn mean_shares(rows: &[Fig9Row], limited: bool) -> [f64; 5] {
+    let mut sums = [0.0; 5];
+    let mut n = 0.0;
+    for r in rows {
+        let v = if limited { &r.limited } else { &r.copy };
+        let total: f64 = v.fractions.iter().sum();
+        if total > 0.0 {
+            for i in 0..5 {
+                sums[i] += v.fractions[i] / total;
+            }
+            n += 1.0;
+        }
+    }
+    if n > 0.0 {
+        for s in &mut sums {
+            *s /= n;
+        }
+    }
+    sums
+}
+
+/// Renders Fig. 9.
+fn fig9_table(rows: &[Fig9Row]) -> TextTable {
+    let mut t = TextTable::new(&[
+        "benchmark",
+        "version",
+        "required",
+        "w-r spill",
+        "r-r spill",
+        "r-r cont",
+        "w-r cont",
+        "total",
+    ]);
+    for r in rows {
+        for (tag, v) in [("copy", &r.copy), ("limited", &r.limited)] {
+            let total: f64 = v.fractions.iter().sum();
+            let star = if v.bw_limited { "*" } else { "" };
+            let mut cells = vec![format!("{}{}", r.name, star), tag.to_string()];
+            for f in v.fractions {
+                cells.push(pct(f));
+            }
+            cells.push(format!("{total:.2}"));
+            t.row_owned(cells);
+        }
+    }
+    t
+}
+
+/// Fig. 9 as CSV.
+pub fn csv(rows: &[Fig9Row]) -> String {
+    fig9_table(rows).to_csv()
+}
+
+/// Renders Fig. 9 with the paper-comparison summary line.
+pub fn render(rows: &[Fig9Row]) -> String {
+    let t = fig9_table(rows);
+    let mean = mean_shares(rows, true);
+    format!(
+        "Fig. 9 — off-chip accesses by cause (normalized to copy total; * = bandwidth-limited)\n\n{}\nmean limited-copy shares: required {} | w-r spill {} | r-r spill {} | r-r contention {} | w-r contention {}\n(paper: spills ~10%, r-r contention ~38% mean / 80% max)\n",
+        t.render(),
+        pct(mean[0]),
+        pct(mean[1]),
+        pct(mean[2]),
+        pct(mean[3]),
+        pct(mean[4]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::characterize::characterize_filtered;
+    use heteropipe_workloads::Scale;
+
+    #[test]
+    fn graph_benchmarks_show_heavy_contention() {
+        // Contention needs working sets beyond the 1 MiB GPU L2, so this
+        // test runs at a non-trivial scale.
+        let pairs = characterize_filtered(Scale::new(0.5), |m| {
+            m.full_name() == "pannotia/pr" || m.full_name() == "lonestar/sssp"
+        });
+        let rows = fig9(&pairs);
+        for r in &rows {
+            assert!(
+                r.copy_contention_share() > 0.3,
+                "{}: contention share {}",
+                r.name,
+                r.copy_contention_share()
+            );
+        }
+    }
+
+    #[test]
+    fn fractions_account_for_all_traffic() {
+        let pairs = characterize_filtered(Scale::TEST, |m| m.name == "kmeans");
+        let rows = fig9(&pairs);
+        let copy_total: f64 = rows[0].copy.fractions.iter().sum();
+        assert!((copy_total - 1.0).abs() < 1e-9, "{copy_total}");
+    }
+
+    #[test]
+    fn producer_consumer_spills_present_in_kmeans() {
+        let pairs = characterize_filtered(Scale::TEST, |m| m.name == "kmeans");
+        let rows = fig9(&pairs);
+        let wr = rows[0].copy.fractions[AccessClass::WrSpill.index()];
+        assert!(wr > 0.01, "kmeans must show W-R spills, got {wr}");
+    }
+
+    #[test]
+    fn render_includes_summary() {
+        let pairs = characterize_filtered(Scale::TEST, |m| m.name == "kmeans");
+        let s = render(&fig9(&pairs));
+        assert!(s.contains("mean limited-copy shares"));
+        assert!(s.contains("r-r cont"));
+    }
+}

@@ -1,0 +1,16 @@
+//! Experiment drivers: one module per paper table/figure plus the §V model
+//! validations (see DESIGN.md §4 for the index).
+
+pub mod ablations;
+pub mod beyond;
+pub mod characterize;
+pub mod extensions;
+pub mod fig3;
+pub mod fig456;
+pub mod fig78;
+pub mod fig9;
+pub mod sensitivity;
+pub mod tables;
+pub mod validate;
+
+pub use characterize::{characterize_all, characterize_filtered, geomean, BenchPair};

@@ -1,0 +1,188 @@
+//! Tornado-style sensitivity analysis: how much each major model constant
+//! moves the study's headline metric.
+//!
+//! A reproduction's conclusions are only as strong as its free parameters.
+//! This study varies each calibrated constant to half and double its
+//! Table-I-derived value and re-measures the headline copy-removal geomean
+//! over a representative benchmark subset (one per structural class:
+//! copy-recycling ML, irregular graph, fault-heavy stencil, dense
+//! iterative). Parameters whose bars are short cannot be blamed for the
+//! reproduced shapes.
+
+use heteropipe_workloads::{registry, Scale};
+
+use crate::config::SystemConfig;
+use crate::experiments::characterize::geomean;
+use crate::organize::Organization;
+use crate::render::TextTable;
+use crate::run::run;
+
+/// The benchmark subset the sensitivity metric is computed over.
+pub const SUBSET: [&str; 4] = [
+    "rodinia/kmeans",
+    "pannotia/pr",
+    "rodinia/srad",
+    "parboil/stencil",
+];
+
+/// One parameter's tornado bar.
+#[derive(Debug, Clone)]
+pub struct SensitivityRow {
+    /// Parameter name.
+    pub parameter: &'static str,
+    /// Headline metric with the parameter halved.
+    pub at_half: f64,
+    /// Headline metric at the calibrated value.
+    pub at_nominal: f64,
+    /// Headline metric with the parameter doubled.
+    pub at_double: f64,
+}
+
+impl SensitivityRow {
+    /// Width of the tornado bar (max deviation from nominal).
+    pub fn swing(&self) -> f64 {
+        (self.at_half - self.at_nominal)
+            .abs()
+            .max((self.at_double - self.at_nominal).abs())
+    }
+}
+
+/// The headline metric: geomean limited-copy/copy run time over [`SUBSET`],
+/// with the heterogeneous side configured by `hetero`.
+fn metric(scale: Scale, hetero: &SystemConfig, discrete: &SystemConfig) -> f64 {
+    geomean(SUBSET.iter().map(|name| {
+        let w = registry::find(name).expect("subset benchmark exists");
+        let p = w.pipeline(scale).expect("builds");
+        let mis = w.meta.misalignment_sensitive;
+        let c = run(&p, discrete, Organization::Serial, mis);
+        let l = run(&p, hetero, Organization::Serial, mis);
+        l.roi.as_secs_f64() / c.roi.as_secs_f64()
+    }))
+}
+
+/// Runs the sensitivity study at `scale`. Rows are sorted by swing,
+/// largest first (the tornado order).
+pub fn sensitivity_study(scale: Scale) -> Vec<SensitivityRow> {
+    let nominal = metric(
+        scale,
+        &SystemConfig::heterogeneous(),
+        &SystemConfig::discrete(),
+    );
+    type Mutator = fn(&mut SystemConfig, &mut SystemConfig, f64);
+    let params: [(&'static str, Mutator); 6] = [
+        ("GPU page-fault latency", |h, _d, f| {
+            h.gpu.page_fault_latency =
+                heteropipe_sim::Ps::from_secs_f64(h.gpu.page_fault_latency.as_secs_f64() * f);
+        }),
+        ("CPU MLP", |h, d, f| {
+            h.cpu = h.cpu.with_mlp((h.cpu.mlp * f).max(1.0));
+            d.cpu = d.cpu.with_mlp((d.cpu.mlp * f).max(1.0));
+        }),
+        ("PCIe bandwidth", |_h, d, f| {
+            let p = d.pcie.expect("discrete");
+            d.pcie = Some(p.with_peak_bw(p.peak_bw() * f));
+        }),
+        ("kernel launch latency", |h, d, f| {
+            h.cpu.kernel_launch =
+                heteropipe_sim::Ps::from_secs_f64(h.cpu.kernel_launch.as_secs_f64() * f);
+            d.cpu.kernel_launch = h.cpu.kernel_launch;
+        }),
+        ("shared-memory bandwidth", |h, _d, f| {
+            h.gpu_mem = h.gpu_mem.with_peak_bw(h.gpu_mem.peak_bw() * f);
+        }),
+        ("residual memcpy rate", |h, _d, f| {
+            h.memcpy_rate *= f;
+        }),
+    ];
+
+    let mut rows: Vec<SensitivityRow> = params
+        .into_iter()
+        .map(|(name, mutate)| {
+            let at = |f: f64| {
+                let mut h = SystemConfig::heterogeneous();
+                let mut d = SystemConfig::discrete();
+                mutate(&mut h, &mut d, f);
+                metric(scale, &h, &d)
+            };
+            SensitivityRow {
+                parameter: name,
+                at_half: at(0.5),
+                at_nominal: nominal,
+                at_double: at(2.0),
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.swing().partial_cmp(&a.swing()).expect("finite swings"));
+    rows
+}
+
+/// Renders the tornado table.
+pub fn render(rows: &[SensitivityRow]) -> String {
+    let mut t = TextTable::new(&["parameter", "x0.5", "nominal", "x2.0", "swing"]);
+    for r in rows {
+        t.row_owned(vec![
+            r.parameter.to_string(),
+            format!("{:.3}", r.at_half),
+            format!("{:.3}", r.at_nominal),
+            format!("{:.3}", r.at_double),
+            format!("{:.3}", r.swing()),
+        ]);
+    }
+    format!(
+        "Sensitivity tornado — headline limited/copy geomean over {:?} as each model constant is halved/doubled\n\n{}",
+        SUBSET,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tornado_is_sorted_and_finite() {
+        let rows = sensitivity_study(Scale::TEST);
+        assert_eq!(rows.len(), 6);
+        for w in rows.windows(2) {
+            assert!(w[0].swing() >= w[1].swing());
+        }
+        for r in &rows {
+            for v in [r.at_half, r.at_nominal, r.at_double] {
+                assert!(v.is_finite() && v > 0.0, "{r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_latency_moves_the_metric_directionally() {
+        let rows = sensitivity_study(Scale::TEST);
+        let fault = rows
+            .iter()
+            .find(|r| r.parameter == "GPU page-fault latency")
+            .unwrap();
+        // Cheaper faults make the heterogeneous port look better
+        // (lower limited/copy); dearer faults, worse.
+        assert!(fault.at_half <= fault.at_nominal + 1e-9, "{fault:?}");
+        assert!(fault.at_double >= fault.at_nominal - 1e-9, "{fault:?}");
+    }
+
+    #[test]
+    fn pcie_bandwidth_moves_the_metric_against_hetero() {
+        let rows = sensitivity_study(Scale::TEST);
+        let pcie = rows
+            .iter()
+            .find(|r| r.parameter == "PCIe bandwidth")
+            .unwrap();
+        // A faster link improves the *discrete* baseline, raising the
+        // limited/copy ratio.
+        assert!(pcie.at_double >= pcie.at_nominal - 1e-9, "{pcie:?}");
+    }
+
+    #[test]
+    fn render_is_a_table() {
+        let rows = sensitivity_study(Scale::TEST);
+        let s = render(&rows);
+        assert!(s.contains("tornado"));
+        assert!(s.contains("swing"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Tables I and II.
+
+use heteropipe_workloads::registry;
+
+use crate::config::SystemConfig;
+use crate::render::TextTable;
+
+/// Renders Table I — the heterogeneous system parameters — from the live
+/// configuration objects (so the table can never drift from the code).
+pub fn render_table1() -> String {
+    let d = SystemConfig::discrete();
+    let h = SystemConfig::heterogeneous();
+    let cpu = &d.cpu;
+    let gpu = &d.gpu;
+    let hc = &d.hierarchy;
+
+    let mut t = TextTable::new(&["component", "parameters"]);
+    t.row_owned(vec![
+        "CPU Cores".into(),
+        format!(
+            "({}) {}-wide out-of-order, x86-class, {:.1}GHz, {:.0} GFLOP/s peak each",
+            cpu.cores,
+            cpu.issue_width,
+            cpu.clock.freq_hz() / 1e9,
+            cpu.peak_flops_per_core / 1e9
+        ),
+    ]);
+    t.row_owned(vec![
+        "CPU Caches".into(),
+        format!(
+            "per-core {}kB L1D and private {}kB L2, 128B lines",
+            hc.cpu_l1d.capacity_bytes() / 1024,
+            hc.cpu_l2.capacity_bytes() / 1024
+        ),
+    ]);
+    t.row_owned(vec![
+        "GPU Cores".into(),
+        format!(
+            "({}) {} CTAs, {} warps of 32 threads, {:.0}MHz, {}kB scratch, {}k registers, greedy-then-oldest",
+            gpu.sms,
+            gpu.max_ctas_per_sm,
+            gpu.max_warps_per_sm,
+            gpu.clock.freq_hz() / 1e6,
+            gpu.scratch_bytes_per_sm / 1024,
+            gpu.registers_per_sm / 1024
+        ),
+    ]);
+    t.row_owned(vec![
+        "GPU Caches".into(),
+        format!(
+            "{}kB L1 per-core; GPU-shared non-inclusive L2 {}MB, 128B lines",
+            hc.gpu_l1.capacity_bytes() / 1024,
+            hc.gpu_l2.capacity_bytes() / (1024 * 1024)
+        ),
+    ]);
+    t.row_owned(vec![
+        "Discrete: interconnects".into(),
+        format!(
+            "CPU L2s/MCs: {}; GPU L1/L2: dance-hall; GPU L2s/MCs: direct links",
+            d.interconnect
+        ),
+    ]);
+    t.row_owned(vec![
+        "Discrete: CPU memory".into(),
+        d.cpu_mem.expect("discrete").to_string(),
+    ]);
+    t.row_owned(vec!["Discrete: GPU memory".into(), d.gpu_mem.to_string()]);
+    t.row_owned(vec![
+        "Discrete: PCIe".into(),
+        d.pcie.expect("discrete").to_string(),
+    ]);
+    t.row_owned(vec![
+        "Heterogeneous: interconnects".into(),
+        format!("GPU L1/L2: dance-hall; all L2s/MCs: {}", h.interconnect),
+    ]);
+    t.row_owned(vec![
+        "Heterogeneous: memory".into(),
+        format!("shared {}", h.gpu_mem),
+    ]);
+    format!(
+        "Table I — heterogeneous system parameters\n\n{}",
+        t.render()
+    )
+}
+
+/// Renders Table II — producer-consumer relationships in benchmarks — from
+/// the workload registry census.
+pub fn render_table2() -> String {
+    let (rows, total) = registry::census();
+    let mut t = TextTable::new(&[
+        "suite",
+        "num bench",
+        "p-c comm",
+        "pipe paral",
+        "regular",
+        "irregular",
+        "sw queue",
+    ]);
+    for (suite, r) in &rows {
+        t.row_owned(vec![
+            suite.to_string(),
+            r.benchmarks.to_string(),
+            r.pc_comm.to_string(),
+            r.pipe_parallel.to_string(),
+            r.regular.to_string(),
+            r.irregular.to_string(),
+            r.sw_queue.to_string(),
+        ]);
+    }
+    t.row_owned(vec![
+        "Total".into(),
+        total.benchmarks.to_string(),
+        total.pc_comm.to_string(),
+        total.pipe_parallel.to_string(),
+        total.regular.to_string(),
+        total.irregular.to_string(),
+        total.sw_queue.to_string(),
+    ]);
+    let p = |x: u32| format!("{:.0}%", 100.0 * x as f64 / total.benchmarks as f64);
+    t.row_owned(vec![
+        "Portion".into(),
+        "100%".into(),
+        p(total.pc_comm),
+        p(total.pipe_parallel),
+        p(total.regular),
+        p(total.irregular),
+        p(total.sw_queue),
+    ]);
+    format!(
+        "Table II — producer-consumer constructs in benchmarks\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contains_headline_parameters() {
+        let s = render_table1();
+        for needle in [
+            "3.5GHz",
+            "700MHz",
+            "1MB",
+            "24kB",
+            "179GB/s",
+            "24GB/s",
+            "PCIe 8GB/s",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn table2_matches_paper_totals() {
+        let s = render_table2();
+        let total_line = s
+            .lines()
+            .find(|l| l.starts_with("Total"))
+            .expect("total row present");
+        let tokens: Vec<&str> = total_line.split_whitespace().collect();
+        assert_eq!(tokens, vec!["Total", "58", "51", "49", "51", "32", "11"]);
+        assert!(s.contains("88%"), "{s}");
+        assert!(s.contains("55%"), "{s}");
+        assert!(s.contains("19%"), "{s}");
+    }
+}

@@ -1,0 +1,262 @@
+//! §V-A and §V-B model validations.
+//!
+//! * **Component-overlap** (§V-A): the paper applies kernel fission + async
+//!   streams (discrete) and chunked in-memory signalling (heterogeneous) to
+//!   backprop, kmeans, and strmclstr and finds the transformed run times
+//!   within 3.1% of the Eq. 1 estimate (caching effects can beat it).
+//! * **Migrated-compute** (§V-B): the paper manually rewrites kmeans' and
+//!   strmclstr's CPU matrix-vector/reduction stages as GPU kernels, gaining
+//!   over 2.5x and landing within 35% of the estimates.
+
+use heteropipe_workloads::{registry, Scale};
+
+use crate::config::SystemConfig;
+use crate::models::{component_overlap, migrated_compute};
+use crate::organize::Organization;
+use crate::render::TextTable;
+use crate::run::run;
+
+/// One benchmark's overlap validation.
+#[derive(Debug, Clone)]
+pub struct OverlapValidation {
+    /// `suite/bench`.
+    pub name: String,
+    /// Serial run time (seconds) on the platform.
+    pub serial_secs: f64,
+    /// Transformed (streams / chunked) run time.
+    pub transformed_secs: f64,
+    /// Eq. 1 estimate from the serial run.
+    pub estimate_secs: f64,
+    /// `|transformed - estimate| / estimate`.
+    pub relative_error: f64,
+    /// Whether the transform ran on the heterogeneous processor.
+    pub heterogeneous: bool,
+}
+
+/// Validates the component-overlap model on the paper's three benchmarks,
+/// on both platforms, at `scale`.
+pub fn validate_overlap(scale: Scale) -> Vec<OverlapValidation> {
+    let mut out = Vec::new();
+    for name in ["rodinia/backprop", "rodinia/kmeans", "rodinia/strmclstr"] {
+        let w = registry::find(name).expect("validation benchmark exists");
+        let p = w.pipeline(scale).expect("builds");
+        let mis = w.meta.misalignment_sensitive;
+        for hetero in [false, true] {
+            let (config, org) = if hetero {
+                (
+                    SystemConfig::heterogeneous(),
+                    Organization::ChunkedParallel { chunks: 8 },
+                )
+            } else {
+                (
+                    SystemConfig::discrete(),
+                    Organization::AsyncStreams { streams: 8 },
+                )
+            };
+            let serial = run(&p, &config, Organization::Serial, mis);
+            let transformed = run(&p, &config, org, mis);
+            let estimate = component_overlap(&serial);
+            let est = estimate.as_secs_f64();
+            let meas = transformed.roi.as_secs_f64();
+            out.push(OverlapValidation {
+                name: name.to_string(),
+                serial_secs: serial.roi.as_secs_f64(),
+                transformed_secs: meas,
+                estimate_secs: est,
+                relative_error: if est > 0.0 {
+                    (meas - est).abs() / est
+                } else {
+                    0.0
+                },
+                heterogeneous: hetero,
+            });
+        }
+    }
+    out
+}
+
+/// Renders the overlap validation.
+pub fn render_overlap(rows: &[OverlapValidation]) -> String {
+    let mut t = TextTable::new(&[
+        "benchmark",
+        "platform",
+        "serial",
+        "transformed",
+        "estimate",
+        "err",
+    ]);
+    for r in rows {
+        t.row_owned(vec![
+            r.name.clone(),
+            if r.heterogeneous {
+                "hetero"
+            } else {
+                "discrete"
+            }
+            .into(),
+            format!("{:.3}ms", r.serial_secs * 1e3),
+            format!("{:.3}ms", r.transformed_secs * 1e3),
+            format!("{:.3}ms", r.estimate_secs * 1e3),
+            format!("{:.1}%", r.relative_error * 100.0),
+        ]);
+    }
+    format!(
+        "§V-A — component-overlap model validation (paper: within 3.1%; caching can beat the estimate)\n\n{}",
+        t.render()
+    )
+}
+
+pub use crate::transform::migrate_cpu_stages_to_gpu;
+
+/// One benchmark's migrated-compute validation.
+#[derive(Debug, Clone)]
+pub struct MigrateValidation {
+    /// `suite/bench`.
+    pub name: String,
+    /// Baseline (copy, serial, discrete) run time in seconds.
+    pub baseline_secs: f64,
+    /// Simulated run time with CPU stages migrated to the GPU
+    /// (heterogeneous processor, chunked).
+    pub migrated_secs: f64,
+    /// The Eq. 2-4 estimate from the baseline's limited-copy run.
+    pub estimate_secs: f64,
+    /// Speedup of the migrated version over the baseline.
+    pub speedup: f64,
+    /// `|migrated - estimate| / estimate`.
+    pub relative_error: f64,
+}
+
+/// Validates the migrated-compute model on kmeans and strmclstr.
+pub fn validate_migrate(scale: Scale) -> Vec<MigrateValidation> {
+    let hetero = SystemConfig::heterogeneous();
+    let mut out = Vec::new();
+    for name in ["rodinia/kmeans", "rodinia/strmclstr"] {
+        let w = registry::find(name).expect("exists");
+        let p = w.pipeline(scale).expect("builds");
+        let mis = w.meta.misalignment_sensitive;
+        let baseline = run(&p, &SystemConfig::discrete(), Organization::Serial, mis);
+        let limited = run(&p, &hetero, Organization::Serial, mis);
+        let migrated_pipeline = migrate_cpu_stages_to_gpu(&p);
+        let migrated = run(
+            &migrated_pipeline,
+            &hetero,
+            Organization::ChunkedParallel { chunks: 4 },
+            mis,
+        );
+        let est = migrated_compute(&limited, &hetero).as_secs_f64();
+        let meas = migrated.roi.as_secs_f64();
+        out.push(MigrateValidation {
+            name: name.to_string(),
+            baseline_secs: baseline.roi.as_secs_f64(),
+            migrated_secs: meas,
+            estimate_secs: est,
+            speedup: baseline.roi.as_secs_f64() / meas,
+            relative_error: if est > 0.0 {
+                (meas - est).abs() / est
+            } else {
+                0.0
+            },
+        });
+    }
+    out
+}
+
+/// Renders the migrate validation.
+pub fn render_migrate(rows: &[MigrateValidation]) -> String {
+    let mut t = TextTable::new(&[
+        "benchmark",
+        "baseline",
+        "migrated",
+        "estimate",
+        "speedup",
+        "err",
+    ]);
+    for r in rows {
+        t.row_owned(vec![
+            r.name.clone(),
+            format!("{:.3}ms", r.baseline_secs * 1e3),
+            format!("{:.3}ms", r.migrated_secs * 1e3),
+            format!("{:.3}ms", r.estimate_secs * 1e3),
+            format!("{:.2}x", r.speedup),
+            format!("{:.0}%", r.relative_error * 100.0),
+        ]);
+    }
+    format!(
+        "§V-B — migrated-compute validation (paper: >2.5x speedup, within 35% of estimate)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteropipe_workloads::ExecKind;
+
+    #[test]
+    fn overlap_estimates_track_transformed_runs() {
+        let rows = validate_overlap(Scale::new(0.5));
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            // Benchmarks with little overlappable CPU work (backprop's
+            // reduction is small) can pay more in per-chunk launch
+            // overhead than they gain; allow a bounded regression.
+            assert!(
+                r.transformed_secs <= r.serial_secs * 1.10,
+                "{} ({}): transform regressed: {} vs {}",
+                r.name,
+                r.heterogeneous,
+                r.transformed_secs,
+                r.serial_secs
+            );
+            // The estimate is optimistic but in the right neighbourhood
+            // (the paper saw <=3.1%; we allow model slack plus the cache
+            // upside where measurement beats estimate).
+            assert!(
+                r.relative_error < 0.35,
+                "{} ({}): error {:.2}",
+                r.name,
+                r.heterogeneous,
+                r.relative_error
+            );
+        }
+    }
+
+    #[test]
+    fn migration_transform_rewrites_cpu_stages() {
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let m = migrate_cpu_stages_to_gpu(&p);
+        let cpu_stages = m
+            .stages
+            .iter()
+            .filter_map(|s| s.as_compute())
+            .filter(|c| c.exec == ExecKind::Cpu)
+            .count();
+        assert_eq!(cpu_stages, 0);
+        assert!(m.name.ends_with("+migrated"));
+        assert_eq!(m.validate(), Ok(()));
+    }
+
+    #[test]
+    fn migration_speeds_up_cpu_heavy_benchmarks() {
+        let rows = validate_migrate(Scale::new(0.5));
+        for r in &rows {
+            assert!(
+                r.speedup > 2.0,
+                "{}: speedup only {:.2}x",
+                r.name,
+                r.speedup
+            );
+        }
+    }
+
+    #[test]
+    fn renders() {
+        let rows = validate_overlap(Scale::TEST);
+        assert!(render_overlap(&rows).contains("3.1%"));
+        let rows = validate_migrate(Scale::TEST);
+        assert!(render_migrate(&rows).contains("2.5x"));
+    }
+}

@@ -1,0 +1,61 @@
+//! # heteropipe
+//!
+//! A reproduction of *"GPU Computing Pipeline Inefficiencies and
+//! Optimization Opportunities in Heterogeneous CPU-GPU Processors"*
+//! (Hestness, Keckler, Wood — IISWC 2015) as a Rust library.
+//!
+//! The study runs 46 GPU computing benchmarks on two simulated systems —
+//! a discrete GPU system with explicit PCIe memory copies and a
+//! cache-coherent heterogeneous CPU-GPU processor without them — and
+//! quantifies where bulk-synchronous GPU software pipelines waste cores and
+//! caches. This crate provides:
+//!
+//! * [`config`] — the Table I system configurations.
+//! * [`organize`] — lowering benchmark pipelines onto platforms and
+//!   organizations (serial, async copy streams, chunked producer-consumer).
+//! * [`run`] — the hybrid functional/analytical system runner.
+//! * [`classify`] — the off-chip access taxonomy (spills, contention).
+//! * [`footprint`] — footprint tracking by component set.
+//! * [`models`] — the Eq. 1 component-overlap and Eq. 2-4 migrated-compute
+//!   analytical models.
+//! * [`experiments`] — one driver per paper table/figure.
+//! * [`render`] — plain-text tables, stacked bars, CSV.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use heteropipe::{run, Organization, SystemConfig};
+//! use heteropipe_workloads::{registry, Scale};
+//!
+//! let kmeans = registry::find("rodinia/kmeans").unwrap()
+//!     .pipeline(Scale::TEST).unwrap();
+//! let discrete = run::run(&kmeans, &SystemConfig::discrete(),
+//!                         Organization::Serial, false);
+//! let hetero = run::run(&kmeans, &SystemConfig::heterogeneous(),
+//!                       Organization::Serial, false);
+//! assert!(hetero.roi < discrete.roi); // removing copies helps kmeans
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod config;
+pub mod experiments;
+pub mod footprint;
+pub mod models;
+pub mod organize;
+pub mod render;
+pub mod report;
+pub mod run;
+pub mod trace;
+pub mod transform;
+
+pub use classify::{AccessClass, ClassCounts, OffchipClassifier};
+pub use config::{Platform, SystemConfig};
+pub use footprint::{FootprintTracker, TouchSet};
+pub use models::{component_overlap, estimates, migrated_compute, Estimates};
+pub use organize::{lower, Organization, Server, Task, TaskBody, TaskGraph};
+pub use report::{ComponentTimes, ExclusiveSlice, RunReport};
+pub use transform::{
+    auto_migrate, fuse_adjacent_kernels, migrate_cpu_stages_to_gpu, suggest_chunks,
+};

@@ -1,0 +1,183 @@
+//! The paper's analytical models (§V).
+//!
+//! * [`component_overlap`] — Eq. 1: the Amdahl-style estimate of run time if
+//!   copy, CPU, and GPU activity were overlapped (kernel fission + streams
+//!   on the discrete system, in-memory signals on the heterogeneous
+//!   processor):
+//!
+//!   ```text
+//!   R_co = C_serial + max(C - C_serial, P, G)
+//!   ```
+//!
+//! * [`migrated_compute`] — Eq. 2-4: the optimistic estimate of run time if
+//!   all compute phases were distributed across CPU and GPU cores, bounded
+//!   by aggregate FLOP rate and achievable memory bandwidth:
+//!
+//!   ```text
+//!   R_mc_core = (C·F_cpu + G·F_gpu) / (F_cpu + F_gpu)
+//!   R_mc_BW   = M / BW_mem
+//!   R_mc      = max(P, R_mc_core, R_mc_BW)
+//!   ```
+//!
+//! All times are absolute ([`Ps`]); the paper plots them normalized to the
+//! baseline copy run time.
+
+use heteropipe_sim::Ps;
+
+use crate::config::SystemConfig;
+use crate::report::RunReport;
+
+/// Eq. 1: component-overlap run-time estimate.
+///
+/// # Examples
+///
+/// ```
+/// use heteropipe::{run, component_overlap, Organization, SystemConfig};
+/// use heteropipe_workloads::{registry, Scale};
+///
+/// let p = registry::find("rodinia/backprop").unwrap()
+///     .pipeline(Scale::TEST).unwrap();
+/// let serial = run::run(&p, &SystemConfig::discrete(), Organization::Serial, false);
+/// // Overlap can never beat the busiest single component, nor lose to the
+/// // serial schedule.
+/// let est = component_overlap(&serial);
+/// assert!(est <= serial.roi);
+/// assert!(est >= serial.busy.copy.max(serial.busy.cpu).max(serial.busy.gpu));
+/// ```
+pub fn component_overlap(report: &RunReport) -> Ps {
+    let c = report.busy.cpu;
+    let p = report.busy.copy;
+    let g = report.busy.gpu;
+    let c_serial = report.c_serial.min(c);
+    c_serial + (c - c_serial).max(p).max(g)
+}
+
+/// Eq. 2-4: migrated-compute run-time estimate.
+///
+/// `M` is the report's off-chip byte count and `BW_mem` the system's
+/// achievable memory bandwidth (the paper's ~82% of peak).
+pub fn migrated_compute(report: &RunReport, config: &SystemConfig) -> Ps {
+    let f_cpu = config.cpu.peak_flops_total();
+    let f_gpu = config.gpu.peak_flops_total();
+    let c = report.busy.cpu.as_secs_f64();
+    let g = report.busy.gpu.as_secs_f64();
+    // Eq. 2: work currently on each core type redistributed across both.
+    let r_core = (c * f_cpu + g * f_gpu) / (f_cpu + f_gpu);
+    // Eq. 3: off-chip traffic over achievable bandwidth.
+    let r_bw = report.offchip_bytes as f64 / config.gpu_mem_bw();
+    // Eq. 4.
+    let r = report.busy.copy.as_secs_f64().max(r_core).max(r_bw);
+    Ps::from_secs_f64(r)
+}
+
+/// Both estimates, normalized to a baseline run time (how the paper plots
+/// Figs. 7 and 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimates {
+    /// Eq. 1 estimate relative to the baseline (1.0 = no gain).
+    pub overlap_rel: f64,
+    /// Eq. 2-4 estimate relative to the baseline.
+    pub migrate_rel: f64,
+}
+
+/// Computes both normalized estimates for `report` against `baseline_roi`.
+pub fn estimates(report: &RunReport, config: &SystemConfig, baseline_roi: Ps) -> Estimates {
+    Estimates {
+        overlap_rel: component_overlap(report).fraction_of(baseline_roi),
+        migrate_rel: migrated_compute(report, config).fraction_of(baseline_roi),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::ClassCounts;
+    use crate::config::Platform;
+    use crate::organize::Organization;
+    use crate::report::ComponentTimes;
+
+    fn report(copy_ms: u64, cpu_ms: u64, gpu_ms: u64, c_serial_ms: u64) -> RunReport {
+        RunReport {
+            benchmark: "test/x".into(),
+            platform: Platform::DiscreteGpu,
+            organization: Organization::Serial,
+            roi: Ps::from_millis(copy_ms + cpu_ms + gpu_ms),
+            busy: ComponentTimes {
+                copy: Ps::from_millis(copy_ms),
+                cpu: Ps::from_millis(cpu_ms),
+                gpu: Ps::from_millis(gpu_ms),
+            },
+            exclusive: Vec::new(),
+            accesses: [0; 3],
+            offchip_fetches: 0,
+            offchip_writebacks: 0,
+            offchip_bytes: 0,
+            classes: ClassCounts::default(),
+            footprint: Vec::new(),
+            total_footprint: 0,
+            faults: 0,
+            c_serial: Ps::from_millis(c_serial_ms),
+            cpu_flops: 0,
+            gpu_flops: 0,
+            remote_hits: 0,
+            bw_limited: false,
+        }
+    }
+
+    #[test]
+    fn overlap_is_bound_by_largest_component() {
+        let r = report(5, 3, 8, 0);
+        assert_eq!(component_overlap(&r), Ps::from_millis(8));
+    }
+
+    #[test]
+    fn overlap_adds_serial_launch_time() {
+        let r = report(2, 4, 8, 1);
+        // 1 + max(3, 2, 8) = 9.
+        assert_eq!(component_overlap(&r), Ps::from_millis(9));
+    }
+
+    #[test]
+    fn overlap_never_exceeds_serial_sum() {
+        for (p, c, g, s) in [(5, 5, 5, 2), (0, 10, 1, 0), (7, 0, 3, 0)] {
+            let r = report(p, c, g, s);
+            assert!(component_overlap(&r) <= r.roi);
+        }
+    }
+
+    #[test]
+    fn migrate_weights_by_flop_rate() {
+        let cfg = SystemConfig::discrete();
+        // All work on the CPU: migrating it across CPU+GPU shrinks it by
+        // roughly F_cpu / (F_cpu + F_gpu).
+        let r = report(0, 100, 0, 0);
+        let est = migrated_compute(&r, &cfg);
+        let expect = 0.1 * 56.0 / (56.0 + 358.4);
+        assert!((est.as_secs_f64() - expect).abs() / expect < 1e-6, "{est}");
+    }
+
+    #[test]
+    fn migrate_bounded_by_bandwidth() {
+        let cfg = SystemConfig::discrete();
+        let mut r = report(0, 1, 1, 0);
+        r.offchip_bytes = 1_468_000_000; // ~10 ms at 146.8 GB/s
+        let est = migrated_compute(&r, &cfg);
+        assert!((est.as_millis_f64() - 10.0).abs() < 0.2, "{est}");
+    }
+
+    #[test]
+    fn migrate_bounded_by_copies() {
+        let cfg = SystemConfig::discrete();
+        let r = report(50, 1, 1, 0);
+        assert_eq!(migrated_compute(&r, &cfg), Ps::from_millis(50));
+    }
+
+    #[test]
+    fn estimates_normalize() {
+        let cfg = SystemConfig::discrete();
+        let r = report(5, 3, 8, 0);
+        let e = estimates(&r, &cfg, Ps::from_millis(16));
+        assert!((e.overlap_rel - 0.5).abs() < 1e-9);
+        assert!(e.migrate_rel <= e.overlap_rel + 1e-12);
+    }
+}

@@ -1,0 +1,753 @@
+//! Lowering a benchmark pipeline onto a platform and organization.
+//!
+//! This is the porting step the paper performs on real benchmarks, made
+//! explicit:
+//!
+//! * **Copy elimination** — on the heterogeneous processor, elidable copies
+//!   vanish (CUDA-library interception plus manual fixes); non-elidable
+//!   copies become on-chip memcpys (the "limited-copy" residue).
+//! * **Kernel fission + asynchronous streams** ([`Organization::AsyncStreams`])
+//!   — on the discrete system, chunk each `[H2D*, kernel, D2H*]` group so
+//!   transfers overlap execution (§II's 3-wide stream organization).
+//! * **Chunked producer-consumer** ([`Organization::ChunkedParallel`]) — on
+//!   the heterogeneous processor, chunk every data-parallel stage and
+//!   synchronize chunk-wise through memory ("data ready" flags), letting
+//!   consumers start while producers still run and letting small chunks pass
+//!   through cache (§II's "Parallel" and "Parallel + Cache").
+//!
+//! The result is a task DAG with data dependencies; execution order within a
+//! component is decided by the runner's serial servers.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use heteropipe_mem::{AddrRange, AddressSpace, Allocator};
+use heteropipe_workloads::{BufferId, BufferInit, CopyDir, ExecKind, Pipeline, Stage};
+
+use crate::config::{Platform, SystemConfig};
+
+/// How the benchmark's stages are scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Organization {
+    /// Bulk-synchronous, exactly as written: one stage at a time.
+    Serial,
+    /// Kernel fission + asynchronous copy streams (discrete system).
+    AsyncStreams {
+        /// Stream width (the paper validates 3-4).
+        streams: u32,
+    },
+    /// Chunked producer-consumer with in-memory signals (heterogeneous
+    /// processor).
+    ChunkedParallel {
+        /// Chunks per data-parallel stage.
+        chunks: u32,
+    },
+}
+
+impl fmt::Display for Organization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Organization::Serial => write!(f, "serial"),
+            Organization::AsyncStreams { streams } => write!(f, "async-streams({streams})"),
+            Organization::ChunkedParallel { chunks } => write!(f, "chunked-parallel({chunks})"),
+        }
+    }
+}
+
+/// A buffer's physical materialization on a platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedBuffer {
+    /// CPU-space instance (discrete) or the single shared instance
+    /// (heterogeneous).
+    pub host: Option<AddrRange>,
+    /// GPU-space instance (discrete only).
+    pub dev: Option<AddrRange>,
+}
+
+impl ResolvedBuffer {
+    /// The range CPU stages and the host side of copies use.
+    pub fn cpu_range(&self) -> AddrRange {
+        self.host
+            .or(self.dev)
+            .expect("buffer materialized somewhere")
+    }
+
+    /// The range GPU kernels and the device side of copies use.
+    pub fn gpu_range(&self) -> AddrRange {
+        self.dev
+            .or(self.host)
+            .expect("buffer materialized somewhere")
+    }
+}
+
+/// Which serial server executes a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Server {
+    /// The CPU cores.
+    Cpu,
+    /// The GPU.
+    Gpu,
+    /// The copy engine (PCIe DMA, or the memcpy path for residual copies).
+    Copy,
+}
+
+/// Index of a task in a [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+/// What a task does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskBody {
+    /// Execute (a chunk of) the compute stage at `stage` in the original
+    /// pipeline.
+    Compute {
+        /// Index into `Pipeline::stages`.
+        stage: usize,
+    },
+    /// Perform (a chunk of) a PCIe DMA copy.
+    DmaCopy {
+        /// Index into `Pipeline::stages`.
+        stage: usize,
+    },
+    /// Perform a residual copy as an on-chip memcpy (heterogeneous only).
+    SharedMemcpy {
+        /// Index into `Pipeline::stages`.
+        stage: usize,
+    },
+}
+
+impl TaskBody {
+    /// The original pipeline stage index.
+    pub fn stage(&self) -> usize {
+        match *self {
+            TaskBody::Compute { stage }
+            | TaskBody::DmaCopy { stage }
+            | TaskBody::SharedMemcpy { stage } => stage,
+        }
+    }
+}
+
+/// One schedulable unit.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Position in the graph (also the deterministic tie-break priority).
+    pub id: TaskId,
+    /// What to do.
+    pub body: TaskBody,
+    /// This task's chunk `(i, n)` of its stage.
+    pub chunk: (u32, u32),
+    /// Post-elision sequential stage number, shared by all chunks of one
+    /// stage — the classifier's pipeline-stage clock.
+    pub seq_stage: u32,
+    /// Tasks that must complete first.
+    pub deps: Vec<TaskId>,
+}
+
+impl Task {
+    /// Which server runs this task (GPU kernels on the GPU, compute stages
+    /// on the CPU, all copies on the copy engine).
+    pub fn server(&self, pipeline: &Pipeline) -> Server {
+        match self.body {
+            TaskBody::Compute { stage } => {
+                match pipeline.stages[stage]
+                    .as_compute()
+                    .expect("compute stage")
+                    .exec
+                {
+                    ExecKind::Cpu => Server::Cpu,
+                    ExecKind::Gpu => Server::Gpu,
+                }
+            }
+            TaskBody::DmaCopy { .. } | TaskBody::SharedMemcpy { .. } => Server::Copy,
+        }
+    }
+}
+
+/// The lowered form of a pipeline: resolved buffers plus the task DAG.
+#[derive(Debug, Clone)]
+pub struct TaskGraph {
+    /// One entry per pipeline buffer.
+    pub buffers: Vec<ResolvedBuffer>,
+    /// The tasks in creation (priority) order.
+    pub tasks: Vec<Task>,
+    /// Number of surviving (post-elision) stages.
+    pub stage_count: u32,
+}
+
+/// One recorded access for dependency tracking: who, from which stage,
+/// which chunk, and whether the access followed the stage's chunking.
+#[derive(Debug, Clone, Copy)]
+struct AccessRecord {
+    task: TaskId,
+    stage: usize,
+    chunk_i: u32,
+    chunk_n: u32,
+    follows: bool,
+}
+
+impl AccessRecord {
+    /// Whether an access to chunk `(i, n)` with `follows` chunking is
+    /// guaranteed disjoint from this record (same chunk grid, different
+    /// chunk).
+    fn disjoint_from(&self, i: u32, n: u32, follows: bool) -> bool {
+        self.follows && follows && self.chunk_n == n && self.chunk_i != i
+    }
+}
+
+/// Tracks, per (buffer, side), the current writing stage's chunks and the
+/// readers of that data, for chunk-aware dependency edges. When a new stage
+/// starts writing the buffer, the previous writers and readers become the
+/// hazard set it must wait for.
+#[derive(Default)]
+struct BufTrack {
+    writers: Vec<AccessRecord>,
+    readers: Vec<AccessRecord>,
+}
+
+/// The memory side a dependency is tracked on (host and device copies of a
+/// mirrored buffer are distinct data in the discrete system).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Side {
+    Host,
+    Dev,
+}
+
+/// Lowers `pipeline` for `config` under `org`.
+///
+/// `misalignment_sensitive` is the benchmark's Fig. 5 `*` flag: on the
+/// heterogeneous processor with the default (non-aligning) allocator, its
+/// shared buffers lose line alignment.
+///
+/// # Examples
+///
+/// ```
+/// use heteropipe::{lower, Organization, SystemConfig};
+/// use heteropipe_workloads::{registry, Scale};
+///
+/// let p = registry::find("rodinia/kmeans").unwrap()
+///     .pipeline(Scale::TEST).unwrap();
+/// // Copy elision: the heterogeneous lowering has fewer tasks.
+/// let d = lower(&p, &SystemConfig::discrete(), Organization::Serial, false);
+/// let h = lower(&p, &SystemConfig::heterogeneous(), Organization::Serial, false);
+/// assert!(h.tasks.len() < d.tasks.len());
+/// ```
+///
+/// # Panics
+///
+/// Panics if the organization is invalid for the platform (async streams
+/// need a copy engine; chunked producer-consumer needs coherent shared
+/// memory).
+pub fn lower(
+    pipeline: &Pipeline,
+    config: &SystemConfig,
+    org: Organization,
+    misalignment_sensitive: bool,
+) -> TaskGraph {
+    match (config.platform, org) {
+        (Platform::DiscreteGpu, Organization::ChunkedParallel { .. }) => {
+            panic!("chunked producer-consumer requires the heterogeneous processor")
+        }
+        (Platform::Heterogeneous, Organization::AsyncStreams { .. }) => {
+            panic!("asynchronous copy streams require the discrete system")
+        }
+        _ => {}
+    }
+
+    // --- Buffer resolution -------------------------------------------------
+    let mut alloc = Allocator::new();
+    let buffers: Vec<ResolvedBuffer> = pipeline
+        .buffers
+        .iter()
+        .map(|b| match config.platform {
+            Platform::DiscreteGpu => {
+                let host = (b.mirrored || b.init == BufferInit::Host)
+                    .then(|| alloc.alloc(AddressSpace::Cpu, b.bytes, true));
+                let dev = Some(alloc.alloc(AddressSpace::Gpu, b.bytes, true));
+                ResolvedBuffer { host, dev }
+            }
+            Platform::Heterogeneous => {
+                let aligned = config.aligned_allocator || !misalignment_sensitive || !b.mirrored;
+                ResolvedBuffer {
+                    host: Some(alloc.alloc(AddressSpace::Cpu, b.bytes, aligned)),
+                    dev: None,
+                }
+            }
+        })
+        .collect();
+
+    // --- Stage selection (copy elision) ------------------------------------
+    let hetero = config.platform == Platform::Heterogeneous;
+    let surviving: Vec<usize> = pipeline
+        .stages
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| match s {
+            Stage::Copy(c) => !(hetero && c.elidable),
+            Stage::Compute(_) => true,
+        })
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut builder = GraphBuilder {
+        pipeline,
+        hetero,
+        tasks: Vec::new(),
+        track: HashMap::new(),
+        seq_of_stage: HashMap::new(),
+        seq: 0,
+        serial_chain: matches!(org, Organization::Serial),
+        last_task: None,
+    };
+
+    match org {
+        Organization::Serial => {
+            for &s in &surviving {
+                builder.add_chunk(s, 0, 1);
+            }
+        }
+        Organization::ChunkedParallel { chunks } => {
+            for &s in &surviving {
+                let n = match &pipeline.stages[s] {
+                    Stage::Compute(c) if c.chunkable => chunks,
+                    _ => 1,
+                };
+                for i in 0..n {
+                    builder.add_chunk(s, i, n);
+                }
+            }
+        }
+        Organization::AsyncStreams { streams } => {
+            // Detect fission groups and emit their chunks *interleaved*
+            // (chunk-major), the order a stream queue would see, so the
+            // serial copy engine services stream i's transfers before
+            // stream i+1's.
+            let mut i = 0;
+            while i < surviving.len() {
+                match fission_group(pipeline, &surviving[i..]) {
+                    Some(len) => {
+                        for chunk in 0..streams {
+                            for &s in &surviving[i..i + len] {
+                                builder.add_chunk(s, chunk, streams);
+                            }
+                        }
+                        i += len;
+                    }
+                    None => {
+                        builder.add_chunk(surviving[i], 0, 1);
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let tasks = builder.tasks;
+    let stage_count = builder.seq;
+    TaskGraph {
+        buffers,
+        tasks,
+        stage_count,
+    }
+}
+
+/// If `rest` starts with a fissionable group, returns its stage count.
+/// A group is `[H2D copies feeding K][K: chunkable GPU kernel][D2H copies
+/// reading K's outputs][optional chunkable CPU consumer of those outputs]`
+/// — at least one copy must be present for fission to buy anything. The
+/// trailing CPU consumer is chunked too: the paper's §V-A validation chunks
+/// the consumer code so it processes each streamed chunk as it lands.
+fn fission_group(pipeline: &Pipeline, rest: &[usize]) -> Option<usize> {
+    let mut idx = 0;
+    let mut h2d_bufs = Vec::new();
+    while idx < rest.len() {
+        match &pipeline.stages[rest[idx]] {
+            Stage::Copy(c) if c.dir == CopyDir::H2D => {
+                h2d_bufs.push(c.buf);
+                idx += 1;
+            }
+            _ => break,
+        }
+    }
+    let kernel = match pipeline.stages.get(*rest.get(idx)?)? {
+        Stage::Compute(c) if c.exec == ExecKind::Gpu && c.chunkable => c,
+        _ => return None,
+    };
+    // The H2Ds must feed the kernel (or there must be trailing D2Hs).
+    let kernel_reads: Vec<BufferId> = kernel.patterns.iter().map(|p| p.buf).collect();
+    if !h2d_bufs.iter().all(|b| kernel_reads.contains(b)) {
+        return None;
+    }
+    let kernel_writes: Vec<BufferId> = kernel
+        .patterns
+        .iter()
+        .filter(|p| p.kind.is_write())
+        .map(|p| p.buf)
+        .collect();
+    let mut end = idx + 1;
+    let mut d2h_bufs = Vec::new();
+    while end < rest.len() {
+        match &pipeline.stages[rest[end]] {
+            Stage::Copy(c) if c.dir == CopyDir::D2H && kernel_writes.contains(&c.buf) => {
+                d2h_bufs.push(c.buf);
+                end += 1;
+            }
+            _ => break,
+        }
+    }
+    if h2d_bufs.is_empty() && end == idx + 1 {
+        return None; // no copies to overlap
+    }
+    // A chunkable CPU stage consuming the streamed-back outputs joins the
+    // group so it can process chunks as they arrive.
+    if !d2h_bufs.is_empty() {
+        if let Some(&s) = rest.get(end) {
+            if let Stage::Compute(c) = &pipeline.stages[s] {
+                let consumes_stream = c
+                    .patterns
+                    .iter()
+                    .any(|p| !p.kind.is_write() && d2h_bufs.contains(&p.buf));
+                if c.exec == ExecKind::Cpu && c.chunkable && consumes_stream {
+                    end += 1;
+                }
+            }
+        }
+    }
+    Some(end)
+}
+
+struct GraphBuilder<'a> {
+    pipeline: &'a Pipeline,
+    hetero: bool,
+    tasks: Vec<Task>,
+    track: HashMap<(BufferId, Side), BufTrack>,
+    seq_of_stage: HashMap<usize, u32>,
+    seq: u32,
+    serial_chain: bool,
+    last_task: Option<TaskId>,
+}
+
+impl GraphBuilder<'_> {
+    /// Appends chunk `i` of `n` of pipeline stage `stage`, wiring data
+    /// dependencies against the current tracking state. Chunks of one stage
+    /// never depend on each other (they are the same logical kernel).
+    fn add_chunk(&mut self, stage: usize, i: u32, n: u32) {
+        let n = n.max(1);
+        let seq_stage = *self.seq_of_stage.entry(stage).or_insert_with(|| {
+            let s = self.seq;
+            self.seq += 1;
+            s
+        });
+        // (buffer, side, is_write, follows_chunk) access list for deps.
+        let (body, accesses): (TaskBody, Vec<(BufferId, Side, bool, bool)>) =
+            match &self.pipeline.stages[stage] {
+                Stage::Copy(c) => {
+                    let body = if self.hetero {
+                        TaskBody::SharedMemcpy { stage }
+                    } else {
+                        TaskBody::DmaCopy { stage }
+                    };
+                    let (src, dst) = match c.dir {
+                        CopyDir::H2D => (Side::Host, Side::Dev),
+                        CopyDir::D2H => (Side::Dev, Side::Host),
+                    };
+                    let acc = if self.hetero {
+                        vec![
+                            (c.buf, Side::Host, false, true),
+                            (c.buf, Side::Host, true, true),
+                        ]
+                    } else {
+                        vec![(c.buf, src, false, true), (c.buf, dst, true, true)]
+                    };
+                    (body, acc)
+                }
+                Stage::Compute(c) => {
+                    let side = if self.hetero || c.exec == ExecKind::Cpu {
+                        Side::Host
+                    } else {
+                        Side::Dev
+                    };
+                    let acc = c
+                        .patterns
+                        .iter()
+                        .map(|p| (p.buf, side, p.kind.is_write(), p.follows_chunk))
+                        .collect();
+                    (TaskBody::Compute { stage }, acc)
+                }
+            };
+
+        let id = TaskId(self.tasks.len());
+        let mut deps: Vec<TaskId> = Vec::new();
+        if self.serial_chain {
+            if let Some(prev) = self.last_task {
+                deps.push(prev);
+            }
+        } else {
+            for &(buf, side, is_write, follows) in &accesses {
+                let t = self.track.entry((buf, side)).or_default();
+                // RAW (reads) and WAW (writes) against the current writers.
+                for w in &t.writers {
+                    if w.stage == stage || w.disjoint_from(i, n, follows) {
+                        continue;
+                    }
+                    deps.push(w.task);
+                }
+                // WAR against readers of the data being overwritten.
+                if is_write {
+                    for r in &t.readers {
+                        if r.stage == stage || r.disjoint_from(i, n, follows) {
+                            continue;
+                        }
+                        deps.push(r.task);
+                    }
+                }
+            }
+            deps.sort();
+            deps.dedup();
+            deps.retain(|d| *d != id);
+        }
+        self.tasks.push(Task {
+            id,
+            body,
+            chunk: (i, n),
+            seq_stage,
+            deps,
+        });
+        self.last_task = Some(id);
+        // Update tracking.
+        if !self.serial_chain {
+            for &(buf, side, is_write, follows) in &accesses {
+                let t = self.track.entry((buf, side)).or_default();
+                let rec = AccessRecord {
+                    task: id,
+                    stage,
+                    chunk_i: i,
+                    chunk_n: n,
+                    follows,
+                };
+                if is_write {
+                    // A new writing stage supersedes the previous epoch's
+                    // writers and readers (their hazards were just encoded
+                    // in this chunk's deps — and in its siblings', since
+                    // every sibling chunk ran the dep scan against the same
+                    // epoch before any sibling write landed here).
+                    if !t.writers.iter().any(|w| w.stage == stage) {
+                        t.writers.clear();
+                        t.readers.clear();
+                    }
+                    t.writers.push(rec);
+                } else {
+                    t.readers.push(rec);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteropipe_workloads::{Pattern, PipelineBuilder, Scale};
+
+    fn demo_pipeline() -> Pipeline {
+        let mut b = PipelineBuilder::new("test/demo");
+        let input = b.host("in", 1 << 20);
+        let out = b.result("out", 1 << 20);
+        b.h2d(input);
+        b.gpu("k", 1 << 16, 8.0, 4.0)
+            .reads(input, Pattern::Stream { passes: 1 })
+            .writes(out, Pattern::Stream { passes: 1 });
+        b.d2h(out);
+        b.cpu("post", 1 << 14, 10.0, 2.0)
+            .reads(out, Pattern::Stream { passes: 1 });
+        b.build()
+    }
+
+    #[test]
+    fn serial_discrete_is_a_chain() {
+        let p = demo_pipeline();
+        let g = lower(&p, &SystemConfig::discrete(), Organization::Serial, false);
+        assert_eq!(g.tasks.len(), 4);
+        assert_eq!(g.stage_count, 4);
+        for (i, t) in g.tasks.iter().enumerate() {
+            if i == 0 {
+                assert!(t.deps.is_empty());
+            } else {
+                assert_eq!(t.deps, vec![TaskId(i - 1)]);
+            }
+        }
+    }
+
+    #[test]
+    fn hetero_serial_drops_elidable_copies() {
+        let p = demo_pipeline();
+        let g = lower(
+            &p,
+            &SystemConfig::heterogeneous(),
+            Organization::Serial,
+            false,
+        );
+        // Only the two compute stages survive.
+        assert_eq!(g.tasks.len(), 2);
+        assert!(g
+            .tasks
+            .iter()
+            .all(|t| matches!(t.body, TaskBody::Compute { .. })));
+        // One shared instance per buffer.
+        for b in &g.buffers {
+            assert!(b.host.is_some());
+            assert!(b.dev.is_none());
+        }
+    }
+
+    #[test]
+    fn discrete_mirrors_buffers() {
+        let p = demo_pipeline();
+        let g = lower(&p, &SystemConfig::discrete(), Organization::Serial, false);
+        for b in &g.buffers {
+            assert!(b.host.is_some());
+            assert!(b.dev.is_some());
+            assert_ne!(b.cpu_range().start(), b.gpu_range().start());
+        }
+    }
+
+    #[test]
+    fn async_streams_chunks_the_fission_group() {
+        let p = demo_pipeline();
+        let g = lower(
+            &p,
+            &SystemConfig::discrete(),
+            Organization::AsyncStreams { streams: 3 },
+            false,
+        );
+        // h2d, kernel, d2h, and the consuming cpu stage: 3 chunks each.
+        assert_eq!(g.tasks.len(), 12);
+        // Kernel chunk i depends on h2d chunk i only.
+        let kernels: Vec<&Task> = g
+            .tasks
+            .iter()
+            .filter(|t| matches!(t.body, TaskBody::Compute { stage: 1 }))
+            .collect();
+        assert_eq!(kernels.len(), 3);
+        for (i, k) in kernels.iter().enumerate() {
+            assert_eq!(k.deps.len(), 1, "kernel chunk deps: {:?}", k.deps);
+            let dep = &g.tasks[k.deps[0].0];
+            assert!(matches!(dep.body, TaskBody::DmaCopy { stage: 0 }));
+            assert_eq!(dep.chunk.0 as usize, i);
+        }
+    }
+
+    #[test]
+    fn chunked_parallel_links_producer_consumer_chunks() {
+        let p = demo_pipeline();
+        let g = lower(
+            &p,
+            &SystemConfig::heterogeneous(),
+            Organization::ChunkedParallel { chunks: 4 },
+            false,
+        );
+        // 4 kernel chunks + 4 cpu chunks.
+        assert_eq!(g.tasks.len(), 8);
+        let consumers: Vec<&Task> = g
+            .tasks
+            .iter()
+            .filter(|t| matches!(t.body, TaskBody::Compute { stage: 3 }))
+            .collect();
+        assert_eq!(consumers.len(), 4);
+        for (i, c) in consumers.iter().enumerate() {
+            assert_eq!(c.deps.len(), 1);
+            let dep = &g.tasks[c.deps[0].0];
+            assert_eq!(
+                dep.chunk.0 as usize, i,
+                "consumer {i} pairs with producer {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn sticky_copies_become_memcpy_on_hetero() {
+        let mut b = PipelineBuilder::new("test/sticky");
+        let buf = b.host("x", 1 << 16);
+        b.sticky_copy(buf, CopyDir::H2D, None);
+        b.gpu("k", 4096, 4.0, 0.0)
+            .reads(buf, Pattern::Stream { passes: 1 });
+        let p = b.build();
+        let g = lower(
+            &p,
+            &SystemConfig::heterogeneous(),
+            Organization::Serial,
+            false,
+        );
+        assert_eq!(g.tasks.len(), 2);
+        assert!(matches!(g.tasks[0].body, TaskBody::SharedMemcpy { .. }));
+    }
+
+    #[test]
+    fn misaligned_buffers_only_when_flagged() {
+        let p = demo_pipeline();
+        let aligned = lower(
+            &p,
+            &SystemConfig::heterogeneous(),
+            Organization::Serial,
+            false,
+        );
+        let misaligned = lower(
+            &p,
+            &SystemConfig::heterogeneous(),
+            Organization::Serial,
+            true,
+        );
+        assert!(aligned.buffers[0].cpu_range().start().is_line_aligned());
+        assert!(!misaligned.buffers[0].cpu_range().start().is_line_aligned());
+    }
+
+    #[test]
+    #[should_panic(expected = "heterogeneous")]
+    fn chunked_parallel_rejected_on_discrete() {
+        let p = demo_pipeline();
+        let _ = lower(
+            &p,
+            &SystemConfig::discrete(),
+            Organization::ChunkedParallel { chunks: 2 },
+            false,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "discrete")]
+    fn async_streams_rejected_on_hetero() {
+        let p = demo_pipeline();
+        let _ = lower(
+            &p,
+            &SystemConfig::heterogeneous(),
+            Organization::AsyncStreams { streams: 2 },
+            false,
+        );
+    }
+
+    #[test]
+    fn real_benchmark_lowers_on_both_platforms() {
+        let kmeans = heteropipe_workloads::registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let d = lower(
+            &kmeans,
+            &SystemConfig::discrete(),
+            Organization::Serial,
+            false,
+        );
+        let h = lower(
+            &kmeans,
+            &SystemConfig::heterogeneous(),
+            Organization::Serial,
+            false,
+        );
+        assert!(d.tasks.len() > h.tasks.len(), "elision removes tasks");
+        // DAG sanity: all deps point backwards.
+        for t in d.tasks.iter().chain(h.tasks.iter()) {
+            for dep in &t.deps {
+                assert!(dep.0 < t.id.0);
+            }
+        }
+    }
+}

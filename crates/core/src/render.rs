@@ -1,0 +1,210 @@
+//! Plain-text rendering of experiment results: aligned tables, horizontal
+//! stacked bars (the closest terminal analogue of the paper's bar charts),
+//! and CSV for machine consumption.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use heteropipe::render::TextTable;
+///
+/// let mut t = TextTable::new(&["bench", "time"]);
+/// t.row(&["kmeans", "12.3ms"]);
+/// let s = t.render();
+/// assert!(s.contains("bench"));
+/// assert!(s.contains("kmeans"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header's.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:<width$}", c, width = widths[i]);
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncol - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            write_row(&mut out, r);
+        }
+        out
+    }
+
+    /// Renders as CSV (comma-separated, quotes only when needed).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let line = |cells: &[String]| cells.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",");
+        out.push_str(&line(&self.header));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&line(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a horizontal stacked bar of `width` characters where each
+/// `(label_char, fraction)` segment occupies its share. Fractions are
+/// relative to `full_scale` (1.0 = full width).
+///
+/// # Examples
+///
+/// ```
+/// use heteropipe::render::stacked_bar;
+///
+/// let bar = stacked_bar(&[('C', 0.5), ('G', 0.25)], 0.75, 8);
+/// assert_eq!(bar.len(), 8);
+/// assert!(bar.starts_with("CCCC"));
+/// ```
+pub fn stacked_bar(segments: &[(char, f64)], total: f64, width: usize) -> String {
+    let mut out = String::with_capacity(width);
+    let mut used = 0usize;
+    for &(ch, frac) in segments {
+        let cells = ((frac * width as f64).round() as usize).min(width - used.min(width));
+        for _ in 0..cells {
+            out.push(ch);
+        }
+        used += cells;
+    }
+    let total_cells = ((total * width as f64).round() as usize).min(width);
+    while out.len() < total_cells {
+        out.push('.');
+    }
+    while out.len() < width {
+        out.push(' ');
+    }
+    out.truncate(width);
+    out
+}
+
+/// Formats a ratio as a percentage with one decimal, e.g. `42.5%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a byte count with binary units.
+pub fn bytes_human(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b}B")
+    } else {
+        format!("{v:.1}{}", UNITS[u])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(&["a", "long_header"]);
+        t.row(&["xxxxxx", "1"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].starts_with("xxxxxx"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only one"]);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = TextTable::new(&["name", "note"]);
+        t.row(&["x,y", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn bar_fills_and_pads() {
+        let bar = stacked_bar(&[('C', 0.5), ('G', 0.5)], 1.0, 10);
+        assert_eq!(bar, "CCCCCGGGGG");
+        let short = stacked_bar(&[('C', 0.2)], 0.5, 10);
+        assert_eq!(short.len(), 10);
+        assert!(short.contains('.'));
+        assert!(short.ends_with(' '));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.425), "42.5%");
+        assert_eq!(bytes_human(512), "512B");
+        assert_eq!(bytes_human(2048), "2.0KiB");
+        assert_eq!(bytes_human(3 * 1024 * 1024), "3.0MiB");
+    }
+}

@@ -1,0 +1,177 @@
+//! Run results: everything the paper's figures are derived from.
+
+use heteropipe_sim::Ps;
+
+use crate::classify::ClassCounts;
+use crate::config::Platform;
+use crate::footprint::TouchSet;
+use crate::organize::Organization;
+
+/// Busy time per component over the region of interest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ComponentTimes {
+    /// Copy engine (PCIe DMA or residual memcpy).
+    pub copy: Ps,
+    /// CPU cores (stages, launches, fault handling).
+    pub cpu: Ps,
+    /// GPU SMs.
+    pub gpu: Ps,
+}
+
+impl ComponentTimes {
+    /// The `P`, `C`, `G` of the paper's Eq. 1/2 as fractions of `roi`.
+    pub fn portions(&self, roi: Ps) -> (f64, f64, f64) {
+        (
+            self.copy.fraction_of(roi),
+            self.cpu.fraction_of(roi),
+            self.gpu.fraction_of(roi),
+        )
+    }
+}
+
+/// Time during which exactly one combination of components was active
+/// ("copy", "cpu+gpu", ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExclusiveSlice {
+    /// `+`-joined component names, alphabetical.
+    pub components: String,
+    /// Duration of that exact activity combination.
+    pub time: Ps,
+}
+
+/// Everything measured over one benchmark execution.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Benchmark name (`suite/bench`).
+    pub benchmark: String,
+    /// System it ran on.
+    pub platform: Platform,
+    /// Organization it ran under.
+    pub organization: Organization,
+    /// Region-of-interest run time.
+    pub roi: Ps,
+    /// Per-component busy time.
+    pub busy: ComponentTimes,
+    /// Exclusive activity breakdown (Fig. 3 / Fig. 6 bars).
+    pub exclusive: Vec<ExclusiveSlice>,
+    /// Line accesses issued per component, indexed by
+    /// `Component::index()` (copy, cpu, gpu) — Fig. 5.
+    pub accesses: [u64; 3],
+    /// Off-chip line fetches.
+    pub offchip_fetches: u64,
+    /// Off-chip line writebacks.
+    pub offchip_writebacks: u64,
+    /// Total off-chip bytes (the `M` of Eq. 3).
+    pub offchip_bytes: u64,
+    /// Off-chip access classification (Fig. 9).
+    pub classes: ClassCounts,
+    /// Footprint by exact component subset (Fig. 4).
+    pub footprint: Vec<(TouchSet, u64)>,
+    /// Total distinct bytes touched.
+    pub total_footprint: u64,
+    /// GPU page faults taken (heterogeneous processor only).
+    pub faults: u64,
+    /// Launch/setup time not overlapped by GPU or copy activity — the
+    /// `C_serial` of Eq. 1, measured exactly as the paper describes.
+    pub c_serial: Ps,
+    /// FLOPs retired on the CPU.
+    pub cpu_flops: u64,
+    /// FLOPs retired on the GPU.
+    pub gpu_flops: u64,
+    /// Coherent cache-to-cache transfers serviced (heterogeneous only).
+    pub remote_hits: u64,
+    /// Whether achieved off-chip bandwidth ran near the memory's limit
+    /// (the `*` marker of Fig. 9).
+    pub bw_limited: bool,
+}
+
+impl RunReport {
+    /// GPU utilization: busy fraction of the ROI (the §II metric: kmeans
+    /// baseline 18% rising to 80%).
+    pub fn gpu_utilization(&self) -> f64 {
+        self.busy.gpu.fraction_of(self.roi)
+    }
+
+    /// Total line accesses across components.
+    pub fn total_accesses(&self) -> u64 {
+        self.accesses.iter().sum()
+    }
+
+    /// The FLOP opportunity cost: the fraction of available FLOPs unused
+    /// because a core type was idle (§II's footnote 1), given peak rates.
+    pub fn flop_opportunity_cost(&self, cpu_peak: f64, gpu_peak: f64) -> f64 {
+        let roi = self.roi.as_secs_f64();
+        if roi <= 0.0 {
+            return 0.0;
+        }
+        let available = (cpu_peak + gpu_peak) * roi;
+        let used_window =
+            cpu_peak * self.busy.cpu.as_secs_f64() + gpu_peak * self.busy.gpu.as_secs_f64();
+        (1.0 - used_window / available).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portions_fraction_of_roi() {
+        let ct = ComponentTimes {
+            copy: Ps::from_millis(5),
+            cpu: Ps::from_millis(3),
+            gpu: Ps::from_millis(2),
+        };
+        let (p, c, g) = ct.portions(Ps::from_millis(10));
+        assert!((p - 0.5).abs() < 1e-12);
+        assert!((c - 0.3).abs() < 1e-12);
+        assert!((g - 0.2).abs() < 1e-12);
+    }
+
+    fn dummy_report() -> RunReport {
+        RunReport {
+            benchmark: "test/x".into(),
+            platform: Platform::DiscreteGpu,
+            organization: Organization::Serial,
+            roi: Ps::from_millis(10),
+            busy: ComponentTimes {
+                copy: Ps::from_millis(5),
+                cpu: Ps::from_millis(3),
+                gpu: Ps::from_millis(2),
+            },
+            exclusive: Vec::new(),
+            accesses: [10, 20, 70],
+            offchip_fetches: 50,
+            offchip_writebacks: 10,
+            offchip_bytes: 60 * 128,
+            classes: ClassCounts::default(),
+            footprint: Vec::new(),
+            total_footprint: 0,
+            faults: 0,
+            c_serial: Ps::ZERO,
+            cpu_flops: 0,
+            gpu_flops: 0,
+            remote_hits: 0,
+            bw_limited: false,
+        }
+    }
+
+    #[test]
+    fn utilization_and_totals() {
+        let r = dummy_report();
+        assert!((r.gpu_utilization() - 0.2).abs() < 1e-12);
+        assert_eq!(r.total_accesses(), 100);
+    }
+
+    #[test]
+    fn opportunity_cost_bounds() {
+        let r = dummy_report();
+        let cost = r.flop_opportunity_cost(56.0e9, 358.4e9);
+        assert!(cost > 0.0 && cost < 1.0);
+        // Fully-busy GPU and CPU would have zero cost.
+        let mut full = dummy_report();
+        full.busy.cpu = Ps::from_millis(10);
+        full.busy.gpu = Ps::from_millis(10);
+        assert!(full.flop_opportunity_cost(56.0e9, 358.4e9).abs() < 1e-12);
+    }
+}

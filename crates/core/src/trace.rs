@@ -1,0 +1,169 @@
+//! Task-level execution traces and Chrome-trace export.
+//!
+//! [`run_traced`](crate::run::run_traced) records one [`TaskSpan`] per
+//! executed task; [`to_chrome_json`] serializes them in the Chrome tracing
+//! (`chrome://tracing` / Perfetto) JSON array format, with one row per
+//! component, so a run's copy/CPU/GPU interleaving can be inspected
+//! visually. The format is hand-rolled (a flat array of complete events) to
+//! stay within the workspace's dependency budget.
+
+use std::fmt::Write as _;
+
+use heteropipe_sim::Ps;
+
+use crate::organize::Server;
+
+/// One executed task's placement in time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpan {
+    /// Stage name from the pipeline ("distance_assign_0", "copy", ...).
+    pub name: String,
+    /// Which component ran it.
+    pub server: Server,
+    /// Chunk `(i, n)`.
+    pub chunk: (u32, u32),
+    /// Start time.
+    pub start: Ps,
+    /// End time.
+    pub end: Ps,
+}
+
+impl TaskSpan {
+    /// The span's duration.
+    pub fn duration(&self) -> Ps {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serializes spans as a Chrome tracing JSON array (complete "X" events,
+/// microsecond timestamps, one thread id per component).
+///
+/// # Examples
+///
+/// ```
+/// use heteropipe::trace::{to_chrome_json, TaskSpan};
+/// use heteropipe::Server;
+/// use heteropipe_sim::Ps;
+///
+/// let spans = vec![TaskSpan {
+///     name: "kernel".into(),
+///     server: Server::Gpu,
+///     chunk: (0, 1),
+///     start: Ps::ZERO,
+///     end: Ps::from_micros(5),
+/// }];
+/// let json = to_chrome_json("demo", &spans);
+/// assert!(json.contains("\"ph\":\"X\""));
+/// assert!(json.contains("\"dur\":5"));
+/// ```
+pub fn to_chrome_json(run_name: &str, spans: &[TaskSpan]) -> String {
+    let mut out = String::from("[\n");
+    let tid = |s: Server| match s {
+        Server::Copy => 0,
+        Server::Cpu => 1,
+        Server::Gpu => 2,
+    };
+    for (label, t) in [("copy-engine", 0), ("cpu", 1), ("gpu", 2)] {
+        let _ = writeln!(
+            out,
+            "  {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{t},\"args\":{{\"name\":\"{label}\"}}}},"
+        );
+    }
+    for (i, s) in spans.iter().enumerate() {
+        let name = if s.chunk.1 > 1 {
+            format!("{} [{}/{}]", s.name, s.chunk.0 + 1, s.chunk.1)
+        } else {
+            s.name.clone()
+        };
+        let _ = write!(
+            out,
+            "  {{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}}}",
+            escape(&name),
+            escape(run_name),
+            tid(s.server),
+            s.start.as_micros_f64(),
+            s.duration().as_micros_f64().max(0.001),
+        );
+        out.push_str(if i + 1 == spans.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, server: Server, start_us: u64, end_us: u64) -> TaskSpan {
+        TaskSpan {
+            name: name.into(),
+            server,
+            chunk: (0, 1),
+            start: Ps::from_micros(start_us),
+            end: Ps::from_micros(end_us),
+        }
+    }
+
+    #[test]
+    fn duration_is_end_minus_start() {
+        let s = span("x", Server::Cpu, 3, 10);
+        assert_eq!(s.duration(), Ps::from_micros(7));
+    }
+
+    #[test]
+    fn json_is_wellformed_array() {
+        let spans = vec![
+            span("h2d", Server::Copy, 0, 5),
+            span("kernel", Server::Gpu, 5, 25),
+        ];
+        let json = to_chrome_json("test", &spans);
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert_eq!(json.matches("thread_name").count(), 3);
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn chunked_tasks_are_labelled() {
+        let mut s = span("k", Server::Gpu, 0, 1);
+        s.chunk = (2, 8);
+        let json = to_chrome_json("t", &[s]);
+        assert!(json.contains("k [3/8]"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let s = span("weird\"name", Server::Cpu, 0, 1);
+        let json = to_chrome_json("t", &[s]);
+        assert!(json.contains("weird\\\"name"));
+    }
+
+    #[test]
+    fn real_run_produces_a_trace() {
+        use crate::{run, Organization, SystemConfig};
+        use heteropipe_workloads::{registry, Scale};
+        let p = registry::find("rodinia/backprop")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let (report, spans) =
+            run::run_traced(&p, &SystemConfig::discrete(), Organization::Serial, false);
+        assert_eq!(
+            spans.len(),
+            p.stages.len(),
+            "serial run: one span per stage"
+        );
+        // Spans are within the ROI and non-overlapping per server.
+        for s in &spans {
+            assert!(s.end <= report.roi);
+        }
+        let json = to_chrome_json(&report.benchmark, &spans);
+        assert!(json.contains("layerforward"));
+    }
+}

@@ -1,0 +1,367 @@
+//! Pipeline optimization transforms beyond copy elimination — the §VI
+//! research directions, implemented as source-to-source rewrites of the
+//! benchmark IR:
+//!
+//! * [`fuse_adjacent_kernels`] — GPU-GPU kernel fusion [36]: merge a
+//!   producer kernel with the consumer kernel that follows it, so the
+//!   intermediate data is consumed in the same stage (at cache speed when
+//!   it fits) instead of spilling between stages.
+//! * [`migrate_cpu_stages_to_gpu`] / [`auto_migrate`] — compute migration:
+//!   rewrite serial CPU stages as wide GPU kernels (with atomic overhead);
+//!   the `auto` variant migrates only where the bounds models predict a
+//!   win.
+//! * [`suggest_chunks`] — concurrent-footprint estimation: pick the chunk
+//!   count for [`Organization::ChunkedParallel`] so each producer-consumer
+//!   hand-off fits in the GPU-shared L2 (the paper's "estimate concurrent
+//!   memory footprint to place data in available cache").
+//!
+//! [`Organization::ChunkedParallel`]: crate::organize::Organization
+
+use heteropipe_workloads::{ComputeStage, ExecKind, Pipeline, Stage};
+
+use crate::config::SystemConfig;
+
+/// Fuses each chunkable GPU kernel into its immediate GPU consumer when the
+/// consumer's only new input is the producer's output (no copy or CPU stage
+/// between them). Returns the rewritten pipeline and how many fusions were
+/// applied.
+///
+/// Fused stages concatenate work and access patterns; the consumer's reads
+/// of the intermediate now land in the same pipeline stage, where the
+/// functional caches service them on chip if the intermediate fits — the
+/// mechanism by which fusion removes the paper's W-R spills.
+pub fn fuse_adjacent_kernels(pipeline: &Pipeline) -> (Pipeline, usize) {
+    let mut p = pipeline.clone();
+    let mut fused = 0usize;
+    let mut i = 0;
+    while i + 1 < p.stages.len() {
+        let can_fuse = match (&p.stages[i], &p.stages[i + 1]) {
+            (Stage::Compute(a), Stage::Compute(b)) => {
+                a.exec == ExecKind::Gpu
+                    && b.exec == ExecKind::Gpu
+                    && a.chunkable
+                    && b.chunkable
+                    && consumes_output_of(b, a)
+                    && a.scratch_per_cta + b.scratch_per_cta <= 48 * 1024
+            }
+            _ => false,
+        };
+        if can_fuse {
+            let b = match p.stages.remove(i + 1) {
+                Stage::Compute(b) => b,
+                Stage::Copy(_) => unreachable!("checked above"),
+            };
+            let a = match &mut p.stages[i] {
+                Stage::Compute(a) => a,
+                Stage::Copy(_) => unreachable!("checked above"),
+            };
+            a.name = format!("{}+{}", a.name, b.name);
+            a.threads = a.threads.max(b.threads);
+            a.instructions += b.instructions;
+            a.flops += b.flops;
+            a.scratch_per_cta += b.scratch_per_cta;
+            a.patterns.extend(b.patterns);
+            // The fused kernel produces and consumes each tile together:
+            // its patterns interleave, which is where fusion's cache
+            // benefit comes from.
+            a.interleave_patterns = true;
+            fused += 1;
+            // Do not advance: the merged kernel may fuse again with the
+            // next stage (kernel chains collapse fully).
+        } else {
+            i += 1;
+        }
+    }
+    if fused > 0 {
+        p.name = format!("{}+fused", p.name);
+    }
+    (p, fused)
+}
+
+/// A consumer is fusable with a producer only if it consumes the
+/// producer's outputs *elementwise* (chunk-aligned reads): an all-to-all
+/// read (a `reads_all` gather over the whole intermediate, like an
+/// iterative solver's next sweep) needs a global barrier and cannot live
+/// inside one kernel.
+fn consumes_output_of(consumer: &ComputeStage, producer: &ComputeStage) -> bool {
+    let mut consumes = false;
+    for w in producer.patterns.iter().filter(|w| w.kind.is_write()) {
+        for r in consumer.patterns.iter().filter(|r| !r.kind.is_write()) {
+            if r.buf == w.buf {
+                if !r.follows_chunk {
+                    return false; // needs a barrier: not fusable
+                }
+                consumes = true;
+            }
+        }
+    }
+    consumes
+}
+
+/// Rewrites every CPU compute stage as a wide GPU kernel (the paper's §V-B
+/// manual kmeans/strmclstr transformation: matrix-vector and reduction work
+/// moved into kernels with atomics). Instruction counts inflate ~30% for
+/// atomic traffic; memory patterns are unchanged.
+pub fn migrate_cpu_stages_to_gpu(pipeline: &Pipeline) -> Pipeline {
+    migrate_where(pipeline, |_| true)
+}
+
+/// Migrates only the CPU stages the bounds models predict will win on the
+/// GPU: enough work to amortize a kernel launch, even after the atomic
+/// overhead, at the configured FLOP/issue rates. Control slivers (the
+/// convergence checks) stay on the CPU. Returns the rewritten pipeline and
+/// the number of stages migrated.
+pub fn auto_migrate(pipeline: &Pipeline, config: &SystemConfig) -> (Pipeline, usize) {
+    let cpu_rate = config.cpu.issue_width * config.cpu.clock.freq_hz();
+    let gpu_rate = config.gpu.peak_issue_rate();
+    let launch = config.cpu.kernel_launch.as_secs_f64();
+    let mut migrated = 0usize;
+    let p = migrate_where(pipeline, |c| {
+        let cpu_secs = c.instructions as f64 / cpu_rate;
+        let gpu_secs = c.instructions as f64 * 1.3 / gpu_rate + launch;
+        let win = gpu_secs < cpu_secs;
+        if win {
+            migrated += 1;
+        }
+        win
+    });
+    (p, migrated)
+}
+
+fn migrate_where(pipeline: &Pipeline, mut pick: impl FnMut(&ComputeStage) -> bool) -> Pipeline {
+    let mut p = pipeline.clone();
+    let mut any = false;
+    for stage in &mut p.stages {
+        if let Stage::Compute(c) = stage {
+            if c.exec == ExecKind::Cpu && pick(c) {
+                c.exec = ExecKind::Gpu;
+                // Spread the serial work across a wide grid; atomics cost
+                // ~30% extra instructions.
+                let instr = (c.instructions as f64 * 1.3) as u64;
+                c.threads = (instr / 24).max(4096);
+                c.threads_per_cta = 256;
+                c.instructions = instr;
+                c.name = format!("{}_on_gpu", c.name);
+                any = true;
+            }
+        }
+    }
+    if any {
+        p.name = format!("{}+migrated", p.name);
+    }
+    p
+}
+
+/// Picks a chunk count for chunked producer-consumer execution such that
+/// the largest inter-stage intermediate fits in half the GPU-shared L2
+/// (leaving the other half for the stages' own streaming), clamped to
+/// `[2, 64]`. Returns 4 (the paper's validated minimum stream width) when
+/// no producer-consumer intermediate exists.
+pub fn suggest_chunks(pipeline: &Pipeline, config: &SystemConfig) -> u32 {
+    let budget = (config.hierarchy.gpu_l2.capacity_bytes() / 2).max(1);
+    let mut worst: u64 = 0;
+    let stages: Vec<&ComputeStage> = pipeline
+        .stages
+        .iter()
+        .filter_map(Stage::as_compute)
+        .collect();
+    for pair in stages.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if !(a.chunkable && b.chunkable) {
+            continue;
+        }
+        // Bytes handed from a to b.
+        let handed: u64 = a
+            .patterns
+            .iter()
+            .filter(|w| w.kind.is_write())
+            .filter(|w| {
+                b.patterns
+                    .iter()
+                    .any(|r| !r.kind.is_write() && r.buf == w.buf && r.follows_chunk)
+            })
+            .map(|w| pipeline.buffer(w.buf).bytes)
+            .sum();
+        worst = worst.max(handed);
+    }
+    if worst == 0 {
+        return 4;
+    }
+    (worst.div_ceil(budget) as u32).clamp(2, 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::organize::Organization;
+    use crate::run::run;
+    use heteropipe_workloads::{registry, Pattern, PipelineBuilder, Scale};
+
+    fn producer_consumer_pipeline() -> Pipeline {
+        let mut b = PipelineBuilder::new("test/pc");
+        let input = b.host("input", 4 << 20);
+        let mid = b.gpu_temp("intermediate", 4 << 20); // exceeds the 1 MiB L2
+        let out = b.result("out", 4 << 20);
+        b.h2d(input);
+        b.gpu("produce", 1 << 16, 20.0, 10.0)
+            .reads(input, Pattern::Stream { passes: 1 })
+            .writes(mid, Pattern::Stream { passes: 1 });
+        b.gpu("consume", 1 << 16, 20.0, 10.0)
+            .reads(mid, Pattern::Stream { passes: 1 })
+            .writes(out, Pattern::Stream { passes: 1 });
+        b.d2h(out);
+        b.build()
+    }
+
+    #[test]
+    fn fusion_merges_gpu_chains() {
+        let p = producer_consumer_pipeline();
+        let (fused, n) = fuse_adjacent_kernels(&p);
+        assert_eq!(n, 1);
+        assert_eq!(fused.compute_stages(), 1);
+        let k = fused.stages.iter().find_map(Stage::as_compute).unwrap();
+        assert_eq!(k.name, "produce+consume");
+        assert_eq!(
+            k.instructions,
+            2 * p
+                .stages
+                .iter()
+                .filter_map(Stage::as_compute)
+                .next()
+                .unwrap()
+                .instructions
+        );
+        assert_eq!(fused.validate(), Ok(()));
+    }
+
+    #[test]
+    fn fusion_skips_unrelated_kernels() {
+        let mut b = PipelineBuilder::new("test/unrelated");
+        let x = b.host("x", 1 << 20);
+        let y = b.host("y", 1 << 20);
+        b.gpu("a", 4096, 4.0, 0.0)
+            .reads(x, Pattern::Stream { passes: 1 });
+        b.gpu("b", 4096, 4.0, 0.0)
+            .reads(y, Pattern::Stream { passes: 1 });
+        let p = b.build();
+        let (_, n) = fuse_adjacent_kernels(&p);
+        assert_eq!(n, 0, "no producer-consumer relation, no fusion");
+    }
+
+    #[test]
+    fn fusion_removes_offchip_spills() {
+        let p = producer_consumer_pipeline();
+        let (fused, _) = fuse_adjacent_kernels(&p);
+        let cfg = SystemConfig::heterogeneous();
+        let before = run(&p, &cfg, Organization::Serial, false);
+        let after = run(&fused, &cfg, Organization::Serial, false);
+        assert!(
+            after.offchip_fetches < before.offchip_fetches,
+            "fusion should keep the intermediate on chip: {} vs {}",
+            after.offchip_fetches,
+            before.offchip_fetches
+        );
+        assert!(after.roi <= before.roi);
+    }
+
+    #[test]
+    fn auto_migrate_skips_control_slivers() {
+        let p = registry::find("lonestar/bfs")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let (m, migrated) = auto_migrate(&p, &SystemConfig::heterogeneous());
+        // The convergence checks are tiny: none should migrate.
+        assert_eq!(migrated, 0);
+        assert_eq!(m.name, p.name);
+    }
+
+    #[test]
+    fn auto_migrate_takes_heavy_cpu_stages() {
+        let p = registry::find("rodinia/dwt")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let (m, migrated) = auto_migrate(&p, &SystemConfig::heterogeneous());
+        assert!(
+            migrated >= 2,
+            "dwt's pack/unpack should migrate: {migrated}"
+        );
+        assert!(m.name.ends_with("+migrated"));
+        assert_eq!(m.validate(), Ok(()));
+        // And it should actually be faster on the heterogeneous processor.
+        let cfg = SystemConfig::heterogeneous();
+        let before = run(&p, &cfg, Organization::Serial, false);
+        let after = run(&m, &cfg, Organization::Serial, false);
+        assert!(
+            after.roi.as_secs_f64() < 0.8 * before.roi.as_secs_f64(),
+            "{} vs {}",
+            after.roi,
+            before.roi
+        );
+    }
+
+    #[test]
+    fn full_migration_matches_validate_module_semantics() {
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let m = migrate_cpu_stages_to_gpu(&p);
+        assert!(m
+            .stages
+            .iter()
+            .filter_map(Stage::as_compute)
+            .all(|c| c.exec == ExecKind::Gpu));
+    }
+
+    #[test]
+    fn suggest_chunks_scales_with_intermediate_size() {
+        let cfg = SystemConfig::heterogeneous();
+        let small = producer_consumer_pipeline();
+        // 4 MiB intermediate over the 512 KiB budget: 8 chunks.
+        assert_eq!(suggest_chunks(&small, &cfg), 8);
+
+        let mut b = PipelineBuilder::new("test/big-mid");
+        let input = b.host("input", 4 << 20);
+        let mid = b.gpu_temp("intermediate", 8 << 20);
+        b.gpu("produce", 1 << 16, 4.0, 0.0)
+            .reads(input, Pattern::Stream { passes: 1 })
+            .writes(mid, Pattern::Stream { passes: 1 });
+        b.gpu("consume", 1 << 16, 4.0, 0.0)
+            .reads(mid, Pattern::Stream { passes: 1 })
+            .writes(input, Pattern::Stream { passes: 1 });
+        let big = b.build();
+        // 8 MiB over 512 KiB budget: 16 chunks.
+        assert_eq!(suggest_chunks(&big, &cfg), 16);
+    }
+
+    #[test]
+    fn suggest_chunks_defaults_without_intermediates() {
+        let mut b = PipelineBuilder::new("test/flat");
+        let x = b.host("x", 1 << 20);
+        b.gpu("k", 4096, 4.0, 0.0)
+            .reads(x, Pattern::Stream { passes: 1 });
+        let p = b.build();
+        assert_eq!(suggest_chunks(&p, &SystemConfig::heterogeneous()), 4);
+    }
+
+    #[test]
+    fn suggested_chunks_perform_well_for_kmeans() {
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::new(0.5))
+            .unwrap();
+        let cfg = SystemConfig::heterogeneous();
+        let n = suggest_chunks(&p, &cfg);
+        assert!((2..=64).contains(&n));
+        let serial = run(&p, &cfg, Organization::Serial, false);
+        let chunked = run(&p, &cfg, Organization::ChunkedParallel { chunks: n }, false);
+        assert!(
+            chunked.roi < serial.roi,
+            "{} vs {}",
+            chunked.roi,
+            serial.roi
+        );
+    }
+}

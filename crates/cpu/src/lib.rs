@@ -1,0 +1,304 @@
+//! # heteropipe-cpu
+//!
+//! Timing model of the study's CPU cores (Table I: four 4-wide out-of-order
+//! x86 cores at 3.5 GHz, 14 GFLOP/s peak each).
+//!
+//! The model is *bounds-based* at pipeline-stage granularity, which is the
+//! granularity the paper's analysis operates at: a CPU stage's intrinsic
+//! execution time is the maximum of
+//!
+//! 1. an **issue bound** — instructions over issue width,
+//! 2. a **compute bound** — floating-point operations over peak FLOP rate,
+//! 3. a **latency bound** — the serialized portion of memory access latency
+//!    that out-of-order execution cannot hide, divided by the core's memory
+//!    level parallelism (MLP).
+//!
+//! CPU cores are latency-sensitive (few outstanding misses), which is why
+//! the paper finds that shifting CPU accesses from off-chip to cache hits
+//! speeds CPU stages nearly proportionally (kmeans' consumer stage gets
+//! 2.6x faster once producer data is found in cache). The off-chip
+//! *bandwidth* bound is applied outside this crate by the system runner's
+//! fluid network, so concurrent stages share memory bandwidth fairly.
+
+#![warn(missing_docs)]
+
+use heteropipe_sim::{ClockDomain, Ps};
+
+/// Tallies of serviced memory accesses for one stage execution, by service
+/// level, as produced by driving the stage's access stream through a
+/// `heteropipe-mem` hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelCounts {
+    /// Hits in the requester's L1.
+    pub l1_hits: u64,
+    /// Hits in the requester-side L2.
+    pub l2_hits: u64,
+    /// Coherent cache-to-cache services from the other side.
+    pub remote_hits: u64,
+    /// Off-chip fetches.
+    pub offchip: u64,
+    /// Dirty off-chip writebacks displaced by this stage.
+    pub writebacks: u64,
+}
+
+impl LevelCounts {
+    /// Total line accesses issued by the component.
+    pub fn accesses(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.remote_hits + self.offchip
+    }
+
+    /// Total off-chip transactions (fetches plus writebacks).
+    pub fn offchip_transactions(&self) -> u64 {
+        self.offchip + self.writebacks
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &LevelCounts) {
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.remote_hits += other.remote_hits;
+        self.offchip += other.offchip;
+        self.writebacks += other.writebacks;
+    }
+}
+
+/// Work performed by one stage execution: instruction and FLOP totals plus
+/// the memory service-level tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageWork {
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Floating-point operations executed.
+    pub flops: u64,
+    /// Memory accesses by service level.
+    pub mem: LevelCounts,
+    /// Degree of software thread parallelism available in the stage (1 for
+    /// the study's serial CPU control/reduction code).
+    pub threads: u64,
+    /// Fraction of SIMT lanes doing useful work (1.0 = fully converged;
+    /// irregular gathers diverge). Ignored by the CPU model; the GPU model
+    /// derates its issue and FLOP rates by it. A `Default`-constructed
+    /// `StageWork` has 0.0 here — construct via the runner or set it
+    /// explicitly.
+    pub simd_efficiency: f64,
+}
+
+/// Configuration of the CPU cores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuConfig {
+    /// Number of cores (Table I: 4).
+    pub cores: u8,
+    /// Core clock.
+    pub clock: ClockDomain,
+    /// Sustained IPC for non-memory work on one core (4-wide OoO issues at
+    /// most 4; dependent scalar code sustains less — we charge issue width
+    /// and let the latency bound dominate memory-heavy code).
+    pub issue_width: f64,
+    /// Peak FLOPs per core per second (Table I: 14 GFLOP/s).
+    pub peak_flops_per_core: f64,
+    /// Outstanding off-chip misses one core overlaps (MSHR-limited MLP).
+    pub mlp: f64,
+    /// L2 hit latency in core cycles.
+    pub l2_hit_cycles: f64,
+    /// Remote (cache-to-cache) hit latency in core cycles.
+    pub remote_hit_cycles: f64,
+    /// Off-chip access latency in core cycles.
+    pub offchip_cycles: f64,
+    /// Host-side latency to launch a GPU kernel (enters `C_serial`).
+    pub kernel_launch: Ps,
+}
+
+impl CpuConfig {
+    /// Table I CPU parameters.
+    pub fn paper() -> Self {
+        CpuConfig {
+            cores: 4,
+            clock: ClockDomain::from_ghz(3.5),
+            issue_width: 4.0,
+            peak_flops_per_core: 14.0e9,
+            mlp: 4.0,
+            l2_hit_cycles: 14.0,
+            remote_hit_cycles: 90.0,
+            offchip_cycles: 220.0,
+            kernel_launch: Ps::from_micros(8),
+        }
+    }
+
+    /// Aggregate peak FLOP rate across all cores (the `F_cpu` of the
+    /// paper's Eq. 2).
+    pub fn peak_flops_total(&self) -> f64 {
+        self.cores as f64 * self.peak_flops_per_core
+    }
+
+    /// A copy with a different MLP (for the sensitivity ablation).
+    pub fn with_mlp(mut self, mlp: f64) -> Self {
+        assert!(mlp >= 1.0, "MLP must be at least 1");
+        self.mlp = mlp;
+        self
+    }
+}
+
+/// The CPU timing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    config: CpuConfig,
+}
+
+impl CpuModel {
+    /// Creates a model over `config`.
+    pub fn new(config: CpuConfig) -> Self {
+        CpuModel { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.config
+    }
+
+    /// Intrinsic (contention-free) execution time of a stage on the CPU.
+    ///
+    /// Uses as many cores as the stage has threads (capped at the core
+    /// count); the study's CPU stages are almost always single-threaded.
+    pub fn stage_time(&self, work: &StageWork) -> Ps {
+        let c = &self.config;
+        let cores_used = work.threads.clamp(1, c.cores as u64) as f64;
+        let issue_cycles = work.instructions as f64 / c.issue_width / cores_used;
+        let flop_secs = work.flops as f64 / (c.peak_flops_per_core * cores_used);
+        let latency_cycles = (work.mem.l2_hits as f64 * c.l2_hit_cycles
+            + work.mem.remote_hits as f64 * c.remote_hit_cycles
+            + work.mem.offchip as f64 * c.offchip_cycles)
+            / c.mlp
+            / cores_used;
+        let cycle_bound = issue_cycles + latency_cycles;
+        let secs = (cycle_bound / c.clock.freq_hz()).max(flop_secs);
+        Ps::from_secs_f64(secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CpuModel {
+        CpuModel::new(CpuConfig::paper())
+    }
+
+    fn pure_compute(instrs: u64, flops: u64) -> StageWork {
+        StageWork {
+            instructions: instrs,
+            flops,
+            mem: LevelCounts::default(),
+            threads: 1,
+            simd_efficiency: 1.0,
+        }
+    }
+
+    #[test]
+    fn paper_config_totals() {
+        let c = CpuConfig::paper();
+        assert_eq!(c.cores, 4);
+        assert!((c.peak_flops_total() - 56.0e9).abs() < 1.0);
+        assert!((c.clock.freq_hz() - 3.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn issue_bound_scales_with_instructions() {
+        let m = model();
+        let t1 = m.stage_time(&pure_compute(1_000_000, 0));
+        let t2 = m.stage_time(&pure_compute(2_000_000, 0));
+        let ratio = t2.as_secs_f64() / t1.as_secs_f64();
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn flop_bound_binds_dense_kernels() {
+        let m = model();
+        // 1e9 FLOPs and almost no instructions: bound by 14 GFLOP/s.
+        let w = pure_compute(1_000, 1_000_000_000);
+        let t = m.stage_time(&w);
+        assert!((t.as_secs_f64() - 1.0 / 14.0).abs() < 1e-3, "{t}");
+    }
+
+    #[test]
+    fn offchip_misses_dominate_memory_heavy_stages() {
+        let m = model();
+        let mut w = pure_compute(1_000, 0);
+        w.mem.offchip = 100_000;
+        let t = m.stage_time(&w);
+        // 100k misses * 220 cycles / MLP 4 = 5.5M cycles at 3.5 GHz,
+        // plus the tiny issue term.
+        let expect = (100_000.0 * 220.0 / 4.0 + 250.0) / 3.5e9;
+        assert!((t.as_secs_f64() - expect).abs() / expect < 0.01, "{t}");
+    }
+
+    #[test]
+    fn cache_hits_are_much_cheaper_than_misses() {
+        let m = model();
+        let mut hit_work = pure_compute(10_000, 0);
+        hit_work.mem.l1_hits = 100_000;
+        let mut miss_work = pure_compute(10_000, 0);
+        miss_work.mem.offchip = 100_000;
+        let speedup =
+            m.stage_time(&miss_work).as_secs_f64() / m.stage_time(&hit_work).as_secs_f64();
+        // The kmeans case study's CPU consumer sped up 2.6x from caching;
+        // the model must allow at least that headroom.
+        assert!(speedup > 2.6, "hit/miss speedup only {speedup}");
+    }
+
+    #[test]
+    fn remote_hits_cheaper_than_offchip() {
+        let m = model();
+        let mut remote = pure_compute(0, 0);
+        remote.mem.remote_hits = 50_000;
+        let mut off = pure_compute(0, 0);
+        off.mem.offchip = 50_000;
+        assert!(m.stage_time(&remote) < m.stage_time(&off));
+    }
+
+    #[test]
+    fn multithreaded_stage_uses_multiple_cores() {
+        let m = model();
+        let mut w = pure_compute(4_000_000, 0);
+        let t1 = m.stage_time(&w);
+        w.threads = 4;
+        let t4 = m.stage_time(&w);
+        let ratio = t1.as_secs_f64() / t4.as_secs_f64();
+        assert!((ratio - 4.0).abs() < 0.05, "ratio {ratio}");
+        // More threads than cores do not help further.
+        w.threads = 64;
+        assert_eq!(m.stage_time(&w), t4);
+    }
+
+    #[test]
+    fn higher_mlp_shortens_memory_stages() {
+        let base = CpuConfig::paper();
+        let mut w = pure_compute(0, 0);
+        w.mem.offchip = 10_000;
+        let slow = CpuModel::new(base.with_mlp(1.0)).stage_time(&w);
+        let fast = CpuModel::new(base.with_mlp(8.0)).stage_time(&w);
+        let ratio = slow.as_secs_f64() / fast.as_secs_f64();
+        assert!((ratio - 8.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn level_counts_arithmetic() {
+        let mut a = LevelCounts {
+            l1_hits: 1,
+            l2_hits: 2,
+            remote_hits: 3,
+            offchip: 4,
+            writebacks: 5,
+        };
+        assert_eq!(a.accesses(), 10);
+        assert_eq!(a.offchip_transactions(), 9);
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.accesses(), 20);
+        assert_eq!(a.writebacks, 10);
+    }
+
+    #[test]
+    fn empty_stage_takes_no_time() {
+        assert_eq!(model().stage_time(&StageWork::default()), Ps::ZERO);
+    }
+}

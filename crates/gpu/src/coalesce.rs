@@ -1,0 +1,120 @@
+//! The per-warp memory access coalescer.
+//!
+//! Fermi-class GPUs service a warp's 32 thread accesses as the set of
+//! distinct 128-byte segments they touch. Fully regular code (thread `i`
+//! touches element `base + i`) coalesces 32 four-byte accesses into a single
+//! line transaction; irregular gathers degrade toward one transaction per
+//! thread. The paper's misalignment observation (Fig. 5's `*` benchmarks)
+//! also lives here: a misaligned but otherwise-regular warp access straddles
+//! one extra segment.
+
+use heteropipe_mem::{Addr, LineAddr};
+
+/// Threads per warp on the study's Fermi-like SMs.
+pub const WARP_SIZE: usize = 32;
+
+/// Coalesces one warp's thread addresses into distinct line transactions,
+/// appending them to `out` in first-touch order.
+///
+/// Returns the number of transactions generated.
+///
+/// # Examples
+///
+/// ```
+/// use heteropipe_gpu::coalesce_warp;
+/// use heteropipe_mem::Addr;
+///
+/// // 32 consecutive 4-byte elements starting at a line boundary: 1 line.
+/// let addrs: Vec<Addr> = (0..32).map(|i| Addr(i * 4)).collect();
+/// let mut out = Vec::new();
+/// assert_eq!(coalesce_warp(&addrs, &mut out), 1);
+/// ```
+pub fn coalesce_warp(addrs: &[Addr], out: &mut Vec<LineAddr>) -> usize {
+    let start = out.len();
+    for &a in addrs {
+        let line = a.line();
+        // A warp touches few distinct lines; linear scan of the tail is
+        // cheaper than hashing at this size.
+        if !out[start..].contains(&line) {
+            out.push(line);
+        }
+    }
+    out.len() - start
+}
+
+/// Convenience: the number of transactions a warp of `addrs` generates.
+pub fn warp_transactions(addrs: &[Addr]) -> usize {
+    let mut out = Vec::with_capacity(4);
+    coalesce_warp(addrs, &mut out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteropipe_mem::LINE_BYTES;
+
+    fn strided(base: u64, stride: u64, elem: u64) -> Vec<Addr> {
+        (0..WARP_SIZE as u64)
+            .map(|i| Addr(base + i * stride * elem))
+            .collect()
+    }
+
+    #[test]
+    fn unit_stride_aligned_is_one_transaction() {
+        assert_eq!(warp_transactions(&strided(0, 1, 4)), 1);
+    }
+
+    #[test]
+    fn unit_stride_8byte_is_two_transactions() {
+        // 32 x 8 B = 256 B = 2 lines.
+        assert_eq!(warp_transactions(&strided(0, 1, 8)), 2);
+    }
+
+    #[test]
+    fn misaligned_unit_stride_adds_one_transaction() {
+        let aligned = warp_transactions(&strided(0, 1, 4));
+        let misaligned = warp_transactions(&strided(LINE_BYTES / 2, 1, 4));
+        assert_eq!(misaligned, aligned + 1);
+    }
+
+    #[test]
+    fn large_stride_fully_diverges() {
+        // Stride of one line per thread: 32 transactions.
+        assert_eq!(warp_transactions(&strided(0, 32, 4)), 32);
+    }
+
+    #[test]
+    fn random_gather_mostly_diverges() {
+        use heteropipe_sim::SplitMix64;
+        let mut rng = SplitMix64::new(1);
+        let addrs: Vec<Addr> = (0..WARP_SIZE)
+            .map(|_| Addr(rng.below(1 << 24) * 4))
+            .collect();
+        let n = warp_transactions(&addrs);
+        assert!(n > 24, "random gather coalesced too well: {n}");
+    }
+
+    #[test]
+    fn duplicate_addresses_coalesce_to_one() {
+        let addrs = vec![Addr(100); WARP_SIZE];
+        assert_eq!(warp_transactions(&addrs), 1);
+    }
+
+    #[test]
+    fn coalesce_appends_in_first_touch_order() {
+        let addrs = vec![Addr(256), Addr(0), Addr(300), Addr(4)];
+        let mut out = Vec::new();
+        coalesce_warp(&addrs, &mut out);
+        assert_eq!(out, vec![Addr(256).line(), Addr(0).line()]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn transaction_count_bounded(addrs in proptest::collection::vec(0u64..1_000_000, 1..=WARP_SIZE)) {
+            let addrs: Vec<Addr> = addrs.into_iter().map(Addr).collect();
+            let n = warp_transactions(&addrs);
+            proptest::prop_assert!(n >= 1);
+            proptest::prop_assert!(n <= addrs.len());
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The access vocabulary: requesters and access kinds.
+
+use std::fmt;
+
+/// Read or write, from the memory system's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessKind {
+    /// A load, instruction fetch, or DMA read.
+    Read,
+    /// A store or DMA write.
+    Write,
+}
+
+impl AccessKind {
+    /// Whether this is a write.
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "R"),
+            AccessKind::Write => write!(f, "W"),
+        }
+    }
+}
+
+/// The agent issuing a memory access.
+///
+/// The paper's figures break footprints, access counts, and run time down by
+/// these three component types (CPU, GPU, and the PCIe copy engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Requester {
+    /// A CPU core (the study's CPU stages are single-threaded control and
+    /// reduction code, so the core index is almost always 0).
+    Cpu {
+        /// Core index, `0..4`.
+        core: u8,
+    },
+    /// A GPU streaming multiprocessor.
+    Gpu {
+        /// SM index, `0..16`.
+        sm: u8,
+    },
+    /// The PCIe DMA copy engine of the discrete system.
+    CopyEngine,
+}
+
+impl Requester {
+    /// The coarse component class (CPU / GPU / copy engine) used in the
+    /// paper's per-component breakdowns.
+    pub const fn component(self) -> Component {
+        match self {
+            Requester::Cpu { .. } => Component::Cpu,
+            Requester::Gpu { .. } => Component::Gpu,
+            Requester::CopyEngine => Component::Copy,
+        }
+    }
+}
+
+impl fmt::Display for Requester {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Requester::Cpu { core } => write!(f, "cpu{core}"),
+            Requester::Gpu { sm } => write!(f, "gpu-sm{sm}"),
+            Requester::CopyEngine => write!(f, "copy"),
+        }
+    }
+}
+
+/// Coarse component classes for the paper's breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Component {
+    /// CPU cores.
+    Cpu,
+    /// GPU SMs.
+    Gpu,
+    /// The PCIe copy engine.
+    Copy,
+}
+
+impl Component {
+    /// All component classes, in the paper's plotting order.
+    pub const ALL: [Component; 3] = [Component::Copy, Component::Cpu, Component::Gpu];
+
+    /// Stable index 0..3 for array-indexed per-component stats.
+    pub const fn index(self) -> usize {
+        match self {
+            Component::Copy => 0,
+            Component::Cpu => 1,
+            Component::Gpu => 2,
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Component::Cpu => write!(f, "CPU"),
+            Component::Gpu => write!(f, "GPU"),
+            Component::Copy => write!(f, "Copy"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Read.is_write());
+        assert_eq!(AccessKind::Read.to_string(), "R");
+        assert_eq!(AccessKind::Write.to_string(), "W");
+    }
+
+    #[test]
+    fn requester_component_mapping() {
+        assert_eq!(Requester::Cpu { core: 2 }.component(), Component::Cpu);
+        assert_eq!(Requester::Gpu { sm: 15 }.component(), Component::Gpu);
+        assert_eq!(Requester::CopyEngine.component(), Component::Copy);
+    }
+
+    #[test]
+    fn component_indices_are_distinct_and_dense() {
+        let mut seen = [false; 3];
+        for c in Component::ALL {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Requester::Cpu { core: 0 }.to_string(), "cpu0");
+        assert_eq!(Requester::Gpu { sm: 3 }.to_string(), "gpu-sm3");
+        assert_eq!(Requester::CopyEngine.to_string(), "copy");
+        assert_eq!(Component::Copy.to_string(), "Copy");
+    }
+}

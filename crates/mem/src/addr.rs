@@ -1,0 +1,314 @@
+//! Addresses, cache lines, pages, and contiguous ranges.
+//!
+//! Both Table I systems use 128-byte cache lines throughout and 4 KiB pages.
+//! Newtypes keep byte addresses, line numbers, and page numbers from being
+//! mixed up at compile time.
+
+use std::fmt;
+
+macro_rules! fmt_hex {
+    () => {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{:#x}", self.0)
+        }
+    };
+}
+
+/// Cache line size in bytes (Table I: "128B lines" at every cache level).
+pub const LINE_BYTES: u64 = 128;
+
+/// Page size in bytes (x86-64 base pages, as used by gem5-gpu's Linux).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Cache lines per page.
+pub const LINES_PER_PAGE: u64 = PAGE_BYTES / LINE_BYTES;
+
+/// A byte address in a simulated physical address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The cache line containing this address.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// The page containing this address.
+    pub const fn page(self) -> PageAddr {
+        PageAddr(self.0 / PAGE_BYTES)
+    }
+
+    /// This address offset by `bytes`.
+    pub const fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+
+    /// Whether the address is aligned to a cache line boundary.
+    pub const fn is_line_aligned(self) -> bool {
+        self.0 % LINE_BYTES == 0
+    }
+}
+
+impl fmt::Display for Addr {
+    fmt_hex!();
+}
+
+/// A cache-line number (byte address divided by [`LINE_BYTES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// First byte address of this line.
+    pub const fn base(self) -> Addr {
+        Addr(self.0 * LINE_BYTES)
+    }
+
+    /// The page containing this line.
+    pub const fn page(self) -> PageAddr {
+        PageAddr(self.0 / LINES_PER_PAGE)
+    }
+
+    /// The next line.
+    pub const fn next(self) -> LineAddr {
+        LineAddr(self.0 + 1)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fmt_hex!();
+}
+
+/// A page number (byte address divided by [`PAGE_BYTES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PageAddr(pub u64);
+
+impl PageAddr {
+    /// First byte address of this page.
+    pub const fn base(self) -> Addr {
+        Addr(self.0 * PAGE_BYTES)
+    }
+}
+
+impl fmt::Display for PageAddr {
+    fmt_hex!();
+}
+
+/// A half-open byte range `[start, start + bytes)` in an address space.
+///
+/// # Examples
+///
+/// ```
+/// use heteropipe_mem::{Addr, AddrRange, LINE_BYTES};
+///
+/// let r = AddrRange::new(Addr(256), 1024);
+/// assert_eq!(r.lines().count(), 8);
+/// assert!(r.contains(Addr(1279)));
+/// assert!(!r.contains(Addr(1280)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AddrRange {
+    start: Addr,
+    bytes: u64,
+}
+
+impl AddrRange {
+    /// Creates a range of `bytes` bytes starting at `start`.
+    pub const fn new(start: Addr, bytes: u64) -> Self {
+        AddrRange { start, bytes }
+    }
+
+    /// An empty range at address zero.
+    pub const fn empty() -> Self {
+        AddrRange {
+            start: Addr(0),
+            bytes: 0,
+        }
+    }
+
+    /// First byte address.
+    pub const fn start(&self) -> Addr {
+        self.start
+    }
+
+    /// One past the last byte address.
+    pub const fn end(&self) -> Addr {
+        Addr(self.start.0 + self.bytes)
+    }
+
+    /// Length in bytes.
+    pub const fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Whether the range covers no bytes.
+    pub const fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+
+    /// Whether `a` falls inside the range.
+    pub const fn contains(&self, a: Addr) -> bool {
+        a.0 >= self.start.0 && a.0 < self.start.0 + self.bytes
+    }
+
+    /// Number of distinct cache lines the range touches. A misaligned range
+    /// touches one more line than an aligned range of equal size — the
+    /// paper's allocation-misalignment effect falls out of this.
+    pub fn line_count(&self) -> u64 {
+        if self.bytes == 0 {
+            return 0;
+        }
+        self.end().offset(LINE_BYTES - 1).line().0 - self.start.line().0
+    }
+
+    /// Iterates every cache line the range touches, in address order.
+    pub fn lines(&self) -> impl Iterator<Item = LineAddr> + Clone {
+        let first = self.start.line().0;
+        let n = self.line_count();
+        (first..first + n).map(LineAddr)
+    }
+
+    /// Number of distinct pages the range touches.
+    pub fn page_count(&self) -> u64 {
+        if self.bytes == 0 {
+            return 0;
+        }
+        self.end().offset(PAGE_BYTES - 1).page().0 - self.start.page().0
+    }
+
+    /// Iterates every page the range touches, in address order.
+    pub fn pages(&self) -> impl Iterator<Item = PageAddr> + Clone {
+        let first = self.start.page().0;
+        let n = self.page_count();
+        (first..first + n).map(PageAddr)
+    }
+
+    /// The sub-range starting `offset` bytes in and running for `bytes`
+    /// (clamped to this range's end).
+    pub fn slice(&self, offset: u64, bytes: u64) -> AddrRange {
+        let offset = offset.min(self.bytes);
+        let bytes = bytes.min(self.bytes - offset);
+        AddrRange::new(self.start.offset(offset), bytes)
+    }
+
+    /// Splits the range into `n` near-equal contiguous chunks (the last one
+    /// takes the remainder). Used for kernel fission / chunked
+    /// producer-consumer organizations.
+    pub fn chunks(&self, n: u64) -> Vec<AddrRange> {
+        assert!(n > 0, "chunk count must be positive");
+        let base = self.bytes / n;
+        let mut out = Vec::with_capacity(n as usize);
+        let mut off = 0;
+        for i in 0..n {
+            let len = if i == n - 1 { self.bytes - off } else { base };
+            out.push(self.slice(off, len));
+            off += len;
+        }
+        out
+    }
+}
+
+impl fmt::Display for AddrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}, {:#x})", self.start.0, self.end().0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_line_page_math() {
+        let a = Addr(4096 + 130);
+        assert_eq!(a.line(), LineAddr((4096 + 130) / 128));
+        assert_eq!(a.page(), PageAddr(1));
+        assert_eq!(a.line().page(), PageAddr(1));
+        assert_eq!(LineAddr(3).base(), Addr(384));
+        assert_eq!(PageAddr(2).base(), Addr(8192));
+        assert!(Addr(256).is_line_aligned());
+        assert!(!Addr(257).is_line_aligned());
+        assert_eq!(LineAddr(7).next(), LineAddr(8));
+    }
+
+    #[test]
+    fn range_lines_aligned() {
+        let r = AddrRange::new(Addr(0), 1024);
+        assert_eq!(r.line_count(), 8);
+        let v: Vec<LineAddr> = r.lines().collect();
+        assert_eq!(v.first(), Some(&LineAddr(0)));
+        assert_eq!(v.last(), Some(&LineAddr(7)));
+    }
+
+    #[test]
+    fn misaligned_range_touches_one_extra_line() {
+        let aligned = AddrRange::new(Addr(0), 1024);
+        let misaligned = AddrRange::new(Addr(64), 1024);
+        assert_eq!(aligned.line_count(), 8);
+        assert_eq!(misaligned.line_count(), 9);
+    }
+
+    #[test]
+    fn empty_range() {
+        let r = AddrRange::empty();
+        assert!(r.is_empty());
+        assert_eq!(r.line_count(), 0);
+        assert_eq!(r.page_count(), 0);
+        assert_eq!(r.lines().count(), 0);
+    }
+
+    #[test]
+    fn page_iteration() {
+        let r = AddrRange::new(Addr(4000), 5000); // spans pages 0..=2
+        assert_eq!(r.page_count(), 3);
+        let v: Vec<PageAddr> = r.pages().collect();
+        assert_eq!(v, vec![PageAddr(0), PageAddr(1), PageAddr(2)]);
+    }
+
+    #[test]
+    fn slice_clamps() {
+        let r = AddrRange::new(Addr(100), 100);
+        let s = r.slice(50, 1000);
+        assert_eq!(s.start(), Addr(150));
+        assert_eq!(s.bytes(), 50);
+        let past = r.slice(200, 10);
+        assert!(past.is_empty());
+    }
+
+    #[test]
+    fn chunks_cover_exactly() {
+        let r = AddrRange::new(Addr(128), 1000);
+        let cs = r.chunks(3);
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs.iter().map(|c| c.bytes()).sum::<u64>(), 1000);
+        assert_eq!(cs[0].start(), r.start());
+        assert_eq!(cs[2].end(), r.end());
+        // Contiguous.
+        assert_eq!(cs[0].end(), cs[1].start());
+        assert_eq!(cs[1].end(), cs[2].start());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addr(255).to_string(), "0xff");
+        assert_eq!(AddrRange::new(Addr(0), 16).to_string(), "[0x0, 0x10)");
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn line_count_matches_iteration(start in 0u64..1_000_000, bytes in 0u64..100_000) {
+            let r = AddrRange::new(Addr(start), bytes);
+            proptest::prop_assert_eq!(r.line_count() as usize, r.lines().count());
+            proptest::prop_assert_eq!(r.page_count() as usize, r.pages().count());
+        }
+
+        #[test]
+        fn chunks_partition(start in 0u64..1_000_000, bytes in 1u64..100_000, n in 1u64..16) {
+            let r = AddrRange::new(Addr(start), bytes);
+            let cs = r.chunks(n);
+            proptest::prop_assert_eq!(cs.iter().map(|c| c.bytes()).sum::<u64>(), bytes);
+            for w in cs.windows(2) {
+                proptest::prop_assert_eq!(w[0].end(), w[1].start());
+            }
+        }
+    }
+}

@@ -1,0 +1,487 @@
+//! Set-associative writeback caches.
+//!
+//! A functional cache model: it tracks presence, dirtiness, and LRU order,
+//! and reports hits, misses, and dirty evictions. Timing is applied by the
+//! core models over the aggregate counts.
+
+use std::fmt;
+
+use crate::access::AccessKind;
+use crate::addr::{AddrRange, LineAddr, LINE_BYTES};
+
+/// Geometry of a cache.
+///
+/// # Examples
+///
+/// ```
+/// use heteropipe_mem::CacheConfig;
+///
+/// // The study's GPU-shared L2: 1 MiB, 16-way, 128 B lines.
+/// let l2 = CacheConfig::new(1024 * 1024, 16);
+/// assert_eq!(l2.sets(), 512);
+/// assert_eq!(l2.lines(), 8192);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    capacity_bytes: u64,
+    ways: u32,
+}
+
+impl CacheConfig {
+    /// A cache of `capacity_bytes` with `ways`-way associativity and the
+    /// study-wide 128 B line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the capacity is a positive multiple of
+    /// `ways * LINE_BYTES`.
+    pub fn new(capacity_bytes: u64, ways: u32) -> Self {
+        assert!(ways > 0, "cache must have at least one way");
+        assert!(
+            capacity_bytes > 0 && capacity_bytes % (ways as u64 * LINE_BYTES) == 0,
+            "capacity {capacity_bytes} must be a positive multiple of ways*line"
+        );
+        CacheConfig {
+            capacity_bytes,
+            ways,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub const fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Associativity.
+    pub const fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Number of sets.
+    pub const fn sets(&self) -> u64 {
+        self.capacity_bytes / (self.ways as u64 * LINE_BYTES)
+    }
+
+    /// Total line slots.
+    pub const fn lines(&self) -> u64 {
+        self.capacity_bytes / LINE_BYTES
+    }
+}
+
+/// What happened on a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheOutcome {
+    /// Whether the line was already present.
+    pub hit: bool,
+    /// A dirty line displaced to make room, which must be written to the
+    /// next level down.
+    pub writeback: Option<LineAddr>,
+}
+
+/// Hit/miss/eviction counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that found the line present.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines displaced by fills.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `[0, 1]`; zero when no accesses happened.
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.accesses();
+        if n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / n as f64
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// A set-associative, write-allocate, writeback cache with LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use heteropipe_mem::{CacheConfig, SetAssocCache, AccessKind, LineAddr};
+///
+/// let mut c = SetAssocCache::new(CacheConfig::new(1024, 2)); // 8 lines
+/// let miss = c.access(LineAddr(0), AccessKind::Read);
+/// assert!(!miss.hit);
+/// let hit = c.access(LineAddr(0), AccessKind::Write);
+/// assert!(hit.hit);
+/// assert!(c.contains(LineAddr(0)));
+/// ```
+pub struct SetAssocCache {
+    config: CacheConfig,
+    sets: Vec<Way>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let slots = (config.sets() * config.ways as u64) as usize;
+        SetAssocCache {
+            config,
+            sets: vec![
+                Way {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    lru: 0,
+                };
+                slots
+            ],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the statistics (contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_range(&self, line: LineAddr) -> (usize, u64) {
+        let sets = self.config.sets();
+        let set = (line.0 % sets) as usize;
+        let tag = line.0 / sets;
+        (set * self.config.ways as usize, tag)
+    }
+
+    fn line_of(&self, base: usize, way: usize) -> LineAddr {
+        let sets = self.config.sets();
+        let set = (base / self.config.ways as usize) as u64;
+        LineAddr(self.sets[base + way].tag * sets + set)
+    }
+
+    /// Performs an access, allocating on miss. Returns whether it hit and
+    /// any dirty line displaced by the fill.
+    pub fn access(&mut self, line: LineAddr, kind: AccessKind) -> CacheOutcome {
+        self.tick += 1;
+        let (base, tag) = self.set_range(line);
+        let ways = self.config.ways as usize;
+        // Hit path.
+        for w in 0..ways {
+            let slot = &mut self.sets[base + w];
+            if slot.valid && slot.tag == tag {
+                slot.lru = self.tick;
+                slot.dirty |= kind.is_write();
+                self.stats.hits += 1;
+                return CacheOutcome {
+                    hit: true,
+                    writeback: None,
+                };
+            }
+        }
+        self.stats.misses += 1;
+        // Fill: prefer an invalid way, else evict true-LRU.
+        let mut victim = 0;
+        let mut best = u64::MAX;
+        for w in 0..ways {
+            let slot = &self.sets[base + w];
+            if !slot.valid {
+                victim = w;
+                break;
+            }
+            if slot.lru < best {
+                best = slot.lru;
+                victim = w;
+            }
+        }
+        let mut writeback = None;
+        {
+            let evicted_line = self.line_of(base, victim);
+            let slot = &mut self.sets[base + victim];
+            if slot.valid && slot.dirty {
+                writeback = Some(evicted_line);
+                self.stats.writebacks += 1;
+            }
+            slot.tag = tag;
+            slot.valid = true;
+            slot.dirty = kind.is_write();
+            slot.lru = self.tick;
+        }
+        CacheOutcome {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Whether the line is currently resident.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let (base, tag) = self.set_range(line);
+        (0..self.config.ways as usize)
+            .any(|w| self.sets[base + w].valid && self.sets[base + w].tag == tag)
+    }
+
+    /// Whether the line is resident and dirty.
+    pub fn is_dirty(&self, line: LineAddr) -> bool {
+        let (base, tag) = self.set_range(line);
+        (0..self.config.ways as usize).any(|w| {
+            let s = &self.sets[base + w];
+            s.valid && s.tag == tag && s.dirty
+        })
+    }
+
+    /// Invalidates one line if present, returning whether it was dirty
+    /// (i.e. a writeback to memory is required).
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let (base, tag) = self.set_range(line);
+        for w in 0..self.config.ways as usize {
+            let slot = &mut self.sets[base + w];
+            if slot.valid && slot.tag == tag {
+                slot.valid = false;
+                let was_dirty = slot.dirty;
+                slot.dirty = false;
+                return Some(was_dirty);
+            }
+        }
+        None
+    }
+
+    /// Invalidates every line of `range` (as a DMA transfer does to the CPU
+    /// caches in the discrete system). Returns `(lines_invalidated,
+    /// dirty_writebacks)`.
+    pub fn invalidate_range(&mut self, range: AddrRange) -> (u64, u64) {
+        let mut inv = 0;
+        let mut dirty = 0;
+        for line in range.lines() {
+            if let Some(was_dirty) = self.invalidate(line) {
+                inv += 1;
+                if was_dirty {
+                    dirty += 1;
+                }
+            }
+        }
+        (inv, dirty)
+    }
+
+    /// Marks a resident line clean (after its data has been written back or
+    /// transferred to another cache).
+    pub fn clean(&mut self, line: LineAddr) {
+        let (base, tag) = self.set_range(line);
+        for w in 0..self.config.ways as usize {
+            let slot = &mut self.sets[base + w];
+            if slot.valid && slot.tag == tag {
+                slot.dirty = false;
+                return;
+            }
+        }
+    }
+
+    /// Number of currently valid lines.
+    pub fn occupancy(&self) -> u64 {
+        self.sets.iter().filter(|s| s.valid).count() as u64
+    }
+
+    /// Drops all contents and statistics.
+    pub fn flush_all(&mut self) {
+        for s in &mut self.sets {
+            s.valid = false;
+            s.dirty = false;
+        }
+    }
+}
+
+impl fmt::Debug for SetAssocCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SetAssocCache")
+            .field("config", &self.config)
+            .field("occupancy", &self.occupancy())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets x 2 ways = 8 lines.
+        SetAssocCache::new(CacheConfig::new(1024, 2))
+    }
+
+    #[test]
+    fn config_geometry() {
+        let c = CacheConfig::new(64 * 1024, 8);
+        assert_eq!(c.sets(), 64);
+        assert_eq!(c.lines(), 512);
+        assert_eq!(c.capacity_bytes(), 64 * 1024);
+        assert_eq!(c.ways(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn config_rejects_bad_capacity() {
+        let _ = CacheConfig::new(1000, 3);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(LineAddr(5), AccessKind::Read).hit);
+        assert!(c.access(LineAddr(5), AccessKind::Read).hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 all map to set 0 (4 sets). Two ways: 0 and 4 fit.
+        c.access(LineAddr(0), AccessKind::Read);
+        c.access(LineAddr(4), AccessKind::Read);
+        c.access(LineAddr(0), AccessKind::Read); // refresh 0; 4 becomes LRU
+        c.access(LineAddr(8), AccessKind::Read); // evicts 4
+        assert!(c.contains(LineAddr(0)));
+        assert!(!c.contains(LineAddr(4)));
+        assert!(c.contains(LineAddr(8)));
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let mut c = tiny();
+        c.access(LineAddr(0), AccessKind::Write);
+        c.access(LineAddr(4), AccessKind::Read);
+        let out = c.access(LineAddr(8), AccessKind::Read); // evicts dirty 0
+        assert_eq!(out.writeback, Some(LineAddr(0)));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_is_silent() {
+        let mut c = tiny();
+        c.access(LineAddr(0), AccessKind::Read);
+        c.access(LineAddr(4), AccessKind::Read);
+        let out = c.access(LineAddr(8), AccessKind::Read);
+        assert_eq!(out.writeback, None);
+    }
+
+    #[test]
+    fn write_marks_dirty_and_clean_clears() {
+        let mut c = tiny();
+        c.access(LineAddr(3), AccessKind::Write);
+        assert!(c.is_dirty(LineAddr(3)));
+        c.clean(LineAddr(3));
+        assert!(!c.is_dirty(LineAddr(3)));
+        assert!(c.contains(LineAddr(3)));
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = tiny();
+        c.access(LineAddr(1), AccessKind::Write);
+        c.access(LineAddr(2), AccessKind::Read);
+        assert_eq!(c.invalidate(LineAddr(1)), Some(true));
+        assert_eq!(c.invalidate(LineAddr(2)), Some(false));
+        assert_eq!(c.invalidate(LineAddr(3)), None);
+        assert!(!c.contains(LineAddr(1)));
+    }
+
+    #[test]
+    fn invalidate_range_counts() {
+        use crate::addr::Addr;
+        let mut c = tiny();
+        c.access(LineAddr(0), AccessKind::Write);
+        c.access(LineAddr(1), AccessKind::Read);
+        // Lines 0..4 = bytes 0..512.
+        let (inv, dirty) = c.invalidate_range(AddrRange::new(Addr(0), 512));
+        assert_eq!((inv, dirty), (2, 1));
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut c = tiny();
+        for i in 0..8 {
+            c.access(LineAddr(i), AccessKind::Write);
+        }
+        assert!(c.occupancy() > 0);
+        c.flush_all();
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut c = tiny();
+        for i in 0..1000 {
+            c.access(LineAddr(i), AccessKind::Read);
+        }
+        assert!(c.occupancy() <= c.config().lines());
+    }
+
+    #[test]
+    fn streaming_larger_than_cache_reuses_nothing() {
+        let mut c = tiny();
+        // Two passes over 64 lines through an 8-line cache: second pass
+        // must miss everywhere (LRU, capacity-bound).
+        for _pass in 0..2 {
+            for i in 0..64 {
+                c.access(LineAddr(i), AccessKind::Read);
+            }
+        }
+        assert_eq!(c.stats().hits, 0);
+        assert_eq!(c.stats().misses, 128);
+    }
+
+    #[test]
+    fn working_set_within_capacity_all_hits_after_warmup() {
+        let mut c = tiny();
+        for _pass in 0..3 {
+            for i in 0..8 {
+                c.access(LineAddr(i), AccessKind::Read);
+            }
+        }
+        assert_eq!(c.stats().misses, 8);
+        assert_eq!(c.stats().hits, 16);
+    }
+
+    proptest::proptest! {
+        /// The cache never reports more writebacks than writes performed,
+        /// and occupancy stays bounded.
+        #[test]
+        fn sanity_under_random_traffic(ops in proptest::collection::vec((0u64..64, proptest::bool::ANY), 1..500)) {
+            let mut c = tiny();
+            let mut writes = 0u64;
+            for (line, is_write) in ops {
+                let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+                if is_write { writes += 1; }
+                c.access(LineAddr(line), kind);
+                proptest::prop_assert!(c.occupancy() <= 8);
+            }
+            proptest::prop_assert!(c.stats().writebacks <= writes);
+            proptest::prop_assert_eq!(c.stats().accesses(), c.stats().hits + c.stats().misses);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Miss-status holding registers (MSHRs).
+//!
+//! MSHRs bound how many distinct outstanding line misses a cache can track;
+//! they are the physical resource behind the memory-level parallelism (MLP)
+//! parameters of the `heteropipe-cpu` and `heteropipe-gpu` timing models.
+//! This module models the registers themselves — allocation, merging of
+//! secondary misses, and the stall that a full MSHR file imposes — and
+//! derives the effective MLP a core can sustain from its MSHR budget, so
+//! the bounds models' constants are grounded rather than free parameters.
+
+use std::fmt;
+
+use crate::addr::LineAddr;
+
+/// Outcome of presenting a miss to the MSHR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated for the line.
+    Allocated,
+    /// The line already had an entry; this secondary miss merged into it.
+    Merged,
+    /// No entry free: the access must stall until one retires.
+    Stall,
+}
+
+/// A fixed file of miss-status holding registers.
+///
+/// # Examples
+///
+/// ```
+/// use heteropipe_mem::mshr::{MshrFile, MshrOutcome};
+/// use heteropipe_mem::LineAddr;
+///
+/// let mut m = MshrFile::new(2);
+/// assert_eq!(m.request(LineAddr(1)), MshrOutcome::Allocated);
+/// assert_eq!(m.request(LineAddr(1)), MshrOutcome::Merged);
+/// assert_eq!(m.request(LineAddr(2)), MshrOutcome::Allocated);
+/// assert_eq!(m.request(LineAddr(3)), MshrOutcome::Stall);
+/// m.retire(LineAddr(1));
+/// assert_eq!(m.request(LineAddr(3)), MshrOutcome::Allocated);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: Vec<(LineAddr, u32)>,
+    capacity: usize,
+    stalls: u64,
+    merges: u64,
+    allocations: u64,
+}
+
+impl MshrFile {
+    /// A file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "an MSHR file needs at least one entry");
+        MshrFile {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            stalls: 0,
+            merges: 0,
+            allocations: 0,
+        }
+    }
+
+    /// Presents a miss on `line`.
+    pub fn request(&mut self, line: LineAddr) -> MshrOutcome {
+        if let Some(e) = self.entries.iter_mut().find(|(l, _)| *l == line) {
+            e.1 += 1;
+            self.merges += 1;
+            return MshrOutcome::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            self.stalls += 1;
+            return MshrOutcome::Stall;
+        }
+        self.entries.push((line, 1));
+        self.allocations += 1;
+        MshrOutcome::Allocated
+    }
+
+    /// Retires the entry for `line` (its fill returned). No-op when absent.
+    pub fn retire(&mut self, line: LineAddr) {
+        self.entries.retain(|(l, _)| *l != line);
+    }
+
+    /// Currently outstanding distinct misses.
+    pub fn outstanding(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether every entry is in use.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// `(allocations, merges, stalls)` so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.allocations, self.merges, self.stalls)
+    }
+}
+
+impl fmt::Display for MshrFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MSHR {}/{}", self.entries.len(), self.capacity)
+    }
+}
+
+/// The effective memory-level parallelism a core sustains given its MSHR
+/// budget and how much of its access stream is independent.
+///
+/// Little's law: with `mshrs` outstanding slots and perfectly independent
+/// misses, a core overlaps `mshrs` requests; dependent access chains reduce
+/// that by the independence fraction. The Table I models use
+/// `effective_mlp(8, 0.5) ≈ 4` for the OoO CPU cores (8 L1 MSHRs, half the
+/// stream dependence-limited) — the `CpuConfig::paper` MLP — while the GPU's
+/// latency tolerance comes from warp count rather than per-access MSHRs.
+pub fn effective_mlp(mshrs: u32, independence: f64) -> f64 {
+    let ind = independence.clamp(0.0, 1.0);
+    (mshrs as f64 * ind).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_merge_stall_cycle() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.request(LineAddr(10)), MshrOutcome::Allocated);
+        assert_eq!(m.request(LineAddr(11)), MshrOutcome::Allocated);
+        assert!(m.is_full());
+        assert_eq!(m.request(LineAddr(12)), MshrOutcome::Stall);
+        assert_eq!(m.request(LineAddr(10)), MshrOutcome::Merged);
+        m.retire(LineAddr(10));
+        assert_eq!(m.outstanding(), 1);
+        assert_eq!(m.request(LineAddr(12)), MshrOutcome::Allocated);
+        assert_eq!(m.stats(), (3, 1, 1));
+    }
+
+    #[test]
+    fn retire_absent_is_noop() {
+        let mut m = MshrFile::new(1);
+        m.retire(LineAddr(99));
+        assert_eq!(m.outstanding(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_capacity_rejected() {
+        let _ = MshrFile::new(0);
+    }
+
+    #[test]
+    fn effective_mlp_grounds_the_paper_cpu_parameter() {
+        // 8 MSHRs, ~50% independent stream: the CpuConfig::paper() MLP of 4.
+        assert_eq!(effective_mlp(8, 0.5), 4.0);
+        // Fully dependent chains degrade to no overlap.
+        assert_eq!(effective_mlp(8, 0.0), 1.0);
+        // Clamped above 1 and at full independence.
+        assert_eq!(effective_mlp(16, 1.5), 16.0);
+    }
+
+    #[test]
+    fn display_shows_occupancy() {
+        let mut m = MshrFile::new(4);
+        m.request(LineAddr(1));
+        assert_eq!(m.to_string(), "MSHR 1/4");
+    }
+
+    proptest::proptest! {
+        /// Outstanding never exceeds capacity, and every allocated entry can
+        /// be retired.
+        #[test]
+        fn capacity_invariant(ops in proptest::collection::vec((0u64..16, proptest::bool::ANY), 1..200)) {
+            let mut m = MshrFile::new(4);
+            for (line, retire) in ops {
+                if retire {
+                    m.retire(LineAddr(line));
+                } else {
+                    m.request(LineAddr(line));
+                }
+                proptest::prop_assert!(m.outstanding() <= 4);
+            }
+        }
+    }
+}

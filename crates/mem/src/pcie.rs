@@ -1,0 +1,119 @@
+//! PCI Express link and DMA copy-engine model.
+//!
+//! Table I: PCIe v2.0 x16, 8 GB/s peak between the CPU and GPU memories of
+//! the discrete system. The copy engine moves whole buffers by DMA; each
+//! `cudaMemcpy` also pays a host-side setup/launch latency, which is what
+//! the paper's `C_serial` term (Eq. 1) accumulates when copies are too small
+//! or serialized to hide it.
+
+use std::fmt;
+
+use heteropipe_sim::Ps;
+
+/// Parameters of the CPU-GPU interconnect of the discrete system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcieConfig {
+    peak_bytes_per_sec: f64,
+    efficiency: f64,
+    setup_latency: Ps,
+}
+
+impl PcieConfig {
+    /// A PCIe link with the given peak bandwidth, achievable efficiency,
+    /// and per-transfer DMA setup latency.
+    pub fn new(peak_bytes_per_sec: f64, efficiency: f64, setup_latency: Ps) -> Self {
+        assert!(peak_bytes_per_sec > 0.0, "bandwidth must be positive");
+        assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency in (0,1]");
+        PcieConfig {
+            peak_bytes_per_sec,
+            efficiency,
+            setup_latency,
+        }
+    }
+
+    /// Table I's link: PCIe v2.0 x16, 8 GB/s peak. Setup latency reflects
+    /// a user-level `cudaMemcpy` round trip (~10 us).
+    pub fn gen2_x16() -> Self {
+        PcieConfig::new(8.0e9, 0.90, Ps::from_micros(10))
+    }
+
+    /// A PCIe 3.0 x16-class link (ablation: does more copy bandwidth close
+    /// the gap to the heterogeneous processor?).
+    pub fn gen3_x16() -> Self {
+        PcieConfig::new(16.0e9, 0.90, Ps::from_micros(10))
+    }
+
+    /// Peak link bandwidth, bytes per second.
+    pub const fn peak_bw(&self) -> f64 {
+        self.peak_bytes_per_sec
+    }
+
+    /// Achievable DMA bandwidth (peak × protocol efficiency).
+    pub fn effective_bw(&self) -> f64 {
+        self.peak_bytes_per_sec * self.efficiency
+    }
+
+    /// Host-side setup latency charged per transfer.
+    pub const fn setup_latency(&self) -> Ps {
+        self.setup_latency
+    }
+
+    /// Pure transfer time for `bytes` at effective bandwidth (no setup, no
+    /// contention).
+    pub fn transfer_time(&self, bytes: u64) -> Ps {
+        Ps::from_secs_f64(bytes as f64 / self.effective_bw())
+    }
+
+    /// A copy with a different peak bandwidth, for sweeps.
+    pub fn with_peak_bw(mut self, peak_bytes_per_sec: f64) -> Self {
+        assert!(peak_bytes_per_sec > 0.0);
+        self.peak_bytes_per_sec = peak_bytes_per_sec;
+        self
+    }
+}
+
+impl fmt::Display for PcieConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PCIe {:.0}GB/s peak", self.peak_bytes_per_sec / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen2_matches_table1() {
+        let p = PcieConfig::gen2_x16();
+        assert_eq!(p.peak_bw(), 8.0e9);
+        assert!(p.effective_bw() < p.peak_bw());
+        assert_eq!(p.setup_latency(), Ps::from_micros(10));
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let p = PcieConfig::gen2_x16();
+        let t1 = p.transfer_time(1 << 20);
+        let t2 = p.transfer_time(2 << 20);
+        let ratio = t2.as_secs_f64() / t1.as_secs_f64();
+        assert!((ratio - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gen3_doubles_gen2() {
+        assert_eq!(
+            PcieConfig::gen3_x16().peak_bw(),
+            2.0 * PcieConfig::gen2_x16().peak_bw()
+        );
+    }
+
+    #[test]
+    fn bandwidth_asymmetry_vs_memories() {
+        // The case-study's observation: PCIe (8 GB/s) is 3x slower than the
+        // CPU memory (24 GB/s) and ~22x slower than GPU memory (179 GB/s).
+        use crate::dram::DramConfig;
+        let pcie = PcieConfig::gen2_x16();
+        assert!(DramConfig::ddr3_1600_2ch().peak_bw() / pcie.peak_bw() >= 3.0);
+        assert!(DramConfig::gddr5_4ch().peak_bw() / pcie.peak_bw() > 20.0);
+    }
+}

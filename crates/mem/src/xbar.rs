@@ -1,0 +1,163 @@
+//! On-chip interconnect switch models.
+//!
+//! Table I's interconnects: the discrete system's CPU chip connects its L2s
+//! and memory controllers by a 6-port switch and the GPU uses a dance-hall
+//! L1-to-L2 topology with direct L2-to-MC links; the heterogeneous processor
+//! connects all L2s and memory controllers through a high-bandwidth 12-port
+//! switch. For stage-granularity timing the interconnect matters as (a) a
+//! latency adder on cross-chip cache-to-cache transfers and (b) an aggregate
+//! bandwidth ceiling that in practice exceeds DRAM bandwidth and therefore
+//! rarely binds — matching the paper's observation that CPU-GPU memory
+//! contention has a marginal effect compared to application-level structure.
+
+use std::fmt;
+
+use heteropipe_sim::Ps;
+
+/// Topology of a switch or direct-link fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// A crossbar switch with N ports.
+    Switch {
+        /// Port count.
+        ports: u32,
+    },
+    /// All requesters see all banks (GPU L1-to-L2 style).
+    DanceHall,
+    /// Point-to-point links (GPU L2-to-MC style).
+    DirectLinks {
+        /// Link count.
+        links: u32,
+    },
+}
+
+/// An on-chip interconnect description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterconnectConfig {
+    topology: Topology,
+    per_port_bytes_per_sec: f64,
+    hop_latency: Ps,
+}
+
+impl InterconnectConfig {
+    /// Creates an interconnect with the given topology, per-port bandwidth,
+    /// and per-hop latency.
+    pub fn new(topology: Topology, per_port_bytes_per_sec: f64, hop_latency: Ps) -> Self {
+        assert!(per_port_bytes_per_sec > 0.0, "bandwidth must be positive");
+        InterconnectConfig {
+            topology,
+            per_port_bytes_per_sec,
+            hop_latency,
+        }
+    }
+
+    /// The discrete CPU chip's 6-port switch between L2s and MCs.
+    pub fn cpu_6port() -> Self {
+        InterconnectConfig::new(Topology::Switch { ports: 6 }, 32.0e9, Ps::from_nanos(8))
+    }
+
+    /// The GPU's dance-hall L1/L2 fabric.
+    pub fn gpu_dancehall() -> Self {
+        InterconnectConfig::new(Topology::DanceHall, 64.0e9, Ps::from_nanos(6))
+    }
+
+    /// The GPU's direct L2-to-MC links.
+    pub fn gpu_direct_mc() -> Self {
+        InterconnectConfig::new(
+            Topology::DirectLinks { links: 4 },
+            64.0e9,
+            Ps::from_nanos(4),
+        )
+    }
+
+    /// The heterogeneous processor's high-bandwidth 12-port switch joining
+    /// all L2s and MCs.
+    pub fn hetero_12port() -> Self {
+        InterconnectConfig::new(Topology::Switch { ports: 12 }, 64.0e9, Ps::from_nanos(10))
+    }
+
+    /// The fabric's topology.
+    pub const fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Aggregate bisection-style bandwidth: ports/2 (or links, or 8 lanes
+    /// for dance-hall) times per-port bandwidth.
+    pub fn aggregate_bw(&self) -> f64 {
+        let lanes = match self.topology {
+            Topology::Switch { ports } => (ports / 2).max(1),
+            Topology::DanceHall => 8,
+            Topology::DirectLinks { links } => links,
+        };
+        lanes as f64 * self.per_port_bytes_per_sec
+    }
+
+    /// Latency of one traversal (requester to target).
+    pub const fn hop_latency(&self) -> Ps {
+        self.hop_latency
+    }
+
+    /// Latency of a coherent cache-to-cache transfer (probe out and data
+    /// back: two traversals).
+    pub fn cache_to_cache_latency(&self) -> Ps {
+        self.hop_latency * 2
+    }
+}
+
+impl fmt::Display for InterconnectConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.topology {
+            Topology::Switch { ports } => write!(f, "{ports}-port switch"),
+            Topology::DanceHall => write!(f, "dance-hall"),
+            Topology::DirectLinks { links } => write!(f, "{links} direct links"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_exist_and_are_distinct() {
+        let cpu = InterconnectConfig::cpu_6port();
+        let het = InterconnectConfig::hetero_12port();
+        assert_eq!(cpu.topology(), Topology::Switch { ports: 6 });
+        assert_eq!(het.topology(), Topology::Switch { ports: 12 });
+        assert!(het.aggregate_bw() > cpu.aggregate_bw());
+    }
+
+    #[test]
+    fn interconnect_exceeds_dram_bandwidth() {
+        // The fabric should not be the binding resource (paper: contention
+        // effects are marginal next to application-level structure).
+        use crate::dram::DramConfig;
+        assert!(
+            InterconnectConfig::hetero_12port().aggregate_bw()
+                > DramConfig::gddr5_4ch().effective_bw()
+        );
+        assert!(
+            InterconnectConfig::cpu_6port().aggregate_bw()
+                > DramConfig::ddr3_1600_2ch().effective_bw()
+        );
+    }
+
+    #[test]
+    fn cache_to_cache_is_round_trip() {
+        let x = InterconnectConfig::hetero_12port();
+        assert_eq!(x.cache_to_cache_latency(), x.hop_latency() * 2);
+    }
+
+    #[test]
+    fn display_names_topology() {
+        assert_eq!(InterconnectConfig::cpu_6port().to_string(), "6-port switch");
+        assert_eq!(
+            InterconnectConfig::gpu_dancehall().to_string(),
+            "dance-hall"
+        );
+        assert_eq!(
+            InterconnectConfig::gpu_direct_mc().to_string(),
+            "4 direct links"
+        );
+    }
+}

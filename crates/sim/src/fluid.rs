@@ -1,0 +1,551 @@
+//! Max-min-fair fluid bandwidth network.
+//!
+//! The `heteropipe` study models memory-system contention at *task*
+//! granularity rather than per-request: each executing pipeline stage drains
+//! a known number of off-chip bytes through one or more shared bandwidth
+//! resources (a PCIe 2.0 link, a DDR3 or GDDR5 memory system, an on-chip
+//! switch). While several stages execute concurrently — asynchronous copy
+//! streams overlapping GPU kernels, or chunked producer-consumer stages on a
+//! heterogeneous processor — they share each resource max-min fairly.
+//!
+//! [`FluidNet`] implements the classic *progressive filling* algorithm: all
+//! active flows increase their rate together until either a flow reaches its
+//! own rate cap (a stage that is compute- or latency-bound cannot consume
+//! bandwidth faster than it executes) or a resource saturates (freezing every
+//! flow crossing it). Between rate recomputations flow progress is linear, so
+//! completions can be scheduled exactly — this is a fluid approximation of
+//! packet-level fair queueing that is deterministic and costs O(flows ×
+//! resources) per flow arrival or departure.
+
+use std::fmt;
+
+use crate::time::Ps;
+
+/// Identifies a bandwidth resource registered with a [`FluidNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(usize);
+
+/// Identifies an active flow within a [`FluidNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(u64);
+
+/// Description of a flow to start: how many bytes to move, an optional rate
+/// cap, and which resources it crosses.
+///
+/// # Examples
+///
+/// ```
+/// use heteropipe_sim::fluid::FlowSpec;
+///
+/// // 1 MiB that can drain at most 2 GB/s regardless of link headroom.
+/// let spec = FlowSpec::new(1048576.0).rate_cap(2.0e9);
+/// assert_eq!(spec.bytes(), 1048576.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    bytes: f64,
+    max_rate: f64,
+    resources: Vec<ResourceId>,
+}
+
+impl FlowSpec {
+    /// A flow moving `bytes` bytes, initially uncapped and crossing no
+    /// resource (it would complete instantly; add constraints with
+    /// [`over`](Self::over), [`rate_cap`](Self::rate_cap), or
+    /// [`min_duration`](Self::min_duration)).
+    pub fn new(bytes: f64) -> Self {
+        assert!(bytes.is_finite() && bytes >= 0.0, "flow bytes must be >= 0");
+        FlowSpec {
+            bytes,
+            max_rate: f64::INFINITY,
+            resources: Vec::new(),
+        }
+    }
+
+    /// A flow that is a pure delay of `d` with no bandwidth demand.
+    pub fn delay(d: Ps) -> Self {
+        FlowSpec::new(0.0).min_duration(d)
+    }
+
+    /// Adds a resource this flow must cross.
+    pub fn over(mut self, r: ResourceId) -> Self {
+        self.resources.push(r);
+        self
+    }
+
+    /// Caps the flow's service rate (bytes per second), e.g. because the
+    /// issuing component is compute-bound and cannot demand bandwidth faster.
+    pub fn rate_cap(mut self, bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "rate cap must be positive");
+        self.max_rate = self.max_rate.min(bytes_per_sec);
+        self
+    }
+
+    /// Forces the flow to take at least `d` even under zero contention, by
+    /// capping its rate at `bytes / d`. A zero-byte flow becomes a pure
+    /// delay.
+    pub fn min_duration(mut self, d: Ps) -> Self {
+        let secs = d.as_secs_f64();
+        if secs <= 0.0 {
+            return self;
+        }
+        if self.bytes == 0.0 {
+            // Represent a pure delay as one synthetic byte at the matching
+            // rate; it crosses no resources so it never contends.
+            self.bytes = 1.0;
+            self.max_rate = self.max_rate.min(1.0 / secs);
+        } else {
+            self.max_rate = self.max_rate.min(self.bytes / secs);
+        }
+        self
+    }
+
+    /// The byte count this spec will move.
+    pub fn bytes(&self) -> f64 {
+        self.bytes
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Resource {
+    name: String,
+    capacity: f64,
+    served_bytes: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Flow {
+    id: FlowId,
+    remaining: f64,
+    max_rate: f64,
+    resources: Vec<ResourceId>,
+    rate: f64,
+}
+
+/// A set of bandwidth resources and the flows currently sharing them.
+///
+/// Time never advances implicitly: callers drive the clock by asking for the
+/// [`next_completion`](Self::next_completion) and then
+/// [`retire`](Self::retire)-ing the finished flow, or by
+/// [`start_flow`](Self::start_flow)-ing new work at a given instant. All
+/// instants passed in must be monotonically non-decreasing.
+#[derive(Debug, Clone)]
+pub struct FluidNet {
+    now: Ps,
+    resources: Vec<Resource>,
+    flows: Vec<Flow>,
+    next_flow: u64,
+}
+
+impl FluidNet {
+    /// Creates an empty network at time zero.
+    pub fn new() -> Self {
+        FluidNet {
+            now: Ps::ZERO,
+            resources: Vec::new(),
+            flows: Vec::new(),
+            next_flow: 0,
+        }
+    }
+
+    /// Registers a bandwidth resource with `capacity` bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not strictly positive and finite.
+    pub fn add_resource(&mut self, name: &str, capacity: f64) -> ResourceId {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "resource capacity must be positive, got {capacity}"
+        );
+        self.resources.push(Resource {
+            name: name.to_owned(),
+            capacity,
+            served_bytes: 0.0,
+        });
+        ResourceId(self.resources.len() - 1)
+    }
+
+    /// Current simulated time of the network.
+    pub fn now(&self) -> Ps {
+        self.now
+    }
+
+    /// Number of currently active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total bytes served by a resource so far (for utilization reporting).
+    pub fn served_bytes(&self, r: ResourceId) -> f64 {
+        self.resources[r.0].served_bytes
+    }
+
+    /// The registered name of a resource.
+    pub fn resource_name(&self, r: ResourceId) -> &str {
+        &self.resources[r.0].name
+    }
+
+    /// Starts a flow at time `at` (advancing the network there first) and
+    /// returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the network's current time or if the
+    /// spec names a resource from a different network.
+    pub fn start_flow(&mut self, at: Ps, spec: FlowSpec) -> FlowId {
+        self.advance_to(at);
+        for r in &spec.resources {
+            assert!(r.0 < self.resources.len(), "unknown resource {r:?}");
+        }
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        self.flows.push(Flow {
+            id,
+            remaining: spec.bytes,
+            max_rate: spec.max_rate,
+            resources: spec.resources,
+            rate: 0.0,
+        });
+        self.recompute_rates();
+        id
+    }
+
+    /// Earliest `(time, flow)` completion among active flows, if any.
+    ///
+    /// Ties are broken by flow start order, keeping the simulation
+    /// deterministic.
+    pub fn next_completion(&self) -> Option<(Ps, FlowId)> {
+        let mut best: Option<(Ps, FlowId)> = None;
+        for f in &self.flows {
+            let t = self.completion_time(f);
+            match best {
+                None => best = Some((t, f.id)),
+                Some((bt, bid)) => {
+                    if t < bt || (t == bt && f.id < bid) {
+                        best = Some((t, f.id));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Retires flow `id` at time `at`, which must be at or after the time
+    /// reported by [`next_completion`](Self::next_completion) for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow is unknown or has not finished by `at`.
+    pub fn retire(&mut self, at: Ps, id: FlowId) {
+        self.advance_to(at);
+        let idx = self
+            .flows
+            .iter()
+            .position(|f| f.id == id)
+            .unwrap_or_else(|| panic!("retire of unknown flow {id:?}"));
+        // Tolerance: linear advance in f64 can leave a sliver of a byte.
+        let leftover = self.flows[idx].remaining;
+        assert!(
+            leftover <= 1.0,
+            "flow {id:?} retired with {leftover} bytes remaining at {at}"
+        );
+        self.flows.swap_remove(idx);
+        self.recompute_rates();
+    }
+
+    fn completion_time(&self, f: &Flow) -> Ps {
+        if f.remaining <= f64::EPSILON {
+            return self.now;
+        }
+        if f.rate <= 0.0 {
+            return Ps::MAX;
+        }
+        // Round up by one picosecond so that by the reported time the flow
+        // has fully drained despite f64 rounding.
+        self.now + Ps::from_secs_f64(f.remaining / f.rate) + Ps::from_picos(1)
+    }
+
+    fn advance_to(&mut self, t: Ps) {
+        assert!(t >= self.now, "time moved backwards: {t} < {}", self.now);
+        let dt = (t - self.now).as_secs_f64();
+        if dt > 0.0 {
+            for f in &mut self.flows {
+                let moved = (f.rate * dt).min(f.remaining);
+                f.remaining -= moved;
+                for r in &f.resources {
+                    self.resources[r.0].served_bytes += moved;
+                }
+            }
+        }
+        self.now = t;
+    }
+
+    /// Progressive-filling max-min fair rate allocation.
+    fn recompute_rates(&mut self) {
+        let nr = self.resources.len();
+        let mut cap_left: Vec<f64> = self.resources.iter().map(|r| r.capacity).collect();
+        let mut frozen: Vec<bool> = self.flows.iter().map(|f| f.remaining <= 0.0).collect();
+        for f in &mut self.flows {
+            f.rate = 0.0;
+        }
+        loop {
+            // Count unfrozen flows per resource.
+            let mut users = vec![0usize; nr];
+            let mut any = false;
+            for (f, &fr) in self.flows.iter().zip(&frozen) {
+                if fr {
+                    continue;
+                }
+                any = true;
+                for r in &f.resources {
+                    users[r.0] += 1;
+                }
+            }
+            if !any {
+                break;
+            }
+            // Largest equal increment every unfrozen flow can take.
+            let mut delta = f64::INFINITY;
+            for (i, &u) in users.iter().enumerate() {
+                if u > 0 {
+                    delta = delta.min(cap_left[i] / u as f64);
+                }
+            }
+            for (f, &fr) in self.flows.iter().zip(&frozen) {
+                if !fr {
+                    delta = delta.min(f.max_rate - f.rate);
+                }
+            }
+            if !delta.is_finite() {
+                // Flows with no resources and no rate cap: complete
+                // instantly. Mark them served.
+                for (f, fr) in self.flows.iter_mut().zip(frozen.iter_mut()) {
+                    if !*fr && f.resources.is_empty() && f.max_rate.is_infinite() {
+                        f.remaining = 0.0;
+                        *fr = true;
+                    }
+                }
+                continue;
+            }
+            // Apply the increment and freeze whatever became binding.
+            let mut saturated = vec![false; nr];
+            for (i, &u) in users.iter().enumerate() {
+                if u > 0 {
+                    cap_left[i] -= delta * u as f64;
+                    if cap_left[i] <= self.resources[i].capacity * 1e-12 {
+                        cap_left[i] = 0.0;
+                        saturated[i] = true;
+                    }
+                }
+            }
+            let mut progressed = false;
+            for (f, fr) in self.flows.iter_mut().zip(frozen.iter_mut()) {
+                if *fr {
+                    continue;
+                }
+                f.rate += delta;
+                if delta > 0.0 {
+                    progressed = true;
+                }
+                let rate_bound = f.rate >= f.max_rate * (1.0 - 1e-12);
+                let res_bound = f.resources.iter().any(|r| saturated[r.0]);
+                if rate_bound || res_bound {
+                    *fr = true;
+                }
+            }
+            if !progressed {
+                // Defensive: zero increment with nothing newly frozen would
+                // loop forever; freeze everything remaining.
+                for fr in frozen.iter_mut() {
+                    *fr = true;
+                }
+            }
+        }
+    }
+}
+
+impl Default for FluidNet {
+    fn default() -> Self {
+        FluidNet::new()
+    }
+}
+
+impl fmt::Display for FluidNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FluidNet(t={}, {} flows, {} resources)",
+            self.now,
+            self.flows.len(),
+            self.resources.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn single_flow_takes_bytes_over_capacity() {
+        let mut net = FluidNet::new();
+        let link = net.add_resource("link", 1.0e9);
+        net.start_flow(Ps::ZERO, FlowSpec::new(1.0e6).over(link));
+        let (t, _) = net.next_completion().unwrap();
+        assert!(approx(t.as_secs_f64(), 1.0e-3, 1e-6), "{t}");
+    }
+
+    #[test]
+    fn two_flows_share_fairly() {
+        let mut net = FluidNet::new();
+        let link = net.add_resource("link", 1.0e9);
+        let a = net.start_flow(Ps::ZERO, FlowSpec::new(1.0e6).over(link));
+        let b = net.start_flow(Ps::ZERO, FlowSpec::new(1.0e6).over(link));
+        // Both at 0.5 GB/s: each takes 2 ms.
+        let (t1, first) = net.next_completion().unwrap();
+        assert!(approx(t1.as_secs_f64(), 2.0e-3, 1e-6));
+        assert_eq!(first, a);
+        net.retire(t1, a);
+        let (t2, second) = net.next_completion().unwrap();
+        assert_eq!(second, b);
+        assert!(t2 >= t1 && t2 <= t1 + Ps::from_nanos(10));
+    }
+
+    #[test]
+    fn late_arrival_slows_residual_work() {
+        let mut net = FluidNet::new();
+        let link = net.add_resource("link", 1.0e9);
+        let a = net.start_flow(Ps::ZERO, FlowSpec::new(2.0e6).over(link));
+        // After 1 ms, a has 1 MB left; b arrives with 1 MB. They split the
+        // link and both finish 2 ms later.
+        let arrival = Ps::from_millis(1);
+        let b = net.start_flow(arrival, FlowSpec::new(1.0e6).over(link));
+        let (t, f) = net.next_completion().unwrap();
+        assert!(approx(t.as_secs_f64(), 3.0e-3, 1e-6), "{t}");
+        assert_eq!(f, a);
+        net.retire(t, a);
+        let (t2, f2) = net.next_completion().unwrap();
+        assert_eq!(f2, b);
+        assert!(t2 >= t && t2 <= t + Ps::from_nanos(10));
+    }
+
+    #[test]
+    fn rate_cap_binds_before_capacity() {
+        let mut net = FluidNet::new();
+        let link = net.add_resource("link", 10.0e9);
+        let capped = net.start_flow(Ps::ZERO, FlowSpec::new(1.0e6).over(link).rate_cap(1.0e9));
+        let (t, f) = net.next_completion().unwrap();
+        assert_eq!(f, capped);
+        assert!(approx(t.as_secs_f64(), 1.0e-3, 1e-6));
+    }
+
+    #[test]
+    fn capped_flow_leaves_headroom_for_others() {
+        let mut net = FluidNet::new();
+        let link = net.add_resource("link", 3.0e9);
+        // Capped flow takes 1 GB/s; the greedy flow should get the other 2.
+        net.start_flow(Ps::ZERO, FlowSpec::new(10.0e6).over(link).rate_cap(1.0e9));
+        let greedy = net.start_flow(Ps::ZERO, FlowSpec::new(2.0e6).over(link));
+        let (t, f) = net.next_completion().unwrap();
+        assert_eq!(f, greedy);
+        assert!(approx(t.as_secs_f64(), 1.0e-3, 1e-5), "{t}");
+    }
+
+    #[test]
+    fn pure_delay_flow() {
+        let mut net = FluidNet::new();
+        let d = net.start_flow(Ps::ZERO, FlowSpec::delay(Ps::from_micros(42)));
+        let (t, f) = net.next_completion().unwrap();
+        assert_eq!(f, d);
+        assert!(approx(t.as_secs_f64(), 42.0e-6, 1e-6));
+        net.retire(t, d);
+        assert_eq!(net.active_flows(), 0);
+    }
+
+    #[test]
+    fn min_duration_floors_fast_flows() {
+        let mut net = FluidNet::new();
+        let link = net.add_resource("link", 100.0e9);
+        // 1 KB over a 100 GB/s link would take 10 ns; the floor holds it to
+        // 1 us.
+        net.start_flow(
+            Ps::ZERO,
+            FlowSpec::new(1024.0)
+                .over(link)
+                .min_duration(Ps::from_micros(1)),
+        );
+        let (t, _) = net.next_completion().unwrap();
+        assert!(approx(t.as_secs_f64(), 1.0e-6, 1e-6), "{t}");
+    }
+
+    #[test]
+    fn multi_resource_flow_bound_by_tightest() {
+        let mut net = FluidNet::new();
+        let fast = net.add_resource("fast", 10.0e9);
+        let slow = net.add_resource("slow", 1.0e9);
+        net.start_flow(Ps::ZERO, FlowSpec::new(1.0e6).over(fast).over(slow));
+        let (t, _) = net.next_completion().unwrap();
+        assert!(approx(t.as_secs_f64(), 1.0e-3, 1e-6));
+    }
+
+    #[test]
+    fn served_bytes_accumulate() {
+        let mut net = FluidNet::new();
+        let link = net.add_resource("link", 1.0e9);
+        let f = net.start_flow(Ps::ZERO, FlowSpec::new(5.0e5).over(link));
+        let (t, _) = net.next_completion().unwrap();
+        net.retire(t, f);
+        assert!(approx(net.served_bytes(link), 5.0e5, 1e-9));
+        assert_eq!(net.resource_name(link), "link");
+    }
+
+    #[test]
+    #[should_panic(expected = "time moved backwards")]
+    fn rejects_time_reversal() {
+        let mut net = FluidNet::new();
+        net.start_flow(Ps::from_millis(5), FlowSpec::delay(Ps::from_micros(1)));
+        net.start_flow(Ps::from_millis(4), FlowSpec::delay(Ps::from_micros(1)));
+    }
+
+    #[test]
+    fn zero_byte_flow_without_duration_completes_now() {
+        let mut net = FluidNet::new();
+        let f = net.start_flow(Ps::from_nanos(3), FlowSpec::new(0.0));
+        let (t, id) = net.next_completion().unwrap();
+        assert_eq!(id, f);
+        assert_eq!(t, Ps::from_nanos(3));
+    }
+
+    proptest::proptest! {
+        /// Under any mix of flows over one link, no completion is earlier
+        /// than bytes/capacity (can't beat the link) and the link is never
+        /// oversubscribed (sum of all served bytes <= capacity * makespan).
+        #[test]
+        fn conservation_and_capacity(specs in proptest::collection::vec((1.0e3f64..1.0e7, 0u64..1_000_000), 1..12)) {
+            let mut net = FluidNet::new();
+            let link = net.add_resource("link", 1.0e9);
+            let mut total = 0.0;
+            let mut last_start = Ps::ZERO;
+            for (bytes, start_ns) in &specs {
+                let at = last_start.max(Ps::from_nanos(*start_ns));
+                last_start = at;
+                net.start_flow(at, FlowSpec::new(*bytes).over(link));
+                total += *bytes;
+            }
+            let mut end = Ps::ZERO;
+            while let Some((t, id)) = net.next_completion() {
+                net.retire(t, id);
+                end = t;
+            }
+            proptest::prop_assert!(approx(net.served_bytes(link), total, 1e-6));
+            // Link can't have moved more bytes than capacity * elapsed.
+            let max_bytes = 1.0e9 * end.as_secs_f64();
+            proptest::prop_assert!(net.served_bytes(link) <= max_bytes * (1.0 + 1e-6) + 2.0);
+        }
+    }
+}

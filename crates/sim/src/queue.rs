@@ -1,0 +1,179 @@
+//! Deterministic event queue.
+//!
+//! A thin wrapper over a binary heap that orders events by time and breaks
+//! ties by insertion order, so that two events scheduled for the same
+//! picosecond always fire in the order they were scheduled. Determinism of
+//! event delivery is what makes every experiment in this workspace exactly
+//! reproducible run to run.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Ps;
+
+/// A time-ordered, FIFO-stable event queue.
+///
+/// # Examples
+///
+/// ```
+/// use heteropipe_sim::{EventQueue, Ps};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Ps::from_nanos(5), "late");
+/// q.schedule(Ps::from_nanos(1), "early");
+/// q.schedule(Ps::from_nanos(5), "late-but-second");
+/// assert_eq!(q.pop(), Some((Ps::from_nanos(1), "early")));
+/// assert_eq!(q.pop(), Some((Ps::from_nanos(5), "late")));
+/// assert_eq!(q.pop(), Some((Ps::from_nanos(5), "late-but-second")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    at: Ps,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: Ps, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// The time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Ps> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Removes and returns the next `(time, event)` pair.
+    pub fn pop(&mut self) -> Option<(Ps, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> Extend<(Ps, E)> for EventQueue<E> {
+    fn extend<I: IntoIterator<Item = (Ps, E)>>(&mut self, iter: I) {
+        for (at, event) in iter {
+            self.schedule(at, event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(Ps::from_nanos(3), 3u32);
+        q.schedule(Ps::from_nanos(1), 1u32);
+        q.schedule(Ps::from_nanos(2), 2u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.schedule(Ps::from_nanos(7), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(Ps::from_nanos(9), ());
+        assert_eq!(q.peek_time(), Some(Ps::from_nanos(9)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn extend_schedules_all() {
+        let mut q = EventQueue::new();
+        q.extend([(Ps::from_nanos(2), 'b'), (Ps::from_nanos(1), 'a')]);
+        assert_eq!(q.pop().map(|(_, e)| e), Some('a'));
+        assert_eq!(q.pop().map(|(_, e)| e), Some('b'));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn pops_are_monotonically_nondecreasing(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(Ps::from_picos(*t), i);
+            }
+            let mut last = Ps::ZERO;
+            while let Some((t, _)) = q.pop() {
+                proptest::prop_assert!(t >= last);
+                last = t;
+            }
+        }
+    }
+}

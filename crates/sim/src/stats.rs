@@ -1,0 +1,468 @@
+//! Statistics: counters, histograms, and component activity timelines.
+//!
+//! The paper's run-time figures (Figs. 3 and 6) break a benchmark's region
+//! of interest down by *which combination of components was active*: copy
+//! engine only, CPU only, GPU only, or overlaps thereof. [`Timeline`]
+//! records busy intervals per component and computes that exact breakdown
+//! with a sweep over interval boundaries.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::Ps;
+
+/// A named monotonic counter.
+///
+/// # Examples
+///
+/// ```
+/// use heteropipe_sim::Counter;
+///
+/// let mut c = Counter::new("offchip_reads");
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter with the given name.
+    pub fn new(name: &str) -> Self {
+        Counter {
+            name: name.to_owned(),
+            value: 0,
+        }
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.name, self.value)
+    }
+}
+
+/// A power-of-two bucketed histogram of `u64` samples.
+///
+/// Bucket `i` holds samples in `[2^(i-1), 2^i)`, with bucket 0 holding the
+/// value 0 and 1. Used for reuse-distance and latency distributions where
+/// order-of-magnitude shape matters more than exact quantiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let b = if v <= 1 {
+            0
+        } else {
+            64 - (v - 1).leading_zeros() as usize
+        };
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Iterates non-empty `(bucket_upper_bound, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i >= 64 { u64::MAX } else { 1u64 << i }, c))
+    }
+}
+
+/// Identifies a component registered with a [`Timeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentId(usize);
+
+impl ComponentId {
+    /// The component's bit in an [`ActivitySet`] mask.
+    pub fn bit(self) -> ActivitySet {
+        ActivitySet(1 << self.0)
+    }
+}
+
+/// A set of components, as a bitmask over [`ComponentId`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ActivitySet(u32);
+
+impl ActivitySet {
+    /// The empty set (no component active).
+    pub const EMPTY: ActivitySet = ActivitySet(0);
+
+    /// Whether `c` is in the set.
+    pub fn contains(self, c: ComponentId) -> bool {
+        self.0 & (1 << c.0) != 0
+    }
+
+    /// The set with `c` added.
+    pub fn with(self, c: ComponentId) -> ActivitySet {
+        ActivitySet(self.0 | (1 << c.0))
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of components in the set.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Raw mask value (stable across runs; bit `i` is the `i`-th registered
+    /// component).
+    pub fn mask(self) -> u32 {
+        self.0
+    }
+}
+
+/// Busy-interval timeline for a small set of components.
+///
+/// # Examples
+///
+/// ```
+/// use heteropipe_sim::{Timeline, Ps};
+///
+/// let mut tl = Timeline::new();
+/// let cpu = tl.add_component("cpu");
+/// let gpu = tl.add_component("gpu");
+/// tl.record(cpu, Ps::ZERO, Ps::from_millis(2));
+/// tl.record(gpu, Ps::from_millis(1), Ps::from_millis(3));
+/// assert_eq!(tl.busy(cpu), Ps::from_millis(2));
+/// assert_eq!(tl.span(), Ps::from_millis(3));
+/// // 1 ms CPU-only, 1 ms overlapped, 1 ms GPU-only.
+/// let b = tl.breakdown();
+/// assert_eq!(b.get(cpu.bit()), Ps::from_millis(1));
+/// assert_eq!(b.get(cpu.bit().with(gpu)), Ps::from_millis(1));
+/// assert_eq!(b.get(gpu.bit()), Ps::from_millis(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    labels: Vec<String>,
+    intervals: Vec<Vec<(Ps, Ps)>>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Registers a component (at most 32 per timeline).
+    pub fn add_component(&mut self, label: &str) -> ComponentId {
+        assert!(
+            self.labels.len() < 32,
+            "timeline supports at most 32 components"
+        );
+        self.labels.push(label.to_owned());
+        self.intervals.push(Vec::new());
+        ComponentId(self.labels.len() - 1)
+    }
+
+    /// The label a component was registered with.
+    pub fn label(&self, c: ComponentId) -> &str {
+        &self.labels[c.0]
+    }
+
+    /// Number of registered components.
+    pub fn component_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Records a busy interval `[start, end)` for `c`. Zero-length intervals
+    /// are ignored; intervals may overlap and arrive in any order.
+    pub fn record(&mut self, c: ComponentId, start: Ps, end: Ps) {
+        assert!(end >= start, "interval ends before it starts");
+        if end > start {
+            self.intervals[c.0].push((start, end));
+        }
+    }
+
+    /// Total busy time of `c` (union of its intervals).
+    pub fn busy(&self, c: ComponentId) -> Ps {
+        let mut iv = self.intervals[c.0].clone();
+        iv.sort();
+        let mut total = Ps::ZERO;
+        let mut cur: Option<(Ps, Ps)> = None;
+        for (s, e) in iv {
+            match cur {
+                None => cur = Some((s, e)),
+                Some((cs, ce)) => {
+                    if s <= ce {
+                        cur = Some((cs, ce.max(e)));
+                    } else {
+                        total += ce - cs;
+                        cur = Some((s, e));
+                    }
+                }
+            }
+        }
+        if let Some((cs, ce)) = cur {
+            total += ce - cs;
+        }
+        total
+    }
+
+    /// End of the last recorded interval across all components (the
+    /// makespan when activity starts at time zero).
+    pub fn span(&self) -> Ps {
+        self.intervals
+            .iter()
+            .flatten()
+            .map(|&(_, e)| e)
+            .max()
+            .unwrap_or(Ps::ZERO)
+    }
+
+    /// Exclusive activity breakdown: for every combination of
+    /// simultaneously-active components, the total time that exact
+    /// combination (and no other component) was active.
+    pub fn breakdown(&self) -> Breakdown {
+        // Sweep line over all interval boundaries.
+        #[derive(Clone, Copy)]
+        enum Edge {
+            Open,
+            Close,
+        }
+        let mut events: Vec<(Ps, usize, Edge)> = Vec::new();
+        for (i, iv) in self.intervals.iter().enumerate() {
+            for &(s, e) in iv {
+                events.push((s, i, Edge::Open));
+                events.push((e, i, Edge::Close));
+            }
+        }
+        events.sort_by_key(|&(t, i, ref e)| (t, matches!(e, Edge::Open), i));
+        let mut active = vec![0u32; self.labels.len()];
+        let mut mask: u32 = 0;
+        let mut last = Ps::ZERO;
+        let mut out: BTreeMap<ActivitySet, Ps> = BTreeMap::new();
+        for (t, i, edge) in events {
+            if t > last && mask != 0 {
+                *out.entry(ActivitySet(mask)).or_insert(Ps::ZERO) += t - last;
+            }
+            last = t;
+            match edge {
+                Edge::Open => {
+                    active[i] += 1;
+                    mask |= 1 << i;
+                }
+                Edge::Close => {
+                    active[i] -= 1;
+                    if active[i] == 0 {
+                        mask &= !(1 << i);
+                    }
+                }
+            }
+        }
+        Breakdown { slices: out }
+    }
+}
+
+/// The result of [`Timeline::breakdown`]: time per exact activity set.
+#[derive(Debug, Clone, Default)]
+pub struct Breakdown {
+    slices: BTreeMap<ActivitySet, Ps>,
+}
+
+impl Breakdown {
+    /// Time during which exactly the set `s` was active.
+    pub fn get(&self, s: ActivitySet) -> Ps {
+        self.slices.get(&s).copied().unwrap_or(Ps::ZERO)
+    }
+
+    /// Iterates `(activity set, duration)` pairs in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (ActivitySet, Ps)> + '_ {
+        self.slices.iter().map(|(&s, &d)| (s, d))
+    }
+
+    /// Total time any component was active.
+    pub fn total(&self) -> Ps {
+        self.slices.values().copied().sum()
+    }
+
+    /// Total time during which `c` was active (alone or overlapped).
+    pub fn active_time(&self, c: ComponentId) -> Ps {
+        self.slices
+            .iter()
+            .filter(|(s, _)| s.contains(c))
+            .map(|(_, &d)| d)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new("x");
+        c.add(10);
+        c.incr();
+        assert_eq!(c.get(), 11);
+        assert_eq!(c.name(), "x");
+        assert_eq!(c.to_string(), "x=11");
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 100, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max(), 1_000_000);
+        assert!((h.mean() - (1_000_110.0 / 7.0)).abs() < 1e-9);
+        let buckets: Vec<(u64, u64)> = h.iter().collect();
+        // 0 and 1 share bucket 0; 2 is in bucket (1,2]; 3 and 4 in (2,4].
+        assert_eq!(buckets[0], (1, 2));
+        assert_eq!(buckets[1], (2, 1));
+        assert_eq!(buckets[2], (4, 2));
+    }
+
+    #[test]
+    fn busy_merges_overlapping_intervals() {
+        let mut tl = Timeline::new();
+        let c = tl.add_component("cpu");
+        tl.record(c, Ps::from_nanos(0), Ps::from_nanos(10));
+        tl.record(c, Ps::from_nanos(5), Ps::from_nanos(15));
+        tl.record(c, Ps::from_nanos(20), Ps::from_nanos(25));
+        assert_eq!(tl.busy(c), Ps::from_nanos(20));
+        assert_eq!(tl.span(), Ps::from_nanos(25));
+    }
+
+    #[test]
+    fn breakdown_three_components() {
+        let mut tl = Timeline::new();
+        let a = tl.add_component("copy");
+        let b = tl.add_component("cpu");
+        let c = tl.add_component("gpu");
+        tl.record(a, Ps::from_nanos(0), Ps::from_nanos(4));
+        tl.record(b, Ps::from_nanos(2), Ps::from_nanos(6));
+        tl.record(c, Ps::from_nanos(5), Ps::from_nanos(9));
+        let bd = tl.breakdown();
+        assert_eq!(bd.get(a.bit()), Ps::from_nanos(2));
+        assert_eq!(bd.get(a.bit().with(b)), Ps::from_nanos(2));
+        assert_eq!(bd.get(b.bit()), Ps::from_nanos(1));
+        assert_eq!(bd.get(b.bit().with(c)), Ps::from_nanos(1));
+        assert_eq!(bd.get(c.bit()), Ps::from_nanos(3));
+        assert_eq!(bd.total(), Ps::from_nanos(9));
+        assert_eq!(bd.active_time(b), Ps::from_nanos(4));
+    }
+
+    #[test]
+    fn zero_length_intervals_ignored() {
+        let mut tl = Timeline::new();
+        let c = tl.add_component("x");
+        tl.record(c, Ps::from_nanos(5), Ps::from_nanos(5));
+        assert_eq!(tl.busy(c), Ps::ZERO);
+        assert_eq!(tl.breakdown().total(), Ps::ZERO);
+    }
+
+    #[test]
+    fn activity_set_ops() {
+        let mut tl = Timeline::new();
+        let a = tl.add_component("a");
+        let b = tl.add_component("b");
+        let s = a.bit().with(b);
+        assert!(s.contains(a) && s.contains(b));
+        assert_eq!(s.len(), 2);
+        assert!(!ActivitySet::EMPTY.contains(a));
+        assert!(ActivitySet::EMPTY.is_empty());
+        assert_eq!(tl.label(a), "a");
+        assert_eq!(tl.component_count(), 2);
+        assert_eq!(s.mask(), 0b11);
+    }
+
+    proptest::proptest! {
+        /// The breakdown's per-component active time always equals the
+        /// component's merged busy time, and the breakdown total never
+        /// exceeds the span.
+        #[test]
+        fn breakdown_consistent_with_busy(
+            iv_a in proptest::collection::vec((0u64..1000, 1u64..100), 0..20),
+            iv_b in proptest::collection::vec((0u64..1000, 1u64..100), 0..20),
+        ) {
+            let mut tl = Timeline::new();
+            let a = tl.add_component("a");
+            let b = tl.add_component("b");
+            for (s, len) in iv_a {
+                tl.record(a, Ps::from_nanos(s), Ps::from_nanos(s + len));
+            }
+            for (s, len) in iv_b {
+                tl.record(b, Ps::from_nanos(s), Ps::from_nanos(s + len));
+            }
+            let bd = tl.breakdown();
+            proptest::prop_assert_eq!(bd.active_time(a), tl.busy(a));
+            proptest::prop_assert_eq!(bd.active_time(b), tl.busy(b));
+            proptest::prop_assert!(bd.total() <= tl.span());
+        }
+    }
+}

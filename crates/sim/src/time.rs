@@ -1,0 +1,332 @@
+//! Simulated time.
+//!
+//! All component models in the workspace agree on a single global clock
+//! measured in integer picoseconds. Picoseconds are fine enough to represent
+//! single cycles of the fastest clock in the study (3.5 GHz CPU cores have a
+//! 285.714… ps period, which we round per-conversion, never accumulating
+//! error across conversions), while `u64` picoseconds can still represent
+//! over 200 days of simulated time — far beyond the paper's longest 1.535 s
+//! region of interest.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time, or a span of it, in integer picoseconds.
+///
+/// `Ps` is used both as an instant (time since simulation start) and as a
+/// duration; the arithmetic is identical and the study never needs calendar
+/// time.
+///
+/// # Examples
+///
+/// ```
+/// use heteropipe_sim::Ps;
+///
+/// let launch = Ps::from_micros(25);
+/// let kernel = Ps::from_millis(3);
+/// assert_eq!((launch + kernel).as_secs_f64(), 0.003025);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ps(u64);
+
+impl Ps {
+    /// The zero instant (simulation start) / the empty duration.
+    pub const ZERO: Ps = Ps(0);
+    /// The maximum representable time; used as an "infinitely far" sentinel.
+    pub const MAX: Ps = Ps(u64::MAX);
+
+    /// Creates a time from raw picoseconds.
+    pub const fn from_picos(ps: u64) -> Self {
+        Ps(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Ps(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Ps(us * 1_000_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Ps(ms * 1_000_000_000)
+    }
+
+    /// Creates a time from a floating-point second count, rounding to the
+    /// nearest picosecond. Negative and non-finite inputs saturate to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs.is_nan() || secs <= 0.0 {
+            return Ps::ZERO;
+        }
+        let ps = (secs * 1e12).round();
+        if ps >= u64::MAX as f64 {
+            Ps::MAX
+        } else {
+            Ps(ps as u64)
+        }
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_picos(self) -> u64 {
+        self.0
+    }
+
+    /// This time as floating-point seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-12
+    }
+
+    /// This time as floating-point milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// This time as floating-point microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 * 1e-6
+    }
+
+    /// Subtraction clamped at zero, for "how much later is `self` than
+    /// `earlier`" when the ordering is not statically known.
+    pub fn saturating_sub(self, earlier: Ps) -> Ps {
+        Ps(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: Ps) -> Ps {
+        Ps(self.0.max(other.0))
+    }
+
+    /// The earlier of two times.
+    pub fn min(self, other: Ps) -> Ps {
+        Ps(self.0.min(other.0))
+    }
+
+    /// Fraction `self / whole` as `f64`; zero when `whole` is zero.
+    pub fn fraction_of(self, whole: Ps) -> f64 {
+        if whole.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / whole.0 as f64
+        }
+    }
+}
+
+impl Add for Ps {
+    type Output = Ps;
+    fn add(self, rhs: Ps) -> Ps {
+        Ps(self.0.checked_add(rhs.0).expect("simulated time overflow"))
+    }
+}
+
+impl AddAssign for Ps {
+    fn add_assign(&mut self, rhs: Ps) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Ps {
+    type Output = Ps;
+    fn sub(self, rhs: Ps) -> Ps {
+        Ps(self
+            .0
+            .checked_sub(rhs.0)
+            .expect("simulated time underflow: rhs is later than self"))
+    }
+}
+
+impl SubAssign for Ps {
+    fn sub_assign(&mut self, rhs: Ps) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Ps {
+    type Output = Ps;
+    fn mul(self, rhs: u64) -> Ps {
+        Ps(self.0.checked_mul(rhs).expect("simulated time overflow"))
+    }
+}
+
+impl Div<u64> for Ps {
+    type Output = Ps;
+    fn div(self, rhs: u64) -> Ps {
+        Ps(self.0 / rhs)
+    }
+}
+
+impl Sum for Ps {
+    fn sum<I: Iterator<Item = Ps>>(iter: I) -> Ps {
+        iter.fold(Ps::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Ps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == 0 {
+            write!(f, "0s")
+        } else if ps < 1_000 {
+            write!(f, "{ps}ps")
+        } else if ps < 1_000_000 {
+            write!(f, "{:.2}ns", ps as f64 / 1e3)
+        } else if ps < 1_000_000_000 {
+            write!(f, "{:.2}us", ps as f64 / 1e6)
+        } else if ps < 1_000_000_000_000 {
+            write!(f, "{:.3}ms", ps as f64 / 1e9)
+        } else {
+            write!(f, "{:.4}s", ps as f64 / 1e12)
+        }
+    }
+}
+
+/// A fixed-frequency clock domain.
+///
+/// Converts between cycle counts of a component (CPU cores at 3.5 GHz, GPU
+/// SMs at 700 MHz in the paper's Table I) and global [`Ps`] time.
+///
+/// # Examples
+///
+/// ```
+/// use heteropipe_sim::ClockDomain;
+///
+/// let cpu = ClockDomain::from_ghz(3.5);
+/// assert_eq!(cpu.cycles_to_time(7).as_picos(), 2000);
+/// assert_eq!(cpu.time_to_cycles(cpu.cycles_to_time(1_000_000)), 1_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockDomain {
+    freq_hz: f64,
+}
+
+impl ClockDomain {
+    /// Creates a clock domain from a frequency in hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is not strictly positive and finite.
+    pub fn new(freq_hz: f64) -> Self {
+        assert!(
+            freq_hz.is_finite() && freq_hz > 0.0,
+            "clock frequency must be positive, got {freq_hz}"
+        );
+        ClockDomain { freq_hz }
+    }
+
+    /// Creates a clock domain from a frequency in gigahertz.
+    pub fn from_ghz(ghz: f64) -> Self {
+        ClockDomain::new(ghz * 1e9)
+    }
+
+    /// Creates a clock domain from a frequency in megahertz.
+    pub fn from_mhz(mhz: f64) -> Self {
+        ClockDomain::new(mhz * 1e6)
+    }
+
+    /// The frequency in hertz.
+    pub fn freq_hz(&self) -> f64 {
+        self.freq_hz
+    }
+
+    /// The period of one cycle.
+    pub fn period(&self) -> Ps {
+        Ps::from_secs_f64(1.0 / self.freq_hz)
+    }
+
+    /// Converts a cycle count to time, rounding to the nearest picosecond.
+    pub fn cycles_to_time(&self, cycles: u64) -> Ps {
+        Ps::from_secs_f64(cycles as f64 / self.freq_hz)
+    }
+
+    /// Converts a fractional cycle count to time.
+    pub fn cycles_f64_to_time(&self, cycles: f64) -> Ps {
+        Ps::from_secs_f64(cycles / self.freq_hz)
+    }
+
+    /// Converts a time to a whole cycle count (rounded to nearest).
+    pub fn time_to_cycles(&self, t: Ps) -> u64 {
+        (t.as_secs_f64() * self.freq_hz).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Ps::from_nanos(1), Ps::from_picos(1_000));
+        assert_eq!(Ps::from_micros(1), Ps::from_nanos(1_000));
+        assert_eq!(Ps::from_millis(1), Ps::from_micros(1_000));
+        assert_eq!(Ps::from_secs_f64(1.0), Ps::from_millis(1_000));
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_bad_input() {
+        assert_eq!(Ps::from_secs_f64(-1.0), Ps::ZERO);
+        assert_eq!(Ps::from_secs_f64(f64::NAN), Ps::ZERO);
+        assert_eq!(Ps::from_secs_f64(f64::INFINITY), Ps::MAX);
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Ps::from_micros(5);
+        let b = Ps::from_nanos(250);
+        assert_eq!(a + b - b, a);
+        assert_eq!((a * 4) / 4, a);
+        assert_eq!(a.saturating_sub(Ps::from_millis(1)), Ps::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = Ps::from_nanos(1) - Ps::from_nanos(2);
+    }
+
+    #[test]
+    fn fraction_of_handles_zero() {
+        assert_eq!(Ps::from_nanos(10).fraction_of(Ps::ZERO), 0.0);
+        assert!((Ps::from_nanos(25).fraction_of(Ps::from_nanos(100)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_picks_sane_units() {
+        assert_eq!(Ps::ZERO.to_string(), "0s");
+        assert_eq!(Ps::from_picos(512).to_string(), "512ps");
+        assert_eq!(Ps::from_nanos(1).to_string(), "1.00ns");
+        assert_eq!(Ps::from_micros(3).to_string(), "3.00us");
+        assert_eq!(Ps::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(Ps::from_secs_f64(1.5).to_string(), "1.5000s");
+    }
+
+    #[test]
+    fn clock_domain_conversions() {
+        let gpu = ClockDomain::from_mhz(700.0);
+        // One 700 MHz cycle is ~1428.57 ps, rounded to the nearest ps.
+        assert_eq!(gpu.cycles_to_time(1).as_picos(), 1429);
+        // Large counts do not accumulate per-cycle rounding error.
+        assert_eq!(
+            gpu.cycles_to_time(7_000_000).as_picos(),
+            10_000_000_000_000 / 1_000
+        );
+        assert_eq!(gpu.time_to_cycles(Ps::from_millis(1)), 700_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn clock_domain_rejects_zero() {
+        let _ = ClockDomain::new(0.0);
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: Ps = [Ps::from_nanos(1), Ps::from_nanos(2), Ps::from_nanos(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Ps::from_nanos(6));
+    }
+}

@@ -1,0 +1,384 @@
+//! Fluent construction of benchmark [`Pipeline`]s.
+//!
+//! The 46 workload models share this vocabulary: declare buffers, then append
+//! copies, CPU stages, and GPU kernels in program order. Stage handles chain
+//! `reads`/`writes` pattern attachments.
+
+use heteropipe_mem::AccessKind;
+
+use crate::ir::{
+    BufferId, BufferInit, BufferSpec, ComputeStage, CopyDir, CopyStage, ExecKind, PatternInstance,
+    Pipeline, Stage,
+};
+use crate::patterns::Pattern;
+
+pub use crate::patterns::Pattern as Shape;
+
+/// Input-set scale factor.
+///
+/// `PAPER` approximates the paper's input criteria scaled to simulate in
+/// milliseconds-per-benchmark (§III-D footprints of tens of MB scale to a
+/// few-to-tens of MB here, always far above the 1 MiB GPU L2 so cache
+/// contention behaviour is preserved). `TEST` shrinks further for fast unit
+/// tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    factor: f64,
+}
+
+impl Scale {
+    /// Experiment scale: every figure/table regeneration uses this.
+    pub const PAPER: Scale = Scale { factor: 1.0 };
+    /// Fast test scale.
+    pub const TEST: Scale = Scale { factor: 0.08 };
+
+    /// A custom scale factor.
+    pub fn new(factor: f64) -> Self {
+        assert!(factor > 0.0 && factor.is_finite(), "scale must be positive");
+        Scale { factor }
+    }
+
+    /// Scales an element count, keeping at least 4096 elements so kernels
+    /// stay wider than a warp.
+    pub fn n(&self, base: u64) -> u64 {
+        ((base as f64 * self.factor) as u64).max(4096)
+    }
+
+    /// Scales a small count (iterations, rows) with a floor of 1.
+    pub fn small(&self, base: u64) -> u64 {
+        ((base as f64 * self.factor.sqrt()) as u64).max(1)
+    }
+
+    /// Scales a matrix dimension: the *square* of the result tracks the
+    /// scale factor, with a floor of 256 (so `dim*dim` buffers shrink
+    /// linearly with scale like everything else).
+    pub fn dim(&self, base: u64) -> u64 {
+        ((base as f64 * self.factor.sqrt()) as u64).max(256)
+    }
+}
+
+/// Builder for a benchmark pipeline.
+#[derive(Debug)]
+pub struct PipelineBuilder {
+    name: String,
+    buffers: Vec<BufferSpec>,
+    stages: Vec<Stage>,
+    work_scale: f64,
+}
+
+impl PipelineBuilder {
+    /// Starts a pipeline named `name` (use `suite/bench`).
+    ///
+    /// Compute costs passed to [`gpu`](Self::gpu) / [`cpu`](Self::cpu) are
+    /// multiplied by a default work scale of 3.0: the paper's inputs run
+    /// over a billion instructions across footprints of tens of MB, i.e.
+    /// several tens of dynamic instructions per data byte, and the
+    /// multiplier brings the models' nominal per-element costs to that
+    /// instructions-per-byte regime. Benchmarks whose costs were calibrated
+    /// directly against the paper (the kmeans case study) override it with
+    /// [`work_scale`](Self::work_scale).
+    pub fn new(name: &str) -> Self {
+        PipelineBuilder {
+            name: name.to_owned(),
+            buffers: Vec::new(),
+            stages: Vec::new(),
+            work_scale: 3.0,
+        }
+    }
+
+    /// Overrides the compute-cost multiplier (see [`new`](Self::new)).
+    pub fn work_scale(&mut self, w: f64) -> &mut Self {
+        assert!(w > 0.0 && w.is_finite(), "work scale must be positive");
+        self.work_scale = w;
+        self
+    }
+
+    /// Declares a buffer with full control.
+    pub fn buffer(
+        &mut self,
+        name: &str,
+        bytes: u64,
+        elem_bytes: u32,
+        init: BufferInit,
+        mirrored: bool,
+    ) -> BufferId {
+        self.buffers.push(BufferSpec {
+            name: name.to_owned(),
+            bytes,
+            elem_bytes,
+            init,
+            mirrored,
+        });
+        BufferId(self.buffers.len() - 1)
+    }
+
+    /// A host-initialized, mirrored buffer of 4-byte elements (the common
+    /// input-array case).
+    pub fn host(&mut self, name: &str, bytes: u64) -> BufferId {
+        self.buffer(name, bytes, 4, BufferInit::Host, true)
+    }
+
+    /// A host-initialized, mirrored buffer with an explicit element size.
+    pub fn host_elems(&mut self, name: &str, bytes: u64, elem_bytes: u32) -> BufferId {
+        self.buffer(name, bytes, elem_bytes, BufferInit::Host, true)
+    }
+
+    /// A GPU-produced result buffer that is mirrored back to the host.
+    pub fn result(&mut self, name: &str, bytes: u64) -> BufferId {
+        self.buffer(name, bytes, 4, BufferInit::Gpu, true)
+    }
+
+    /// A GPU-only temporary (never mirrored, never copied; first touched by
+    /// a kernel — the page-fault-prone kind on a heterogeneous processor).
+    pub fn gpu_temp(&mut self, name: &str, bytes: u64) -> BufferId {
+        self.buffer(name, bytes, 4, BufferInit::Gpu, false)
+    }
+
+    /// Appends an elidable host-to-device copy of the whole buffer.
+    pub fn h2d(&mut self, buf: BufferId) -> &mut Self {
+        self.copy(buf, CopyDir::H2D, None, true)
+    }
+
+    /// Appends an elidable device-to-host copy of the whole buffer.
+    pub fn d2h(&mut self, buf: BufferId) -> &mut Self {
+        self.copy(buf, CopyDir::D2H, None, true)
+    }
+
+    /// Appends an elidable partial copy.
+    pub fn copy_bytes(&mut self, buf: BufferId, dir: CopyDir, bytes: u64) -> &mut Self {
+        self.copy(buf, dir, Some(bytes), true)
+    }
+
+    /// Appends a copy the elimination pass cannot remove (double-buffer
+    /// shuffles, re-packed data — the "limited-copy" residue).
+    pub fn sticky_copy(&mut self, buf: BufferId, dir: CopyDir, bytes: Option<u64>) -> &mut Self {
+        self.copy(buf, dir, bytes, false)
+    }
+
+    fn copy(
+        &mut self,
+        buf: BufferId,
+        dir: CopyDir,
+        bytes: Option<u64>,
+        elidable: bool,
+    ) -> &mut Self {
+        self.stages.push(Stage::Copy(CopyStage {
+            buf,
+            dir,
+            bytes,
+            elidable,
+        }));
+        self
+    }
+
+    /// Appends a GPU kernel: `threads` total, `ipt` instructions and `fpt`
+    /// FLOPs per thread. Returns a handle to attach patterns.
+    pub fn gpu(&mut self, name: &str, threads: u64, ipt: f64, fpt: f64) -> StageHandle<'_> {
+        self.compute(name, ExecKind::Gpu, threads, ipt, fpt)
+    }
+
+    /// Appends a CPU stage (single-threaded unless `.threads()` overrides).
+    pub fn cpu(&mut self, name: &str, work_items: u64, ipt: f64, fpt: f64) -> StageHandle<'_> {
+        let w = self.work_scale;
+        let mut h = self.compute(name, ExecKind::Cpu, 1, 0.0, 0.0);
+        // CPU stages express work as items processed serially.
+        let stage = h.stage();
+        stage.instructions = (work_items as f64 * ipt * w) as u64;
+        stage.flops = (work_items as f64 * fpt * w) as u64;
+        h
+    }
+
+    fn compute(
+        &mut self,
+        name: &str,
+        exec: ExecKind,
+        threads: u64,
+        ipt: f64,
+        fpt: f64,
+    ) -> StageHandle<'_> {
+        self.stages.push(Stage::Compute(ComputeStage {
+            name: name.to_owned(),
+            exec,
+            threads,
+            threads_per_cta: 256,
+            scratch_per_cta: 0,
+            instructions: (threads as f64 * ipt * self.work_scale) as u64,
+            flops: (threads as f64 * fpt * self.work_scale) as u64,
+            patterns: Vec::new(),
+            chunkable: true,
+            interleave_patterns: false,
+        }));
+        let idx = self.stages.len() - 1;
+        StageHandle { builder: self, idx }
+    }
+
+    /// Finishes the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline fails validation — benchmark definitions are
+    /// static, so an invalid one is a programming error.
+    pub fn build(self) -> Pipeline {
+        let p = Pipeline {
+            name: self.name,
+            buffers: self.buffers,
+            stages: self.stages,
+        };
+        if let Err(e) = p.validate() {
+            panic!("invalid pipeline: {e}");
+        }
+        p
+    }
+}
+
+/// Chaining handle for the most recently added compute stage.
+#[derive(Debug)]
+pub struct StageHandle<'a> {
+    builder: &'a mut PipelineBuilder,
+    idx: usize,
+}
+
+impl StageHandle<'_> {
+    fn stage(&mut self) -> &mut ComputeStage {
+        match &mut self.builder.stages[self.idx] {
+            Stage::Compute(c) => c,
+            Stage::Copy(_) => unreachable!("stage handle always points at a compute stage"),
+        }
+    }
+
+    /// Sets the GPU CTA shape.
+    pub fn cta(mut self, threads_per_cta: u32, scratch_per_cta: u64) -> Self {
+        let s = self.stage();
+        s.threads_per_cta = threads_per_cta;
+        s.scratch_per_cta = scratch_per_cta;
+        self
+    }
+
+    /// Marks the stage non-chunkable (wide cross-chunk data dependencies).
+    pub fn serial(mut self) -> Self {
+        self.stage().chunkable = false;
+        self
+    }
+
+    /// Sets CPU-side software threading.
+    pub fn threads(mut self, n: u64) -> Self {
+        self.stage().threads = n;
+        self
+    }
+
+    /// Attaches a read pattern that follows chunking.
+    pub fn reads(self, buf: BufferId, pattern: Pattern) -> Self {
+        self.attach(buf, AccessKind::Read, pattern, true)
+    }
+
+    /// Attaches a read pattern repeated in full by every chunk (broadcast
+    /// tables, whole-graph structures).
+    pub fn reads_all(self, buf: BufferId, pattern: Pattern) -> Self {
+        self.attach(buf, AccessKind::Read, pattern, false)
+    }
+
+    /// Attaches a write pattern that follows chunking.
+    pub fn writes(self, buf: BufferId, pattern: Pattern) -> Self {
+        self.attach(buf, AccessKind::Write, pattern, true)
+    }
+
+    /// Attaches a write pattern repeated in full by every chunk.
+    pub fn writes_all(self, buf: BufferId, pattern: Pattern) -> Self {
+        self.attach(buf, AccessKind::Write, pattern, false)
+    }
+
+    fn attach(mut self, buf: BufferId, kind: AccessKind, pattern: Pattern, follows: bool) -> Self {
+        self.stage().patterns.push(PatternInstance {
+            buf,
+            kind,
+            pattern,
+            follows_chunk: follows,
+        });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_scale_override() {
+        let mut b = PipelineBuilder::new("test/ws");
+        let x = b.host("x", 4096);
+        b.work_scale(1.0);
+        b.gpu("k", 1000, 7.0, 2.0)
+            .reads(x, Pattern::Stream { passes: 1 });
+        let p = b.build();
+        let k = p.stages[0].as_compute().unwrap();
+        assert_eq!(k.instructions, 7000);
+        assert_eq!(k.flops, 2000);
+    }
+
+    #[test]
+    fn dim_floor_is_small() {
+        assert_eq!(Scale::TEST.dim(1100), 311);
+        assert_eq!(Scale::PAPER.dim(1100), 1100);
+        assert_eq!(Scale::new(0.0001).dim(1100), 256);
+    }
+
+    #[test]
+    fn scale_floors() {
+        assert_eq!(Scale::TEST.n(1000), 4096);
+        assert_eq!(Scale::PAPER.n(1_000_000), 1_000_000);
+        assert_eq!(Scale::TEST.small(2), 1);
+        assert!(Scale::new(0.5).n(1_000_000) == 500_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scale_rejects_zero() {
+        let _ = Scale::new(0.0);
+    }
+
+    #[test]
+    fn builder_assembles_valid_pipeline() {
+        let mut b = PipelineBuilder::new("test/demo");
+        let input = b.host("input", 1 << 20);
+        let out = b.result("out", 1 << 18);
+        b.h2d(input);
+        b.gpu("k", 1 << 16, 10.0, 4.0)
+            .cta(128, 1024)
+            .reads(input, Pattern::Stream { passes: 1 })
+            .writes(out, Pattern::Stream { passes: 1 });
+        b.d2h(out);
+        b.cpu("post", 1 << 10, 20.0, 1.0)
+            .serial()
+            .reads(out, Pattern::Point { count: 1 << 10 });
+        let p = b.build();
+        assert_eq!(p.compute_stages(), 2);
+        assert_eq!(p.copy_stages(), 2);
+        assert_eq!(p.residual_copies(), 0);
+        let kernel = p.stages[1].as_compute().unwrap();
+        assert_eq!(kernel.threads_per_cta, 128);
+        // Costs carry the default 3.0 work-scale multiplier (see `new`).
+        assert_eq!(kernel.instructions, 3 * 10 * (1 << 16));
+        assert!(kernel.chunkable);
+        let post = p.stages[3].as_compute().unwrap();
+        assert!(!post.chunkable);
+        assert_eq!(post.instructions, 3 * 20 * 1024);
+    }
+
+    #[test]
+    fn sticky_copy_is_residual() {
+        let mut b = PipelineBuilder::new("test/sticky");
+        let buf = b.host("x", 4096);
+        b.sticky_copy(buf, CopyDir::H2D, None);
+        b.gpu("k", 4096, 1.0, 0.0)
+            .reads(buf, Pattern::Stream { passes: 1 });
+        let p = b.build();
+        assert_eq!(p.residual_copies(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid pipeline")]
+    fn build_panics_on_invalid() {
+        let b = PipelineBuilder::new("test/empty");
+        let _ = b.build();
+    }
+}

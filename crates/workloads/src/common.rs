@@ -1,0 +1,157 @@
+//! Shared building blocks for the benchmark models: CSR graphs, convergence
+//! loops, and the small copies that implement CPU-side loop control.
+
+use crate::builder::{PipelineBuilder, StageHandle};
+use crate::ir::{BufferId, CopyDir};
+use crate::patterns::Pattern;
+
+/// The buffers of a CSR graph: row offsets, edge targets, and (optionally)
+/// edge weights, plus a per-node property array.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrGraph {
+    /// Row offsets, `(n+1) * 4` bytes.
+    pub offsets: BufferId,
+    /// Edge targets, `m * 4` bytes.
+    pub edges: BufferId,
+    /// Edge weights (same shape as `edges`), if the algorithm is weighted.
+    pub weights: Option<BufferId>,
+    /// Per-node property (distance, level, rank, ...), `n * 4` bytes.
+    pub props: BufferId,
+    /// Node count.
+    pub nodes: u64,
+    /// Edge count.
+    pub edges_count: u64,
+}
+
+impl CsrGraph {
+    /// Declares the graph buffers on `b` with `n` nodes and average degree
+    /// `deg`.
+    pub fn declare(b: &mut PipelineBuilder, n: u64, deg: f64, weighted: bool) -> Self {
+        let m = (n as f64 * deg) as u64;
+        CsrGraph {
+            offsets: b.host("graph.offsets", (n + 1) * 4),
+            edges: b.host("graph.edges", m * 4),
+            weights: weighted.then(|| b.host("graph.weights", m * 4)),
+            props: b.host("graph.props", n * 4),
+            nodes: n,
+            edges_count: m,
+        }
+    }
+
+    /// Copies the whole graph host-to-device (the upfront transfer of every
+    /// discrete-GPU graph benchmark).
+    pub fn h2d_all(&self, b: &mut PipelineBuilder) {
+        b.h2d(self.offsets);
+        b.h2d(self.edges);
+        if let Some(w) = self.weights {
+            b.h2d(w);
+        }
+        b.h2d(self.props);
+    }
+
+    /// Attaches the canonical irregular traversal patterns of one
+    /// relaxation kernel to `h`: sweep the offsets, jump through edges with
+    /// skewed locality, and read/write node properties irregularly.
+    pub fn attach_traversal<'a>(&self, h: StageHandle<'a>, touched: f64) -> StageHandle<'a> {
+        let h = if touched >= 1.0 {
+            h.reads(self.offsets, Pattern::Stream { passes: 1 })
+        } else {
+            h.reads(self.offsets, Pattern::SparseSweep { fraction: touched })
+        };
+        let h = h.reads_all(
+            self.edges,
+            Pattern::Gather {
+                count: (self.edges_count as f64 * touched) as u64,
+                region: 1.0,
+            },
+        );
+        let h = match self.weights {
+            Some(w) => h.reads_all(
+                w,
+                Pattern::Gather {
+                    count: (self.edges_count as f64 * touched) as u64,
+                    region: 1.0,
+                },
+            ),
+            None => h,
+        };
+        h.reads_all(
+            self.props,
+            Pattern::Gather {
+                count: (self.edges_count as f64 * touched * 0.6) as u64,
+                region: 1.0,
+            },
+        )
+        .writes_all(
+            self.props,
+            Pattern::Gather {
+                count: (self.nodes as f64 * touched * 0.4) as u64,
+                region: 1.0,
+            },
+        )
+    }
+}
+
+/// Adds the "outer-loop" control step common to iterative graph
+/// benchmarks: copy a 4-byte convergence flag back to the host and run a
+/// tiny serial CPU check (the paper's §V-A second class: the CPU launches
+/// kernels and waits to decide whether to continue).
+pub fn convergence_check(b: &mut PipelineBuilder, flag: BufferId, tag: &str) {
+    b.copy_bytes(flag, CopyDir::D2H, 4);
+    b.cpu(&format!("check_{tag}"), 64, 8.0, 0.0)
+        .serial()
+        .reads(flag, Pattern::Point { count: 1 });
+}
+
+/// Declares the 4-byte host-mirrored convergence flag used with
+/// [`convergence_check`].
+pub fn flag_buffer(b: &mut PipelineBuilder) -> BufferId {
+    // Allocated as a full line; only the first word is used.
+    b.host("flag", 128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PipelineBuilder;
+
+    #[test]
+    fn csr_declares_expected_buffers() {
+        let mut b = PipelineBuilder::new("test/csr");
+        let g = CsrGraph::declare(&mut b, 1000, 8.0, true);
+        g.h2d_all(&mut b);
+        let h = b.gpu("relax", 1000, 10.0, 1.0);
+        g.attach_traversal(h, 1.0);
+        let p = b.build();
+        assert_eq!(p.buffers.len(), 4);
+        assert_eq!(p.copy_stages(), 4);
+        assert_eq!(g.edges_count, 8000);
+        // Weighted traversal touches all four buffers.
+        let k = p.stages.last().unwrap().as_compute().unwrap();
+        assert_eq!(k.patterns.len(), 5);
+    }
+
+    #[test]
+    fn unweighted_graph_skips_weights() {
+        let mut b = PipelineBuilder::new("test/unweighted");
+        let g = CsrGraph::declare(&mut b, 500, 4.0, false);
+        assert!(g.weights.is_none());
+        let h = b.gpu("bfs", 500, 5.0, 0.0);
+        g.attach_traversal(h, 0.5);
+        let p = b.build();
+        assert_eq!(p.buffers.len(), 3);
+    }
+
+    #[test]
+    fn convergence_check_adds_copy_and_cpu_stage() {
+        let mut b = PipelineBuilder::new("test/conv");
+        let g = CsrGraph::declare(&mut b, 256, 2.0, false);
+        let flag = flag_buffer(&mut b);
+        let h = b.gpu("k", 256, 1.0, 0.0);
+        g.attach_traversal(h, 1.0);
+        convergence_check(&mut b, flag, "round0");
+        let p = b.build();
+        assert_eq!(p.copy_stages(), 1);
+        assert_eq!(p.compute_stages(), 2);
+    }
+}

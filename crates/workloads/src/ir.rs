@@ -1,0 +1,375 @@
+//! The benchmark intermediate representation.
+//!
+//! Each benchmark is described *as written for a discrete GPU*: a list of
+//! logical buffers and a bulk-synchronous sequence of stages (CPU stages,
+//! GPU kernels, and explicit memory copies). The `heteropipe` core crate
+//! lowers this IR onto a platform (allocating mirrored or shared address
+//! ranges) and an organization (serial, asynchronous streams, or chunked
+//! producer-consumer), which is exactly the porting exercise the paper
+//! performs on the real benchmarks.
+
+use std::fmt;
+
+use crate::patterns::Pattern;
+use heteropipe_mem::AccessKind;
+
+/// Index of a buffer within its [`Pipeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(pub usize);
+
+/// Who materializes a buffer's initial contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferInit {
+    /// The CPU initializes it before the region of interest; its pages are
+    /// mapped when the ROI starts.
+    Host,
+    /// The GPU produces it (temporary or output data); in the heterogeneous
+    /// processor its pages are unmapped until first GPU touch, which raises
+    /// CPU-handled page faults.
+    Gpu,
+}
+
+/// A logical data buffer of the benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferSpec {
+    /// Human-readable name ("features", "graph.edges", …).
+    pub name: String,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Element size used by access patterns (4 or 8 typically).
+    pub elem_bytes: u32,
+    /// Who writes it first.
+    pub init: BufferInit,
+    /// Whether the copy-version benchmark mirrors it into the other memory
+    /// space (allocating twice and copying). GPU-temporary buffers are not
+    /// mirrored.
+    pub mirrored: bool,
+}
+
+/// Direction of an explicit memory copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyDir {
+    /// Host (CPU memory) to device (GPU memory).
+    H2D,
+    /// Device to host.
+    D2H,
+}
+
+impl fmt::Display for CopyDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CopyDir::H2D => write!(f, "H2D"),
+            CopyDir::D2H => write!(f, "D2H"),
+        }
+    }
+}
+
+/// An explicit `cudaMemcpy`-style stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CopyStage {
+    /// The buffer being moved.
+    pub buf: BufferId,
+    /// Transfer direction.
+    pub dir: CopyDir,
+    /// Bytes moved; `None` means the whole buffer.
+    pub bytes: Option<u64>,
+    /// Whether the copy-elimination pass (CUDA-library interception plus
+    /// the paper's manual modifications) can remove this copy. Copies that
+    /// survive model the paper's "limited-copy" residue.
+    pub elidable: bool,
+}
+
+/// Whether a compute stage runs on CPU cores or as a GPU kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecKind {
+    /// Runs on the CPU cores.
+    Cpu,
+    /// Runs as a GPU kernel.
+    Gpu,
+}
+
+impl fmt::Display for ExecKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecKind::Cpu => write!(f, "CPU"),
+            ExecKind::Gpu => write!(f, "GPU"),
+        }
+    }
+}
+
+/// One memory access pattern of a compute stage against one buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternInstance {
+    /// The accessed buffer.
+    pub buf: BufferId,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// The access shape.
+    pub pattern: Pattern,
+    /// Whether this pattern follows the stage's data-parallel chunking
+    /// (sliced per chunk) or is repeated in full by every chunk (small
+    /// broadcast data, global worklists).
+    pub follows_chunk: bool,
+}
+
+/// A CPU stage or GPU kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputeStage {
+    /// Stage name ("distance_kernel", "recenter", …).
+    pub name: String,
+    /// Where it runs.
+    pub exec: ExecKind,
+    /// Total software threads (GPU grid size; 1 for serial CPU code).
+    pub threads: u64,
+    /// GPU CTA width (ignored for CPU stages).
+    pub threads_per_cta: u32,
+    /// GPU scratch (shared) memory per CTA in bytes.
+    pub scratch_per_cta: u64,
+    /// Dynamic instructions for the whole stage.
+    pub instructions: u64,
+    /// Floating-point operations for the whole stage.
+    pub flops: u64,
+    /// Memory access patterns.
+    pub patterns: Vec<PatternInstance>,
+    /// Whether the stage is data-parallel along its principal buffers and
+    /// can be split into chunks (kernel fission / chunked
+    /// producer-consumer).
+    pub chunkable: bool,
+    /// Whether the stage's access patterns interleave tile-wise (fused
+    /// kernels produce and consume each tile in close temporal proximity)
+    /// rather than running one pattern after another.
+    pub interleave_patterns: bool,
+}
+
+/// One stage of the bulk-synchronous pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stage {
+    /// An explicit memory copy.
+    Copy(CopyStage),
+    /// A CPU stage or GPU kernel.
+    Compute(ComputeStage),
+}
+
+impl Stage {
+    /// The compute stage, if this is one.
+    pub fn as_compute(&self) -> Option<&ComputeStage> {
+        match self {
+            Stage::Compute(c) => Some(c),
+            Stage::Copy(_) => None,
+        }
+    }
+
+    /// The copy stage, if this is one.
+    pub fn as_copy(&self) -> Option<&CopyStage> {
+        match self {
+            Stage::Copy(c) => Some(c),
+            Stage::Compute(_) => None,
+        }
+    }
+}
+
+/// A whole benchmark: buffers plus the stage sequence of its region of
+/// interest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pipeline {
+    /// Benchmark name ("rodinia/kmeans").
+    pub name: String,
+    /// All logical buffers.
+    pub buffers: Vec<BufferSpec>,
+    /// The bulk-synchronous stage sequence.
+    pub stages: Vec<Stage>,
+}
+
+impl Pipeline {
+    /// Total bytes across all buffers (one instance each; mirroring is a
+    /// platform decision).
+    pub fn logical_bytes(&self) -> u64 {
+        self.buffers.iter().map(|b| b.bytes).sum()
+    }
+
+    /// Number of compute stages.
+    pub fn compute_stages(&self) -> usize {
+        self.stages
+            .iter()
+            .filter(|s| s.as_compute().is_some())
+            .count()
+    }
+
+    /// Number of copy stages.
+    pub fn copy_stages(&self) -> usize {
+        self.stages.iter().filter(|s| s.as_copy().is_some()).count()
+    }
+
+    /// Number of copy stages that the elimination pass cannot remove.
+    pub fn residual_copies(&self) -> usize {
+        self.stages
+            .iter()
+            .filter_map(Stage::as_copy)
+            .filter(|c| !c.elidable)
+            .count()
+    }
+
+    /// The buffer spec behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn buffer(&self, id: BufferId) -> &BufferSpec {
+        &self.buffers[id.0]
+    }
+
+    /// Validates internal consistency (buffer ids in range, stages
+    /// non-empty, positive sizes). Returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.stages.is_empty() {
+            return Err(format!("{}: pipeline has no stages", self.name));
+        }
+        for (i, b) in self.buffers.iter().enumerate() {
+            if b.bytes == 0 {
+                return Err(format!("{}: buffer {i} ({}) is empty", self.name, b.name));
+            }
+            if b.elem_bytes == 0 || b.elem_bytes as u64 > b.bytes {
+                return Err(format!(
+                    "{}: buffer {} has bad elem size",
+                    self.name, b.name
+                ));
+            }
+        }
+        for (i, s) in self.stages.iter().enumerate() {
+            match s {
+                Stage::Copy(c) => {
+                    if c.buf.0 >= self.buffers.len() {
+                        return Err(format!("{}: stage {i} copies unknown buffer", self.name));
+                    }
+                    if !self.buffers[c.buf.0].mirrored {
+                        return Err(format!(
+                            "{}: stage {i} copies unmirrored buffer {}",
+                            self.name, self.buffers[c.buf.0].name
+                        ));
+                    }
+                }
+                Stage::Compute(c) => {
+                    if c.threads == 0 {
+                        return Err(format!("{}: stage {} has no threads", self.name, c.name));
+                    }
+                    if c.exec == ExecKind::Gpu && c.threads_per_cta == 0 {
+                        return Err(format!("{}: kernel {} has no CTA width", self.name, c.name));
+                    }
+                    if c.patterns.is_empty() {
+                        return Err(format!("{}: stage {} touches no memory", self.name, c.name));
+                    }
+                    for p in &c.patterns {
+                        if p.buf.0 >= self.buffers.len() {
+                            return Err(format!(
+                                "{}: stage {} uses unknown buffer",
+                                self.name, c.name
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_pipeline() -> Pipeline {
+        Pipeline {
+            name: "test/tiny".into(),
+            buffers: vec![BufferSpec {
+                name: "data".into(),
+                bytes: 4096,
+                elem_bytes: 4,
+                init: BufferInit::Host,
+                mirrored: true,
+            }],
+            stages: vec![
+                Stage::Copy(CopyStage {
+                    buf: BufferId(0),
+                    dir: CopyDir::H2D,
+                    bytes: None,
+                    elidable: true,
+                }),
+                Stage::Compute(ComputeStage {
+                    name: "k".into(),
+                    exec: ExecKind::Gpu,
+                    threads: 1024,
+                    threads_per_cta: 256,
+                    scratch_per_cta: 0,
+                    instructions: 10_000,
+                    flops: 2_000,
+                    patterns: vec![PatternInstance {
+                        buf: BufferId(0),
+                        kind: AccessKind::Read,
+                        pattern: Pattern::Stream { passes: 1 },
+                        follows_chunk: true,
+                    }],
+                    chunkable: true,
+                    interleave_patterns: false,
+                }),
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_pipeline_passes() {
+        assert_eq!(tiny_pipeline().validate(), Ok(()));
+    }
+
+    #[test]
+    fn counts() {
+        let p = tiny_pipeline();
+        assert_eq!(p.compute_stages(), 1);
+        assert_eq!(p.copy_stages(), 1);
+        assert_eq!(p.residual_copies(), 0);
+        assert_eq!(p.logical_bytes(), 4096);
+        assert_eq!(p.buffer(BufferId(0)).name, "data");
+    }
+
+    #[test]
+    fn validate_rejects_unknown_buffer() {
+        let mut p = tiny_pipeline();
+        if let Stage::Compute(c) = &mut p.stages[1] {
+            c.patterns[0].buf = BufferId(9);
+        }
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_copy_of_unmirrored() {
+        let mut p = tiny_pipeline();
+        p.buffers[0].mirrored = false;
+        assert!(p.validate().unwrap_err().contains("unmirrored"));
+    }
+
+    #[test]
+    fn validate_rejects_empty_stage_list() {
+        let mut p = tiny_pipeline();
+        p.stages.clear();
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_threads() {
+        let mut p = tiny_pipeline();
+        if let Stage::Compute(c) = &mut p.stages[1] {
+            c.threads = 0;
+        }
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn stage_accessors() {
+        let p = tiny_pipeline();
+        assert!(p.stages[0].as_copy().is_some());
+        assert!(p.stages[0].as_compute().is_none());
+        assert!(p.stages[1].as_compute().is_some());
+        assert_eq!(CopyDir::H2D.to_string(), "H2D");
+        assert_eq!(ExecKind::Gpu.to_string(), "GPU");
+    }
+}

@@ -1,0 +1,50 @@
+//! # heteropipe-workloads
+//!
+//! Models of the 58 GPU computing benchmarks from the four open-source
+//! suites the study characterizes (LonestarGPU, Pannotia, Parboil, Rodinia),
+//! 46 of which are executable workload models.
+//!
+//! A workload model is *not* the benchmark's code: it is the benchmark's
+//! **pipeline structure** — its buffers, its bulk-synchronous sequence of
+//! CPU stages / GPU kernels / memory copies, and per-stage memory access
+//! shapes and compute costs — which is precisely the level at which the
+//! paper's characterization operates (footprints, access counts, component
+//! activity, reuse classes, and the Eq. 1-4 analytical models). See
+//! DESIGN.md §2 for the substitution argument.
+//!
+//! * [`ir`] — the pipeline IR (buffers, stages, copies).
+//! * [`patterns`] — access-shape primitives stages are composed from.
+//! * [`builder`] — fluent pipeline construction and input [`Scale`].
+//! * [`suites`] — the per-benchmark models with their paper context.
+//! * [`registry`] — lookup, enumeration, and the Table II census.
+//!
+//! # Example
+//!
+//! ```
+//! use heteropipe_workloads::{registry, Scale};
+//!
+//! let kmeans = registry::find("rodinia/kmeans").unwrap();
+//! let pipeline = kmeans.pipeline(Scale::TEST).unwrap();
+//! assert!(pipeline.compute_stages() > 0);
+//! let (_rows, total) = registry::census();
+//! assert_eq!(total.benchmarks, 58);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod common;
+pub mod ir;
+pub mod meta;
+pub mod patterns;
+pub mod registry;
+pub mod suites;
+
+pub use builder::{PipelineBuilder, Scale};
+pub use ir::{
+    BufferId, BufferInit, BufferSpec, ComputeStage, CopyDir, CopyStage, ExecKind, PatternInstance,
+    Pipeline, Stage,
+};
+pub use meta::{BenchMeta, CensusRow, Suite};
+pub use patterns::Pattern;
+pub use registry::Workload;

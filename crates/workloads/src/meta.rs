@@ -1,0 +1,170 @@
+//! Benchmark metadata: suites and the producer-consumer construct census
+//! behind the paper's Table II.
+
+use std::fmt;
+
+/// The four open-source GPU computing benchmark suites the paper studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Suite {
+    /// LonestarGPU: irregular, graph-heavy, worklist-driven benchmarks.
+    Lonestar,
+    /// Pannotia: OpenCL graph analytics (ported to CUDA for the study).
+    Pannotia,
+    /// Parboil: scientific and commercial throughput computing.
+    Parboil,
+    /// Rodinia: heterogeneous computing kernels across domains.
+    Rodinia,
+}
+
+impl Suite {
+    /// All suites in the paper's table order.
+    pub const ALL: [Suite; 4] = [
+        Suite::Lonestar,
+        Suite::Pannotia,
+        Suite::Parboil,
+        Suite::Rodinia,
+    ];
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Suite::Lonestar => write!(f, "Lonestar"),
+            Suite::Pannotia => write!(f, "Pannotia"),
+            Suite::Parboil => write!(f, "Parboil"),
+            Suite::Rodinia => write!(f, "Rodinia"),
+        }
+    }
+}
+
+/// Static structure flags for one benchmark (the columns of Table II, plus
+/// study bookkeeping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchMeta {
+    /// Owning suite.
+    pub suite: Suite,
+    /// Benchmark name as the paper abbreviates it.
+    pub name: &'static str,
+    /// Has multiple producer-consumer pipeline interactions ("P-C Comm."):
+    /// CPU stages, GPU kernels, or CPU-GPU memory copies feeding each
+    /// other.
+    pub pc_comm: bool,
+    /// Could be restructured to run pipeline stages concurrently or in
+    /// closer temporal proximity ("Pipe Paral.").
+    pub pipe_parallel: bool,
+    /// Contains regular (dense, structured) P-C constructs.
+    pub regular: bool,
+    /// Contains irregular (graph/pointer) P-C constructs.
+    pub irregular: bool,
+    /// Uses software worklist queues.
+    pub sw_queue: bool,
+    /// Whether the benchmark runs in the simulation environment and does
+    /// non-trivial work (the paper examines 46 of the 58).
+    pub examined: bool,
+    /// Whether shared (limited-copy) allocations of this benchmark lose
+    /// cache-line alignment and inflate GPU access counts (the `*`
+    /// benchmarks of Fig. 5).
+    pub misalignment_sensitive: bool,
+}
+
+impl BenchMeta {
+    /// `suite/name`, the canonical identifier used across experiments.
+    pub fn full_name(&self) -> String {
+        format!("{}/{}", self.suite.to_string().to_lowercase(), self.name)
+    }
+}
+
+/// One suite's row of Table II.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CensusRow {
+    /// Benchmarks in the suite.
+    pub benchmarks: u32,
+    /// With multiple P-C interactions.
+    pub pc_comm: u32,
+    /// Pipeline-parallelizable.
+    pub pipe_parallel: u32,
+    /// With regular constructs.
+    pub regular: u32,
+    /// With irregular constructs.
+    pub irregular: u32,
+    /// With software queues.
+    pub sw_queue: u32,
+}
+
+impl CensusRow {
+    /// Accumulates one benchmark into the row.
+    pub fn add(&mut self, m: &BenchMeta) {
+        self.benchmarks += 1;
+        self.pc_comm += u32::from(m.pc_comm);
+        self.pipe_parallel += u32::from(m.pipe_parallel);
+        self.regular += u32::from(m.regular);
+        self.irregular += u32::from(m.irregular);
+        self.sw_queue += u32::from(m.sw_queue);
+    }
+
+    /// Sums another row into this one.
+    pub fn merge(&mut self, other: &CensusRow) {
+        self.benchmarks += other.benchmarks;
+        self.pc_comm += other.pc_comm;
+        self.pipe_parallel += other.pipe_parallel;
+        self.regular += other.regular;
+        self.irregular += other.irregular;
+        self.sw_queue += other.sw_queue;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_display() {
+        assert_eq!(Suite::Lonestar.to_string(), "Lonestar");
+        assert_eq!(Suite::ALL.len(), 4);
+    }
+
+    #[test]
+    fn full_name_is_lowercased_suite() {
+        let m = BenchMeta {
+            suite: Suite::Rodinia,
+            name: "kmeans",
+            pc_comm: true,
+            pipe_parallel: true,
+            regular: true,
+            irregular: false,
+            sw_queue: false,
+            examined: true,
+            misalignment_sensitive: false,
+        };
+        assert_eq!(m.full_name(), "rodinia/kmeans");
+    }
+
+    #[test]
+    fn census_row_accumulates() {
+        let mut row = CensusRow::default();
+        let m = BenchMeta {
+            suite: Suite::Lonestar,
+            name: "bfs",
+            pc_comm: true,
+            pipe_parallel: true,
+            regular: true,
+            irregular: true,
+            sw_queue: false,
+            examined: true,
+            misalignment_sensitive: false,
+        };
+        row.add(&m);
+        row.add(&BenchMeta {
+            sw_queue: true,
+            pc_comm: false,
+            ..m
+        });
+        assert_eq!(row.benchmarks, 2);
+        assert_eq!(row.pc_comm, 1);
+        assert_eq!(row.sw_queue, 1);
+        let mut total = CensusRow::default();
+        total.merge(&row);
+        total.merge(&row);
+        assert_eq!(total.benchmarks, 4);
+    }
+}

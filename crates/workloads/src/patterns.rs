@@ -1,0 +1,397 @@
+//! Memory access pattern primitives.
+//!
+//! The 46 workload models compose their kernels and CPU stages from these
+//! shapes. Each pattern emits a deterministic stream of cache-line accesses
+//! over a buffer range. Emission is at *line* granularity — for GPU kernels
+//! the per-warp coalescing math is folded into each pattern (validated
+//! against the explicit `heteropipe-gpu` coalescer in tests), and for CPU
+//! stages consecutive element accesses to one line count once, matching how
+//! both models' caches see traffic.
+
+use heteropipe_mem::{AddrRange, LineAddr, LINE_BYTES};
+use heteropipe_sim::SplitMix64;
+
+/// An access shape over a buffer range.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pattern {
+    /// Sequential sweep(s) over the whole range: the canonical regular
+    /// streaming access of dense kernels.
+    Stream {
+        /// Number of full sweeps.
+        passes: u32,
+    },
+    /// Sweep touching every `stride`-th element.
+    Strided {
+        /// Element stride.
+        stride: u32,
+    },
+    /// Row-wise sweep where each row also reads its neighbours (5-point
+    /// stencil shape): row `r` touches rows `r-1, r, r+1`.
+    Stencil {
+        /// Elements per row.
+        row_elems: u32,
+    },
+    /// `count` accesses to uniformly random lines within the leading
+    /// `region` fraction of the range: irregular gather/scatter.
+    Gather {
+        /// Total random accesses.
+        count: u64,
+        /// Fraction of the range they fall in (1.0 = whole buffer).
+        region: f64,
+    },
+    /// Sequential sweep that touches each line independently with
+    /// probability `fraction`: sparse structure traversal (the paper's
+    /// bfs/fw observation that CPU+GPU touch less than a third of copied
+    /// data).
+    SparseSweep {
+        /// Probability a line is touched.
+        fraction: f64,
+    },
+    /// The first `count` elements only (scalar results, k centers, queue
+    /// heads).
+    Point {
+        /// Elements accessed.
+        count: u64,
+    },
+    /// CSR-style neighbour traversal: a sequential sweep of the range
+    /// interleaved with `degree` skew-distributed jumps per element,
+    /// biased toward nearby lines (community locality).
+    Neighbors {
+        /// Average neighbour accesses per element.
+        degree: f64,
+    },
+}
+
+impl Pattern {
+    /// Emits the pattern's line accesses over `range` into `out`.
+    ///
+    /// `elem_bytes` scales element-indexed shapes; `rng` drives the random
+    /// shapes deterministically.
+    pub fn emit(
+        &self,
+        range: AddrRange,
+        elem_bytes: u32,
+        rng: &mut SplitMix64,
+        out: &mut Vec<LineAddr>,
+    ) {
+        if range.is_empty() {
+            return;
+        }
+        let elems = (range.bytes() / elem_bytes as u64).max(1);
+        match *self {
+            Pattern::Stream { passes } => {
+                for _ in 0..passes {
+                    out.extend(range.lines());
+                }
+            }
+            Pattern::Strided { stride } => {
+                let stride = stride.max(1) as u64;
+                let mut last = None;
+                let mut idx = 0;
+                while idx < elems {
+                    let line = range.start().offset(idx * elem_bytes as u64).line();
+                    if last != Some(line) {
+                        out.push(line);
+                        last = Some(line);
+                    }
+                    idx += stride;
+                }
+            }
+            Pattern::Stencil { row_elems } => {
+                let row_bytes = row_elems.max(1) as u64 * elem_bytes as u64;
+                let rows = (range.bytes() / row_bytes).max(1);
+                for r in 0..rows {
+                    let lo = r.saturating_sub(1);
+                    let hi = (r + 1).min(rows - 1);
+                    for rr in lo..=hi {
+                        let row = range.slice(rr * row_bytes, row_bytes);
+                        out.extend(row.lines());
+                    }
+                }
+            }
+            Pattern::Gather { count, region } => {
+                let lines = range.line_count();
+                let span = ((lines as f64 * region.clamp(0.0, 1.0)) as u64).max(1);
+                let first = range.start().line().0;
+                for _ in 0..count {
+                    out.push(LineAddr(first + rng.below(span)));
+                }
+            }
+            Pattern::SparseSweep { fraction } => {
+                for line in range.lines() {
+                    if rng.chance(fraction) {
+                        out.push(line);
+                    }
+                }
+            }
+            Pattern::Point { count } => {
+                let lines = range.line_count();
+                let count_lines =
+                    ((count * elem_bytes as u64).div_ceil(LINE_BYTES)).clamp(1, lines);
+                let first = range.start().line().0;
+                out.extend((first..first + count_lines).map(LineAddr));
+            }
+            Pattern::Neighbors { degree } => {
+                let lines = range.line_count();
+                let first = range.start().line().0;
+                let elems_per_line = (LINE_BYTES / elem_bytes as u64).max(1);
+                for (i, line) in range.lines().enumerate() {
+                    out.push(line);
+                    // Per line of elements, emit degree * elems_per_line
+                    // neighbour jumps, skewed toward nearby lines.
+                    let jumps = (degree * elems_per_line as f64) as u64
+                        + u64::from(rng.chance(degree.fract()));
+                    for _ in 0..jumps {
+                        let dist = rng.skewed_below(lines);
+                        let target = if rng.chance(0.5) {
+                            (i as u64 + dist) % lines
+                        } else {
+                            (i as u64 + lines - dist % lines) % lines
+                        };
+                        out.push(LineAddr(first + target));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Expected number of line accesses this pattern emits over `range`
+    /// (exact for deterministic shapes, expectation for random ones). Used
+    /// for sizing and for fast cross-checks.
+    pub fn expected_accesses(&self, range: AddrRange, elem_bytes: u32) -> f64 {
+        if range.is_empty() {
+            return 0.0;
+        }
+        let lines = range.line_count() as f64;
+        let elems = (range.bytes() / elem_bytes as u64).max(1) as f64;
+        match *self {
+            Pattern::Stream { passes } => lines * passes as f64,
+            Pattern::Strided { stride } => {
+                let touched = elems / stride.max(1) as f64;
+                touched.min(lines).max(1.0)
+            }
+            Pattern::Stencil { .. } => 3.0 * lines,
+            Pattern::Gather { count, .. } => count as f64,
+            Pattern::SparseSweep { fraction } => lines * fraction,
+            Pattern::Point { count } => {
+                ((count * elem_bytes as u64) as f64 / LINE_BYTES as f64).clamp(1.0, lines)
+            }
+            Pattern::Neighbors { degree } => {
+                let elems_per_line = (LINE_BYTES as f64 / elem_bytes as f64).max(1.0);
+                lines * (1.0 + degree * elems_per_line)
+            }
+        }
+    }
+
+    /// How the pattern behaves when its stage is chunked: shapes that
+    /// follow the data get sliced by the caller; whole-structure random
+    /// shapes scale their access count by the chunk `fraction`.
+    pub fn chunked(&self, fraction: f64) -> Pattern {
+        match *self {
+            Pattern::Gather { count, region } => Pattern::Gather {
+                count: ((count as f64 * fraction).round() as u64).max(1),
+                region,
+            },
+            ref p => p.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteropipe_mem::Addr;
+
+    fn range_of(bytes: u64) -> AddrRange {
+        AddrRange::new(Addr(1 << 20), bytes)
+    }
+
+    fn emit(p: &Pattern, range: AddrRange) -> Vec<LineAddr> {
+        let mut rng = SplitMix64::new(7);
+        let mut out = Vec::new();
+        p.emit(range, 4, &mut rng, &mut out);
+        out
+    }
+
+    #[test]
+    fn stream_emits_every_line_in_order() {
+        let r = range_of(1024);
+        let out = emit(&Pattern::Stream { passes: 2 }, r);
+        assert_eq!(out.len(), 16);
+        assert_eq!(out[0], r.start().line());
+        assert_eq!(out[..8], out[8..]);
+    }
+
+    #[test]
+    fn strided_dedups_within_line() {
+        let r = range_of(4096);
+        // Stride 4 with 4-byte elems: 16 B steps, 8 touches per 128 B line.
+        let out = emit(&Pattern::Strided { stride: 4 }, r);
+        assert_eq!(out.len(), 32); // every line once
+                                   // Stride 64: 256 B steps — every other line.
+        let out = emit(&Pattern::Strided { stride: 64 }, r);
+        assert_eq!(out.len(), 16);
+    }
+
+    #[test]
+    fn stencil_revisits_neighbour_rows() {
+        let r = range_of(4 * 512 * 4); // 4 rows of 512 four-byte elems
+        let out = emit(&Pattern::Stencil { row_elems: 512 }, r);
+        // Interior rows are visited 3 times, edges twice: (2+3+3+2) rows
+        // of 16 lines.
+        assert_eq!(out.len(), 10 * 16);
+    }
+
+    #[test]
+    fn gather_stays_in_region() {
+        let r = range_of(128 * 1000);
+        let out = emit(
+            &Pattern::Gather {
+                count: 500,
+                region: 0.1,
+            },
+            r,
+        );
+        assert_eq!(out.len(), 500);
+        let first = r.start().line().0;
+        for l in out {
+            assert!(l.0 >= first && l.0 < first + 100, "line outside hot region");
+        }
+    }
+
+    #[test]
+    fn sparse_sweep_touches_roughly_fraction() {
+        let r = range_of(128 * 10_000);
+        let out = emit(&Pattern::SparseSweep { fraction: 0.3 }, r);
+        let frac = out.len() as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "{frac}");
+    }
+
+    #[test]
+    fn point_touches_prefix() {
+        let r = range_of(128 * 100);
+        let out = emit(&Pattern::Point { count: 64 }, r); // 256 B = 2 lines
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], r.start().line());
+    }
+
+    #[test]
+    fn neighbors_emit_sweep_plus_jumps() {
+        let r = range_of(128 * 1000);
+        let out = emit(&Pattern::Neighbors { degree: 0.1 }, r);
+        // 1000 sweep lines + ~0.1 * 32 elems/line * 1000 lines of jumps.
+        assert!(out.len() > 3_000 && out.len() < 5_500, "{}", out.len());
+    }
+
+    #[test]
+    fn expected_matches_emitted_for_deterministic_shapes() {
+        let r = range_of(128 * 256 + 64);
+        for p in [
+            Pattern::Stream { passes: 3 },
+            Pattern::Strided { stride: 7 },
+            Pattern::Stencil { row_elems: 128 },
+            Pattern::Point { count: 100 },
+        ] {
+            let emitted = emit(&p, r).len() as f64;
+            let expected = p.expected_accesses(r, 4);
+            let err = (emitted - expected).abs() / emitted.max(1.0);
+            assert!(err < 0.35, "{p:?}: emitted {emitted}, expected {expected}");
+        }
+    }
+
+    #[test]
+    fn expected_close_for_random_shapes() {
+        let r = range_of(128 * 4096);
+        for p in [
+            Pattern::Gather {
+                count: 10_000,
+                region: 1.0,
+            },
+            Pattern::SparseSweep { fraction: 0.5 },
+            Pattern::Neighbors { degree: 0.2 },
+        ] {
+            let emitted = emit(&p, r).len() as f64;
+            let expected = p.expected_accesses(r, 4);
+            let err = (emitted - expected).abs() / expected;
+            assert!(err < 0.1, "{p:?}: emitted {emitted}, expected {expected}");
+        }
+    }
+
+    #[test]
+    fn chunked_gather_scales_count() {
+        let p = Pattern::Gather {
+            count: 1000,
+            region: 1.0,
+        };
+        match p.chunked(0.25) {
+            Pattern::Gather { count, .. } => assert_eq!(count, 250),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Deterministic shapes are unchanged (the range itself is sliced).
+        assert_eq!(
+            Pattern::Stream { passes: 2 }.chunked(0.5),
+            Pattern::Stream { passes: 2 }
+        );
+    }
+
+    #[test]
+    fn emission_is_deterministic() {
+        let r = range_of(128 * 2048);
+        let p = Pattern::Gather {
+            count: 5_000,
+            region: 0.7,
+        };
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        p.emit(r, 4, &mut SplitMix64::new(3), &mut a);
+        p.emit(r, 4, &mut SplitMix64::new(3), &mut b);
+        assert_eq!(a, b);
+    }
+
+    /// Cross-check the folded-in coalescing math against the explicit
+    /// per-warp coalescer: a misaligned stream of 4-byte elements produces
+    /// exactly the pattern's line count.
+    #[test]
+    fn stream_matches_explicit_coalescer() {
+        use heteropipe_gpu::coalesce_warp;
+        let r = AddrRange::new(Addr(64), 4096); // misaligned range
+        let stream_lines = emit(&Pattern::Stream { passes: 1 }, r).len();
+        // Explicit coalescing of every warp's element addresses.
+        let elems: Vec<Addr> = (0..r.bytes() / 4)
+            .map(|i| r.start().offset(i * 4))
+            .collect();
+        let mut out = Vec::new();
+        for warp in elems.chunks(32) {
+            coalesce_warp(warp, &mut out);
+        }
+        out.dedup();
+        assert_eq!(stream_lines, out.len());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn no_pattern_escapes_its_range(
+            bytes in 256u64..200_000,
+            pattern_sel in 0usize..7,
+            seed in 0u64..1000,
+        ) {
+            let r = range_of(bytes);
+            let p = match pattern_sel {
+                0 => Pattern::Stream { passes: 1 },
+                1 => Pattern::Strided { stride: 3 },
+                2 => Pattern::Stencil { row_elems: 64 },
+                3 => Pattern::Gather { count: 100, region: 1.0 },
+                4 => Pattern::SparseSweep { fraction: 0.5 },
+                5 => Pattern::Point { count: 10 },
+                _ => Pattern::Neighbors { degree: 0.3 },
+            };
+            let mut out = Vec::new();
+            p.emit(r, 4, &mut SplitMix64::new(seed), &mut out);
+            let lo = r.start().line().0;
+            let hi = lo + r.line_count();
+            for l in out {
+                proptest::prop_assert!(l.0 >= lo && l.0 < hi);
+            }
+        }
+    }
+}

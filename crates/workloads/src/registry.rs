@@ -1,0 +1,232 @@
+//! The workload registry: all 58 benchmarks of the four suites, the 46
+//! executable models among them, and the Table II census.
+
+use crate::builder::Scale;
+use crate::ir::Pipeline;
+use crate::meta::{BenchMeta, CensusRow, Suite};
+use crate::suites;
+
+/// One benchmark: its Table II metadata and, for the 46 examined ones, a
+/// builder producing its pipeline model at a given scale.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Structure flags (Table II) and identity.
+    pub meta: BenchMeta,
+    build: Option<fn(Scale) -> Pipeline>,
+}
+
+impl Workload {
+    /// A benchmark that runs in the simulation environment.
+    pub fn examined(meta: BenchMeta, build: fn(Scale) -> Pipeline) -> Self {
+        assert!(meta.examined, "{}: examined flag must be set", meta.name);
+        Workload {
+            meta,
+            build: Some(build),
+        }
+    }
+
+    /// A benchmark counted in the census but not simulated (the 12 that do
+    /// not run or do trivial work in gem5-gpu).
+    pub fn meta_only(meta: BenchMeta) -> Self {
+        assert!(
+            !meta.examined,
+            "{}: meta-only must not be examined",
+            meta.name
+        );
+        Workload { meta, build: None }
+    }
+
+    /// A benchmark outside the paper's examined 46 that this repo can
+    /// nonetheless run — the models have no gem5-gpu porting constraints.
+    /// Stays out of every paper reproduction; see
+    /// [`runnable`](fn@runnable) and the `beyond46` experiment.
+    pub fn extra(meta: BenchMeta, build: fn(Scale) -> Pipeline) -> Self {
+        assert!(!meta.examined, "{}: extras are not examined", meta.name);
+        Workload {
+            meta,
+            build: Some(build),
+        }
+    }
+
+    /// Builds the pipeline model, if this workload is examined.
+    pub fn pipeline(&self, scale: Scale) -> Option<Pipeline> {
+        self.build.map(|f| f(scale))
+    }
+}
+
+/// All 58 benchmarks across the four suites, in suite-then-name order.
+pub fn all() -> Vec<Workload> {
+    let mut v = Vec::with_capacity(58);
+    v.extend(suites::lonestar::workloads());
+    v.extend(suites::pannotia::workloads());
+    v.extend(suites::parboil::workloads());
+    v.extend(suites::rodinia::workloads());
+    v
+}
+
+/// The 46 examined benchmarks.
+pub fn examined() -> Vec<Workload> {
+    all().into_iter().filter(|w| w.meta.examined).collect()
+}
+
+/// Every benchmark with an executable model — the 46 examined plus the
+/// extras the paper's simulator could not run (all 58 here).
+pub fn runnable() -> Vec<Workload> {
+    all()
+        .into_iter()
+        .filter(|w| w.pipeline(Scale::TEST).is_some())
+        .collect()
+}
+
+/// Looks a workload up by `suite/name`.
+pub fn find(full_name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.meta.full_name() == full_name)
+}
+
+/// The Table II census: one row per suite plus the total.
+pub fn census() -> (Vec<(Suite, CensusRow)>, CensusRow) {
+    let mut rows: Vec<(Suite, CensusRow)> = Suite::ALL
+        .iter()
+        .map(|&s| (s, CensusRow::default()))
+        .collect();
+    for w in all() {
+        let row = rows
+            .iter_mut()
+            .find(|(s, _)| *s == w.meta.suite)
+            .expect("suite registered");
+        row.1.add(&w.meta);
+    }
+    let mut total = CensusRow::default();
+    for (_, r) in &rows {
+        total.merge(r);
+    }
+    (rows, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_reproduces_table_ii_exactly() {
+        let (rows, total) = census();
+        let expect = [
+            (Suite::Lonestar, (14, 14, 13, 14, 13, 10)),
+            (Suite::Pannotia, (10, 10, 10, 10, 10, 0)),
+            (Suite::Parboil, (12, 8, 8, 8, 3, 1)),
+            (Suite::Rodinia, (22, 19, 18, 19, 6, 0)),
+        ];
+        for ((suite, row), (es, e)) in rows.iter().zip(expect.iter()) {
+            assert_eq!(suite, es);
+            assert_eq!(
+                (
+                    row.benchmarks,
+                    row.pc_comm,
+                    row.pipe_parallel,
+                    row.regular,
+                    row.irregular,
+                    row.sw_queue
+                ),
+                *e,
+                "{suite} row mismatch"
+            );
+        }
+        assert_eq!(
+            (
+                total.benchmarks,
+                total.pc_comm,
+                total.pipe_parallel,
+                total.regular,
+                total.irregular,
+                total.sw_queue
+            ),
+            (58, 51, 49, 51, 32, 11)
+        );
+    }
+
+    #[test]
+    fn forty_six_examined() {
+        assert_eq!(examined().len(), 46);
+    }
+
+    #[test]
+    fn every_examined_workload_builds_at_test_scale() {
+        for w in examined() {
+            let p = w.pipeline(Scale::TEST).expect("examined builds");
+            assert_eq!(p.validate(), Ok(()), "{}", p.name);
+            assert_eq!(p.name, w.meta.full_name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<String> = all().iter().map(|w| w.meta.full_name()).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn find_locates_kmeans() {
+        let w = find("rodinia/kmeans").expect("kmeans exists");
+        assert!(w.meta.examined);
+        assert!(w.pipeline(Scale::TEST).is_some());
+        assert!(find("rodinia/nope").is_none());
+    }
+
+    #[test]
+    fn all_fifty_eight_are_runnable() {
+        let r = runnable();
+        assert_eq!(r.len(), 58, "every benchmark has an executable model");
+        for w in &r {
+            let p = w.pipeline(Scale::TEST).unwrap();
+            assert_eq!(p.validate(), Ok(()), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn extras_are_exactly_the_unexamined_twelve() {
+        let extras: Vec<String> = runnable()
+            .into_iter()
+            .filter(|w| !w.meta.examined)
+            .map(|w| w.meta.full_name())
+            .collect();
+        assert_eq!(extras.len(), 12);
+        for name in [
+            "lonestar/bfs_atomic",
+            "lonestar/pta",
+            "lonestar/sssp_wlw",
+            "pannotia/color_maxmin",
+            "pannotia/sssp_ell",
+            "parboil/mri_gridding",
+            "parboil/sad",
+            "parboil/tpacf",
+            "rodinia/btree",
+            "rodinia/lavamd",
+            "rodinia/leukocyte",
+            "rodinia/myocyte",
+        ] {
+            assert!(extras.iter().any(|e| e == name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn paper_scale_footprints_meet_criteria() {
+        // §III-D scaled: every examined benchmark's logical footprint is at
+        // least ~1.5 MiB and most exceed 6 MiB (scaled from the paper's
+        // 6/42 MB thresholds).
+        let mut over_6mb = 0;
+        let mut n = 0;
+        for w in examined() {
+            let p = w.pipeline(Scale::PAPER).unwrap();
+            let bytes = p.logical_bytes();
+            assert!(bytes >= 3 << 19, "{} too small: {bytes}", p.name);
+            if bytes >= 6 << 20 {
+                over_6mb += 1;
+            }
+            n += 1;
+        }
+        assert!(over_6mb * 2 > n, "most benchmarks should exceed 6 MiB");
+    }
+}

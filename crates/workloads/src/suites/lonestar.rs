@@ -1,0 +1,584 @@
+//! LonestarGPU workload models.
+//!
+//! Lonestar is the study's most irregular suite: graph traversals,
+//! worklist-driven refinement, and tree codes. All 14 benchmarks have
+//! producer-consumer communication; 10 use software worklist queues
+//! (Table II). The iterative ones share the paper's "outer-loop" structure —
+//! the CPU launches a relaxation kernel, copies a convergence flag back, and
+//! decides whether to run another round — which is why their copy counts are
+//! high but their copied bytes are small.
+
+use crate::builder::{PipelineBuilder, Scale};
+use crate::common::{convergence_check, flag_buffer, CsrGraph};
+use crate::ir::{CopyDir, Pipeline};
+use crate::meta::{BenchMeta, Suite};
+use crate::patterns::Pattern;
+use crate::registry::Workload;
+
+fn meta(
+    name: &'static str,
+    pipe_parallel: bool,
+    irregular: bool,
+    sw_queue: bool,
+    examined: bool,
+) -> BenchMeta {
+    BenchMeta {
+        suite: Suite::Lonestar,
+        name,
+        pc_comm: true,
+        pipe_parallel,
+        regular: true,
+        irregular,
+        sw_queue,
+        examined,
+        misalignment_sensitive: false,
+    }
+}
+
+/// How a traversal tracks its frontier.
+#[derive(Debug, Clone, Copy)]
+enum QueueStyle {
+    /// Topology-driven: every round sweeps all nodes.
+    None,
+    /// Topology-driven with atomic marks instead of a queue.
+    AtomicMarks,
+    /// Data-driven software worklist; the parameters are CTA width and
+    /// scratch bytes per CTA (wlc uses CTA-local queue chunks in scratch).
+    Worklist { cta: u32, scratch: u64 },
+}
+
+/// Shared skeleton of the bfs/sssp families: an upfront graph transfer, then
+/// rounds of relaxation kernels with per-round flag copies and CPU loop
+/// control.
+struct TraversalSpec {
+    name: &'static str,
+    weighted: bool,
+    queue: QueueStyle,
+    /// Fraction of the graph active per round (frontier growth/decay).
+    frontier: &'static [f64],
+    /// Instructions per thread in the relax kernel.
+    ipt: f64,
+    /// FLOPs per thread (SSSP's weight additions, zero-ish for BFS).
+    fpt: f64,
+}
+
+fn graph_traversal(spec: &TraversalSpec, scale: Scale) -> Pipeline {
+    let n = scale.n(192 * 1024);
+    let mut b = PipelineBuilder::new(&format!("lonestar/{}", spec.name));
+    let g = CsrGraph::declare(&mut b, n, 8.0, spec.weighted);
+    let flag = flag_buffer(&mut b);
+    // Worklists are produced on the GPU and never copied.
+    let queues = match spec.queue {
+        QueueStyle::Worklist { .. } => Some((
+            b.gpu_temp("worklist.in", n * 4),
+            b.gpu_temp("worklist.out", n * 4),
+        )),
+        _ => None,
+    };
+    g.h2d_all(&mut b);
+    b.h2d(flag);
+    for (round, &active) in spec.frontier.iter().enumerate() {
+        let threads = ((n as f64 * active) as u64).max(1024);
+        let kernel = b
+            .gpu(&format!("relax_{round}"), threads, spec.ipt, spec.fpt)
+            .cta(
+                match spec.queue {
+                    QueueStyle::Worklist { cta, .. } => cta,
+                    _ => 256,
+                },
+                match spec.queue {
+                    QueueStyle::Worklist { scratch, .. } => scratch,
+                    _ => 0,
+                },
+            );
+        let kernel = g.attach_traversal(kernel, active);
+        let kernel = kernel.writes_all(flag, Pattern::Point { count: 1 });
+        match (spec.queue, queues) {
+            (QueueStyle::Worklist { .. }, Some((qin, qout))) => {
+                kernel
+                    .reads(qin, Pattern::SparseSweep { fraction: active })
+                    .writes(qout, Pattern::SparseSweep { fraction: active });
+            }
+            (QueueStyle::AtomicMarks, _) => {
+                kernel.writes_all(
+                    g.props,
+                    Pattern::Gather {
+                        count: (n as f64 * active * 0.2) as u64,
+                        region: 1.0,
+                    },
+                );
+            }
+            _ => drop(kernel),
+        }
+        convergence_check(&mut b, flag, &round.to_string());
+    }
+    b.d2h(g.props);
+    b.build()
+}
+
+/// lonestar/bfs — topology-driven breadth-first search. Each round sweeps
+/// all nodes and relaxes the active frontier.
+pub fn bfs(scale: Scale) -> Pipeline {
+    graph_traversal(
+        &TraversalSpec {
+            name: "bfs",
+            weighted: false,
+            queue: QueueStyle::None,
+            frontier: &[0.05, 0.2, 0.55, 0.8, 0.45, 0.15, 0.05],
+            ipt: 18.0,
+            fpt: 1.0,
+        },
+        scale,
+    )
+}
+
+/// lonestar/bfs_atomic — BFS using atomic level marks instead of a
+/// worklist (not examined: meta only in the registry; builder provided for
+/// completeness).
+pub fn bfs_atomic(scale: Scale) -> Pipeline {
+    graph_traversal(
+        &TraversalSpec {
+            name: "bfs_atomic",
+            weighted: false,
+            queue: QueueStyle::AtomicMarks,
+            frontier: &[0.05, 0.2, 0.55, 0.8, 0.45, 0.15, 0.05],
+            ipt: 24.0,
+            fpt: 1.0,
+        },
+        scale,
+    )
+}
+
+/// lonestar/bfs_wla — worklist BFS with global atomic appends.
+pub fn bfs_wla(scale: Scale) -> Pipeline {
+    graph_traversal(
+        &TraversalSpec {
+            name: "bfs_wla",
+            weighted: false,
+            queue: QueueStyle::Worklist {
+                cta: 256,
+                scratch: 0,
+            },
+            frontier: &[0.04, 0.18, 0.5, 0.75, 0.4, 0.12, 0.04],
+            ipt: 26.0,
+            fpt: 1.0,
+        },
+        scale,
+    )
+}
+
+/// lonestar/bfs_wlc — worklist BFS with CTA-local queue chunks staged in
+/// scratch memory before a bulk append.
+pub fn bfs_wlc(scale: Scale) -> Pipeline {
+    graph_traversal(
+        &TraversalSpec {
+            name: "bfs_wlc",
+            weighted: false,
+            queue: QueueStyle::Worklist {
+                cta: 256,
+                scratch: 8 * 1024,
+            },
+            frontier: &[0.04, 0.18, 0.5, 0.75, 0.4, 0.12, 0.04],
+            ipt: 22.0,
+            fpt: 1.0,
+        },
+        scale,
+    )
+}
+
+/// lonestar/bfs_wlw — worklist BFS with warp-cooperative appends.
+pub fn bfs_wlw(scale: Scale) -> Pipeline {
+    graph_traversal(
+        &TraversalSpec {
+            name: "bfs_wlw",
+            weighted: false,
+            queue: QueueStyle::Worklist {
+                cta: 128,
+                scratch: 0,
+            },
+            frontier: &[0.04, 0.18, 0.5, 0.75, 0.4, 0.12, 0.04],
+            ipt: 20.0,
+            fpt: 1.0,
+        },
+        scale,
+    )
+}
+
+/// lonestar/sssp — topology-driven single-source shortest paths
+/// (Bellman-Ford style); weighted edges mean more data and more rounds than
+/// BFS.
+pub fn sssp(scale: Scale) -> Pipeline {
+    graph_traversal(
+        &TraversalSpec {
+            name: "sssp",
+            weighted: true,
+            queue: QueueStyle::None,
+            frontier: &[0.04, 0.15, 0.45, 0.75, 0.7, 0.5, 0.3, 0.15, 0.06],
+            ipt: 24.0,
+            fpt: 3.0,
+        },
+        scale,
+    )
+}
+
+/// lonestar/sssp_wlc — worklist SSSP, CTA-chunked queue.
+pub fn sssp_wlc(scale: Scale) -> Pipeline {
+    graph_traversal(
+        &TraversalSpec {
+            name: "sssp_wlc",
+            weighted: true,
+            queue: QueueStyle::Worklist {
+                cta: 256,
+                scratch: 8 * 1024,
+            },
+            frontier: &[0.03, 0.12, 0.4, 0.7, 0.65, 0.45, 0.25, 0.1, 0.05],
+            ipt: 28.0,
+            fpt: 3.0,
+        },
+        scale,
+    )
+}
+
+/// lonestar/sssp_wln — worklist SSSP with near-far priority buckets: many
+/// short rounds, so kernel-launch serialization is a visible fraction of run
+/// time (the paper names sssp_wln as a benchmark where `C_serial` reaches
+/// several percent).
+pub fn sssp_wln(scale: Scale) -> Pipeline {
+    graph_traversal(
+        &TraversalSpec {
+            name: "sssp_wln",
+            weighted: true,
+            queue: QueueStyle::Worklist {
+                cta: 256,
+                scratch: 0,
+            },
+            frontier: &[
+                0.02, 0.05, 0.1, 0.2, 0.3, 0.35, 0.3, 0.25, 0.2, 0.15, 0.1, 0.07, 0.05, 0.03, 0.02,
+                0.02,
+            ],
+            ipt: 26.0,
+            fpt: 3.0,
+        },
+        scale,
+    )
+}
+
+/// lonestar/sssp_wlw — worklist SSSP, warp-cooperative (not examined).
+pub fn sssp_wlw(scale: Scale) -> Pipeline {
+    graph_traversal(
+        &TraversalSpec {
+            name: "sssp_wlw",
+            weighted: true,
+            queue: QueueStyle::Worklist {
+                cta: 128,
+                scratch: 0,
+            },
+            frontier: &[0.03, 0.12, 0.4, 0.7, 0.65, 0.45, 0.25, 0.1, 0.05],
+            ipt: 24.0,
+            fpt: 3.0,
+        },
+        scale,
+    )
+}
+
+/// lonestar/bh — Barnes-Hut n-body. Six distinct kernels per timestep over
+/// a GPU-resident tree; the tree and sort scratch are large GPU-temporary
+/// data (the paper's Fig. 4 calls bh out for substantial GPU-only
+/// footprint), and its remaining copies resist elimination (the one
+/// benchmark whose copy count does not drop).
+pub fn bh(scale: Scale) -> Pipeline {
+    let n = scale.n(96 * 1024);
+    let mut b = PipelineBuilder::new("lonestar/bh");
+    let pos = b.host_elems("bodies.pos", n * 16, 16);
+    let vel = b.host_elems("bodies.vel", n * 16, 16);
+    let tree = b.gpu_temp("tree.nodes", n * 24);
+    let sorted = b.gpu_temp("tree.sorted", n * 4);
+    // bh repacks bodies into device layout each step: not elidable.
+    b.sticky_copy(pos, CopyDir::H2D, None);
+    b.sticky_copy(vel, CopyDir::H2D, None);
+    for step in 0..2u32 {
+        b.gpu(&format!("bound_box_{step}"), n, 8.0, 6.0)
+            .reads(pos, Pattern::Stream { passes: 1 });
+        b.gpu(&format!("build_tree_{step}"), n, 40.0, 4.0)
+            .serial()
+            .reads(pos, Pattern::Stream { passes: 1 })
+            .writes_all(
+                tree,
+                Pattern::Gather {
+                    count: n * 2,
+                    region: 1.0,
+                },
+            );
+        b.gpu(&format!("summarize_{step}"), n / 2, 20.0, 12.0)
+            .reads_all(tree, Pattern::Stream { passes: 1 })
+            .writes_all(tree, Pattern::SparseSweep { fraction: 0.5 });
+        b.gpu(&format!("sort_{step}"), n, 16.0, 0.0)
+            .reads_all(tree, Pattern::Stream { passes: 1 })
+            .writes(sorted, Pattern::Stream { passes: 1 });
+        b.gpu(&format!("force_{step}"), n, 520.0, 400.0)
+            .cta(256, 4 * 1024)
+            .reads(sorted, Pattern::Stream { passes: 1 })
+            .reads_all(
+                tree,
+                Pattern::Gather {
+                    count: n * 6,
+                    region: 0.4,
+                },
+            )
+            .reads(pos, Pattern::Stream { passes: 1 })
+            .writes(vel, Pattern::Stream { passes: 1 });
+        b.gpu(&format!("advance_{step}"), n, 12.0, 8.0)
+            .reads(vel, Pattern::Stream { passes: 1 })
+            .writes(pos, Pattern::Stream { passes: 1 });
+    }
+    b.sticky_copy(pos, CopyDir::D2H, None);
+    b.build()
+}
+
+/// lonestar/dmr — Delaunay mesh refinement. Worklist-driven with
+/// variable-size cavity re-triangulation; wide data dependencies between
+/// rounds limit pipeline overlap (the paper flags dmr when noting the
+/// overlap model is optimistic).
+pub fn dmr(scale: Scale) -> Pipeline {
+    let n = scale.n(128 * 1024); // triangles
+    let mut b = PipelineBuilder::new("lonestar/dmr");
+    let mesh = b.host_elems("mesh.triangles", n * 32, 32);
+    let bad = b.gpu_temp("worklist.bad", n * 4);
+    let flag = flag_buffer(&mut b);
+    b.h2d(mesh);
+    b.h2d(flag);
+    let rounds = scale.small(5).max(3);
+    for round in 0..rounds {
+        let active = 0.3 / (round as f64 + 1.0);
+        b.gpu(&format!("check_{round}"), n, 30.0, 18.0)
+            .reads(mesh, Pattern::Stream { passes: 1 })
+            .writes(bad, Pattern::SparseSweep { fraction: active });
+        b.gpu(
+            &format!("refine_{round}"),
+            ((n as f64 * active) as u64).max(1024),
+            120.0,
+            60.0,
+        )
+        .serial() // cavities overlap arbitrarily: no safe chunking
+        .reads(bad, Pattern::SparseSweep { fraction: active })
+        .reads_all(
+            mesh,
+            Pattern::Gather {
+                count: (n as f64 * active * 8.0) as u64,
+                region: 1.0,
+            },
+        )
+        .writes_all(
+            mesh,
+            Pattern::Gather {
+                count: (n as f64 * active * 4.0) as u64,
+                region: 1.0,
+            },
+        )
+        .writes_all(flag, Pattern::Point { count: 1 });
+        convergence_check(&mut b, flag, &round.to_string());
+    }
+    b.d2h(mesh);
+    b.build()
+}
+
+/// lonestar/mst — Boruvka minimum spanning tree. Each round runs three
+/// kernels of very different size (find-min, connect, contract) — the shape
+/// the paper suggests for compute migration of short kernels to CPU cores.
+pub fn mst(scale: Scale) -> Pipeline {
+    let n = scale.n(160 * 1024);
+    let mut b = PipelineBuilder::new("lonestar/mst");
+    let g = CsrGraph::declare(&mut b, n, 8.0, true);
+    let comp = b.host("components", n * 4);
+    let minedge = b.gpu_temp("minedge", n * 8);
+    let flag = flag_buffer(&mut b);
+    g.h2d_all(&mut b);
+    b.h2d(comp);
+    b.h2d(flag);
+    let rounds = scale.small(6).max(4);
+    for round in 0..rounds {
+        let live = 1.0 / (1 << round.min(6)) as f64;
+        // Find the minimum outgoing edge per component: big kernel.
+        let k = b.gpu(&format!("find_min_{round}"), n, 34.0, 6.0);
+        g.attach_traversal(k, live)
+            .reads(comp, Pattern::Stream { passes: 1 })
+            .writes(minedge, Pattern::SparseSweep { fraction: live });
+        // Connect components: mid-size scatter kernel.
+        b.gpu(
+            &format!("connect_{round}"),
+            ((n as f64 * live) as u64).max(1024),
+            18.0,
+            0.0,
+        )
+        .reads(minedge, Pattern::SparseSweep { fraction: live })
+        .writes_all(
+            comp,
+            Pattern::Gather {
+                count: (n as f64 * live) as u64,
+                region: 1.0,
+            },
+        )
+        .writes_all(flag, Pattern::Point { count: 1 });
+        // Pointer-jumping contraction: short kernel.
+        b.gpu(&format!("contract_{round}"), n, 8.0, 0.0)
+            .reads(comp, Pattern::Stream { passes: 1 })
+            .writes(comp, Pattern::Stream { passes: 1 });
+        convergence_check(&mut b, flag, &round.to_string());
+    }
+    b.d2h(comp);
+    b.build()
+}
+
+/// lonestar/pta — Andersen-style points-to analysis (meta only in the
+/// paper's examined set; the builder exists so the full suite is runnable).
+/// Constraint-graph rounds with no safe pipeline parallelism.
+pub fn pta(scale: Scale) -> Pipeline {
+    let n = scale.n(96 * 1024);
+    let mut b = PipelineBuilder::new("lonestar/pta");
+    let g = CsrGraph::declare(&mut b, n, 12.0, false);
+    let points_to = b.host("points_to_sets", n * 16);
+    let flag = flag_buffer(&mut b);
+    g.h2d_all(&mut b);
+    b.h2d(points_to);
+    b.h2d(flag);
+    for round in 0..3u32 {
+        let k = b.gpu(&format!("propagate_{round}"), n, 60.0, 0.0).serial();
+        g.attach_traversal(k, 0.6)
+            .reads(points_to, Pattern::Stream { passes: 1 })
+            .writes_all(
+                points_to,
+                Pattern::Gather {
+                    count: n * 2,
+                    region: 1.0,
+                },
+            )
+            .writes_all(flag, Pattern::Point { count: 1 });
+        convergence_check(&mut b, flag, &round.to_string());
+    }
+    b.d2h(points_to);
+    b.build()
+}
+
+/// lonestar/sp — survey propagation on a factor graph laid out in regular
+/// clause/literal arrays (the one Lonestar benchmark whose P-C constructs
+/// are regular only).
+pub fn sp(scale: Scale) -> Pipeline {
+    let n = scale.n(256 * 1024); // literals
+    let m = n * 3; // 3-SAT clauses touch 3 literals
+    let mut b = PipelineBuilder::new("lonestar/sp");
+    let clauses = b.host_elems("clauses", m * 12, 12);
+    let eta = b.host("eta", m * 4);
+    let bias = b.host("bias", n * 4);
+    let flag = flag_buffer(&mut b);
+    b.h2d(clauses);
+    b.h2d(eta);
+    b.h2d(bias);
+    b.h2d(flag);
+    let rounds = scale.small(8).max(5);
+    for round in 0..rounds {
+        b.gpu(&format!("update_eta_{round}"), m, 52.0, 40.0)
+            .reads(clauses, Pattern::Stream { passes: 1 })
+            .reads(bias, Pattern::Strided { stride: 3 })
+            .writes(eta, Pattern::Stream { passes: 1 });
+        b.gpu(&format!("update_bias_{round}"), n, 60.0, 48.0)
+            .reads(eta, Pattern::Stream { passes: 1 })
+            .writes(bias, Pattern::Stream { passes: 1 })
+            .writes_all(flag, Pattern::Point { count: 1 });
+        convergence_check(&mut b, flag, &round.to_string());
+        // Fix strongly-biased variables on the CPU.
+        b.cpu(&format!("decimate_{round}"), n / 64, 14.0, 2.0)
+            .serial()
+            .reads(bias, Pattern::Strided { stride: 64 });
+    }
+    b.d2h(bias);
+    b.build()
+}
+
+/// All 14 Lonestar workloads with their Table II flags.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload::examined(meta("bfs", true, true, false, true), bfs),
+        Workload::extra(meta("bfs_atomic", true, true, false, false), bfs_atomic),
+        Workload::examined(meta("bfs_wla", true, true, true, true), bfs_wla),
+        Workload::examined(meta("bfs_wlc", true, true, true, true), bfs_wlc),
+        Workload::examined(meta("bfs_wlw", true, true, true, true), bfs_wlw),
+        Workload::examined(meta("bh", true, true, false, true), bh),
+        Workload::examined(meta("dmr", true, true, true, true), dmr),
+        Workload::examined(meta("mst", true, true, true, true), mst),
+        Workload::extra(meta("pta", false, true, true, false), pta),
+        Workload::examined(meta("sp", true, false, true, true), sp),
+        Workload::examined(meta("sssp", true, true, false, true), sssp),
+        Workload::examined(meta("sssp_wlc", true, true, true, true), sssp_wlc),
+        Workload::examined(meta("sssp_wln", true, true, true, true), sssp_wln),
+        Workload::extra(meta("sssp_wlw", true, true, true, false), sssp_wlw),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_workloads_eleven_examined() {
+        let w = workloads();
+        assert_eq!(w.len(), 14);
+        assert_eq!(w.iter().filter(|w| w.meta.examined).count(), 11);
+    }
+
+    #[test]
+    fn all_examined_pipelines_build_and_validate() {
+        for w in workloads() {
+            if let Some(p) = w.pipeline(Scale::TEST) {
+                assert_eq!(p.validate(), Ok(()), "{}", p.name);
+                assert!(p.compute_stages() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn bh_copies_are_sticky() {
+        let p = bh(Scale::TEST);
+        assert_eq!(p.residual_copies(), p.copy_stages());
+    }
+
+    #[test]
+    fn worklist_variants_have_gpu_temp_queues() {
+        let p = bfs_wla(Scale::TEST);
+        let queues = p
+            .buffers
+            .iter()
+            .filter(|b| b.name.starts_with("worklist") && !b.mirrored)
+            .count();
+        assert_eq!(queues, 2);
+    }
+
+    #[test]
+    fn traversals_have_outer_loop_structure() {
+        let p = bfs(Scale::TEST);
+        // Each of the 7 rounds: a kernel, a D2H flag copy, a CPU check.
+        let cpu_stages = p
+            .stages
+            .iter()
+            .filter_map(|s| s.as_compute())
+            .filter(|c| c.exec == crate::ir::ExecKind::Cpu)
+            .count();
+        assert_eq!(cpu_stages, 7);
+        assert!(p.copy_stages() >= 7);
+    }
+
+    #[test]
+    fn sssp_carries_weights() {
+        let p = sssp(Scale::TEST);
+        assert!(p.buffers.iter().any(|b| b.name == "graph.weights"));
+    }
+
+    #[test]
+    fn table_ii_flags_match_paper_row() {
+        let w = workloads();
+        assert_eq!(w.iter().filter(|w| w.meta.pc_comm).count(), 14);
+        assert_eq!(w.iter().filter(|w| w.meta.pipe_parallel).count(), 13);
+        assert_eq!(w.iter().filter(|w| w.meta.regular).count(), 14);
+        assert_eq!(w.iter().filter(|w| w.meta.irregular).count(), 13);
+        assert_eq!(w.iter().filter(|w| w.meta.sw_queue).count(), 10);
+    }
+}

@@ -1,0 +1,6 @@
+//! Per-suite workload model collections.
+
+pub mod lonestar;
+pub mod pannotia;
+pub mod parboil;
+pub mod rodinia;

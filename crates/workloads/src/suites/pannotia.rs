@@ -1,0 +1,352 @@
+//! Pannotia workload models.
+//!
+//! Pannotia's ten graph-analytics benchmarks are structured to expose all
+//! available work without software queues: every vertex is (re)examined each
+//! round, with convergence decided by the host. All ten have
+//! producer-consumer communication, are pipeline-parallelizable, and mix
+//! regular per-vertex sweeps with irregular neighbour gathers (Table II's
+//! 10/10/10/10/10/0 row).
+
+use crate::builder::{PipelineBuilder, Scale};
+use crate::common::{convergence_check, flag_buffer, CsrGraph};
+use crate::ir::Pipeline;
+use crate::meta::{BenchMeta, Suite};
+use crate::patterns::Pattern;
+use crate::registry::Workload;
+
+fn meta(name: &'static str, examined: bool, misaligned: bool) -> BenchMeta {
+    BenchMeta {
+        suite: Suite::Pannotia,
+        name,
+        pc_comm: true,
+        pipe_parallel: true,
+        regular: true,
+        irregular: true,
+        sw_queue: false,
+        examined,
+        misalignment_sensitive: misaligned,
+    }
+}
+
+/// pannotia/bc — betweenness centrality: forward BFS passes followed by
+/// backward dependency accumulation, per source sample.
+pub fn bc(scale: Scale) -> Pipeline {
+    let n = scale.n(128 * 1024);
+    let mut b = PipelineBuilder::new("pannotia/bc");
+    let g = CsrGraph::declare(&mut b, n, 8.0, false);
+    let sigma = b.host("sigma", n * 4);
+    let delta = b.host("delta", n * 4);
+    let flag = flag_buffer(&mut b);
+    g.h2d_all(&mut b);
+    b.h2d(sigma);
+    b.h2d(delta);
+    b.h2d(flag);
+    let sources = scale.small(2).max(2);
+    for s in 0..sources {
+        for round in 0..4u32 {
+            let active = [0.1, 0.45, 0.7, 0.3][round as usize];
+            let k = b.gpu(&format!("fwd_{s}_{round}"), n, 22.0, 2.0);
+            g.attach_traversal(k, active)
+                .reads(sigma, Pattern::Stream { passes: 1 })
+                .writes(sigma, Pattern::SparseSweep { fraction: active })
+                .writes_all(flag, Pattern::Point { count: 1 });
+            convergence_check(&mut b, flag, &format!("f{s}_{round}"));
+        }
+        for round in 0..4u32 {
+            let active = [0.3, 0.7, 0.45, 0.1][round as usize];
+            let k = b.gpu(&format!("bwd_{s}_{round}"), n, 26.0, 8.0);
+            g.attach_traversal(k, active)
+                .reads(sigma, Pattern::Stream { passes: 1 })
+                .writes(delta, Pattern::SparseSweep { fraction: active });
+            convergence_check(&mut b, flag, &format!("b{s}_{round}"));
+        }
+    }
+    b.d2h(delta);
+    b.build()
+}
+
+/// Shared skeleton for the two graph-coloring variants: rounds of
+/// max-independent-set selection and color assignment.
+fn color(name: &'static str, extra_ipt: f64, scale: Scale) -> Pipeline {
+    let n = scale.n(160 * 1024);
+    let mut b = PipelineBuilder::new(&format!("pannotia/{name}"));
+    let g = CsrGraph::declare(&mut b, n, 8.0, false);
+    let colors = b.host("colors", n * 4);
+    let flag = flag_buffer(&mut b);
+    g.h2d_all(&mut b);
+    b.h2d(colors);
+    b.h2d(flag);
+    let rounds = scale.small(6).max(4);
+    for round in 0..rounds {
+        let live = (1.0 - round as f64 / rounds as f64).max(0.1);
+        let k = b.gpu(&format!("select_{round}"), n, 20.0 + extra_ipt, 2.0);
+        g.attach_traversal(k, live)
+            .reads(colors, Pattern::Stream { passes: 1 })
+            .writes_all(flag, Pattern::Point { count: 1 });
+        b.gpu(&format!("assign_{round}"), n, 8.0, 0.0)
+            .reads(g.props, Pattern::Stream { passes: 1 })
+            .writes(
+                colors,
+                Pattern::SparseSweep {
+                    fraction: live * 0.5,
+                },
+            );
+        convergence_check(&mut b, flag, &round.to_string());
+    }
+    b.d2h(colors);
+    b.build()
+}
+
+/// pannotia/color_max — graph coloring by iterated local maxima.
+pub fn color_max(scale: Scale) -> Pipeline {
+    color("color_max", 0.0, scale)
+}
+
+/// pannotia/color_maxmin — coloring two independent sets per round
+/// (meta-only in the examined set).
+pub fn color_maxmin(scale: Scale) -> Pipeline {
+    color("color_maxmin", 10.0, scale)
+}
+
+/// Floyd-Warshall skeleton. The dense distance matrix is copied whole, but
+/// the blocked traversal touches under a third of it for sparse inputs —
+/// the paper's example (with Lonestar bfs) of copies moving far more data
+/// than CPU and GPU cores ever touch.
+fn fw_impl(name: &'static str, blocked: bool, scale: Scale) -> Pipeline {
+    let n = scale.dim(1500); // vertices; matrix is n^2
+    let mut b = PipelineBuilder::new(&format!("pannotia/{name}"));
+    let dist = b.host("dist_matrix", n * n * 4);
+    b.h2d(dist);
+    let rounds = scale.small(12).max(6);
+    for round in 0..rounds {
+        let touched = 0.28;
+        let threads = if blocked { n * n / 4 } else { n * n / 2 };
+        b.gpu(&format!("relax_{round}"), threads, 70.0, 28.0)
+            .cta(
+                if blocked { 256 } else { 128 },
+                if blocked { 4096 } else { 0 },
+            )
+            .reads(dist, Pattern::SparseSweep { fraction: touched })
+            .writes(
+                dist,
+                Pattern::SparseSweep {
+                    fraction: touched * 0.3,
+                },
+            );
+    }
+    b.d2h(dist);
+    b.build()
+}
+
+/// pannotia/fw — Floyd-Warshall all-pairs shortest paths.
+pub fn fw(scale: Scale) -> Pipeline {
+    fw_impl("fw", false, scale)
+}
+
+/// pannotia/fw_block — tiled Floyd-Warshall using scratch-memory blocks.
+pub fn fw_block(scale: Scale) -> Pipeline {
+    fw_impl("fw_block", true, scale)
+}
+
+/// pannotia/mis — maximal independent set.
+pub fn mis(scale: Scale) -> Pipeline {
+    let n = scale.n(192 * 1024);
+    let mut b = PipelineBuilder::new("pannotia/mis");
+    let g = CsrGraph::declare(&mut b, n, 8.0, false);
+    let state = b.host("node_state", n * 4);
+    let flag = flag_buffer(&mut b);
+    g.h2d_all(&mut b);
+    b.h2d(state);
+    b.h2d(flag);
+    let rounds = scale.small(5).max(4);
+    for round in 0..rounds {
+        let live = (0.8f64).powi(round as i32);
+        let k = b.gpu(&format!("select_{round}"), n, 18.0, 2.0);
+        g.attach_traversal(k, live)
+            .reads(state, Pattern::Stream { passes: 1 })
+            .writes(
+                state,
+                Pattern::SparseSweep {
+                    fraction: live * 0.4,
+                },
+            )
+            .writes_all(flag, Pattern::Point { count: 1 });
+        convergence_check(&mut b, flag, &round.to_string());
+    }
+    b.d2h(state);
+    b.build()
+}
+
+/// PageRank skeleton shared by the two variants. `spmv_form` models
+/// pr_spmv, whose large GPU-written rank vectors are first-touch page-fault
+/// heavy on the heterogeneous processor (one of the paper's three
+/// fault-slowdown benchmarks).
+fn pagerank(name: &'static str, spmv_form: bool, scale: Scale) -> Pipeline {
+    let n = scale.n(160 * 1024);
+    let mut b = PipelineBuilder::new(&format!("pannotia/{name}"));
+    let g = CsrGraph::declare(&mut b, n, 10.0, false);
+    let rank_in = b.host("rank.in", n * 4);
+    // pr_spmv materializes fresh GPU-side result vectors each round.
+    let rank_out = if spmv_form {
+        b.gpu_temp("rank.out", n * 8)
+    } else {
+        b.host("rank.out", n * 4)
+    };
+    let flag = flag_buffer(&mut b);
+    g.h2d_all(&mut b);
+    b.h2d(rank_in);
+    b.h2d(flag);
+    let rounds = scale.small(6).max(4);
+    for round in 0..rounds {
+        let k = b.gpu(&format!("spmv_{round}"), n, 24.0, 10.0);
+        // pr_spmv's JDS layout permutes rows: the result vector is written
+        // in permuted (scattered) order, which is what makes its first
+        // touches unbatchable page faults on the heterogeneous processor.
+        let out_pattern = if spmv_form {
+            Pattern::Gather {
+                count: n,
+                region: 1.0,
+            }
+        } else {
+            Pattern::Stream { passes: 1 }
+        };
+        g.attach_traversal(k, 1.0)
+            .reads(rank_in, Pattern::Stream { passes: 1 })
+            .writes(rank_out, out_pattern);
+        b.gpu(&format!("normalize_{round}"), n, 10.0, 6.0)
+            .reads(rank_out, Pattern::Stream { passes: 1 })
+            .writes(rank_in, Pattern::Stream { passes: 1 })
+            .writes_all(flag, Pattern::Point { count: 1 });
+        convergence_check(&mut b, flag, &round.to_string());
+    }
+    b.d2h(rank_in);
+    b.build()
+}
+
+/// pannotia/pr — power-iteration PageRank.
+pub fn pr(scale: Scale) -> Pipeline {
+    pagerank("pr", false, scale)
+}
+
+/// pannotia/pr_spmv — PageRank as explicit SpMV with fresh result vectors.
+pub fn pr_spmv(scale: Scale) -> Pipeline {
+    pagerank("pr_spmv", true, scale)
+}
+
+/// SSSP skeleton for the two Pannotia variants.
+fn sssp_impl(name: &'static str, ell: bool, scale: Scale) -> Pipeline {
+    let n = scale.n(160 * 1024);
+    let mut b = PipelineBuilder::new(&format!("pannotia/{name}"));
+    let g = CsrGraph::declare(&mut b, n, 8.0, true);
+    let flag = flag_buffer(&mut b);
+    g.h2d_all(&mut b);
+    b.h2d(flag);
+    let rounds = scale.small(8).max(5);
+    for round in 0..rounds {
+        let active = [0.05, 0.2, 0.5, 0.7, 0.6, 0.4, 0.2, 0.1][round.min(7) as usize];
+        let k = b.gpu(
+            &format!("relax_{round}"),
+            n,
+            if ell { 18.0 } else { 24.0 },
+            3.0,
+        );
+        // ELL packing regularizes the edge accesses into strided form.
+        let k = if ell {
+            k.reads(g.edges, Pattern::Strided { stride: 2 })
+                .reads(g.props, Pattern::Stream { passes: 1 })
+                .writes(g.props, Pattern::SparseSweep { fraction: active })
+        } else {
+            g.attach_traversal(k, active)
+        };
+        k.writes_all(flag, Pattern::Point { count: 1 });
+        convergence_check(&mut b, flag, &round.to_string());
+    }
+    b.d2h(g.props);
+    b.build()
+}
+
+/// pannotia/sssp — CSR single-source shortest paths.
+pub fn sssp(scale: Scale) -> Pipeline {
+    sssp_impl("sssp", false, scale)
+}
+
+/// pannotia/sssp_ell — ELLPACK-format SSSP (meta-only in the examined set).
+pub fn sssp_ell(scale: Scale) -> Pipeline {
+    sssp_impl("sssp_ell", true, scale)
+}
+
+/// All 10 Pannotia workloads with their Table II flags.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload::examined(meta("bc", true, false), bc),
+        Workload::examined(meta("color_max", true, false), color_max),
+        Workload::extra(meta("color_maxmin", false, false), color_maxmin),
+        Workload::examined(meta("fw", true, true), fw),
+        Workload::examined(meta("fw_block", true, false), fw_block),
+        Workload::examined(meta("mis", true, false), mis),
+        Workload::examined(meta("pr", true, false), pr),
+        Workload::examined(meta("pr_spmv", true, false), pr_spmv),
+        Workload::examined(meta("sssp", true, false), sssp),
+        Workload::extra(meta("sssp_ell", false, false), sssp_ell),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_workloads_eight_examined() {
+        let w = workloads();
+        assert_eq!(w.len(), 10);
+        assert_eq!(w.iter().filter(|w| w.meta.examined).count(), 8);
+    }
+
+    #[test]
+    fn table_ii_row_matches_paper() {
+        let w = workloads();
+        assert!(w.iter().all(|w| w.meta.pc_comm && w.meta.pipe_parallel));
+        assert!(w.iter().all(|w| w.meta.regular && w.meta.irregular));
+        assert!(w.iter().all(|w| !w.meta.sw_queue));
+    }
+
+    #[test]
+    fn all_examined_pipelines_validate() {
+        for w in workloads() {
+            if let Some(p) = w.pipeline(Scale::TEST) {
+                assert_eq!(p.validate(), Ok(()), "{}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fw_touches_a_fraction_of_its_matrix() {
+        let p = fw(Scale::TEST);
+        let k = p
+            .stages
+            .iter()
+            .filter_map(|s| s.as_compute())
+            .find(|c| c.name.starts_with("relax"))
+            .unwrap();
+        let sparse = k
+            .patterns
+            .iter()
+            .any(|pi| matches!(pi.pattern, Pattern::SparseSweep { fraction } if fraction < 0.35));
+        assert!(sparse, "fw must touch <1/3 of copied data");
+    }
+
+    #[test]
+    fn pr_spmv_has_gpu_first_touch_buffer() {
+        let p = pr_spmv(Scale::TEST);
+        assert!(p
+            .buffers
+            .iter()
+            .any(|b| b.name == "rank.out" && !b.mirrored));
+        // The plain variant mirrors it instead.
+        let p2 = pr(Scale::TEST);
+        assert!(p2
+            .buffers
+            .iter()
+            .any(|b| b.name == "rank.out" && b.mirrored));
+    }
+}

@@ -1,0 +1,482 @@
+//! Parboil workload models.
+//!
+//! Parboil skews toward regular scientific/throughput kernels: several
+//! benchmarks are a single dense kernel between an input and an output copy
+//! (mri_q, sgemm) and so have no multi-stage producer-consumer communication,
+//! while the structured ones (stencil, lbm, fft, cutcp, histo) iterate
+//! kernels over double-buffered grids — the class the paper says benefits
+//! most from kernel fission + asynchronous streams (Table II row:
+//! 12 benchmarks, 8 with P-C communication, 3 irregular, 1 software queue).
+
+use crate::builder::{PipelineBuilder, Scale};
+use crate::common::{convergence_check, flag_buffer, CsrGraph};
+use crate::ir::{CopyDir, Pipeline};
+use crate::meta::{BenchMeta, Suite};
+use crate::patterns::Pattern;
+use crate::registry::Workload;
+
+#[allow(clippy::too_many_arguments)]
+fn meta(
+    name: &'static str,
+    pc: bool,
+    par: bool,
+    reg: bool,
+    irr: bool,
+    swq: bool,
+    examined: bool,
+    misaligned: bool,
+) -> BenchMeta {
+    BenchMeta {
+        suite: Suite::Parboil,
+        name,
+        pc_comm: pc,
+        pipe_parallel: par,
+        regular: reg,
+        irregular: irr,
+        sw_queue: swq,
+        examined,
+        misalignment_sensitive: misaligned,
+    }
+}
+
+/// parboil/bfs — queue-based breadth-first search (the suite's one software
+/// worklist benchmark).
+pub fn bfs(scale: Scale) -> Pipeline {
+    let n = scale.n(160 * 1024);
+    let mut b = PipelineBuilder::new("parboil/bfs");
+    let g = CsrGraph::declare(&mut b, n, 8.0, false);
+    let q_in = b.gpu_temp("queue.in", n * 4);
+    let q_out = b.gpu_temp("queue.out", n * 4);
+    let flag = flag_buffer(&mut b);
+    g.h2d_all(&mut b);
+    b.h2d(flag);
+    for (round, active) in [0.03, 0.15, 0.45, 0.7, 0.4, 0.12, 0.04].iter().enumerate() {
+        let threads = ((n as f64 * active) as u64).max(1024);
+        let k = b
+            .gpu(&format!("frontier_{round}"), threads, 24.0, 1.0)
+            .cta(512, 4096);
+        g.attach_traversal(k, *active)
+            .reads(q_in, Pattern::SparseSweep { fraction: *active })
+            .writes(q_out, Pattern::SparseSweep { fraction: *active })
+            .writes_all(flag, Pattern::Point { count: 1 });
+        convergence_check(&mut b, flag, &round.to_string());
+    }
+    b.d2h(g.props);
+    b.build()
+}
+
+/// parboil/cutcp — cutoff Coulomb potential over a 3D lattice. The CPU bins
+/// atoms per region and ships each bin to the GPU inside the loop; those
+/// repacked copies resist elimination (the paper's Fig. 4 lists cutcp among
+/// the benchmarks whose copied footprint largely remains).
+pub fn cutcp(scale: Scale) -> Pipeline {
+    let atoms = scale.n(192 * 1024);
+    let lattice = scale.n(512 * 1024);
+    let mut b = PipelineBuilder::new("parboil/cutcp");
+    let atom_buf = b.host_elems("atoms", atoms * 16, 16);
+    let bins = b.host_elems("atom_bins", atoms * 16, 16);
+    let grid = b.result("lattice", lattice * 4);
+    let regions = 6;
+    for r in 0..regions {
+        // Bin the region's atoms on the CPU (repacking: copy not elidable).
+        b.cpu(&format!("bin_{r}"), atoms / regions, 22.0, 4.0)
+            .reads(
+                atom_buf,
+                Pattern::SparseSweep {
+                    fraction: 1.0 / regions as f64,
+                },
+            )
+            .writes(
+                bins,
+                Pattern::SparseSweep {
+                    fraction: 1.0 / regions as f64,
+                },
+            );
+        b.sticky_copy(bins, CopyDir::H2D, Some(atoms * 16 / regions as u64));
+        b.gpu(&format!("potential_{r}"), lattice / regions, 180.0, 140.0)
+            .cta(128, 8 * 1024)
+            .reads_all(bins, Pattern::Stream { passes: 1 })
+            .writes(grid, Pattern::Stream { passes: 1 });
+    }
+    b.d2h(grid);
+    b.build()
+}
+
+/// parboil/fft — batched 1D FFT. Each butterfly pass reads one buffer
+/// strided and writes the other; the host-side double-buffer shuffle is a
+/// copy the elimination pass cannot remove, and the wide all-to-all data
+/// dependency between passes limits pipeline overlap (both noted in the
+/// paper).
+pub fn fft(scale: Scale) -> Pipeline {
+    let n = scale.n(1 << 20);
+    let mut b = PipelineBuilder::new("parboil/fft");
+    let ping = b.host_elems("data.ping", n * 8, 8);
+    let pong = b.host_elems("data.pong", n * 8, 8);
+    b.h2d(ping);
+    b.h2d(pong);
+    let passes = 5u32;
+    for p in 0..passes {
+        let (src, dst) = if p % 2 == 0 {
+            (ping, pong)
+        } else {
+            (pong, ping)
+        };
+        b.gpu(&format!("butterfly_{p}"), n / 2, 22.0, 10.0)
+            .serial() // all-to-all shuffle: no safe chunking
+            .reads(
+                src,
+                Pattern::Strided {
+                    stride: 1 << p.min(6),
+                },
+            )
+            .reads(src, Pattern::Stream { passes: 1 })
+            .writes(dst, Pattern::Stream { passes: 1 });
+    }
+    // Host re-packs the result into natural order: double-buffer copies.
+    b.sticky_copy(ping, CopyDir::D2H, None);
+    b.cpu("reorder", n / 8, 12.0, 0.0)
+        .reads(ping, Pattern::Stream { passes: 1 })
+        .writes(pong, Pattern::Stream { passes: 1 });
+    b.build()
+}
+
+/// parboil/histo — large histogram with privatized bins. The CPU clears the
+/// bin array every iteration (a costly memory operation the paper suggests
+/// eliminating with better data structures).
+pub fn histo(scale: Scale) -> Pipeline {
+    let n = scale.n(2 * 1024 * 1024);
+    let bins = scale.n(256 * 1024);
+    let mut b = PipelineBuilder::new("parboil/histo");
+    let input = b.host("image", n * 4);
+    let bin_buf = b.host("bins", bins * 4);
+    b.h2d(input);
+    for iter in 0..5u32 {
+        b.cpu(&format!("zero_bins_{iter}"), bins, 2.0, 0.0)
+            .writes(bin_buf, Pattern::Stream { passes: 1 });
+        b.h2d(bin_buf);
+        b.gpu(&format!("histo_{iter}"), n, 48.0, 0.0)
+            .cta(512, 8 * 1024)
+            .reads(input, Pattern::Stream { passes: 1 })
+            .writes_all(
+                bin_buf,
+                Pattern::Gather {
+                    count: n / 4,
+                    region: 0.2,
+                },
+            );
+        b.d2h(bin_buf);
+    }
+    b.build()
+}
+
+/// parboil/lbm — D3Q19 lattice-Boltzmann. Two huge distribution grids in a
+/// stream-collide loop; the CPU memsets the destination grid up front
+/// (flagged by the paper as CPU data-movement overhead), and shared
+/// allocations are misalignment-sensitive.
+pub fn lbm(scale: Scale) -> Pipeline {
+    let cells = scale.n(140 * 1024);
+    let grid_bytes = cells * 19 * 4;
+    let mut b = PipelineBuilder::new("parboil/lbm");
+    let src = b.host("grid.src", grid_bytes);
+    let dst = b.host("grid.dst", grid_bytes);
+    b.cpu("clear_dst", cells * 19 / 16, 2.0, 0.0)
+        .writes(dst, Pattern::Stream { passes: 1 });
+    b.h2d(src);
+    b.h2d(dst);
+    for iter in 0..8u32 {
+        let (s, d) = if iter % 2 == 0 {
+            (src, dst)
+        } else {
+            (dst, src)
+        };
+        b.gpu(&format!("stream_collide_{iter}"), cells, 160.0, 100.0)
+            .reads(s, Pattern::Stencil { row_elems: 1024 })
+            .writes(d, Pattern::Stream { passes: 1 });
+    }
+    b.d2h(src);
+    b.build()
+}
+
+/// parboil/mri_q — MRI Q-matrix computation: one compute-dense kernel
+/// between input and output copies (no multi-stage P-C communication).
+pub fn mri_q(scale: Scale) -> Pipeline {
+    let n = scale.n(512 * 1024);
+    let k = 2048;
+    let mut b = PipelineBuilder::new("parboil/mri_q");
+    b.work_scale(1.0); // already compute-dense: 5*k instructions per thread
+    let coords = b.host_elems("coords", n * 12, 12);
+    let kspace = b.host_elems("kspace", k * 16, 16);
+    let q = b.result("q_out", n * 8);
+    b.h2d(coords);
+    b.h2d(kspace);
+    b.gpu("compute_q", n, 5.0 * k as f64, 4.0 * k as f64)
+        .cta(256, 2048)
+        .reads(coords, Pattern::Stream { passes: 1 })
+        .reads_all(kspace, Pattern::Stream { passes: 8 })
+        .writes(q, Pattern::Stream { passes: 1 });
+    b.d2h(q);
+    b.build()
+}
+
+/// parboil/sgemm — dense single-precision matrix multiply: a single tiled
+/// kernel (no P-C communication).
+pub fn sgemm(scale: Scale) -> Pipeline {
+    let dim = scale.dim(1100);
+    let mat = dim * dim * 4;
+    let mut b = PipelineBuilder::new("parboil/sgemm");
+    let a = b.host("mat.a", mat);
+    let bm = b.host("mat.b", mat);
+    let c = b.result("mat.c", mat);
+    b.h2d(a);
+    b.h2d(bm);
+    b.gpu(
+        "sgemm_tiled",
+        dim * dim / 4,
+        0.9 * dim as f64,
+        0.7 * dim as f64,
+    )
+    .cta(128, 8 * 1024)
+    .reads(a, Pattern::Stream { passes: 8 })
+    .reads_all(bm, Pattern::Stream { passes: 8 })
+    .writes(c, Pattern::Stream { passes: 1 });
+    b.d2h(c);
+    b.build()
+}
+
+/// parboil/spmv — JDS sparse matrix-vector product, iterated; the dense
+/// vector gather is the irregular construct.
+pub fn spmv(scale: Scale) -> Pipeline {
+    let rows = scale.n(256 * 1024);
+    let nnz = rows * 12;
+    let mut b = PipelineBuilder::new("parboil/spmv");
+    let vals = b.host("jds.vals", nnz * 4);
+    let cols = b.host("jds.cols", nnz * 4);
+    let x = b.host("vec.x", rows * 4);
+    let y = b.host("vec.y", rows * 4);
+    b.h2d(vals);
+    b.h2d(cols);
+    b.h2d(x);
+    for iter in 0..10u32 {
+        let (src, dst) = if iter % 2 == 0 { (x, y) } else { (y, x) };
+        b.gpu(&format!("spmv_{iter}"), rows, 110.0, 80.0)
+            .reads(vals, Pattern::Stream { passes: 1 })
+            .reads(cols, Pattern::Stream { passes: 1 })
+            .reads_all(
+                src,
+                Pattern::Gather {
+                    count: nnz,
+                    region: 1.0,
+                },
+            )
+            .writes(dst, Pattern::Stream { passes: 1 });
+    }
+    b.d2h(y);
+    b.build()
+}
+
+/// parboil/stencil — 3D 7-point Jacobi iteration over double-buffered
+/// grids; the canonical regular, chunkable, async-streams-friendly shape.
+pub fn stencil(scale: Scale) -> Pipeline {
+    let cells = scale.n(1 << 21);
+    let mut b = PipelineBuilder::new("parboil/stencil");
+    let src = b.host("grid.a", cells * 4);
+    let dst = b.host("grid.b", cells * 4);
+    b.h2d(src);
+    b.h2d(dst);
+    for iter in 0..8u32 {
+        let (s, d) = if iter % 2 == 0 {
+            (src, dst)
+        } else {
+            (dst, src)
+        };
+        b.gpu(&format!("jacobi_{iter}"), cells, 52.0, 30.0)
+            .reads(s, Pattern::Stencil { row_elems: 512 })
+            .writes(d, Pattern::Stream { passes: 1 });
+    }
+    b.d2h(src);
+    b.build()
+}
+
+/// All 12 Parboil workloads with their Table II flags.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload::examined(meta("bfs", true, true, true, true, true, true, false), bfs),
+        Workload::examined(
+            meta("cutcp", true, true, true, false, false, true, false),
+            cutcp,
+        ),
+        Workload::examined(
+            meta("fft", true, true, true, false, false, true, false),
+            fft,
+        ),
+        Workload::examined(
+            meta("histo", true, true, true, true, false, true, false),
+            histo,
+        ),
+        Workload::examined(meta("lbm", true, true, true, false, false, true, true), lbm),
+        Workload::extra(
+            meta("mri_gridding", true, true, true, false, false, false, false),
+            mri_gridding,
+        ),
+        Workload::examined(
+            meta("mri_q", false, false, false, false, false, true, false),
+            mri_q,
+        ),
+        Workload::extra(
+            meta("sad", false, false, false, false, false, false, false),
+            sad,
+        ),
+        Workload::examined(
+            meta("sgemm", false, false, false, false, false, true, false),
+            sgemm,
+        ),
+        Workload::examined(
+            meta("spmv", true, true, true, true, false, true, false),
+            spmv,
+        ),
+        Workload::examined(
+            meta("stencil", true, true, true, false, false, true, true),
+            stencil,
+        ),
+        Workload::extra(
+            meta("tpacf", false, false, false, false, false, false, false),
+            tpacf,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_workloads_nine_examined() {
+        let w = workloads();
+        assert_eq!(w.len(), 12);
+        assert_eq!(w.iter().filter(|w| w.meta.examined).count(), 9);
+    }
+
+    #[test]
+    fn table_ii_row_matches_paper() {
+        let w = workloads();
+        assert_eq!(w.iter().filter(|w| w.meta.pc_comm).count(), 8);
+        assert_eq!(w.iter().filter(|w| w.meta.pipe_parallel).count(), 8);
+        assert_eq!(w.iter().filter(|w| w.meta.regular).count(), 8);
+        assert_eq!(w.iter().filter(|w| w.meta.irregular).count(), 3);
+        assert_eq!(w.iter().filter(|w| w.meta.sw_queue).count(), 1);
+    }
+
+    #[test]
+    fn all_examined_pipelines_validate() {
+        for w in workloads() {
+            if let Some(p) = w.pipeline(Scale::TEST) {
+                assert_eq!(p.validate(), Ok(()), "{}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn single_kernel_benchmarks_have_no_pc_comm() {
+        for w in workloads() {
+            if w.meta.name == "mri_q" || w.meta.name == "sgemm" {
+                assert!(!w.meta.pc_comm);
+                let p = w.pipeline(Scale::TEST).unwrap();
+                assert_eq!(
+                    p.stages.iter().filter_map(|s| s.as_compute()).count(),
+                    1,
+                    "{} should be a single kernel",
+                    w.meta.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cutcp_keeps_residual_copies() {
+        let p = cutcp(Scale::TEST);
+        assert!(p.residual_copies() >= 6);
+    }
+
+    #[test]
+    fn fft_passes_are_serial() {
+        let p = fft(Scale::TEST);
+        for s in p.stages.iter().filter_map(|s| s.as_compute()) {
+            if s.name.starts_with("butterfly") {
+                assert!(!s.chunkable, "butterfly passes must not chunk");
+            }
+        }
+    }
+}
+
+/// parboil/mri_gridding — k-space sample gridding: a CPU binning pass then
+/// a scatter-heavy interpolation kernel. Not examined in the paper (it did
+/// not run in gem5-gpu); modeled here so the full suite is runnable.
+pub fn mri_gridding(scale: Scale) -> Pipeline {
+    let samples = scale.n(512 * 1024);
+    let grid = scale.n(2 * 1024 * 1024);
+    let mut b = PipelineBuilder::new("parboil/mri_gridding");
+    let sample_buf = b.host_elems("samples", samples * 16, 16);
+    let bins = b.host("sample_bins", samples * 4);
+    let grid_buf = b.result("grid", grid * 4);
+    b.cpu("bin_samples", samples, 18.0, 2.0)
+        .reads(sample_buf, Pattern::Stream { passes: 1 })
+        .writes(bins, Pattern::Stream { passes: 1 });
+    b.h2d(sample_buf);
+    b.h2d(bins);
+    b.gpu("gridding", samples, 90.0, 60.0)
+        .cta(256, 4 * 1024)
+        .reads(sample_buf, Pattern::Stream { passes: 1 })
+        .reads(bins, Pattern::Stream { passes: 1 })
+        .writes_all(
+            grid_buf,
+            Pattern::Gather {
+                count: samples * 4,
+                region: 1.0,
+            },
+        );
+    b.d2h(grid_buf);
+    b.build()
+}
+
+/// parboil/sad — H.264 sum-of-absolute-differences motion estimation: one
+/// kernel family over a current and a reference frame (no P-C
+/// communication). Not examined in the paper.
+pub fn sad(scale: Scale) -> Pipeline {
+    let px = scale.n(1 << 20);
+    let mut b = PipelineBuilder::new("parboil/sad");
+    let cur = b.host("frame.cur", px * 4);
+    let reference = b.host("frame.ref", px * 4);
+    let sads = b.result("sad_results", px * 8);
+    b.h2d(cur);
+    b.h2d(reference);
+    b.gpu("sad_4x4", px / 16, 220.0, 160.0)
+        .cta(64, 4 * 1024)
+        .reads(cur, Pattern::Stream { passes: 1 })
+        .reads_all(
+            reference,
+            Pattern::Gather {
+                count: px / 2,
+                region: 0.25,
+            },
+        )
+        .writes(sads, Pattern::Stream { passes: 1 });
+    b.d2h(sads);
+    b.build()
+}
+
+/// parboil/tpacf — two-point angular correlation: an all-pairs histogram
+/// kernel over sky coordinates (no P-C communication). Not examined in the
+/// paper.
+pub fn tpacf(scale: Scale) -> Pipeline {
+    let points = scale.n(96 * 1024);
+    let mut b = PipelineBuilder::new("parboil/tpacf");
+    let coords = b.host_elems("coords", points * 8, 8);
+    let bins = b.result("histogram", 256 * 1024);
+    b.h2d(coords);
+    b.gpu("correlate", points, 1400.0, 900.0)
+        .cta(256, 8 * 1024)
+        .reads(coords, Pattern::Stream { passes: 8 })
+        .writes_all(bins, Pattern::Point { count: 16 * 1024 });
+    b.d2h(bins);
+    b.build()
+}

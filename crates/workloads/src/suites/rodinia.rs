@@ -1,0 +1,923 @@
+//! Rodinia workload models.
+//!
+//! Rodinia spans image/signal processing, machine learning, scientific
+//! numerics, and a few graph kernels. Its Table II row (22 benchmarks, 19
+//! with P-C communication, 18 pipeline-parallelizable, 6 irregular, no
+//! software queues) makes it the largest suite in the study, and it hosts
+//! the paper's case study (kmeans) and its page-fault outlier (srad).
+
+use crate::builder::{PipelineBuilder, Scale};
+use crate::common::{convergence_check, flag_buffer, CsrGraph};
+use crate::ir::{CopyDir, Pipeline};
+use crate::meta::{BenchMeta, Suite};
+use crate::patterns::Pattern;
+use crate::registry::Workload;
+
+#[allow(clippy::too_many_arguments)]
+fn meta(
+    name: &'static str,
+    pc: bool,
+    par: bool,
+    reg: bool,
+    irr: bool,
+    examined: bool,
+    misaligned: bool,
+) -> BenchMeta {
+    BenchMeta {
+        suite: Suite::Rodinia,
+        name,
+        pc_comm: pc,
+        pipe_parallel: par,
+        regular: reg,
+        irregular: irr,
+        sw_queue: false,
+        examined,
+        misalignment_sensitive: misaligned,
+    }
+}
+
+/// rodinia/backprop — two-layer neural network training: a wide forward
+/// kernel, a CPU reduction of partial sums, and a weight-adjust kernel. The
+/// canonical regular producer-consumer pipeline the paper uses to validate
+/// the component-overlap model.
+pub fn backprop(scale: Scale) -> Pipeline {
+    let n = scale.n(1 << 20);
+    let hidden = 16u64;
+    let mut b = PipelineBuilder::new("rodinia/backprop");
+    let input = b.host("input_units", n * 4);
+    let weights = b.host("weights", n * hidden * 4 / 4); // hidden/4 dense blocks
+    let partial = b.result("partial_sums", n / 4);
+    b.h2d(input);
+    b.h2d(weights);
+    b.gpu("layerforward", n, 120.0, 5.0 * hidden as f64)
+        .cta(256, 2 * 1024)
+        .reads(input, Pattern::Stream { passes: 1 })
+        .reads(weights, Pattern::Stream { passes: 1 })
+        .writes(partial, Pattern::Stream { passes: 1 });
+    b.d2h(partial);
+    b.cpu("reduce_hidden", n / 64, 10.0, 4.0)
+        .reads(partial, Pattern::Stream { passes: 1 });
+    b.gpu("adjust_weights", n, 96.0, 4.0 * hidden as f64)
+        .reads(input, Pattern::Stream { passes: 1 })
+        .writes(weights, Pattern::Stream { passes: 1 });
+    b.d2h(weights);
+    b.build()
+}
+
+/// rodinia/bfs — frontier-mask BFS with the outer-loop copy/check structure
+/// the paper names when discussing copy-latency overheads.
+pub fn bfs(scale: Scale) -> Pipeline {
+    let n = scale.n(256 * 1024);
+    let mut b = PipelineBuilder::new("rodinia/bfs");
+    let g = CsrGraph::declare(&mut b, n, 6.0, false);
+    let mask = b.host("frontier_mask", n * 4);
+    let flag = flag_buffer(&mut b);
+    g.h2d_all(&mut b);
+    b.h2d(mask);
+    b.h2d(flag);
+    for (round, active) in [0.03, 0.18, 0.5, 0.75, 0.45, 0.15, 0.05].iter().enumerate() {
+        let k = b.gpu(&format!("kernel1_{round}"), n, 16.0, 0.0);
+        g.attach_traversal(k, *active)
+            .reads(mask, Pattern::Stream { passes: 1 });
+        b.gpu(&format!("kernel2_{round}"), n, 8.0, 0.0)
+            .reads(mask, Pattern::Stream { passes: 1 })
+            .writes(mask, Pattern::SparseSweep { fraction: *active })
+            .writes_all(flag, Pattern::Point { count: 1 });
+        convergence_check(&mut b, flag, &round.to_string());
+    }
+    b.d2h(g.props);
+    b.build()
+}
+
+/// rodinia/cell — cellular-grid simulation: stencil kernels with a small
+/// per-iteration statistics copy and CPU parameter update (one of the
+/// paper's async-streams beneficiaries).
+pub fn cell(scale: Scale) -> Pipeline {
+    let cells = scale.n(1 << 21);
+    let mut b = PipelineBuilder::new("rodinia/cell");
+    let grid_a = b.host("grid.a", cells * 4);
+    let grid_b = b.host("grid.b", cells * 4);
+    let stats = b.result("stats", 4096);
+    b.h2d(grid_a);
+    b.h2d(grid_b);
+    for iter in 0..8u32 {
+        let (s, d) = if iter % 2 == 0 {
+            (grid_a, grid_b)
+        } else {
+            (grid_b, grid_a)
+        };
+        b.gpu(&format!("step_{iter}"), cells, 60.0, 32.0)
+            .reads(s, Pattern::Stencil { row_elems: 1024 })
+            .writes(d, Pattern::Stream { passes: 1 })
+            .writes_all(stats, Pattern::Point { count: 32 });
+        b.d2h(stats);
+        b.cpu(&format!("params_{iter}"), 512, 10.0, 4.0)
+            .serial()
+            .reads(stats, Pattern::Point { count: 32 });
+    }
+    b.d2h(grid_a);
+    b.build()
+}
+
+/// rodinia/cfd — unstructured-mesh Euler solver: irregular flux gathers
+/// over mesh neighbours, GPU-resident between iterations.
+pub fn cfd(scale: Scale) -> Pipeline {
+    let n = scale.n(192 * 1024);
+    let mut b = PipelineBuilder::new("rodinia/cfd");
+    let areas = b.host("areas", n * 4);
+    let neighbors = b.host("elem_neighbors", n * 16);
+    let vars = b.host_elems("variables", n * 20, 20);
+    let fluxes = b.gpu_temp("fluxes", n * 20);
+    b.h2d(areas);
+    b.h2d(neighbors);
+    b.h2d(vars);
+    for iter in 0..3u32 {
+        b.gpu(&format!("compute_flux_{iter}"), n, 80.0, 60.0)
+            .reads(neighbors, Pattern::Stream { passes: 1 })
+            .reads_all(
+                vars,
+                Pattern::Gather {
+                    count: n * 4,
+                    region: 1.0,
+                },
+            )
+            .reads(areas, Pattern::Stream { passes: 1 })
+            .writes(fluxes, Pattern::Stream { passes: 1 });
+        b.gpu(&format!("time_step_{iter}"), n, 24.0, 20.0)
+            .reads(fluxes, Pattern::Stream { passes: 1 })
+            .writes(vars, Pattern::Stream { passes: 1 });
+    }
+    b.d2h(vars);
+    b.build()
+}
+
+/// rodinia/dwt — 2D discrete wavelet transform. The CPU packs and unpacks
+/// pixel planes around the GPU transform; its dominant CPU time makes dwt
+/// the paper's flagship migrated-compute case (Fig. 8).
+pub fn dwt(scale: Scale) -> Pipeline {
+    let pixels = scale.n(4 * 1024 * 1024);
+    let mut b = PipelineBuilder::new("rodinia/dwt");
+    let raw = b.host("image.raw", pixels * 4);
+    let packed = b.host("image.packed", pixels * 4);
+    let coeffs = b.result("coefficients", pixels * 4);
+    // Heavy serial CPU repack before the GPU ever starts.
+    b.cpu("pack_components", pixels, 14.0, 2.0)
+        .reads(raw, Pattern::Stream { passes: 1 })
+        .writes(packed, Pattern::Stream { passes: 1 });
+    b.h2d(packed);
+    b.gpu("dwt_rows", pixels / 2, 26.0, 14.0)
+        .reads(packed, Pattern::Stream { passes: 1 })
+        .writes(coeffs, Pattern::Stream { passes: 1 });
+    b.gpu("dwt_cols", pixels / 2, 26.0, 14.0)
+        .reads(coeffs, Pattern::Strided { stride: 16 })
+        .writes(coeffs, Pattern::Strided { stride: 16 });
+    b.d2h(coeffs);
+    b.cpu("unpack_store", pixels, 12.0, 0.0)
+        .reads(coeffs, Pattern::Stream { passes: 1 })
+        .writes(raw, Pattern::Stream { passes: 1 });
+    b.build()
+}
+
+/// rodinia/gaussian — Gaussian elimination: a pair of kernels per pivot row
+/// over a shrinking trailing submatrix (the paper's example of iterative
+/// refinement keeping copies a small fraction of accesses).
+pub fn gaussian(scale: Scale) -> Pipeline {
+    let dim = scale.dim(1400);
+    let mut b = PipelineBuilder::new("rodinia/gaussian");
+    let matrix = b.host("matrix", dim * dim * 4);
+    let vec = b.host("rhs", dim * 4);
+    b.h2d(matrix);
+    b.h2d(vec);
+    let steps = scale.small(20).max(8);
+    for s in 0..steps {
+        let remaining = 1.0 - s as f64 / steps as f64;
+        b.gpu(&format!("fan1_{s}"), dim, 10.0, 4.0)
+            .reads(
+                matrix,
+                Pattern::SparseSweep {
+                    fraction: 0.02 * remaining,
+                },
+            )
+            .writes(vec, Pattern::Point { count: dim / 8 });
+        b.gpu(
+            &format!("fan2_{s}"),
+            (dim * dim / steps).max(4096),
+            64.0,
+            40.0,
+        )
+        .reads(
+            matrix,
+            Pattern::SparseSweep {
+                fraction: remaining * 0.5,
+            },
+        )
+        .writes(
+            matrix,
+            Pattern::SparseSweep {
+                fraction: remaining * 0.45,
+            },
+        );
+    }
+    b.d2h(matrix);
+    b.d2h(vec);
+    b.build()
+}
+
+/// rodinia/heartwall — ultrasound cardiac-wall tracking: per-frame image
+/// transfers the elimination pass cannot remove, plus large GPU-temporary
+/// convolution state that page-faults on first touch in the heterogeneous
+/// processor (one of the paper's three fault-slowdown benchmarks).
+pub fn heartwall(scale: Scale) -> Pipeline {
+    let frame_px = scale.n(640 * 1024);
+    let mut b = PipelineBuilder::new("rodinia/heartwall");
+    let frame = b.host("frame", frame_px * 4);
+    let temp = b.gpu_temp("conv_state", frame_px * 4);
+    let points = b.result("track_points", 64 * 1024);
+    let frames = scale.small(5).max(3);
+    for f in 0..frames {
+        // A fresh frame arrives each step: the copy is fundamental.
+        b.sticky_copy(frame, CopyDir::H2D, None);
+        b.gpu(&format!("track_{f}"), frame_px / 4, 70.0, 40.0)
+            .cta(256, 12 * 1024)
+            .reads(frame, Pattern::Stream { passes: 1 })
+            .reads_all(
+                frame,
+                Pattern::Gather {
+                    count: frame_px / 2,
+                    region: 0.3,
+                },
+            )
+            .writes_all(
+                temp,
+                Pattern::Gather {
+                    count: frame_px / 2,
+                    region: 1.0,
+                },
+            )
+            .writes_all(points, Pattern::Point { count: 2048 });
+        b.d2h(points);
+        b.cpu(&format!("update_{f}"), 4096, 16.0, 6.0)
+            .serial()
+            .reads(points, Pattern::Point { count: 2048 });
+    }
+    b.build()
+}
+
+/// rodinia/hotspot — thermal stencil with pyramid blocking; regular,
+/// chunkable, and misalignment-sensitive when its grids are shared.
+pub fn hotspot(scale: Scale) -> Pipeline {
+    let cells = scale.n(2 * 1024 * 1024);
+    let mut b = PipelineBuilder::new("rodinia/hotspot");
+    let temp = b.host("temperature", cells * 4);
+    let power = b.host("power", cells * 4);
+    let out = b.host("temp_out", cells * 4);
+    b.h2d(temp);
+    b.h2d(power);
+    for iter in 0..8u32 {
+        let (s, d) = if iter % 2 == 0 {
+            (temp, out)
+        } else {
+            (out, temp)
+        };
+        b.gpu(&format!("hotspot_{iter}"), cells, 66.0, 36.0)
+            .cta(256, 8 * 1024)
+            .reads(s, Pattern::Stencil { row_elems: 1024 })
+            .reads(power, Pattern::Stream { passes: 1 })
+            .writes(d, Pattern::Stream { passes: 1 });
+    }
+    b.d2h(out);
+    b.build()
+}
+
+/// rodinia/kmeans — the paper's case study (§II, Fig. 3). Each sweep
+/// iteration re-mirrors the feature array to the GPU (the Rodinia harness
+/// re-invokes clustering per candidate k), runs the wide distance/assign
+/// kernel, copies memberships back, and recomputes centers on the CPU from
+/// the points whose assignment changed.
+pub fn kmeans(scale: Scale) -> Pipeline {
+    let n = scale.n(256 * 1024);
+    let dims = 32u64;
+    let k = 16u64;
+    let mut b = PipelineBuilder::new("rodinia/kmeans");
+    b.work_scale(1.0); // costs calibrated directly against Fig. 3
+    let features = b.host_elems("features", n * dims * 4, (dims * 4) as u32);
+    let membership = b.result("membership", n * 4);
+    // Per-point partial distance sums, produced on the GPU and consumed by
+    // the CPU recenter step: the producer-consumer data whose cache
+    // residency drives the case study's "Parallel + Cache" gain.
+    let partial = b.result("partial_sums", n * 4);
+    // Centers are double-buffered (kernels read this iteration's centers
+    // while the CPU accumulates next iteration's), as any chunk-overlapped
+    // implementation must to break the write-after-read hazard.
+    let centers_a = b.host("centers.a", (k * dims * 4).max(128));
+    let centers_b = b.host("centers.b", (k * dims * 4).max(128));
+    let iters = scale.small(4).max(3);
+    for it in 0..iters {
+        let (cur, next) = if it % 2 == 0 {
+            (centers_a, centers_b)
+        } else {
+            (centers_b, centers_a)
+        };
+        // The Rodinia harness re-invokes clustering per candidate k,
+        // copying the feature array afresh each time: the bandwidth
+        // asymmetry makes this >50% of baseline run time.
+        b.h2d(features);
+        b.h2d(cur);
+        b.gpu(
+            &format!("distance_assign_{it}"),
+            n,
+            5.5 * (k * dims) as f64,
+            4.5 * (k * dims) as f64,
+        )
+        .cta(256, 0)
+        .reads(features, Pattern::Stream { passes: 1 })
+        .reads_all(cur, Pattern::Stream { passes: 4 })
+        .writes(membership, Pattern::Stream { passes: 1 })
+        .writes(partial, Pattern::Stream { passes: 1 });
+        b.d2h(membership);
+        b.d2h(partial);
+        // The recenter accumulation is chunkable (per-cluster partial
+        // sums), which is what lets the paper's "Parallel" organizations
+        // overlap it with the kernel.
+        b.cpu(&format!("recenter_{it}"), n, 36.0, 6.0)
+            .reads(membership, Pattern::Stream { passes: 1 })
+            .reads(partial, Pattern::Stream { passes: 1 })
+            .writes(next, Pattern::Stream { passes: 1 });
+    }
+    b.build()
+}
+
+/// rodinia/lud — blocked LU decomposition: three kernels of very different
+/// width per diagonal step, all GPU-resident (iterative refinement, few
+/// copies).
+pub fn lud(scale: Scale) -> Pipeline {
+    let dim = scale.dim(1400);
+    let mut b = PipelineBuilder::new("rodinia/lud");
+    let matrix = b.host("matrix", dim * dim * 4);
+    b.h2d(matrix);
+    let steps = scale.small(10).max(6);
+    for s in 0..steps {
+        let remaining = (1.0 - s as f64 / steps as f64).max(0.05);
+        b.gpu(&format!("diag_{s}"), 4096, 60.0, 40.0)
+            .cta(64, 4 * 1024)
+            .reads(matrix, Pattern::SparseSweep { fraction: 0.01 })
+            .writes(matrix, Pattern::SparseSweep { fraction: 0.005 });
+        b.gpu(&format!("perimeter_{s}"), (dim * 8).max(4096), 120.0, 80.0)
+            .cta(128, 8 * 1024)
+            .reads(
+                matrix,
+                Pattern::SparseSweep {
+                    fraction: 0.08 * remaining,
+                },
+            )
+            .writes(
+                matrix,
+                Pattern::SparseSweep {
+                    fraction: 0.04 * remaining,
+                },
+            );
+        b.gpu(
+            &format!("internal_{s}"),
+            ((dim * dim) as f64 * remaining * remaining / 4.0) as u64 + 4096,
+            130.0,
+            90.0,
+        )
+        .cta(256, 8 * 1024)
+        .reads(
+            matrix,
+            Pattern::SparseSweep {
+                fraction: remaining * remaining,
+            },
+        )
+        .reads(
+            matrix,
+            Pattern::SparseSweep {
+                fraction: remaining * remaining * 0.8,
+            },
+        )
+        .writes(
+            matrix,
+            Pattern::SparseSweep {
+                fraction: remaining * remaining * 0.9,
+            },
+        );
+    }
+    b.d2h(matrix);
+    b.build()
+}
+
+/// rodinia/mummer — MUMmer suffix-tree DNA matching: irregular tree
+/// descent on the GPU bracketed by heavy serial CPU pre/post-processing
+/// (the paper notes mummer even overlaps disk input with GPU execution).
+pub fn mummer(scale: Scale) -> Pipeline {
+    let queries = scale.n(512 * 1024);
+    let tree_bytes = scale.n(1 << 22) * 4;
+    let mut b = PipelineBuilder::new("rodinia/mummer");
+    let tree = b.host("suffix_tree", tree_bytes);
+    let qbuf = b.host("queries", queries * 4);
+    let matches = b.result("matches", queries * 8);
+    b.cpu("parse_queries", queries, 18.0, 0.0)
+        .reads(qbuf, Pattern::Stream { passes: 1 })
+        .writes(qbuf, Pattern::Stream { passes: 1 });
+    b.h2d(tree);
+    b.h2d(qbuf);
+    b.gpu("match_kernel", queries, 90.0, 4.0)
+        .reads(qbuf, Pattern::Stream { passes: 1 })
+        .reads_all(
+            tree,
+            Pattern::Gather {
+                count: queries * 6,
+                region: 0.6,
+            },
+        )
+        .writes(matches, Pattern::Stream { passes: 1 });
+    b.d2h(matches);
+    b.cpu("print_matches", queries, 26.0, 0.0)
+        .reads(matches, Pattern::Stream { passes: 1 });
+    b.build()
+}
+
+/// rodinia/nn — nearest neighbours: one streaming distance kernel plus a
+/// CPU top-k scan (no multi-stage P-C communication in Table II terms).
+pub fn nn(scale: Scale) -> Pipeline {
+    let records = scale.n(2 * 1024 * 1024);
+    let mut b = PipelineBuilder::new("rodinia/nn");
+    let recs = b.host_elems("records", records * 8, 8);
+    let dists = b.result("distances", records * 4);
+    b.h2d(recs);
+    b.gpu("distances", records, 12.0, 8.0)
+        .reads(recs, Pattern::Stream { passes: 1 })
+        .writes(dists, Pattern::Stream { passes: 1 });
+    b.d2h(dists);
+    b.cpu("topk", records, 6.0, 1.0)
+        .serial()
+        .reads(dists, Pattern::Stream { passes: 1 });
+    b.build()
+}
+
+/// rodinia/nw — Needleman-Wunsch: anti-diagonal wavefront kernels over a
+/// shared DP matrix; many-to-few dependencies make inter-stage optimization
+/// hard in the presence of copies (paper §V-B).
+pub fn nw(scale: Scale) -> Pipeline {
+    let dim = scale.dim(2048);
+    let mut b = PipelineBuilder::new("rodinia/nw");
+    let matrix = b.host("dp_matrix", dim * dim * 4);
+    let reference = b.host("reference", dim * dim * 4);
+    b.h2d(matrix);
+    b.h2d(reference);
+    let diags = scale.small(12).max(8);
+    for d in 0..diags {
+        let frac = 1.0 / diags as f64;
+        b.gpu(
+            &format!("diag_fwd_{d}"),
+            (dim * dim / diags / 4).max(4096),
+            90.0,
+            30.0,
+        )
+        .cta(64, 8 * 1024)
+        .serial() // wavefront dependency
+        .reads(
+            matrix,
+            Pattern::SparseSweep {
+                fraction: frac * 2.0,
+            },
+        )
+        .reads(reference, Pattern::SparseSweep { fraction: frac })
+        .writes(matrix, Pattern::SparseSweep { fraction: frac });
+    }
+    b.d2h(matrix);
+    b.build()
+}
+
+/// rodinia/pathfinder — dynamic programming over grid rows, one small
+/// kernel per row step; cited by the paper as a benchmark whose copy time
+/// vanishes in the heterogeneous processor.
+pub fn pathfinder(scale: Scale) -> Pipeline {
+    let cols = scale.n(1 << 21);
+    let rows = scale.small(8).max(6);
+    let mut b = PipelineBuilder::new("rodinia/pathfinder");
+    let wall = b.host("wall", cols * rows * 4);
+    let result = b.host("result_row", cols * 4);
+    b.h2d(wall);
+    b.h2d(result);
+    for r in 0..rows {
+        b.gpu(&format!("dynproc_{r}"), cols, 44.0, 14.0)
+            .cta(256, 2 * 1024)
+            .reads(
+                wall,
+                Pattern::SparseSweep {
+                    fraction: 1.0 / rows as f64,
+                },
+            )
+            .reads(result, Pattern::Stream { passes: 1 })
+            .writes(result, Pattern::Stream { passes: 1 });
+    }
+    b.d2h(result);
+    b.build()
+}
+
+/// Particle-filter skeleton shared by the naive and float variants.
+fn particlefilter(name: &'static str, float_variant: bool, scale: Scale) -> Pipeline {
+    let particles = scale.n(96 * 1024);
+    let frame_px = scale.n(512 * 1024);
+    let mut b = PipelineBuilder::new(&format!("rodinia/{name}"));
+    let frame = b.host("frame", frame_px * 4);
+    let xs = b.host("particles.x", particles * 8);
+    let weights = b.host("weights", particles * 8);
+    // The float variant keeps large intermediate arrays on the GPU, which
+    // page-fault on first touch in the heterogeneous processor.
+    let scratch = float_variant.then(|| b.gpu_temp("pf_scratch", particles * 32));
+    b.h2d(frame);
+    let frames = scale.small(4).max(3);
+    for f in 0..frames {
+        b.cpu(&format!("propose_{f}"), particles, 20.0, 10.0)
+            .reads(xs, Pattern::Stream { passes: 1 })
+            .writes(xs, Pattern::Stream { passes: 1 });
+        b.h2d(xs);
+        let k = b
+            .gpu(&format!("likelihood_{f}"), particles, 60.0, 30.0)
+            .reads(xs, Pattern::Stream { passes: 1 })
+            .reads_all(
+                frame,
+                Pattern::Gather {
+                    count: particles * 4,
+                    region: 0.5,
+                },
+            )
+            .writes(weights, Pattern::Stream { passes: 1 });
+        if let Some(s) = scratch {
+            k.writes(s, Pattern::Stream { passes: 1 });
+        }
+        b.d2h(weights);
+        b.cpu(&format!("resample_{f}"), particles, 26.0, 8.0)
+            .serial()
+            .reads(weights, Pattern::Stream { passes: 1 })
+            .writes(xs, Pattern::Stream { passes: 1 });
+    }
+    b.build()
+}
+
+/// rodinia/pf_naive — particle filter, scalar kernels, CPU resampling.
+pub fn pf_naive(scale: Scale) -> Pipeline {
+    particlefilter("pf_naive", false, scale)
+}
+
+/// rodinia/pf_float — particle filter, float kernels with GPU-resident
+/// intermediates (the paper's example of page-fault serialization *helping*
+/// by accident via reduced cache contention).
+pub fn pf_float(scale: Scale) -> Pipeline {
+    particlefilter("pf_float", true, scale)
+}
+
+/// rodinia/srad — speckle-reducing anisotropic diffusion. Each iteration's
+/// srad1 kernel writes four derivative images plus a coefficient image that
+/// exist only on the GPU — at first touch the heterogeneous processor takes
+/// a page fault per 4 KiB, and the CPU handler clears each page, shifting
+/// accesses from GPU to CPU exactly as the paper reports (7x fault
+/// slowdown).
+pub fn srad(scale: Scale) -> Pipeline {
+    let px = scale.n(1 << 21);
+    let mut b = PipelineBuilder::new("rodinia/srad");
+    let image = b.host("image", px * 4);
+    let dn = b.gpu_temp("deriv.n", px * 4);
+    let ds = b.gpu_temp("deriv.s", px * 4);
+    let de = b.gpu_temp("deriv.e", px * 4);
+    let dw = b.gpu_temp("deriv.w", px * 4);
+    let coef = b.gpu_temp("coefficient", px * 4);
+    let stats = b.result("roi_stats", 4096);
+    b.h2d(image);
+    for it in 0..2u32 {
+        b.cpu(&format!("roi_stats_{it}"), 4096, 12.0, 6.0)
+            .serial()
+            .reads(stats, Pattern::Point { count: 64 });
+        b.gpu(&format!("srad1_{it}"), px, 30.0, 18.0)
+            .reads(image, Pattern::Stencil { row_elems: 1024 })
+            .writes(dn, Pattern::Stream { passes: 1 })
+            .writes(ds, Pattern::Stream { passes: 1 })
+            .writes(de, Pattern::Stream { passes: 1 })
+            .writes(dw, Pattern::Stream { passes: 1 })
+            .writes(coef, Pattern::Stream { passes: 1 });
+        b.gpu(&format!("srad2_{it}"), px, 26.0, 14.0)
+            .reads(coef, Pattern::Stencil { row_elems: 1024 })
+            .reads(dn, Pattern::Stream { passes: 1 })
+            .reads(ds, Pattern::Stream { passes: 1 })
+            .reads(de, Pattern::Stream { passes: 1 })
+            .reads(dw, Pattern::Stream { passes: 1 })
+            .writes(image, Pattern::Stream { passes: 1 })
+            .writes_all(stats, Pattern::Point { count: 64 });
+        b.d2h(stats);
+    }
+    b.d2h(image);
+    b.build()
+}
+
+/// rodinia/strmclstr — streamcluster: wide GPU distance kernels feeding a
+/// serial CPU center-opening decision every iteration; with kmeans and
+/// backprop, one of the paper's three overlap-model validation benchmarks.
+pub fn strmclstr(scale: Scale) -> Pipeline {
+    let points = scale.n(128 * 1024);
+    let dims = 32u64;
+    let mut b = PipelineBuilder::new("rodinia/strmclstr");
+    b.work_scale(1.0); // costs calibrated with the kmeans case study
+    let coords = b.host_elems("points", points * dims * 4, (dims * 4) as u32);
+    let assign = b.result("assignments", points * 4);
+    let costs = b.result("costs", points * 4);
+    // Double-buffered center sets (see kmeans).
+    let centers_a = b.host("centers.a", 64 * dims * 4);
+    let centers_b = b.host("centers.b", 64 * dims * 4);
+    let iters = scale.small(5).max(4);
+    b.h2d(coords);
+    for it in 0..iters {
+        let (cur, next) = if it % 2 == 0 {
+            (centers_a, centers_b)
+        } else {
+            (centers_b, centers_a)
+        };
+        b.h2d(cur);
+        b.gpu(
+            &format!("pgain_{it}"),
+            points,
+            24.0 * dims as f64,
+            6.0 * dims as f64,
+        )
+        .reads(coords, Pattern::Stream { passes: 1 })
+        .reads_all(cur, Pattern::Stream { passes: 4 })
+        .writes(assign, Pattern::Stream { passes: 1 })
+        .writes(costs, Pattern::Stream { passes: 1 });
+        b.d2h(assign);
+        b.d2h(costs);
+        b.cpu(&format!("open_center_{it}"), points, 14.0, 4.0)
+            .reads(assign, Pattern::Stream { passes: 1 })
+            .reads(costs, Pattern::Stream { passes: 1 })
+            .writes(next, Pattern::Stream { passes: 1 });
+    }
+    b.build()
+}
+
+/// All 22 Rodinia workloads with their Table II flags.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload::examined(
+            meta("backprop", true, true, true, false, true, true),
+            backprop,
+        ),
+        Workload::examined(meta("bfs", true, true, true, true, true, false), bfs),
+        Workload::extra(meta("btree", true, false, true, true, false, false), btree),
+        Workload::examined(meta("cell", true, true, true, false, true, false), cell),
+        Workload::examined(meta("cfd", true, true, true, false, true, false), cfd),
+        Workload::examined(meta("dwt", true, true, true, false, true, false), dwt),
+        Workload::examined(
+            meta("gaussian", true, true, true, false, true, false),
+            gaussian,
+        ),
+        Workload::examined(
+            meta("heartwall", true, true, true, false, true, false),
+            heartwall,
+        ),
+        Workload::examined(
+            meta("hotspot", true, true, true, false, true, true),
+            hotspot,
+        ),
+        Workload::examined(meta("kmeans", true, true, true, false, true, false), kmeans),
+        Workload::extra(
+            meta("lavamd", false, false, false, false, false, false),
+            lavamd,
+        ),
+        Workload::extra(
+            meta("leukocyte", true, true, true, true, false, false),
+            leukocyte,
+        ),
+        Workload::examined(meta("lud", true, true, true, false, true, false), lud),
+        Workload::examined(meta("mummer", true, true, true, true, true, false), mummer),
+        Workload::extra(
+            meta("myocyte", false, false, false, false, false, false),
+            myocyte,
+        ),
+        Workload::examined(meta("nn", false, false, false, false, true, false), nn),
+        Workload::examined(meta("nw", true, true, true, false, true, false), nw),
+        Workload::examined(
+            meta("pathfinder", true, true, true, false, true, true),
+            pathfinder,
+        ),
+        Workload::examined(
+            meta("pf_float", true, true, true, true, true, false),
+            pf_float,
+        ),
+        Workload::examined(
+            meta("pf_naive", true, true, true, true, true, false),
+            pf_naive,
+        ),
+        Workload::examined(meta("srad", true, true, true, false, true, false), srad),
+        Workload::examined(
+            meta("strmclstr", true, true, true, false, true, false),
+            strmclstr,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_two_workloads_eighteen_examined() {
+        let w = workloads();
+        assert_eq!(w.len(), 22);
+        assert_eq!(w.iter().filter(|w| w.meta.examined).count(), 18);
+    }
+
+    #[test]
+    fn table_ii_row_matches_paper() {
+        let w = workloads();
+        assert_eq!(w.iter().filter(|w| w.meta.pc_comm).count(), 19);
+        assert_eq!(w.iter().filter(|w| w.meta.pipe_parallel).count(), 18);
+        assert_eq!(w.iter().filter(|w| w.meta.regular).count(), 19);
+        assert_eq!(w.iter().filter(|w| w.meta.irregular).count(), 6);
+        assert_eq!(w.iter().filter(|w| w.meta.sw_queue).count(), 0);
+    }
+
+    #[test]
+    fn all_examined_pipelines_validate() {
+        for w in workloads() {
+            if let Some(p) = w.pipeline(Scale::TEST) {
+                assert_eq!(p.validate(), Ok(()), "{}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_recopies_features_each_iteration() {
+        let p = kmeans(Scale::TEST);
+        let feature_copies = p
+            .stages
+            .iter()
+            .filter_map(|s| s.as_copy())
+            .filter(|c| p.buffer(c.buf).name == "features")
+            .count();
+        assert!(feature_copies >= 3, "got {feature_copies}");
+    }
+
+    #[test]
+    fn srad_has_five_gpu_temp_planes() {
+        let p = srad(Scale::TEST);
+        let temps = p.buffers.iter().filter(|b| !b.mirrored).count();
+        assert_eq!(temps, 5);
+        // Together they exceed the image itself: big fault surface.
+        let temp_bytes: u64 = p
+            .buffers
+            .iter()
+            .filter(|b| !b.mirrored)
+            .map(|b| b.bytes)
+            .sum();
+        let image_bytes = p.buffers.iter().find(|b| b.name == "image").unwrap().bytes;
+        assert!(temp_bytes >= 5 * image_bytes);
+    }
+
+    #[test]
+    fn dwt_is_cpu_heavy() {
+        let p = dwt(Scale::TEST);
+        let cpu_instr: u64 = p
+            .stages
+            .iter()
+            .filter_map(|s| s.as_compute())
+            .filter(|c| c.exec == crate::ir::ExecKind::Cpu)
+            .map(|c| c.instructions)
+            .sum();
+        let gpu_instr: u64 = p
+            .stages
+            .iter()
+            .filter_map(|s| s.as_compute())
+            .filter(|c| c.exec == crate::ir::ExecKind::Gpu)
+            .map(|c| c.instructions)
+            .sum();
+        assert!(cpu_instr > gpu_instr / 2, "dwt should have heavy CPU work");
+    }
+
+    #[test]
+    fn heartwall_frame_copies_are_sticky() {
+        let p = heartwall(Scale::TEST);
+        assert!(p.residual_copies() >= 3);
+    }
+
+    #[test]
+    fn nw_wavefront_is_serial() {
+        let p = nw(Scale::TEST);
+        assert!(p
+            .stages
+            .iter()
+            .filter_map(|s| s.as_compute())
+            .filter(|c| c.name.starts_with("diag_fwd"))
+            .all(|c| !c.chunkable));
+    }
+}
+
+/// rodinia/btree — B+tree bulk queries: two traversal kernels over a
+/// pointer-linked tree. Not examined in the paper (did not run in
+/// gem5-gpu); modeled so the full suite is runnable.
+pub fn btree(scale: Scale) -> Pipeline {
+    let keys = scale.n(1 << 20);
+    let queries = scale.n(64 * 1024);
+    let mut b = PipelineBuilder::new("rodinia/btree");
+    let tree = b.host("tree_nodes", keys * 8);
+    let qbuf = b.host("queries", queries * 4);
+    let results = b.result("results", queries * 4);
+    b.h2d(tree);
+    b.h2d(qbuf);
+    b.gpu("find_k", queries, 70.0, 2.0)
+        .serial() // latch-free traversal order is load-dependent
+        .reads(qbuf, Pattern::Stream { passes: 1 })
+        .reads_all(
+            tree,
+            Pattern::Gather {
+                count: queries * 5,
+                region: 0.5,
+            },
+        )
+        .writes(results, Pattern::Stream { passes: 1 });
+    b.d2h(results);
+    b.gpu("find_range_k", queries, 90.0, 2.0)
+        .serial()
+        .reads(qbuf, Pattern::Stream { passes: 1 })
+        .reads_all(
+            tree,
+            Pattern::Gather {
+                count: queries * 8,
+                region: 0.5,
+            },
+        )
+        .writes(results, Pattern::Stream { passes: 1 });
+    b.d2h(results);
+    b.build()
+}
+
+/// rodinia/lavamd — molecular dynamics over spatial boxes: one
+/// compute-dense kernel gathering neighbour-box particles (no P-C
+/// communication). Not examined in the paper.
+pub fn lavamd(scale: Scale) -> Pipeline {
+    let particles = scale.n(128 * 1024);
+    let mut b = PipelineBuilder::new("rodinia/lavamd");
+    let pos = b.host_elems("particles", particles * 16, 16);
+    let forces = b.result("forces", particles * 16);
+    b.h2d(pos);
+    b.gpu("nbody_boxes", particles, 520.0, 420.0)
+        .cta(128, 16 * 1024)
+        .reads(pos, Pattern::Stream { passes: 1 })
+        .reads_all(
+            pos,
+            Pattern::Gather {
+                count: particles * 3,
+                region: 0.1,
+            },
+        )
+        .writes(forces, Pattern::Stream { passes: 1 });
+    b.d2h(forces);
+    b.build()
+}
+
+/// rodinia/leukocyte — white-blood-cell tracking: per-frame GICOV and
+/// dilation kernels with a CPU tracking update. Not examined in the paper.
+pub fn leukocyte(scale: Scale) -> Pipeline {
+    let px = scale.n(1 << 20);
+    let mut b = PipelineBuilder::new("rodinia/leukocyte");
+    let frame = b.host("frame", px * 4);
+    let gicov = b.gpu_temp("gicov", px * 4);
+    let dilated = b.result("dilated", px * 4);
+    let cells = b.result("cell_state", 128 * 1024);
+    let frames = scale.small(4).max(3);
+    for f in 0..frames {
+        b.sticky_copy(frame, CopyDir::H2D, None);
+        b.gpu(&format!("gicov_{f}"), px / 4, 240.0, 180.0)
+            .cta(256, 8 * 1024)
+            .reads(frame, Pattern::Stencil { row_elems: 1024 })
+            .writes(gicov, Pattern::Stream { passes: 1 });
+        b.gpu(&format!("dilate_{f}"), px / 4, 90.0, 30.0)
+            .reads(gicov, Pattern::Stencil { row_elems: 1024 })
+            .writes(dilated, Pattern::Stream { passes: 1 })
+            .writes_all(cells, Pattern::Point { count: 4096 });
+        b.d2h(cells);
+        b.cpu(&format!("track_{f}"), 8192, 20.0, 8.0)
+            .serial()
+            .reads(cells, Pattern::Point { count: 4096 });
+    }
+    b.build()
+}
+
+/// rodinia/myocyte — cardiac myocyte ODE integration: a long chain of tiny
+/// dependent solver steps with almost no data (no P-C communication in
+/// Table II terms, and far too serial to profit from a GPU). Not examined
+/// in the paper.
+pub fn myocyte(scale: Scale) -> Pipeline {
+    let steps = scale.small(64).max(16);
+    let mut b = PipelineBuilder::new("rodinia/myocyte");
+    let state = b.host("ode_state", 512 * 1024);
+    b.h2d(state);
+    for s in 0..steps {
+        b.gpu(&format!("solver_step_{s}"), 4096, 600.0, 420.0)
+            .cta(64, 2 * 1024)
+            .serial()
+            .reads(state, Pattern::Stream { passes: 1 })
+            .writes(state, Pattern::Stream { passes: 1 });
+    }
+    b.d2h(state);
+    b.build()
+}

@@ -1,0 +1,114 @@
+//! Bring your own workload: model an application that is *not* one of the
+//! 58 benchmarks, run it on both systems, and read the paper's diagnostics
+//! for it.
+//!
+//! The example models a small video-analytics pipeline — decode on the CPU,
+//! two GPU kernels (feature extraction, then classification over the
+//! features), and a CPU aggregation step per batch — and then asks the
+//! study's questions about it: where does the time go, what would overlap
+//! buy, do the producer-consumer hand-offs spill?
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use heteropipe::render::pct;
+use heteropipe::{
+    component_overlap, fuse_adjacent_kernels, run, suggest_chunks, AccessClass, Organization,
+    SystemConfig,
+};
+use heteropipe_workloads::{Pattern, Pipeline, PipelineBuilder};
+
+/// Builds the custom pipeline with the same IR the 58 benchmark models use.
+fn video_analytics(batches: u32) -> Pipeline {
+    let frame_px = 1 << 21; // ~2M pixels per batch
+    let mut b = PipelineBuilder::new("custom/video_analytics");
+    let raw = b.host("frames.raw", frame_px * 4);
+    let features = b.gpu_temp("features", frame_px); // GPU-produced
+    let labels = b.result("labels", frame_px / 16);
+    for batch in 0..batches {
+        // Decode each arriving batch on the CPU (fundamental, like
+        // heartwall's frames: the copy is not elidable).
+        b.cpu(&format!("decode_{batch}"), frame_px / 8, 16.0, 2.0)
+            .reads(raw, Pattern::Stream { passes: 1 })
+            .writes(raw, Pattern::Stream { passes: 1 });
+        b.sticky_copy(raw, heteropipe_workloads::CopyDir::H2D, None);
+        b.gpu(&format!("extract_{batch}"), frame_px / 4, 80.0, 48.0)
+            .cta(256, 8 * 1024)
+            .reads(raw, Pattern::Stencil { row_elems: 1024 })
+            .writes(features, Pattern::Stream { passes: 1 });
+        b.gpu(&format!("classify_{batch}"), frame_px / 16, 120.0, 90.0)
+            .reads(features, Pattern::Stream { passes: 1 })
+            .writes(labels, Pattern::Stream { passes: 1 });
+        b.d2h(labels);
+        b.cpu(&format!("aggregate_{batch}"), frame_px / 64, 12.0, 4.0)
+            .reads(labels, Pattern::Stream { passes: 1 });
+    }
+    b.build()
+}
+
+fn main() {
+    let p = video_analytics(3);
+    println!(
+        "{}: {} stages, {:.1} MiB of data\n",
+        p.name,
+        p.stages.len(),
+        p.logical_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    // The paper's basic comparison.
+    let discrete = run::run(&p, &SystemConfig::discrete(), Organization::Serial, false);
+    let hetero = run::run(
+        &p,
+        &SystemConfig::heterogeneous(),
+        Organization::Serial,
+        false,
+    );
+    for r in [&discrete, &hetero] {
+        let (copy, cpu, gpu) = r.busy.portions(r.roi);
+        println!(
+            "{:>14}: roi {:>10}  copy {:>6}  cpu {:>6}  gpu {:>6}  spills {:>6}",
+            r.platform.to_string(),
+            r.roi.to_string(),
+            pct(copy),
+            pct(cpu),
+            pct(gpu),
+            pct(r.classes.fraction(AccessClass::WrSpill) + r.classes.fraction(AccessClass::RrSpill)),
+        );
+    }
+
+    // What would the paper's optimizations buy?
+    let est = component_overlap(&hetero);
+    println!(
+        "\nEq. 1 overlap estimate on the heterogeneous port: {} ({} of serial)",
+        est,
+        pct(est.fraction_of(hetero.roi))
+    );
+
+    let chunks = suggest_chunks(&p, &SystemConfig::heterogeneous());
+    let chunked = run::run(
+        &p,
+        &SystemConfig::heterogeneous(),
+        Organization::ChunkedParallel { chunks },
+        false,
+    );
+    println!(
+        "chunked producer-consumer at the suggested {} chunks: {} ({} of serial)",
+        chunks,
+        chunked.roi,
+        pct(chunked.roi.fraction_of(hetero.roi))
+    );
+
+    let (fused, n) = fuse_adjacent_kernels(&p);
+    let fused_run = run::run(
+        &fused,
+        &SystemConfig::heterogeneous(),
+        Organization::Serial,
+        false,
+    );
+    println!(
+        "kernel fusion merged {n} producer-consumer kernel pairs: {} ({} of serial)",
+        fused_run.roi,
+        pct(fused_run.roi.fraction_of(hetero.roi))
+    );
+}

@@ -1,0 +1,58 @@
+//! Domain scenario: irregular graph analytics on a heterogeneous processor.
+//!
+//! The paper's intro motivates heterogeneous processors with exactly this
+//! class of workload: graph algorithms whose frequent small CPU-GPU
+//! hand-offs (convergence flags, frontier sizes) are strangled by PCIe
+//! copies on a discrete GPU. This example runs every Lonestar and Pannotia
+//! graph benchmark on both systems and shows where the win comes from —
+//! copy removal, CPU cache retention, and the residual cache-contention
+//! cost the paper identifies as the next optimization target.
+//!
+//! ```sh
+//! cargo run --release --example graph_analytics
+//! ```
+
+use heteropipe::classify::AccessClass;
+use heteropipe::experiments::characterize_filtered;
+use heteropipe::render::{pct, TextTable};
+use heteropipe_workloads::{Scale, Suite};
+
+fn main() {
+    let pairs = characterize_filtered(Scale::PAPER, |m| {
+        m.suite == Suite::Lonestar || m.suite == Suite::Pannotia
+    });
+
+    let mut t = TextTable::new(&[
+        "benchmark",
+        "discrete roi",
+        "hetero roi",
+        "speedup",
+        "copies were",
+        "contention (hetero)",
+        "bw-limited",
+    ]);
+    for p in &pairs {
+        let speedup = p.copy.roi.as_secs_f64() / p.limited.roi.as_secs_f64();
+        let copy_share = p.copy.busy.copy.fraction_of(p.copy.roi);
+        let classes = &p.limited.classes;
+        let contention = (classes.get(AccessClass::RrContention)
+            + classes.get(AccessClass::WrContention)) as f64
+            / classes.total().max(1) as f64;
+        t.row_owned(vec![
+            p.meta.full_name(),
+            p.copy.roi.to_string(),
+            p.limited.roi.to_string(),
+            format!("{speedup:.2}x"),
+            pct(copy_share),
+            pct(contention),
+            if p.limited.bw_limited { "yes" } else { "no" }.into(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Reading the table: graph codes copy little data but copy *often*;\n\
+         the heterogeneous processor removes that latency and keeps CPU loop\n\
+         control in cache. What remains is cache contention from kernels whose\n\
+         working sets exceed the 1 MiB GPU L2 — the paper's residual target."
+    );
+}

@@ -1,0 +1,46 @@
+//! Export a Chrome-trace timeline of one benchmark's execution on both
+//! systems, for inspection in chrome://tracing or Perfetto.
+//!
+//! ```sh
+//! cargo run --release --example trace_export
+//! # then load /tmp/heteropipe_*.json in a trace viewer
+//! ```
+
+use heteropipe::trace::to_chrome_json;
+use heteropipe::{run, Organization, SystemConfig};
+use heteropipe_workloads::{registry, Scale};
+
+fn main() -> std::io::Result<()> {
+    let w = registry::find("rodinia/kmeans").expect("kmeans exists");
+    let p = w.pipeline(Scale::new(0.25)).expect("builds");
+
+    for (tag, cfg, org) in [
+        (
+            "discrete_serial",
+            SystemConfig::discrete(),
+            Organization::Serial,
+        ),
+        (
+            "discrete_streams",
+            SystemConfig::discrete(),
+            Organization::AsyncStreams { streams: 3 },
+        ),
+        (
+            "hetero_chunked",
+            SystemConfig::heterogeneous(),
+            Organization::ChunkedParallel { chunks: 8 },
+        ),
+    ] {
+        let (report, spans) = run::run_traced(&p, &cfg, org, false);
+        let json = to_chrome_json(&format!("{} ({tag})", report.benchmark), &spans);
+        let path = format!("/tmp/heteropipe_{tag}.json");
+        std::fs::write(&path, json)?;
+        println!(
+            "{tag:>18}: roi {:>10}  {} tasks  -> {path}",
+            report.roi.to_string(),
+            spans.len()
+        );
+    }
+    println!("\nOpen the JSON files in chrome://tracing or https://ui.perfetto.dev");
+    Ok(())
+}

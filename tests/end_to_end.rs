@@ -1,0 +1,172 @@
+//! End-to-end integration: every examined benchmark runs on both platforms
+//! under every valid organization, and the reports satisfy global
+//! invariants.
+
+use heteropipe::{run, Organization, Platform, SystemConfig};
+use heteropipe_mem::access::Component;
+use heteropipe_sim::Ps;
+use heteropipe_workloads::{registry, Scale};
+
+/// Every one of the 46 examined benchmarks completes on both platforms at
+/// test scale with sane reports.
+#[test]
+fn all_examined_benchmarks_run_on_both_platforms() {
+    for w in registry::examined() {
+        let p = w.pipeline(Scale::TEST).expect("builds");
+        let mis = w.meta.misalignment_sensitive;
+        let d = run::run(&p, &SystemConfig::discrete(), Organization::Serial, mis);
+        let h = run::run(
+            &p,
+            &SystemConfig::heterogeneous(),
+            Organization::Serial,
+            mis,
+        );
+        for r in [&d, &h] {
+            assert!(r.roi > Ps::ZERO, "{}: empty ROI", p.name);
+            assert!(r.busy.gpu > Ps::ZERO, "{}: GPU never ran", p.name);
+            assert!(
+                r.busy.copy + r.busy.cpu + r.busy.gpu <= r.roi * 3,
+                "{}: busy exceeds 3x ROI",
+                p.name
+            );
+            assert!(r.total_accesses() > 0, "{}: no memory accesses", p.name);
+            assert_eq!(
+                r.classes.total(),
+                r.offchip_fetches + r.offchip_writebacks,
+                "{}: classifier must cover all off-chip traffic",
+                p.name
+            );
+            let fp_sum: u64 = r.footprint.iter().map(|(_, b)| b).sum();
+            assert_eq!(fp_sum, r.total_footprint, "{}: footprint partition", p.name);
+        }
+        // Discrete copies exist iff the pipeline has copy stages.
+        assert_eq!(
+            d.accesses[Component::Copy.index()] > 0,
+            p.copy_stages() > 0,
+            "{}",
+            p.name
+        );
+        // Page faults only ever on the heterogeneous processor.
+        assert_eq!(d.faults, 0, "{}", p.name);
+    }
+}
+
+/// The limited-copy footprint never exceeds the copy footprint (mirrors are
+/// gone), and it shrinks for every benchmark with elidable mirrored data.
+#[test]
+fn limited_copy_footprints_never_grow() {
+    for w in registry::examined() {
+        let p = w.pipeline(Scale::TEST).expect("builds");
+        let mis = w.meta.misalignment_sensitive;
+        let d = run::run(&p, &SystemConfig::discrete(), Organization::Serial, mis);
+        let h = run::run(
+            &p,
+            &SystemConfig::heterogeneous(),
+            Organization::Serial,
+            mis,
+        );
+        // Allow one line of slack per buffer for misalignment spill.
+        let slack = p.buffers.len() as u64 * 256;
+        assert!(
+            h.total_footprint <= d.total_footprint + slack,
+            "{}: {} vs {}",
+            p.name,
+            h.total_footprint,
+            d.total_footprint
+        );
+    }
+}
+
+/// Optimized organizations run every benchmark to completion and never
+/// lose work: component busy times are organization-invariant within
+/// tolerance (the same instructions execute, modulo cache effects).
+#[test]
+fn organizations_preserve_work() {
+    for name in ["rodinia/backprop", "parboil/stencil", "rodinia/hotspot"] {
+        let w = registry::find(name).expect("exists");
+        let p = w.pipeline(Scale::TEST).expect("builds");
+        let mis = w.meta.misalignment_sensitive;
+
+        let serial = run::run(&p, &SystemConfig::discrete(), Organization::Serial, mis);
+        let streamed = run::run(
+            &p,
+            &SystemConfig::discrete(),
+            Organization::AsyncStreams { streams: 4 },
+            mis,
+        );
+        let ratio = streamed.busy.gpu.as_secs_f64() / serial.busy.gpu.as_secs_f64();
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "{name}: GPU work changed too much under streams: {ratio}"
+        );
+        assert_eq!(serial.platform, Platform::DiscreteGpu);
+
+        let h_serial = run::run(
+            &p,
+            &SystemConfig::heterogeneous(),
+            Organization::Serial,
+            mis,
+        );
+        let chunked = run::run(
+            &p,
+            &SystemConfig::heterogeneous(),
+            Organization::ChunkedParallel { chunks: 4 },
+            mis,
+        );
+        let ratio = chunked.busy.gpu.as_secs_f64() / h_serial.busy.gpu.as_secs_f64();
+        assert!(
+            (0.5..=2.5).contains(&ratio),
+            "{name}: GPU work changed too much under chunking: {ratio}"
+        );
+    }
+}
+
+/// Full determinism across repeated runs, including the parallel
+/// characterization driver.
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let w = registry::find("pannotia/mis").unwrap();
+    let p = w.pipeline(Scale::TEST).unwrap();
+    let a = run::run(
+        &p,
+        &SystemConfig::heterogeneous(),
+        Organization::Serial,
+        false,
+    );
+    let b = run::run(
+        &p,
+        &SystemConfig::heterogeneous(),
+        Organization::Serial,
+        false,
+    );
+    assert_eq!(a.roi, b.roi);
+    assert_eq!(a.accesses, b.accesses);
+    assert_eq!(a.offchip_fetches, b.offchip_fetches);
+    assert_eq!(a.offchip_writebacks, b.offchip_writebacks);
+    assert_eq!(a.classes, b.classes);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.total_footprint, b.total_footprint);
+}
+
+/// Larger inputs take longer and move more data — basic scaling sanity
+/// across the whole stack.
+#[test]
+fn run_time_scales_with_input() {
+    let w = registry::find("parboil/sgemm").unwrap();
+    let small = w.pipeline(Scale::TEST).unwrap();
+    let large = w.pipeline(Scale::new(0.5)).unwrap();
+    let rs = run::run(
+        &small,
+        &SystemConfig::discrete(),
+        Organization::Serial,
+        false,
+    );
+    let rl = run::run(
+        &large,
+        &SystemConfig::discrete(),
+        Organization::Serial,
+        false,
+    );
+    assert!(rl.roi > rs.roi);
+    assert!(rl.offchip_bytes > rs.offchip_bytes);
+}
