@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Tier-1 gate: everything here must pass offline with no network access.
+# Run locally before pushing; .github/workflows/ci.yml runs the same steps.
+set -eux
+
+cargo fmt --all -- --check
+cargo clippy --release --all-targets -- -D warnings
+cargo build --release
+cargo test -q --release

@@ -4,18 +4,20 @@ use heteropipe::experiments::ablations;
 
 fn main() {
     let args = heteropipe_bench::HarnessArgs::parse();
+    let engine = args.engine();
     let sweeps = [
-        ablations::chunk_sweep(args.scale),
-        ablations::mlp_sweep(args.scale),
-        ablations::l2_sweep(args.scale),
-        ablations::fault_sweep(args.scale),
-        ablations::pcie_sweep(args.scale),
-        ablations::gpu_scaling_sweep(args.scale),
-        ablations::spill_window_sweep(args.scale),
-        ablations::alignment_sweep(args.scale),
+        ablations::chunk_sweep_with(&engine, args.scale),
+        ablations::mlp_sweep_with(&engine, args.scale),
+        ablations::l2_sweep_with(&engine, args.scale),
+        ablations::fault_sweep_with(&engine, args.scale),
+        ablations::pcie_sweep_with(&engine, args.scale),
+        ablations::gpu_scaling_sweep_with(&engine, args.scale),
+        ablations::spill_window_sweep_with(&engine, args.scale),
+        ablations::alignment_sweep_with(&engine, args.scale),
     ];
     for s in &sweeps {
         println!("== {} vs {} ==", s.metric, s.parameter);
         println!("{}", s.render());
     }
+    heteropipe_bench::finish(&engine);
 }

@@ -1,0 +1,155 @@
+//! In-tree benchmark runner (replaces the former Criterion benches).
+//!
+//! Times the experiment drivers that regenerate each paper table/figure and
+//! the simulator substrates they are built on, at `Scale::TEST` so a full
+//! run stays in seconds. Usage:
+//!
+//! ```text
+//! bench [--iters <N>] [--filter <substring>]
+//! ```
+
+use std::hint::black_box;
+
+use heteropipe::experiments::{characterize_filtered, fig3, fig456, fig78, fig9, tables, validate};
+use heteropipe::OffchipClassifier;
+use heteropipe_bench::timing::Timer;
+use heteropipe_mem::hierarchy::HierarchyConfig;
+use heteropipe_mem::{
+    AccessKind, Addr, AddrRange, CacheConfig, ChipHierarchy, LineAddr, SetAssocCache,
+};
+use heteropipe_sim::fluid::{FlowSpec, FluidNet};
+use heteropipe_sim::{Ps, SplitMix64};
+use heteropipe_workloads::{Pattern, Scale, Suite};
+
+const BENCH_SCALE: Scale = Scale::TEST;
+
+fn parse_args() -> Timer {
+    let mut iters = 5usize;
+    let mut filter = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--iters" => {
+                iters = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--iters requires a positive integer"));
+            }
+            "--filter" => {
+                filter = Some(
+                    it.next()
+                        .unwrap_or_else(|| panic!("--filter requires a substring")),
+                );
+            }
+            other => {
+                panic!("unknown argument {other}; accepted: --iters <N>, --filter <substring>")
+            }
+        }
+    }
+    Timer::new(iters, filter)
+}
+
+fn bench_figures(t: &Timer) {
+    t.case("table1_system_parameters", tables::render_table1);
+    t.case("table2_census", tables::render_table2);
+    t.case("fig3_kmeans_case_study", || fig3::compute(BENCH_SCALE));
+    for suite in [Suite::Rodinia, Suite::Pannotia] {
+        t.case(&format!("characterize/{suite}"), || {
+            characterize_filtered(BENCH_SCALE, |m| m.suite == suite)
+        });
+    }
+
+    // The fig4-9 renderers share one characterization pass as input.
+    let fig_cases = [
+        "fig4_footprint",
+        "fig5_accesses",
+        "fig6_runtime",
+        "fig7_overlap_estimates",
+        "fig8_migrate_estimates",
+        "fig9_access_classes",
+    ];
+    if fig_cases.iter().any(|name| t.selected(name)) {
+        let pairs = characterize_filtered(BENCH_SCALE, |m| m.suite == Suite::Parboil);
+        t.case("fig4_footprint", || fig456::fig4(&pairs));
+        t.case("fig5_accesses", || fig456::fig5(&pairs));
+        t.case("fig6_runtime", || fig456::fig6(&pairs));
+        t.case("fig7_overlap_estimates", || fig78::fig7(&pairs));
+        t.case("fig8_migrate_estimates", || fig78::fig8(&pairs));
+        t.case("fig9_access_classes", || fig9::fig9(&pairs));
+    }
+
+    t.case("validate/overlap", || {
+        validate::validate_overlap(BENCH_SCALE)
+    });
+    t.case("validate/migrate", || {
+        validate::validate_migrate(BENCH_SCALE)
+    });
+}
+
+fn bench_substrates(t: &Timer) {
+    let n = 100_000u64;
+    t.case("cache/l2_stream_access", || {
+        let mut cache = SetAssocCache::new(CacheConfig::new(1024 * 1024, 16));
+        for i in 0..n {
+            black_box(cache.access(LineAddr(i % 20_000), AccessKind::Read));
+        }
+    });
+    t.case("cache/hierarchy_gpu_access", || {
+        let mut h = ChipHierarchy::new(HierarchyConfig::paper_heterogeneous());
+        for i in 0..n {
+            black_box(h.gpu_access((i % 16) as u8, LineAddr(i % 20_000), AccessKind::Read));
+        }
+    });
+    t.case("fluid_1000_flows", || {
+        let mut net = FluidNet::new();
+        let link = net.add_resource("link", 100.0e9);
+        let mut now = Ps::ZERO;
+        for i in 0..1000u64 {
+            net.start_flow(now, FlowSpec::new(1.0e6).over(link));
+            if i % 4 == 3 {
+                let (at, f) = net.next_completion().unwrap();
+                net.retire(at, f);
+                now = at;
+            }
+        }
+        while let Some((at, f)) = net.next_completion() {
+            net.retire(at, f);
+        }
+        net.now()
+    });
+    let range = AddrRange::new(Addr(0), 8 << 20);
+    for (name, p) in [
+        ("patterns/stream", Pattern::Stream { passes: 1 }),
+        ("patterns/stencil", Pattern::Stencil { row_elems: 1024 }),
+        (
+            "patterns/gather",
+            Pattern::Gather {
+                count: 65_536,
+                region: 1.0,
+            },
+        ),
+        ("patterns/neighbors", Pattern::Neighbors { degree: 0.2 }),
+    ] {
+        t.case(name, || {
+            let mut out = Vec::new();
+            let mut rng = SplitMix64::new(1);
+            p.emit(range, 4, &mut rng, &mut out);
+            out.len()
+        });
+    }
+    t.case("classifier/fetch_stream", || {
+        let mut cls = OffchipClassifier::new();
+        for stage in 0..4u32 {
+            for i in 0..n / 4 {
+                cls.fetch(LineAddr(i % 10_000), stage);
+            }
+        }
+        cls.finish()
+    });
+}
+
+fn main() {
+    let t = parse_args();
+    bench_figures(&t);
+    bench_substrates(&t);
+}

@@ -4,5 +4,10 @@ use heteropipe::experiments::beyond;
 
 fn main() {
     let args = heteropipe_bench::HarnessArgs::parse();
-    print!("{}", beyond::render(&beyond::beyond46(args.scale)));
+    let engine = args.engine();
+    print!(
+        "{}",
+        beyond::render(&beyond::beyond46_with(&engine, args.scale))
+    );
+    heteropipe_bench::finish(&engine);
 }

@@ -2,12 +2,13 @@
 //! ratios, used while tuning the workload models against the paper's
 //! Fig. 6 distribution. Not part of the reproduction outputs.
 
-use heteropipe::experiments::characterize_all;
+use heteropipe::experiments::characterize_all_with;
 use heteropipe::render::{pct, TextTable};
 
 fn main() {
     let args = heteropipe_bench::HarnessArgs::parse();
-    let pairs = characterize_all(args.scale);
+    let engine = args.engine();
+    let pairs = characterize_all_with(&engine, args.scale);
     let mut t = TextTable::new(&[
         "benchmark",
         "copy roi",
@@ -35,4 +36,5 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    heteropipe_bench::finish(&engine);
 }

@@ -5,16 +5,20 @@ use heteropipe::experiments::extensions;
 
 fn main() {
     let args = heteropipe_bench::HarnessArgs::parse();
-    print!(
-        "{}\n",
-        extensions::render_fusion(&extensions::fusion_study(args.scale))
+    let engine = args.engine();
+    println!(
+        "{}",
+        extensions::render_fusion(&extensions::fusion_study_with(&engine, args.scale))
     );
-    print!(
-        "{}\n",
-        extensions::render_migrate_study(&extensions::migrate_study(args.scale))
+    println!(
+        "{}",
+        extensions::render_migrate_study(&extensions::migrate_study_with(&engine, args.scale))
     );
-    print!(
-        "{}\n",
-        extensions::render_chunks(&extensions::chunk_suggestion_study(args.scale))
+    println!(
+        "{}",
+        extensions::render_chunks(&extensions::chunk_suggestion_study_with(
+            &engine, args.scale
+        ))
     );
+    heteropipe_bench::finish(&engine);
 }

@@ -4,6 +4,8 @@ use heteropipe::experiments::fig3;
 
 fn main() {
     let args = heteropipe_bench::HarnessArgs::parse();
-    let rows = fig3::compute(args.scale);
+    let engine = args.engine();
+    let rows = fig3::compute_with(&engine, args.scale);
     print!("{}", fig3::render(&rows));
+    heteropipe_bench::finish(&engine);
 }

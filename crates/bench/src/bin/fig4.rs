@@ -1,10 +1,11 @@
 //! Regenerates Fig. 4 — memory footprint by component subset.
 
-use heteropipe::experiments::{characterize_all, fig456};
+use heteropipe::experiments::{characterize_all_with, fig456};
 
 fn main() {
     let args = heteropipe_bench::HarnessArgs::parse();
-    let pairs = characterize_all(args.scale);
+    let engine = args.engine();
+    let pairs = characterize_all_with(&engine, args.scale);
     let rows = fig456::fig4(&pairs);
     print!(
         "{}",
@@ -14,4 +15,5 @@ fn main() {
             fig456::render_fig4(&rows)
         }
     );
+    heteropipe_bench::finish(&engine);
 }

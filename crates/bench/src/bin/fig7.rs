@@ -1,10 +1,11 @@
 //! Regenerates Fig. 7 — component-overlap run time estimates (Eq. 1).
 
-use heteropipe::experiments::{characterize_all, fig78};
+use heteropipe::experiments::{characterize_all_with, fig78};
 
 fn main() {
     let args = heteropipe_bench::HarnessArgs::parse();
-    let pairs = characterize_all(args.scale);
+    let engine = args.engine();
+    let pairs = characterize_all_with(&engine, args.scale);
     let rows = fig78::fig7(&pairs);
     print!(
         "{}",
@@ -14,4 +15,5 @@ fn main() {
             fig78::render_fig7(&rows)
         }
     );
+    heteropipe_bench::finish(&engine);
 }

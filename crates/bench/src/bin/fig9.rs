@@ -1,10 +1,11 @@
 //! Regenerates Fig. 9 — off-chip memory accesses by cause.
 
-use heteropipe::experiments::{characterize_all, fig9};
+use heteropipe::experiments::{characterize_all_with, fig9};
 
 fn main() {
     let args = heteropipe_bench::HarnessArgs::parse();
-    let pairs = characterize_all(args.scale);
+    let engine = args.engine();
+    let pairs = characterize_all_with(&engine, args.scale);
     let rows = fig9::fig9(&pairs);
     print!(
         "{}",
@@ -14,4 +15,5 @@ fn main() {
             fig9::render(&rows)
         }
     );
+    heteropipe_bench::finish(&engine);
 }

@@ -4,8 +4,10 @@ use heteropipe::experiments::sensitivity;
 
 fn main() {
     let args = heteropipe_bench::HarnessArgs::parse();
+    let engine = args.engine();
     print!(
         "{}",
-        sensitivity::render(&sensitivity::sensitivity_study(args.scale))
+        sensitivity::render(&sensitivity::sensitivity_study_with(&engine, args.scale))
     );
+    heteropipe_bench::finish(&engine);
 }

@@ -4,6 +4,8 @@ use heteropipe::experiments::validate;
 
 fn main() {
     let args = heteropipe_bench::HarnessArgs::parse();
-    let rows = validate::validate_overlap(args.scale);
+    let engine = args.engine();
+    let rows = validate::validate_overlap_with(&engine, args.scale);
     print!("{}", validate::render_overlap(&rows));
+    heteropipe_bench::finish(&engine);
 }

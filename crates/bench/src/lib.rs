@@ -3,27 +3,41 @@
 //! The benchmark harness that regenerates every table and figure of the
 //! paper. Each `fig*` / `table*` / `validate_*` / `ablation*` binary prints
 //! the corresponding result (see DESIGN.md §4 for the index), and the
-//! Criterion benches under `benches/` time both the experiment drivers and
-//! the simulator substrates.
+//! `bench` binary times both the experiment drivers and the simulator
+//! substrates with the in-tree median-of-N harness in [`timing`].
 //!
 //! All binaries accept `--scale <f64>` (default 1.0, the paper-equivalent
-//! scaled input) and `--csv` where a CSV form exists.
+//! scaled input), `--jobs <N>` (batch parallelism), `--no-cache` (bypass
+//! the engine's result cache), and `--csv` where a CSV form exists. Every
+//! experiment run goes through a [`heteropipe_engine::Engine`], which
+//! caches results under `results/cache/` and prints a metrics footer on
+//! stderr; set `HETEROPIPE_METRICS_CSV=<path>` to also export the counters
+//! as CSV.
 
 #![warn(missing_docs)]
 
+pub mod timing;
+
+use heteropipe_engine::Engine;
 use heteropipe_workloads::Scale;
 
 /// Parses the common CLI arguments of the harness binaries.
 ///
-/// Recognized: `--scale <f64>` (input scale factor, default 1.0) and
-/// `--csv` (machine-readable output where supported). Unknown arguments are
-/// rejected with a message listing the accepted ones.
+/// Recognized: `--scale <f64>` (input scale factor, default 1.0),
+/// `--jobs <N>` (concurrent simulations, default: all hardware threads),
+/// `--no-cache` (recompute everything, ignore cached results), and
+/// `--csv` (machine-readable output where supported). Unknown arguments
+/// are rejected with a message listing the accepted ones.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HarnessArgs {
     /// Input scale for the workload models.
     pub scale: Scale,
     /// Whether to emit CSV instead of the aligned text table.
     pub csv: bool,
+    /// Batch parallelism cap; `None` uses every hardware thread.
+    pub jobs: Option<usize>,
+    /// Whether to bypass the result cache.
+    pub no_cache: bool,
 }
 
 impl HarnessArgs {
@@ -38,10 +52,13 @@ impl HarnessArgs {
     }
 
     /// Parses from an explicit iterator (testable).
+    #[allow(clippy::should_implement_trait)] // not an iterator collector
     pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
         let mut out = HarnessArgs {
             scale: Scale::PAPER,
             csv: false,
+            jobs: None,
+            no_cache: false,
         };
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -53,11 +70,50 @@ impl HarnessArgs {
                         .unwrap_or_else(|| panic!("--scale requires a positive number"));
                     out.scale = Scale::new(v);
                 }
+                "--jobs" => {
+                    let v = it
+                        .next()
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| panic!("--jobs requires a positive integer"));
+                    out.jobs = Some(v);
+                }
+                "--no-cache" => out.no_cache = true,
                 "--csv" => out.csv = true,
-                other => panic!("unknown argument {other}; accepted: --scale <f64>, --csv"),
+                other => panic!(
+                    "unknown argument {other}; accepted: --scale <f64>, --jobs <N>, --no-cache, --csv"
+                ),
             }
         }
         out
+    }
+
+    /// Builds the [`Engine`] these arguments describe: default disk cache
+    /// (or none under `--no-cache`), parallelism from `--jobs`.
+    pub fn engine(&self) -> Engine {
+        let mut e = Engine::new();
+        if self.no_cache {
+            e = e.without_cache();
+        }
+        if let Some(jobs) = self.jobs {
+            e = e.with_jobs(jobs);
+        }
+        e
+    }
+}
+
+/// Ends a harness run: prints the engine's metrics footer to stderr and,
+/// when `HETEROPIPE_METRICS_CSV` names a path, writes the counters there
+/// as CSV. Stdout is untouched, so rendered tables stay byte-identical
+/// whether results came from the cache or fresh simulation.
+pub fn finish(engine: &Engine) {
+    engine.print_summary();
+    if let Ok(path) = std::env::var("HETEROPIPE_METRICS_CSV") {
+        if !path.is_empty() {
+            if let Err(e) = std::fs::write(&path, engine.metrics().to_csv()) {
+                eprintln!("engine: could not write metrics CSV to {path}: {e}");
+            }
+        }
     }
 }
 
@@ -65,18 +121,44 @@ impl HarnessArgs {
 mod tests {
     use super::*;
 
+    fn args(list: &[&str]) -> HarnessArgs {
+        HarnessArgs::from_iter(list.iter().map(|s| s.to_string()))
+    }
+
     #[test]
     fn defaults() {
         let a = HarnessArgs::from_iter(Vec::new());
         assert_eq!(a.scale, Scale::PAPER);
         assert!(!a.csv);
+        assert_eq!(a.jobs, None);
+        assert!(!a.no_cache);
     }
 
     #[test]
     fn parses_scale_and_csv() {
-        let a = HarnessArgs::from_iter(["--scale", "0.25", "--csv"].iter().map(|s| s.to_string()));
+        let a = args(&["--scale", "0.25", "--csv"]);
         assert_eq!(a.scale, Scale::new(0.25));
         assert!(a.csv);
+    }
+
+    #[test]
+    fn parses_jobs() {
+        let a = args(&["--jobs", "3"]);
+        assert_eq!(a.jobs, Some(3));
+        assert_eq!(a.engine().jobs(), 3);
+    }
+
+    #[test]
+    fn parses_no_cache() {
+        let a = args(&["--no-cache"]);
+        assert!(a.no_cache);
+        assert!(a.engine().cache().is_none());
+    }
+
+    #[test]
+    fn cached_engine_by_default() {
+        let a = HarnessArgs::from_iter(Vec::new());
+        assert!(a.engine().cache().is_some());
     }
 
     #[test]
@@ -89,5 +171,11 @@ mod tests {
     #[should_panic(expected = "--scale requires")]
     fn rejects_bad_scale() {
         HarnessArgs::from_iter(["--scale".to_string(), "abc".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--jobs requires")]
+    fn rejects_zero_jobs() {
+        HarnessArgs::from_iter(["--jobs".to_string(), "0".to_string()]);
     }
 }

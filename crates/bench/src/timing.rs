@@ -1,0 +1,113 @@
+//! Minimal in-tree wall-clock timing harness.
+//!
+//! Replaces the Criterion benches: each case is run once to warm up, then
+//! `iters` times, and the median / min / max wall-clock times are printed as
+//! an aligned text table. No statistics beyond that — the benches exist to
+//! keep the experiment drivers honest about cost, not to detect 1%
+//! regressions.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A timing session: holds the per-case iteration count and an optional
+/// case-name substring filter, and prints one result line per case.
+///
+/// # Examples
+///
+/// ```
+/// use heteropipe_bench::timing::Timer;
+///
+/// let t = Timer::new(3, None);
+/// t.case("sum", || (0..1000u64).sum::<u64>());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Timer {
+    iters: usize,
+    filter: Option<String>,
+}
+
+impl Timer {
+    /// A session timing each case `iters` times (minimum 1), running only
+    /// cases whose name contains `filter` when one is given.
+    pub fn new(iters: usize, filter: Option<String>) -> Self {
+        Timer {
+            iters: iters.max(1),
+            filter,
+        }
+    }
+
+    /// Whether `name` passes the filter.
+    pub fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Times `f` and prints `name  median  min  max  (iters)`. Skips
+    /// silently when the name does not match the filter.
+    pub fn case<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        if !self.selected(name) {
+            return;
+        }
+        black_box(f()); // warm-up, untimed
+        let mut samples = Vec::with_capacity(self.iters);
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(f());
+            samples.push(t0.elapsed());
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        println!(
+            "{name:<36} median {:>12}  min {:>12}  max {:>12}  ({} iters)",
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(max),
+            self.iters
+        );
+    }
+}
+
+/// Renders a duration with a unit chosen for legibility.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_selects_substrings() {
+        let all = Timer::new(1, None);
+        assert!(all.selected("cache/l2_stream"));
+        let some = Timer::new(1, Some("fluid".into()));
+        assert!(some.selected("fluid_1000_flows"));
+        assert!(!some.selected("cache/l2_stream"));
+    }
+
+    #[test]
+    fn iters_clamped_to_one() {
+        let t = Timer::new(0, None);
+        let mut runs = 0;
+        t.case("noop", || runs += 1);
+        assert_eq!(runs, 2); // warm-up + one timed iteration
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 us");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.00 s");
+    }
+}

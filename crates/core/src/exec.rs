@@ -1,0 +1,235 @@
+//! Experiment execution: the seam between the experiment drivers and
+//! whatever actually runs each simulation.
+//!
+//! Every driver in [`crate::experiments`] describes its work as
+//! [`JobSpec`]s and hands them to an [`Executor`]. The in-crate
+//! [`DirectExecutor`] simply calls [`crate::run::run`] (in parallel for
+//! batches); the `heteropipe-engine` crate layers a content-addressed
+//! result cache and run metrics on top of the same trait. Keeping the trait
+//! here (rather than in the engine) lets the drivers stay engine-agnostic
+//! without a dependency cycle.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use heteropipe_workloads::Pipeline;
+
+use crate::config::SystemConfig;
+use crate::organize::Organization;
+use crate::report::RunReport;
+use crate::run::run;
+
+/// One simulation to execute: the full run key.
+#[derive(Debug, Clone, Copy)]
+pub struct JobSpec<'a> {
+    /// The lowered-from pipeline.
+    pub pipeline: &'a Pipeline,
+    /// The system to run it on.
+    pub config: &'a SystemConfig,
+    /// The schedule to run it under.
+    pub organization: Organization,
+    /// Whether the benchmark suffers allocation misalignment (Fig. 5 `*`).
+    pub misalignment_sensitive: bool,
+}
+
+/// A failed job: which batch index failed and the panic it failed with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// Index of the job within its batch.
+    pub index: usize,
+    /// The panic payload, rendered.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} failed: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Something that can execute simulation jobs.
+pub trait Executor: Sync {
+    /// Executes one job.
+    fn execute(&self, job: &JobSpec<'_>) -> RunReport;
+
+    /// Executes a batch. Results come back in job order; a job that panics
+    /// yields an `Err` carrying its index and message instead of tearing
+    /// down the batch.
+    fn execute_batch(&self, jobs: &[JobSpec<'_>]) -> Vec<Result<RunReport, JobError>> {
+        par_map(jobs, 1, |j| self.execute(j))
+    }
+}
+
+/// The plain executor: runs every job directly, batches fanned out over a
+/// bounded work-queue of OS threads.
+#[derive(Debug, Clone)]
+pub struct DirectExecutor {
+    jobs: usize,
+}
+
+impl DirectExecutor {
+    /// An executor using all available parallelism for batches.
+    pub fn new() -> Self {
+        DirectExecutor {
+            jobs: default_parallelism(),
+        }
+    }
+
+    /// An executor running at most `jobs` simulations concurrently
+    /// (minimum 1).
+    pub fn with_jobs(jobs: usize) -> Self {
+        DirectExecutor { jobs: jobs.max(1) }
+    }
+}
+
+impl Default for DirectExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Executor for DirectExecutor {
+    fn execute(&self, job: &JobSpec<'_>) -> RunReport {
+        run(
+            job.pipeline,
+            job.config,
+            job.organization,
+            job.misalignment_sensitive,
+        )
+    }
+
+    fn execute_batch(&self, jobs: &[JobSpec<'_>]) -> Vec<Result<RunReport, JobError>> {
+        par_map(jobs, self.jobs, |j| self.execute(j))
+    }
+}
+
+/// The parallelism [`DirectExecutor::new`] uses: one worker per available
+/// hardware thread.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+}
+
+/// Applies `f` to every item over a work-queue of at most `jobs` worker
+/// threads. Results are returned in item order regardless of completion
+/// order; a panicking `f` becomes an `Err` for that item only.
+pub fn par_map<T: Sync, R: Send>(
+    items: &[T],
+    jobs: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<Result<R, JobError>> {
+    let n = items.len();
+    let workers = jobs.max(1).min(n.max(1));
+    let results: Mutex<Vec<Option<Result<R, JobError>>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+    let cursor = AtomicUsize::new(0);
+
+    let work = |_worker: usize| loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items[i]))).map_err(
+            |payload| JobError {
+                index: i,
+                message: panic_message(payload),
+            },
+        );
+        results.lock().unwrap()[i] = Some(out);
+    };
+
+    if workers <= 1 {
+        work(0);
+    } else {
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                s.spawn(move || work(w));
+            }
+        });
+    }
+
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("work-queue visited every item"))
+        .collect()
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteropipe_workloads::{registry, Scale};
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for jobs in [1, 3, 8] {
+            let out = par_map(&items, jobs, |&x| x * 2);
+            let vals: Vec<u64> = out.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(vals, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_captures_panics_per_item() {
+        let items = vec![1u64, 2, 3, 4];
+        let out = par_map(&items, 2, |&x| {
+            if x == 3 {
+                panic!("item three exploded");
+            }
+            x
+        });
+        assert_eq!(out[0], Ok(1));
+        assert_eq!(out[1], Ok(2));
+        let err = out[2].as_ref().unwrap_err();
+        assert_eq!(err.index, 2);
+        assert!(err.message.contains("item three exploded"), "{err}");
+        assert_eq!(out[3], Ok(4));
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map(&empty, 4, |&x| x).is_empty());
+        let one = par_map(&[7u64], 4, |&x| x + 1);
+        assert_eq!(one, vec![Ok(8)]);
+    }
+
+    #[test]
+    fn direct_executor_matches_run() {
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::discrete();
+        let spec = JobSpec {
+            pipeline: &p,
+            config: &cfg,
+            organization: Organization::Serial,
+            misalignment_sensitive: false,
+        };
+        let exec = DirectExecutor::with_jobs(2);
+        let direct = exec.execute(&spec);
+        let expected = run(&p, &cfg, Organization::Serial, false);
+        assert_eq!(direct, expected);
+        let batch = exec.execute_batch(&[spec, spec]);
+        assert_eq!(batch.len(), 2);
+        for r in batch {
+            assert_eq!(r.unwrap(), expected);
+        }
+    }
+}

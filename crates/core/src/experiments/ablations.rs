@@ -2,16 +2,18 @@
 //!
 //! Each sweep perturbs one parameter of the Table I systems and reruns a
 //! representative benchmark, showing which modelling choices the paper's
-//! conclusions actually depend on.
+//! conclusions actually depend on. Every sweep has a `_with` form taking an
+//! explicit [`Executor`], so a caching engine can reuse the shared baseline
+//! runs across sweeps.
 
 use heteropipe_mem::cache::CacheConfig;
-use heteropipe_workloads::{registry, Scale};
+use heteropipe_workloads::{registry, Pipeline, Scale};
 
 use crate::classify::AccessClass;
 use crate::config::SystemConfig;
+use crate::exec::{DirectExecutor, Executor, JobSpec};
 use crate::organize::Organization;
 use crate::render::TextTable;
-use crate::run::run;
 
 /// A generic sweep result: one `(x, value)` series with labels.
 #[derive(Debug, Clone)]
@@ -35,23 +37,49 @@ impl Sweep {
     }
 }
 
-fn kmeans_pipeline(scale: Scale) -> heteropipe_workloads::Pipeline {
+fn kmeans_pipeline(scale: Scale) -> Pipeline {
     registry::find("rodinia/kmeans")
         .expect("kmeans exists")
         .pipeline(scale)
         .expect("builds")
 }
 
+fn exec_run(
+    exec: &dyn Executor,
+    pipeline: &Pipeline,
+    config: &SystemConfig,
+    organization: Organization,
+    misalignment_sensitive: bool,
+) -> crate::report::RunReport {
+    exec.execute(&JobSpec {
+        pipeline,
+        config,
+        organization,
+        misalignment_sensitive,
+    })
+}
+
 /// Chunk-width sweep: how many concurrent chunks until the heterogeneous
 /// processor's chunked producer-consumer organization stops improving
 /// (paper §V-A: ≥4 streams suffice).
 pub fn chunk_sweep(scale: Scale) -> Sweep {
+    chunk_sweep_with(&DirectExecutor::new(), scale)
+}
+
+/// [`chunk_sweep`] through an explicit [`Executor`].
+pub fn chunk_sweep_with(exec: &dyn Executor, scale: Scale) -> Sweep {
     let p = kmeans_pipeline(scale);
     let hetero = SystemConfig::heterogeneous();
-    let base = run(&p, &hetero, Organization::Serial, false).roi;
+    let base = exec_run(exec, &p, &hetero, Organization::Serial, false).roi;
     let mut points = vec![("serial".to_string(), 1.0)];
     for chunks in [2u32, 4, 8, 16, 32] {
-        let r = run(&p, &hetero, Organization::ChunkedParallel { chunks }, false);
+        let r = exec_run(
+            exec,
+            &p,
+            &hetero,
+            Organization::ChunkedParallel { chunks },
+            false,
+        );
         points.push((chunks.to_string(), r.roi.fraction_of(base)));
     }
     Sweep {
@@ -64,12 +92,17 @@ pub fn chunk_sweep(scale: Scale) -> Sweep {
 /// CPU MLP sweep: how latency-sensitive the CPU stages are (the paper cites
 /// [14]: CPUs are far more latency-sensitive than GPUs).
 pub fn mlp_sweep(scale: Scale) -> Sweep {
+    mlp_sweep_with(&DirectExecutor::new(), scale)
+}
+
+/// [`mlp_sweep`] through an explicit [`Executor`].
+pub fn mlp_sweep_with(exec: &dyn Executor, scale: Scale) -> Sweep {
     let p = kmeans_pipeline(scale);
     let mut points = Vec::new();
     for mlp in [1.0f64, 2.0, 4.0, 8.0, 16.0] {
         let mut cfg = SystemConfig::heterogeneous();
         cfg.cpu = cfg.cpu.with_mlp(mlp);
-        let r = run(&p, &cfg, Organization::Serial, false);
+        let r = exec_run(exec, &p, &cfg, Organization::Serial, false);
         points.push((format!("{mlp}"), r.busy.cpu.as_millis_f64()));
     }
     Sweep {
@@ -82,13 +115,18 @@ pub fn mlp_sweep(scale: Scale) -> Sweep {
 /// GPU L2 capacity sweep: contention share of off-chip traffic vs cache
 /// size, on a contention-heavy graph benchmark.
 pub fn l2_sweep(scale: Scale) -> Sweep {
+    l2_sweep_with(&DirectExecutor::new(), scale)
+}
+
+/// [`l2_sweep`] through an explicit [`Executor`].
+pub fn l2_sweep_with(exec: &dyn Executor, scale: Scale) -> Sweep {
     let w = registry::find("pannotia/pr").expect("pr exists");
     let p = w.pipeline(scale).expect("builds");
     let mut points = Vec::new();
     for mb in [256u64, 512, 1024, 2048, 4096] {
         let mut cfg = SystemConfig::heterogeneous();
         cfg.hierarchy.gpu_l2 = CacheConfig::new(mb * 1024, 16);
-        let r = run(&p, &cfg, Organization::Serial, false);
+        let r = exec_run(exec, &p, &cfg, Organization::Serial, false);
         let total = r.classes.total().max(1) as f64;
         let contention = (r.classes.get(AccessClass::RrContention)
             + r.classes.get(AccessClass::WrContention)) as f64
@@ -105,6 +143,11 @@ pub fn l2_sweep(scale: Scale) -> Sweep {
 /// Page-fault handler latency sweep on srad (the paper's 7x fault-slowdown
 /// benchmark).
 pub fn fault_sweep(scale: Scale) -> Sweep {
+    fault_sweep_with(&DirectExecutor::new(), scale)
+}
+
+/// [`fault_sweep`] through an explicit [`Executor`].
+pub fn fault_sweep_with(exec: &dyn Executor, scale: Scale) -> Sweep {
     let w = registry::find("rodinia/srad").expect("srad exists");
     let p = w.pipeline(scale).expect("builds");
     let mut base = None;
@@ -112,7 +155,7 @@ pub fn fault_sweep(scale: Scale) -> Sweep {
     for us in [0u64, 1, 2, 4, 8, 16] {
         let mut cfg = SystemConfig::heterogeneous();
         cfg.gpu.page_fault_latency = heteropipe_sim::Ps::from_micros(us);
-        let r = run(&p, &cfg, Organization::Serial, false);
+        let r = exec_run(exec, &p, &cfg, Organization::Serial, false);
         let b = *base.get_or_insert(r.roi);
         points.push((format!("{us}us"), r.roi.fraction_of(b)));
     }
@@ -126,8 +169,14 @@ pub fn fault_sweep(scale: Scale) -> Sweep {
 /// PCIe generation sweep: does more copy bandwidth close the discrete vs
 /// heterogeneous gap for the copy-bound case study?
 pub fn pcie_sweep(scale: Scale) -> Sweep {
+    pcie_sweep_with(&DirectExecutor::new(), scale)
+}
+
+/// [`pcie_sweep`] through an explicit [`Executor`].
+pub fn pcie_sweep_with(exec: &dyn Executor, scale: Scale) -> Sweep {
     let p = kmeans_pipeline(scale);
-    let hetero_roi = run(
+    let hetero_roi = exec_run(
+        exec,
         &p,
         &SystemConfig::heterogeneous(),
         Organization::Serial,
@@ -138,7 +187,7 @@ pub fn pcie_sweep(scale: Scale) -> Sweep {
     for gbps in [8.0f64, 16.0, 32.0, 64.0] {
         let mut cfg = SystemConfig::discrete();
         cfg.pcie = Some(cfg.pcie.expect("discrete").with_peak_bw(gbps * 1e9));
-        let r = run(&p, &cfg, Organization::Serial, false);
+        let r = exec_run(exec, &p, &cfg, Organization::Serial, false);
         points.push((
             format!("{gbps:.0}GB/s"),
             r.roi.as_secs_f64() / hetero_roi.as_secs_f64(),
@@ -156,14 +205,32 @@ pub fn pcie_sweep(scale: Scale) -> Sweep {
 /// proportionally more memory bandwidth) — the processors the paper's
 /// conclusions anticipate.
 pub fn gpu_scaling_sweep(scale: Scale) -> Sweep {
+    gpu_scaling_sweep_with(&DirectExecutor::new(), scale)
+}
+
+/// [`gpu_scaling_sweep`] through an explicit [`Executor`].
+pub fn gpu_scaling_sweep_with(exec: &dyn Executor, scale: Scale) -> Sweep {
     let p = kmeans_pipeline(scale);
-    let discrete_roi = run(&p, &SystemConfig::discrete(), Organization::Serial, false).roi;
+    let discrete_roi = exec_run(
+        exec,
+        &p,
+        &SystemConfig::discrete(),
+        Organization::Serial,
+        false,
+    )
+    .roi;
     let mut points = Vec::new();
     for mult in [1u32, 2, 4] {
         let mut cfg = SystemConfig::heterogeneous();
         cfg.gpu.sms = (cfg.gpu.sms as u32 * mult).min(64) as u8;
         cfg.gpu_mem = cfg.gpu_mem.with_peak_bw(179.0e9 * mult as f64);
-        let r = run(&p, &cfg, Organization::ChunkedParallel { chunks: 8 }, false);
+        let r = exec_run(
+            exec,
+            &p,
+            &cfg,
+            Organization::ChunkedParallel { chunks: 8 },
+            false,
+        );
         points.push((
             format!("{}x SMs+BW", mult),
             discrete_roi.as_secs_f64() / r.roi.as_secs_f64(),
@@ -181,13 +248,18 @@ pub fn gpu_scaling_sweep(scale: Scale) -> Sweep {
 /// The contention classes are unaffected by construction (same-stage reuse
 /// is window-independent), which this sweep demonstrates.
 pub fn spill_window_sweep(scale: Scale) -> Sweep {
+    spill_window_sweep_with(&DirectExecutor::new(), scale)
+}
+
+/// [`spill_window_sweep`] through an explicit [`Executor`].
+pub fn spill_window_sweep_with(exec: &dyn Executor, scale: Scale) -> Sweep {
     let w = registry::find("rodinia/srad").expect("srad exists");
     let p = w.pipeline(scale).expect("builds");
     let mut points = Vec::new();
     for window in [1u32, 2, 3, 4] {
         let mut cfg = SystemConfig::heterogeneous();
         cfg.spill_window = window;
-        let r = run(&p, &cfg, Organization::Serial, false);
+        let r = exec_run(exec, &p, &cfg, Organization::Serial, false);
         let total = r.classes.total().max(1) as f64;
         let spills = (r.classes.get(AccessClass::WrSpill) + r.classes.get(AccessClass::RrSpill))
             as f64
@@ -204,13 +276,19 @@ pub fn spill_window_sweep(scale: Scale) -> Sweep {
 /// Alignment ablation: total GPU accesses of the misalignment-sensitive
 /// benchmarks with and without an aligning shared allocator.
 pub fn alignment_sweep(scale: Scale) -> Sweep {
+    alignment_sweep_with(&DirectExecutor::new(), scale)
+}
+
+/// [`alignment_sweep`] through an explicit [`Executor`].
+pub fn alignment_sweep_with(exec: &dyn Executor, scale: Scale) -> Sweep {
     let mut points = Vec::new();
     for w in registry::examined() {
         if !w.meta.misalignment_sensitive {
             continue;
         }
         let p = w.pipeline(scale).expect("builds");
-        let misaligned = run(
+        let misaligned = exec_run(
+            exec,
             &p,
             &SystemConfig::heterogeneous(),
             Organization::Serial,
@@ -218,7 +296,7 @@ pub fn alignment_sweep(scale: Scale) -> Sweep {
         );
         let mut aligned_cfg = SystemConfig::heterogeneous();
         aligned_cfg.aligned_allocator = true;
-        let aligned = run(&p, &aligned_cfg, Organization::Serial, true);
+        let aligned = exec_run(exec, &p, &aligned_cfg, Organization::Serial, true);
         let gpu = heteropipe_mem::access::Component::Gpu.index();
         points.push((
             w.meta.full_name(),
@@ -235,6 +313,7 @@ pub fn alignment_sweep(scale: Scale) -> Sweep {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run::run;
 
     #[test]
     fn mlp_sweep_is_monotone_decreasing() {

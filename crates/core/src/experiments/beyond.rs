@@ -7,9 +7,9 @@
 use heteropipe_workloads::{registry, Scale};
 
 use crate::config::SystemConfig;
+use crate::exec::{DirectExecutor, Executor, JobSpec};
 use crate::organize::Organization;
 use crate::render::{pct, TextTable};
-use crate::run::run;
 
 /// One extra benchmark's characterization.
 #[derive(Debug, Clone)]
@@ -26,28 +26,60 @@ pub struct BeyondRow {
 
 /// Characterizes the 12 unexamined benchmarks.
 pub fn beyond46(scale: Scale) -> Vec<BeyondRow> {
-    let mut out = Vec::new();
-    for w in registry::runnable() {
-        if w.meta.examined {
-            continue;
-        }
-        let p = w.pipeline(scale).expect("extras build");
-        let mis = w.meta.misalignment_sensitive;
-        let copy = run(&p, &SystemConfig::discrete(), Organization::Serial, mis);
-        let limited = run(
-            &p,
-            &SystemConfig::heterogeneous(),
-            Organization::Serial,
-            mis,
-        );
-        out.push(BeyondRow {
-            name: w.meta.full_name(),
-            copy_share: copy.busy.copy.fraction_of(copy.roi),
-            limited_rel: limited.roi.fraction_of(copy.roi),
-            faults: limited.faults,
-        });
-    }
-    out
+    beyond46_with(&DirectExecutor::new(), scale)
+}
+
+/// [`beyond46`] through an explicit [`Executor`]: the 24 runs go through
+/// `exec` as one batch.
+pub fn beyond46_with(exec: &dyn Executor, scale: Scale) -> Vec<BeyondRow> {
+    let workloads: Vec<_> = registry::runnable()
+        .into_iter()
+        .filter(|w| !w.meta.examined)
+        .collect();
+    let pipelines: Vec<_> = workloads
+        .iter()
+        .map(|w| w.pipeline(scale).expect("extras build"))
+        .collect();
+    let discrete = SystemConfig::discrete();
+    let heterogeneous = SystemConfig::heterogeneous();
+    let jobs: Vec<JobSpec<'_>> = workloads
+        .iter()
+        .zip(&pipelines)
+        .flat_map(|(w, pipeline)| {
+            let mis = w.meta.misalignment_sensitive;
+            [
+                JobSpec {
+                    pipeline,
+                    config: &discrete,
+                    organization: Organization::Serial,
+                    misalignment_sensitive: mis,
+                },
+                JobSpec {
+                    pipeline,
+                    config: &heterogeneous,
+                    organization: Organization::Serial,
+                    misalignment_sensitive: mis,
+                },
+            ]
+        })
+        .collect();
+    let mut reports = exec
+        .execute_batch(&jobs)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("beyond46 {e}")));
+    workloads
+        .iter()
+        .map(|w| {
+            let copy = reports.next().expect("one report per job");
+            let limited = reports.next().expect("one report per job");
+            BeyondRow {
+                name: w.meta.full_name(),
+                copy_share: copy.busy.copy.fraction_of(copy.roi),
+                limited_rel: limited.roi.fraction_of(copy.roi),
+                faults: limited.faults,
+            }
+        })
+        .collect()
 }
 
 /// Renders the beyond-46 characterization.

@@ -3,15 +3,12 @@
 //! its limited-copy version on the heterogeneous processor — exactly the
 //! paired bars of the paper's plots.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 use heteropipe_workloads::{registry, BenchMeta, Scale};
 
 use crate::config::SystemConfig;
+use crate::exec::{DirectExecutor, Executor, JobSpec};
 use crate::organize::Organization;
 use crate::report::RunReport;
-use crate::run::run;
 
 /// One benchmark's paired runs.
 #[derive(Debug, Clone)]
@@ -33,54 +30,71 @@ pub fn characterize_all(scale: Scale) -> Vec<BenchPair> {
 
 /// Runs the characterization for the benchmarks accepted by `filter`.
 pub fn characterize_filtered(scale: Scale, filter: impl Fn(&BenchMeta) -> bool) -> Vec<BenchPair> {
+    characterize_filtered_with(&DirectExecutor::new(), scale, filter)
+}
+
+/// [`characterize_all`] through an explicit [`Executor`].
+pub fn characterize_all_with(exec: &dyn Executor, scale: Scale) -> Vec<BenchPair> {
+    characterize_filtered_with(exec, scale, |_| true)
+}
+
+/// [`characterize_filtered`] through an explicit [`Executor`]: the batch of
+/// 2N runs (discrete copy + heterogeneous limited-copy per benchmark) goes
+/// through `exec`, which schedules, caches, and meters it.
+pub fn characterize_filtered_with(
+    exec: &dyn Executor,
+    scale: Scale,
+    filter: impl Fn(&BenchMeta) -> bool,
+) -> Vec<BenchPair> {
     let workloads: Vec<_> = registry::examined()
         .into_iter()
         .filter(|w| filter(&w.meta))
         .collect();
-    let n = workloads.len();
-    let results: Mutex<Vec<Option<BenchPair>>> = Mutex::new(vec![None; n]);
-    let cursor = AtomicUsize::new(0);
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1));
+    let pipelines: Vec<_> = workloads
+        .iter()
+        .map(|w| w.pipeline(scale).expect("examined workloads build"))
+        .collect();
+    let discrete = SystemConfig::discrete();
+    let heterogeneous = SystemConfig::heterogeneous();
 
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let w = &workloads[i];
-                let pipeline = w.pipeline(scale).expect("examined workloads build");
-                let mis = w.meta.misalignment_sensitive;
-                let copy = run(
-                    &pipeline,
-                    &SystemConfig::discrete(),
-                    Organization::Serial,
-                    mis,
-                );
-                let limited = run(
-                    &pipeline,
-                    &SystemConfig::heterogeneous(),
-                    Organization::Serial,
-                    mis,
-                );
-                results.lock().unwrap()[i] = Some(BenchPair {
-                    meta: w.meta,
-                    copy,
-                    limited,
-                });
-            });
-        }
-    });
+    let jobs: Vec<JobSpec<'_>> = workloads
+        .iter()
+        .zip(&pipelines)
+        .flat_map(|(w, pipeline)| {
+            let mis = w.meta.misalignment_sensitive;
+            [
+                JobSpec {
+                    pipeline,
+                    config: &discrete,
+                    organization: Organization::Serial,
+                    misalignment_sensitive: mis,
+                },
+                JobSpec {
+                    pipeline,
+                    config: &heterogeneous,
+                    organization: Organization::Serial,
+                    misalignment_sensitive: mis,
+                },
+            ]
+        })
+        .collect();
 
-    results
-        .into_inner()
-        .unwrap()
+    let mut reports = exec
+        .execute_batch(&jobs)
         .into_iter()
-        .map(|p| p.expect("all benchmarks characterized"))
+        .map(|r| r.unwrap_or_else(|e| panic!("characterization {e}")));
+
+    workloads
+        .into_iter()
+        .map(|w| {
+            let copy = reports.next().expect("one report per job");
+            let limited = reports.next().expect("one report per job");
+            BenchPair {
+                meta: w.meta,
+                copy,
+                limited,
+            }
+        })
         .collect()
 }
 
@@ -124,5 +138,16 @@ mod tests {
             assert_eq!(p.copy.platform, crate::Platform::DiscreteGpu);
             assert_eq!(p.limited.platform, crate::Platform::Heterogeneous);
         }
+    }
+
+    #[test]
+    fn explicit_executor_matches_default_path() {
+        let filter = |m: &BenchMeta| m.name == "kmeans";
+        let default = characterize_filtered(Scale::TEST, filter);
+        let explicit =
+            characterize_filtered_with(&DirectExecutor::with_jobs(1), Scale::TEST, filter);
+        assert_eq!(default.len(), explicit.len());
+        assert_eq!(default[0].copy, explicit[0].copy);
+        assert_eq!(default[0].limited, explicit[0].limited);
     }
 }

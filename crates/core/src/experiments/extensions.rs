@@ -7,10 +7,25 @@ use heteropipe_workloads::{registry, Scale};
 
 use crate::classify::AccessClass;
 use crate::config::SystemConfig;
+use crate::exec::{DirectExecutor, Executor, JobSpec};
 use crate::organize::Organization;
 use crate::render::{pct, TextTable};
-use crate::run::run;
 use crate::transform::{auto_migrate, fuse_adjacent_kernels, suggest_chunks};
+
+fn exec_run(
+    exec: &dyn Executor,
+    pipeline: &heteropipe_workloads::Pipeline,
+    config: &SystemConfig,
+    organization: Organization,
+    misalignment_sensitive: bool,
+) -> crate::report::RunReport {
+    exec.execute(&JobSpec {
+        pipeline,
+        config,
+        organization,
+        misalignment_sensitive,
+    })
+}
 
 /// One benchmark's kernel-fusion outcome.
 #[derive(Debug, Clone)]
@@ -30,6 +45,11 @@ pub struct FusionRow {
 /// Applies kernel fusion to every examined benchmark where it fires and
 /// measures the gain on the heterogeneous processor.
 pub fn fusion_study(scale: Scale) -> Vec<FusionRow> {
+    fusion_study_with(&DirectExecutor::new(), scale)
+}
+
+/// [`fusion_study`] through an explicit [`Executor`].
+pub fn fusion_study_with(exec: &dyn Executor, scale: Scale) -> Vec<FusionRow> {
     let cfg = SystemConfig::heterogeneous();
     let mut out = Vec::new();
     for w in registry::examined() {
@@ -39,8 +59,8 @@ pub fn fusion_study(scale: Scale) -> Vec<FusionRow> {
             continue;
         }
         let mis = w.meta.misalignment_sensitive;
-        let before = run(&p, &cfg, Organization::Serial, mis);
-        let after = run(&fused_p, &cfg, Organization::Serial, mis);
+        let before = exec_run(exec, &p, &cfg, Organization::Serial, mis);
+        let after = exec_run(exec, &fused_p, &cfg, Organization::Serial, mis);
         let spill_frac = |r: &crate::report::RunReport| {
             let t = r.classes.total().max(1) as f64;
             (r.classes.get(AccessClass::WrSpill) + r.classes.get(AccessClass::RrSpill)) as f64 / t
@@ -93,6 +113,11 @@ pub struct MigrateRow {
 
 /// Applies model-driven compute migration to every examined benchmark.
 pub fn migrate_study(scale: Scale) -> Vec<MigrateRow> {
+    migrate_study_with(&DirectExecutor::new(), scale)
+}
+
+/// [`migrate_study`] through an explicit [`Executor`].
+pub fn migrate_study_with(exec: &dyn Executor, scale: Scale) -> Vec<MigrateRow> {
     let cfg = SystemConfig::heterogeneous();
     let mut out = Vec::new();
     for w in registry::examined() {
@@ -102,8 +127,8 @@ pub fn migrate_study(scale: Scale) -> Vec<MigrateRow> {
             continue;
         }
         let mis = w.meta.misalignment_sensitive;
-        let before = run(&p, &cfg, Organization::Serial, mis);
-        let after = run(&m, &cfg, Organization::Serial, mis);
+        let before = exec_run(exec, &p, &cfg, Organization::Serial, mis);
+        let after = exec_run(exec, &m, &cfg, Organization::Serial, mis);
         out.push(MigrateRow {
             name: w.meta.full_name(),
             migrated,
@@ -145,6 +170,11 @@ pub struct ChunkRow {
 /// Compares the concurrent-footprint chunk suggestion against an oracle
 /// sweep on the pipeline-parallelizable Rodinia benchmarks.
 pub fn chunk_suggestion_study(scale: Scale) -> Vec<ChunkRow> {
+    chunk_suggestion_study_with(&DirectExecutor::new(), scale)
+}
+
+/// [`chunk_suggestion_study`] through an explicit [`Executor`].
+pub fn chunk_suggestion_study_with(exec: &dyn Executor, scale: Scale) -> Vec<ChunkRow> {
     let cfg = SystemConfig::heterogeneous();
     let mut out = Vec::new();
     for name in [
@@ -156,12 +186,18 @@ pub fn chunk_suggestion_study(scale: Scale) -> Vec<ChunkRow> {
         let w = registry::find(name).expect("exists");
         let p = w.pipeline(scale).expect("builds");
         let mis = w.meta.misalignment_sensitive;
-        let serial = run(&p, &cfg, Organization::Serial, mis).roi;
+        let serial = exec_run(exec, &p, &cfg, Organization::Serial, mis).roi;
         let suggested = suggest_chunks(&p, &cfg);
         let at = |chunks: u32| {
-            run(&p, &cfg, Organization::ChunkedParallel { chunks }, mis)
-                .roi
-                .fraction_of(serial)
+            exec_run(
+                exec,
+                &p,
+                &cfg,
+                Organization::ChunkedParallel { chunks },
+                mis,
+            )
+            .roi
+            .fraction_of(serial)
         };
         let rel_suggested = at(suggested);
         let rel_best = [2u32, 4, 8, 16, 32]

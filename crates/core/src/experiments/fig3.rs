@@ -12,10 +12,10 @@ use heteropipe_sim::Ps;
 use heteropipe_workloads::{registry, Scale};
 
 use crate::config::SystemConfig;
+use crate::exec::{DirectExecutor, Executor, JobSpec};
 use crate::models::component_overlap;
 use crate::organize::Organization;
 use crate::render::{pct, stacked_bar, TextTable};
-use crate::run::run;
 
 /// One bar of Fig. 3.
 #[derive(Debug, Clone)]
@@ -35,6 +35,11 @@ pub struct Fig3Row {
 
 /// Computes the five Fig. 3 rows at `scale`.
 pub fn compute(scale: Scale) -> Vec<Fig3Row> {
+    compute_with(&DirectExecutor::new(), scale)
+}
+
+/// [`compute`] through an explicit [`Executor`].
+pub fn compute_with(exec: &dyn Executor, scale: Scale) -> Vec<Fig3Row> {
     let kmeans = registry::find("rodinia/kmeans")
         .expect("kmeans exists")
         .pipeline(scale)
@@ -42,25 +47,30 @@ pub fn compute(scale: Scale) -> Vec<Fig3Row> {
     let discrete = SystemConfig::discrete();
     let hetero = SystemConfig::heterogeneous();
 
-    let baseline = run(&kmeans, &discrete, Organization::Serial, false);
-    let async_copy = run(
-        &kmeans,
-        &discrete,
-        Organization::AsyncStreams { streams: 3 },
-        false,
-    );
-    let no_copy = run(&kmeans, &hetero, Organization::Serial, false);
+    let job = |config, organization| JobSpec {
+        pipeline: &kmeans,
+        config,
+        organization,
+        misalignment_sensitive: false,
+    };
+    let mut reports = exec
+        .execute_batch(&[
+            job(&discrete, Organization::Serial),
+            job(&discrete, Organization::AsyncStreams { streams: 3 }),
+            job(&hetero, Organization::Serial),
+            job(&hetero, Organization::ChunkedParallel { chunks: 8 }),
+        ])
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("fig3 {e}")));
+    let baseline = reports.next().unwrap();
+    let async_copy = reports.next().unwrap();
+    let no_copy = reports.next().unwrap();
+    // "Parallel + Cache": actually simulating the chunked organization,
+    // which picks up the cache-resident hand-off too.
+    let parallel_cache = reports.next().unwrap();
     // "Parallel": the paper's estimate of chunked overlap without the cache
     // effect — the component-overlap model applied to the no-copy run.
     let parallel_est = component_overlap(&no_copy);
-    // "Parallel + Cache": actually simulating the chunked organization,
-    // which picks up the cache-resident hand-off too.
-    let parallel_cache = run(
-        &kmeans,
-        &hetero,
-        Organization::ChunkedParallel { chunks: 8 },
-        false,
-    );
 
     let base = baseline.roi;
     let row = |label, estimated, roi: Ps, busy: crate::report::ComponentTimes| Fig3Row {

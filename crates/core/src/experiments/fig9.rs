@@ -77,8 +77,8 @@ pub fn mean_shares(rows: &[Fig9Row], limited: bool) -> [f64; 5] {
         let v = if limited { &r.limited } else { &r.copy };
         let total: f64 = v.fractions.iter().sum();
         if total > 0.0 {
-            for i in 0..5 {
-                sums[i] += v.fractions[i] / total;
+            for (s, f) in sums.iter_mut().zip(&v.fractions) {
+                *s += f / total;
             }
             n += 1.0;
         }

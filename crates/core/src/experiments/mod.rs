@@ -13,4 +13,7 @@ pub mod sensitivity;
 pub mod tables;
 pub mod validate;
 
-pub use characterize::{characterize_all, characterize_filtered, geomean, BenchPair};
+pub use characterize::{
+    characterize_all, characterize_all_with, characterize_filtered, characterize_filtered_with,
+    geomean, BenchPair,
+};

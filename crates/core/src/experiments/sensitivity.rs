@@ -12,10 +12,10 @@
 use heteropipe_workloads::{registry, Scale};
 
 use crate::config::SystemConfig;
+use crate::exec::{DirectExecutor, Executor, JobSpec};
 use crate::experiments::characterize::geomean;
 use crate::organize::Organization;
 use crate::render::TextTable;
-use crate::run::run;
 
 /// The benchmark subset the sensitivity metric is computed over.
 pub const SUBSET: [&str; 4] = [
@@ -49,13 +49,24 @@ impl SensitivityRow {
 
 /// The headline metric: geomean limited-copy/copy run time over [`SUBSET`],
 /// with the heterogeneous side configured by `hetero`.
-fn metric(scale: Scale, hetero: &SystemConfig, discrete: &SystemConfig) -> f64 {
+fn metric(
+    exec: &dyn Executor,
+    scale: Scale,
+    hetero: &SystemConfig,
+    discrete: &SystemConfig,
+) -> f64 {
     geomean(SUBSET.iter().map(|name| {
         let w = registry::find(name).expect("subset benchmark exists");
         let p = w.pipeline(scale).expect("builds");
         let mis = w.meta.misalignment_sensitive;
-        let c = run(&p, discrete, Organization::Serial, mis);
-        let l = run(&p, hetero, Organization::Serial, mis);
+        let job = |config| JobSpec {
+            pipeline: &p,
+            config,
+            organization: Organization::Serial,
+            misalignment_sensitive: mis,
+        };
+        let c = exec.execute(&job(discrete));
+        let l = exec.execute(&job(hetero));
         l.roi.as_secs_f64() / c.roi.as_secs_f64()
     }))
 }
@@ -63,7 +74,15 @@ fn metric(scale: Scale, hetero: &SystemConfig, discrete: &SystemConfig) -> f64 {
 /// Runs the sensitivity study at `scale`. Rows are sorted by swing,
 /// largest first (the tornado order).
 pub fn sensitivity_study(scale: Scale) -> Vec<SensitivityRow> {
+    sensitivity_study_with(&DirectExecutor::new(), scale)
+}
+
+/// [`sensitivity_study`] through an explicit [`Executor`]: every halved/
+/// doubled variant shares the nominal baseline runs, so a caching engine
+/// recomputes only the perturbed side.
+pub fn sensitivity_study_with(exec: &dyn Executor, scale: Scale) -> Vec<SensitivityRow> {
     let nominal = metric(
+        exec,
         scale,
         &SystemConfig::heterogeneous(),
         &SystemConfig::discrete(),
@@ -102,7 +121,7 @@ pub fn sensitivity_study(scale: Scale) -> Vec<SensitivityRow> {
                 let mut h = SystemConfig::heterogeneous();
                 let mut d = SystemConfig::discrete();
                 mutate(&mut h, &mut d, f);
-                metric(scale, &h, &d)
+                metric(exec, scale, &h, &d)
             };
             SensitivityRow {
                 parameter: name,

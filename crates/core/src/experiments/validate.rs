@@ -11,10 +11,10 @@
 use heteropipe_workloads::{registry, Scale};
 
 use crate::config::SystemConfig;
+use crate::exec::{DirectExecutor, Executor, JobSpec};
 use crate::models::{component_overlap, migrated_compute};
 use crate::organize::Organization;
 use crate::render::TextTable;
-use crate::run::run;
 
 /// One benchmark's overlap validation.
 #[derive(Debug, Clone)]
@@ -36,6 +36,11 @@ pub struct OverlapValidation {
 /// Validates the component-overlap model on the paper's three benchmarks,
 /// on both platforms, at `scale`.
 pub fn validate_overlap(scale: Scale) -> Vec<OverlapValidation> {
+    validate_overlap_with(&DirectExecutor::new(), scale)
+}
+
+/// [`validate_overlap`] through an explicit [`Executor`].
+pub fn validate_overlap_with(exec: &dyn Executor, scale: Scale) -> Vec<OverlapValidation> {
     let mut out = Vec::new();
     for name in ["rodinia/backprop", "rodinia/kmeans", "rodinia/strmclstr"] {
         let w = registry::find(name).expect("validation benchmark exists");
@@ -53,8 +58,14 @@ pub fn validate_overlap(scale: Scale) -> Vec<OverlapValidation> {
                     Organization::AsyncStreams { streams: 8 },
                 )
             };
-            let serial = run(&p, &config, Organization::Serial, mis);
-            let transformed = run(&p, &config, org, mis);
+            let job = |organization| JobSpec {
+                pipeline: &p,
+                config: &config,
+                organization,
+                misalignment_sensitive: mis,
+            };
+            let serial = exec.execute(&job(Organization::Serial));
+            let transformed = exec.execute(&job(org));
             let estimate = component_overlap(&serial);
             let est = estimate.as_secs_f64();
             let meas = transformed.roi.as_secs_f64();
@@ -128,21 +139,32 @@ pub struct MigrateValidation {
 
 /// Validates the migrated-compute model on kmeans and strmclstr.
 pub fn validate_migrate(scale: Scale) -> Vec<MigrateValidation> {
+    validate_migrate_with(&DirectExecutor::new(), scale)
+}
+
+/// [`validate_migrate`] through an explicit [`Executor`].
+pub fn validate_migrate_with(exec: &dyn Executor, scale: Scale) -> Vec<MigrateValidation> {
     let hetero = SystemConfig::heterogeneous();
+    let discrete = SystemConfig::discrete();
     let mut out = Vec::new();
     for name in ["rodinia/kmeans", "rodinia/strmclstr"] {
         let w = registry::find(name).expect("exists");
         let p = w.pipeline(scale).expect("builds");
         let mis = w.meta.misalignment_sensitive;
-        let baseline = run(&p, &SystemConfig::discrete(), Organization::Serial, mis);
-        let limited = run(&p, &hetero, Organization::Serial, mis);
+        let job = |pipeline, config, organization| JobSpec {
+            pipeline,
+            config,
+            organization,
+            misalignment_sensitive: mis,
+        };
+        let baseline = exec.execute(&job(&p, &discrete, Organization::Serial));
+        let limited = exec.execute(&job(&p, &hetero, Organization::Serial));
         let migrated_pipeline = migrate_cpu_stages_to_gpu(&p);
-        let migrated = run(
+        let migrated = exec.execute(&job(
             &migrated_pipeline,
             &hetero,
             Organization::ChunkedParallel { chunks: 4 },
-            mis,
-        );
+        ));
         let est = migrated_compute(&limited, &hetero).as_secs_f64();
         let meas = migrated.roi.as_secs_f64();
         out.push(MigrateValidation {

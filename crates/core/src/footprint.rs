@@ -33,6 +33,16 @@ impl TouchSet {
         self.0 & (1 << c.index()) != 0
     }
 
+    /// The raw component bitmask (for serialization).
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuilds a set from a raw bitmask produced by [`bits`](Self::bits).
+    pub fn from_bits(bits: u8) -> TouchSet {
+        TouchSet(bits)
+    }
+
     /// All seven non-empty subsets, in a stable report order: single
     /// components first, then pairs, then all three.
     pub fn all_subsets() -> [TouchSet; 7] {

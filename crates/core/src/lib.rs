@@ -40,6 +40,7 @@
 
 pub mod classify;
 pub mod config;
+pub mod exec;
 pub mod experiments;
 pub mod footprint;
 pub mod models;
@@ -52,6 +53,7 @@ pub mod transform;
 
 pub use classify::{AccessClass, ClassCounts, OffchipClassifier};
 pub use config::{Platform, SystemConfig};
+pub use exec::{DirectExecutor, Executor, JobError, JobSpec};
 pub use footprint::{FootprintTracker, TouchSet};
 pub use models::{component_overlap, estimates, migrated_compute, Estimates};
 pub use organize::{lower, Organization, Server, Task, TaskBody, TaskGraph};

@@ -40,7 +40,7 @@ pub struct ExclusiveSlice {
 }
 
 /// Everything measured over one benchmark execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Benchmark name (`suite/bench`).
     pub benchmark: String,

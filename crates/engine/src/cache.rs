@@ -1,0 +1,202 @@
+//! Two-tier content-addressed result cache.
+//!
+//! Tier 1 is an in-process map (always on while the cache is enabled); tier
+//! 2 is a directory of `<key>.hpr` files — one [`codec`](crate::codec)
+//! record per run key — that persists results across invocations. Disk
+//! reads that fail for any reason (missing file, torn write, stale format,
+//! bit rot) are treated as misses and the entry is recomputed and
+//! rewritten; the cache never surfaces an error for corrupt content.
+//!
+//! Writes go through a temp file in the same directory followed by a
+//! rename, so concurrent writers and killed processes leave either the old
+//! bytes or the new bytes, never a torn record.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use heteropipe::RunReport;
+
+use crate::codec;
+use crate::key::RunKey;
+
+/// Where a cache lookup was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// The in-process map.
+    Memory,
+    /// A `<key>.hpr` file.
+    Disk,
+}
+
+/// The result cache.
+#[derive(Debug)]
+pub struct ResultCache {
+    memory: Mutex<HashMap<u128, RunReport>>,
+    disk_dir: Option<PathBuf>,
+}
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl ResultCache {
+    /// A memory-only cache (no persistence).
+    pub fn in_memory() -> Self {
+        ResultCache {
+            memory: Mutex::new(HashMap::new()),
+            disk_dir: None,
+        }
+    }
+
+    /// A cache persisting to `dir` (created on first write).
+    pub fn on_disk(dir: impl Into<PathBuf>) -> Self {
+        ResultCache {
+            memory: Mutex::new(HashMap::new()),
+            disk_dir: Some(dir.into()),
+        }
+    }
+
+    /// The disk directory, if this cache persists.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk_dir.as_deref()
+    }
+
+    /// The on-disk path for `key` (even if the file does not exist yet).
+    pub fn path_for(&self, key: RunKey) -> Option<PathBuf> {
+        self.disk_dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.hpr", key.hex())))
+    }
+
+    /// Looks `key` up, reporting which tier served it.
+    pub fn get(&self, key: RunKey) -> Option<(RunReport, CacheTier)> {
+        if let Some(hit) = self.memory.lock().unwrap().get(&key.0) {
+            return Some((hit.clone(), CacheTier::Memory));
+        }
+        let path = self.path_for(key)?;
+        let bytes = std::fs::read(path).ok()?;
+        let report = codec::decode(&bytes)?; // corrupt file == miss
+        self.memory.lock().unwrap().insert(key.0, report.clone());
+        Some((report, CacheTier::Disk))
+    }
+
+    /// Stores `report` under `key` in both tiers. Disk errors (read-only
+    /// filesystem, disk full) are swallowed: caching is an optimization,
+    /// never a correctness requirement.
+    pub fn put(&self, key: RunKey, report: &RunReport) {
+        self.memory.lock().unwrap().insert(key.0, report.clone());
+        let Some(path) = self.path_for(key) else {
+            return;
+        };
+        let Some(dir) = path.parent() else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let tmp = dir.join(format!(
+            ".{}.tmp.{}.{}",
+            key.hex(),
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&tmp, codec::encode(report)).is_ok()
+            && std::fs::rename(&tmp, &path).is_err()
+        {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Entries currently held in memory.
+    pub fn memory_len(&self) -> usize {
+        self.memory.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteropipe::{DirectExecutor, Executor, JobSpec, Organization, SystemConfig};
+    use heteropipe_workloads::{registry, Scale};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "heteropipe-cache-test-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn sample() -> (RunKey, RunReport) {
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::discrete();
+        let spec = JobSpec {
+            pipeline: &p,
+            config: &cfg,
+            organization: Organization::Serial,
+            misalignment_sensitive: false,
+        };
+        (
+            crate::key::run_key(&spec),
+            DirectExecutor::new().execute(&spec),
+        )
+    }
+
+    #[test]
+    fn memory_round_trip() {
+        let (key, report) = sample();
+        let cache = ResultCache::in_memory();
+        assert!(cache.get(key).is_none());
+        cache.put(key, &report);
+        let (back, tier) = cache.get(key).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(tier, CacheTier::Memory);
+    }
+
+    #[test]
+    fn disk_round_trip_across_instances() {
+        let dir = temp_dir("roundtrip");
+        let (key, report) = sample();
+        ResultCache::on_disk(&dir).put(key, &report);
+
+        // A fresh instance (cold memory) must hit the disk tier.
+        let cold = ResultCache::on_disk(&dir);
+        let (back, tier) = cold.get(key).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(tier, CacheTier::Disk);
+        // ...and promote to memory.
+        assert_eq!(cold.get(key).unwrap().1, CacheTier::Memory);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_disk_entry_is_a_miss() {
+        let dir = temp_dir("corrupt");
+        let (key, report) = sample();
+        let cache = ResultCache::on_disk(&dir);
+        cache.put(key, &report);
+
+        let path = cache.path_for(key).unwrap();
+        std::fs::write(&path, b"not a cache record").unwrap();
+
+        let cold = ResultCache::on_disk(&dir);
+        assert!(cold.get(key).is_none(), "corrupt file must read as a miss");
+
+        // Re-putting repairs the file.
+        cold.put(key, &report);
+        assert_eq!(ResultCache::on_disk(&dir).get(key).unwrap().0, report);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_harmless() {
+        let dir = temp_dir("absent");
+        let cache = ResultCache::on_disk(&dir);
+        let (key, _) = sample();
+        assert!(cache.get(key).is_none());
+    }
+}

@@ -1,0 +1,318 @@
+//! Versioned binary (de)serialization of [`RunReport`] for the on-disk
+//! cache tier.
+//!
+//! Layout: a 4-byte magic, a `u32` format version, the report fields in
+//! fixed order (little-endian integers, length-prefixed strings and
+//! sequences), and a trailing FNV-1a checksum over everything before it.
+//! Every field of [`RunReport`] is integral (`Ps` is a picosecond count,
+//! there are no raw floats), so decoding reproduces the encoded report
+//! *exactly* — rendered tables from cached results are byte-identical to
+//! freshly computed ones.
+//!
+//! Decoding is total: any malformation — wrong magic, unknown version,
+//! truncation, trailing garbage, checksum mismatch, invalid enum tag —
+//! yields `None`, never a panic. The cache treats `None` as a miss.
+
+use heteropipe::{
+    ClassCounts, ComponentTimes, ExclusiveSlice, Organization, Platform, RunReport, TouchSet,
+};
+use heteropipe_sim::Ps;
+
+/// File magic: "heteropipe run report".
+pub const MAGIC: [u8; 4] = *b"HPRR";
+/// Current format version. Bump alongside any layout change; old files
+/// then decode to `None` and are recomputed.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Encodes `report` into the versioned cache format.
+pub fn encode(report: &RunReport) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(&MAGIC);
+    w.u32(FORMAT_VERSION);
+
+    w.str(&report.benchmark);
+    w.u8(match report.platform {
+        Platform::DiscreteGpu => 0,
+        Platform::Heterogeneous => 1,
+    });
+    match report.organization {
+        Organization::Serial => {
+            w.u8(0);
+            w.u32(0);
+        }
+        Organization::AsyncStreams { streams } => {
+            w.u8(1);
+            w.u32(streams);
+        }
+        Organization::ChunkedParallel { chunks } => {
+            w.u8(2);
+            w.u32(chunks);
+        }
+    }
+    w.ps(report.roi);
+    w.ps(report.busy.copy);
+    w.ps(report.busy.cpu);
+    w.ps(report.busy.gpu);
+    w.u32(report.exclusive.len() as u32);
+    for s in &report.exclusive {
+        w.str(&s.components);
+        w.ps(s.time);
+    }
+    for a in report.accesses {
+        w.u64(a);
+    }
+    w.u64(report.offchip_fetches);
+    w.u64(report.offchip_writebacks);
+    w.u64(report.offchip_bytes);
+    for c in report.classes.counts() {
+        w.u64(c);
+    }
+    w.u32(report.footprint.len() as u32);
+    for (set, bytes) in &report.footprint {
+        w.u8(set.bits());
+        w.u64(*bytes);
+    }
+    w.u64(report.total_footprint);
+    w.u64(report.faults);
+    w.ps(report.c_serial);
+    w.u64(report.cpu_flops);
+    w.u64(report.gpu_flops);
+    w.u64(report.remote_hits);
+    w.u8(report.bw_limited as u8);
+
+    let sum = fnv1a(&w.buf);
+    w.u64(sum);
+    w.buf
+}
+
+/// Decodes a report, returning `None` on any malformation.
+pub fn decode(bytes: &[u8]) -> Option<RunReport> {
+    // Checksum covers everything before the trailing 8 bytes.
+    if bytes.len() < MAGIC.len() + 4 + 8 {
+        return None;
+    }
+    let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(sum_bytes.try_into().ok()?);
+    if fnv1a(body) != stored {
+        return None;
+    }
+
+    let mut r = Reader { buf: body, pos: 0 };
+    if r.take(MAGIC.len())? != MAGIC {
+        return None;
+    }
+    if r.u32()? != FORMAT_VERSION {
+        return None;
+    }
+
+    let benchmark = r.str()?;
+    let platform = match r.u8()? {
+        0 => Platform::DiscreteGpu,
+        1 => Platform::Heterogeneous,
+        _ => return None,
+    };
+    let org_tag = r.u8()?;
+    let org_param = r.u32()?;
+    let organization = match org_tag {
+        0 => Organization::Serial,
+        1 => Organization::AsyncStreams { streams: org_param },
+        2 => Organization::ChunkedParallel { chunks: org_param },
+        _ => return None,
+    };
+    let roi = r.ps()?;
+    let busy = ComponentTimes {
+        copy: r.ps()?,
+        cpu: r.ps()?,
+        gpu: r.ps()?,
+    };
+    let n_excl = r.u32()? as usize;
+    let mut exclusive = Vec::with_capacity(n_excl.min(1024));
+    for _ in 0..n_excl {
+        exclusive.push(ExclusiveSlice {
+            components: r.str()?,
+            time: r.ps()?,
+        });
+    }
+    let accesses = [r.u64()?, r.u64()?, r.u64()?];
+    let offchip_fetches = r.u64()?;
+    let offchip_writebacks = r.u64()?;
+    let offchip_bytes = r.u64()?;
+    let classes = ClassCounts::from_counts([r.u64()?, r.u64()?, r.u64()?, r.u64()?, r.u64()?]);
+    let n_fp = r.u32()? as usize;
+    let mut footprint = Vec::with_capacity(n_fp.min(1024));
+    for _ in 0..n_fp {
+        let bits = r.u8()?;
+        let bytes = r.u64()?;
+        footprint.push((TouchSet::from_bits(bits), bytes));
+    }
+    let total_footprint = r.u64()?;
+    let faults = r.u64()?;
+    let c_serial = r.ps()?;
+    let cpu_flops = r.u64()?;
+    let gpu_flops = r.u64()?;
+    let remote_hits = r.u64()?;
+    let bw_limited = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    if r.pos != r.buf.len() {
+        return None; // trailing garbage
+    }
+
+    Some(RunReport {
+        benchmark,
+        platform,
+        organization,
+        roi,
+        busy,
+        exclusive,
+        accesses,
+        offchip_fetches,
+        offchip_writebacks,
+        offchip_bytes,
+        classes,
+        footprint,
+        total_footprint,
+        faults,
+        c_serial,
+        cpu_flops,
+        gpu_flops,
+        remote_hits,
+        bw_limited,
+    })
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn ps(&mut self, t: Ps) {
+        self.u64(t.as_picos());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(out)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+    fn ps(&mut self) -> Option<Ps> {
+        Some(Ps::from_picos(self.u64()?))
+    }
+    fn str(&mut self) -> Option<String> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteropipe::{DirectExecutor, Executor, JobSpec, Organization, SystemConfig};
+    use heteropipe_workloads::{registry, Scale};
+
+    fn real_report() -> RunReport {
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::heterogeneous();
+        DirectExecutor::new().execute(&JobSpec {
+            pipeline: &p,
+            config: &cfg,
+            organization: Organization::ChunkedParallel { chunks: 4 },
+            misalignment_sensitive: true,
+        })
+    }
+
+    #[test]
+    fn round_trips_a_real_report_exactly() {
+        let report = real_report();
+        let bytes = encode(&report);
+        let back = decode(&bytes).expect("decodes");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        let bytes = encode(&real_report());
+
+        assert_eq!(decode(&[]), None);
+        assert_eq!(decode(&bytes[..bytes.len() - 1]), None, "truncated");
+        assert_eq!(decode(&bytes[1..]), None, "missing magic byte");
+
+        let mut flipped = bytes.clone();
+        flipped[10] ^= 0xFF;
+        assert_eq!(decode(&flipped), None, "checksum catches a bit flip");
+
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(decode(&extended), None, "trailing garbage");
+
+        // An unknown version with a *valid* checksum must still be rejected.
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 0xEE; // version little-endian low byte
+        let body_len = wrong_version.len() - 8;
+        let sum = fnv1a(&wrong_version[..body_len]).to_le_bytes();
+        wrong_version[body_len..].copy_from_slice(&sum);
+        assert_eq!(decode(&wrong_version), None, "unknown version");
+    }
+
+    #[test]
+    fn organization_variants_survive() {
+        let mut report = real_report();
+        for org in [
+            Organization::Serial,
+            Organization::AsyncStreams { streams: 7 },
+            Organization::ChunkedParallel { chunks: 16 },
+        ] {
+            report.organization = org;
+            assert_eq!(decode(&encode(&report)).unwrap().organization, org);
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! Content-addressed run keys.
+//!
+//! A [`RunKey`] is a structural hash of *everything* a simulation's result
+//! depends on: the full lowered pipeline IR (which subsumes benchmark name
+//! and input scale, and distinguishes transformed — fused, migrated —
+//! pipelines), every model constant of the [`SystemConfig`], the
+//! [`Organization`], the misalignment flag, and a schema version. Two jobs
+//! with equal keys are guaranteed to produce identical [`RunReport`]s
+//! (the simulator is deterministic), so the key doubles as the cache
+//! address.
+//!
+//! Bump [`SCHEMA_VERSION`] whenever the simulator's semantics change in a
+//! way the inputs cannot see (new model term, changed constant baked into
+//! code, report field added): that invalidates every cached result at once.
+//!
+//! [`RunReport`]: heteropipe::RunReport
+
+use heteropipe::exec::JobSpec;
+use heteropipe::{Organization, Platform, SystemConfig};
+use heteropipe_mem::dram::DramConfig;
+use heteropipe_mem::xbar::{InterconnectConfig, Topology};
+use heteropipe_mem::{AccessKind, CacheConfig};
+use heteropipe_workloads::{BufferInit, CopyDir, ExecKind, Pattern, Pipeline, Stage};
+
+/// Version tag mixed into every key. Bump on any simulator-semantics or
+/// report-schema change; all previously cached results then miss.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A 128-bit content address for one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RunKey(pub u128);
+
+impl RunKey {
+    /// The key as 32 lowercase hex digits (the on-disk file stem).
+    pub fn hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+/// Computes the run key for `job`.
+pub fn run_key(job: &JobSpec<'_>) -> RunKey {
+    let mut h = KeyHasher::new();
+    h.u32(SCHEMA_VERSION);
+    hash_pipeline(&mut h, job.pipeline);
+    hash_config(&mut h, job.config);
+    hash_organization(&mut h, job.organization);
+    h.bool(job.misalignment_sensitive);
+    h.finish()
+}
+
+/// Incremental structural hasher: two independent 64-bit FNV-1a streams
+/// (distinct offset bases, one fed byte-reversed input) concatenated into a
+/// u128, each finalized through a SplitMix64 avalanche. Not cryptographic —
+/// it only has to make accidental collisions across a few thousand
+/// experiment runs negligible.
+pub struct KeyHasher {
+    lo: u64,
+    hi: u64,
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl KeyHasher {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        KeyHasher {
+            lo: FNV_OFFSET,
+            hi: FNV_OFFSET ^ 0x5bd1_e995_7b7d_159b,
+        }
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.lo = (self.lo ^ b as u64).wrapping_mul(FNV_PRIME);
+        self.hi = (self.hi ^ (b.reverse_bits()) as u64).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Hashes raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.byte(b);
+        }
+    }
+
+    /// Hashes a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.byte(v);
+    }
+
+    /// Hashes a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes an `f64` by exact bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Hashes a `bool`.
+    pub fn bool(&mut self, v: bool) {
+        self.byte(v as u8);
+    }
+
+    /// Hashes a string, length-prefixed so concatenations can't collide.
+    pub fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    /// Hashes a time value by its exact picosecond count.
+    pub fn ps(&mut self, t: heteropipe_sim::Ps) {
+        self.u64(t.as_picos());
+    }
+
+    /// Finalizes into a key.
+    pub fn finish(self) -> RunKey {
+        let lo = splitmix(self.lo);
+        let hi = splitmix(self.hi ^ self.lo.rotate_left(32));
+        RunKey(((hi as u128) << 64) | lo as u128)
+    }
+}
+
+impl Default for KeyHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn hash_pipeline(h: &mut KeyHasher, p: &Pipeline) {
+    h.str(&p.name);
+    h.u64(p.buffers.len() as u64);
+    for b in &p.buffers {
+        h.str(&b.name);
+        h.u64(b.bytes);
+        h.u32(b.elem_bytes);
+        h.u8(match b.init {
+            BufferInit::Host => 0,
+            BufferInit::Gpu => 1,
+        });
+        h.bool(b.mirrored);
+    }
+    h.u64(p.stages.len() as u64);
+    for s in &p.stages {
+        match s {
+            Stage::Copy(c) => {
+                h.u8(0);
+                h.u64(c.buf.0 as u64);
+                h.u8(match c.dir {
+                    CopyDir::H2D => 0,
+                    CopyDir::D2H => 1,
+                });
+                match c.bytes {
+                    None => h.u8(0),
+                    Some(b) => {
+                        h.u8(1);
+                        h.u64(b);
+                    }
+                }
+                h.bool(c.elidable);
+            }
+            Stage::Compute(c) => {
+                h.u8(1);
+                h.str(&c.name);
+                h.u8(match c.exec {
+                    ExecKind::Cpu => 0,
+                    ExecKind::Gpu => 1,
+                });
+                h.u64(c.threads);
+                h.u32(c.threads_per_cta);
+                h.u64(c.scratch_per_cta);
+                h.u64(c.instructions);
+                h.u64(c.flops);
+                h.u64(c.patterns.len() as u64);
+                for pi in &c.patterns {
+                    h.u64(pi.buf.0 as u64);
+                    h.u8(match pi.kind {
+                        AccessKind::Read => 0,
+                        AccessKind::Write => 1,
+                    });
+                    hash_pattern(h, &pi.pattern);
+                    h.bool(pi.follows_chunk);
+                }
+                h.bool(c.chunkable);
+                h.bool(c.interleave_patterns);
+            }
+        }
+    }
+}
+
+fn hash_pattern(h: &mut KeyHasher, p: &Pattern) {
+    match *p {
+        Pattern::Stream { passes } => {
+            h.u8(0);
+            h.u32(passes);
+        }
+        Pattern::Strided { stride } => {
+            h.u8(1);
+            h.u32(stride);
+        }
+        Pattern::Stencil { row_elems } => {
+            h.u8(2);
+            h.u32(row_elems);
+        }
+        Pattern::Gather { count, region } => {
+            h.u8(3);
+            h.u64(count);
+            h.f64(region);
+        }
+        Pattern::SparseSweep { fraction } => {
+            h.u8(4);
+            h.f64(fraction);
+        }
+        Pattern::Point { count } => {
+            h.u8(5);
+            h.u64(count);
+        }
+        Pattern::Neighbors { degree } => {
+            h.u8(6);
+            h.f64(degree);
+        }
+    }
+}
+
+fn hash_cache(h: &mut KeyHasher, c: &CacheConfig) {
+    h.u64(c.capacity_bytes());
+    h.u32(c.ways());
+}
+
+fn hash_dram(h: &mut KeyHasher, d: &DramConfig) {
+    h.u32(d.channels());
+    h.f64(d.peak_bw());
+    // No raw efficiency accessor exists; effective_bw = peak × efficiency
+    // pins it down exactly.
+    h.f64(d.effective_bw());
+    h.ps(d.access_latency());
+}
+
+fn hash_interconnect(h: &mut KeyHasher, i: &InterconnectConfig) {
+    match i.topology() {
+        Topology::Switch { ports } => {
+            h.u8(0);
+            h.u32(ports);
+        }
+        Topology::DanceHall => h.u8(1),
+        Topology::DirectLinks { links } => {
+            h.u8(2);
+            h.u32(links);
+        }
+    }
+    h.f64(i.aggregate_bw());
+    h.ps(i.hop_latency());
+}
+
+fn hash_config(h: &mut KeyHasher, c: &SystemConfig) {
+    h.u8(match c.platform {
+        Platform::DiscreteGpu => 0,
+        Platform::Heterogeneous => 1,
+    });
+
+    h.u8(c.cpu.cores);
+    h.f64(c.cpu.clock.freq_hz());
+    h.f64(c.cpu.issue_width);
+    h.f64(c.cpu.peak_flops_per_core);
+    h.f64(c.cpu.mlp);
+    h.f64(c.cpu.l2_hit_cycles);
+    h.f64(c.cpu.remote_hit_cycles);
+    h.f64(c.cpu.offchip_cycles);
+    h.ps(c.cpu.kernel_launch);
+
+    h.u8(c.gpu.sms);
+    h.f64(c.gpu.clock.freq_hz());
+    h.u32(c.gpu.max_ctas_per_sm);
+    h.u32(c.gpu.max_warps_per_sm);
+    h.u32(c.gpu.issue_lanes);
+    h.u64(c.gpu.scratch_bytes_per_sm);
+    h.u32(c.gpu.registers_per_sm);
+    h.f64(c.gpu.peak_flops_per_sm);
+    h.f64(c.gpu.offchip_latency_secs);
+    h.f64(c.gpu.misses_in_flight_per_warp);
+    h.u32(c.gpu.warps_to_saturate_issue);
+    h.ps(c.gpu.page_fault_latency);
+
+    h.u8(c.hierarchy.cpu_cores);
+    hash_cache(h, &c.hierarchy.cpu_l1d);
+    hash_cache(h, &c.hierarchy.cpu_l2);
+    h.u8(c.hierarchy.gpu_sms);
+    hash_cache(h, &c.hierarchy.gpu_l1);
+    hash_cache(h, &c.hierarchy.gpu_l2);
+    h.bool(c.hierarchy.coherent_probes);
+
+    match &c.cpu_mem {
+        None => h.u8(0),
+        Some(d) => {
+            h.u8(1);
+            hash_dram(h, d);
+        }
+    }
+    hash_dram(h, &c.gpu_mem);
+    match &c.pcie {
+        None => h.u8(0),
+        Some(p) => {
+            h.u8(1);
+            h.f64(p.peak_bw());
+            h.f64(p.effective_bw());
+            h.ps(p.setup_latency());
+        }
+    }
+    hash_interconnect(h, &c.interconnect);
+
+    h.bool(c.aligned_allocator);
+    h.f64(c.memcpy_rate);
+    h.u32(c.spill_window);
+}
+
+fn hash_organization(h: &mut KeyHasher, o: Organization) {
+    match o {
+        Organization::Serial => h.u8(0),
+        Organization::AsyncStreams { streams } => {
+            h.u8(1);
+            h.u32(streams);
+        }
+        Organization::ChunkedParallel { chunks } => {
+            h.u8(2);
+            h.u32(chunks);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteropipe_workloads::{registry, Scale};
+
+    fn key_of(
+        pipeline: &Pipeline,
+        config: &SystemConfig,
+        organization: Organization,
+        mis: bool,
+    ) -> RunKey {
+        run_key(&JobSpec {
+            pipeline,
+            config,
+            organization,
+            misalignment_sensitive: mis,
+        })
+    }
+
+    #[test]
+    fn key_is_deterministic() {
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let c = SystemConfig::discrete();
+        let a = key_of(&p, &c, Organization::Serial, false);
+        let b = key_of(&p, &c, Organization::Serial, false);
+        assert_eq!(a, b);
+        assert_eq!(a.hex().len(), 32);
+    }
+
+    #[test]
+    fn key_separates_every_input_dimension() {
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let discrete = SystemConfig::discrete();
+        let base = key_of(&p, &discrete, Organization::Serial, false);
+
+        // Scale changes the pipeline IR, hence the key.
+        let p2 = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::new(0.16))
+            .unwrap();
+        assert_ne!(base, key_of(&p2, &discrete, Organization::Serial, false));
+
+        // A different benchmark.
+        let srad = registry::find("rodinia/srad")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        assert_ne!(base, key_of(&srad, &discrete, Organization::Serial, false));
+
+        // Platform / config family.
+        let hetero = SystemConfig::heterogeneous();
+        assert_ne!(base, key_of(&p, &hetero, Organization::Serial, false));
+
+        // Organization and its parameter.
+        assert_ne!(
+            base,
+            key_of(
+                &p,
+                &discrete,
+                Organization::AsyncStreams { streams: 3 },
+                false
+            )
+        );
+        assert_ne!(
+            key_of(
+                &p,
+                &discrete,
+                Organization::AsyncStreams { streams: 3 },
+                false
+            ),
+            key_of(
+                &p,
+                &discrete,
+                Organization::AsyncStreams { streams: 4 },
+                false
+            )
+        );
+
+        // Misalignment flag.
+        assert_ne!(base, key_of(&p, &discrete, Organization::Serial, true));
+    }
+
+    #[test]
+    fn key_tracks_each_model_constant() {
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let nominal = SystemConfig::discrete();
+        let base = key_of(&p, &nominal, Organization::Serial, false);
+
+        type Mutation = (&'static str, Box<dyn Fn(&mut SystemConfig)>);
+        let mutations: Vec<Mutation> = vec![
+            ("cpu.mlp", Box::new(|c| c.cpu.mlp *= 2.0)),
+            (
+                "cpu.kernel_launch",
+                Box::new(|c| c.cpu.kernel_launch = c.cpu.kernel_launch * 2),
+            ),
+            (
+                "gpu.page_fault_latency",
+                Box::new(|c| c.gpu.page_fault_latency = c.gpu.page_fault_latency * 2),
+            ),
+            ("gpu.sms", Box::new(|c| c.gpu.sms *= 2)),
+            (
+                "gpu_mem.peak_bw",
+                Box::new(|c| c.gpu_mem = c.gpu_mem.with_peak_bw(c.gpu_mem.peak_bw() * 2.0)),
+            ),
+            (
+                "pcie.peak_bw",
+                Box::new(|c| {
+                    let p = c.pcie.expect("discrete has pcie");
+                    c.pcie = Some(p.with_peak_bw(p.peak_bw() * 2.0));
+                }),
+            ),
+            ("memcpy_rate", Box::new(|c| c.memcpy_rate *= 2.0)),
+            ("spill_window", Box::new(|c| c.spill_window *= 2)),
+            (
+                "aligned_allocator",
+                Box::new(|c| c.aligned_allocator = !c.aligned_allocator),
+            ),
+        ];
+        for (name, mutate) in mutations {
+            let mut c = nominal.clone();
+            mutate(&mut c);
+            assert_ne!(
+                base,
+                key_of(&p, &c, Organization::Serial, false),
+                "mutating {name} must change the key"
+            );
+        }
+    }
+}

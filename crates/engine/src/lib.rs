@@ -1,0 +1,335 @@
+//! # heteropipe-engine
+//!
+//! The experiment-execution subsystem every harness driver routes through.
+//! An [`Engine`] implements [`heteropipe::Executor`] and layers three
+//! things over the plain simulator:
+//!
+//! * a **content-addressed result cache** ([`cache::ResultCache`]): each
+//!   job is addressed by a structural hash of its complete run key
+//!   ([`key::run_key`]) — pipeline IR, every model constant, organization,
+//!   misalignment flag, schema version — so re-running an experiment, or a
+//!   sweep that shares its baseline with another study, reuses results
+//!   instead of re-simulating. A disk tier under `results/cache/` makes
+//!   reuse survive across invocations;
+//! * a **job scheduler**: batches fan out over
+//!   [`heteropipe::exec::par_map`]'s bounded work-queue with per-job
+//!   failure capture and deterministic, submission-ordered results;
+//! * **run metrics** ([`metrics::RunMetrics`]): jobs executed, cache hits
+//!   by tier, simulated time, and wall time, summarized on stderr and
+//!   exportable as CSV.
+//!
+//! Because the simulator is deterministic and [`heteropipe::RunReport`]
+//! is float-free, a cached result is bit-for-bit the result a fresh run
+//! would produce: rendered tables are byte-identical hot, cold, or with
+//! caching disabled.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod codec;
+pub mod key;
+pub mod metrics;
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use heteropipe::exec::{par_map, JobError};
+use heteropipe::{Executor, JobSpec, RunReport};
+
+pub use cache::{CacheTier, ResultCache};
+pub use key::{run_key, RunKey, SCHEMA_VERSION};
+pub use metrics::{MetricsSnapshot, RunMetrics};
+
+/// The default on-disk cache location, relative to the working directory.
+pub const DEFAULT_CACHE_DIR: &str = "results/cache";
+
+/// The caching executor. Construct with [`Engine::new`] and customize with
+/// the builder methods, then hand it to the `*_with` experiment drivers as
+/// a `&dyn Executor`.
+#[derive(Debug)]
+pub struct Engine {
+    jobs: usize,
+    cache: Option<ResultCache>,
+    metrics: RunMetrics,
+}
+
+impl Engine {
+    /// An engine with full parallelism and the default disk-backed cache
+    /// under [`DEFAULT_CACHE_DIR`].
+    pub fn new() -> Self {
+        Engine {
+            jobs: heteropipe::exec::default_parallelism(),
+            cache: Some(ResultCache::on_disk(DEFAULT_CACHE_DIR)),
+            metrics: RunMetrics::new(),
+        }
+    }
+
+    /// Caps batch parallelism at `jobs` concurrent simulations (min 1).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Persists the cache under `dir` instead of the default.
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache = Some(ResultCache::on_disk(dir));
+        self
+    }
+
+    /// Keeps the cache in memory only (no files written).
+    pub fn memory_cache_only(mut self) -> Self {
+        self.cache = Some(ResultCache::in_memory());
+        self
+    }
+
+    /// Disables caching entirely: every job simulates (`--no-cache`).
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// The configured batch parallelism.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The cache, if enabled.
+    pub fn cache(&self) -> Option<&ResultCache> {
+        self.cache.as_ref()
+    }
+
+    /// A snapshot of this engine's counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Prints the metrics summary footer to stderr (stdout stays reserved
+    /// for the rendered tables, which must not differ hot vs cold).
+    pub fn print_summary(&self) {
+        eprintln!("{}", self.metrics().summary());
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Executor for Engine {
+    fn execute(&self, job: &JobSpec<'_>) -> RunReport {
+        let Some(cache) = &self.cache else {
+            let start = Instant::now();
+            let report = heteropipe::run::run(
+                job.pipeline,
+                job.config,
+                job.organization,
+                job.misalignment_sensitive,
+            );
+            self.metrics
+                .record_executed(report.roi.as_picos(), start.elapsed().as_nanos() as u64);
+            return report;
+        };
+
+        let key = run_key(job);
+        if let Some((report, tier)) = cache.get(key) {
+            match tier {
+                CacheTier::Memory => self.metrics.record_memory_hit(),
+                CacheTier::Disk => self.metrics.record_disk_hit(),
+            }
+            return report;
+        }
+        self.metrics.record_miss();
+        let start = Instant::now();
+        let report = heteropipe::run::run(
+            job.pipeline,
+            job.config,
+            job.organization,
+            job.misalignment_sensitive,
+        );
+        self.metrics
+            .record_executed(report.roi.as_picos(), start.elapsed().as_nanos() as u64);
+        cache.put(key, &report);
+        report
+    }
+
+    fn execute_batch(&self, jobs: &[JobSpec<'_>]) -> Vec<Result<RunReport, JobError>> {
+        let out = par_map(jobs, self.jobs, |j| self.execute(j));
+        for r in &out {
+            if r.is_err() {
+                self.metrics.record_failure();
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteropipe::{Organization, SystemConfig};
+    use heteropipe_workloads::{registry, Scale};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "heteropipe-engine-test-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn kmeans_spec<'a>(
+        pipeline: &'a heteropipe_workloads::Pipeline,
+        config: &'a SystemConfig,
+    ) -> JobSpec<'a> {
+        JobSpec {
+            pipeline,
+            config,
+            organization: Organization::Serial,
+            misalignment_sensitive: false,
+        }
+    }
+
+    #[test]
+    fn warm_run_hits_and_matches_cold() {
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::discrete();
+        let spec = kmeans_spec(&p, &cfg);
+
+        let engine = Engine::new().memory_cache_only().with_jobs(2);
+        let cold = engine.execute(&spec);
+        let warm = engine.execute(&spec);
+        assert_eq!(cold, warm);
+        let m = engine.metrics();
+        assert_eq!(m.jobs_executed, 1);
+        assert_eq!(m.memory_hits, 1);
+        assert_eq!(m.misses, 1);
+        assert!(m.simulated_ps > 0);
+    }
+
+    #[test]
+    fn disk_cache_survives_engine_restart() {
+        let dir = temp_dir("restart");
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::heterogeneous();
+        let spec = kmeans_spec(&p, &cfg);
+
+        let first = Engine::new().with_cache_dir(&dir);
+        let cold = first.execute(&spec);
+        assert_eq!(first.metrics().jobs_executed, 1);
+
+        let second = Engine::new().with_cache_dir(&dir);
+        let warm = second.execute(&spec);
+        assert_eq!(warm, cold);
+        let m = second.metrics();
+        assert_eq!(m.jobs_executed, 0, "restarted engine must not re-simulate");
+        assert_eq!(m.disk_hits, 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_cache_file_is_recomputed() {
+        let dir = temp_dir("corrupt");
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::discrete();
+        let spec = kmeans_spec(&p, &cfg);
+
+        let first = Engine::new().with_cache_dir(&dir);
+        let cold = first.execute(&spec);
+        let path = first.cache().unwrap().path_for(run_key(&spec)).unwrap();
+        std::fs::write(&path, b"\0\0garbage\0\0").unwrap();
+
+        let second = Engine::new().with_cache_dir(&dir);
+        let recomputed = second.execute(&spec);
+        assert_eq!(recomputed, cold);
+        let m = second.metrics();
+        assert_eq!(m.disk_hits, 0, "garbage must not decode");
+        assert_eq!(m.jobs_executed, 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_cache_engine_always_executes() {
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::discrete();
+        let spec = kmeans_spec(&p, &cfg);
+
+        let engine = Engine::new().without_cache();
+        let a = engine.execute(&spec);
+        let b = engine.execute(&spec);
+        assert_eq!(a, b, "simulator must be deterministic");
+        let m = engine.metrics();
+        assert_eq!(m.jobs_executed, 2);
+        assert_eq!(m.hits(), 0);
+    }
+
+    #[test]
+    fn engine_matches_direct_executor() {
+        use heteropipe::DirectExecutor;
+        let p = registry::find("pannotia/pr")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::heterogeneous();
+        let spec = kmeans_spec(&p, &cfg);
+        let via_engine = Engine::new().memory_cache_only().execute(&spec);
+        let direct = DirectExecutor::new().execute(&spec);
+        assert_eq!(via_engine, direct);
+    }
+
+    #[test]
+    fn batches_hit_the_cache_and_keep_order() {
+        let p1 = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let p2 = registry::find("rodinia/srad")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::discrete();
+        let jobs = [
+            kmeans_spec(&p1, &cfg),
+            kmeans_spec(&p2, &cfg),
+            kmeans_spec(&p1, &cfg),
+        ];
+
+        // jobs=1 keeps the batch sequential so the duplicated job
+        // deterministically hits the entry its twin just wrote.
+        let engine = Engine::new().memory_cache_only().with_jobs(1);
+        let first: Vec<_> = engine
+            .execute_batch(&jobs)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(first[0].benchmark, first[2].benchmark);
+        assert_eq!(first[0], first[2]);
+        assert_ne!(first[0].benchmark, first[1].benchmark);
+
+        let again: Vec<_> = engine
+            .execute_batch(&jobs)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(first, again);
+        let m = engine.metrics();
+        assert_eq!(m.jobs_executed, 2, "three distinct keys, one duplicated");
+        assert!(m.hits() >= 4);
+    }
+}

@@ -1,0 +1,187 @@
+//! Per-invocation run metrics: how much work the engine did, how much the
+//! cache saved, and where the wall time went.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe counters the engine bumps as it executes and serves jobs.
+#[derive(Debug, Default)]
+pub struct RunMetrics {
+    jobs_executed: AtomicU64,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    failures: AtomicU64,
+    simulated_ps: AtomicU64,
+    wall_ns: AtomicU64,
+}
+
+impl RunMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_executed(&self, simulated_ps: u64, wall_ns: u64) {
+        self.jobs_executed.fetch_add(1, Ordering::Relaxed);
+        self.simulated_ps.fetch_add(simulated_ps, Ordering::Relaxed);
+        self.wall_ns.fetch_add(wall_ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_memory_hit(&self) {
+        self.memory_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_disk_hit(&self) {
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_failure(&self) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            simulated_ps: self.simulated_ps.load(Ordering::Relaxed),
+            wall_ns: self.wall_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen view of [`RunMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Jobs actually simulated (cache misses and uncached runs).
+    pub jobs_executed: u64,
+    /// Jobs served from the in-memory cache tier.
+    pub memory_hits: u64,
+    /// Jobs served from the on-disk cache tier.
+    pub disk_hits: u64,
+    /// Cache lookups that found nothing (each is followed by an execution).
+    pub misses: u64,
+    /// Jobs that panicked inside a batch.
+    pub failures: u64,
+    /// Total simulated time across executed jobs, picoseconds.
+    pub simulated_ps: u64,
+    /// Total wall-clock time spent simulating, nanoseconds (sums across
+    /// workers, so it can exceed elapsed time under parallelism).
+    pub wall_ns: u64,
+}
+
+impl MetricsSnapshot {
+    /// Cache hits across both tiers.
+    pub fn hits(&self) -> u64 {
+        self.memory_hits + self.disk_hits
+    }
+
+    /// Total jobs the engine was asked for.
+    pub fn jobs_total(&self) -> u64 {
+        self.jobs_executed + self.hits()
+    }
+
+    /// Hit fraction in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.jobs_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+
+    /// Mean wall time per executed job, nanoseconds.
+    pub fn mean_wall_ns_per_job(&self) -> u64 {
+        self.wall_ns.checked_div(self.jobs_executed).unwrap_or(0)
+    }
+
+    /// The one-line summary footer (goes to stderr so stdout tables stay
+    /// byte-identical across cold and warm runs).
+    pub fn summary(&self) -> String {
+        format!(
+            "engine: {} jobs ({} executed, {} cache hits [{} mem, {} disk], {:.0}% hit rate), \
+             {:.3} s simulated, {:.3} s wall ({} ms/job), {} failed",
+            self.jobs_total(),
+            self.jobs_executed,
+            self.hits(),
+            self.memory_hits,
+            self.disk_hits,
+            self.hit_rate() * 100.0,
+            self.simulated_ps as f64 / 1e12,
+            self.wall_ns as f64 / 1e9,
+            self.mean_wall_ns_per_job() / 1_000_000,
+            self.failures,
+        )
+    }
+
+    /// CSV export: a header line plus one data row.
+    pub fn to_csv(&self) -> String {
+        format!(
+            "jobs_total,jobs_executed,memory_hits,disk_hits,misses,failures,hit_rate,simulated_ps,wall_ns\n\
+             {},{},{},{},{},{},{:.4},{},{}\n",
+            self.jobs_total(),
+            self.jobs_executed,
+            self.memory_hits,
+            self.disk_hits,
+            self.misses,
+            self.failures,
+            self.hit_rate(),
+            self.simulated_ps,
+            self.wall_ns,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = RunMetrics::new();
+        m.record_executed(5_000, 700);
+        m.record_executed(3_000, 300);
+        m.record_memory_hit();
+        m.record_disk_hit();
+        m.record_miss();
+        m.record_miss();
+        let s = m.snapshot();
+        assert_eq!(s.jobs_executed, 2);
+        assert_eq!(s.hits(), 2);
+        assert_eq!(s.jobs_total(), 4);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.simulated_ps, 8_000);
+        assert_eq!(s.wall_ns, 1_000);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(s.mean_wall_ns_per_job(), 500);
+    }
+
+    #[test]
+    fn summary_and_csv_render() {
+        let m = RunMetrics::new();
+        m.record_executed(1_000_000, 2_000_000);
+        m.record_memory_hit();
+        let s = m.snapshot();
+        assert!(s.summary().contains("2 jobs"));
+        assert!(s.summary().contains("1 executed"));
+        let csv = s.to_csv();
+        assert!(csv.starts_with("jobs_total,"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn empty_metrics_are_safe() {
+        let s = RunMetrics::new().snapshot();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.mean_wall_ns_per_job(), 0);
+        assert!(s.summary().contains("0 jobs"));
+    }
+}

@@ -108,13 +108,13 @@ mod tests {
         assert_eq!(out, vec![Addr(256).line(), Addr(0).line()]);
     }
 
-    proptest::proptest! {
-        #[test]
-        fn transaction_count_bounded(addrs in proptest::collection::vec(0u64..1_000_000, 1..=WARP_SIZE)) {
-            let addrs: Vec<Addr> = addrs.into_iter().map(Addr).collect();
+    #[test]
+    fn transaction_count_bounded() {
+        heteropipe_sim::check::cases(64, 0xC0A1, |g| {
+            let addrs: Vec<Addr> = g.vec(1, WARP_SIZE + 1, |g| Addr(g.u64(0, 1_000_000)));
             let n = warp_transactions(&addrs);
-            proptest::prop_assert!(n >= 1);
-            proptest::prop_assert!(n <= addrs.len());
-        }
+            assert!(n >= 1);
+            assert!(n <= addrs.len());
+        });
     }
 }

@@ -127,11 +127,10 @@ impl Occupancy {
         );
         let by_cta_slots = config.max_ctas_per_sm;
         let by_warps = config.max_warps_per_sm / warps_per_cta;
-        let by_scratch = if scratch_per_cta == 0 {
-            u32::MAX
-        } else {
-            (config.scratch_bytes_per_sm / scratch_per_cta) as u32
-        };
+        let by_scratch = config
+            .scratch_bytes_per_sm
+            .checked_div(scratch_per_cta)
+            .map_or(u32::MAX, |v| v as u32);
         let ctas = by_cta_slots.min(by_warps).min(by_scratch).max(1);
         Occupancy {
             ctas_per_sm: ctas,

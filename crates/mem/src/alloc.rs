@@ -88,7 +88,7 @@ impl Allocator {
         };
         // Always start each allocation on a fresh page so buffers never
         // share lines or pages (matches distinct mmap'd regions).
-        let page_aligned = (*cursor + PAGE_BYTES - 1) / PAGE_BYTES * PAGE_BYTES;
+        let page_aligned = (*cursor).div_ceil(PAGE_BYTES) * PAGE_BYTES;
         let start = if aligned {
             page_aligned
         } else {

@@ -170,11 +170,12 @@ mod tests {
         assert_eq!(m.to_string(), "MSHR 1/4");
     }
 
-    proptest::proptest! {
-        /// Outstanding never exceeds capacity, and every allocated entry can
-        /// be retired.
-        #[test]
-        fn capacity_invariant(ops in proptest::collection::vec((0u64..16, proptest::bool::ANY), 1..200)) {
+    /// Outstanding never exceeds capacity, and every allocated entry can
+    /// be retired.
+    #[test]
+    fn capacity_invariant() {
+        heteropipe_sim::check::cases(64, 0x3542, |g| {
+            let ops = g.vec(1, 200, |g| (g.u64(0, 16), g.bool()));
             let mut m = MshrFile::new(4);
             for (line, retire) in ops {
                 if retire {
@@ -182,8 +183,8 @@ mod tests {
                 } else {
                     m.request(LineAddr(line));
                 }
-                proptest::prop_assert!(m.outstanding() <= 4);
+                assert!(m.outstanding() <= 4);
             }
-        }
+        });
     }
 }

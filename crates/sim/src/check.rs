@@ -1,0 +1,139 @@
+//! Minimal in-tree randomized property-check helpers.
+//!
+//! A tiny, dependency-free replacement for the slice of `proptest` this
+//! workspace used: run a property over `N` generated cases, each driven by
+//! a [`SplitMix64`] stream derived from one fixed seed, so failures are
+//! perfectly reproducible (DESIGN.md §7 — determinism is load-bearing).
+//! There is no shrinking; on failure the helper reports the case index and
+//! derived seed, which is enough to replay the exact inputs under a
+//! debugger.
+//!
+//! # Example
+//!
+//! ```
+//! use heteropipe_sim::check;
+//!
+//! check::cases(32, 0xC0FFEE, |g| {
+//!     let a = g.u64(0, 1000);
+//!     let b = g.u64(0, 1000);
+//!     assert!(a + b >= a);
+//! });
+//! ```
+
+use crate::rng::SplitMix64;
+
+/// A per-case input generator over one deterministic random stream.
+#[derive(Debug)]
+pub struct Gen {
+    rng: SplitMix64,
+}
+
+impl Gen {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Gen {
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Uniform `u64` in `[lo, hi)`. `hi` must exceed `lo`.
+    pub fn u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(hi > lo, "empty range [{lo}, {hi})");
+        lo + self.rng.below(hi - lo)
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.u64(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.rng.unit_f64() * (hi - lo)
+    }
+
+    /// A fair coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.rng.chance(0.5)
+    }
+
+    /// `n` uniform bytes.
+    pub fn bytes(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.u64(0, 256) as u8).collect()
+    }
+
+    /// A vector whose length is uniform in `[min_len, max_len)` and whose
+    /// elements come from `f`.
+    pub fn vec<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.usize(min_len, max_len);
+        (0..n).map(|_| f(self)).collect()
+    }
+}
+
+/// Runs `property` over `n` generated cases derived from `seed`.
+///
+/// Each case gets an independent [`Gen`]; assertion panics inside the
+/// property are re-raised after reporting which case failed.
+pub fn cases(n: u64, seed: u64, mut property: impl FnMut(&mut Gen)) {
+    for i in 0..n {
+        // Derive per-case seeds through the same mixer the rest of the
+        // workspace uses, so case 0 is not simply `seed`.
+        let case_seed = SplitMix64::new(seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g = Gen::new(case_seed);
+            property(&mut g);
+        }));
+        if let Err(panic) = result {
+            eprintln!("property failed at case {i}/{n} (derived seed {case_seed:#x}, root seed {seed:#x})");
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = Gen::new(9);
+        let mut b = Gen::new(9);
+        for _ in 0..50 {
+            assert_eq!(a.u64(0, 1_000_000), b.u64(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        cases(100, 1, |g| {
+            let v = g.u64(10, 20);
+            assert!((10..20).contains(&v));
+            let f = g.f64(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let bytes = g.bytes(16);
+            assert_eq!(bytes.len(), 16);
+            let v = g.vec(2, 5, |g| g.u32(0, 3));
+            assert!((2..5).contains(&v.len()));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_propagate() {
+        cases(10, 2, |g| {
+            if g.u64(0, 4) == 0 {
+                panic!("boom");
+            }
+        });
+    }
+}

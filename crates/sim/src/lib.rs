@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod fluid;
 pub mod queue;
 pub mod rng;

@@ -441,15 +441,14 @@ mod tests {
         assert_eq!(s.mask(), 0b11);
     }
 
-    proptest::proptest! {
-        /// The breakdown's per-component active time always equals the
-        /// component's merged busy time, and the breakdown total never
-        /// exceeds the span.
-        #[test]
-        fn breakdown_consistent_with_busy(
-            iv_a in proptest::collection::vec((0u64..1000, 1u64..100), 0..20),
-            iv_b in proptest::collection::vec((0u64..1000, 1u64..100), 0..20),
-        ) {
+    /// The breakdown's per-component active time always equals the
+    /// component's merged busy time, and the breakdown total never
+    /// exceeds the span.
+    #[test]
+    fn breakdown_consistent_with_busy() {
+        crate::check::cases(64, 0x57A75, |g| {
+            let iv_a = g.vec(0, 20, |g| (g.u64(0, 1000), g.u64(1, 100)));
+            let iv_b = g.vec(0, 20, |g| (g.u64(0, 1000), g.u64(1, 100)));
             let mut tl = Timeline::new();
             let a = tl.add_component("a");
             let b = tl.add_component("b");
@@ -460,9 +459,9 @@ mod tests {
                 tl.record(b, Ps::from_nanos(s), Ps::from_nanos(s + len));
             }
             let bd = tl.breakdown();
-            proptest::prop_assert_eq!(bd.active_time(a), tl.busy(a));
-            proptest::prop_assert_eq!(bd.active_time(b), tl.busy(b));
-            proptest::prop_assert!(bd.total() <= tl.span());
-        }
+            assert_eq!(bd.active_time(a), tl.busy(a));
+            assert_eq!(bd.active_time(b), tl.busy(b));
+            assert!(bd.total() <= tl.span());
+        });
     }
 }

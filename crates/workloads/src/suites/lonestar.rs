@@ -108,7 +108,7 @@ fn graph_traversal(spec: &TraversalSpec, scale: Scale) -> Pipeline {
                     },
                 );
             }
-            _ => drop(kernel),
+            _ => {}
         }
         convergence_check(&mut b, flag, &round.to_string());
     }

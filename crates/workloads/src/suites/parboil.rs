@@ -92,7 +92,7 @@ pub fn cutcp(scale: Scale) -> Pipeline {
                     fraction: 1.0 / regions as f64,
                 },
             );
-        b.sticky_copy(bins, CopyDir::H2D, Some(atoms * 16 / regions as u64));
+        b.sticky_copy(bins, CopyDir::H2D, Some(atoms * 16 / regions));
         b.gpu(&format!("potential_{r}"), lattice / regions, 180.0, 140.0)
             .cta(128, 8 * 1024)
             .reads_all(bins, Pattern::Stream { passes: 1 })
@@ -345,69 +345,6 @@ pub fn workloads() -> Vec<Workload> {
     ]
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn twelve_workloads_nine_examined() {
-        let w = workloads();
-        assert_eq!(w.len(), 12);
-        assert_eq!(w.iter().filter(|w| w.meta.examined).count(), 9);
-    }
-
-    #[test]
-    fn table_ii_row_matches_paper() {
-        let w = workloads();
-        assert_eq!(w.iter().filter(|w| w.meta.pc_comm).count(), 8);
-        assert_eq!(w.iter().filter(|w| w.meta.pipe_parallel).count(), 8);
-        assert_eq!(w.iter().filter(|w| w.meta.regular).count(), 8);
-        assert_eq!(w.iter().filter(|w| w.meta.irregular).count(), 3);
-        assert_eq!(w.iter().filter(|w| w.meta.sw_queue).count(), 1);
-    }
-
-    #[test]
-    fn all_examined_pipelines_validate() {
-        for w in workloads() {
-            if let Some(p) = w.pipeline(Scale::TEST) {
-                assert_eq!(p.validate(), Ok(()), "{}", p.name);
-            }
-        }
-    }
-
-    #[test]
-    fn single_kernel_benchmarks_have_no_pc_comm() {
-        for w in workloads() {
-            if w.meta.name == "mri_q" || w.meta.name == "sgemm" {
-                assert!(!w.meta.pc_comm);
-                let p = w.pipeline(Scale::TEST).unwrap();
-                assert_eq!(
-                    p.stages.iter().filter_map(|s| s.as_compute()).count(),
-                    1,
-                    "{} should be a single kernel",
-                    w.meta.name
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn cutcp_keeps_residual_copies() {
-        let p = cutcp(Scale::TEST);
-        assert!(p.residual_copies() >= 6);
-    }
-
-    #[test]
-    fn fft_passes_are_serial() {
-        let p = fft(Scale::TEST);
-        for s in p.stages.iter().filter_map(|s| s.as_compute()) {
-            if s.name.starts_with("butterfly") {
-                assert!(!s.chunkable, "butterfly passes must not chunk");
-            }
-        }
-    }
-}
-
 /// parboil/mri_gridding — k-space sample gridding: a CPU binning pass then
 /// a scatter-heavy interpolation kernel. Not examined in the paper (it did
 /// not run in gem5-gpu); modeled here so the full suite is runnable.
@@ -479,4 +416,67 @@ pub fn tpacf(scale: Scale) -> Pipeline {
         .writes_all(bins, Pattern::Point { count: 16 * 1024 });
     b.d2h(bins);
     b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_workloads_nine_examined() {
+        let w = workloads();
+        assert_eq!(w.len(), 12);
+        assert_eq!(w.iter().filter(|w| w.meta.examined).count(), 9);
+    }
+
+    #[test]
+    fn table_ii_row_matches_paper() {
+        let w = workloads();
+        assert_eq!(w.iter().filter(|w| w.meta.pc_comm).count(), 8);
+        assert_eq!(w.iter().filter(|w| w.meta.pipe_parallel).count(), 8);
+        assert_eq!(w.iter().filter(|w| w.meta.regular).count(), 8);
+        assert_eq!(w.iter().filter(|w| w.meta.irregular).count(), 3);
+        assert_eq!(w.iter().filter(|w| w.meta.sw_queue).count(), 1);
+    }
+
+    #[test]
+    fn all_examined_pipelines_validate() {
+        for w in workloads() {
+            if let Some(p) = w.pipeline(Scale::TEST) {
+                assert_eq!(p.validate(), Ok(()), "{}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn single_kernel_benchmarks_have_no_pc_comm() {
+        for w in workloads() {
+            if w.meta.name == "mri_q" || w.meta.name == "sgemm" {
+                assert!(!w.meta.pc_comm);
+                let p = w.pipeline(Scale::TEST).unwrap();
+                assert_eq!(
+                    p.stages.iter().filter_map(|s| s.as_compute()).count(),
+                    1,
+                    "{} should be a single kernel",
+                    w.meta.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cutcp_keeps_residual_copies() {
+        let p = cutcp(Scale::TEST);
+        assert!(p.residual_copies() >= 6);
+    }
+
+    #[test]
+    fn fft_passes_are_serial() {
+        let p = fft(Scale::TEST);
+        for s in p.stages.iter().filter_map(|s| s.as_compute()) {
+            if s.name.starts_with("butterfly") {
+                assert!(!s.chunkable, "butterfly passes must not chunk");
+            }
+        }
+    }
 }

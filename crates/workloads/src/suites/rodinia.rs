@@ -715,102 +715,6 @@ pub fn workloads() -> Vec<Workload> {
     ]
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn twenty_two_workloads_eighteen_examined() {
-        let w = workloads();
-        assert_eq!(w.len(), 22);
-        assert_eq!(w.iter().filter(|w| w.meta.examined).count(), 18);
-    }
-
-    #[test]
-    fn table_ii_row_matches_paper() {
-        let w = workloads();
-        assert_eq!(w.iter().filter(|w| w.meta.pc_comm).count(), 19);
-        assert_eq!(w.iter().filter(|w| w.meta.pipe_parallel).count(), 18);
-        assert_eq!(w.iter().filter(|w| w.meta.regular).count(), 19);
-        assert_eq!(w.iter().filter(|w| w.meta.irregular).count(), 6);
-        assert_eq!(w.iter().filter(|w| w.meta.sw_queue).count(), 0);
-    }
-
-    #[test]
-    fn all_examined_pipelines_validate() {
-        for w in workloads() {
-            if let Some(p) = w.pipeline(Scale::TEST) {
-                assert_eq!(p.validate(), Ok(()), "{}", p.name);
-            }
-        }
-    }
-
-    #[test]
-    fn kmeans_recopies_features_each_iteration() {
-        let p = kmeans(Scale::TEST);
-        let feature_copies = p
-            .stages
-            .iter()
-            .filter_map(|s| s.as_copy())
-            .filter(|c| p.buffer(c.buf).name == "features")
-            .count();
-        assert!(feature_copies >= 3, "got {feature_copies}");
-    }
-
-    #[test]
-    fn srad_has_five_gpu_temp_planes() {
-        let p = srad(Scale::TEST);
-        let temps = p.buffers.iter().filter(|b| !b.mirrored).count();
-        assert_eq!(temps, 5);
-        // Together they exceed the image itself: big fault surface.
-        let temp_bytes: u64 = p
-            .buffers
-            .iter()
-            .filter(|b| !b.mirrored)
-            .map(|b| b.bytes)
-            .sum();
-        let image_bytes = p.buffers.iter().find(|b| b.name == "image").unwrap().bytes;
-        assert!(temp_bytes >= 5 * image_bytes);
-    }
-
-    #[test]
-    fn dwt_is_cpu_heavy() {
-        let p = dwt(Scale::TEST);
-        let cpu_instr: u64 = p
-            .stages
-            .iter()
-            .filter_map(|s| s.as_compute())
-            .filter(|c| c.exec == crate::ir::ExecKind::Cpu)
-            .map(|c| c.instructions)
-            .sum();
-        let gpu_instr: u64 = p
-            .stages
-            .iter()
-            .filter_map(|s| s.as_compute())
-            .filter(|c| c.exec == crate::ir::ExecKind::Gpu)
-            .map(|c| c.instructions)
-            .sum();
-        assert!(cpu_instr > gpu_instr / 2, "dwt should have heavy CPU work");
-    }
-
-    #[test]
-    fn heartwall_frame_copies_are_sticky() {
-        let p = heartwall(Scale::TEST);
-        assert!(p.residual_copies() >= 3);
-    }
-
-    #[test]
-    fn nw_wavefront_is_serial() {
-        let p = nw(Scale::TEST);
-        assert!(p
-            .stages
-            .iter()
-            .filter_map(|s| s.as_compute())
-            .filter(|c| c.name.starts_with("diag_fwd"))
-            .all(|c| !c.chunkable));
-    }
-}
-
 /// rodinia/btree — B+tree bulk queries: two traversal kernels over a
 /// pointer-linked tree. Not examined in the paper (did not run in
 /// gem5-gpu); modeled so the full suite is runnable.
@@ -920,4 +824,100 @@ pub fn myocyte(scale: Scale) -> Pipeline {
     }
     b.d2h(state);
     b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_two_workloads_eighteen_examined() {
+        let w = workloads();
+        assert_eq!(w.len(), 22);
+        assert_eq!(w.iter().filter(|w| w.meta.examined).count(), 18);
+    }
+
+    #[test]
+    fn table_ii_row_matches_paper() {
+        let w = workloads();
+        assert_eq!(w.iter().filter(|w| w.meta.pc_comm).count(), 19);
+        assert_eq!(w.iter().filter(|w| w.meta.pipe_parallel).count(), 18);
+        assert_eq!(w.iter().filter(|w| w.meta.regular).count(), 19);
+        assert_eq!(w.iter().filter(|w| w.meta.irregular).count(), 6);
+        assert_eq!(w.iter().filter(|w| w.meta.sw_queue).count(), 0);
+    }
+
+    #[test]
+    fn all_examined_pipelines_validate() {
+        for w in workloads() {
+            if let Some(p) = w.pipeline(Scale::TEST) {
+                assert_eq!(p.validate(), Ok(()), "{}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_recopies_features_each_iteration() {
+        let p = kmeans(Scale::TEST);
+        let feature_copies = p
+            .stages
+            .iter()
+            .filter_map(|s| s.as_copy())
+            .filter(|c| p.buffer(c.buf).name == "features")
+            .count();
+        assert!(feature_copies >= 3, "got {feature_copies}");
+    }
+
+    #[test]
+    fn srad_has_five_gpu_temp_planes() {
+        let p = srad(Scale::TEST);
+        let temps = p.buffers.iter().filter(|b| !b.mirrored).count();
+        assert_eq!(temps, 5);
+        // Together they exceed the image itself: big fault surface.
+        let temp_bytes: u64 = p
+            .buffers
+            .iter()
+            .filter(|b| !b.mirrored)
+            .map(|b| b.bytes)
+            .sum();
+        let image_bytes = p.buffers.iter().find(|b| b.name == "image").unwrap().bytes;
+        assert!(temp_bytes >= 5 * image_bytes);
+    }
+
+    #[test]
+    fn dwt_is_cpu_heavy() {
+        let p = dwt(Scale::TEST);
+        let cpu_instr: u64 = p
+            .stages
+            .iter()
+            .filter_map(|s| s.as_compute())
+            .filter(|c| c.exec == crate::ir::ExecKind::Cpu)
+            .map(|c| c.instructions)
+            .sum();
+        let gpu_instr: u64 = p
+            .stages
+            .iter()
+            .filter_map(|s| s.as_compute())
+            .filter(|c| c.exec == crate::ir::ExecKind::Gpu)
+            .map(|c| c.instructions)
+            .sum();
+        assert!(cpu_instr > gpu_instr / 2, "dwt should have heavy CPU work");
+    }
+
+    #[test]
+    fn heartwall_frame_copies_are_sticky() {
+        let p = heartwall(Scale::TEST);
+        assert!(p.residual_copies() >= 3);
+    }
+
+    #[test]
+    fn nw_wavefront_is_serial() {
+        let p = nw(Scale::TEST);
+        assert!(p
+            .stages
+            .iter()
+            .filter_map(|s| s.as_compute())
+            .filter(|c| c.name.starts_with("diag_fwd"))
+            .all(|c| !c.chunkable));
+    }
 }

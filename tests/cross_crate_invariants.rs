@@ -4,7 +4,6 @@
 use heteropipe::{lower, run, Organization, SystemConfig};
 use heteropipe_sim::Ps;
 use heteropipe_workloads::{Pattern, Pipeline, PipelineBuilder};
-use proptest::prelude::*;
 
 /// Builds a small random-but-valid pipeline from a compact genome.
 fn synth_pipeline(genome: &[u8]) -> Pipeline {
@@ -49,65 +48,79 @@ fn synth_pipeline(genome: &[u8]) -> Pipeline {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any synthetic pipeline lowers to an acyclic graph on both platforms
-    /// under every organization, and all tasks execute.
-    #[test]
-    fn lowering_always_yields_a_dag(genome in proptest::collection::vec(any::<u8>(), 16)) {
+/// Any synthetic pipeline lowers to an acyclic graph on both platforms
+/// under every organization, and all tasks execute.
+#[test]
+fn lowering_always_yields_a_dag() {
+    heteropipe_sim::check::cases(24, 0xDA6, |g| {
+        let genome = g.bytes(16);
         let p = synth_pipeline(&genome);
         let configs = [
             (SystemConfig::discrete(), Organization::Serial),
-            (SystemConfig::discrete(), Organization::AsyncStreams { streams: 3 }),
+            (
+                SystemConfig::discrete(),
+                Organization::AsyncStreams { streams: 3 },
+            ),
             (SystemConfig::heterogeneous(), Organization::Serial),
-            (SystemConfig::heterogeneous(), Organization::ChunkedParallel { chunks: 3 }),
+            (
+                SystemConfig::heterogeneous(),
+                Organization::ChunkedParallel { chunks: 3 },
+            ),
         ];
         for (cfg, org) in configs {
-            let g = lower(&p, &cfg, org, false);
-            for t in &g.tasks {
+            let graph = lower(&p, &cfg, org, false);
+            for t in &graph.tasks {
                 for d in &t.deps {
-                    prop_assert!(d.0 < t.id.0, "forward dep in {org}");
+                    assert!(d.0 < t.id.0, "forward dep in {org}");
                 }
             }
-            prop_assert!(!g.tasks.is_empty());
+            assert!(!graph.tasks.is_empty());
         }
-    }
+    });
+}
 
-    /// Running any synthetic pipeline terminates with conserved accounting:
-    /// classifier total equals off-chip traffic, footprint partition sums,
-    /// ROI covers the busiest component.
-    #[test]
-    fn runner_conserves_accounting(genome in proptest::collection::vec(any::<u8>(), 16)) {
+/// Running any synthetic pipeline terminates with conserved accounting:
+/// classifier total equals off-chip traffic, footprint partition sums,
+/// ROI covers the busiest component.
+#[test]
+fn runner_conserves_accounting() {
+    heteropipe_sim::check::cases(24, 0xACC7, |g| {
+        let genome = g.bytes(16);
         let p = synth_pipeline(&genome);
         for cfg in [SystemConfig::discrete(), SystemConfig::heterogeneous()] {
             let r = run::run(&p, &cfg, Organization::Serial, false);
-            prop_assert!(r.roi > Ps::ZERO);
-            prop_assert_eq!(r.classes.total(), r.offchip_fetches + r.offchip_writebacks);
+            assert!(r.roi > Ps::ZERO);
+            assert_eq!(r.classes.total(), r.offchip_fetches + r.offchip_writebacks);
             let fp: u64 = r.footprint.iter().map(|(_, b)| b).sum();
-            prop_assert_eq!(fp, r.total_footprint);
-            prop_assert!(r.busy.cpu <= r.roi + Ps::from_nanos(1));
-            prop_assert!(r.busy.gpu <= r.roi + Ps::from_nanos(1));
-            prop_assert!(r.busy.copy <= r.roi + Ps::from_nanos(1));
+            assert_eq!(fp, r.total_footprint);
+            assert!(r.busy.cpu <= r.roi + Ps::from_nanos(1));
+            assert!(r.busy.gpu <= r.roi + Ps::from_nanos(1));
+            assert!(r.busy.copy <= r.roi + Ps::from_nanos(1));
         }
-    }
+    });
+}
 
-    /// Organizations move *time*, not semantics: chunking may change
-    /// off-chip traffic through the caches (a chunk that newly fits in
-    /// cache can eliminate nearly all capacity misses; chunked gathers can
-    /// also thrash), but the traffic always stays within the plausible
-    /// cache-reshaping envelope and never vanishes entirely (compulsory
-    /// traffic survives).
-    #[test]
-    fn organizations_move_time_not_data(genome in proptest::collection::vec(any::<u8>(), 16)) {
+/// Organizations move *time*, not semantics: chunking may change
+/// off-chip traffic through the caches (a chunk that newly fits in
+/// cache can eliminate nearly all capacity misses; chunked gathers can
+/// also thrash), but the traffic always stays within the plausible
+/// cache-reshaping envelope and never vanishes entirely (compulsory
+/// traffic survives).
+#[test]
+fn organizations_move_time_not_data() {
+    heteropipe_sim::check::cases(24, 0x0265, |g| {
+        let genome = g.bytes(16);
         let p = synth_pipeline(&genome);
         let cfg = SystemConfig::heterogeneous();
         let serial = run::run(&p, &cfg, Organization::Serial, false);
         let chunked = run::run(&p, &cfg, Organization::ChunkedParallel { chunks: 4 }, false);
-        prop_assert!(chunked.offchip_bytes > 0, "compulsory traffic must survive");
+        assert!(chunked.offchip_bytes > 0, "compulsory traffic must survive");
         let ratio = chunked.offchip_bytes as f64 / serial.offchip_bytes.max(1) as f64;
-        prop_assert!((0.02..=8.0).contains(&ratio), "off-chip bytes ratio {ratio}");
-    }
+        assert!(
+            (0.02..=8.0).contains(&ratio),
+            "off-chip bytes ratio {ratio}"
+        );
+    });
 }
 
 /// Deterministic smoke: the synthetic generator itself is deterministic and
