@@ -7,3 +7,7 @@ cargo fmt --all -- --check
 cargo clippy --release --all-targets -- -D warnings
 cargo build --release
 cargo test -q --release
+
+# Server smoke: ephemeral port, /healthz + one POST /v1/run through the
+# std-only client, warm repeat must be a byte-identical cache hit.
+cargo run --release -p heteropipe-bench --bin smoke

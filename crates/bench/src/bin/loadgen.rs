@@ -1,0 +1,151 @@
+//! `loadgen`: load-generate against the simulation service.
+//!
+//! Starts an in-process server over a shared engine (or targets an
+//! already-running one via `--addr`), replays a mixed request stream from
+//! `--threads` concurrent clients, and reports throughput and latency
+//! percentiles. After a warmup pass the run jobs are all cache hits, so
+//! the numbers measure the serving path, not the simulator.
+//!
+//! ```text
+//! cargo run --release -p heteropipe-bench --bin loadgen -- \
+//!     --scale 0.08 --threads 8 --requests 200 [--csv]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use heteropipe_serve::json::Json;
+use heteropipe_serve::server::ServerConfig;
+use heteropipe_serve::{api, Client};
+use heteropipe_sim::Histogram;
+
+/// The replayed mix: light reads and cache-served runs, weighted toward
+/// the run endpoint the service exists for.
+fn request_mix(scale: f64) -> Vec<(&'static str, &'static str, Option<Json>)> {
+    let run = |bench: &str| {
+        Some(Json::Obj(vec![
+            ("benchmark".into(), Json::str(bench)),
+            ("system".into(), Json::str("discrete")),
+            ("organization".into(), Json::str("serial")),
+            ("scale".into(), Json::F64(scale)),
+        ]))
+    };
+    vec![
+        ("GET", "/healthz", None),
+        ("POST", "/v1/run", run("rodinia/kmeans")),
+        ("POST", "/v1/run", run("rodinia/srad")),
+        ("GET", "/metrics", None),
+        ("POST", "/v1/run", run("pannotia/pr")),
+        ("POST", "/v1/run", run("rodinia/kmeans")),
+    ]
+}
+
+fn main() {
+    let args = heteropipe_bench::HarnessArgs::parse();
+    let threads = args.threads.unwrap_or(4);
+    let requests = args.requests.unwrap_or(200);
+    let scale = args.scale.factor();
+
+    // Either drive a remote server or spin one up in-process.
+    let (target, local) = match &args.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let cfg = ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: threads.max(4),
+                max_inflight: args.max_inflight.unwrap_or(256),
+                ..ServerConfig::default()
+            };
+            let engine = Arc::new(args.engine());
+            let handle = api::serve(cfg, Arc::clone(&engine))
+                .unwrap_or_else(|e| panic!("could not bind server: {e}"));
+            (handle.addr().to_string(), Some((handle, engine)))
+        }
+    };
+    let mix = request_mix(scale);
+
+    // Warmup: populate the engine cache so the timed phase measures the
+    // serving path at steady state.
+    let mut warm = Client::new(target.clone());
+    for (method, path, body) in &mix {
+        let resp = match (*method, body) {
+            ("POST", Some(body)) => warm.post_json(path, body),
+            _ => warm.get(path),
+        }
+        .unwrap_or_else(|e| panic!("warmup {method} {path} failed: {e}"));
+        assert_eq!(resp.status, 200, "warmup {method} {path}: {}", resp.status);
+    }
+    drop(warm);
+
+    let start = Instant::now();
+    let per_thread: Vec<(Histogram, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let target = target.clone();
+                let mix = &mix;
+                s.spawn(move || {
+                    let mut lat = Histogram::new();
+                    let mut errors = 0u64;
+                    let mut client = Client::new(target);
+                    for i in 0..requests {
+                        let (method, path, body) = &mix[(t + i) % mix.len()];
+                        let sent = Instant::now();
+                        let ok = match (*method, body) {
+                            ("POST", Some(body)) => client.post_json(path, body),
+                            _ => client.get(path),
+                        }
+                        .map(|r| r.status == 200)
+                        .unwrap_or(false);
+                        lat.record(sent.elapsed().as_micros() as u64);
+                        if !ok {
+                            errors += 1;
+                        }
+                    }
+                    (lat, errors)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = start.elapsed();
+
+    let mut lat = Histogram::new();
+    let mut errors = 0u64;
+    for (h, e) in &per_thread {
+        lat.merge(h);
+        errors += e;
+    }
+    let total = lat.count();
+    let rps = total as f64 / elapsed.as_secs_f64();
+
+    if args.csv {
+        println!("threads,requests,errors,elapsed_s,req_per_s,p50_us,p99_us,mean_us,max_us");
+        println!(
+            "{threads},{total},{errors},{:.3},{rps:.1},{},{},{:.1},{}",
+            elapsed.as_secs_f64(),
+            lat.percentile(0.50),
+            lat.percentile(0.99),
+            lat.mean(),
+            lat.max(),
+        );
+    } else {
+        println!("loadgen: {threads} threads x {requests} requests against {target}");
+        println!(
+            "  {total} requests in {:.3} s ({rps:.1} req/s), {errors} errors",
+            elapsed.as_secs_f64()
+        );
+        println!(
+            "  latency: p50 {} us, p99 {} us, mean {:.1} us, max {} us",
+            lat.percentile(0.50),
+            lat.percentile(0.99),
+            lat.mean(),
+            lat.max(),
+        );
+    }
+
+    if let Some((handle, engine)) = local {
+        handle.shutdown_and_join();
+        heteropipe_bench::finish(&engine);
+    }
+    assert_eq!(errors, 0, "load run saw non-200 responses");
+}

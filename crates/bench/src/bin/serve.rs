@@ -1,0 +1,44 @@
+//! `serve`: run the simulation service.
+//!
+//! Binds an HTTP server over a shared, disk-cached engine and serves the
+//! heteropipe API until SIGINT/SIGTERM, then drains in-flight requests and
+//! prints the engine's metrics footer.
+//!
+//! ```text
+//! cargo run --release -p heteropipe-bench --bin serve -- \
+//!     --addr 127.0.0.1:7878 --threads 8 --max-inflight 64
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use heteropipe_serve::server::ServerConfig;
+use heteropipe_serve::{api, shutdown};
+
+fn main() {
+    let args = heteropipe_bench::HarnessArgs::parse();
+    let mut cfg = ServerConfig::default();
+    if let Some(addr) = &args.addr {
+        cfg.addr = addr.clone();
+    }
+    if let Some(threads) = args.threads {
+        cfg.threads = threads;
+    }
+    if let Some(max_inflight) = args.max_inflight {
+        cfg.max_inflight = max_inflight;
+    }
+
+    let engine = Arc::new(args.engine());
+    let handle = api::serve(cfg, Arc::clone(&engine)).unwrap_or_else(|e| {
+        panic!("could not bind server: {e}");
+    });
+    eprintln!("serve: listening on http://{}", handle.addr());
+
+    shutdown::install();
+    while !shutdown::signaled() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("serve: shutting down, draining in-flight requests");
+    handle.shutdown_and_join();
+    heteropipe_bench::finish(&engine);
+}

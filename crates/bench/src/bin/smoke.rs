@@ -1,0 +1,66 @@
+//! `smoke`: the CI server smoke test.
+//!
+//! Starts the service on an ephemeral port, checks `/healthz`, executes
+//! one benchmark through `POST /v1/run` (twice — the repeat must be a
+//! byte-identical cache hit), and shuts down gracefully. Exits non-zero
+//! on any failure, so `ci.sh` can gate on it. Runs at test scale so the
+//! whole check takes seconds.
+
+use std::sync::Arc;
+
+use heteropipe_serve::json::Json;
+use heteropipe_serve::server::ServerConfig;
+use heteropipe_serve::{api, Client};
+
+fn main() {
+    let args = heteropipe_bench::HarnessArgs::parse();
+    let cfg = ServerConfig {
+        addr: args.addr.clone().unwrap_or_else(|| "127.0.0.1:0".into()),
+        threads: args.threads.unwrap_or(2),
+        max_inflight: args.max_inflight.unwrap_or(16),
+        ..ServerConfig::default()
+    };
+    let engine = Arc::new(heteropipe_engine::Engine::new().memory_cache_only());
+    let handle = api::serve(cfg, Arc::clone(&engine))
+        .unwrap_or_else(|e| panic!("could not bind server: {e}"));
+    let mut client = Client::new(handle.addr().to_string());
+
+    let health = client.get("/healthz").expect("GET /healthz");
+    assert_eq!(health.status, 200, "healthz status");
+    assert_eq!(
+        health.json().and_then(|v| v.get("status").cloned()),
+        Some(Json::str("ok")),
+        "healthz body"
+    );
+
+    let body = Json::Obj(vec![
+        ("benchmark".into(), Json::str("rodinia/kmeans")),
+        ("system".into(), Json::str("discrete")),
+        ("organization".into(), Json::str("serial")),
+        ("scale".into(), Json::F64(0.08)),
+    ]);
+    let cold = client.post_json("/v1/run", &body).expect("POST /v1/run");
+    assert_eq!(cold.status, 200, "run status");
+    let report = cold.json().expect("run response parses as JSON");
+    assert_eq!(
+        report.get("benchmark").and_then(Json::as_str),
+        Some("rodinia/kmeans"),
+        "report names its benchmark"
+    );
+    assert!(
+        report.get("roi_ps").and_then(Json::as_u64).unwrap_or(0) > 0,
+        "report has a positive ROI"
+    );
+
+    let warm = client
+        .post_json("/v1/run", &body)
+        .expect("warm POST /v1/run");
+    assert_eq!(warm.body, cold.body, "warm repeat must be byte-identical");
+    assert!(
+        engine.metrics().hits() >= 1,
+        "warm repeat must be a cache hit"
+    );
+
+    handle.shutdown_and_join();
+    eprintln!("smoke: ok ({} requests served)", 3);
+}

@@ -26,9 +26,13 @@ use heteropipe_workloads::Scale;
 /// Recognized: `--scale <f64>` (input scale factor, default 1.0),
 /// `--jobs <N>` (concurrent simulations, default: all hardware threads),
 /// `--no-cache` (recompute everything, ignore cached results), and
-/// `--csv` (machine-readable output where supported). Unknown arguments
-/// are rejected with a message listing the accepted ones.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// `--csv` (machine-readable output where supported). The server-facing
+/// binaries add `--addr <host:port>` (bind/target address),
+/// `--threads <N>` (server workers / load-generator clients),
+/// `--max-inflight <N>` (connection limit before 503 backpressure), and
+/// `--requests <N>` (load-generator requests per client). Unknown
+/// arguments are rejected with a message listing the accepted ones.
+#[derive(Debug, Clone, PartialEq)]
 pub struct HarnessArgs {
     /// Input scale for the workload models.
     pub scale: Scale,
@@ -38,6 +42,15 @@ pub struct HarnessArgs {
     pub jobs: Option<usize>,
     /// Whether to bypass the result cache.
     pub no_cache: bool,
+    /// Server bind address (`serve` binary) or target address (`loadgen`,
+    /// `smoke`); `None` uses each binary's default.
+    pub addr: Option<String>,
+    /// Server worker threads / load-generator client threads.
+    pub threads: Option<usize>,
+    /// Server connection limit before 503 backpressure kicks in.
+    pub max_inflight: Option<usize>,
+    /// Requests per load-generator thread.
+    pub requests: Option<usize>,
 }
 
 impl HarnessArgs {
@@ -59,8 +72,18 @@ impl HarnessArgs {
             csv: false,
             jobs: None,
             no_cache: false,
+            addr: None,
+            threads: None,
+            max_inflight: None,
+            requests: None,
         };
         let mut it = args.into_iter();
+        let positive = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+            it.next()
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| panic!("{flag} requires a positive integer"))
+        };
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--scale" => {
@@ -70,18 +93,25 @@ impl HarnessArgs {
                         .unwrap_or_else(|| panic!("--scale requires a positive number"));
                     out.scale = Scale::new(v);
                 }
-                "--jobs" => {
-                    let v = it
-                        .next()
-                        .and_then(|s| s.parse::<usize>().ok())
-                        .filter(|&n| n > 0)
-                        .unwrap_or_else(|| panic!("--jobs requires a positive integer"));
-                    out.jobs = Some(v);
-                }
+                "--jobs" => out.jobs = Some(positive(&mut it, "--jobs")),
                 "--no-cache" => out.no_cache = true,
                 "--csv" => out.csv = true,
+                "--addr" => {
+                    out.addr = Some(
+                        it.next()
+                            .filter(|s| !s.is_empty())
+                            .unwrap_or_else(|| panic!("--addr requires host:port")),
+                    );
+                }
+                "--threads" => out.threads = Some(positive(&mut it, "--threads")),
+                "--max-inflight" => {
+                    out.max_inflight = Some(positive(&mut it, "--max-inflight"));
+                }
+                "--requests" => out.requests = Some(positive(&mut it, "--requests")),
                 other => panic!(
-                    "unknown argument {other}; accepted: --scale <f64>, --jobs <N>, --no-cache, --csv"
+                    "unknown argument {other}; accepted: --scale <f64>, --jobs <N>, \
+                     --no-cache, --csv, --addr <host:port>, --threads <N>, \
+                     --max-inflight <N>, --requests <N>"
                 ),
             }
         }
@@ -159,6 +189,36 @@ mod tests {
     fn cached_engine_by_default() {
         let a = HarnessArgs::from_iter(Vec::new());
         assert!(a.engine().cache().is_some());
+    }
+
+    #[test]
+    fn parses_server_flags() {
+        let a = args(&[
+            "--addr",
+            "127.0.0.1:9000",
+            "--threads",
+            "8",
+            "--max-inflight",
+            "128",
+            "--requests",
+            "500",
+        ]);
+        assert_eq!(a.addr.as_deref(), Some("127.0.0.1:9000"));
+        assert_eq!(a.threads, Some(8));
+        assert_eq!(a.max_inflight, Some(128));
+        assert_eq!(a.requests, Some(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "--addr requires")]
+    fn rejects_missing_addr() {
+        HarnessArgs::from_iter(["--addr".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads requires")]
+    fn rejects_zero_threads() {
+        HarnessArgs::from_iter(["--threads".to_string(), "0".to_string()]);
     }
 
     #[test]

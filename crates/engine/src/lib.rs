@@ -116,6 +116,15 @@ impl Default for Engine {
     }
 }
 
+// The server in `heteropipe-serve` shares one engine across worker
+// threads behind an `Arc`; these assertions keep that contract explicit.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<ResultCache>();
+    assert_send_sync::<RunMetrics>();
+};
+
 impl Executor for Engine {
     fn execute(&self, job: &JobSpec<'_>) -> RunReport {
         let Some(cache) = &self.cache else {
@@ -277,6 +286,67 @@ mod tests {
         let m = engine.metrics();
         assert_eq!(m.jobs_executed, 2);
         assert_eq!(m.hits(), 0);
+    }
+
+    #[test]
+    fn concurrent_executions_share_cache_without_corruption() {
+        // Eight threads hammer one disk-backed engine with the same two
+        // jobs: every result must be the deterministic report, and every
+        // cache file written under the race must decode cleanly.
+        use heteropipe::DirectExecutor;
+        let dir = temp_dir("concurrent");
+        let p1 = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let p2 = registry::find("rodinia/srad")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::discrete();
+        let expected = [
+            DirectExecutor::with_jobs(1).execute(&kmeans_spec(&p1, &cfg)),
+            DirectExecutor::with_jobs(1).execute(&kmeans_spec(&p2, &cfg)),
+        ];
+
+        let engine = std::sync::Arc::new(Engine::new().with_cache_dir(&dir));
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let engine = std::sync::Arc::clone(&engine);
+                let (p1, p2, cfg, expected) = (&p1, &p2, &cfg, &expected);
+                s.spawn(move || {
+                    for round in 0..3 {
+                        let p = if (t + round) % 2 == 0 { p1 } else { p2 };
+                        let got = engine.execute(&kmeans_spec(p, cfg));
+                        let want = &expected[usize::from(got.benchmark == expected[1].benchmark)];
+                        assert_eq!(&got, want, "thread {t} round {round}");
+                    }
+                });
+            }
+        });
+
+        let m = engine.metrics();
+        assert_eq!(m.jobs_total(), 24);
+        assert!(
+            m.jobs_executed >= 2,
+            "both distinct jobs simulated at least once"
+        );
+        assert!(m.hits() > 0, "racing threads must reuse results");
+
+        // Every .hpr the race left behind must be a decodable report.
+        let mut files = 0;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "hpr") {
+                files += 1;
+                let bytes = std::fs::read(&path).unwrap();
+                let report = codec::decode(&bytes)
+                    .unwrap_or_else(|| panic!("{} is corrupt", path.display()));
+                assert!(expected.contains(&report));
+            }
+        }
+        assert_eq!(files, 2, "one intact cache file per distinct job");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

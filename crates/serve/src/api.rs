@@ -1,0 +1,474 @@
+//! The HTTP API over the engine: health, metrics, the benchmark catalog,
+//! single runs, and whole-experiment renders.
+//!
+//! Responses are built from [`crate::json::Json`] values whose object keys
+//! are emitted in insertion order, and [`heteropipe::RunReport`] is
+//! float-free, so a `POST /v1/run` answered from the cache is
+//! byte-identical to the cold response that populated it.
+
+use std::sync::{Arc, OnceLock};
+
+use heteropipe::experiments::{characterize_all_with, fig3, fig456, fig78, fig9, tables};
+use heteropipe::{AccessClass, Executor, JobSpec, Organization, Platform, RunReport, SystemConfig};
+use heteropipe_engine::Engine;
+use heteropipe_workloads::{registry, Scale, Workload};
+
+use crate::http::{Request, Response};
+use crate::json::Json;
+use crate::server::{Handler, ServerConfig, ServerStats};
+use crate::server::{Server, ServerHandle};
+
+/// The handler implementing the heteropipe-serve routes. Share it via
+/// `Arc`; every worker thread dispatches through the same instance and the
+/// same underlying [`Engine`].
+pub struct Api {
+    engine: Arc<Engine>,
+    stats: OnceLock<Arc<ServerStats>>,
+}
+
+impl Api {
+    /// An API over `engine`.
+    pub fn new(engine: Arc<Engine>) -> Arc<Api> {
+        Arc::new(Api {
+            engine,
+            stats: OnceLock::new(),
+        })
+    }
+
+    /// The engine this API executes against.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Wires in the server's own counters so `/metrics` can report them.
+    /// Called by [`serve`]; later calls are ignored.
+    pub fn attach_stats(&self, stats: Arc<ServerStats>) {
+        let _ = self.stats.set(stats);
+    }
+}
+
+/// Binds and starts a server running [`Api`] over `engine`.
+pub fn serve(cfg: ServerConfig, engine: Arc<Engine>) -> std::io::Result<ServerHandle> {
+    let api = Api::new(engine);
+    let server = Server::bind(cfg, api.clone())?;
+    api.attach_stats(server.stats());
+    Ok(server.start())
+}
+
+impl Handler for Api {
+    fn handle(&self, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => health(),
+            ("GET", "/metrics") => self.metrics(),
+            ("GET", "/v1/benchmarks") => benchmarks(),
+            ("POST", "/v1/run") => self.run(req),
+            ("POST", path) if path.starts_with("/v1/experiments/") => {
+                self.experiment(req, &path["/v1/experiments/".len()..])
+            }
+            (_, "/healthz" | "/metrics" | "/v1/benchmarks") => {
+                Response::error(405, "method not allowed").with_header("Allow", "GET")
+            }
+            (_, "/v1/run") => {
+                Response::error(405, "method not allowed").with_header("Allow", "POST")
+            }
+            (_, path) if path.starts_with("/v1/experiments/") => {
+                Response::error(405, "method not allowed").with_header("Allow", "POST")
+            }
+            _ => Response::error(404, "no such route"),
+        }
+    }
+}
+
+fn health() -> Response {
+    Response::json(200, &Json::Obj(vec![("status".into(), Json::str("ok"))]))
+}
+
+impl Api {
+    fn metrics(&self) -> Response {
+        let e = self.engine.metrics();
+        let engine = Json::Obj(vec![
+            ("jobs_total".into(), Json::U64(e.jobs_total())),
+            ("jobs_executed".into(), Json::U64(e.jobs_executed)),
+            ("memory_hits".into(), Json::U64(e.memory_hits)),
+            ("disk_hits".into(), Json::U64(e.disk_hits)),
+            ("misses".into(), Json::U64(e.misses)),
+            ("failures".into(), Json::U64(e.failures)),
+            ("hit_rate".into(), Json::F64(e.hit_rate())),
+            ("simulated_ps".into(), Json::U64(e.simulated_ps)),
+            ("wall_ns".into(), Json::U64(e.wall_ns)),
+        ]);
+
+        let server = match self.stats.get() {
+            Some(s) => {
+                use std::sync::atomic::Ordering::Relaxed;
+                let lat = s.latency_us.lock().unwrap();
+                Json::Obj(vec![
+                    ("requests".into(), Json::U64(s.requests.load(Relaxed))),
+                    ("in_flight".into(), Json::U64(s.in_flight.load(Relaxed))),
+                    ("rejected_503".into(), Json::U64(s.rejected.load(Relaxed))),
+                    (
+                        "responses".into(),
+                        Json::Obj(vec![
+                            ("2xx".into(), Json::U64(s.status_2xx.load(Relaxed))),
+                            ("4xx".into(), Json::U64(s.status_4xx.load(Relaxed))),
+                            ("5xx".into(), Json::U64(s.status_5xx.load(Relaxed))),
+                        ]),
+                    ),
+                    (
+                        "latency_us".into(),
+                        Json::Obj(vec![
+                            ("count".into(), Json::U64(lat.count())),
+                            ("mean".into(), Json::F64(lat.mean())),
+                            ("p50".into(), Json::U64(lat.percentile(0.50))),
+                            ("p99".into(), Json::U64(lat.percentile(0.99))),
+                            ("max".into(), Json::U64(lat.max())),
+                        ]),
+                    ),
+                ])
+            }
+            None => Json::Null,
+        };
+
+        Response::json(
+            200,
+            &Json::Obj(vec![("engine".into(), engine), ("server".into(), server)]),
+        )
+    }
+
+    fn run(&self, req: &Request) -> Response {
+        let Some(body) = parse_body(req) else {
+            return Response::error(400, "body must be a JSON object");
+        };
+        let Some(name) = body.get("benchmark").and_then(Json::as_str) else {
+            return Response::error(400, "missing field: benchmark");
+        };
+        let Some(workload) = registry::find(name) else {
+            return Response::error(404, &format!("unknown benchmark: {name}"));
+        };
+
+        let config = match body.get("system").and_then(Json::as_str) {
+            None | Some("discrete") => SystemConfig::discrete(),
+            Some("heterogeneous") => SystemConfig::heterogeneous(),
+            Some(other) => {
+                return Response::error(
+                    400,
+                    &format!("unknown system: {other} (discrete | heterogeneous)"),
+                )
+            }
+        };
+
+        let organization = match parse_organization(body.get("organization")) {
+            Ok(org) => org,
+            Err(why) => return Response::error(400, why),
+        };
+        // `lower` panics on a platform/organization mismatch; answer 400
+        // instead of letting the handler's panic guard turn it into a 500.
+        match (config.platform, organization) {
+            (Platform::DiscreteGpu, Organization::ChunkedParallel { .. }) => {
+                return Response::error(400, "chunked_parallel requires the heterogeneous system")
+            }
+            (Platform::Heterogeneous, Organization::AsyncStreams { .. }) => {
+                return Response::error(400, "async_streams requires the discrete system")
+            }
+            _ => {}
+        }
+
+        let scale = match parse_scale(&body) {
+            Ok(scale) => scale,
+            Err(why) => return Response::error(400, why),
+        };
+        let Some(pipeline) = workload.pipeline(scale) else {
+            return Response::error(
+                422,
+                &format!("benchmark {name} is catalogued but not runnable"),
+            );
+        };
+        let misalignment_sensitive = body
+            .get("misalignment_sensitive")
+            .and_then(Json::as_bool)
+            .unwrap_or(workload.meta.misalignment_sensitive);
+
+        let report = self.engine.execute(&JobSpec {
+            pipeline: &pipeline,
+            config: &config,
+            organization,
+            misalignment_sensitive,
+        });
+        Response::json(200, &report_json(&report))
+    }
+
+    fn experiment(&self, req: &Request, name: &str) -> Response {
+        let body = parse_body(req).unwrap_or(Json::Obj(Vec::new()));
+        let scale = match parse_scale(&body) {
+            Ok(scale) => scale,
+            Err(why) => return Response::error(400, why),
+        };
+        let exec: &dyn Executor = &*self.engine;
+
+        let rendered = match name {
+            "fig3" => fig3::render(&fig3::compute_with(exec, scale)),
+            "fig4" => fig456::render_fig4(&fig4_rows(exec, scale)),
+            "fig5" => fig456::render_fig5(&fig456::fig5(&characterize_all_with(exec, scale))),
+            "fig6" => {
+                let pairs = characterize_all_with(exec, scale);
+                fig456::render_fig6_with_effects(&fig456::fig6(&pairs), &pairs)
+            }
+            "fig7" => fig78::render_fig7(&fig78::fig7(&characterize_all_with(exec, scale))),
+            "fig8" => fig78::render_fig8(&fig78::fig8(&characterize_all_with(exec, scale))),
+            "fig9" => fig9::render(&fig9::fig9(&characterize_all_with(exec, scale))),
+            "table1" => tables::render_table1(),
+            "table2" => tables::render_table2(),
+            _ => {
+                return Response::error(
+                    404,
+                    &format!("unknown experiment: {name} (fig3..fig9, table1, table2)"),
+                )
+            }
+        };
+
+        Response::json(
+            200,
+            &Json::Obj(vec![
+                ("experiment".into(), Json::str(name)),
+                ("scale".into(), Json::F64(scale.factor())),
+                ("rendered".into(), Json::str(rendered)),
+            ]),
+        )
+        .into_chunked()
+    }
+}
+
+fn fig4_rows(exec: &dyn Executor, scale: Scale) -> Vec<fig456::Fig4Row> {
+    fig456::fig4(&characterize_all_with(exec, scale))
+}
+
+fn parse_body(req: &Request) -> Option<Json> {
+    if req.body.is_empty() {
+        return None;
+    }
+    let text = std::str::from_utf8(&req.body).ok()?;
+    match Json::parse(text) {
+        Some(v @ Json::Obj(_)) => Some(v),
+        _ => None,
+    }
+}
+
+fn parse_scale(body: &Json) -> Result<Scale, &'static str> {
+    match body.get("scale") {
+        None | Some(Json::Null) => Ok(Scale::PAPER),
+        Some(v) => {
+            let f = v.as_f64().ok_or("scale must be a number")?;
+            if f > 0.0 && f.is_finite() {
+                Ok(Scale::new(f))
+            } else {
+                Err("scale must be a positive finite number")
+            }
+        }
+    }
+}
+
+fn parse_organization(v: Option<&Json>) -> Result<Organization, &'static str> {
+    match v {
+        None | Some(Json::Null) => Ok(Organization::Serial),
+        Some(Json::Str(s)) if s == "serial" => Ok(Organization::Serial),
+        Some(Json::Obj(_)) => {
+            let obj = v.unwrap();
+            if let Some(n) = obj.get("async_streams").and_then(Json::as_u64) {
+                if n == 0 || n > u64::from(u32::MAX) {
+                    return Err("async_streams must be in 1..=u32::MAX");
+                }
+                Ok(Organization::AsyncStreams { streams: n as u32 })
+            } else if let Some(n) = obj.get("chunked_parallel").and_then(Json::as_u64) {
+                if n == 0 || n > u64::from(u32::MAX) {
+                    return Err("chunked_parallel must be in 1..=u32::MAX");
+                }
+                Ok(Organization::ChunkedParallel { chunks: n as u32 })
+            } else {
+                Err("organization object needs async_streams or chunked_parallel")
+            }
+        }
+        Some(_) => Err("organization must be \"serial\" or an object"),
+    }
+}
+
+fn benchmarks() -> Response {
+    let all = registry::all();
+    let examined = all.iter().filter(|w| w.meta.examined).count();
+    let list: Vec<Json> = all.iter().map(benchmark_json).collect();
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("total".into(), Json::U64(all.len() as u64)),
+            ("examined".into(), Json::U64(examined as u64)),
+            ("benchmarks".into(), Json::Arr(list)),
+        ]),
+    )
+    .into_chunked()
+}
+
+fn benchmark_json(w: &Workload) -> Json {
+    let m = &w.meta;
+    Json::Obj(vec![
+        ("name".into(), Json::str(m.full_name())),
+        ("suite".into(), Json::str(m.suite.to_string())),
+        ("examined".into(), Json::Bool(m.examined)),
+        (
+            "runnable".into(),
+            Json::Bool(w.pipeline(Scale::TEST).is_some()),
+        ),
+        ("pc_comm".into(), Json::Bool(m.pc_comm)),
+        ("pipe_parallel".into(), Json::Bool(m.pipe_parallel)),
+        ("regular".into(), Json::Bool(m.regular)),
+        ("irregular".into(), Json::Bool(m.irregular)),
+        ("sw_queue".into(), Json::Bool(m.sw_queue)),
+        (
+            "misalignment_sensitive".into(),
+            Json::Bool(m.misalignment_sensitive),
+        ),
+    ])
+}
+
+/// Renders a [`RunReport`] as a JSON object. Every field is an integer,
+/// string, or bool except `gpu_utilization` (derived, deterministic), so
+/// identical reports always serialize to identical bytes.
+pub fn report_json(r: &RunReport) -> Json {
+    let platform = match r.platform {
+        Platform::DiscreteGpu => "discrete",
+        Platform::Heterogeneous => "heterogeneous",
+    };
+    Json::Obj(vec![
+        ("benchmark".into(), Json::str(r.benchmark.clone())),
+        ("platform".into(), Json::str(platform)),
+        ("organization".into(), Json::str(r.organization.to_string())),
+        ("roi_ps".into(), Json::U64(r.roi.as_picos())),
+        (
+            "busy_ps".into(),
+            Json::Obj(vec![
+                ("copy".into(), Json::U64(r.busy.copy.as_picos())),
+                ("cpu".into(), Json::U64(r.busy.cpu.as_picos())),
+                ("gpu".into(), Json::U64(r.busy.gpu.as_picos())),
+            ]),
+        ),
+        (
+            "exclusive".into(),
+            Json::Arr(
+                r.exclusive
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("components".into(), Json::str(s.components.clone())),
+                            ("ps".into(), Json::U64(s.time.as_picos())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "accesses".into(),
+            Json::Obj(vec![
+                ("copy".into(), Json::U64(r.accesses[0])),
+                ("cpu".into(), Json::U64(r.accesses[1])),
+                ("gpu".into(), Json::U64(r.accesses[2])),
+            ]),
+        ),
+        (
+            "offchip".into(),
+            Json::Obj(vec![
+                ("fetches".into(), Json::U64(r.offchip_fetches)),
+                ("writebacks".into(), Json::U64(r.offchip_writebacks)),
+                ("bytes".into(), Json::U64(r.offchip_bytes)),
+            ]),
+        ),
+        (
+            "classes".into(),
+            Json::Obj(
+                AccessClass::ALL
+                    .iter()
+                    .map(|&c| (c.label().to_string(), Json::U64(r.classes.get(c))))
+                    .collect(),
+            ),
+        ),
+        (
+            "footprint".into(),
+            Json::Arr(
+                r.footprint
+                    .iter()
+                    .map(|&(set, bytes)| {
+                        Json::Obj(vec![
+                            ("components".into(), Json::str(set.label())),
+                            ("bytes".into(), Json::U64(bytes)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("total_footprint_bytes".into(), Json::U64(r.total_footprint)),
+        ("faults".into(), Json::U64(r.faults)),
+        ("c_serial_ps".into(), Json::U64(r.c_serial.as_picos())),
+        ("cpu_flops".into(), Json::U64(r.cpu_flops)),
+        ("gpu_flops".into(), Json::U64(r.gpu_flops)),
+        ("remote_hits".into(), Json::U64(r.remote_hits)),
+        ("bw_limited".into(), Json::Bool(r.bw_limited)),
+        ("gpu_utilization".into(), Json::F64(r.gpu_utilization())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn organization_parsing() {
+        assert_eq!(parse_organization(None), Ok(Organization::Serial));
+        assert_eq!(
+            parse_organization(Some(&Json::str("serial"))),
+            Ok(Organization::Serial)
+        );
+        let streams = Json::Obj(vec![("async_streams".into(), Json::U64(3))]);
+        assert_eq!(
+            parse_organization(Some(&streams)),
+            Ok(Organization::AsyncStreams { streams: 3 })
+        );
+        let chunks = Json::Obj(vec![("chunked_parallel".into(), Json::U64(8))]);
+        assert_eq!(
+            parse_organization(Some(&chunks)),
+            Ok(Organization::ChunkedParallel { chunks: 8 })
+        );
+        assert!(parse_organization(Some(&Json::str("bogus"))).is_err());
+        let zero = Json::Obj(vec![("async_streams".into(), Json::U64(0))]);
+        assert!(parse_organization(Some(&zero)).is_err());
+    }
+
+    #[test]
+    fn scale_parsing_defaults_to_paper() {
+        assert_eq!(parse_scale(&Json::Obj(Vec::new())).unwrap(), Scale::PAPER);
+        let custom = Json::Obj(vec![("scale".into(), Json::F64(0.08))]);
+        assert_eq!(parse_scale(&custom).unwrap(), Scale::new(0.08));
+        let bad = Json::Obj(vec![("scale".into(), Json::F64(-1.0))]);
+        assert!(parse_scale(&bad).is_err());
+    }
+
+    #[test]
+    fn report_json_round_trips_and_is_deterministic() {
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::discrete();
+        let report = heteropipe::run::run(&p, &cfg, Organization::Serial, false);
+        let a = report_json(&report).dump();
+        let b = report_json(&report).dump();
+        assert_eq!(a, b);
+        let parsed = Json::parse(&a).expect("server JSON must parse");
+        assert_eq!(
+            parsed.get("benchmark").and_then(Json::as_str),
+            Some("rodinia/kmeans")
+        );
+        assert_eq!(
+            parsed.get("roi_ps").and_then(Json::as_u64),
+            Some(report.roi.as_picos())
+        );
+        let classes = parsed.get("classes").unwrap();
+        assert!(classes.get("required").and_then(Json::as_u64).is_some());
+    }
+}

@@ -1,0 +1,216 @@
+//! A small blocking HTTP/1.1 client, enough to exercise the server: used
+//! by the integration tests, the CI smoke check, and the load generator.
+//! Keeps one connection alive across requests and reconnects transparently
+//! when the server closes it.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// Response as seen by the client.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Decoded body (Content-Length or chunked).
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses the body as JSON.
+    pub fn json(&self) -> Option<Json> {
+        Json::parse(std::str::from_utf8(&self.body).ok()?)
+    }
+}
+
+/// A keep-alive HTTP/1.1 client for one server address.
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`) with a 30 s I/O timeout.
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            timeout: Duration::from_secs(30),
+            conn: None,
+        }
+    }
+
+    /// Overrides the per-operation I/O timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sends a GET and reads the response.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// Sends a POST with a JSON body and reads the response.
+    pub fn post_json(&mut self, path: &str, body: &Json) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, Some(body.dump().into_bytes()))
+    }
+
+    /// Sends a POST with a raw body (still labelled `application/json`).
+    pub fn post_raw(&mut self, path: &str, body: Vec<u8>) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn connect(&self) -> std::io::Result<BufReader<TcpStream>> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(BufReader::new(stream))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<Vec<u8>>,
+    ) -> std::io::Result<ClientResponse> {
+        // One retry: a kept-alive connection may have been closed by the
+        // server between requests; a fresh connection gets a clean answer.
+        let reused = self.conn.is_some();
+        match self.try_request(method, path, body.as_deref()) {
+            Ok(resp) => Ok(resp),
+            Err(e) if reused => {
+                self.conn = None;
+                let _ = e;
+                self.try_request(method, path, body.as_deref())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<ClientResponse> {
+        if self.conn.is_none() {
+            self.conn = Some(self.connect()?);
+        }
+        let conn = self.conn.as_mut().unwrap();
+
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n", self.addr);
+        if let Some(body) = body {
+            head.push_str("Content-Type: application/json\r\n");
+            head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        head.push_str("\r\n");
+        let stream = conn.get_mut();
+        stream.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            stream.write_all(body)?;
+        }
+        stream.flush()?;
+
+        let resp = read_response(conn)?;
+        if resp
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        {
+            self.conn = None;
+        }
+        Ok(resp)
+    }
+}
+
+fn bad(why: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, why.to_string())
+}
+
+fn read_line(r: &mut impl BufRead) -> std::io::Result<String> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed",
+        ));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Reads one HTTP/1.1 response (status line, headers, body) from `r`.
+pub fn read_response(r: &mut impl BufRead) -> std::io::Result<ClientResponse> {
+    let status_line = read_line(r)?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("not an HTTP/1.x response"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("unparseable status code"))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad("header missing colon"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let mut body = Vec::new();
+    if find("transfer-encoding").is_some_and(|v| v.to_ascii_lowercase().contains("chunked")) {
+        loop {
+            let size_line = read_line(r)?;
+            let size_hex = size_line.split(';').next().unwrap_or("").trim();
+            let size = usize::from_str_radix(size_hex, 16).map_err(|_| bad("bad chunk size"))?;
+            if size == 0 {
+                // Trailers (we send none, but stay correct) then final CRLF.
+                while !read_line(r)?.is_empty() {}
+                break;
+            }
+            let start = body.len();
+            body.resize(start + size, 0);
+            r.read_exact(&mut body[start..])?;
+            let mut crlf = [0u8; 2];
+            r.read_exact(&mut crlf)?;
+        }
+    } else if let Some(len) = find("content-length") {
+        let len: usize = len.parse().map_err(|_| bad("bad content-length"))?;
+        body.resize(len, 0);
+        r.read_exact(&mut body)?;
+    }
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}

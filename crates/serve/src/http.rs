@@ -1,0 +1,493 @@
+//! Hand-rolled HTTP/1.1: request parsing and response writing over any
+//! `BufRead`/`Write` pair.
+//!
+//! The server only needs the subset the API speaks: request lines with
+//! origin-form targets, header fields, `Content-Length` and chunked request
+//! bodies, keep-alive negotiation, and `Content-Length` or chunked
+//! responses. Every limit (line length, header count, body size) is
+//! explicit, and any malformation surfaces as a typed [`ReadError`] the
+//! connection loop maps to a 4xx response — parsing never panics.
+
+use std::io::{self, BufRead, Write};
+
+/// Parsing limits, chosen for an API whose largest legitimate payload is a
+/// small JSON document.
+pub mod limits {
+    /// Longest accepted request/status/header line, bytes.
+    pub const MAX_LINE: usize = 8 * 1024;
+    /// Most header fields per message.
+    pub const MAX_HEADERS: usize = 64;
+    /// Largest accepted request body, bytes.
+    pub const MAX_BODY: usize = 1024 * 1024;
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercase as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path component of the target (no query string).
+    pub path: String,
+    /// Raw query string (empty when absent).
+    pub query: String,
+    /// Header fields in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when none was sent).
+    pub body: Vec<u8>,
+    /// Whether the request was HTTP/1.0 (affects keep-alive default).
+    pub http10: bool,
+}
+
+impl Request {
+    /// First header with the given lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after this exchange:
+    /// HTTP/1.1 unless `Connection: close`, HTTP/1.0 only with an explicit
+    /// `Connection: keep-alive`.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => !self.http10,
+        }
+    }
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection cleanly before sending anything.
+    Closed,
+    /// The read timed out. `mid_request` distinguishes an idle keep-alive
+    /// connection going quiet (close silently) from a stalled sender
+    /// (answer 408).
+    Timeout {
+        /// Whether any bytes of a request had already arrived.
+        mid_request: bool,
+    },
+    /// A line, header block, or body exceeded its limit (maps to 413/431).
+    TooLarge,
+    /// The bytes were not valid HTTP (maps to 400).
+    Malformed(&'static str),
+    /// Transport error.
+    Io(io::Error),
+}
+
+impl ReadError {
+    fn from_io(e: io::Error, mid_request: bool) -> ReadError {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+                ReadError::Timeout { mid_request }
+            }
+            io::ErrorKind::UnexpectedEof if !mid_request => ReadError::Closed,
+            _ => ReadError::Io(e),
+        }
+    }
+}
+
+/// Reads one line up to CRLF (or bare LF), without the terminator.
+fn read_line(r: &mut impl BufRead, started: &mut bool) -> Result<String, ReadError> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                return if buf.is_empty() && !*started {
+                    Err(ReadError::Closed)
+                } else {
+                    Err(ReadError::Malformed("connection closed mid-line"))
+                };
+            }
+            Ok(_) => {
+                *started = true;
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    return String::from_utf8(buf)
+                        .map_err(|_| ReadError::Malformed("non-UTF-8 header bytes"));
+                }
+                if buf.len() >= limits::MAX_LINE {
+                    return Err(ReadError::TooLarge);
+                }
+                buf.push(byte[0]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ReadError::from_io(e, *started)),
+        }
+    }
+}
+
+fn read_exact_limited(r: &mut impl BufRead, n: usize, out: &mut Vec<u8>) -> Result<(), ReadError> {
+    if out.len() + n > limits::MAX_BODY {
+        return Err(ReadError::TooLarge);
+    }
+    let start = out.len();
+    out.resize(start + n, 0);
+    r.read_exact(&mut out[start..])
+        .map_err(|e| ReadError::from_io(e, true))
+}
+
+/// Reads and parses one request from `r`.
+///
+/// `Err(Closed)` means the peer hung up between requests (the normal end of
+/// a keep-alive session); other errors map to 4xx responses or a silent
+/// close, per [`ReadError`].
+pub fn read_request(r: &mut impl BufRead) -> Result<Request, ReadError> {
+    let mut started = false;
+    let line = read_line(r, &mut started)?;
+    let mut parts = line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+        .ok_or(ReadError::Malformed("bad method"))?
+        .to_owned();
+    let target = parts
+        .next()
+        .filter(|t| t.starts_with('/'))
+        .ok_or(ReadError::Malformed("bad target"))?;
+    let version = parts
+        .next()
+        .ok_or(ReadError::Malformed("missing version"))?;
+    if parts.next().is_some() {
+        return Err(ReadError::Malformed("extra request-line fields"));
+    }
+    let http10 = match version {
+        "HTTP/1.1" => false,
+        "HTTP/1.0" => true,
+        _ => return Err(ReadError::Malformed("unsupported HTTP version")),
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r, &mut started)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits::MAX_HEADERS {
+            return Err(ReadError::TooLarge);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ReadError::Malformed("header without colon"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ReadError::Malformed("bad header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let mut req = Request {
+        method,
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+        http10,
+    };
+
+    let chunked = req
+        .header("transfer-encoding")
+        .map(|v| v.eq_ignore_ascii_case("chunked"))
+        .unwrap_or(false);
+    if chunked {
+        req.body = read_chunked_body(r, &mut started)?;
+    } else if let Some(cl) = req.header("content-length") {
+        let n: usize = cl
+            .parse()
+            .map_err(|_| ReadError::Malformed("bad content-length"))?;
+        if n > limits::MAX_BODY {
+            return Err(ReadError::TooLarge);
+        }
+        let mut body = Vec::new();
+        read_exact_limited(r, n, &mut body)?;
+        req.body = body;
+    }
+    Ok(req)
+}
+
+fn read_chunked_body(r: &mut impl BufRead, started: &mut bool) -> Result<Vec<u8>, ReadError> {
+    let mut body = Vec::new();
+    loop {
+        let size_line = read_line(r, started)?;
+        let size_hex = size_line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_hex, 16)
+            .map_err(|_| ReadError::Malformed("bad chunk size"))?;
+        if size == 0 {
+            // Trailer section: lines until the empty one.
+            loop {
+                if read_line(r, started)?.is_empty() {
+                    return Ok(body);
+                }
+            }
+        }
+        read_exact_limited(r, size, &mut body)?;
+        let crlf = read_line(r, started)?;
+        if !crlf.is_empty() {
+            return Err(ReadError::Malformed("chunk data not CRLF-terminated"));
+        }
+    }
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// An HTTP response ready to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra header fields (`Content-Type` etc.; framing headers are added
+    /// by [`write_to`](Self::write_to)).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Whether to send the body with chunked transfer-encoding instead of
+    /// `Content-Length`.
+    pub chunked: bool,
+}
+
+/// Chunk size used when writing chunked bodies.
+const CHUNK: usize = 8 * 1024;
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, value: &crate::json::Json) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: value.dump().into_bytes(),
+            chunked: false,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "text/plain; charset=utf-8".into())],
+            body: body.into().into_bytes(),
+            chunked: false,
+        }
+    }
+
+    /// The standard JSON error body `{"error": ...}` for a status.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(
+            status,
+            &crate::json::Json::Obj(vec![("error".into(), crate::json::Json::str(message))]),
+        )
+    }
+
+    /// Adds a header field, builder-style.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Switches the body to chunked transfer-encoding, builder-style.
+    pub fn into_chunked(mut self) -> Response {
+        self.chunked = true;
+        self
+    }
+
+    /// Writes the full response. `keep_alive` controls the `Connection`
+    /// header (chunked bodies require HTTP/1.1, which every accepted
+    /// request already negotiated or downgraded from).
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nServer: heteropipe-serve\r\n",
+            self.status,
+            reason(self.status)
+        )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(
+            w,
+            "Connection: {}\r\n",
+            if keep_alive { "keep-alive" } else { "close" }
+        )?;
+        if self.chunked {
+            write!(w, "Transfer-Encoding: chunked\r\n\r\n")?;
+            for chunk in self.body.chunks(CHUNK) {
+                write!(w, "{:x}\r\n", chunk.len())?;
+                w.write_all(chunk)?;
+                write!(w, "\r\n")?;
+            }
+            write!(w, "0\r\n\r\n")?;
+        } else {
+            write!(w, "Content-Length: {}\r\n\r\n", self.body.len())?;
+            w.write_all(&self.body)?;
+        }
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn parses_get_with_query_and_headers() {
+        let req =
+            parse("GET /v1/benchmarks?all=1 HTTP/1.1\r\nHost: localhost\r\nX-Trace: 7\r\n\r\n")
+                .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/benchmarks");
+        assert_eq!(req.query, "all=1");
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.header("x-trace"), Some("7"));
+        assert!(req.body.is_empty());
+        assert!(req.wants_keep_alive(), "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn parses_content_length_body() {
+        let req = parse("POST /v1/run HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world").unwrap();
+        assert_eq!(req.body, b"hello world");
+    }
+
+    #[test]
+    fn parses_chunked_body() {
+        let req = parse(
+            "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+             5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.body, b"hello world");
+    }
+
+    #[test]
+    fn chunked_with_extension_and_trailer() {
+        let req = parse(
+            "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+             3;ext=1\r\nabc\r\n0\r\nTrailer: t\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.body, b"abc");
+    }
+
+    #[test]
+    fn keep_alive_negotiation() {
+        let close = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!close.wants_keep_alive());
+        let old = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!old.wants_keep_alive(), "HTTP/1.0 defaults to close");
+        let old_ka = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(old_ka.wants_keep_alive());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            "GET\r\n\r\n",
+            "get / HTTP/1.1\r\n\r\n",
+            "GET noslash HTTP/1.1\r\n\r\n",
+            "GET / HTTP/2.0\r\n\r\n",
+            "GET / HTTP/1.1 extra\r\n\r\n",
+            "GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+            "GET / HTTP/1.1\r\n: empty-name\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(ReadError::Malformed(_))),
+                "should be malformed: {raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reports_clean_close_and_truncation() {
+        assert!(matches!(parse(""), Err(ReadError::Closed)));
+        assert!(matches!(parse("GET / HT"), Err(ReadError::Malformed(_))));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"),
+            Err(ReadError::Io(_) | ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn enforces_limits() {
+        let long_line = format!(
+            "GET /{} HTTP/1.1\r\n\r\n",
+            "a".repeat(limits::MAX_LINE + 10)
+        );
+        assert!(matches!(parse(&long_line), Err(ReadError::TooLarge)));
+        let big_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            limits::MAX_BODY + 1
+        );
+        assert!(matches!(parse(&big_body), Err(ReadError::TooLarge)));
+        let many_headers = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            "X-H: v\r\n".repeat(limits::MAX_HEADERS + 1)
+        );
+        assert!(matches!(parse(&many_headers), Err(ReadError::TooLarge)));
+    }
+
+    #[test]
+    fn writes_content_length_response() {
+        let resp = Response::text(200, "hi");
+        let mut out = Vec::new();
+        resp.write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi"));
+    }
+
+    #[test]
+    fn writes_chunked_response() {
+        let body = "x".repeat(CHUNK + 100);
+        let resp = Response::text(200, body.clone()).into_chunked();
+        let mut out = Vec::new();
+        resp.write_to(&mut out, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(!text.contains("Content-Length"));
+        assert!(text.contains(&format!("{CHUNK:x}\r\n")));
+        assert!(text.ends_with("0\r\n\r\n"));
+        // Both chunks carry the full body between them.
+        assert!(text.matches("xxx").count() > 0);
+    }
+
+    #[test]
+    fn error_response_is_json() {
+        let resp = Response::error(404, "not found");
+        assert_eq!(resp.status, 404);
+        assert_eq!(resp.body, br#"{"error":"not found"}"#);
+    }
+}

@@ -1,0 +1,593 @@
+//! In-tree JSON: a value tree, a deterministic serializer, and a total
+//! parser. No serde — the workspace is dependency-free, and the payloads
+//! (run requests, reports, metrics) are small and fully known.
+//!
+//! Integers are kept exact: a [`RunReport`](heteropipe::RunReport) is
+//! float-free, so serializing it never rounds through `f64`, and the same
+//! report always serializes to the same bytes — the property behind the
+//! server's byte-identical warm cache hits. Floats serialize through Rust's
+//! shortest-round-trip `Display`, always with a decimal point or exponent so
+//! they parse back as floats.
+//!
+//! Parsing is total: any malformation (bad escape, lone surrogate, leading
+//! zero, trailing garbage, unterminated structure, excessive nesting)
+//! returns `None`, never a panic.
+
+/// A JSON value. Object keys keep insertion order, so serialization is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (exact).
+    U64(u64),
+    /// A negative integer (exact).
+    I64(i64),
+    /// A float (anything written with a fraction or exponent, or an
+    /// integer too large for the exact variants).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, keys in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Shorthand for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Member lookup on an object (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string inside, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// An exact non-negative integer, if this is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::U64(v) => Some(v),
+            Json::I64(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// A numeric value widened to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::U64(v) => Some(v as f64),
+            Json::I64(v) => Some(v as f64),
+            Json::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses JSON text; `None` on any syntax error. Alias for [`parse`].
+    pub fn parse(text: &str) -> Option<Json> {
+        parse(text)
+    }
+
+    /// Serializes to compact JSON text.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::U64(v) => out.push_str(&v.to_string()),
+            Json::I64(v) => out.push_str(&v.to_string()),
+            Json::F64(v) => write_f64(*v, out),
+            Json::Str(s) => write_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        // JSON has no NaN/Inf; the server never produces them, but the
+        // serializer must stay total.
+        out.push_str("null");
+        return;
+    }
+    let s = v.to_string(); // shortest round-trip representation
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0"); // keep float-ness through a round trip
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses JSON text. Returns `None` on any malformation.
+pub fn parse(text: &str) -> Option<Json> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return None; // trailing garbage
+    }
+    Some(v)
+}
+
+/// Deepest permitted nesting; beyond this the parser rejects rather than
+/// risking a stack overflow on adversarial input like `[[[[…`.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Option<Json> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Option<Json> {
+        if depth > MAX_DEPTH {
+            return None;
+        }
+        match self.peek()? {
+            b'n' => self.literal("null", Json::Null),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'"' => Some(Json::Str(self.string()?)),
+            b'[' => self.array(depth),
+            b'{' => self.object(depth),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => None,
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Option<Json> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']').is_some() {
+            return Some(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump()? {
+                b',' => {}
+                b']' => return Some(Json::Arr(items)),
+                _ => return None,
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Option<Json> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}').is_some() {
+            return Some(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            members.push((key, self.value(depth + 1)?));
+            self.skip_ws();
+            match self.bump()? {
+                b',' => {}
+                b'}' => return Some(Json::Obj(members)),
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain (non-escape, non-quote) bytes is
+            // valid UTF-8 because the input is a &str.
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\' && b >= 0x20) {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).ok()?);
+            }
+            match self.bump()? {
+                b'"' => return Some(out),
+                b'\\' => out.push(self.escape()?),
+                _ => return None, // raw control character
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Option<char> {
+        Some(match self.bump()? {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'b' => '\u{08}',
+            b'f' => '\u{0C}',
+            b'u' => {
+                let hi = self.hex4()?;
+                if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: must pair with a low surrogate.
+                    self.eat(b'\\')?;
+                    self.eat(b'u')?;
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return None;
+                    }
+                    let scalar = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(scalar)?
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    return None; // lone low surrogate
+                } else {
+                    char::from_u32(hi)?
+                }
+            }
+            _ => return None,
+        })
+    }
+
+    fn hex4(&mut self) -> Option<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.bump()? {
+                b @ b'0'..=b'9' => (b - b'0') as u32,
+                b @ b'a'..=b'f' => (b - b'a' + 10) as u32,
+                b @ b'A'..=b'F' => (b - b'A' + 10) as u32,
+                _ => return None,
+            };
+            v = (v << 4) | d;
+        }
+        Some(v)
+    }
+
+    fn number(&mut self) -> Option<Json> {
+        let start = self.pos;
+        let negative = self.eat(b'-').is_some();
+        // Integer part: "0" alone or a nonzero-led digit run (leading
+        // zeros are invalid JSON).
+        match self.bump()? {
+            b'0' => {
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return None;
+                }
+            }
+            b'1'..=b'9' => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return None,
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            self.digits1()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits1()?;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+        if integral {
+            if negative {
+                if let Ok(v) = text.parse::<i64>() {
+                    return Some(Json::I64(v));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Some(Json::U64(v));
+            }
+            // Integer beyond 64-bit range: fall through to f64.
+        }
+        let v = text.parse::<f64>().ok()?;
+        if !v.is_finite() {
+            return None; // overflowed to infinity
+        }
+        Some(Json::F64(v))
+    }
+
+    fn digits1(&mut self) -> Option<()> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            None
+        } else {
+            Some(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteropipe_sim::check::{self, Gen};
+
+    fn roundtrip(v: &Json) {
+        let text = v.dump();
+        let back = parse(&text).unwrap_or_else(|| panic!("failed to parse {text:?}"));
+        assert_eq!(&back, v, "round trip changed value for {text:?}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        roundtrip(&Json::Null);
+        roundtrip(&Json::Bool(true));
+        roundtrip(&Json::U64(0));
+        roundtrip(&Json::U64(u64::MAX));
+        roundtrip(&Json::I64(-1));
+        roundtrip(&Json::I64(i64::MIN));
+        roundtrip(&Json::F64(0.25));
+        roundtrip(&Json::F64(-1.5e300));
+        roundtrip(&Json::Str(String::new()));
+        roundtrip(&Json::str("plain"));
+    }
+
+    #[test]
+    fn floats_stay_floats() {
+        assert_eq!(Json::F64(1.0).dump(), "1.0");
+        assert_eq!(parse("1.0"), Some(Json::F64(1.0)));
+        assert_eq!(parse("1"), Some(Json::U64(1)));
+        assert_eq!(parse("1e2"), Some(Json::F64(100.0)));
+        // Integers beyond u64 fall back to f64 rather than failing.
+        assert!(matches!(
+            parse("99999999999999999999999999"),
+            Some(Json::F64(_))
+        ));
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "quote \" backslash \\ newline \n tab \t nul \u{0} emoji 🚀 greek λ";
+        roundtrip(&Json::str(s));
+        assert_eq!(
+            parse(r#""surrogate pair \ud83d\ude80""#),
+            Some(Json::str("surrogate pair 🚀"))
+        );
+        assert_eq!(parse(r#""\u00e9""#), Some(Json::str("é")));
+    }
+
+    #[test]
+    fn object_helpers() {
+        let v = parse(r#"{"a": 1, "b": [true, null], "c": {"d": -2.5}}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            v.get("b").and_then(Json::as_array).map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(
+            v.get("c").and_then(|c| c.get("d")).and_then(Json::as_f64),
+            Some(-2.5)
+        );
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{1: 2}",
+            "tru",
+            "nul",
+            "+1",
+            ".5",
+            "1.",
+            "1e",
+            "1e+",
+            "01",
+            "-01",
+            "--1",
+            "0x10",
+            "\"unterminated",
+            "\"bad escape \\x\"",
+            "\"lone high surrogate \\ud800\"",
+            "\"lone low surrogate \\udc00\"",
+            "\"pair with bad low \\ud800\\u0041\"",
+            "\"short hex \\u12\"",
+            "\"raw control \u{01}\"",
+            "1 2",
+            "[] []",
+            "nan",
+            "Infinity",
+            "1e999",
+        ] {
+            assert_eq!(parse(bad), None, "should reject {bad:?}");
+        }
+        // Nesting past MAX_DEPTH is rejected, not a stack overflow.
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert_eq!(parse(&deep), None);
+        assert!(parse(&("[".repeat(8) + &"]".repeat(8))).is_some());
+    }
+
+    /// Seeded generator for arbitrary JSON values (the satellite's
+    /// property-test generators): escape-heavy strings, unicode, nested
+    /// arrays/objects, and number edge cases.
+    fn gen_value(g: &mut Gen, depth: usize) -> Json {
+        let top = if depth >= 3 { 6 } else { 8 };
+        match g.u64(0, top) {
+            0 => Json::Null,
+            1 => Json::Bool(g.bool()),
+            2 => Json::U64(match g.u64(0, 4) {
+                0 => g.u64(0, 1 << 20),
+                1 => u64::MAX,
+                2 => u64::MAX - g.u64(0, 100),
+                _ => g.u64(0, u64::MAX),
+            }),
+            3 => Json::I64(-(g.u64(1, 1 << 62) as i64)),
+            4 => Json::F64(match g.u64(0, 4) {
+                0 => g.f64(-1.0, 1.0),
+                1 => g.f64(-1e300, 1e300),
+                2 => g.f64(0.0, 1e-300),
+                _ => g.f64(-1e9, 1e9),
+            }),
+            5 => Json::Str(gen_string(g)),
+            6 => Json::Arr(g.vec(0, 5, |g| gen_value(g, depth + 1))),
+            _ => Json::Obj(
+                g.vec(0, 5, |g| (gen_string(g), gen_value(g, depth + 1)))
+                    .into_iter()
+                    .collect(),
+            ),
+        }
+    }
+
+    fn gen_string(g: &mut Gen) -> String {
+        let n = g.usize(0, 12);
+        let mut s = String::new();
+        for _ in 0..n {
+            match g.u64(0, 6) {
+                0 => s.push(g.u64(0x20, 0x7F) as u8 as char),
+                1 => s.push(['"', '\\', '\n', '\r', '\t', '/'][g.usize(0, 6)]),
+                2 => s.push(char::from_u32(g.u32(0, 0x20)).unwrap()),
+                3 => s.push('🚀'), // astral plane (surrogate pair in \u form)
+                4 => s.push(char::from_u32(g.u32(0x80, 0xD800)).unwrap()),
+                _ => s.push(char::from_u32(g.u32(0xE000, 0x11_0000)).unwrap_or('λ')),
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn property_arbitrary_values_round_trip() {
+        check::cases(256, 0x5E12E, |g| {
+            roundtrip(&gen_value(g, 0));
+        });
+    }
+
+    #[test]
+    fn property_serialization_is_deterministic() {
+        check::cases(64, 0xD137, |g| {
+            let v = gen_value(g, 0);
+            assert_eq!(v.dump(), v.dump());
+            assert_eq!(v.dump(), parse(&v.dump()).unwrap().dump());
+        });
+    }
+}

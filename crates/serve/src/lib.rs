@@ -1,0 +1,48 @@
+//! # heteropipe-serve
+//!
+//! Simulation-as-a-service: a dependency-free HTTP/1.1 server that fronts
+//! the `heteropipe-engine` executor, turning the experiment pipeline into
+//! a long-lived service whose content-addressed cache warms across
+//! requests and clients.
+//!
+//! The workspace has no external dependencies, so everything here is
+//! hand-rolled on `std`:
+//!
+//! * [`http`] — request parsing (Content-Length and chunked bodies),
+//!   response writing, keep-alive;
+//! * [`json`] — a total JSON codec whose serialization is deterministic
+//!   (insertion-ordered objects, exact integers), so cached runs answer
+//!   byte-identically;
+//! * [`server`] — a bounded worker pool behind an accept queue with
+//!   connection limits (503 backpressure), per-request timeouts, and
+//!   graceful drain on shutdown;
+//! * [`api`] — the routes: `/healthz`, `/metrics`, `/v1/benchmarks`,
+//!   `/v1/run`, `/v1/experiments/{fig3..fig9,table1,table2}`;
+//! * [`client`] — a small keep-alive client for tests, CI smoke checks,
+//!   and load generation;
+//! * [`shutdown`] — SIGINT/SIGTERM notification without `libc`.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use heteropipe_engine::Engine;
+//! use heteropipe_serve::{api, server::ServerConfig};
+//!
+//! let engine = Arc::new(Engine::new());
+//! let handle = api::serve(ServerConfig::default(), engine).unwrap();
+//! println!("listening on http://{}", handle.addr());
+//! handle.join();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod shutdown;
+
+pub use api::{serve, Api};
+pub use client::{Client, ClientResponse};
+pub use json::Json;
+pub use server::{Handler, Server, ServerConfig, ServerHandle, ServerStats};

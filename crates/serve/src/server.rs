@@ -1,0 +1,495 @@
+//! The connection engine: a bounded worker pool behind an accept queue,
+//! per-request timeouts, connection limits with 503 backpressure, server
+//! counters, and graceful shutdown.
+//!
+//! Life of a connection: the accept thread admits it if the in-flight
+//! count (queued + being served) is under `max_inflight` — otherwise it
+//! answers `503 Service Unavailable` immediately and closes — then queues
+//! it for a worker. Workers serve requests over keep-alive until the peer
+//! closes, a timeout fires, or shutdown begins. Shutdown sets a flag, wakes
+//! the (blocking) accept call with a loopback connection, and lets workers
+//! drain every admitted connection's current request before exiting, so no
+//! accepted request loses its response.
+
+use std::collections::VecDeque;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use heteropipe_sim::Histogram;
+
+use crate::http::{read_request, ReadError, Request, Response};
+
+/// Something that turns requests into responses. Handlers run on worker
+/// threads concurrently; panics are caught and answered with a 500.
+pub trait Handler: Send + Sync + 'static {
+    /// Produces the response for one request.
+    fn handle(&self, req: &Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, req: &Request) -> Response {
+        self(req)
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads serving requests.
+    pub threads: usize,
+    /// Most connections admitted at once (queued + in service); beyond
+    /// this, new connections get an immediate 503.
+    pub max_inflight: usize,
+    /// Per-connection read timeout (request parsing and keep-alive idle).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".into(),
+            threads: 4,
+            max_inflight: 64,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Request counters and latency recordings, shared between the connection
+/// engine and the `/metrics` handler.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Requests fully parsed and dispatched to the handler.
+    pub requests: AtomicU64,
+    /// Requests currently inside the handler.
+    pub in_flight: AtomicU64,
+    /// Connections refused with a 503 by the admission check.
+    pub rejected: AtomicU64,
+    /// Responses sent with a 2xx status.
+    pub status_2xx: AtomicU64,
+    /// Responses sent with a 4xx status.
+    pub status_4xx: AtomicU64,
+    /// Responses sent with a 5xx status.
+    pub status_5xx: AtomicU64,
+    /// Handler latency in microseconds.
+    pub latency_us: Mutex<Histogram>,
+}
+
+impl ServerStats {
+    /// Fresh, all-zero stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn record(&self, status: u16, elapsed: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match status {
+            200..=299 => &self.status_2xx,
+            400..=499 => &self.status_4xx,
+            _ => &self.status_5xx,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.latency_us
+            .lock()
+            .unwrap()
+            .record(elapsed.as_micros() as u64);
+    }
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    handler: Arc<dyn Handler>,
+    stats: Arc<ServerStats>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    admitted: AtomicUsize,
+}
+
+/// A bound-but-not-yet-running server. [`Server::start`] spawns the accept
+/// loop and workers and returns the [`ServerHandle`] that controls them.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `cfg.addr` and prepares the server around `handler`.
+    pub fn bind(cfg: ServerConfig, handler: Arc<dyn Handler>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cfg,
+            handler,
+            stats: Arc::new(ServerStats::new()),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            admitted: AtomicUsize::new(0),
+        });
+        Ok(Server {
+            listener,
+            addr,
+            shared,
+        })
+    }
+
+    /// The actually-bound address (resolves an ephemeral port request).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This server's counters.
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// Spawns the accept thread and `threads` workers.
+    pub fn start(self) -> ServerHandle {
+        let addr = self.addr;
+        let mut threads = Vec::new();
+        let workers = self.shared.cfg.threads.max(1);
+        for i in 0..workers {
+            let shared = Arc::clone(&self.shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker"),
+            );
+        }
+        let shared = Arc::clone(&self.shared);
+        let listener = self.listener;
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn accept loop"),
+        );
+        ServerHandle {
+            addr,
+            shared: self.shared,
+            threads: Mutex::new(threads),
+        }
+    }
+}
+
+/// Controls a running server: inspect, shut down, join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's counters.
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// Begins graceful shutdown: stops admitting connections, wakes the
+    /// accept call, and lets workers drain admitted requests. Idempotent;
+    /// returns immediately — pair with [`join`](Self::join).
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept() so the accept loop observes the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        self.shared.available.notify_all();
+    }
+
+    /// Waits for the accept loop and every worker to exit (all admitted
+    /// requests answered). Call after [`shutdown`](Self::shutdown).
+    pub fn join(&self) {
+        let threads: Vec<_> = self.threads.lock().unwrap().drain(..).collect();
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Convenience: shutdown then join.
+    pub fn shutdown_and_join(&self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break; // likely the shutdown wakeup connection; drop it
+        }
+        // Admission control: reject with 503 rather than queueing unboundedly.
+        let admitted = shared.admitted.load(Ordering::SeqCst);
+        if admitted >= shared.cfg.max_inflight {
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+            let mut stream = stream;
+            let _ = Response::error(503, "server at capacity").write_to(&mut stream, false);
+            continue;
+        }
+        shared.admitted.fetch_add(1, Ordering::SeqCst);
+        shared.queue.lock().unwrap().push_back(stream);
+        shared.available.notify_one();
+    }
+    // No more admissions; wake every worker so idle ones can exit.
+    shared.available.notify_all();
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break stream;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return; // queue drained and no more admissions
+                }
+                queue = shared.available.wait(queue).unwrap();
+            }
+        };
+        serve_connection(stream, shared);
+        shared.admitted.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(req) => req,
+            Err(ReadError::Closed) | Err(ReadError::Timeout { mid_request: false }) => return,
+            Err(ReadError::Timeout { mid_request: true }) => {
+                let _ = Response::error(408, "request timed out").write_to(&mut writer, false);
+                return;
+            }
+            Err(ReadError::TooLarge) => {
+                let _ = Response::error(413, "request too large").write_to(&mut writer, false);
+                return;
+            }
+            Err(ReadError::Malformed(why)) => {
+                let _ = Response::error(400, why).write_to(&mut writer, false);
+                return;
+            }
+            Err(ReadError::Io(_)) => return,
+        };
+
+        shared.stats.in_flight.fetch_add(1, Ordering::SeqCst);
+        let start = Instant::now();
+        let handler = Arc::clone(&shared.handler);
+        let resp = catch_unwind(AssertUnwindSafe(|| handler.handle(&req)))
+            .unwrap_or_else(|_| Response::error(500, "handler panicked"));
+        shared.stats.in_flight.fetch_sub(1, Ordering::SeqCst);
+        shared.stats.record(resp.status, start.elapsed());
+
+        // Stop keeping alive once shutdown begins so workers can drain.
+        let keep_alive = req.wants_keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
+        if resp.write_to(&mut writer, keep_alive).is_err() {
+            return;
+        }
+        let _ = writer.flush();
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::json::Json;
+
+    fn echo_server(threads: usize, max_inflight: usize, delay: Duration) -> ServerHandle {
+        let handler = move |req: &Request| {
+            if delay > Duration::ZERO {
+                std::thread::sleep(delay);
+            }
+            Response::json(
+                200,
+                &Json::Obj(vec![
+                    ("path".into(), Json::str(req.path.clone())),
+                    ("bytes".into(), Json::U64(req.body.len() as u64)),
+                ]),
+            )
+        };
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads,
+            max_inflight,
+            ..ServerConfig::default()
+        };
+        Server::bind(cfg, Arc::new(handler)).unwrap().start()
+    }
+
+    #[test]
+    fn serves_keep_alive_requests_on_one_connection() {
+        let handle = echo_server(2, 8, Duration::ZERO);
+        let mut client = Client::new(handle.addr().to_string());
+        for i in 0..3 {
+            let resp = client.get(&format!("/ping/{i}")).unwrap();
+            assert_eq!(resp.status, 200);
+            let v = resp.json().unwrap();
+            assert_eq!(
+                v.get("path").and_then(Json::as_str),
+                Some(&*format!("/ping/{i}"))
+            );
+        }
+        assert_eq!(
+            handle.stats().requests.load(Ordering::Relaxed),
+            3,
+            "three requests over one keep-alive connection"
+        );
+        handle.shutdown_and_join();
+    }
+
+    #[test]
+    fn concurrent_connections_all_answered() {
+        let handle = echo_server(4, 64, Duration::from_millis(5));
+        let addr = handle.addr().to_string();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut client = Client::new(addr);
+                    let resp = client
+                        .post_json("/echo", &Json::Obj(vec![("i".into(), Json::U64(i))]))
+                        .unwrap();
+                    assert_eq!(resp.status, 200);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(handle.stats().requests.load(Ordering::Relaxed), 8);
+        handle.shutdown_and_join();
+    }
+
+    #[test]
+    fn overload_gets_503_backpressure() {
+        // One worker, one admission slot, slow handler: extra concurrent
+        // connections must be rejected while the first is in service.
+        let handle = echo_server(1, 1, Duration::from_millis(300));
+        let addr = handle.addr().to_string();
+        let first = {
+            let addr = addr.clone();
+            std::thread::spawn(move || Client::new(addr).get("/slow").unwrap().status)
+        };
+        std::thread::sleep(Duration::from_millis(80)); // let it be admitted
+        let mut rejected = 0;
+        for _ in 0..3 {
+            let status = Client::new(addr.clone()).get("/fast").unwrap().status;
+            if status == 503 {
+                rejected += 1;
+            }
+        }
+        assert_eq!(first.join().unwrap(), 200, "admitted request still served");
+        assert!(rejected > 0, "at least one connection rejected with 503");
+        assert!(handle.stats().rejected.load(Ordering::Relaxed) > 0);
+        handle.shutdown_and_join();
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_in_flight() {
+        let handle = echo_server(2, 8, Duration::from_millis(200));
+        let addr = handle.addr().to_string();
+        let inflight = std::thread::spawn(move || Client::new(addr).get("/drain").unwrap());
+        std::thread::sleep(Duration::from_millis(60)); // request is in the handler
+        handle.shutdown_and_join();
+        let resp = inflight.join().unwrap();
+        assert_eq!(resp.status, 200, "in-flight request answered, not dropped");
+        // The listener is gone: new connections fail or are never served.
+        assert!(TcpStream::connect_timeout(&handle.addr(), Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let handle = echo_server(1, 4, Duration::ZERO);
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.write_all(b"GARBAGE\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        use std::io::Read;
+        stream.read_to_end(&mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.1 400 "), "{text}");
+        handle.shutdown_and_join();
+    }
+
+    #[test]
+    fn handler_panic_becomes_500() {
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            ..ServerConfig::default()
+        };
+        let handler = |req: &Request| -> Response {
+            if req.path == "/boom" {
+                panic!("kaboom");
+            }
+            Response::text(200, "ok")
+        };
+        let handle = Server::bind(cfg, Arc::new(handler)).unwrap().start();
+        let mut client = Client::new(handle.addr().to_string());
+        assert_eq!(client.get("/boom").unwrap().status, 500);
+        // The worker survives the panic and keeps serving.
+        assert_eq!(client.get("/fine").unwrap().status, 200);
+        assert_eq!(handle.stats().status_5xx.load(Ordering::Relaxed), 1);
+        handle.shutdown_and_join();
+    }
+
+    #[test]
+    fn chunked_response_round_trips_through_client() {
+        let big = "heteropipe ".repeat(2000);
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            ..ServerConfig::default()
+        };
+        let body = big.clone();
+        let handler = move |_req: &Request| Response::text(200, body.clone()).into_chunked();
+        let handle = Server::bind(cfg, Arc::new(handler)).unwrap().start();
+        let resp = Client::new(handle.addr().to_string()).get("/big").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, big.as_bytes());
+        handle.shutdown_and_join();
+    }
+}

@@ -1,0 +1,71 @@
+//! Ctrl-c / SIGTERM notification without external crates.
+//!
+//! The workspace has no dependencies, so instead of the `libc` or
+//! `signal-hook` crates this registers handlers through the C `signal`
+//! function that std already links. The handler body only stores into a
+//! static atomic — the one thing that is async-signal-safe — and the
+//! server binary polls [`signaled`] from an ordinary thread to trigger
+//! graceful shutdown.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::SIGNALED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal wiring off unix; shutdown still works via `ServerHandle`.
+    pub fn install() {}
+}
+
+/// Registers SIGINT/SIGTERM handlers that set the shutdown flag. Safe to
+/// call more than once.
+pub fn install() {
+    imp::install();
+}
+
+/// True once SIGINT or SIGTERM has been received (or [`trigger`] called).
+pub fn signaled() -> bool {
+    SIGNALED.load(Ordering::SeqCst)
+}
+
+/// Sets the flag programmatically — used by tests and by servers that want
+/// to reuse the same polling loop for non-signal shutdown causes.
+pub fn trigger() {
+    SIGNALED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_sets_flag() {
+        install();
+        trigger();
+        assert!(signaled());
+    }
+}

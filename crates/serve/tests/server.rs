@@ -1,0 +1,197 @@
+//! End-to-end tests: a real server on an ephemeral port, driven through
+//! the crate's own client, with the shared engine's cache observable
+//! through `/metrics`.
+
+use std::sync::Arc;
+
+use heteropipe_engine::Engine;
+use heteropipe_serve::server::ServerConfig;
+use heteropipe_serve::{api, Client, Json, ServerHandle};
+
+fn start(engine: Engine) -> ServerHandle {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        max_inflight: 32,
+        ..ServerConfig::default()
+    };
+    api::serve(cfg, Arc::new(engine)).expect("bind ephemeral port")
+}
+
+fn run_body(benchmark: &str) -> Json {
+    Json::Obj(vec![
+        ("benchmark".into(), Json::str(benchmark)),
+        ("system".into(), Json::str("discrete")),
+        ("organization".into(), Json::str("serial")),
+        ("scale".into(), Json::F64(0.08)),
+    ])
+}
+
+#[test]
+fn healthz_and_unknown_routes() {
+    let handle = start(Engine::new().memory_cache_only());
+    let mut client = Client::new(handle.addr().to_string());
+
+    let resp = client.get("/healthz").unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.json().unwrap().get("status").and_then(Json::as_str),
+        Some("ok")
+    );
+
+    assert_eq!(client.get("/nope").unwrap().status, 404);
+    // Wrong method on a known route: 405 with an Allow header.
+    let resp = client.post_json("/healthz", &Json::Null).unwrap();
+    assert_eq!(resp.status, 405);
+    assert_eq!(resp.header("allow"), Some("GET"));
+    let resp = client.get("/v1/run").unwrap();
+    assert_eq!(resp.status, 405);
+    assert_eq!(resp.header("allow"), Some("POST"));
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn benchmark_catalog_counts_match_the_paper() {
+    let handle = start(Engine::new().memory_cache_only());
+    let mut client = Client::new(handle.addr().to_string());
+
+    let resp = client.get("/v1/benchmarks").unwrap();
+    assert_eq!(resp.status, 200);
+    let v = resp.json().unwrap();
+    assert_eq!(v.get("total").and_then(Json::as_u64), Some(58));
+    assert_eq!(v.get("examined").and_then(Json::as_u64), Some(46));
+    let list = v.get("benchmarks").and_then(Json::as_array).unwrap();
+    assert_eq!(list.len(), 58);
+    let kmeans = list
+        .iter()
+        .find(|b| b.get("name").and_then(Json::as_str) == Some("rodinia/kmeans"))
+        .expect("kmeans catalogued");
+    assert_eq!(kmeans.get("examined").and_then(Json::as_bool), Some(true));
+    assert_eq!(kmeans.get("runnable").and_then(Json::as_bool), Some(true));
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn run_endpoint_validates_requests() {
+    let handle = start(Engine::new().memory_cache_only());
+    let mut client = Client::new(handle.addr().to_string());
+
+    let resp = client
+        .post_json("/v1/run", &run_body("rodinia/nonesuch"))
+        .unwrap();
+    assert_eq!(resp.status, 404, "unknown benchmark");
+
+    let resp = client.post_raw("/v1/run", b"{not json".to_vec()).unwrap();
+    assert_eq!(resp.status, 400, "malformed body");
+
+    // chunked_parallel on the discrete system is a config error the
+    // server must catch, not a 500 from the simulator's panic.
+    let mismatched = Json::Obj(vec![
+        ("benchmark".into(), Json::str("rodinia/kmeans")),
+        ("system".into(), Json::str("discrete")),
+        (
+            "organization".into(),
+            Json::Obj(vec![("chunked_parallel".into(), Json::U64(8))]),
+        ),
+        ("scale".into(), Json::F64(0.08)),
+    ]);
+    let resp = client.post_json("/v1/run", &mismatched).unwrap();
+    assert_eq!(resp.status, 400);
+
+    let resp = client
+        .post_json(
+            "/v1/run",
+            &Json::Obj(vec![
+                ("benchmark".into(), Json::str("rodinia/kmeans")),
+                ("scale".into(), Json::F64(-2.0)),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 400, "negative scale");
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn concurrent_runs_share_one_engine_and_warm_repeat_is_byte_identical() {
+    let handle = start(Engine::new().memory_cache_only());
+    let addr = handle.addr().to_string();
+
+    // Eight clients race the same job through the shared engine.
+    let bodies: Vec<Vec<u8>> = {
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let resp = Client::new(addr)
+                        .post_json("/v1/run", &run_body("rodinia/kmeans"))
+                        .unwrap();
+                    assert_eq!(resp.status, 200);
+                    resp.body
+                })
+            })
+            .collect();
+        threads.into_iter().map(|t| t.join().unwrap()).collect()
+    };
+    for body in &bodies[1..] {
+        assert_eq!(
+            body, &bodies[0],
+            "all racers see the same deterministic report"
+        );
+    }
+
+    // A warm repeat must be answered from cache, byte-identical.
+    let mut client = Client::new(addr);
+    let warm = client
+        .post_json("/v1/run", &run_body("rodinia/kmeans"))
+        .unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(
+        warm.body, bodies[0],
+        "cache hit serializes to the same bytes"
+    );
+
+    let metrics = client.get("/metrics").unwrap().json().unwrap();
+    let engine = metrics.get("engine").unwrap();
+    let hits = engine.get("memory_hits").and_then(Json::as_u64).unwrap();
+    let executed = engine.get("jobs_executed").and_then(Json::as_u64).unwrap();
+    assert!(hits >= 1, "warm repeat must hit the memory tier");
+    assert!(
+        executed < 9,
+        "racers plus the warm repeat must not all simulate ({executed} executed)"
+    );
+    let report = warm.json().unwrap();
+    assert!(report.get("roi_ps").and_then(Json::as_u64).unwrap() > 0);
+
+    let server = metrics.get("server").unwrap();
+    assert!(server.get("requests").and_then(Json::as_u64).unwrap() >= 9);
+    let latency = server.get("latency_us").unwrap();
+    assert!(latency.get("p99").and_then(Json::as_u64).unwrap() >= 1);
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn experiment_endpoint_renders_tables() {
+    let handle = start(Engine::new().memory_cache_only());
+    let mut client = Client::new(handle.addr().to_string());
+
+    // Table 2 is static (the benchmark census): cheap and exact.
+    let resp = client
+        .post_json("/v1/experiments/table2", &Json::Obj(Vec::new()))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let v = resp.json().unwrap();
+    assert_eq!(v.get("experiment").and_then(Json::as_str), Some("table2"));
+    let rendered = v.get("rendered").and_then(Json::as_str).unwrap();
+    assert!(rendered.contains("Rodinia"), "census table lists suites");
+
+    let resp = client
+        .post_json("/v1/experiments/fig99", &Json::Obj(Vec::new()))
+        .unwrap();
+    assert_eq!(resp.status, 404, "unknown experiment name");
+
+    handle.shutdown_and_join();
+}

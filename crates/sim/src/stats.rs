@@ -135,6 +135,41 @@ impl Histogram {
             .filter(|(_, &c)| c > 0)
             .map(|(i, &c)| (if i >= 64 { u64::MAX } else { 1u64 << i }, c))
     }
+
+    /// The bucket upper bound at quantile `p` in `[0, 1]`: the smallest
+    /// bucket boundary below which at least `p` of the samples fall (zero
+    /// when empty). Resolution is the power-of-two bucket width, which is
+    /// enough for the order-of-magnitude latency reporting this histogram
+    /// backs (p50/p99 server percentiles, reuse distances).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i >= 64 {
+                    self.max
+                } else {
+                    (1u64 << i).min(self.max)
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Accumulates another histogram's samples into this one (used to
+    /// combine per-thread latency recordings).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// Identifies a component registered with a [`Timeline`].
@@ -385,6 +420,44 @@ mod tests {
         assert_eq!(buckets[0], (1, 2));
         assert_eq!(buckets[1], (2, 1));
         assert_eq!(buckets[2], (4, 2));
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new();
+        assert_eq!(h.percentile(0.5), 0, "empty histogram");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Bucketed upper bounds: p50 of 1..=100 lands in the (32,64] bucket.
+        assert_eq!(h.percentile(0.5), 64);
+        assert_eq!(h.percentile(0.99), 100, "top bucket clamps to max");
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.percentile(1.0), 100);
+        let mut single = Histogram::new();
+        single.record(7);
+        assert_eq!(single.percentile(0.5), 7);
+    }
+
+    #[test]
+    fn histogram_merge_combines_samples() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 2, 3] {
+            a.record(v);
+        }
+        for v in [100u64, 200] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.max(), 200);
+        assert!((a.mean() - (306.0 / 5.0)).abs() < 1e-9);
+        let mut all = Histogram::new();
+        for v in [1u64, 2, 3, 100, 200] {
+            all.record(v);
+        }
+        assert_eq!(a.percentile(0.5), all.percentile(0.5));
     }
 
     #[test]

@@ -38,6 +38,11 @@ impl Scale {
         Scale { factor }
     }
 
+    /// The raw scale factor.
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
     /// Scales an element count, keeping at least 4096 elements so kernels
     /// stay wider than a warp.
     pub fn n(&self, base: u64) -> u64 {
