@@ -9,5 +9,8 @@ cargo build --release
 cargo test -q --release
 
 # Server smoke: ephemeral port, /healthz + one POST /v1/run through the
-# std-only client, warm repeat must be a byte-identical cache hit.
-cargo run --release -p heteropipe-bench --bin smoke
+# std-only client, warm repeat must be a byte-identical cache hit. Also
+# gates the observability surface: the Prometheus /metrics exposition
+# must parse, and X-Request-Id must appear in the captured logs and the
+# retrievable Chrome trace.
+HETEROPIPE_LOG=info cargo run --release -p heteropipe-bench --bin smoke

@@ -14,6 +14,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use heteropipe_obs::log::Level;
 use heteropipe_serve::json::Json;
 use heteropipe_serve::server::ServerConfig;
 use heteropipe_serve::{api, Client};
@@ -41,6 +42,9 @@ fn request_mix(scale: f64) -> Vec<(&'static str, &'static str, Option<Json>)> {
 }
 
 fn main() {
+    // Quiet by default: per-request info logs from an in-process server
+    // would swamp the load run. `HETEROPIPE_LOG=info` turns them on.
+    heteropipe_obs::log::init_from_env_or(Level::Warn);
     let args = heteropipe_bench::HarnessArgs::parse();
     let threads = args.threads.unwrap_or(4);
     let requests = args.requests.unwrap_or(200);
@@ -119,11 +123,12 @@ fn main() {
     let rps = total as f64 / elapsed.as_secs_f64();
 
     if args.csv {
-        println!("threads,requests,errors,elapsed_s,req_per_s,p50_us,p99_us,mean_us,max_us");
+        println!("threads,requests,errors,elapsed_s,req_per_s,p50_us,p90_us,p99_us,mean_us,max_us");
         println!(
-            "{threads},{total},{errors},{:.3},{rps:.1},{},{},{:.1},{}",
+            "{threads},{total},{errors},{:.3},{rps:.1},{},{},{},{:.1},{}",
             elapsed.as_secs_f64(),
             lat.percentile(0.50),
+            lat.percentile(0.90),
             lat.percentile(0.99),
             lat.mean(),
             lat.max(),
@@ -135,8 +140,9 @@ fn main() {
             elapsed.as_secs_f64()
         );
         println!(
-            "  latency: p50 {} us, p99 {} us, mean {:.1} us, max {} us",
+            "  latency: p50 {} us, p90 {} us, p99 {} us, mean {:.1} us, max {} us",
             lat.percentile(0.50),
+            lat.percentile(0.90),
             lat.percentile(0.99),
             lat.mean(),
             lat.max(),

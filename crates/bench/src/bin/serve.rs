@@ -12,10 +12,12 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use heteropipe_obs::log::{self as obs_log, Level};
 use heteropipe_serve::server::ServerConfig;
 use heteropipe_serve::{api, shutdown};
 
 fn main() {
+    obs_log::init_from_env_or(Level::Info);
     let args = heteropipe_bench::HarnessArgs::parse();
     let mut cfg = ServerConfig::default();
     if let Some(addr) = &args.addr {
@@ -32,13 +34,17 @@ fn main() {
     let handle = api::serve(cfg, Arc::clone(&engine)).unwrap_or_else(|e| {
         panic!("could not bind server: {e}");
     });
-    eprintln!("serve: listening on http://{}", handle.addr());
+    obs_log::info(
+        "serve",
+        "listening",
+        &[("addr", handle.addr().to_string().into())],
+    );
 
     shutdown::install();
     while !shutdown::signaled() {
         std::thread::sleep(Duration::from_millis(100));
     }
-    eprintln!("serve: shutting down, draining in-flight requests");
+    obs_log::info("serve", "shutting down, draining in-flight requests", &[]);
     handle.shutdown_and_join();
     heteropipe_bench::finish(&engine);
 }

@@ -2,17 +2,31 @@
 //!
 //! Starts the service on an ephemeral port, checks `/healthz`, executes
 //! one benchmark through `POST /v1/run` (twice — the repeat must be a
-//! byte-identical cache hit), and shuts down gracefully. Exits non-zero
-//! on any failure, so `ci.sh` can gate on it. Runs at test scale so the
-//! whole check takes seconds.
+//! byte-identical cache hit), and shuts down gracefully. On top of the
+//! functional path it gates the observability surface: the correlation
+//! id returned in `X-Request-Id` must appear in the captured JSON log
+//! lines and in the retrievable Chrome trace, and `GET /metrics` in
+//! Prometheus text format must pass the in-tree exposition parser.
+//! Exits non-zero on any failure, so `ci.sh` can gate on it. Runs at
+//! test scale so the whole check takes seconds.
 
 use std::sync::Arc;
 
+use heteropipe_obs::log::{self as obs_log, Level};
 use heteropipe_serve::json::Json;
 use heteropipe_serve::server::ServerConfig;
 use heteropipe_serve::{api, Client};
 
 fn main() {
+    // Capture log output in memory so the smoke run can assert on it.
+    // The level is clamped up to `info`: the request-log assertion below
+    // needs the serve layer's per-request records even if HETEROPIPE_LOG
+    // asks for something quieter.
+    let logs = obs_log::capture();
+    if obs_log::init_from_env_or(Level::Info) < Level::Info {
+        obs_log::set_level(Level::Info);
+    }
+
     let args = heteropipe_bench::HarnessArgs::parse();
     let cfg = ServerConfig {
         addr: args.addr.clone().unwrap_or_else(|| "127.0.0.1:0".into()),
@@ -41,6 +55,15 @@ fn main() {
     ]);
     let cold = client.post_json("/v1/run", &body).expect("POST /v1/run");
     assert_eq!(cold.status, 200, "run status");
+    let request_id = cold
+        .header("x-request-id")
+        .expect("X-Request-Id on the run response")
+        .to_string();
+    assert!(request_id.starts_with("req-"), "generated id: {request_id}");
+    let run_key = cold
+        .header("x-run-key")
+        .expect("X-Run-Key on the run response")
+        .to_string();
     let report = cold.json().expect("run response parses as JSON");
     assert_eq!(
         report.get("benchmark").and_then(Json::as_str),
@@ -60,7 +83,74 @@ fn main() {
         engine.metrics().hits() >= 1,
         "warm repeat must be a cache hit"
     );
+    let warm_id = warm
+        .header("x-request-id")
+        .expect("X-Request-Id on the warm response")
+        .to_string();
+
+    // The latest request id round-trips into the retrievable Chrome
+    // trace, which keeps the simulated timeline from the cold execution.
+    let trace = client
+        .get(&format!("/v1/run/{run_key}/trace"))
+        .expect("GET run trace");
+    assert_eq!(trace.status, 200, "trace status");
+    let trace_text = String::from_utf8(trace.body).expect("trace is UTF-8");
+    assert!(
+        Json::parse(&trace_text).is_some(),
+        "trace must be valid JSON"
+    );
+    assert!(
+        trace_text.contains("\"ph\":\"X\""),
+        "trace carries complete events"
+    );
+    assert!(
+        trace_text.contains(&format!("\"request_id\":\"{warm_id}\"")),
+        "X-Request-Id {warm_id} round-trips into the trace"
+    );
+
+    // The Prometheus exposition must parse under the in-tree validator
+    // and reflect the one executed job.
+    let prom = client
+        .get("/metrics?format=prometheus")
+        .expect("GET /metrics (prometheus)");
+    assert_eq!(prom.status, 200, "prometheus metrics status");
+    assert_eq!(
+        prom.header("content-type"),
+        Some("text/plain; version=0.0.4; charset=utf-8"),
+        "prometheus content type"
+    );
+    let prom_text = String::from_utf8(prom.body).expect("exposition is UTF-8");
+    let samples = heteropipe_obs::expfmt::parse(&prom_text)
+        .unwrap_or_else(|e| panic!("exposition must validate: {e}"));
+    let executed = samples
+        .iter()
+        .find(|s| s.name == "heteropipe_engine_jobs_executed_total")
+        .expect("jobs_executed_total exposed");
+    assert_eq!(executed.value, 1.0, "one cold job executed");
 
     handle.shutdown_and_join();
-    eprintln!("smoke: ok ({} requests served)", 3);
+
+    // All workers have joined: the captured log must show the cold run's
+    // correlation id on both the serve request record and the engine's
+    // job record.
+    let lines = logs.lock().expect("log buffer").clone();
+    let stamped: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.contains(&format!("\"request_id\":\"{request_id}\"")))
+        .collect();
+    assert!(
+        stamped
+            .iter()
+            .any(|l| l.contains("\"target\":\"serve\"") && l.contains("\"msg\":\"request\"")),
+        "request id {request_id} missing from serve logs"
+    );
+    assert!(
+        stamped.iter().any(|l| l.contains("\"target\":\"engine\"")),
+        "request id {request_id} missing from engine logs"
+    );
+
+    eprintln!(
+        "smoke: ok ({} log lines captured, request id {request_id})",
+        lines.len()
+    );
 }

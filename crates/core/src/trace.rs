@@ -4,11 +4,13 @@
 //! executed task; [`to_chrome_json`] serializes them in the Chrome tracing
 //! (`chrome://tracing` / Perfetto) JSON array format, with one row per
 //! component, so a run's copy/CPU/GPU interleaving can be inspected
-//! visually. The format is hand-rolled (a flat array of complete events) to
-//! stay within the workspace's dependency budget.
+//! visually. Rendering goes through the shared event builder in
+//! `heteropipe-obs` (which also escapes the full JSON control-character
+//! range, not just quotes and backslashes); [`span_events`] exposes the
+//! individually rendered events so the engine can splice a run's simulated
+//! component timeline into its job-lifecycle traces.
 
-use std::fmt::Write as _;
-
+use heteropipe_obs::TraceBuilder;
 use heteropipe_sim::Ps;
 
 use crate::organize::Server;
@@ -35,8 +37,37 @@ impl TaskSpan {
     }
 }
 
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+/// Renders spans as individual Chrome-trace event objects on pid 1:
+/// three `thread_name` metadata rows (copy-engine / cpu / gpu), then one
+/// complete "X" event per span with `cat` set to `run_name`. Callers that
+/// want a standalone file use [`to_chrome_json`]; the engine keeps these
+/// events and merges them with its own wall-clock phases.
+pub fn span_events(run_name: &str, spans: &[TaskSpan]) -> Vec<String> {
+    let tid = |s: Server| match s {
+        Server::Copy => 0,
+        Server::Cpu => 1,
+        Server::Gpu => 2,
+    };
+    let mut b = TraceBuilder::new();
+    for (label, t) in [("copy-engine", 0), ("cpu", 1), ("gpu", 2)] {
+        b.thread_name(1, t, label);
+    }
+    for s in spans {
+        let name = if s.chunk.1 > 1 {
+            format!("{} [{}/{}]", s.name, s.chunk.0 + 1, s.chunk.1)
+        } else {
+            s.name.clone()
+        };
+        b.complete(
+            1,
+            tid(s.server),
+            &name,
+            run_name,
+            s.start.as_micros_f64(),
+            s.duration().as_micros_f64().max(0.001),
+        );
+    }
+    b.into_events()
 }
 
 /// Serializes spans as a Chrome tracing JSON array (complete "X" events,
@@ -61,37 +92,11 @@ fn escape(s: &str) -> String {
 /// assert!(json.contains("\"dur\":5"));
 /// ```
 pub fn to_chrome_json(run_name: &str, spans: &[TaskSpan]) -> String {
-    let mut out = String::from("[\n");
-    let tid = |s: Server| match s {
-        Server::Copy => 0,
-        Server::Cpu => 1,
-        Server::Gpu => 2,
-    };
-    for (label, t) in [("copy-engine", 0), ("cpu", 1), ("gpu", 2)] {
-        let _ = writeln!(
-            out,
-            "  {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{t},\"args\":{{\"name\":\"{label}\"}}}},"
-        );
+    let mut b = TraceBuilder::new();
+    for e in span_events(run_name, spans) {
+        b.push_raw(e);
     }
-    for (i, s) in spans.iter().enumerate() {
-        let name = if s.chunk.1 > 1 {
-            format!("{} [{}/{}]", s.name, s.chunk.0 + 1, s.chunk.1)
-        } else {
-            s.name.clone()
-        };
-        let _ = write!(
-            out,
-            "  {{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}}}",
-            escape(&name),
-            escape(run_name),
-            tid(s.server),
-            s.start.as_micros_f64(),
-            s.duration().as_micros_f64().max(0.001),
-        );
-        out.push_str(if i + 1 == spans.len() { "\n" } else { ",\n" });
-    }
-    out.push_str("]\n");
-    out
+    b.build()
 }
 
 #[cfg(test)]
@@ -130,6 +135,13 @@ mod tests {
     }
 
     #[test]
+    fn empty_span_list_is_still_wellformed() {
+        let json = to_chrome_json("t", &[]);
+        assert_eq!(json.matches("thread_name").count(), 3);
+        assert!(!json.contains(",\n]"), "no trailing comma after metadata");
+    }
+
+    #[test]
     fn chunked_tasks_are_labelled() {
         let mut s = span("k", Server::Gpu, 0, 1);
         s.chunk = (2, 8);
@@ -142,6 +154,31 @@ mod tests {
         let s = span("weird\"name", Server::Cpu, 0, 1);
         let json = to_chrome_json("t", &[s]);
         assert!(json.contains("weird\\\"name"));
+    }
+
+    /// Control characters in stage names must not survive raw into the
+    /// JSON output (the old escaper only handled `\` and `"`).
+    #[test]
+    fn control_characters_are_escaped() {
+        let s = span("tab\there\nand\u{1}bell\u{7}", Server::Gpu, 0, 1);
+        let json = to_chrome_json("run\rname", &[s]);
+        assert!(
+            !json.chars().any(|c| (c as u32) < 0x20 && c != '\n'),
+            "only the array's own newlines may appear unescaped"
+        );
+        assert!(json.contains("tab\\there\\nand\\u0001bell\\u0007"));
+        assert!(json.contains("run\\rname"));
+    }
+
+    #[test]
+    fn span_events_match_joined_export() {
+        let spans = vec![span("h2d", Server::Copy, 0, 5)];
+        let events = span_events("t", &spans);
+        assert_eq!(events.len(), 4, "3 metadata rows + 1 span");
+        let json = to_chrome_json("t", &spans);
+        for e in &events {
+            assert!(json.contains(e.as_str()), "event {e} present in export");
+        }
     }
 
     #[test]

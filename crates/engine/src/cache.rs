@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use heteropipe::RunReport;
+use heteropipe_obs::log as obs_log;
 
 use crate::codec;
 use crate::key::RunKey;
@@ -81,15 +82,17 @@ impl ResultCache {
     }
 
     /// Stores `report` under `key` in both tiers. Disk errors (read-only
-    /// filesystem, disk full) are swallowed: caching is an optimization,
-    /// never a correctness requirement.
+    /// filesystem, disk full) never surface to the caller — caching is an
+    /// optimization, never a correctness requirement — but each failure is
+    /// logged at warn level so a silently cold cache is diagnosable.
     pub fn put(&self, key: RunKey, report: &RunReport) {
         self.memory.lock().unwrap().insert(key.0, report.clone());
         let Some(path) = self.path_for(key) else {
             return;
         };
         let Some(dir) = path.parent() else { return };
-        if std::fs::create_dir_all(dir).is_err() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            self.warn_persist(key, "create cache dir", &e);
             return;
         }
         let tmp = dir.join(format!(
@@ -98,11 +101,27 @@ impl ResultCache {
             std::process::id(),
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
-        if std::fs::write(&tmp, codec::encode(report)).is_ok()
-            && std::fs::rename(&tmp, &path).is_err()
-        {
-            let _ = std::fs::remove_file(&tmp);
+        match std::fs::write(&tmp, codec::encode(report)) {
+            Ok(()) => {
+                if let Err(e) = std::fs::rename(&tmp, &path) {
+                    self.warn_persist(key, "rename into place", &e);
+                    let _ = std::fs::remove_file(&tmp);
+                }
+            }
+            Err(e) => self.warn_persist(key, "write temp file", &e),
         }
+    }
+
+    fn warn_persist(&self, key: RunKey, op: &str, err: &std::io::Error) {
+        obs_log::warn(
+            "engine",
+            "cache persist failed",
+            &[
+                ("run_key", key.hex().into()),
+                ("op", op.into()),
+                ("error", err.to_string().into()),
+            ],
+        );
     }
 
     /// Entries currently held in memory.

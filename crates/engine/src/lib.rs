@@ -16,7 +16,13 @@
 //!   failure capture and deterministic, submission-ordered results;
 //! * **run metrics** ([`metrics::RunMetrics`]): jobs executed, cache hits
 //!   by tier, simulated time, and wall time, summarized on stderr and
-//!   exportable as CSV.
+//!   exportable as CSV;
+//! * **job-lifecycle tracing** (via `heteropipe-obs`): every job records
+//!   its wall-clock phases — queue wait, cache probe, execute, persist —
+//!   into a bounded [`heteropipe_obs::TraceStore`], merged with the run's
+//!   simulated component timeline, retrievable as Chrome-trace JSON and
+//!   correlated to the originating HTTP request by id
+//!   ([`Engine::execute_observed`]).
 //!
 //! Because the simulator is deterministic and [`heteropipe::RunReport`]
 //! is float-free, a cached result is bit-for-bit the result a fresh run
@@ -35,6 +41,8 @@ use std::time::Instant;
 
 use heteropipe::exec::{par_map, JobError};
 use heteropipe::{Executor, JobSpec, RunReport};
+use heteropipe_obs::log as obs_log;
+use heteropipe_obs::{JobTrace, PhaseTimer, TraceStore};
 
 pub use cache::{CacheTier, ResultCache};
 pub use key::{run_key, RunKey, SCHEMA_VERSION};
@@ -42,6 +50,9 @@ pub use metrics::{MetricsSnapshot, RunMetrics};
 
 /// The default on-disk cache location, relative to the working directory.
 pub const DEFAULT_CACHE_DIR: &str = "results/cache";
+
+/// Default number of job traces retained by the engine's trace store.
+pub const DEFAULT_TRACE_CAPACITY: usize = 256;
 
 /// The caching executor. Construct with [`Engine::new`] and customize with
 /// the builder methods, then hand it to the `*_with` experiment drivers as
@@ -51,6 +62,7 @@ pub struct Engine {
     jobs: usize,
     cache: Option<ResultCache>,
     metrics: RunMetrics,
+    traces: TraceStore,
 }
 
 impl Engine {
@@ -61,6 +73,7 @@ impl Engine {
             jobs: heteropipe::exec::default_parallelism(),
             cache: Some(ResultCache::on_disk(DEFAULT_CACHE_DIR)),
             metrics: RunMetrics::new(),
+            traces: TraceStore::new(DEFAULT_TRACE_CAPACITY),
         }
     }
 
@@ -88,6 +101,13 @@ impl Engine {
         self
     }
 
+    /// Retains up to `cap` job traces instead of
+    /// [`DEFAULT_TRACE_CAPACITY`] (clamped to ≥ 1).
+    pub fn with_trace_capacity(mut self, cap: usize) -> Self {
+        self.traces = TraceStore::new(cap);
+        self
+    }
+
     /// The configured batch parallelism.
     pub fn jobs(&self) -> usize {
         self.jobs
@@ -101,6 +121,126 @@ impl Engine {
     /// A snapshot of this engine's counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// The bounded store of recent job traces, keyed by run-key hex.
+    pub fn traces(&self) -> &TraceStore {
+        &self.traces
+    }
+
+    /// Executes a job like [`Executor::execute`], stamping `request_id`
+    /// (the HTTP correlation id, when the job came in over the wire) onto
+    /// the job's trace and log lines.
+    pub fn execute_observed(&self, job: &JobSpec<'_>, request_id: Option<&str>) -> RunReport {
+        self.execute_inner(job, request_id, 0)
+    }
+
+    /// The shared execution path: probes the cache, simulates on a miss,
+    /// persists the result, and records a [`JobTrace`] of the lifecycle.
+    /// `queue_ns` is time already spent waiting in the batch queue.
+    fn execute_inner(
+        &self,
+        job: &JobSpec<'_>,
+        request_id: Option<&str>,
+        queue_ns: u64,
+    ) -> RunReport {
+        let mut timer = PhaseTimer::with_queue(queue_ns);
+        let key = run_key(job);
+
+        if let Some(cache) = &self.cache {
+            let probe = timer.time("cache_probe", || cache.get(key));
+            if let Some((report, tier)) = probe {
+                let outcome = match tier {
+                    CacheTier::Memory => {
+                        self.metrics.record_memory_hit();
+                        "memory_hit"
+                    }
+                    CacheTier::Disk => {
+                        self.metrics.record_disk_hit();
+                        "disk_hit"
+                    }
+                };
+                self.store_trace(key, &report, request_id, outcome, timer, Vec::new());
+                self.log_job(
+                    obs_log::Level::Debug,
+                    "cache hit",
+                    key,
+                    &report,
+                    request_id,
+                    outcome,
+                );
+                return report;
+            }
+            self.metrics.record_miss();
+        }
+
+        let start = Instant::now();
+        let (report, spans) = timer.time("execute", || {
+            heteropipe::run::run_traced(
+                job.pipeline,
+                job.config,
+                job.organization,
+                job.misalignment_sensitive,
+            )
+        });
+        self.metrics
+            .record_executed(report.roi.as_picos(), start.elapsed().as_nanos() as u64);
+        if let Some(cache) = &self.cache {
+            timer.time("persist", || cache.put(key, &report));
+        }
+        let sim_events = heteropipe::trace::span_events(&report.benchmark, &spans);
+        self.store_trace(key, &report, request_id, "executed", timer, sim_events);
+        self.log_job(
+            obs_log::Level::Info,
+            "job executed",
+            key,
+            &report,
+            request_id,
+            "executed",
+        );
+        report
+    }
+
+    fn store_trace(
+        &self,
+        key: RunKey,
+        report: &RunReport,
+        request_id: Option<&str>,
+        outcome: &str,
+        timer: PhaseTimer,
+        sim_events: Vec<String>,
+    ) {
+        self.traces.insert(JobTrace {
+            key_hex: key.hex(),
+            benchmark: report.benchmark.clone(),
+            request_id: request_id.map(str::to_owned),
+            outcome: outcome.to_owned(),
+            phases: timer.finish(),
+            sim_events,
+        });
+    }
+
+    fn log_job(
+        &self,
+        level: obs_log::Level,
+        msg: &str,
+        key: RunKey,
+        report: &RunReport,
+        request_id: Option<&str>,
+        outcome: &str,
+    ) {
+        obs_log::log(
+            level,
+            "engine",
+            msg,
+            &[
+                ("request_id", request_id.unwrap_or("-").into()),
+                ("run_key", key.hex().into()),
+                ("benchmark", report.benchmark.as_str().into()),
+                ("outcome", outcome.into()),
+                ("simulated_ps", report.roi.as_picos().into()),
+            ],
+        );
     }
 
     /// Prints the metrics summary footer to stderr (stdout stays reserved
@@ -123,50 +263,34 @@ const _: fn() = || {
     assert_send_sync::<Engine>();
     assert_send_sync::<ResultCache>();
     assert_send_sync::<RunMetrics>();
+    assert_send_sync::<TraceStore>();
 };
 
 impl Executor for Engine {
     fn execute(&self, job: &JobSpec<'_>) -> RunReport {
-        let Some(cache) = &self.cache else {
-            let start = Instant::now();
-            let report = heteropipe::run::run(
-                job.pipeline,
-                job.config,
-                job.organization,
-                job.misalignment_sensitive,
-            );
-            self.metrics
-                .record_executed(report.roi.as_picos(), start.elapsed().as_nanos() as u64);
-            return report;
-        };
-
-        let key = run_key(job);
-        if let Some((report, tier)) = cache.get(key) {
-            match tier {
-                CacheTier::Memory => self.metrics.record_memory_hit(),
-                CacheTier::Disk => self.metrics.record_disk_hit(),
-            }
-            return report;
-        }
-        self.metrics.record_miss();
-        let start = Instant::now();
-        let report = heteropipe::run::run(
-            job.pipeline,
-            job.config,
-            job.organization,
-            job.misalignment_sensitive,
-        );
-        self.metrics
-            .record_executed(report.roi.as_picos(), start.elapsed().as_nanos() as u64);
-        cache.put(key, &report);
-        report
+        self.execute_inner(job, None, 0)
     }
 
     fn execute_batch(&self, jobs: &[JobSpec<'_>]) -> Vec<Result<RunReport, JobError>> {
-        let out = par_map(jobs, self.jobs, |j| self.execute(j));
-        for r in &out {
-            if r.is_err() {
+        // Queue wait is measured from batch submission to the moment a
+        // worker picks the job up; it shows up as the `queue` phase of the
+        // job's trace.
+        let submit = Instant::now();
+        let out = par_map(jobs, self.jobs, |j| {
+            let queue_ns = submit.elapsed().as_nanos() as u64;
+            self.execute_inner(j, None, queue_ns)
+        });
+        for (i, r) in out.iter().enumerate() {
+            if let Err(e) = r {
                 self.metrics.record_failure();
+                obs_log::error(
+                    "engine",
+                    "job failed",
+                    &[
+                        ("job_index", (i as u64).into()),
+                        ("error", e.to_string().into()),
+                    ],
+                );
             }
         }
         out
@@ -347,6 +471,79 @@ mod tests {
         }
         assert_eq!(files, 2, "one intact cache file per distinct job");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn traces_record_lifecycle_and_survive_cache_hits() {
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::discrete();
+        let spec = kmeans_spec(&p, &cfg);
+
+        let engine = Engine::new().memory_cache_only().with_trace_capacity(8);
+        let cold = engine.execute_observed(&spec, Some("req-cold"));
+        let key_hex = run_key(&spec).hex();
+
+        let t = engine.traces().get(&key_hex).expect("cold run traced");
+        assert_eq!(t.outcome, "executed");
+        assert_eq!(t.request_id.as_deref(), Some("req-cold"));
+        assert_eq!(t.benchmark, cold.benchmark);
+        let names: Vec<&str> = t.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["cache_probe", "execute", "persist"]);
+        assert!(
+            !t.sim_events.is_empty(),
+            "executed run carries sim timeline"
+        );
+
+        let warm = engine.execute_observed(&spec, Some("req-warm"));
+        assert_eq!(warm, cold);
+        let t = engine.traces().get(&key_hex).unwrap();
+        assert_eq!(t.outcome, "memory_hit");
+        assert_eq!(t.request_id.as_deref(), Some("req-warm"));
+        assert!(
+            !t.sim_events.is_empty(),
+            "warm hit inherits the simulated timeline"
+        );
+        let json = engine.traces().render(&key_hex).unwrap();
+        assert!(json.contains("\"request_id\":\"req-warm\""));
+        assert!(json.contains("\"pid\":1"), "sim events present");
+        assert!(json.contains(&format!("\"run_key\":\"{key_hex}\"")));
+    }
+
+    #[test]
+    fn uncached_engine_still_traces() {
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::discrete();
+        let spec = kmeans_spec(&p, &cfg);
+        let engine = Engine::new().without_cache();
+        engine.execute(&spec);
+        let t = engine.traces().get(&run_key(&spec).hex()).unwrap();
+        assert!(t.request_id.is_none());
+        let names: Vec<&str> = t.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["execute"], "no cache phases without a cache");
+    }
+
+    #[test]
+    fn batch_jobs_record_queue_phase() {
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::discrete();
+        let jobs = [kmeans_spec(&p, &cfg)];
+        let engine = Engine::new().memory_cache_only();
+        engine.execute_batch(&jobs).pop().unwrap().unwrap();
+        let t = engine.traces().get(&run_key(&jobs[0]).hex()).unwrap();
+        assert_eq!(
+            t.phases.first().map(|p| p.name.as_str()),
+            Some("queue"),
+            "batch jobs start with their queue wait"
+        );
     }
 
     #[test]

@@ -177,6 +177,58 @@ mod tests {
         assert_eq!(csv.lines().count(), 2);
     }
 
+    /// Snapshots taken while other threads are recording: every counter
+    /// is monotone across successive snapshots, no snapshot exceeds the
+    /// eventual totals, and the final tallies are exact — no recording is
+    /// lost or double-counted under contention.
+    #[test]
+    fn snapshots_stay_consistent_under_concurrent_recording() {
+        let m = RunMetrics::new();
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 500;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for i in 0..PER_THREAD {
+                        m.record_miss();
+                        m.record_executed(10, 7);
+                        if i % 2 == 0 {
+                            m.record_memory_hit();
+                        } else {
+                            m.record_disk_hit();
+                        }
+                    }
+                });
+            }
+            s.spawn(|| {
+                let mut prev = MetricsSnapshot::default();
+                for _ in 0..200 {
+                    let s = m.snapshot();
+                    for (now, before, name) in [
+                        (s.jobs_executed, prev.jobs_executed, "jobs_executed"),
+                        (s.memory_hits, prev.memory_hits, "memory_hits"),
+                        (s.disk_hits, prev.disk_hits, "disk_hits"),
+                        (s.misses, prev.misses, "misses"),
+                        (s.simulated_ps, prev.simulated_ps, "simulated_ps"),
+                        (s.wall_ns, prev.wall_ns, "wall_ns"),
+                    ] {
+                        assert!(now >= before, "{name} went backwards: {before} -> {now}");
+                    }
+                    assert!(s.jobs_executed <= THREADS * PER_THREAD);
+                    assert!(s.simulated_ps <= THREADS * PER_THREAD * 10);
+                    assert!((0.0..=1.0).contains(&s.hit_rate()));
+                    prev = s;
+                }
+            });
+        });
+        let s = m.snapshot();
+        assert_eq!(s.jobs_executed, THREADS * PER_THREAD);
+        assert_eq!(s.misses, THREADS * PER_THREAD);
+        assert_eq!(s.hits(), THREADS * PER_THREAD);
+        assert_eq!(s.memory_hits, THREADS * PER_THREAD / 2);
+        assert_eq!(s.simulated_ps, THREADS * PER_THREAD * 10);
+    }
+
     #[test]
     fn empty_metrics_are_safe() {
         let s = RunMetrics::new().snapshot();

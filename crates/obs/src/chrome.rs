@@ -1,0 +1,235 @@
+//! Chrome-trace JSON event building, shared by every trace exporter.
+//!
+//! The Chrome tracing format (`chrome://tracing`, Perfetto) is a flat JSON
+//! array of event objects. [`TraceBuilder`] accumulates pre-rendered event
+//! objects and joins them into that array; the simulator's task-span
+//! exporter (`heteropipe::trace`) and the engine's job-lifecycle traces
+//! both render through it, so one run's wall-clock and simulated timelines
+//! land in a single viewable file.
+//!
+//! [`json_escape`] is the one JSON string escaper in the workspace: it
+//! covers the full control range (U+0000..U+001F), not just quotes and
+//! backslashes, so stage names containing stray control characters still
+//! produce valid JSON.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for embedding inside a JSON string literal: `"`, `\`, and
+/// every control character in U+0000..U+001F (common ones as their
+/// two-character shorthands, the rest as `\u00XX`).
+///
+/// # Examples
+///
+/// ```
+/// use heteropipe_obs::json_escape;
+/// assert_eq!(json_escape("a\"b"), "a\\\"b");
+/// assert_eq!(json_escape("line\nbreak"), "line\\nbreak");
+/// assert_eq!(json_escape("bell\u{7}"), "bell\\u0007");
+/// ```
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Accumulates Chrome-trace events and renders the final JSON array.
+///
+/// Events are stored as individually rendered JSON objects so callers can
+/// also pass pre-rendered events through ([`push_raw`](Self::push_raw)) —
+/// that is how the engine splices a run's simulated component timeline
+/// (rendered once, at execution time) into every subsequent trace of the
+/// same cached run.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuilder {
+    events: Vec<String>,
+}
+
+impl TraceBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        TraceBuilder::default()
+    }
+
+    /// Number of events accumulated so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds a pre-rendered event object (must be a complete JSON object,
+    /// no trailing comma).
+    pub fn push_raw(&mut self, event: String) {
+        self.events.push(event);
+    }
+
+    /// Adds a `thread_name` metadata event.
+    pub fn thread_name(&mut self, pid: u32, tid: u32, name: &str) {
+        self.events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        ));
+    }
+
+    /// Adds a `process_name` metadata event.
+    pub fn process_name(&mut self, pid: u32, name: &str) {
+        self.events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        ));
+    }
+
+    /// Adds a complete ("X") event. Timestamps and durations are in
+    /// microseconds, per the trace format.
+    pub fn complete(&mut self, pid: u32, tid: u32, name: &str, cat: &str, ts_us: f64, dur_us: f64) {
+        self.events
+            .push(render_complete(pid, tid, name, cat, ts_us, dur_us, &[]));
+    }
+
+    /// Adds a complete event carrying `args` key/value pairs.
+    #[allow(clippy::too_many_arguments)] // one parameter per trace-event field
+    pub fn complete_with_args(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: &str,
+        cat: &str,
+        ts_us: f64,
+        dur_us: f64,
+        args: &[(&str, &str)],
+    ) {
+        self.events
+            .push(render_complete(pid, tid, name, cat, ts_us, dur_us, args));
+    }
+
+    /// Consumes the builder, yielding the individually rendered event
+    /// objects (for callers that store events and assemble arrays later,
+    /// like the engine's trace store).
+    pub fn into_events(self) -> Vec<String> {
+        self.events
+    }
+
+    /// Renders the accumulated events as a Chrome-trace JSON array.
+    pub fn build(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(e);
+            out.push_str(if i + 1 == self.events.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+/// Renders one complete event object (exposed for exporters that keep
+/// their own event lists, like the engine's [`crate::span::TraceStore`]).
+pub fn render_complete(
+    pid: u32,
+    tid: u32,
+    name: &str,
+    cat: &str,
+    ts_us: f64,
+    dur_us: f64,
+    args: &[(&str, &str)],
+) -> String {
+    let mut out = format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\
+         \"ts\":{ts_us},\"dur\":{dur_us}",
+        json_escape(name),
+        json_escape(cat),
+    );
+    if !args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_full_control_range() {
+        for b in 0u32..0x20 {
+            let c = char::from_u32(b).unwrap();
+            let escaped = json_escape(&c.to_string());
+            assert!(
+                escaped.starts_with('\\'),
+                "control {b:#x} must be escaped, got {escaped:?}"
+            );
+            assert!(
+                escaped.chars().all(|c| (c as u32) >= 0x20),
+                "no raw control bytes may survive"
+            );
+        }
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("q\"b\\s"), "q\\\"b\\\\s");
+        assert_eq!(json_escape("\u{1}\u{1f}"), "\\u0001\\u001f");
+    }
+
+    #[test]
+    fn builds_wellformed_array() {
+        let mut b = TraceBuilder::new();
+        b.process_name(1, "sim");
+        b.thread_name(1, 0, "gpu");
+        b.complete(1, 0, "kernel", "run", 0.0, 5.0);
+        b.complete_with_args(
+            0,
+            0,
+            "job",
+            "executed",
+            0.0,
+            7.5,
+            &[("request_id", "req-1")],
+        );
+        let json = b.build();
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(!json.contains(",\n]"), "no trailing comma");
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("\"args\":{\"request_id\":\"req-1\"}"));
+        assert!(json.contains("\"dur\":7.5"));
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn raw_events_pass_through() {
+        let mut b = TraceBuilder::new();
+        b.push_raw("{\"name\":\"x\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0,\"dur\":1}".into());
+        let json = b.build();
+        assert!(json.contains("\"name\":\"x\""));
+    }
+}

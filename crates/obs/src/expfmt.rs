@@ -1,0 +1,313 @@
+//! An in-tree validator for the Prometheus text exposition format.
+//!
+//! CI's smoke check scrapes `GET /metrics?format=prometheus` and runs the
+//! body through [`parse`]; a malformed exposition (bad metric name, broken
+//! label syntax, non-numeric value, non-monotonic histogram buckets) fails
+//! the build rather than the first real scraper pointed at the service.
+//! The subset validated is the classic text format, version 0.0.4 — what
+//! [`crate::registry::MetricRegistry::render_prometheus`] emits.
+
+use std::collections::HashMap;
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (including any `_bucket` / `_sum` / `_count` suffix).
+    pub name: String,
+    /// Labels in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of the label `name`, if present.
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse().ok(),
+    }
+}
+
+/// Parses a label block `name="value",...` (without the surrounding
+/// braces). Returns `None` on any syntax error.
+fn parse_labels(s: &str) -> Option<Vec<(String, String)>> {
+    let mut labels = Vec::new();
+    let mut rest = s.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=')?;
+        let name = rest[..eq].trim();
+        if !valid_label_name(name) {
+            return None;
+        }
+        rest = rest[eq + 1..].trim_start();
+        if !rest.starts_with('"') {
+            return None;
+        }
+        // Scan the quoted value honouring backslash escapes.
+        let mut value = String::new();
+        let mut chars = rest[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    _ => return None,
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end?;
+        labels.push((name.to_owned(), value));
+        rest = rest[1 + end + 1..].trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+            if rest.is_empty() {
+                return None; // trailing comma
+            }
+        } else if !rest.is_empty() {
+            return None;
+        }
+    }
+    Some(labels)
+}
+
+/// Validates `text` as Prometheus text exposition format and returns the
+/// parsed samples. The first malformed line aborts with a message naming
+/// the 1-based line number and the problem.
+pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    let mut types: HashMap<String, String> = HashMap::new();
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split_whitespace().next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {ln}: HELP names invalid metric {name:?}"));
+                }
+            } else if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {ln}: TYPE names invalid metric {name:?}"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {ln}: unknown metric type {kind:?}"));
+                }
+                types.insert(name.to_owned(), kind.to_owned());
+            }
+            // Other comments are free-form and ignored.
+            continue;
+        }
+
+        // Sample line: name[{labels}] value [timestamp]
+        let (name_and_labels, tail) = match line.find(['{', ' ']) {
+            Some(i) if line.as_bytes()[i] == b'{' => {
+                let close = line
+                    .rfind('}')
+                    .ok_or_else(|| format!("line {ln}: unclosed label block"))?;
+                (
+                    (&line[..i], Some(&line[i + 1..close])),
+                    line[close + 1..].trim(),
+                )
+            }
+            Some(i) => ((&line[..i], None), line[i + 1..].trim()),
+            None => return Err(format!("line {ln}: sample without value")),
+        };
+        let (name, label_block) = name_and_labels;
+        if !valid_metric_name(name) {
+            return Err(format!("line {ln}: invalid metric name {name:?}"));
+        }
+        let labels = match label_block {
+            Some(block) => parse_labels(block)
+                .ok_or_else(|| format!("line {ln}: malformed labels {block:?}"))?,
+            None => Vec::new(),
+        };
+        let mut tail_parts = tail.split_whitespace();
+        let value = tail_parts
+            .next()
+            .and_then(parse_value)
+            .ok_or_else(|| format!("line {ln}: unparseable value in {tail:?}"))?;
+        // Optional timestamp (integer milliseconds).
+        if let Some(ts) = tail_parts.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err(format!("line {ln}: bad timestamp {ts:?}"));
+            }
+        }
+        if tail_parts.next().is_some() {
+            return Err(format!("line {ln}: trailing garbage"));
+        }
+        samples.push(Sample {
+            name: name.to_owned(),
+            labels,
+            value,
+        });
+    }
+
+    validate_histograms(&samples, &types)?;
+    Ok(samples)
+}
+
+/// For every family declared `histogram`, checks bucket counts are
+/// cumulative (non-decreasing in `le` order as emitted) and that the
+/// `+Inf` bucket equals `_count`.
+fn validate_histograms(samples: &[Sample], types: &HashMap<String, String>) -> Result<(), String> {
+    for (family, kind) in types {
+        if kind != "histogram" {
+            continue;
+        }
+        let bucket = format!("{family}_bucket");
+        let count_name = format!("{family}_count");
+        // Group by the label set minus `le`, preserving emission order.
+        type LabelSet = Vec<(String, String)>;
+        let mut groups: Vec<(LabelSet, Vec<&Sample>)> = Vec::new();
+        for s in samples.iter().filter(|s| s.name == bucket) {
+            let key: LabelSet = s
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .cloned()
+                .collect();
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => v.push(s),
+                None => groups.push((key, vec![s])),
+            }
+        }
+        for (key, buckets) in &groups {
+            let mut last = f64::NEG_INFINITY;
+            let mut inf = None;
+            for b in buckets {
+                if b.value < last {
+                    return Err(format!("histogram {family}: bucket counts not cumulative"));
+                }
+                last = b.value;
+                if b.label("le") == Some("+Inf") {
+                    inf = Some(b.value);
+                }
+            }
+            let inf = inf.ok_or_else(|| format!("histogram {family}: missing +Inf bucket"))?;
+            if let Some(count) = samples
+                .iter()
+                .find(|s| {
+                    s.name == count_name
+                        && s.labels
+                            .iter()
+                            .filter(|(k, _)| k != "le")
+                            .all(|l| key.contains(l))
+                        && key.iter().all(|l| s.labels.contains(l))
+                })
+                .map(|s| s.value)
+            {
+                if (count - inf).abs() > f64::EPSILON {
+                    return Err(format!(
+                        "histogram {family}: +Inf bucket {inf} != count {count}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_registry_output() {
+        let r = crate::MetricRegistry::new();
+        r.counter("jobs_total", "Jobs.").add(3);
+        r.counter_with("hits_total", "Hits.", &[("tier", "disk")])
+            .add(1);
+        r.gauge("in_flight", "In flight.").set(0.5);
+        let h = r.histogram("latency_us", "Latency.");
+        for v in [1, 5, 9, 1000] {
+            h.observe(v);
+        }
+        let text = r.render_prometheus();
+        let samples = parse(&text).expect("registry output must validate");
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "jobs_total" && s.value == 3.0));
+        let hit = samples.iter().find(|s| s.name == "hits_total").unwrap();
+        assert_eq!(hit.label("tier"), Some("disk"));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "latency_us_bucket" && s.label("le") == Some("+Inf")));
+    }
+
+    #[test]
+    fn accepts_escapes_timestamps_and_inf() {
+        let text = "# TYPE t counter\nt{path=\"a\\\"b\\\\c\\nd\"} 1 1700000000000\nx +Inf\n";
+        let samples = parse(text).unwrap();
+        assert_eq!(samples[0].label("path"), Some("a\"b\\c\nd"));
+        assert!(samples[1].value.is_infinite());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "9metric 1\n",
+            "m{=\"v\"} 1\n",
+            "m{l=\"v\" 1\n",
+            "m{l=\"v\",} 1\n",
+            "m notanumber\n",
+            "m 1 2 3\n",
+            "# TYPE m sideways\n",
+            "justaname\n",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_cumulative_histogram() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n\
+                    h_sum 9\nh_count 5\n";
+        assert!(parse(text).unwrap_err().contains("not cumulative"));
+        let missing_inf = "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\nh_sum 1\n";
+        assert!(parse(missing_inf).unwrap_err().contains("+Inf"));
+        let mismatch = "# TYPE h histogram\n\
+                        h_bucket{le=\"+Inf\"} 4\nh_count 5\nh_sum 9\n";
+        assert!(parse(mismatch).unwrap_err().contains("!= count"));
+    }
+}

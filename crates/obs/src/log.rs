@@ -1,0 +1,303 @@
+//! Leveled JSON-lines structured logging, zero dependencies.
+//!
+//! Every line is one JSON object on stderr:
+//!
+//! ```text
+//! {"ts_ms":1723000000000,"level":"info","target":"serve","msg":"request","request_id":"req-...","status":"200"}
+//! ```
+//!
+//! The level is configured through the `HETEROPIPE_LOG` environment
+//! variable (`off`, `error`, `warn`, `info`, `debug`, `trace`); binaries
+//! call [`init_from_env_or`] once with their preferred default. Log lines
+//! never go to stdout — the harness binaries' stdout tables stay
+//! byte-identical whether logging is on or off.
+//!
+//! Tests swap the stderr sink for an in-memory capture buffer with
+//! [`capture`] and assert on the emitted lines.
+
+use std::fmt;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::chrome::json_escape;
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Logging disabled entirely.
+    Off = 0,
+    /// Unrecoverable or dropped work.
+    Error = 1,
+    /// Degraded but continuing (e.g. cache persist failed).
+    Warn = 2,
+    /// Request/job lifecycle events.
+    Info = 3,
+    /// Per-phase detail.
+    Debug = 4,
+    /// Everything.
+    Trace = 5,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a `HETEROPIPE_LOG` value, case-insensitively. `0`..`5` are
+    /// accepted as numeric aliases.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Some(Level::Off),
+            "error" | "1" => Some(Level::Error),
+            "warn" | "warning" | "2" => Some(Level::Warn),
+            "info" | "3" => Some(Level::Info),
+            "debug" | "4" => Some(Level::Debug),
+            "trace" | "5" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A structured field value. Strings are JSON-escaped on emit; numbers
+/// pass through as JSON numbers so downstream tooling can aggregate them.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A string field.
+    Str(String),
+    /// An unsigned integer field.
+    U64(u64),
+    /// A float field.
+    F64(f64),
+    /// A boolean field.
+    Bool(bool),
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+enum Sink {
+    Stderr,
+    Capture(Arc<Mutex<Vec<String>>>),
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+
+fn sink() -> &'static Mutex<Sink> {
+    SINK.get_or_init(|| Mutex::new(Sink::Stderr))
+}
+
+/// Sets the global level directly.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current global level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Error,
+        2 => Level::Warn,
+        3 => Level::Info,
+        4 => Level::Debug,
+        _ => Level::Trace,
+    }
+}
+
+/// Initializes the level from `HETEROPIPE_LOG`, falling back to `default`
+/// when the variable is unset or unparseable. Returns the level in effect.
+pub fn init_from_env_or(default: Level) -> Level {
+    let lvl = std::env::var("HETEROPIPE_LOG")
+        .ok()
+        .and_then(|v| Level::parse(&v))
+        .unwrap_or(default);
+    set_level(lvl);
+    lvl
+}
+
+/// Whether a record at `lvl` would currently be emitted.
+pub fn enabled(lvl: Level) -> bool {
+    lvl != Level::Off && lvl <= level()
+}
+
+/// Redirects log output into an in-memory buffer and returns a handle to
+/// it; used by tests and the smoke binary to assert on emitted lines.
+/// Capture stays in effect for the remainder of the process.
+pub fn capture() -> Arc<Mutex<Vec<String>>> {
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    *sink().lock().unwrap() = Sink::Capture(Arc::clone(&buf));
+    buf
+}
+
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Emits one structured record at `lvl` if the level allows it.
+/// `target` names the subsystem (`engine`, `serve`, ...); `fields` are
+/// appended as additional JSON members after `msg`.
+pub fn log(lvl: Level, target: &str, msg: &str, fields: &[(&str, Value)]) {
+    if !enabled(lvl) {
+        return;
+    }
+    let mut line = format!(
+        "{{\"ts_ms\":{},\"level\":\"{}\",\"target\":\"{}\",\"msg\":\"{}\"",
+        now_ms(),
+        lvl.as_str(),
+        json_escape(target),
+        json_escape(msg),
+    );
+    for (k, v) in fields {
+        line.push_str(",\"");
+        line.push_str(&json_escape(k));
+        line.push_str("\":");
+        match v {
+            Value::Str(s) => {
+                line.push('"');
+                line.push_str(&json_escape(s));
+                line.push('"');
+            }
+            Value::U64(n) => line.push_str(&n.to_string()),
+            Value::F64(f) if f.is_finite() => line.push_str(&format!("{f}")),
+            Value::F64(_) => line.push_str("null"),
+            Value::Bool(b) => line.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+    line.push('}');
+    match &*sink().lock().unwrap() {
+        Sink::Stderr => {
+            let stderr = std::io::stderr();
+            let mut w = stderr.lock();
+            let _ = writeln!(w, "{line}");
+        }
+        Sink::Capture(buf) => buf.lock().unwrap().push(line),
+    }
+}
+
+/// Logs at [`Level::Error`].
+pub fn error(target: &str, msg: &str, fields: &[(&str, Value)]) {
+    log(Level::Error, target, msg, fields);
+}
+
+/// Logs at [`Level::Warn`].
+pub fn warn(target: &str, msg: &str, fields: &[(&str, Value)]) {
+    log(Level::Warn, target, msg, fields);
+}
+
+/// Logs at [`Level::Info`].
+pub fn info(target: &str, msg: &str, fields: &[(&str, Value)]) {
+    log(Level::Info, target, msg, fields);
+}
+
+/// Logs at [`Level::Debug`].
+pub fn debug(target: &str, msg: &str, fields: &[(&str, Value)]) {
+    log(Level::Debug, target, msg, fields);
+}
+
+/// Logs at [`Level::Trace`].
+pub fn trace(target: &str, msg: &str, fields: &[(&str, Value)]) {
+    log(Level::Trace, target, msg, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The sink and level are global process state, so these assertions run
+    // inside one test to avoid interleaving with each other.
+    #[test]
+    fn levels_sinks_and_json_shape() {
+        assert!(Level::parse("INFO") == Some(Level::Info));
+        assert!(Level::parse("Warning") == Some(Level::Warn));
+        assert!(Level::parse("5") == Some(Level::Trace));
+        assert!(Level::parse("loud").is_none());
+        assert!(Level::Error < Level::Trace);
+
+        let buf = capture();
+        set_level(Level::Info);
+        assert!(enabled(Level::Error) && enabled(Level::Info));
+        assert!(!enabled(Level::Debug) && !enabled(Level::Off));
+
+        info(
+            "serve",
+            "request \"done\"",
+            &[
+                ("request_id", Value::from("req-1")),
+                ("status", Value::from(200u64)),
+                ("hit", Value::from(true)),
+                ("ratio", Value::from(0.5)),
+                ("nan", Value::F64(f64::NAN)),
+            ],
+        );
+        debug("serve", "suppressed", &[]);
+        let lines = buf.lock().unwrap().clone();
+        assert_eq!(lines.len(), 1, "debug below level must be dropped");
+        let line = &lines[0];
+        assert!(line.starts_with("{\"ts_ms\":"), "line: {line}");
+        assert!(line.contains("\"level\":\"info\""));
+        assert!(line.contains("\"msg\":\"request \\\"done\\\"\""));
+        assert!(line.contains("\"request_id\":\"req-1\""));
+        assert!(line.contains("\"status\":200"));
+        assert!(line.contains("\"hit\":true"));
+        assert!(line.contains("\"ratio\":0.5"));
+        assert!(line.contains("\"nan\":null"));
+        assert!(line.ends_with('}'));
+
+        set_level(Level::Off);
+        error("serve", "even errors off", &[]);
+        assert_eq!(buf.lock().unwrap().len(), 1);
+        set_level(Level::Warn);
+    }
+}

@@ -1,0 +1,401 @@
+//! A thread-safe metric registry with Prometheus text-format exposition.
+//!
+//! Three metric kinds, mirroring the Prometheus data model: monotonic
+//! [`Counter`]s, arbitrary [`Gauge`]s, and [`HistogramHandle`]s backed by
+//! the workspace's power-of-two [`heteropipe_sim::Histogram`] (whose
+//! bucket boundaries become the exposition's `le` thresholds). Handles are
+//! cheap `Arc` clones; recording never takes the registry lock, only the
+//! individual metric's own synchronization.
+//!
+//! [`MetricRegistry::render_prometheus`] emits the classic text exposition
+//! format (`# HELP` / `# TYPE` comments, one sample per line) that
+//! Prometheus, VictoriaMetrics, and friends scrape; the in-tree
+//! [`crate::expfmt`] validator round-trips it in CI.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use heteropipe_sim::Histogram;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sets the absolute value (for snapshot-style registries that are
+    /// rebuilt from another subsystem's counters at scrape time).
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down. Stored as `f64` bits.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram of `u64` samples with power-of-two buckets.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle(Arc<Mutex<Histogram>>);
+
+impl HistogramHandle {
+    /// Records one sample.
+    pub fn observe(&self, v: u64) {
+        self.0.lock().unwrap().record(v);
+    }
+
+    /// Accumulates a whole recorded histogram (used to publish per-thread
+    /// or per-subsystem recordings at scrape time).
+    pub fn merge(&self, other: &Histogram) {
+        self.0.lock().unwrap().merge(other);
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> Histogram {
+        self.0.lock().unwrap().clone()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Value {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(HistogramHandle),
+}
+
+#[derive(Debug)]
+struct Metric {
+    labels: Vec<(String, String)>,
+    value: Value,
+}
+
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    kind: &'static str,
+    metrics: Vec<Metric>,
+}
+
+/// The registry: named metric families, each holding one metric per label
+/// set, rendered in registration order.
+#[derive(Debug, Default)]
+pub struct MetricRegistry {
+    families: Mutex<Vec<Family>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+impl MetricRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricRegistry::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        kind: &'static str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Value,
+    ) -> Value {
+        assert!(valid_name(name), "invalid metric name: {name:?}");
+        for (k, _) in labels {
+            assert!(valid_label(k), "invalid label name: {k:?}");
+        }
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+            .collect();
+        let mut families = self.families.lock().unwrap();
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                assert_eq!(
+                    f.kind, kind,
+                    "metric {name} registered with conflicting kinds"
+                );
+                f
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_owned(),
+                    help: help.to_owned(),
+                    kind,
+                    metrics: Vec::new(),
+                });
+                families.last_mut().unwrap()
+            }
+        };
+        if let Some(m) = family.metrics.iter().find(|m| m.labels == labels) {
+            return m.value.clone();
+        }
+        let value = make();
+        family.metrics.push(Metric {
+            labels,
+            value: value.clone(),
+        });
+        value
+    }
+
+    /// Registers (or retrieves) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a counter with the given label set.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, "counter", labels, || {
+            Value::Counter(Counter::default())
+        }) {
+            Value::Counter(c) => c,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a gauge with the given label set.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, "gauge", labels, || {
+            Value::Gauge(Gauge::default())
+        }) {
+            Value::Gauge(g) => g,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabeled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> HistogramHandle {
+        match self.register(name, help, "histogram", &[], || {
+            Value::Histogram(HistogramHandle::default())
+        }) {
+            Value::Histogram(h) => h,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Renders every family in the Prometheus text exposition format
+    /// (version 0.0.4).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for f in self.families.lock().unwrap().iter() {
+            out.push_str(&format!("# HELP {} {}\n", f.name, escape_help(&f.help)));
+            out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind));
+            for m in &f.metrics {
+                match &m.value {
+                    Value::Counter(c) => {
+                        out.push_str(&sample(&f.name, &m.labels, None, c.get() as f64));
+                    }
+                    Value::Gauge(g) => {
+                        out.push_str(&sample(&f.name, &m.labels, None, g.get()));
+                    }
+                    Value::Histogram(h) => {
+                        render_histogram(&mut out, &f.name, &m.labels, &h.snapshot());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn format_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn sample(name: &str, labels: &[(String, String)], extra: Option<(&str, &str)>, v: f64) -> String {
+    let mut line = name.to_owned();
+    let has_labels = !labels.is_empty() || extra.is_some();
+    if has_labels {
+        line.push('{');
+        let mut first = true;
+        for (k, val) in labels {
+            if !first {
+                line.push(',');
+            }
+            first = false;
+            line.push_str(&format!("{k}=\"{}\"", escape_label_value(val)));
+        }
+        if let Some((k, val)) = extra {
+            if !first {
+                line.push(',');
+            }
+            line.push_str(&format!("{k}=\"{}\"", escape_label_value(val)));
+        }
+        line.push('}');
+    }
+    line.push(' ');
+    line.push_str(&format_value(v));
+    line.push('\n');
+    line
+}
+
+fn render_histogram(out: &mut String, name: &str, labels: &[(String, String)], h: &Histogram) {
+    let bucket_name = format!("{name}_bucket");
+    let mut cumulative = 0u64;
+    for (upper, count) in h.iter() {
+        cumulative += count;
+        if upper == u64::MAX {
+            continue; // folded into +Inf below
+        }
+        out.push_str(&sample(
+            &bucket_name,
+            labels,
+            Some(("le", &format!("{upper}"))),
+            cumulative as f64,
+        ));
+    }
+    out.push_str(&sample(
+        &bucket_name,
+        labels,
+        Some(("le", "+Inf")),
+        h.count() as f64,
+    ));
+    out.push_str(&sample(
+        &format!("{name}_sum"),
+        labels,
+        None,
+        h.sum() as f64,
+    ));
+    out.push_str(&sample(
+        &format!("{name}_count"),
+        labels,
+        None,
+        h.count() as f64,
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_labels() {
+        let r = MetricRegistry::new();
+        let c = r.counter("jobs_total", "Jobs seen.");
+        c.incr();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+        // Re-registering the same family + labels returns the same handle.
+        r.counter("jobs_total", "Jobs seen.").add(1);
+        assert_eq!(c.get(), 4);
+
+        let hits = r.counter_with("hits_total", "Cache hits.", &[("tier", "memory")]);
+        hits.set(7);
+        let g = r.gauge("in_flight", "Requests in flight.");
+        g.set(2.0);
+
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP jobs_total Jobs seen.\n"));
+        assert!(text.contains("# TYPE jobs_total counter\n"));
+        assert!(text.contains("jobs_total 4\n"));
+        assert!(text.contains("hits_total{tier=\"memory\"} 7\n"));
+        assert!(text.contains("# TYPE in_flight gauge\n"));
+        assert!(text.contains("in_flight 2\n"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let r = MetricRegistry::new();
+        let h = r.histogram("latency_us", "Latency in microseconds.");
+        for v in [1u64, 2, 3, 100] {
+            h.observe(v);
+        }
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE latency_us histogram\n"));
+        // Buckets are cumulative: 0/1 bucket holds 1, (1,2] adds one more...
+        assert!(text.contains("latency_us_bucket{le=\"1\"} 1\n"), "{text}");
+        assert!(text.contains("latency_us_bucket{le=\"2\"} 2\n"));
+        assert!(text.contains("latency_us_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("latency_us_sum 106\n"));
+        assert!(text.contains("latency_us_count 4\n"));
+    }
+
+    #[test]
+    fn merge_publishes_external_recordings() {
+        let r = MetricRegistry::new();
+        let mut local = Histogram::new();
+        local.record(5);
+        local.record(50);
+        let h = r.histogram("lat", "Latency.");
+        h.merge(&local);
+        assert_eq!(h.snapshot().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn rejects_bad_names() {
+        MetricRegistry::new().counter("9bad name", "nope");
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting kinds")]
+    fn rejects_kind_conflicts() {
+        let r = MetricRegistry::new();
+        r.counter("x", "a counter");
+        r.gauge("x", "now a gauge");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = MetricRegistry::new();
+        r.counter_with("c_total", "c", &[("path", "a\"b\\c")])
+            .incr();
+        let text = r.render_prometheus();
+        assert!(text.contains("path=\"a\\\"b\\\\c\""), "{text}");
+    }
+}

@@ -1,16 +1,21 @@
-//! The HTTP API over the engine: health, metrics, the benchmark catalog,
-//! single runs, and whole-experiment renders.
+//! The HTTP API over the engine: health, metrics (JSON and Prometheus
+//! text format), the benchmark catalog, single runs with retrievable
+//! per-run traces, and whole-experiment renders.
 //!
 //! Responses are built from [`crate::json::Json`] values whose object keys
 //! are emitted in insertion order, and [`heteropipe::RunReport`] is
 //! float-free, so a `POST /v1/run` answered from the cache is
-//! byte-identical to the cold response that populated it.
+//! byte-identical to the cold response that populated it. Every `/v1/run`
+//! response carries the run's content address in `X-Run-Key`; feeding it
+//! back to `GET /v1/run/{key}/trace` returns the job's Chrome-trace
+//! timeline, stamped with the originating request's correlation id.
 
 use std::sync::{Arc, OnceLock};
 
 use heteropipe::experiments::{characterize_all_with, fig3, fig456, fig78, fig9, tables};
 use heteropipe::{AccessClass, Executor, JobSpec, Organization, Platform, RunReport, SystemConfig};
 use heteropipe_engine::Engine;
+use heteropipe_obs::MetricRegistry;
 use heteropipe_workloads::{registry, Scale, Workload};
 
 use crate::http::{Request, Response};
@@ -59,13 +64,17 @@ impl Handler for Api {
     fn handle(&self, req: &Request) -> Response {
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => health(),
-            ("GET", "/metrics") => self.metrics(),
+            ("GET", "/metrics") => self.metrics(req),
             ("GET", "/v1/benchmarks") => benchmarks(),
             ("POST", "/v1/run") => self.run(req),
+            ("GET", path) if trace_key(path).is_some() => self.run_trace(trace_key(path).unwrap()),
             ("POST", path) if path.starts_with("/v1/experiments/") => {
                 self.experiment(req, &path["/v1/experiments/".len()..])
             }
             (_, "/healthz" | "/metrics" | "/v1/benchmarks") => {
+                Response::error(405, "method not allowed").with_header("Allow", "GET")
+            }
+            (_, path) if trace_key(path).is_some() => {
                 Response::error(405, "method not allowed").with_header("Allow", "GET")
             }
             (_, "/v1/run") => {
@@ -83,8 +92,147 @@ fn health() -> Response {
     Response::json(200, &Json::Obj(vec![("status".into(), Json::str("ok"))]))
 }
 
+/// The run-key hex of a `/v1/run/{key}/trace` path, if `path` has that
+/// shape (the key segment must be non-empty and slash-free).
+fn trace_key(path: &str) -> Option<&str> {
+    let key = path.strip_prefix("/v1/run/")?.strip_suffix("/trace")?;
+    (!key.is_empty() && !key.contains('/')).then_some(key)
+}
+
+/// Whether a `/metrics` request asked for Prometheus text format instead
+/// of the JSON default: `?format=prometheus` wins, `?format=json` forces
+/// JSON, otherwise an `Accept` header preferring `text/plain` (or an
+/// OpenMetrics type) selects Prometheus.
+fn wants_prometheus(req: &Request) -> bool {
+    for kv in req.query.split('&') {
+        match kv {
+            "format=prometheus" => return true,
+            "format=json" => return false,
+            _ => {}
+        }
+    }
+    req.header("accept").is_some_and(|a| {
+        let a = a.to_ascii_lowercase();
+        a.contains("text/plain") || a.contains("openmetrics")
+    })
+}
+
 impl Api {
-    fn metrics(&self) -> Response {
+    fn metrics(&self, req: &Request) -> Response {
+        if wants_prometheus(req) {
+            return self.metrics_prometheus();
+        }
+        self.metrics_json()
+    }
+
+    /// Prometheus text exposition of the same counters `/metrics` reports
+    /// as JSON, built fresh per scrape from the engine and server state.
+    fn metrics_prometheus(&self) -> Response {
+        let r = MetricRegistry::new();
+        let e = self.engine.metrics();
+        let set = |name: &str, help: &str, v: u64| r.counter(name, help).set(v);
+        set(
+            "heteropipe_engine_jobs_executed_total",
+            "Jobs actually simulated (cache misses and uncached runs).",
+            e.jobs_executed,
+        );
+        for (tier, v) in [("memory", e.memory_hits), ("disk", e.disk_hits)] {
+            r.counter_with(
+                "heteropipe_engine_cache_hits_total",
+                "Cache hits by tier.",
+                &[("tier", tier)],
+            )
+            .set(v);
+        }
+        set(
+            "heteropipe_engine_cache_misses_total",
+            "Cache lookups that found nothing.",
+            e.misses,
+        );
+        set(
+            "heteropipe_engine_job_failures_total",
+            "Jobs that panicked inside a batch.",
+            e.failures,
+        );
+        set(
+            "heteropipe_engine_simulated_picoseconds_total",
+            "Total simulated time across executed jobs.",
+            e.simulated_ps,
+        );
+        set(
+            "heteropipe_engine_wall_nanoseconds_total",
+            "Total wall-clock time spent simulating.",
+            e.wall_ns,
+        );
+        r.gauge(
+            "heteropipe_engine_traces_retained",
+            "Job traces currently held by the trace store.",
+        )
+        .set(self.engine.traces().len() as f64);
+
+        if let Some(s) = self.stats.get() {
+            use std::sync::atomic::Ordering::Relaxed;
+            set(
+                "heteropipe_server_requests_total",
+                "Requests fully parsed and dispatched to the handler.",
+                s.requests.load(Relaxed),
+            );
+            set(
+                "heteropipe_server_rejected_total",
+                "Connections refused with a 503 by the admission check.",
+                s.rejected.load(Relaxed),
+            );
+            r.gauge(
+                "heteropipe_server_in_flight",
+                "Requests currently inside the handler.",
+            )
+            .set(s.in_flight.load(Relaxed) as f64);
+            for (class, v) in [
+                ("2xx", s.status_2xx.load(Relaxed)),
+                ("4xx", s.status_4xx.load(Relaxed)),
+                ("5xx", s.status_5xx.load(Relaxed)),
+            ] {
+                r.counter_with(
+                    "heteropipe_server_responses_total",
+                    "Responses sent, by status class.",
+                    &[("class", class)],
+                )
+                .set(v);
+            }
+            r.histogram(
+                "heteropipe_server_request_latency_microseconds",
+                "Handler latency distribution.",
+            )
+            .merge(&s.latency_us.lock().unwrap());
+        }
+
+        Response {
+            status: 200,
+            headers: vec![(
+                "Content-Type".into(),
+                "text/plain; version=0.0.4; charset=utf-8".into(),
+            )],
+            body: r.render_prometheus().into_bytes(),
+            chunked: false,
+        }
+    }
+
+    fn run_trace(&self, key: &str) -> Response {
+        if key.len() != 32 || !key.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Response::error(400, "run key must be 32 hex characters");
+        }
+        match self.engine.traces().render(&key.to_ascii_lowercase()) {
+            Some(json) => Response {
+                status: 200,
+                headers: vec![("Content-Type".into(), "application/json".into())],
+                body: json.into_bytes(),
+                chunked: false,
+            },
+            None => Response::error(404, "no trace retained for that run key"),
+        }
+    }
+
+    fn metrics_json(&self) -> Response {
         let e = self.engine.metrics();
         let engine = Json::Obj(vec![
             ("jobs_total".into(), Json::U64(e.jobs_total())),
@@ -188,13 +336,16 @@ impl Api {
             .and_then(Json::as_bool)
             .unwrap_or(workload.meta.misalignment_sensitive);
 
-        let report = self.engine.execute(&JobSpec {
+        let spec = JobSpec {
             pipeline: &pipeline,
             config: &config,
             organization,
             misalignment_sensitive,
-        });
-        Response::json(200, &report_json(&report))
+        };
+        let key = heteropipe_engine::run_key(&spec);
+        let request_id = (!req.request_id.is_empty()).then_some(req.request_id.as_str());
+        let report = self.engine.execute_observed(&spec, request_id);
+        Response::json(200, &report_json(&report)).with_header("X-Run-Key", &key.hex())
     }
 
     fn experiment(&self, req: &Request, name: &str) -> Response {
@@ -416,6 +567,42 @@ pub fn report_json(r: &RunReport) -> Json {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trace_key_extraction() {
+        assert_eq!(trace_key("/v1/run/abc123/trace"), Some("abc123"));
+        assert_eq!(trace_key("/v1/run//trace"), None);
+        assert_eq!(trace_key("/v1/run/a/b/trace"), None);
+        assert_eq!(trace_key("/v1/run/abc123"), None);
+        assert_eq!(trace_key("/v1/runs/abc123/trace"), None);
+    }
+
+    #[test]
+    fn metrics_format_negotiation() {
+        let req = |query: &str, accept: Option<&str>| Request {
+            method: "GET".into(),
+            path: "/metrics".into(),
+            query: query.into(),
+            headers: accept
+                .map(|a| vec![("accept".to_string(), a.to_string())])
+                .unwrap_or_default(),
+            body: Vec::new(),
+            http10: false,
+            request_id: String::new(),
+        };
+        assert!(wants_prometheus(&req("format=prometheus", None)));
+        assert!(!wants_prometheus(&req("", None)), "JSON by default");
+        assert!(wants_prometheus(&req("", Some("text/plain"))));
+        assert!(wants_prometheus(&req(
+            "",
+            Some("application/openmetrics-text; version=1.0.0")
+        )));
+        assert!(
+            !wants_prometheus(&req("format=json", Some("text/plain"))),
+            "explicit query parameter beats the Accept header"
+        );
+        assert!(!wants_prometheus(&req("", Some("application/json"))));
+    }
 
     #[test]
     fn organization_parsing() {

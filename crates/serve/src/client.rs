@@ -61,17 +61,37 @@ impl Client {
 
     /// Sends a GET and reads the response.
     pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
-        self.request("GET", path, None)
+        self.request("GET", path, None, &[])
+    }
+
+    /// Sends a GET with extra request headers (e.g. `Accept` or a caller's
+    /// own `X-Request-Id`).
+    pub fn get_with_headers(
+        &mut self,
+        path: &str,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, None, headers)
     }
 
     /// Sends a POST with a JSON body and reads the response.
     pub fn post_json(&mut self, path: &str, body: &Json) -> std::io::Result<ClientResponse> {
-        self.request("POST", path, Some(body.dump().into_bytes()))
+        self.request("POST", path, Some(body.dump().into_bytes()), &[])
+    }
+
+    /// Sends a POST with a JSON body and extra request headers.
+    pub fn post_json_with_headers(
+        &mut self,
+        path: &str,
+        body: &Json,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, Some(body.dump().into_bytes()), headers)
     }
 
     /// Sends a POST with a raw body (still labelled `application/json`).
     pub fn post_raw(&mut self, path: &str, body: Vec<u8>) -> std::io::Result<ClientResponse> {
-        self.request("POST", path, Some(body))
+        self.request("POST", path, Some(body), &[])
     }
 
     fn connect(&self) -> std::io::Result<BufReader<TcpStream>> {
@@ -87,16 +107,17 @@ impl Client {
         method: &str,
         path: &str,
         body: Option<Vec<u8>>,
+        extra_headers: &[(&str, &str)],
     ) -> std::io::Result<ClientResponse> {
         // One retry: a kept-alive connection may have been closed by the
         // server between requests; a fresh connection gets a clean answer.
         let reused = self.conn.is_some();
-        match self.try_request(method, path, body.as_deref()) {
+        match self.try_request(method, path, body.as_deref(), extra_headers) {
             Ok(resp) => Ok(resp),
             Err(e) if reused => {
                 self.conn = None;
                 let _ = e;
-                self.try_request(method, path, body.as_deref())
+                self.try_request(method, path, body.as_deref(), extra_headers)
             }
             Err(e) => Err(e),
         }
@@ -107,6 +128,7 @@ impl Client {
         method: &str,
         path: &str,
         body: Option<&[u8]>,
+        extra_headers: &[(&str, &str)],
     ) -> std::io::Result<ClientResponse> {
         if self.conn.is_none() {
             self.conn = Some(self.connect()?);
@@ -114,6 +136,9 @@ impl Client {
         let conn = self.conn.as_mut().unwrap();
 
         let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n", self.addr);
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
         if let Some(body) = body {
             head.push_str("Content-Type: application/json\r\n");
             head.push_str(&format!("Content-Length: {}\r\n", body.len()));

@@ -36,6 +36,11 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the request was HTTP/1.0 (affects keep-alive default).
     pub http10: bool,
+    /// Correlation id for this request. Empty after parsing; the
+    /// connection loop fills it in (honoring a well-formed inbound
+    /// `X-Request-Id`, otherwise generating one) before the handler runs,
+    /// and echoes it back as the `X-Request-Id` response header.
+    pub request_id: String,
 }
 
 impl Request {
@@ -193,6 +198,7 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Request, ReadError> {
         headers,
         body: Vec::new(),
         http10,
+        request_id: String::new(),
     };
 
     let chunked = req

@@ -20,6 +20,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use heteropipe_obs::log as obs_log;
+use heteropipe_obs::{new_request_id, valid_request_id};
 use heteropipe_sim::Histogram;
 
 use crate::http::{read_request, ReadError, Request, Response};
@@ -294,7 +296,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
     };
     let mut reader = BufReader::new(stream);
     loop {
-        let req = match read_request(&mut reader) {
+        let mut req = match read_request(&mut reader) {
             Ok(req) => req,
             Err(ReadError::Closed) | Err(ReadError::Timeout { mid_request: false }) => return,
             Err(ReadError::Timeout { mid_request: true }) => {
@@ -312,13 +314,34 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
             Err(ReadError::Io(_)) => return,
         };
 
+        // Correlation id: honor a well-formed client-supplied one so
+        // multi-hop callers can stitch their traces together; anything
+        // else (absent, oversized, bad characters) gets a fresh id.
+        req.request_id = match req.header("x-request-id") {
+            Some(v) if valid_request_id(v) => v.to_owned(),
+            _ => new_request_id(),
+        };
+
         shared.stats.in_flight.fetch_add(1, Ordering::SeqCst);
         let start = Instant::now();
         let handler = Arc::clone(&shared.handler);
         let resp = catch_unwind(AssertUnwindSafe(|| handler.handle(&req)))
-            .unwrap_or_else(|_| Response::error(500, "handler panicked"));
+            .unwrap_or_else(|_| Response::error(500, "handler panicked"))
+            .with_header("X-Request-Id", &req.request_id);
         shared.stats.in_flight.fetch_sub(1, Ordering::SeqCst);
-        shared.stats.record(resp.status, start.elapsed());
+        let elapsed = start.elapsed();
+        shared.stats.record(resp.status, elapsed);
+        obs_log::info(
+            "serve",
+            "request",
+            &[
+                ("request_id", req.request_id.as_str().into()),
+                ("method", req.method.as_str().into()),
+                ("path", req.path.as_str().into()),
+                ("status", u64::from(resp.status).into()),
+                ("latency_us", (elapsed.as_micros() as u64).into()),
+            ],
+        );
 
         // Stop keeping alive once shutdown begins so workers can drain.
         let keep_alive = req.wants_keep_alive() && !shared.shutdown.load(Ordering::SeqCst);

@@ -174,6 +174,131 @@ fn concurrent_runs_share_one_engine_and_warm_repeat_is_byte_identical() {
 }
 
 #[test]
+fn request_ids_and_run_traces_round_trip() {
+    let handle = start(Engine::new().memory_cache_only());
+    let mut client = Client::new(handle.addr().to_string());
+
+    // Cold run: the server generates a correlation id and returns the
+    // run's content address.
+    let resp = client
+        .post_json("/v1/run", &run_body("rodinia/kmeans"))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let rid = resp
+        .header("x-request-id")
+        .expect("id on every response")
+        .to_string();
+    assert!(rid.starts_with("req-"), "generated id: {rid}");
+    let key = resp
+        .header("x-run-key")
+        .expect("run key header")
+        .to_string();
+    assert_eq!(key.len(), 32, "run-key hex: {key}");
+
+    // The trace endpoint returns a Chrome-trace JSON array carrying that
+    // request id and the simulated component timeline.
+    let trace = client.get(&format!("/v1/run/{key}/trace")).unwrap();
+    assert_eq!(trace.status, 200);
+    assert_eq!(trace.header("content-type"), Some("application/json"));
+    let text = String::from_utf8(trace.body.clone()).unwrap();
+    assert!(Json::parse(&text).is_some(), "trace must be valid JSON");
+    assert!(text.trim_start().starts_with('['), "Chrome-trace array");
+    assert!(text.contains(&format!("\"request_id\":\"{rid}\"")));
+    assert!(text.contains("\"ph\":\"X\""));
+    assert!(text.contains("\"outcome\":\"executed\""));
+    assert!(
+        text.contains("\"name\":\"gpu\""),
+        "simulated component rows present"
+    );
+
+    // A warm hit with a client-supplied id: the id is honored end to end
+    // and the retained trace keeps the simulated timeline.
+    let warm = client
+        .post_json_with_headers(
+            "/v1/run",
+            &run_body("rodinia/kmeans"),
+            &[("X-Request-Id", "caller-7.warm")],
+        )
+        .unwrap();
+    assert_eq!(warm.header("x-request-id"), Some("caller-7.warm"));
+    assert_eq!(warm.header("x-run-key"), Some(key.as_str()));
+    let text =
+        String::from_utf8(client.get(&format!("/v1/run/{key}/trace")).unwrap().body).unwrap();
+    assert!(text.contains("\"request_id\":\"caller-7.warm\""));
+    assert!(text.contains("\"outcome\":\"memory_hit\""));
+    assert!(
+        text.contains("\"name\":\"gpu\""),
+        "warm trace inherits the simulated timeline"
+    );
+
+    // A malformed inbound id is replaced, not echoed.
+    let resp = client
+        .get_with_headers("/healthz", &[("X-Request-Id", "bad id with spaces")])
+        .unwrap();
+    let echoed = resp.header("x-request-id").unwrap();
+    assert!(echoed.starts_with("req-"), "replaced, got {echoed}");
+
+    // Unknown keys 404, bad keys 400, wrong method 405.
+    let missing = format!("/v1/run/{}/trace", "0".repeat(32));
+    assert_eq!(client.get(&missing).unwrap().status, 404);
+    assert_eq!(client.get("/v1/run/nothex/trace").unwrap().status, 400);
+    let resp = client
+        .post_json(&format!("/v1/run/{key}/trace"), &Json::Null)
+        .unwrap();
+    assert_eq!(resp.status, 405);
+    assert_eq!(resp.header("allow"), Some("GET"));
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn metrics_expose_prometheus_text_format() {
+    let handle = start(Engine::new().memory_cache_only());
+    let mut client = Client::new(handle.addr().to_string());
+    client
+        .post_json("/v1/run", &run_body("rodinia/kmeans"))
+        .unwrap();
+
+    let resp = client.get("/metrics?format=prometheus").unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.header("content-type"),
+        Some("text/plain; version=0.0.4; charset=utf-8")
+    );
+    let text = String::from_utf8(resp.body.clone()).unwrap();
+    let samples = heteropipe_obs::expfmt::parse(&text)
+        .unwrap_or_else(|e| panic!("exposition must validate: {e}\n{text}"));
+    let value = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing sample {name}"))
+            .value
+    };
+    assert_eq!(value("heteropipe_engine_jobs_executed_total"), 1.0);
+    assert!(value("heteropipe_server_requests_total") >= 1.0);
+    assert!(
+        value("heteropipe_server_request_latency_microseconds_count") >= 1.0,
+        "server latency histogram populated"
+    );
+    assert!(samples.iter().any(|s| {
+        s.name == "heteropipe_engine_cache_hits_total" && s.label("tier") == Some("memory")
+    }));
+
+    // Content negotiation: an Accept header selects the format too, and
+    // the JSON document stays the default.
+    let resp = client
+        .get_with_headers("/metrics", &[("Accept", "text/plain")])
+        .unwrap();
+    assert!(String::from_utf8(resp.body).unwrap().starts_with("# HELP"));
+    let resp = client.get("/metrics").unwrap();
+    let v = resp.json().expect("default stays JSON");
+    assert!(v.get("engine").is_some());
+
+    handle.shutdown_and_join();
+}
+
+#[test]
 fn experiment_endpoint_renders_tables() {
     let handle = start(Engine::new().memory_cache_only());
     let mut client = Client::new(handle.addr().to_string());

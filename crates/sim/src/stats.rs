@@ -127,6 +127,11 @@ impl Histogram {
         self.max
     }
 
+    /// Sum of all samples (used by the Prometheus exposition's `_sum`).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Iterates non-empty `(bucket_upper_bound, count)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets
@@ -458,6 +463,36 @@ mod tests {
             all.record(v);
         }
         assert_eq!(a.percentile(0.5), all.percentile(0.5));
+    }
+
+    #[test]
+    fn histogram_merge_edge_cases() {
+        // Merging an empty histogram is a no-op, in both directions.
+        let mut a = Histogram::new();
+        a.record(5);
+        a.merge(&Histogram::new());
+        assert_eq!((a.count(), a.max(), a.sum()), (1, 5, 5));
+        let mut target = Histogram::new();
+        target.merge(&a);
+        assert_eq!(target.count(), 1, "merge into empty adopts the samples");
+        assert_eq!(target.percentile(0.5), 5);
+
+        // Disjoint ranges: the merged distribution keeps its low median
+        // while the tail comes entirely from the other histogram.
+        let mut low = Histogram::new();
+        let mut high = Histogram::new();
+        for _ in 0..90 {
+            low.record(1);
+        }
+        for _ in 0..10 {
+            high.record(1_000_000);
+        }
+        low.merge(&high);
+        assert_eq!(low.count(), 100);
+        assert_eq!(low.sum(), 90 + 10 * 1_000_000);
+        assert_eq!(low.percentile(0.5), 1, "median stays in the low range");
+        assert_eq!(low.percentile(1.0), 1_000_000);
+        assert_eq!(low.max(), 1_000_000);
     }
 
     #[test]
