@@ -14,3 +14,11 @@ cargo test -q --release
 # must parse, and X-Request-Id must appear in the captured logs and the
 # retrievable Chrome trace.
 HETEROPIPE_LOG=info cargo run --release -p heteropipe-bench --bin smoke
+
+# Chaos gate: replays a pinned fixed-seed fault plan end-to-end (client
+# retries -> server seams -> engine retries -> cache persistence) and
+# asserts zero unrecovered faults, byte-identical responses vs the
+# fault-free baseline, and quarantine self-heal after deliberate on-disk
+# corruption. The plan seeds are compiled into the binary so every CI
+# run replays the identical fault schedule.
+HETEROPIPE_LOG=error cargo run --release -p heteropipe-bench --bin chaos

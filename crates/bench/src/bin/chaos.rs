@@ -1,0 +1,262 @@
+//! `chaos`: the CI fault-injection gate.
+//!
+//! Replays a pinned fault plan end-to-end — HTTP client → server seams →
+//! engine retries → cache persistence — and proves the resilience layer
+//! absorbs every injected fault:
+//!
+//! 1. **Baseline**: a fault-free server executes a fixed job list; the
+//!    response bytes are the reference output.
+//! 2. **Chaos**: a fresh server runs the same jobs under a fixed-seed
+//!    plan (exec panics, ENOSPC on cache persists, torn/stalled
+//!    connections). The client retries like a real caller (honoring
+//!    `Retry-After`); every job must eventually succeed with responses
+//!    **byte-identical** to the baseline, with zero unrecovered faults
+//!    (no persist failures, no quarantined jobs) and every fault budget
+//!    actually spent.
+//! 3. **Self-heal**: one cache record is deliberately bit-flipped on
+//!    disk; a fresh fault-free engine over the same cache must detect
+//!    the corruption, quarantine the record, transparently re-execute,
+//!    and again answer byte-identically.
+//!
+//! All probabilities in the plans are 1.0 with firing budgets (`max=`),
+//! so the run is deterministic regardless of thread interleaving. Exits
+//! non-zero on any failure, so `ci.sh` can gate on it.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use heteropipe_engine::Engine;
+use heteropipe_faults::{FaultPlan, Injector, RetryPolicy};
+use heteropipe_obs::log::{self as obs_log, Level};
+use heteropipe_serve::json::Json;
+use heteropipe_serve::server::ServerConfig;
+use heteropipe_serve::{api, Client, ClientResponse};
+
+/// Engine-side plan: the first three execution attempts panic, the first
+/// four cache persists hit ENOSPC. Budgets sit well under the retry
+/// policy's five attempts, so every fault is absorbable.
+const ENGINE_PLAN: &str = "seed=48879;job.exec:err=panic:max=3;cache.write:err=enospc:max=4";
+
+/// Server-side plan: one accepted connection abandoned, two torn before
+/// the request is read, two responses stalled 25 ms before writing.
+const SERVER_PLAN: &str =
+    "seed=51966;serve.accept:err=drop:max=1;serve.read:err=drop:max=2;serve.write:err=hang:ms=25:max=2";
+
+/// Total firings the budgets above pin: 3 + 4 engine-side, 1 + 2 + 2
+/// server-side. The run asserts these exactly — fewer means a seam went
+/// dead, more means a budget leaked.
+const ENGINE_FAULTS_EXPECTED: u64 = 7;
+const SERVER_FAULTS_EXPECTED: u64 = 5;
+
+fn job_list() -> Vec<Json> {
+    let job = |benchmark: &str, system: &str, organization: Json| {
+        Json::Obj(vec![
+            ("benchmark".into(), Json::str(benchmark)),
+            ("system".into(), Json::str(system)),
+            ("organization".into(), organization),
+            ("scale".into(), Json::F64(0.08)),
+        ])
+    };
+    let streams = Json::Obj(vec![("async_streams".into(), Json::U64(2))]);
+    let chunks = Json::Obj(vec![("chunked_parallel".into(), Json::U64(4))]);
+    vec![
+        job("rodinia/kmeans", "discrete", Json::str("serial")),
+        job("rodinia/kmeans", "heterogeneous", Json::str("serial")),
+        job("rodinia/btree", "discrete", streams),
+        job("rodinia/lavamd", "heterogeneous", chunks),
+        job("rodinia/myocyte", "discrete", Json::str("serial")),
+    ]
+}
+
+fn server_config(faults: Arc<Injector>) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        max_inflight: 16,
+        faults,
+        ..ServerConfig::default()
+    }
+}
+
+/// Posts one run like a resilient caller: fresh connection per attempt,
+/// retrying on connection errors and 5xx. A real client would sleep the
+/// full `Retry-After`; CI scales it down (seconds → 100 ms) to keep the
+/// gate fast while still exercising the header.
+fn post_with_retries(addr: &str, body: &Json) -> ClientResponse {
+    let mut last = String::new();
+    for _ in 0..10 {
+        let mut client = Client::new(addr.to_string()).with_timeout(Duration::from_secs(5));
+        match client.post_json("/v1/run", body) {
+            Ok(resp) if resp.status == 200 => return resp,
+            Ok(resp) => {
+                let hint: u64 = resp
+                    .header("retry-after")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0);
+                last = format!("status {}", resp.status);
+                std::thread::sleep(Duration::from_millis(50 + hint * 100));
+            }
+            Err(e) => {
+                last = e.to_string();
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    panic!("job did not recover within 10 attempts (last: {last})");
+}
+
+/// Flips one byte in the middle of the first cache record under `dir`,
+/// returning the path it corrupted.
+fn corrupt_one_record(dir: &Path) -> std::path::PathBuf {
+    let mut records: Vec<_> = std::fs::read_dir(dir)
+        .expect("cache dir readable")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "hpr"))
+        .collect();
+    records.sort();
+    let victim = records.first().expect("at least one cache record").clone();
+    let mut bytes = std::fs::read(&victim).expect("read record");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&victim, bytes).expect("write corrupted record");
+    victim
+}
+
+fn main() {
+    obs_log::init_from_env_or(Level::Warn);
+    let jobs = job_list();
+    let tmp = std::env::temp_dir().join(format!("heteropipe-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    // Phase 1 — baseline: fault-free run, reference bytes.
+    let baseline: Vec<Vec<u8>> = {
+        let engine = Arc::new(Engine::new().with_cache_dir(tmp.join("baseline")));
+        let handle = api::serve(server_config(Arc::new(Injector::disabled())), engine)
+            .expect("bind baseline server");
+        let addr = handle.addr().to_string();
+        let bodies = jobs
+            .iter()
+            .map(|job| {
+                let resp = Client::new(addr.clone())
+                    .post_json("/v1/run", job)
+                    .expect("baseline request");
+                assert_eq!(resp.status, 200, "baseline run must succeed");
+                resp.body
+            })
+            .collect();
+        handle.shutdown_and_join();
+        bodies
+    };
+    eprintln!("chaos: baseline captured ({} jobs)", baseline.len());
+
+    // Phase 2 — chaos: same jobs under the pinned fault plans.
+    let chaos_dir = tmp.join("chaos");
+    let engine_faults = Arc::new(Injector::new(
+        FaultPlan::parse(ENGINE_PLAN).expect("engine plan parses"),
+    ));
+    let server_faults = Arc::new(Injector::new(
+        FaultPlan::parse(SERVER_PLAN).expect("server plan parses"),
+    ));
+    let engine = Arc::new(
+        Engine::new()
+            .with_cache_dir(&chaos_dir)
+            .with_faults(Arc::clone(&engine_faults))
+            .with_retry(RetryPolicy::DEFAULT),
+    );
+    let handle = api::serve(
+        server_config(Arc::clone(&server_faults)),
+        Arc::clone(&engine),
+    )
+    .expect("bind chaos server");
+    let addr = handle.addr().to_string();
+    for (i, job) in jobs.iter().enumerate() {
+        let resp = post_with_retries(&addr, job);
+        assert_eq!(
+            resp.body, baseline[i],
+            "chaos job {i} must answer byte-identically to the baseline"
+        );
+    }
+
+    let m = engine.metrics();
+    assert_eq!(m.jobs_quarantined, 0, "no job may exhaust its retries");
+    assert_eq!(m.cache.persist_failures, 0, "no persist may fail for good");
+    assert!(m.exec_retries >= 1, "exec panics were retried");
+    assert!(m.cache.persist_retries >= 1, "persist faults were retried");
+    assert!(m.recoveries() >= 1, "recoveries roll up into the snapshot");
+    assert_eq!(
+        engine_faults.total_fired(),
+        ENGINE_FAULTS_EXPECTED,
+        "every engine-side fault budget spent exactly"
+    );
+    assert_eq!(
+        server_faults.total_fired(),
+        SERVER_FAULTS_EXPECTED,
+        "every server-side fault budget spent exactly"
+    );
+
+    // The scrape surface must expose the injections and still validate.
+    let prom = Client::new(addr.clone())
+        .get("/metrics?format=prometheus")
+        .expect("GET /metrics");
+    let text = String::from_utf8(prom.body).expect("exposition is UTF-8");
+    let samples = heteropipe_obs::expfmt::parse(&text)
+        .unwrap_or_else(|e| panic!("exposition must validate: {e}"));
+    let injected_total: f64 = samples
+        .iter()
+        .filter(|s| s.name == "heteropipe_faults_injected_total")
+        .map(|s| s.value)
+        .sum();
+    assert_eq!(
+        injected_total,
+        (ENGINE_FAULTS_EXPECTED + SERVER_FAULTS_EXPECTED) as f64,
+        "fault counter reconciles with both injectors"
+    );
+    handle.shutdown_and_join();
+    eprintln!(
+        "chaos: {} faults injected, all absorbed ({} exec retries, {} persist retries)",
+        engine_faults.total_fired() + server_faults.total_fired(),
+        m.exec_retries,
+        m.cache.persist_retries,
+    );
+
+    // Phase 3 — self-heal: corrupt one record on disk, then serve the
+    // same jobs from a fresh fault-free engine over that cache.
+    let victim = corrupt_one_record(&chaos_dir);
+    let engine = Arc::new(Engine::new().with_cache_dir(&chaos_dir));
+    let handle = api::serve(
+        server_config(Arc::new(Injector::disabled())),
+        Arc::clone(&engine),
+    )
+    .expect("bind self-heal server");
+    let addr = handle.addr().to_string();
+    for (i, job) in jobs.iter().enumerate() {
+        let resp = Client::new(addr.clone())
+            .post_json("/v1/run", job)
+            .expect("self-heal request");
+        assert_eq!(resp.status, 200, "self-heal run must succeed");
+        assert_eq!(
+            resp.body, baseline[i],
+            "self-healed job {i} must answer byte-identically to the baseline"
+        );
+    }
+    let m = engine.metrics();
+    assert_eq!(
+        m.cache.records_quarantined, 1,
+        "exactly the corrupted record is quarantined"
+    );
+    let quarantined = std::fs::read_dir(chaos_dir.join(".quarantine"))
+        .expect("quarantine dir exists")
+        .flatten()
+        .count();
+    assert_eq!(quarantined, 1, "corrupted record moved aside, not deleted");
+    assert!(
+        victim.exists(),
+        "re-execution rewrote the healed record in place"
+    );
+    handle.shutdown_and_join();
+
+    let _ = std::fs::remove_dir_all(&tmp);
+    eprintln!("chaos: ok (self-heal quarantined 1 record and re-executed)");
+}

@@ -30,7 +30,18 @@ fn main() {
         cfg.max_inflight = max_inflight;
     }
 
-    let engine = Arc::new(args.engine());
+    // Chaos runs configure fault injection through HETEROPIPE_FAULTS; the
+    // one injector is shared by the server seams and the engine, so rule
+    // budgets and the seeded decision stream are global to the process.
+    let faults = Arc::new(
+        heteropipe_faults::Injector::from_env()
+            .unwrap_or_else(|e| panic!("bad {}: {e}", heteropipe_faults::ENV_VAR)),
+    );
+    if faults.is_enabled() {
+        obs_log::warn("serve", "fault injection enabled", &[]);
+    }
+    cfg.faults = Arc::clone(&faults);
+    let engine = Arc::new(args.engine().with_faults(faults));
     let handle = api::serve(cfg, Arc::clone(&engine)).unwrap_or_else(|e| {
         panic!("could not bind server: {e}");
     });

@@ -159,7 +159,10 @@ pub fn par_map<T: Sync, R: Send>(
         .collect()
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+/// Renders a caught panic payload (from `std::panic::catch_unwind`) as a
+/// best-effort message string. Shared by [`par_map`] and callers that run
+/// their own `catch_unwind` (the engine's per-attempt panic isolation).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {

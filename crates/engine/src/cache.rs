@@ -10,17 +10,37 @@
 //! Writes go through a temp file in the same directory followed by a
 //! rename, so concurrent writers and killed processes leave either the old
 //! bytes or the new bytes, never a torn record.
+//!
+//! Robustness machinery (see `docs/robustness.md`):
+//!
+//! * **Stale temp sweep** — writers killed between write and rename leak
+//!   `.*.tmp.*` files; opening a disk cache sweeps and counts them.
+//! * **Corrupt-record quarantine** — a file that reads fine but fails to
+//!   decode is moved into `.quarantine/` (evidence for debugging) and the
+//!   lookup misses, so the engine transparently re-executes and rewrites
+//!   a clean record: the cache self-heals.
+//! * **Retried persist** — transient write failures (disk full, injected
+//!   `cache.write` faults) are retried under a capped exponential backoff
+//!   with jitter derived from the run key; persistent failure is still
+//!   only a warning, because caching is an optimization.
+//! * **Fault seams** — [`ResultCache::set_faults`] threads a
+//!   [`heteropipe_faults::Injector`] into the read and write paths so a
+//!   chaos run can exercise every branch above deterministically.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use heteropipe::RunReport;
+use heteropipe_faults::{with_retries, FaultKind, Injector, RetryPolicy, Site};
 use heteropipe_obs::log as obs_log;
 
 use crate::codec;
 use crate::key::RunKey;
+
+/// Subdirectory (under the cache dir) holding quarantined corrupt records.
+pub const QUARANTINE_DIR: &str = ".quarantine";
 
 /// Where a cache lookup was served from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,11 +51,39 @@ pub enum CacheTier {
     Disk,
 }
 
+/// Counters for the cache's resilience machinery.
+#[derive(Debug, Default)]
+struct CacheStats {
+    tmp_swept: AtomicU64,
+    records_quarantined: AtomicU64,
+    read_errors: AtomicU64,
+    persist_retries: AtomicU64,
+    persist_failures: AtomicU64,
+}
+
+/// A point-in-time copy of the cache's resilience counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStatsSnapshot {
+    /// Stale `.*.tmp.*` files swept when the cache was opened.
+    pub tmp_swept: u64,
+    /// Corrupt records moved to `.quarantine/` (each then re-executed).
+    pub records_quarantined: u64,
+    /// Disk reads that failed with an I/O error (served as misses).
+    pub read_errors: u64,
+    /// Persist attempts retried after a transient failure.
+    pub persist_retries: u64,
+    /// Persists abandoned after the retry budget (entry stays memory-only).
+    pub persist_failures: u64,
+}
+
 /// The result cache.
 #[derive(Debug)]
 pub struct ResultCache {
     memory: Mutex<HashMap<u128, RunReport>>,
     disk_dir: Option<PathBuf>,
+    faults: Arc<Injector>,
+    retry: RetryPolicy,
+    stats: CacheStats,
 }
 
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -46,15 +94,30 @@ impl ResultCache {
         ResultCache {
             memory: Mutex::new(HashMap::new()),
             disk_dir: None,
+            faults: Arc::new(Injector::disabled()),
+            retry: RetryPolicy::DEFAULT,
+            stats: CacheStats::default(),
         }
     }
 
-    /// A cache persisting to `dir` (created on first write).
+    /// A cache persisting to `dir` (created on first write). Stale temp
+    /// files left by crashed writers are swept immediately.
     pub fn on_disk(dir: impl Into<PathBuf>) -> Self {
-        ResultCache {
-            memory: Mutex::new(HashMap::new()),
-            disk_dir: Some(dir.into()),
-        }
+        let mut cache = ResultCache::in_memory();
+        let dir = dir.into();
+        cache.stats.tmp_swept = AtomicU64::new(sweep_stale_tmp(&dir));
+        cache.disk_dir = Some(dir);
+        cache
+    }
+
+    /// Threads a fault injector into the disk read/write paths.
+    pub fn set_faults(&mut self, faults: Arc<Injector>) {
+        self.faults = faults;
+    }
+
+    /// Overrides the persist retry policy.
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
     }
 
     /// The disk directory, if this cache persists.
@@ -69,53 +132,155 @@ impl ResultCache {
             .map(|d| d.join(format!("{}.hpr", key.hex())))
     }
 
-    /// Looks `key` up, reporting which tier served it.
+    /// This cache's resilience counters.
+    pub fn stats(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            tmp_swept: self.stats.tmp_swept.load(Ordering::Relaxed),
+            records_quarantined: self.stats.records_quarantined.load(Ordering::Relaxed),
+            read_errors: self.stats.read_errors.load(Ordering::Relaxed),
+            persist_retries: self.stats.persist_retries.load(Ordering::Relaxed),
+            persist_failures: self.stats.persist_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Looks `key` up, reporting which tier served it. Disk records that
+    /// fail to decode are quarantined and read as misses.
     pub fn get(&self, key: RunKey) -> Option<(RunReport, CacheTier)> {
         if let Some(hit) = self.memory.lock().unwrap().get(&key.0) {
             return Some((hit.clone(), CacheTier::Memory));
         }
         let path = self.path_for(key)?;
-        let bytes = std::fs::read(path).ok()?;
-        let report = codec::decode(&bytes)?; // corrupt file == miss
-        self.memory.lock().unwrap().insert(key.0, report.clone());
-        Some((report, CacheTier::Disk))
+
+        let mut corrupt_injected = false;
+        if let Some(fault) = self.faults.roll(Site::CacheRead) {
+            if fault.kind == FaultKind::Corrupt {
+                corrupt_injected = true;
+            } else {
+                self.stats.read_errors.fetch_add(1, Ordering::Relaxed);
+                self.warn_io(key, "read cache file", &fault.io_error());
+                return None;
+            }
+        }
+
+        let mut bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                self.stats.read_errors.fetch_add(1, Ordering::Relaxed);
+                self.warn_io(key, "read cache file", &e);
+                return None;
+            }
+        };
+        if corrupt_injected {
+            if let Some(b) = bytes.first_mut() {
+                *b ^= 0x40; // flip a magic bit: decode must reject it
+            }
+        }
+        match codec::decode(&bytes) {
+            Some(report) => {
+                self.memory.lock().unwrap().insert(key.0, report.clone());
+                Some((report, CacheTier::Disk))
+            }
+            None => {
+                self.quarantine(key, &path);
+                None
+            }
+        }
     }
 
-    /// Stores `report` under `key` in both tiers. Disk errors (read-only
-    /// filesystem, disk full) never surface to the caller — caching is an
-    /// optimization, never a correctness requirement — but each failure is
-    /// logged at warn level so a silently cold cache is diagnosable.
+    /// Stores `report` under `key` in both tiers. Transient disk failures
+    /// are retried with backoff; a persist that stays broken never
+    /// surfaces to the caller — caching is an optimization, never a
+    /// correctness requirement — but is counted and logged at warn level
+    /// so a silently cold cache is diagnosable.
     pub fn put(&self, key: RunKey, report: &RunReport) {
         self.memory.lock().unwrap().insert(key.0, report.clone());
         let Some(path) = self.path_for(key) else {
             return;
         };
-        let Some(dir) = path.parent() else { return };
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            self.warn_persist(key, "create cache dir", &e);
-            return;
-        }
-        let tmp = dir.join(format!(
-            ".{}.tmp.{}.{}",
-            key.hex(),
-            std::process::id(),
-            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
-        ));
-        match std::fs::write(&tmp, codec::encode(report)) {
-            Ok(()) => {
-                if let Err(e) = std::fs::rename(&tmp, &path) {
-                    self.warn_persist(key, "rename into place", &e);
-                    let _ = std::fs::remove_file(&tmp);
-                }
-            }
-            Err(e) => self.warn_persist(key, "write temp file", &e),
+        let encoded = codec::encode(report);
+        let jitter_seed = (key.0 as u64) ^ ((key.0 >> 64) as u64);
+        let outcome = with_retries(
+            &self.retry,
+            jitter_seed,
+            |_| self.persist_once(&path, &encoded),
+            |attempt, e: &std::io::Error, sleep_ms| {
+                self.stats.persist_retries.fetch_add(1, Ordering::Relaxed);
+                obs_log::warn(
+                    "engine",
+                    "cache persist retrying",
+                    &[
+                        ("run_key", key.hex().into()),
+                        ("attempt", u64::from(attempt).into()),
+                        ("backoff_ms", sleep_ms.into()),
+                        ("error", e.to_string().into()),
+                    ],
+                );
+            },
+        );
+        if let Err(e) = outcome {
+            self.stats.persist_failures.fetch_add(1, Ordering::Relaxed);
+            self.warn_io(key, "persist cache file", &e);
         }
     }
 
-    fn warn_persist(&self, key: RunKey, op: &str, err: &std::io::Error) {
+    /// One atomic write attempt: temp file in the cache dir, then rename.
+    fn persist_once(&self, path: &Path, encoded: &[u8]) -> std::io::Result<()> {
+        if let Some(fault) = self.faults.roll(Site::CacheWrite) {
+            return Err(fault.io_error());
+        }
+        let dir = path
+            .parent()
+            .ok_or_else(|| std::io::Error::other("cache path has no parent"))?;
+        std::fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!(
+            ".{}.tmp.{}.{}",
+            path.file_stem().unwrap_or_default().to_string_lossy(),
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, encoded)?;
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
+    }
+
+    /// Moves a corrupt record into `.quarantine/` so the slot reads as a
+    /// miss (the engine re-executes and rewrites it) while the bad bytes
+    /// stay around as evidence.
+    fn quarantine(&self, key: RunKey, path: &Path) {
+        self.stats
+            .records_quarantined
+            .fetch_add(1, Ordering::Relaxed);
+        let moved = path.parent().map(|dir| {
+            let qdir = dir.join(QUARANTINE_DIR);
+            std::fs::create_dir_all(&qdir)
+                .and_then(|()| {
+                    let dest = qdir.join(path.file_name().unwrap_or_default());
+                    std::fs::rename(path, &dest)
+                })
+                .is_ok()
+        });
+        if moved != Some(true) {
+            // Could not preserve the evidence; at least clear the slot so
+            // the rewrite is not blocked by the corrupt file.
+            let _ = std::fs::remove_file(path);
+        }
         obs_log::warn(
             "engine",
-            "cache persist failed",
+            "corrupt cache record quarantined",
+            &[
+                ("run_key", key.hex().into()),
+                ("path", path.display().to_string().into()),
+                ("preserved", u64::from(moved == Some(true)).into()),
+            ],
+        );
+    }
+
+    fn warn_io(&self, key: RunKey, op: &str, err: &std::io::Error) {
+        obs_log::warn(
+            "engine",
+            "cache io failed",
             &[
                 ("run_key", key.hex().into()),
                 ("op", op.into()),
@@ -130,10 +295,42 @@ impl ResultCache {
     }
 }
 
+/// Removes `.*.tmp.*` files a crashed writer left in `dir`, returning how
+/// many were swept. A missing directory sweeps nothing.
+fn sweep_stale_tmp(dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut swept = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.')
+            && name.contains(".tmp.")
+            && entry.path().is_file()
+            && std::fs::remove_file(entry.path()).is_ok()
+        {
+            swept += 1;
+        }
+    }
+    if swept > 0 {
+        obs_log::info(
+            "engine",
+            "swept stale cache temp files",
+            &[
+                ("dir", dir.display().to_string().into()),
+                ("swept", swept.into()),
+            ],
+        );
+    }
+    swept
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use heteropipe::{DirectExecutor, Executor, JobSpec, Organization, SystemConfig};
+    use heteropipe_faults::FaultPlan;
     use heteropipe_workloads::{registry, Scale};
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -161,6 +358,10 @@ mod tests {
             crate::key::run_key(&spec),
             DirectExecutor::new().execute(&spec),
         )
+    }
+
+    fn injector(plan: &str) -> Arc<Injector> {
+        Arc::new(Injector::new(FaultPlan::parse(plan).unwrap()))
     }
 
     #[test]
@@ -192,7 +393,7 @@ mod tests {
     }
 
     #[test]
-    fn corrupted_disk_entry_is_a_miss() {
+    fn corrupted_disk_entry_is_quarantined_and_misses() {
         let dir = temp_dir("corrupt");
         let (key, report) = sample();
         let cache = ResultCache::on_disk(&dir);
@@ -203,6 +404,10 @@ mod tests {
 
         let cold = ResultCache::on_disk(&dir);
         assert!(cold.get(key).is_none(), "corrupt file must read as a miss");
+        assert_eq!(cold.stats().records_quarantined, 1);
+        let quarantined = dir.join(QUARANTINE_DIR).join(format!("{}.hpr", key.hex()));
+        assert!(quarantined.is_file(), "evidence preserved in quarantine");
+        assert!(!path.exists(), "slot cleared for the rewrite");
 
         // Re-putting repairs the file.
         cold.put(key, &report);
@@ -217,5 +422,97 @@ mod tests {
         let cache = ResultCache::on_disk(&dir);
         let (key, _) = sample();
         assert!(cache.get(key).is_none());
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_on_open() {
+        let dir = temp_dir("sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(".deadbeef.tmp.1234.0"), b"torn").unwrap();
+        std::fs::write(dir.join(".cafe.tmp.1234.7"), b"torn too").unwrap();
+        std::fs::write(dir.join("keep.hpr"), b"a real record slot").unwrap();
+
+        let cache = ResultCache::on_disk(&dir);
+        assert_eq!(cache.stats().tmp_swept, 2);
+        assert!(!dir.join(".deadbeef.tmp.1234.0").exists());
+        assert!(dir.join("keep.hpr").exists(), "non-temp files untouched");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_write_faults_are_retried_until_persisted() {
+        let dir = temp_dir("retry-write");
+        let (key, report) = sample();
+        let mut cache = ResultCache::on_disk(&dir);
+        // Two straight failures, then success — within the default budget.
+        cache.set_faults(injector("cache.write:err=enospc:max=2"));
+        cache.put(key, &report);
+        let s = cache.stats();
+        assert_eq!(s.persist_retries, 2, "both faults retried");
+        assert_eq!(s.persist_failures, 0);
+        assert_eq!(
+            ResultCache::on_disk(&dir).get(key).unwrap().0,
+            report,
+            "record landed on disk despite the faults"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exhausted_write_retries_fail_soft() {
+        let dir = temp_dir("retry-exhausted");
+        let (key, report) = sample();
+        let mut cache = ResultCache::on_disk(&dir);
+        cache.set_faults(injector("cache.write:err=enospc"));
+        cache.set_retry(RetryPolicy {
+            attempts: 3,
+            base_ms: 0,
+            cap_ms: 0,
+        });
+        cache.put(key, &report);
+        let s = cache.stats();
+        assert_eq!(s.persist_retries, 2);
+        assert_eq!(s.persist_failures, 1);
+        // The memory tier still serves it; disk never got the record.
+        assert_eq!(cache.get(key).unwrap().1, CacheTier::Memory);
+        assert!(ResultCache::on_disk(&dir).get(key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_read_fault_is_a_counted_miss() {
+        let dir = temp_dir("read-fault");
+        let (key, report) = sample();
+        ResultCache::on_disk(&dir).put(key, &report);
+
+        let mut cold = ResultCache::on_disk(&dir);
+        cold.set_faults(injector("cache.read:err=eio:max=1"));
+        assert!(cold.get(key).is_none(), "injected read error is a miss");
+        assert_eq!(cold.stats().read_errors, 1);
+        // The next read (fault budget spent) succeeds from disk.
+        assert_eq!(cold.get(key).unwrap().1, CacheTier::Disk);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_corruption_quarantines_and_self_heals() {
+        let dir = temp_dir("read-corrupt");
+        let (key, report) = sample();
+        ResultCache::on_disk(&dir).put(key, &report);
+
+        let mut cold = ResultCache::on_disk(&dir);
+        cold.set_faults(injector("cache.read:err=corrupt:max=1"));
+        assert!(
+            cold.get(key).is_none(),
+            "bit-flipped record must not decode"
+        );
+        assert_eq!(cold.stats().records_quarantined, 1);
+
+        // Self-heal: the caller re-puts (as the engine does on a miss) and
+        // the slot serves cleanly again.
+        cold.put(key, &report);
+        assert_eq!(ResultCache::on_disk(&dir).get(key).unwrap().0, report);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -303,6 +303,48 @@ mod tests {
         assert_eq!(decode(&wrong_version), None, "unknown version");
     }
 
+    /// Property (docs/robustness.md): `decode` is total. Whatever a torn
+    /// write, bit rot, or an attacker leaves in a cache file, decoding
+    /// either reproduces a report or returns `None` — it must never panic
+    /// (the cache quarantines the file and the engine re-executes).
+    #[test]
+    fn decode_never_panics_on_truncated_or_flipped_records() {
+        let bytes = encode(&real_report());
+        heteropipe_sim::check::cases(256, 0xB0B0_FA17, |g| {
+            let mut mutant = bytes.clone();
+            match g.u32(0, 3) {
+                // Truncate anywhere, including to empty.
+                0 => mutant.truncate(g.usize(0, mutant.len() + 1)),
+                // Flip 1..8 random bits.
+                1 => {
+                    for _ in 0..g.u32(1, 9) {
+                        let i = g.usize(0, mutant.len());
+                        mutant[i] ^= 1 << g.u32(0, 8);
+                    }
+                }
+                // Replace a random span with random bytes (length fields,
+                // enum tags, and the checksum all get hit eventually).
+                _ => {
+                    let at = g.usize(0, mutant.len());
+                    let span = g.usize(1, 33).min(mutant.len() - at);
+                    let noise = g.bytes(span);
+                    mutant[at..at + span].copy_from_slice(&noise);
+                }
+            }
+            // Any outcome but a panic is acceptable: the FNV checksum
+            // makes surviving mutants astronomically unlikely, but decode
+            // only promises totality, not rejection.
+            let _ = decode(&mutant);
+        });
+
+        // Pure noise of assorted sizes, as a separate generator family.
+        heteropipe_sim::check::cases(128, 0x5EED, |g| {
+            let n = g.usize(0, 512);
+            let noise = g.bytes(n);
+            let _ = decode(&noise);
+        });
+    }
+
     #[test]
     fn organization_variants_survive() {
         let mut report = real_report();

@@ -1,0 +1,85 @@
+//! Typed engine failures.
+//!
+//! The engine's happy path is infallible by design — the simulator is a
+//! pure function and the cache degrades to recomputation — so errors only
+//! arise from the resilience machinery itself: a job that keeps panicking
+//! past its retry budget, or one already quarantined by an earlier
+//! failure. [`Engine::try_execute`](crate::Engine::try_execute) surfaces
+//! them; the `Executor` trait's infallible `execute` re-raises them as a
+//! panic with the same message, which batch execution
+//! ([`heteropipe::exec::par_map`]) and the HTTP layer both already catch
+//! per job.
+
+use std::fmt;
+
+/// Why the engine could not produce a report for a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The job panicked on every attempt; the last panic message is
+    /// carried along with the number of attempts made.
+    JobPanicked {
+        /// The job's run-key hex.
+        key_hex: String,
+        /// The final panic message.
+        message: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The job was quarantined by an earlier run that exhausted its retry
+    /// budget; the engine refuses to re-execute it until restart.
+    Quarantined {
+        /// The job's run-key hex.
+        key_hex: String,
+    },
+}
+
+impl EngineError {
+    /// The run-key hex of the failing job.
+    pub fn key_hex(&self) -> &str {
+        match self {
+            EngineError::JobPanicked { key_hex, .. } => key_hex,
+            EngineError::Quarantined { key_hex } => key_hex,
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::JobPanicked {
+                key_hex,
+                message,
+                attempts,
+            } => write!(
+                f,
+                "job {key_hex} panicked on all {attempts} attempts: {message}"
+            ),
+            EngineError::Quarantined { key_hex } => {
+                write!(f, "job {key_hex} is quarantined after repeated failures")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_the_key() {
+        let e = EngineError::JobPanicked {
+            key_hex: "ab".into(),
+            message: "boom".into(),
+            attempts: 3,
+        };
+        assert_eq!(e.key_hex(), "ab");
+        assert!(e.to_string().contains("boom"));
+        assert!(e.to_string().contains("3 attempts"));
+        let q = EngineError::Quarantined {
+            key_hex: "cd".into(),
+        };
+        assert!(q.to_string().contains("quarantined"));
+    }
+}

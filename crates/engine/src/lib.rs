@@ -22,7 +22,14 @@
 //!   into a bounded [`heteropipe_obs::TraceStore`], merged with the run's
 //!   simulated component timeline, retrievable as Chrome-trace JSON and
 //!   correlated to the originating HTTP request by id
-//!   ([`Engine::execute_observed`]).
+//!   ([`Engine::execute_observed`]);
+//! * a **resilience layer** (see `docs/robustness.md`): per-attempt panic
+//!   isolation with retry under capped jittered backoff, a poisoned-job
+//!   quarantine for jobs that exhaust their budget
+//!   ([`Engine::try_execute`] surfaces [`EngineError`]), an observational
+//!   per-job watchdog, and deterministic fault seams
+//!   ([`Engine::with_faults`]) threaded through the cache I/O and job
+//!   execution paths for chaos testing.
 //!
 //! Because the simulator is deterministic and [`heteropipe::RunReport`]
 //! is float-free, a cached result is bit-for-bit the result a fresh run
@@ -33,18 +40,24 @@
 
 pub mod cache;
 pub mod codec;
+pub mod error;
 pub mod key;
 pub mod metrics;
 
+use std::collections::HashSet;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-use heteropipe::exec::{par_map, JobError};
+use heteropipe::exec::{panic_message, par_map, JobError};
+use heteropipe::trace::TaskSpan;
 use heteropipe::{Executor, JobSpec, RunReport};
+use heteropipe_faults::{with_retries, FaultKind, Injector, RetryPolicy, Site};
 use heteropipe_obs::log as obs_log;
 use heteropipe_obs::{JobTrace, PhaseTimer, TraceStore};
 
 pub use cache::{CacheTier, ResultCache};
+pub use error::EngineError;
 pub use key::{run_key, RunKey, SCHEMA_VERSION};
 pub use metrics::{MetricsSnapshot, RunMetrics};
 
@@ -63,6 +76,10 @@ pub struct Engine {
     cache: Option<ResultCache>,
     metrics: RunMetrics,
     traces: TraceStore,
+    faults: Arc<Injector>,
+    retry: RetryPolicy,
+    watchdog: Option<Duration>,
+    poisoned: Mutex<HashSet<u128>>,
 }
 
 impl Engine {
@@ -74,6 +91,10 @@ impl Engine {
             cache: Some(ResultCache::on_disk(DEFAULT_CACHE_DIR)),
             metrics: RunMetrics::new(),
             traces: TraceStore::new(DEFAULT_TRACE_CAPACITY),
+            faults: Arc::new(Injector::disabled()),
+            retry: RetryPolicy::DEFAULT,
+            watchdog: None,
+            poisoned: Mutex::new(HashSet::new()),
         }
     }
 
@@ -85,14 +106,54 @@ impl Engine {
 
     /// Persists the cache under `dir` instead of the default.
     pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
-        self.cache = Some(ResultCache::on_disk(dir));
+        let cache = self.configured_cache(ResultCache::on_disk(dir));
+        self.cache = Some(cache);
         self
     }
 
     /// Keeps the cache in memory only (no files written).
     pub fn memory_cache_only(mut self) -> Self {
-        self.cache = Some(ResultCache::in_memory());
+        let cache = self.configured_cache(ResultCache::in_memory());
+        self.cache = Some(cache);
         self
+    }
+
+    /// Threads `faults` through every injection seam the engine owns: the
+    /// cache read/write paths and the job-execution path. The production
+    /// default is [`Injector::disabled`], which costs one branch per seam.
+    pub fn with_faults(mut self, faults: Arc<Injector>) -> Self {
+        if let Some(cache) = &mut self.cache {
+            cache.set_faults(Arc::clone(&faults));
+        }
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the retry policy shared by job execution and cache
+    /// persistence (default [`RetryPolicy::DEFAULT`]).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        if let Some(cache) = &mut self.cache {
+            cache.set_retry(retry);
+        }
+        self.retry = retry;
+        self
+    }
+
+    /// Arms a per-attempt watchdog: an execution attempt that outlives
+    /// `deadline` is counted and logged the moment the deadline passes.
+    /// The watchdog is observational — std threads cannot be cancelled, so
+    /// the attempt is then awaited to completion rather than abandoned.
+    pub fn with_watchdog(mut self, deadline: Duration) -> Self {
+        self.watchdog = Some(deadline);
+        self
+    }
+
+    /// Applies this engine's fault injector and retry policy to a freshly
+    /// built cache, so builder-call order never matters.
+    fn configured_cache(&self, mut cache: ResultCache) -> ResultCache {
+        cache.set_faults(Arc::clone(&self.faults));
+        cache.set_retry(self.retry);
+        cache
     }
 
     /// Disables caching entirely: every job simulates (`--no-cache`).
@@ -118,9 +179,20 @@ impl Engine {
         self.cache.as_ref()
     }
 
-    /// A snapshot of this engine's counters.
+    /// The fault injector threaded through this engine's seams (the
+    /// disabled injector unless [`Engine::with_faults`] was called).
+    pub fn faults(&self) -> &Injector {
+        &self.faults
+    }
+
+    /// A snapshot of this engine's counters, with the cache's resilience
+    /// counters merged in.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut snapshot = self.metrics.snapshot();
+        if let Some(cache) = &self.cache {
+            snapshot.cache = cache.stats();
+        }
+        snapshot
     }
 
     /// The bounded store of recent job traces, keyed by run-key hex.
@@ -131,21 +203,58 @@ impl Engine {
     /// Executes a job like [`Executor::execute`], stamping `request_id`
     /// (the HTTP correlation id, when the job came in over the wire) onto
     /// the job's trace and log lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job fails on every retry attempt (see
+    /// [`Engine::try_execute_observed`] for the fallible variant).
     pub fn execute_observed(&self, job: &JobSpec<'_>, request_id: Option<&str>) -> RunReport {
-        self.execute_inner(job, request_id, 0)
+        self.try_execute_inner(job, request_id, 0)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// The shared execution path: probes the cache, simulates on a miss,
-    /// persists the result, and records a [`JobTrace`] of the lifecycle.
-    /// `queue_ns` is time already spent waiting in the batch queue.
-    fn execute_inner(
+    /// Executes a job, surfacing resilience failures as [`EngineError`]
+    /// instead of panicking: a job that panicked on every retry attempt,
+    /// or one already quarantined by an earlier exhausted run.
+    pub fn try_execute(&self, job: &JobSpec<'_>) -> Result<RunReport, EngineError> {
+        self.try_execute_inner(job, None, 0)
+    }
+
+    /// [`Engine::try_execute`] with a request correlation id stamped onto
+    /// the job's trace and log lines.
+    pub fn try_execute_observed(
+        &self,
+        job: &JobSpec<'_>,
+        request_id: Option<&str>,
+    ) -> Result<RunReport, EngineError> {
+        self.try_execute_inner(job, request_id, 0)
+    }
+
+    /// The shared execution path: refuses quarantined jobs, probes the
+    /// cache, simulates on a miss (retrying panicked attempts under
+    /// backoff), persists the result, and records a [`JobTrace`] of the
+    /// lifecycle. `queue_ns` is time already spent waiting in the batch
+    /// queue.
+    fn try_execute_inner(
         &self,
         job: &JobSpec<'_>,
         request_id: Option<&str>,
         queue_ns: u64,
-    ) -> RunReport {
+    ) -> Result<RunReport, EngineError> {
         let mut timer = PhaseTimer::with_queue(queue_ns);
         let key = run_key(job);
+
+        if self.poisoned.lock().unwrap().contains(&key.0) {
+            obs_log::warn(
+                "engine",
+                "quarantined job refused",
+                &[
+                    ("request_id", request_id.unwrap_or("-").into()),
+                    ("run_key", key.hex().into()),
+                ],
+            );
+            return Err(EngineError::Quarantined { key_hex: key.hex() });
+        }
 
         if let Some(cache) = &self.cache {
             let probe = timer.time("cache_probe", || cache.get(key));
@@ -169,20 +278,56 @@ impl Engine {
                     request_id,
                     outcome,
                 );
-                return report;
+                return Ok(report);
             }
             self.metrics.record_miss();
         }
 
         let start = Instant::now();
-        let (report, spans) = timer.time("execute", || {
-            heteropipe::run::run_traced(
-                job.pipeline,
-                job.config,
-                job.organization,
-                job.misalignment_sensitive,
+        let jitter_seed = (key.0 as u64) ^ ((key.0 >> 64) as u64);
+        let outcome = timer.time("execute", || {
+            with_retries(
+                &self.retry,
+                jitter_seed,
+                |_| self.run_attempt(job),
+                |attempt, message: &String, sleep_ms| {
+                    self.metrics.record_exec_retry();
+                    obs_log::warn(
+                        "engine",
+                        "job attempt panicked, retrying",
+                        &[
+                            ("run_key", key.hex().into()),
+                            ("attempt", u64::from(attempt).into()),
+                            ("backoff_ms", sleep_ms.into()),
+                            ("panic", message.clone().into()),
+                        ],
+                    );
+                },
             )
         });
+        let (report, spans) = match outcome {
+            Ok(ok) => ok,
+            Err(message) => {
+                let attempts = self.retry.attempts.max(1);
+                self.poisoned.lock().unwrap().insert(key.0);
+                self.metrics.record_job_quarantined();
+                obs_log::error(
+                    "engine",
+                    "job quarantined after exhausting retries",
+                    &[
+                        ("request_id", request_id.unwrap_or("-").into()),
+                        ("run_key", key.hex().into()),
+                        ("attempts", u64::from(attempts).into()),
+                        ("panic", message.clone().into()),
+                    ],
+                );
+                return Err(EngineError::JobPanicked {
+                    key_hex: key.hex(),
+                    message,
+                    attempts,
+                });
+            }
+        };
         self.metrics
             .record_executed(report.roi.as_picos(), start.elapsed().as_nanos() as u64);
         if let Some(cache) = &self.cache {
@@ -198,7 +343,60 @@ impl Engine {
             request_id,
             "executed",
         );
-        report
+        Ok(report)
+    }
+
+    /// One execution attempt: rolls the `job.exec` fault seam, isolates
+    /// the job's panic (injected or real) with `catch_unwind`, and — when
+    /// a watchdog deadline is armed — times the attempt from a scoped
+    /// worker thread. `Err` carries the rendered panic message.
+    ///
+    /// The watchdog is observational by design: std threads cannot be
+    /// cancelled, so an overrun is counted and logged the moment the
+    /// deadline passes and the attempt is then awaited to completion.
+    /// Injected hangs are bounded sleeps, so chaos runs still terminate.
+    fn run_attempt(&self, job: &JobSpec<'_>) -> Result<(RunReport, Vec<TaskSpan>), String> {
+        let attempt = || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(fault) = self.faults.roll(Site::JobExec) {
+                    match fault.kind {
+                        FaultKind::Hang => std::thread::sleep(Duration::from_millis(fault.hang_ms)),
+                        _ => panic!("injected: {}", fault.kind.label()),
+                    }
+                }
+                heteropipe::run::run_traced(
+                    job.pipeline,
+                    job.config,
+                    job.organization,
+                    job.misalignment_sensitive,
+                )
+            }))
+            .map_err(panic_message)
+        };
+        let Some(deadline) = self.watchdog else {
+            return attempt();
+        };
+        std::thread::scope(|scope| {
+            let (tx, rx) = std::sync::mpsc::channel();
+            scope.spawn(move || {
+                let _ = tx.send(attempt());
+            });
+            match rx.recv_timeout(deadline) {
+                Ok(result) => result,
+                Err(_) => {
+                    self.metrics.record_watchdog_fired();
+                    obs_log::warn(
+                        "engine",
+                        "watchdog deadline exceeded, awaiting attempt",
+                        &[
+                            ("run_key", run_key(job).hex().into()),
+                            ("deadline_ms", (deadline.as_millis() as u64).into()),
+                        ],
+                    );
+                    rx.recv().expect("attempt thread sends exactly once")
+                }
+            }
+        })
     }
 
     fn store_trace(
@@ -267,8 +465,13 @@ const _: fn() = || {
 };
 
 impl Executor for Engine {
+    /// Executes one job. The `Executor` contract is infallible, so an
+    /// [`EngineError`] (retries exhausted, job quarantined) is re-raised
+    /// as a panic carrying the error's message; batch execution and the
+    /// HTTP layer both catch panics per job.
     fn execute(&self, job: &JobSpec<'_>) -> RunReport {
-        self.execute_inner(job, None, 0)
+        self.try_execute_inner(job, None, 0)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn execute_batch(&self, jobs: &[JobSpec<'_>]) -> Vec<Result<RunReport, JobError>> {
@@ -278,7 +481,8 @@ impl Executor for Engine {
         let submit = Instant::now();
         let out = par_map(jobs, self.jobs, |j| {
             let queue_ns = submit.elapsed().as_nanos() as u64;
-            self.execute_inner(j, None, queue_ns)
+            self.try_execute_inner(j, None, queue_ns)
+                .unwrap_or_else(|e| panic!("{e}"))
         });
         for (i, r) in out.iter().enumerate() {
             if let Err(e) = r {
@@ -598,5 +802,177 @@ mod tests {
         let m = engine.metrics();
         assert_eq!(m.jobs_executed, 2, "three distinct keys, one duplicated");
         assert!(m.hits() >= 4);
+    }
+
+    fn injector(plan: &str) -> Arc<heteropipe_faults::Injector> {
+        Arc::new(heteropipe_faults::Injector::new(
+            heteropipe_faults::FaultPlan::parse(plan).unwrap(),
+        ))
+    }
+
+    const FAST_RETRY: heteropipe_faults::RetryPolicy = heteropipe_faults::RetryPolicy {
+        attempts: 5,
+        base_ms: 0,
+        cap_ms: 0,
+    };
+
+    #[test]
+    fn injected_panics_are_retried_to_success() {
+        use heteropipe::DirectExecutor;
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::discrete();
+        let spec = kmeans_spec(&p, &cfg);
+        let expected = DirectExecutor::new().execute(&spec);
+
+        let engine = Engine::new()
+            .memory_cache_only()
+            .with_faults(injector("job.exec:err=panic:max=2"))
+            .with_retry(FAST_RETRY);
+        let got = engine
+            .try_execute(&spec)
+            .expect("retries must absorb both panics");
+        assert_eq!(got, expected, "recovered result is byte-identical");
+        let m = engine.metrics();
+        assert_eq!(m.exec_retries, 2);
+        assert_eq!(m.jobs_quarantined, 0);
+        assert_eq!(m.jobs_executed, 1);
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_the_job() {
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::discrete();
+        let spec = kmeans_spec(&p, &cfg);
+
+        let engine = Engine::new()
+            .memory_cache_only()
+            .with_faults(injector("job.exec:err=panic"))
+            .with_retry(heteropipe_faults::RetryPolicy {
+                attempts: 2,
+                base_ms: 0,
+                cap_ms: 0,
+            });
+        let err = engine.try_execute(&spec).unwrap_err();
+        match &err {
+            EngineError::JobPanicked {
+                message, attempts, ..
+            } => {
+                assert!(message.contains("injected"), "{message}");
+                assert_eq!(*attempts, 2);
+            }
+            other => panic!("expected JobPanicked, got {other}"),
+        }
+
+        // Later attempts fast-fail without burning more retries.
+        let again = engine.try_execute(&spec).unwrap_err();
+        assert!(matches!(again, EngineError::Quarantined { .. }));
+        let m = engine.metrics();
+        assert_eq!(m.exec_retries, 1);
+        assert_eq!(m.jobs_quarantined, 1);
+        assert_eq!(m.jobs_executed, 0);
+
+        // The batch path captures the quarantine as a per-job error.
+        let out = engine.execute_batch(&[kmeans_spec(&p, &cfg)]);
+        let e = out[0].as_ref().unwrap_err();
+        assert!(e.message.contains("quarantined"), "{e}");
+        assert_eq!(engine.metrics().failures, 1);
+    }
+
+    #[test]
+    fn watchdog_observes_hung_attempts_without_losing_the_result() {
+        use heteropipe::DirectExecutor;
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::discrete();
+        let spec = kmeans_spec(&p, &cfg);
+        let expected = DirectExecutor::new().execute(&spec);
+
+        let engine = Engine::new()
+            .memory_cache_only()
+            .with_faults(injector("job.exec:err=hang:ms=40:max=1"))
+            .with_watchdog(Duration::from_millis(5));
+        let got = engine
+            .try_execute(&spec)
+            .expect("hang is a stall, not a failure");
+        assert_eq!(got, expected);
+        let m = engine.metrics();
+        assert_eq!(m.watchdog_fired, 1, "overrun observed");
+        assert_eq!(m.jobs_quarantined, 0);
+
+        // Fault budget spent: the warm path runs without tripping it.
+        engine.try_execute(&spec).unwrap();
+        assert_eq!(engine.metrics().watchdog_fired, 1);
+    }
+
+    #[test]
+    fn corrupt_cache_record_is_quarantined_then_transparently_reexecuted() {
+        let dir = temp_dir("self-heal");
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::discrete();
+        let spec = kmeans_spec(&p, &cfg);
+
+        let cold = Engine::new().with_cache_dir(&dir).execute(&spec);
+
+        // A fresh engine reads the record through an injected bit-flip:
+        // the corrupt bytes are quarantined, the job transparently
+        // re-executes, and the rewritten record serves the next reader.
+        let healing = Engine::new()
+            .with_cache_dir(&dir)
+            .with_faults(injector("cache.read:err=corrupt:max=1"));
+        let healed = healing.execute(&spec);
+        assert_eq!(healed, cold, "re-execution reproduces the exact report");
+        let m = healing.metrics();
+        assert_eq!(m.jobs_executed, 1, "corrupt read became a miss");
+        assert_eq!(m.cache.records_quarantined, 1);
+        assert!(
+            dir.join(cache::QUARANTINE_DIR).read_dir().unwrap().count() > 0,
+            "evidence preserved under .quarantine/"
+        );
+
+        let fresh = Engine::new().with_cache_dir(&dir);
+        assert_eq!(fresh.execute(&spec), cold);
+        assert_eq!(
+            fresh.metrics().disk_hits,
+            1,
+            "healed record serves from disk"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn builder_order_does_not_matter_for_cache_faults() {
+        let dir = temp_dir("builder-order");
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::discrete();
+        let spec = kmeans_spec(&p, &cfg);
+
+        // Faults first, cache dir second: the rebuilt cache must inherit
+        // the injector (one enospc absorbed by the persist retry loop).
+        let engine = Engine::new()
+            .with_faults(injector("cache.write:err=enospc:max=1"))
+            .with_retry(FAST_RETRY)
+            .with_cache_dir(&dir);
+        engine.execute(&spec);
+        assert_eq!(
+            engine.metrics().cache.persist_retries,
+            1,
+            "injector survived the with_cache_dir rebuild"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

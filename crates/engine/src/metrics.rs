@@ -13,6 +13,9 @@ pub struct RunMetrics {
     failures: AtomicU64,
     simulated_ps: AtomicU64,
     wall_ns: AtomicU64,
+    exec_retries: AtomicU64,
+    jobs_quarantined: AtomicU64,
+    watchdog_fired: AtomicU64,
 }
 
 impl RunMetrics {
@@ -43,7 +46,20 @@ impl RunMetrics {
         self.failures.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// A point-in-time copy of the counters.
+    pub(crate) fn record_exec_retry(&self) {
+        self.exec_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_job_quarantined(&self) {
+        self.jobs_quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_watchdog_fired(&self) {
+        self.watchdog_fired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters. Cache-level resilience
+    /// counters are zero here; [`crate::Engine::metrics`] merges them in.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
@@ -53,6 +69,10 @@ impl RunMetrics {
             failures: self.failures.load(Ordering::Relaxed),
             simulated_ps: self.simulated_ps.load(Ordering::Relaxed),
             wall_ns: self.wall_ns.load(Ordering::Relaxed),
+            exec_retries: self.exec_retries.load(Ordering::Relaxed),
+            jobs_quarantined: self.jobs_quarantined.load(Ordering::Relaxed),
+            watchdog_fired: self.watchdog_fired.load(Ordering::Relaxed),
+            cache: crate::cache::CacheStatsSnapshot::default(),
         }
     }
 }
@@ -75,6 +95,15 @@ pub struct MetricsSnapshot {
     /// Total wall-clock time spent simulating, nanoseconds (sums across
     /// workers, so it can exceed elapsed time under parallelism).
     pub wall_ns: u64,
+    /// Execution attempts retried after a panic (injected or real).
+    pub exec_retries: u64,
+    /// Jobs quarantined after exhausting their retry budget.
+    pub jobs_quarantined: u64,
+    /// Jobs whose execution overran the configured watchdog deadline.
+    pub watchdog_fired: u64,
+    /// The cache's resilience counters (temp sweeps, quarantined records,
+    /// read errors, persist retries/failures).
+    pub cache: crate::cache::CacheStatsSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -106,7 +135,7 @@ impl MetricsSnapshot {
     /// The one-line summary footer (goes to stderr so stdout tables stay
     /// byte-identical across cold and warm runs).
     pub fn summary(&self) -> String {
-        format!(
+        let mut out = format!(
             "engine: {} jobs ({} executed, {} cache hits [{} mem, {} disk], {:.0}% hit rate), \
              {:.3} s simulated, {:.3} s wall ({} ms/job), {} failed",
             self.jobs_total(),
@@ -119,14 +148,42 @@ impl MetricsSnapshot {
             self.wall_ns as f64 / 1e9,
             self.mean_wall_ns_per_job() / 1_000_000,
             self.failures,
-        )
+        );
+        if self.recoveries() > 0 {
+            out.push_str(&format!(
+                ", recoveries: {} exec retries, {} persist retries, {} records quarantined, \
+                 {} jobs quarantined, {} watchdog overruns, {} tmp swept",
+                self.exec_retries,
+                self.cache.persist_retries,
+                self.cache.records_quarantined,
+                self.jobs_quarantined,
+                self.watchdog_fired,
+                self.cache.tmp_swept,
+            ));
+        }
+        out
+    }
+
+    /// Total resilience events (retries, quarantines, watchdog overruns,
+    /// temp sweeps) — zero on a fault-free run.
+    pub fn recoveries(&self) -> u64 {
+        self.exec_retries
+            + self.jobs_quarantined
+            + self.watchdog_fired
+            + self.cache.tmp_swept
+            + self.cache.records_quarantined
+            + self.cache.read_errors
+            + self.cache.persist_retries
+            + self.cache.persist_failures
     }
 
     /// CSV export: a header line plus one data row.
     pub fn to_csv(&self) -> String {
         format!(
-            "jobs_total,jobs_executed,memory_hits,disk_hits,misses,failures,hit_rate,simulated_ps,wall_ns\n\
-             {},{},{},{},{},{},{:.4},{},{}\n",
+            "jobs_total,jobs_executed,memory_hits,disk_hits,misses,failures,hit_rate,simulated_ps,wall_ns,\
+             exec_retries,jobs_quarantined,watchdog_fired,tmp_swept,records_quarantined,\
+             cache_read_errors,persist_retries,persist_failures\n\
+             {},{},{},{},{},{},{:.4},{},{},{},{},{},{},{},{},{},{}\n",
             self.jobs_total(),
             self.jobs_executed,
             self.memory_hits,
@@ -136,6 +193,14 @@ impl MetricsSnapshot {
             self.hit_rate(),
             self.simulated_ps,
             self.wall_ns,
+            self.exec_retries,
+            self.jobs_quarantined,
+            self.watchdog_fired,
+            self.cache.tmp_swept,
+            self.cache.records_quarantined,
+            self.cache.read_errors,
+            self.cache.persist_retries,
+            self.cache.persist_failures,
         )
     }
 }
@@ -235,5 +300,36 @@ mod tests {
         assert_eq!(s.hit_rate(), 0.0);
         assert_eq!(s.mean_wall_ns_per_job(), 0);
         assert!(s.summary().contains("0 jobs"));
+        assert_eq!(s.recoveries(), 0);
+        assert!(
+            !s.summary().contains("recoveries"),
+            "fault-free summary stays unchanged"
+        );
+    }
+
+    #[test]
+    fn recovery_counters_roll_up_and_render() {
+        let m = RunMetrics::new();
+        m.record_exec_retry();
+        m.record_exec_retry();
+        m.record_job_quarantined();
+        m.record_watchdog_fired();
+        let mut s = m.snapshot();
+        s.cache.persist_retries = 3;
+        s.cache.records_quarantined = 1;
+        s.cache.tmp_swept = 2;
+        assert_eq!(s.recoveries(), 2 + 1 + 1 + 3 + 1 + 2);
+        let summary = s.summary();
+        assert!(summary.contains("2 exec retries"), "{summary}");
+        assert!(summary.contains("1 records quarantined"), "{summary}");
+        assert!(summary.contains("2 tmp swept"), "{summary}");
+        let csv = s.to_csv();
+        let header = csv.lines().next().unwrap();
+        assert!(header.ends_with("persist_failures"), "{header}");
+        assert_eq!(
+            header.split(',').count(),
+            csv.lines().nth(1).unwrap().split(',').count(),
+            "every column has a value"
+        );
     }
 }

@@ -1,0 +1,295 @@
+//! The deterministic fault injector.
+//!
+//! An [`Injector`] holds a parsed [`FaultPlan`] and one seeded
+//! [`SplitMix64`] decision stream. Code under test calls
+//! [`Injector::roll`] at each injection seam; the injector answers
+//! `Some(fault)` when a matching rule fires. With a fixed seed the
+//! decision stream is reproducible; under concurrency the *interleaving*
+//! of draws across threads can vary, but rule budgets (`max`) and the
+//! per-site counters bound exactly what a chaos run must absorb, and the
+//! pipeline's outputs are deterministic regardless of which operations the
+//! faults landed on.
+//!
+//! A disabled injector (the default everywhere) is a single `is_empty`
+//! check — no lock, no rng draw — so production paths pay nothing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use heteropipe_obs::log as obs_log;
+use heteropipe_sim::SplitMix64;
+
+use crate::plan::{FaultKind, FaultPlan, PlanError, Site};
+
+/// The environment variable holding the process-wide fault plan.
+pub const ENV_VAR: &str = "HETEROPIPE_FAULTS";
+
+/// One fired fault: what to do at the seam that rolled it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The failure to emulate.
+    pub kind: FaultKind,
+    /// Stall duration for [`FaultKind::Hang`], milliseconds.
+    pub hang_ms: u64,
+}
+
+impl Fault {
+    /// The injected failure as an `std::io::Error` (for I/O seams).
+    pub fn io_error(&self) -> std::io::Error {
+        match self.kind {
+            FaultKind::Enospc => std::io::Error::new(
+                std::io::ErrorKind::StorageFull,
+                "injected: no space left on device",
+            ),
+            _ => std::io::Error::other(format!("injected: {}", self.kind.label())),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RuleState {
+    rule: crate::plan::FaultRule,
+    seen: AtomicU64,
+    fired: AtomicU64,
+}
+
+/// A seeded fault injector over a parsed plan. Cheap to share behind an
+/// `Arc`; all state is interior.
+#[derive(Debug)]
+pub struct Injector {
+    rules: Vec<RuleState>,
+    rng: Mutex<SplitMix64>,
+}
+
+impl Default for Injector {
+    fn default() -> Self {
+        Injector {
+            rules: Vec::new(),
+            rng: Mutex::new(SplitMix64::new(crate::plan::DEFAULT_SEED)),
+        }
+    }
+}
+
+/// Fired-fault tallies for one `(site, kind)` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultCount {
+    /// Site label (`cache.write`, ...).
+    pub site: &'static str,
+    /// Kind label (`enospc`, ...).
+    pub kind: &'static str,
+    /// How many times rules with this site and kind fired.
+    pub fired: u64,
+}
+
+impl Injector {
+    /// An injector that never fires (the production default).
+    pub fn disabled() -> Injector {
+        Injector::default()
+    }
+
+    /// An injector over `plan`, seeded from the plan's seed.
+    pub fn new(plan: FaultPlan) -> Injector {
+        let seed = plan.seed();
+        Injector {
+            rules: plan
+                .rules
+                .into_iter()
+                .map(|rule| RuleState {
+                    rule,
+                    seen: AtomicU64::new(0),
+                    fired: AtomicU64::new(0),
+                })
+                .collect(),
+            rng: Mutex::new(SplitMix64::new(seed)),
+        }
+    }
+
+    /// An injector configured from the [`ENV_VAR`] environment variable.
+    /// Unset or empty means disabled; a malformed plan is an error (a
+    /// typo'd plan must not silently inject nothing).
+    pub fn from_env() -> Result<Injector, PlanError> {
+        match std::env::var(ENV_VAR) {
+            Ok(s) => Ok(Injector::new(FaultPlan::parse(&s)?)),
+            Err(_) => Ok(Injector::disabled()),
+        }
+    }
+
+    /// Whether any rule is configured.
+    pub fn is_enabled(&self) -> bool {
+        !self.rules.is_empty()
+    }
+
+    /// Rolls the dice at `site`. `Some(fault)` means the caller must
+    /// emulate that failure now; at most one rule fires per roll.
+    pub fn roll(&self, site: Site) -> Option<Fault> {
+        if self.rules.is_empty() {
+            return None;
+        }
+        for state in self.rules.iter().filter(|s| s.rule.site == site) {
+            let opportunity = state.seen.fetch_add(1, Ordering::Relaxed) + 1;
+            if opportunity <= state.rule.after {
+                continue;
+            }
+            if !self.rng.lock().unwrap().chance(state.rule.p) {
+                continue;
+            }
+            if let Some(max) = state.rule.max {
+                // fetch_add reserves a firing slot; losing the race means
+                // the budget was already spent, so hand the slot back.
+                if state.fired.fetch_add(1, Ordering::Relaxed) >= max {
+                    state.fired.fetch_sub(1, Ordering::Relaxed);
+                    continue;
+                }
+            } else {
+                state.fired.fetch_add(1, Ordering::Relaxed);
+            }
+            let fault = Fault {
+                kind: state.rule.kind,
+                hang_ms: state.rule.hang_ms,
+            };
+            obs_log::debug(
+                "faults",
+                "fault injected",
+                &[
+                    ("site", site.label().into()),
+                    ("kind", fault.kind.label().into()),
+                ],
+            );
+            return Some(fault);
+        }
+        None
+    }
+
+    /// Total faults fired so far, across every rule.
+    pub fn total_fired(&self) -> u64 {
+        self.rules
+            .iter()
+            .map(|s| s.fired.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Fired tallies aggregated by `(site, kind)`, in first-seen order.
+    pub fn counts(&self) -> Vec<FaultCount> {
+        let mut out: Vec<FaultCount> = Vec::new();
+        for state in &self.rules {
+            let (site, kind) = (state.rule.site.label(), state.rule.kind.label());
+            let fired = state.fired.load(Ordering::Relaxed);
+            match out.iter_mut().find(|c| c.site == site && c.kind == kind) {
+                Some(c) => c.fired += fired,
+                None => out.push(FaultCount { site, kind, fired }),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(s: &str) -> Injector {
+        Injector::new(FaultPlan::parse(s).unwrap())
+    }
+
+    #[test]
+    fn disabled_injector_never_fires() {
+        let inj = Injector::disabled();
+        assert!(!inj.is_enabled());
+        for site in Site::ALL {
+            assert_eq!(inj.roll(site), None);
+        }
+        assert_eq!(inj.total_fired(), 0);
+    }
+
+    #[test]
+    fn certain_rule_fires_and_respects_max() {
+        let inj = plan("cache.write:err=enospc:max=2");
+        assert!(inj.is_enabled());
+        assert!(inj.roll(Site::CacheWrite).is_some());
+        assert!(inj.roll(Site::CacheWrite).is_some());
+        assert_eq!(inj.roll(Site::CacheWrite), None, "budget spent");
+        assert_eq!(inj.roll(Site::CacheRead), None, "other sites untouched");
+        assert_eq!(inj.total_fired(), 2);
+        assert_eq!(
+            inj.counts(),
+            vec![FaultCount {
+                site: "cache.write",
+                kind: "enospc",
+                fired: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn after_skips_early_opportunities() {
+        let inj = plan("job.exec:err=panic:after=2");
+        assert_eq!(inj.roll(Site::JobExec), None);
+        assert_eq!(inj.roll(Site::JobExec), None);
+        assert!(inj.roll(Site::JobExec).is_some(), "armed on the third");
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let decide = || {
+            let inj = plan("seed=7;serve.read:err=drop:p=0.5");
+            (0..64)
+                .map(|_| inj.roll(Site::ServeRead).is_some())
+                .collect::<Vec<_>>()
+        };
+        let a = decide();
+        assert_eq!(a, decide(), "fixed seed, fixed stream");
+        assert!(a.iter().any(|&b| b) && a.iter().any(|&b| !b), "p=0.5 mixes");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let stream = |seed: u64| {
+            let inj = plan(&format!("seed={seed};job.exec:err=panic:p=0.5"));
+            (0..64)
+                .map(|_| inj.roll(Site::JobExec).is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(stream(1), stream(2));
+    }
+
+    #[test]
+    fn hang_carries_duration_and_io_errors_map() {
+        let inj = plan("job.exec:err=hang:ms=7");
+        let fault = inj.roll(Site::JobExec).unwrap();
+        assert_eq!(fault.kind, FaultKind::Hang);
+        assert_eq!(fault.hang_ms, 7);
+
+        let enospc = Fault {
+            kind: FaultKind::Enospc,
+            hang_ms: 0,
+        };
+        assert_eq!(enospc.io_error().kind(), std::io::ErrorKind::StorageFull);
+        let eio = Fault {
+            kind: FaultKind::Eio,
+            hang_ms: 0,
+        };
+        assert!(eio.io_error().to_string().contains("injected"));
+    }
+
+    #[test]
+    fn concurrent_rolls_never_exceed_max() {
+        let inj = std::sync::Arc::new(plan("cache.write:err=eio:max=5"));
+        let fired: u64 = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let inj = std::sync::Arc::clone(&inj);
+                    s.spawn(move || {
+                        (0..100)
+                            .filter(|_| inj.roll(Site::CacheWrite).is_some())
+                            .count() as u64
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(fired, 5, "exactly the budget fires under contention");
+        assert_eq!(inj.total_fired(), 5);
+    }
+}

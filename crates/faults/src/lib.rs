@@ -1,0 +1,32 @@
+//! # heteropipe-faults
+//!
+//! Deterministic fault injection and the retry primitives that absorb the
+//! injected failures. The paper's multi-stage pipeline analysis depends on
+//! long experiment runs completing reliably; this crate makes every
+//! failure path in the engine/serve stack *injectable* (so CI can replay
+//! it with a fixed seed), *observable* (per-site fired counters exported
+//! to `/metrics`), and *recoverable* (capped exponential backoff with
+//! deterministic jitter).
+//!
+//! * [`plan`] — the `HETEROPIPE_FAULTS` grammar: clauses like
+//!   `cache.write:err=enospc:p=0.1:max=3`, parsed into a [`FaultPlan`];
+//! * [`inject`] — the seeded [`Injector`]: seams in the engine cache I/O
+//!   path, the job executor, and the serve socket loop call
+//!   [`Injector::roll`] and emulate whatever fault fires;
+//! * [`retry`] — [`RetryPolicy`] (capped exponential backoff, equal
+//!   jitter from a [`heteropipe_sim::SplitMix64`] stream) and the
+//!   [`with_retries`] driver.
+//!
+//! Everything is `std`-only and a disabled injector costs one branch, so
+//! the seams stay compiled into production paths — exactly what the chaos
+//! CI gate (`bench/src/bin/chaos.rs`) replays end to end.
+
+#![warn(missing_docs)]
+
+pub mod inject;
+pub mod plan;
+pub mod retry;
+
+pub use inject::{Fault, FaultCount, Injector, ENV_VAR};
+pub use plan::{FaultKind, FaultPlan, FaultRule, PlanError, Site};
+pub use retry::{with_retries, RetryPolicy};

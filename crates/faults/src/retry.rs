@@ -1,0 +1,169 @@
+//! Retry with exponential backoff and deterministic jitter.
+//!
+//! The policy is classic capped exponential backoff with "equal jitter":
+//! attempt `n` sleeps between `base·2ⁿ/2` and `base·2ⁿ` milliseconds
+//! (capped), the jitter drawn from a [`SplitMix64`] stream the caller
+//! seeds — usually from the operation's content address — so a replayed
+//! run backs off identically. Defaults are tuned for the engine's disk
+//! cache (millisecond-scale transients, sub-second total budget); callers
+//! with slower dependencies override them.
+
+use heteropipe_sim::SplitMix64;
+
+/// How many times to retry and how long to wait between attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub attempts: u32,
+    /// Backoff base, milliseconds (sleep before retry `n` is drawn from
+    /// `[base·2ⁿ⁻¹/2, base·2ⁿ⁻¹]`).
+    pub base_ms: u64,
+    /// Upper bound on any single sleep, milliseconds.
+    pub cap_ms: u64,
+}
+
+impl RetryPolicy {
+    /// The engine default: 5 attempts, 1 ms base, 50 ms cap — at most
+    /// ~100 ms of cumulative backoff on a fully faulty path.
+    pub const DEFAULT: RetryPolicy = RetryPolicy {
+        attempts: 5,
+        base_ms: 1,
+        cap_ms: 50,
+    };
+
+    /// A policy that never retries (one attempt, no sleeps).
+    pub const NONE: RetryPolicy = RetryPolicy {
+        attempts: 1,
+        base_ms: 0,
+        cap_ms: 0,
+    };
+
+    /// The jittered sleep before retry attempt `attempt` (1-based: the
+    /// sleep after the first failure is `delay_ms(1, ..)`).
+    pub fn delay_ms(&self, attempt: u32, jitter: &mut SplitMix64) -> u64 {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(20))
+            .min(self.cap_ms);
+        let half = exp / 2;
+        half + jitter.below(exp - half + 1)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::DEFAULT
+    }
+}
+
+/// Runs `op` under `policy`, sleeping a jittered backoff (seeded by
+/// `seed`) between attempts. `op` receives the 0-based attempt index;
+/// `on_retry` observes each failure that will be retried (attempt index,
+/// error, upcoming sleep in ms). Returns the first success or the last
+/// error.
+pub fn with_retries<T, E>(
+    policy: &RetryPolicy,
+    seed: u64,
+    mut op: impl FnMut(u32) -> Result<T, E>,
+    mut on_retry: impl FnMut(u32, &E, u64),
+) -> Result<T, E> {
+    let attempts = policy.attempts.max(1);
+    let mut jitter = SplitMix64::new(seed);
+    let mut attempt = 0;
+    loop {
+        match op(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) if attempt + 1 < attempts => {
+                let sleep_ms = policy.delay_ms(attempt + 1, &mut jitter);
+                on_retry(attempt, &e, sleep_ms);
+                if sleep_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(sleep_ms));
+                }
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succeeds_first_try_without_sleeping() {
+        let mut calls = 0;
+        let out: Result<u32, ()> = with_retries(
+            &RetryPolicy::DEFAULT,
+            1,
+            |_| {
+                calls += 1;
+                Ok(7)
+            },
+            |_, _, _| panic!("no retries expected"),
+        );
+        assert_eq!(out, Ok(7));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn retries_until_success_and_reports_each() {
+        let mut retried = Vec::new();
+        let out: Result<u32, &str> = with_retries(
+            &RetryPolicy {
+                attempts: 4,
+                base_ms: 0,
+                cap_ms: 0,
+            },
+            2,
+            |attempt| {
+                if attempt < 2 {
+                    Err("transient")
+                } else {
+                    Ok(attempt)
+                }
+            },
+            |attempt, _, _| retried.push(attempt),
+        );
+        assert_eq!(out, Ok(2));
+        assert_eq!(retried, vec![0, 1]);
+    }
+
+    #[test]
+    fn exhausts_attempts_and_returns_last_error() {
+        let mut calls = 0;
+        let out: Result<(), u32> = with_retries(
+            &RetryPolicy {
+                attempts: 3,
+                base_ms: 0,
+                cap_ms: 0,
+            },
+            3,
+            |attempt| {
+                calls += 1;
+                Err(attempt)
+            },
+            |_, _, _| {},
+        );
+        assert_eq!(out, Err(2));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn delays_are_capped_jittered_and_deterministic() {
+        let p = RetryPolicy {
+            attempts: 8,
+            base_ms: 4,
+            cap_ms: 20,
+        };
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        for attempt in 1..8 {
+            let d = p.delay_ms(attempt, &mut a);
+            assert_eq!(d, p.delay_ms(attempt, &mut b), "same seed, same delay");
+            assert!(d <= p.cap_ms, "attempt {attempt} slept {d} > cap");
+            let exp = (p.base_ms << (attempt - 1)).min(p.cap_ms);
+            assert!(d >= exp / 2, "attempt {attempt} slept {d} < half of {exp}");
+        }
+    }
+}

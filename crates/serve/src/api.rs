@@ -14,10 +14,12 @@ use std::sync::{Arc, OnceLock};
 
 use heteropipe::experiments::{characterize_all_with, fig3, fig456, fig78, fig9, tables};
 use heteropipe::{AccessClass, Executor, JobSpec, Organization, Platform, RunReport, SystemConfig};
-use heteropipe_engine::Engine;
+use heteropipe_engine::{Engine, EngineError};
+use heteropipe_faults::Injector;
 use heteropipe_obs::MetricRegistry;
 use heteropipe_workloads::{registry, Scale, Workload};
 
+use crate::breaker::CircuitBreaker;
 use crate::http::{Request, Response};
 use crate::json::Json;
 use crate::server::{Handler, ServerConfig, ServerStats};
@@ -29,6 +31,8 @@ use crate::server::{Server, ServerHandle};
 pub struct Api {
     engine: Arc<Engine>,
     stats: OnceLock<Arc<ServerStats>>,
+    breaker: OnceLock<Arc<CircuitBreaker>>,
+    server_faults: OnceLock<Arc<Injector>>,
 }
 
 impl Api {
@@ -37,6 +41,8 @@ impl Api {
         Arc::new(Api {
             engine,
             stats: OnceLock::new(),
+            breaker: OnceLock::new(),
+            server_faults: OnceLock::new(),
         })
     }
 
@@ -50,20 +56,35 @@ impl Api {
     pub fn attach_stats(&self, stats: Arc<ServerStats>) {
         let _ = self.stats.set(stats);
     }
+
+    /// Wires in the server's circuit breaker so `/healthz/ready` and
+    /// `/metrics` can report it. Called by [`serve`]; later calls ignored.
+    pub fn attach_breaker(&self, breaker: Arc<CircuitBreaker>) {
+        let _ = self.breaker.set(breaker);
+    }
+
+    /// Wires in the server's fault injector so `/metrics` can export its
+    /// fired-fault tallies. Called by [`serve`]; later calls ignored.
+    pub fn attach_faults(&self, faults: Arc<Injector>) {
+        let _ = self.server_faults.set(faults);
+    }
 }
 
 /// Binds and starts a server running [`Api`] over `engine`.
 pub fn serve(cfg: ServerConfig, engine: Arc<Engine>) -> std::io::Result<ServerHandle> {
     let api = Api::new(engine);
+    api.attach_faults(Arc::clone(&cfg.faults));
     let server = Server::bind(cfg, api.clone())?;
     api.attach_stats(server.stats());
+    api.attach_breaker(server.breaker());
     Ok(server.start())
 }
 
 impl Handler for Api {
     fn handle(&self, req: &Request) -> Response {
         match (req.method.as_str(), req.path.as_str()) {
-            ("GET", "/healthz") => health(),
+            ("GET", "/healthz" | "/healthz/live") => health(),
+            ("GET", "/healthz/ready") => self.ready(),
             ("GET", "/metrics") => self.metrics(req),
             ("GET", "/v1/benchmarks") => benchmarks(),
             ("POST", "/v1/run") => self.run(req),
@@ -71,9 +92,10 @@ impl Handler for Api {
             ("POST", path) if path.starts_with("/v1/experiments/") => {
                 self.experiment(req, &path["/v1/experiments/".len()..])
             }
-            (_, "/healthz" | "/metrics" | "/v1/benchmarks") => {
-                Response::error(405, "method not allowed").with_header("Allow", "GET")
-            }
+            (
+                _,
+                "/healthz" | "/healthz/live" | "/healthz/ready" | "/metrics" | "/v1/benchmarks",
+            ) => Response::error(405, "method not allowed").with_header("Allow", "GET"),
             (_, path) if trace_key(path).is_some() => {
                 Response::error(405, "method not allowed").with_header("Allow", "GET")
             }
@@ -88,8 +110,43 @@ impl Handler for Api {
     }
 }
 
+/// Liveness: the process is up and serving — always 200. `/healthz` keeps
+/// answering this for compatibility; `/healthz/live` is the explicit form.
 fn health() -> Response {
     Response::json(200, &Json::Obj(vec![("status".into(), Json::str("ok"))]))
+}
+
+impl Api {
+    /// Readiness: whether this instance should receive traffic. Unready
+    /// (503 + `Retry-After`) while the circuit breaker is open or graceful
+    /// shutdown has begun; liveness stays green either way, so an
+    /// orchestrator drains traffic instead of killing the process.
+    fn ready(&self) -> Response {
+        let breaker_open = self.breaker.get().is_some_and(|b| b.currently_open());
+        let shutting_down = self
+            .stats
+            .get()
+            .is_some_and(|s| s.shutting_down.load(std::sync::atomic::Ordering::SeqCst));
+        let state = self.breaker.get().map_or("unknown", |b| b.state_name());
+        let body = Json::Obj(vec![
+            (
+                "status".into(),
+                Json::str(if breaker_open || shutting_down {
+                    "unready"
+                } else {
+                    "ready"
+                }),
+            ),
+            ("breaker".into(), Json::str(state)),
+            ("shutting_down".into(), Json::Bool(shutting_down)),
+        ]);
+        if breaker_open || shutting_down {
+            let retry = self.breaker.get().map_or(1, |b| b.retry_after_secs());
+            Response::json(503, &body).with_header("Retry-After", &retry.to_string())
+        } else {
+            Response::json(200, &body)
+        }
+    }
 }
 
 /// The run-key hex of a `/v1/run/{key}/trace` path, if `path` has that
@@ -170,6 +227,85 @@ impl Api {
         )
         .set(self.engine.traces().len() as f64);
 
+        // Resilience counters (docs/robustness.md): retries, quarantines,
+        // watchdog overruns, and cache self-healing activity.
+        set(
+            "heteropipe_engine_exec_retries_total",
+            "Execution attempts retried after a panic.",
+            e.exec_retries,
+        );
+        set(
+            "heteropipe_engine_jobs_quarantined_total",
+            "Jobs quarantined after exhausting their retry budget.",
+            e.jobs_quarantined,
+        );
+        set(
+            "heteropipe_engine_watchdog_fired_total",
+            "Jobs whose execution overran the watchdog deadline.",
+            e.watchdog_fired,
+        );
+        set(
+            "heteropipe_cache_tmp_swept_total",
+            "Stale cache temp files swept at open.",
+            e.cache.tmp_swept,
+        );
+        set(
+            "heteropipe_cache_records_quarantined_total",
+            "Corrupt cache records moved to quarantine.",
+            e.cache.records_quarantined,
+        );
+        set(
+            "heteropipe_cache_read_errors_total",
+            "Cache disk reads failed with an I/O error (served as misses).",
+            e.cache.read_errors,
+        );
+        set(
+            "heteropipe_cache_persist_retries_total",
+            "Cache persist attempts retried after a transient failure.",
+            e.cache.persist_retries,
+        );
+        set(
+            "heteropipe_cache_persist_failures_total",
+            "Cache persists abandoned after the retry budget.",
+            e.cache.persist_failures,
+        );
+
+        // Injected-fault tallies per (site, kind), from the engine's
+        // injector plus the server's (skipped when they are one shared
+        // injector, as a chaos run configures).
+        let mut fault_counts = self.engine.faults().counts();
+        if let Some(sf) = self.server_faults.get() {
+            if !std::ptr::eq(self.engine.faults(), Arc::as_ptr(sf)) {
+                fault_counts.extend(sf.counts());
+            }
+        }
+        for c in fault_counts {
+            r.counter_with(
+                "heteropipe_faults_injected_total",
+                "Faults fired by the deterministic injector.",
+                &[("site", c.site), ("kind", c.kind)],
+            )
+            .set(c.fired);
+        }
+
+        if let Some(b) = self.breaker.get() {
+            r.gauge(
+                "heteropipe_server_breaker_open",
+                "Whether the circuit breaker is open right now (1 = open).",
+            )
+            .set(f64::from(u8::from(b.currently_open())));
+            set(
+                "heteropipe_server_breaker_opened_total",
+                "Times the circuit breaker tripped open.",
+                b.opened_total(),
+            );
+            set(
+                "heteropipe_server_breaker_shed_total",
+                "Requests shed with a 503 while the breaker was open.",
+                b.shed_total(),
+            );
+        }
+
         if let Some(s) = self.stats.get() {
             use std::sync::atomic::Ordering::Relaxed;
             set(
@@ -181,6 +317,11 @@ impl Api {
                 "heteropipe_server_rejected_total",
                 "Connections refused with a 503 by the admission check.",
                 s.rejected.load(Relaxed),
+            );
+            set(
+                "heteropipe_server_shed_total",
+                "Requests shed with a 503 by the circuit breaker.",
+                s.shed.load(Relaxed),
             );
             r.gauge(
                 "heteropipe_server_in_flight",
@@ -244,16 +385,48 @@ impl Api {
             ("hit_rate".into(), Json::F64(e.hit_rate())),
             ("simulated_ps".into(), Json::U64(e.simulated_ps)),
             ("wall_ns".into(), Json::U64(e.wall_ns)),
+            (
+                "resilience".into(),
+                Json::Obj(vec![
+                    ("exec_retries".into(), Json::U64(e.exec_retries)),
+                    ("jobs_quarantined".into(), Json::U64(e.jobs_quarantined)),
+                    ("watchdog_fired".into(), Json::U64(e.watchdog_fired)),
+                    ("cache_tmp_swept".into(), Json::U64(e.cache.tmp_swept)),
+                    (
+                        "cache_records_quarantined".into(),
+                        Json::U64(e.cache.records_quarantined),
+                    ),
+                    ("cache_read_errors".into(), Json::U64(e.cache.read_errors)),
+                    (
+                        "cache_persist_retries".into(),
+                        Json::U64(e.cache.persist_retries),
+                    ),
+                    (
+                        "cache_persist_failures".into(),
+                        Json::U64(e.cache.persist_failures),
+                    ),
+                ]),
+            ),
         ]);
 
         let server = match self.stats.get() {
             Some(s) => {
                 use std::sync::atomic::Ordering::Relaxed;
                 let lat = s.latency_us.lock().unwrap();
+                let breaker = match self.breaker.get() {
+                    Some(b) => Json::Obj(vec![
+                        ("state".into(), Json::str(b.state_name())),
+                        ("opened".into(), Json::U64(b.opened_total())),
+                        ("shed".into(), Json::U64(b.shed_total())),
+                    ]),
+                    None => Json::Null,
+                };
                 Json::Obj(vec![
                     ("requests".into(), Json::U64(s.requests.load(Relaxed))),
                     ("in_flight".into(), Json::U64(s.in_flight.load(Relaxed))),
                     ("rejected_503".into(), Json::U64(s.rejected.load(Relaxed))),
+                    ("shed_503".into(), Json::U64(s.shed.load(Relaxed))),
+                    ("breaker".into(), breaker),
                     (
                         "responses".into(),
                         Json::Obj(vec![
@@ -344,8 +517,18 @@ impl Api {
         };
         let key = heteropipe_engine::run_key(&spec);
         let request_id = (!req.request_id.is_empty()).then_some(req.request_id.as_str());
-        let report = self.engine.execute_observed(&spec, request_id);
-        Response::json(200, &report_json(&report)).with_header("X-Run-Key", &key.hex())
+        match self.engine.try_execute_observed(&spec, request_id) {
+            Ok(report) => {
+                Response::json(200, &report_json(&report)).with_header("X-Run-Key", &key.hex())
+            }
+            // A quarantined job will stay broken until an operator looks
+            // at it: 503 + Retry-After tells well-behaved clients to back
+            // off rather than hammer a poisoned key.
+            Err(e @ EngineError::Quarantined { .. }) => Response::error(503, &e.to_string())
+                .with_header("Retry-After", "30")
+                .with_header("X-Run-Key", &key.hex()),
+            Err(e) => Response::error(500, &e.to_string()).with_header("X-Run-Key", &key.hex()),
+        }
     }
 
     fn experiment(&self, req: &Request, name: &str) -> Response {

@@ -14,10 +14,14 @@
 //!   (insertion-ordered objects, exact integers), so cached runs answer
 //!   byte-identically;
 //! * [`server`] — a bounded worker pool behind an accept queue with
-//!   connection limits (503 backpressure), per-request timeouts, and
-//!   graceful drain on shutdown;
-//! * [`api`] — the routes: `/healthz`, `/metrics`, `/v1/benchmarks`,
-//!   `/v1/run`, `/v1/experiments/{fig3..fig9,table1,table2}`;
+//!   connection limits (503 + `Retry-After` backpressure), per-request
+//!   timeouts, graceful drain on shutdown, and deterministic fault seams
+//!   on the accept/read/write paths;
+//! * [`breaker`] — a circuit breaker that sheds doomed requests while the
+//!   backend is unhealthy (observability routes stay exempt);
+//! * [`api`] — the routes: `/healthz` (plus `/healthz/live` and
+//!   `/healthz/ready`), `/metrics`, `/v1/benchmarks`, `/v1/run`,
+//!   `/v1/experiments/{fig3..fig9,table1,table2}`;
 //! * [`client`] — a small keep-alive client for tests, CI smoke checks,
 //!   and load generation;
 //! * [`shutdown`] — SIGINT/SIGTERM notification without `libc`.
@@ -36,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod breaker;
 pub mod client;
 pub mod http;
 pub mod json;
@@ -43,6 +48,7 @@ pub mod server;
 pub mod shutdown;
 
 pub use api::{serve, Api};
+pub use breaker::{Admission, BreakerConfig, CircuitBreaker};
 pub use client::{Client, ClientResponse};
 pub use json::Json;
 pub use server::{Handler, Server, ServerConfig, ServerHandle, ServerStats};

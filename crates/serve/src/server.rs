@@ -4,12 +4,19 @@
 //!
 //! Life of a connection: the accept thread admits it if the in-flight
 //! count (queued + being served) is under `max_inflight` — otherwise it
-//! answers `503 Service Unavailable` immediately and closes — then queues
-//! it for a worker. Workers serve requests over keep-alive until the peer
-//! closes, a timeout fires, or shutdown begins. Shutdown sets a flag, wakes
-//! the (blocking) accept call with a loopback connection, and lets workers
-//! drain every admitted connection's current request before exiting, so no
-//! accepted request loses its response.
+//! answers `503 Service Unavailable` (with `Retry-After`) immediately and
+//! closes — then queues it for a worker. Workers serve requests over
+//! keep-alive until the peer closes, a timeout fires, or shutdown begins.
+//! Shutdown sets a flag, wakes the (blocking) accept call with a loopback
+//! connection, and lets workers drain every admitted connection's current
+//! request before exiting, so no accepted request loses its response.
+//!
+//! Resilience (see `docs/robustness.md`): a shared [`CircuitBreaker`]
+//! sheds non-observability requests while the backend is unhealthy
+//! (`/healthz*` and `/metrics` stay served so probes and scrapes keep
+//! working through an outage), and deterministic fault seams
+//! ([`ServerConfig::faults`]) cover the accept, read, and write paths for
+//! chaos testing.
 
 use std::collections::VecDeque;
 use std::io::{BufReader, Write};
@@ -20,11 +27,19 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use heteropipe_faults::{FaultKind, Injector, Site};
 use heteropipe_obs::log as obs_log;
 use heteropipe_obs::{new_request_id, valid_request_id};
 use heteropipe_sim::Histogram;
 
+use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
 use crate::http::{read_request, ReadError, Request, Response};
+
+/// Routes exempt from circuit-breaker shedding: liveness/readiness probes
+/// and metric scrapes must keep answering while the breaker is open.
+pub fn breaker_exempt(path: &str) -> bool {
+    path == "/metrics" || path == "/healthz" || path.starts_with("/healthz/")
+}
 
 /// Something that turns requests into responses. Handlers run on worker
 /// threads concurrently; panics are caught and answered with a 500.
@@ -56,6 +71,12 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Per-connection write timeout.
     pub write_timeout: Duration,
+    /// Circuit-breaker tuning for the request path.
+    pub breaker: BreakerConfig,
+    /// Fault injector threaded through the accept/read/write seams (the
+    /// disabled injector — one branch per seam — unless a chaos run
+    /// configures a plan).
+    pub faults: Arc<Injector>,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +87,8 @@ impl Default for ServerConfig {
             max_inflight: 64,
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
+            breaker: BreakerConfig::default(),
+            faults: Arc::new(Injector::disabled()),
         }
     }
 }
@@ -80,12 +103,16 @@ pub struct ServerStats {
     pub in_flight: AtomicU64,
     /// Connections refused with a 503 by the admission check.
     pub rejected: AtomicU64,
+    /// Requests shed with a 503 by the circuit breaker.
+    pub shed: AtomicU64,
     /// Responses sent with a 2xx status.
     pub status_2xx: AtomicU64,
     /// Responses sent with a 4xx status.
     pub status_4xx: AtomicU64,
     /// Responses sent with a 5xx status.
     pub status_5xx: AtomicU64,
+    /// Whether graceful shutdown has begun (readiness turns unready).
+    pub shutting_down: AtomicBool,
     /// Handler latency in microseconds.
     pub latency_us: Mutex<Histogram>,
 }
@@ -115,6 +142,7 @@ struct Shared {
     cfg: ServerConfig,
     handler: Arc<dyn Handler>,
     stats: Arc<ServerStats>,
+    breaker: Arc<CircuitBreaker>,
     queue: Mutex<VecDeque<TcpStream>>,
     available: Condvar,
     shutdown: AtomicBool,
@@ -134,10 +162,12 @@ impl Server {
     pub fn bind(cfg: ServerConfig, handler: Arc<dyn Handler>) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        let breaker = Arc::new(CircuitBreaker::new(cfg.breaker));
         let shared = Arc::new(Shared {
             cfg,
             handler,
             stats: Arc::new(ServerStats::new()),
+            breaker,
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -158,6 +188,11 @@ impl Server {
     /// This server's counters.
     pub fn stats(&self) -> Arc<ServerStats> {
         Arc::clone(&self.shared.stats)
+    }
+
+    /// This server's circuit breaker (for readiness probes and metrics).
+    pub fn breaker(&self) -> Arc<CircuitBreaker> {
+        Arc::clone(&self.shared.breaker)
     }
 
     /// Spawns the accept thread and `threads` workers.
@@ -208,6 +243,11 @@ impl ServerHandle {
         Arc::clone(&self.shared.stats)
     }
 
+    /// The server's circuit breaker.
+    pub fn breaker(&self) -> Arc<CircuitBreaker> {
+        Arc::clone(&self.shared.breaker)
+    }
+
     /// Begins graceful shutdown: stops admitting connections, wakes the
     /// accept call, and lets workers drain admitted requests. Idempotent;
     /// returns immediately — pair with [`join`](Self::join).
@@ -215,6 +255,10 @@ impl ServerHandle {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
+        self.shared
+            .stats
+            .shutting_down
+            .store(true, Ordering::SeqCst);
         // Wake the blocking accept() so the accept loop observes the flag.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
         self.shared.available.notify_all();
@@ -250,13 +294,27 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         if shared.shutdown.load(Ordering::SeqCst) {
             break; // likely the shutdown wakeup connection; drop it
         }
-        // Admission control: reject with 503 rather than queueing unboundedly.
+        // Chaos seam: an injected accept fault abandons the connection as
+        // a crashed accept thread would — this is the one deliberate
+        // connection drop, for testing client-side retry.
+        if shared.cfg.faults.roll(Site::ServeAccept).is_some() {
+            drop(stream);
+            continue;
+        }
+        // Admission control: reject with 503 + Retry-After rather than
+        // queueing unboundedly or silently dropping the connection.
         let admitted = shared.admitted.load(Ordering::SeqCst);
         if admitted >= shared.cfg.max_inflight {
             shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
             let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
             let mut stream = stream;
-            let _ = Response::error(503, "server at capacity").write_to(&mut stream, false);
+            if Response::error(503, "server at capacity")
+                .with_header("Retry-After", "1")
+                .write_to(&mut stream, false)
+                .is_ok()
+            {
+                lingering_close(stream);
+            }
             continue;
         }
         shared.admitted.fetch_add(1, Ordering::SeqCst);
@@ -265,6 +323,23 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
     }
     // No more admissions; wake every worker so idle ones can exit.
     shared.available.notify_all();
+}
+
+/// Closes a connection the server answered *without reading the request*.
+/// Dropping a socket that still has unread bytes in its receive buffer
+/// makes the kernel send RST, which can destroy the in-flight response
+/// before the peer reads it. Instead: stop sending, then drain whatever
+/// the peer wrote until EOF or a short timeout, so the 503 survives the
+/// close. The timeout bounds how long a slow peer can pin the accept
+/// thread during a rejection storm.
+fn lingering_close(stream: TcpStream) {
+    use std::io::Read;
+    use std::net::Shutdown;
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut stream = stream;
+    let mut sink = [0u8; 1024];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
 }
 
 fn worker_loop(shared: &Shared) {
@@ -296,6 +371,16 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
     };
     let mut reader = BufReader::new(stream);
     loop {
+        // Chaos seam: a read fault stalls (hang) or tears (anything else)
+        // the connection before the request is parsed.
+        if let Some(fault) = shared.cfg.faults.roll(Site::ServeRead) {
+            match fault.kind {
+                FaultKind::Hang => {
+                    std::thread::sleep(Duration::from_millis(fault.hang_ms));
+                }
+                _ => return,
+            }
+        }
         let mut req = match read_request(&mut reader) {
             Ok(req) => req,
             Err(ReadError::Closed) | Err(ReadError::Timeout { mid_request: false }) => return,
@@ -322,12 +407,34 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
             _ => new_request_id(),
         };
 
+        // Circuit breaker: shed doomed work while the backend is unhealthy.
+        // Observability routes are exempt so probes and scrapes keep
+        // answering through an outage; the breaker only counts outcomes of
+        // requests it admitted.
+        let guarded = !breaker_exempt(&req.path);
+        let shed = guarded && shared.breaker.admit() == Admission::Shed;
+
         shared.stats.in_flight.fetch_add(1, Ordering::SeqCst);
         let start = Instant::now();
-        let handler = Arc::clone(&shared.handler);
-        let resp = catch_unwind(AssertUnwindSafe(|| handler.handle(&req)))
-            .unwrap_or_else(|_| Response::error(500, "handler panicked"))
-            .with_header("X-Request-Id", &req.request_id);
+        let resp = if shed {
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            Response::error(503, "circuit breaker open").with_header(
+                "Retry-After",
+                &shared.breaker.retry_after_secs().to_string(),
+            )
+        } else {
+            let handler = Arc::clone(&shared.handler);
+            catch_unwind(AssertUnwindSafe(|| handler.handle(&req)))
+                .unwrap_or_else(|_| Response::error(500, "handler panicked"))
+        };
+        let resp = resp.with_header("X-Request-Id", &req.request_id);
+        if guarded && !shed {
+            if resp.status >= 500 {
+                shared.breaker.record_failure();
+            } else {
+                shared.breaker.record_success();
+            }
+        }
         shared.stats.in_flight.fetch_sub(1, Ordering::SeqCst);
         let elapsed = start.elapsed();
         shared.stats.record(resp.status, elapsed);
@@ -343,6 +450,16 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
             ],
         );
 
+        // Chaos seam: a write fault stalls (hang) or tears (anything else)
+        // the connection before the response goes out.
+        if let Some(fault) = shared.cfg.faults.roll(Site::ServeWrite) {
+            match fault.kind {
+                FaultKind::Hang => {
+                    std::thread::sleep(Duration::from_millis(fault.hang_ms));
+                }
+                _ => return,
+            }
+        }
         // Stop keeping alive once shutdown begins so workers can drain.
         let keep_alive = req.wants_keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
         if resp.write_to(&mut writer, keep_alive).is_err() {
@@ -497,6 +614,107 @@ mod tests {
         assert_eq!(client.get("/fine").unwrap().status, 200);
         assert_eq!(handle.stats().status_5xx.load(Ordering::Relaxed), 1);
         handle.shutdown_and_join();
+    }
+
+    #[test]
+    fn capacity_503_carries_retry_after() {
+        let handle = echo_server(1, 1, Duration::from_millis(300));
+        let addr = handle.addr().to_string();
+        let first = {
+            let addr = addr.clone();
+            std::thread::spawn(move || Client::new(addr).get("/slow").unwrap().status)
+        };
+        std::thread::sleep(Duration::from_millis(80));
+        let mut saw_header = false;
+        for _ in 0..3 {
+            let resp = Client::new(addr.clone()).get("/fast").unwrap();
+            if resp.status == 503 {
+                assert_eq!(resp.header("retry-after"), Some("1"));
+                saw_header = true;
+            }
+        }
+        assert_eq!(first.join().unwrap(), 200);
+        assert!(saw_header, "at least one 503 observed with Retry-After");
+        handle.shutdown_and_join();
+    }
+
+    #[test]
+    fn breaker_sheds_after_failures_and_recovers() {
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_millis(150),
+                half_open_probes: 1,
+            },
+            ..ServerConfig::default()
+        };
+        let handler = |req: &Request| -> Response {
+            if req.path == "/fail" {
+                return Response::error(500, "backend broken");
+            }
+            Response::text(200, "ok")
+        };
+        let server = Server::bind(cfg, Arc::new(handler)).unwrap();
+        let breaker = server.breaker();
+        let handle = server.start();
+        let mut client = Client::new(handle.addr().to_string());
+
+        assert_eq!(client.get("/fail").unwrap().status, 500);
+        assert_eq!(client.get("/fail").unwrap().status, 500);
+        // Tripped: work is shed without reaching the handler...
+        let resp = client.get("/ok").unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        // ...but observability routes stay exempt (this handler answers
+        // 200 for any non-/fail path, standing in for the real probes).
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+        assert_eq!(client.get("/healthz/ready").unwrap().status, 200);
+        assert_eq!(client.get("/metrics").unwrap().status, 200);
+        assert!(breaker.currently_open());
+        assert_eq!(breaker.opened_total(), 1);
+        assert!(handle.stats().shed.load(Ordering::Relaxed) >= 1);
+
+        // After the cooldown one probe succeeds and the breaker closes.
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(client.get("/ok").unwrap().status, 200);
+        assert_eq!(client.get("/ok").unwrap().status, 200);
+        assert_eq!(breaker.state_name(), "closed");
+        handle.shutdown_and_join();
+    }
+
+    #[test]
+    fn injected_read_fault_tears_one_connection_only() {
+        use heteropipe_faults::{FaultPlan, Injector};
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            faults: Arc::new(Injector::new(
+                FaultPlan::parse("serve.read:err=drop:max=1").unwrap(),
+            )),
+            ..ServerConfig::default()
+        };
+        let handler = |_req: &Request| Response::text(200, "ok");
+        let handle = Server::bind(cfg, Arc::new(handler)).unwrap().start();
+
+        // The first connection is torn down by the injected fault before a
+        // response is written; a retry on a fresh connection succeeds.
+        let first = Client::new(handle.addr().to_string())
+            .with_timeout(Duration::from_secs(2))
+            .get("/x");
+        assert!(first.is_err(), "dropped connection surfaces as an error");
+        let second = Client::new(handle.addr().to_string()).get("/x").unwrap();
+        assert_eq!(second.status, 200, "fault budget spent, service healthy");
+        handle.shutdown_and_join();
+    }
+
+    #[test]
+    fn shutdown_flips_the_readiness_flag() {
+        let handle = echo_server(1, 4, Duration::ZERO);
+        assert!(!handle.stats().shutting_down.load(Ordering::SeqCst));
+        handle.shutdown_and_join();
+        assert!(handle.stats().shutting_down.load(Ordering::SeqCst));
     }
 
     #[test]

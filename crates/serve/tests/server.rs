@@ -5,8 +5,9 @@
 use std::sync::Arc;
 
 use heteropipe_engine::Engine;
+use heteropipe_faults::{FaultPlan, Injector, RetryPolicy};
 use heteropipe_serve::server::ServerConfig;
-use heteropipe_serve::{api, Client, Json, ServerHandle};
+use heteropipe_serve::{api, BreakerConfig, Client, Json, ServerHandle};
 
 fn start(engine: Engine) -> ServerHandle {
     let cfg = ServerConfig {
@@ -16,6 +17,14 @@ fn start(engine: Engine) -> ServerHandle {
         ..ServerConfig::default()
     };
     api::serve(cfg, Arc::new(engine)).expect("bind ephemeral port")
+}
+
+/// An engine whose job executions panic per `plan`, retried under `retry`.
+fn faulty_engine(plan: &str, retry: RetryPolicy) -> Engine {
+    Engine::new()
+        .memory_cache_only()
+        .with_faults(Arc::new(Injector::new(FaultPlan::parse(plan).unwrap())))
+        .with_retry(retry)
 }
 
 fn run_body(benchmark: &str) -> Json {
@@ -294,6 +303,154 @@ fn metrics_expose_prometheus_text_format() {
     let resp = client.get("/metrics").unwrap();
     let v = resp.json().expect("default stays JSON");
     assert!(v.get("engine").is_some());
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn injected_panic_is_retried_and_counted_in_metrics() {
+    // One panic budget, generous retries: the run succeeds on a later
+    // attempt and the recovery shows up in both metric formats.
+    let retry = RetryPolicy {
+        attempts: 5,
+        base_ms: 0,
+        cap_ms: 0,
+    };
+    let handle = start(faulty_engine("job.exec:err=panic:max=1", retry));
+    let mut client = Client::new(handle.addr().to_string());
+
+    let resp = client
+        .post_json("/v1/run", &run_body("rodinia/kmeans"))
+        .unwrap();
+    assert_eq!(resp.status, 200, "panic absorbed by retry");
+
+    let metrics = client.get("/metrics").unwrap().json().unwrap();
+    let resilience = metrics.get("engine").unwrap().get("resilience").unwrap();
+    assert_eq!(
+        resilience.get("exec_retries").and_then(Json::as_u64),
+        Some(1)
+    );
+
+    let text = client.get("/metrics?format=prometheus").unwrap();
+    let samples = heteropipe_obs::expfmt::parse(&String::from_utf8(text.body).unwrap()).unwrap();
+    let retries = samples
+        .iter()
+        .find(|s| s.name == "heteropipe_engine_exec_retries_total")
+        .expect("retry counter exported");
+    assert_eq!(retries.value, 1.0);
+    let injected = samples
+        .iter()
+        .find(|s| s.name == "heteropipe_faults_injected_total")
+        .expect("fault counter exported");
+    assert_eq!(injected.label("site"), Some("job.exec"));
+    assert_eq!(injected.label("kind"), Some("panic"));
+    assert_eq!(injected.value, 1.0);
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn quarantined_job_answers_503_with_retry_after() {
+    // Every attempt panics and there are no retries: the first request
+    // fails for real (500), poisoning the job; repeats fail fast (503)
+    // instead of burning attempts on a job known to die.
+    let handle = start(faulty_engine("job.exec:err=panic", RetryPolicy::NONE));
+    let mut client = Client::new(handle.addr().to_string());
+
+    let first = client
+        .post_json("/v1/run", &run_body("rodinia/kmeans"))
+        .unwrap();
+    assert_eq!(first.status, 500);
+    let key = first.header("x-run-key").unwrap().to_string();
+
+    let second = client
+        .post_json("/v1/run", &run_body("rodinia/kmeans"))
+        .unwrap();
+    assert_eq!(second.status, 503, "quarantined job fails fast");
+    assert_eq!(second.header("retry-after"), Some("30"));
+    assert_eq!(second.header("x-run-key"), Some(key.as_str()));
+    assert!(String::from_utf8(second.body.clone())
+        .unwrap()
+        .contains("quarantined"));
+
+    let metrics = client.get("/metrics").unwrap().json().unwrap();
+    let resilience = metrics.get("engine").unwrap().get("resilience").unwrap();
+    assert_eq!(
+        resilience.get("jobs_quarantined").and_then(Json::as_u64),
+        Some(1)
+    );
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn open_breaker_sheds_api_routes_but_readiness_reports_it() {
+    // A hair-trigger breaker over an engine that always fails: the first
+    // real failure opens it, API routes shed, and the liveness/readiness
+    // split tells the orchestrator to stop routing without restarting.
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        breaker: BreakerConfig {
+            failure_threshold: 1,
+            cooldown: std::time::Duration::from_secs(5),
+            half_open_probes: 1,
+        },
+        ..ServerConfig::default()
+    };
+    let engine = faulty_engine("job.exec:err=panic", RetryPolicy::NONE);
+    let handle = api::serve(cfg, Arc::new(engine)).unwrap();
+    let mut client = Client::new(handle.addr().to_string());
+
+    assert_eq!(client.get("/healthz/live").unwrap().status, 200);
+    let ready = client.get("/healthz/ready").unwrap();
+    assert_eq!(ready.status, 200);
+    assert_eq!(
+        ready.json().unwrap().get("status").and_then(Json::as_str),
+        Some("ready")
+    );
+
+    let resp = client
+        .post_json("/v1/run", &run_body("rodinia/kmeans"))
+        .unwrap();
+    assert_eq!(resp.status, 500, "real failure trips the breaker");
+
+    // API routes shed with Retry-After (the cooldown) while open...
+    let shed = client.get("/v1/benchmarks").unwrap();
+    assert_eq!(shed.status, 503);
+    assert_eq!(shed.header("retry-after"), Some("5"));
+    assert!(String::from_utf8(shed.body.clone())
+        .unwrap()
+        .contains("circuit breaker open"));
+
+    // ...but probes and scrapes keep answering.
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    assert_eq!(client.get("/healthz/live").unwrap().status, 200);
+    let ready = client.get("/healthz/ready").unwrap();
+    assert_eq!(ready.status, 503, "unready while the breaker is open");
+    assert_eq!(ready.header("retry-after"), Some("5"));
+    let v = ready.json().unwrap();
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("unready"));
+    assert_eq!(v.get("breaker").and_then(Json::as_str), Some("open"));
+
+    let metrics = client.get("/metrics").unwrap().json().unwrap();
+    let breaker = metrics.get("server").unwrap().get("breaker").unwrap();
+    assert_eq!(breaker.get("state").and_then(Json::as_str), Some("open"));
+    assert_eq!(breaker.get("opened").and_then(Json::as_u64), Some(1));
+    assert!(breaker.get("shed").and_then(Json::as_u64).unwrap() >= 1);
+
+    let text = client.get("/metrics?format=prometheus").unwrap();
+    let samples = heteropipe_obs::expfmt::parse(&String::from_utf8(text.body).unwrap()).unwrap();
+    let value = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing sample {name}"))
+            .value
+    };
+    assert_eq!(value("heteropipe_server_breaker_open"), 1.0);
+    assert_eq!(value("heteropipe_server_breaker_opened_total"), 1.0);
+    assert!(value("heteropipe_server_breaker_shed_total") >= 1.0);
 
     handle.shutdown_and_join();
 }
