@@ -8,11 +8,21 @@ cargo clippy --release --all-targets -- -D warnings
 cargo build --release
 cargo test -q --release
 
-# Server smoke: ephemeral port, /healthz + one POST /v1/run through the
-# std-only client, warm repeat must be a byte-identical cache hit. Also
-# gates the observability surface: the Prometheus /metrics exposition
-# must parse, and X-Request-Id must appear in the captured logs and the
-# retrievable Chrome trace.
+# Every client-visible error must be the JSON envelope (docs/api.md):
+# the retired plain-text constructors must not creep back in.
+! grep -rn "Response::error" crates/ --include='*.rs'
+! grep -rn "Response::text(4" crates/serve/src --include='*.rs'
+! grep -rn "Response::text(5" crates/serve/src --include='*.rs'
+
+# Server smoke: ephemeral port, /healthz + one POST /v1/runs through the
+# std-only client, warm repeat must be a byte-identical cache hit, the
+# deprecated /v1/run alias must answer byte-identically with a
+# Deprecation header, and a mixed sweep (duplicates + one quarantined
+# key) must stream through POST /v1/sweeps with dedup counters visible
+# in /metrics. Also gates the observability surface: the Prometheus
+# /metrics exposition must parse, X-Request-Id must appear in the
+# captured logs and the retrievable Chrome trace, and non-2xx responses
+# must carry the JSON error envelope.
 HETEROPIPE_LOG=info cargo run --release -p heteropipe-bench --bin smoke
 
 # Chaos gate: replays a pinned fixed-seed fault plan end-to-end (client

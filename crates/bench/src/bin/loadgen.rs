@@ -20,24 +20,34 @@ use heteropipe_serve::server::ServerConfig;
 use heteropipe_serve::{api, Client};
 use heteropipe_sim::Histogram;
 
-/// The replayed mix: light reads and cache-served runs, weighted toward
-/// the run endpoint the service exists for.
+/// The replayed mix: light reads, cache-served runs, and a small batched
+/// sweep (with an in-batch duplicate) streamed as NDJSON, weighted toward
+/// the run endpoints the service exists for.
 fn request_mix(scale: f64) -> Vec<(&'static str, &'static str, Option<Json>)> {
-    let run = |bench: &str| {
-        Some(Json::Obj(vec![
+    let spec = |bench: &str| {
+        Json::Obj(vec![
             ("benchmark".into(), Json::str(bench)),
             ("system".into(), Json::str("discrete")),
             ("organization".into(), Json::str("serial")),
             ("scale".into(), Json::F64(scale)),
-        ]))
+        ])
     };
+    let sweep = Json::Obj(vec![(
+        "jobs".into(),
+        Json::Arr(vec![
+            spec("rodinia/kmeans"),
+            spec("rodinia/srad"),
+            spec("rodinia/kmeans"),
+        ]),
+    )]);
     vec![
         ("GET", "/healthz", None),
-        ("POST", "/v1/run", run("rodinia/kmeans")),
-        ("POST", "/v1/run", run("rodinia/srad")),
+        ("POST", "/v1/runs", Some(spec("rodinia/kmeans"))),
+        ("POST", "/v1/runs", Some(spec("rodinia/srad"))),
         ("GET", "/metrics", None),
-        ("POST", "/v1/run", run("pannotia/pr")),
-        ("POST", "/v1/run", run("rodinia/kmeans")),
+        ("POST", "/v1/sweeps", Some(sweep)),
+        ("POST", "/v1/runs", Some(spec("pannotia/pr"))),
+        ("POST", "/v1/runs", Some(spec("rodinia/kmeans"))),
     ]
 }
 

@@ -1,17 +1,22 @@
 //! `smoke`: the CI server smoke test.
 //!
 //! Starts the service on an ephemeral port, checks `/healthz`, executes
-//! one benchmark through `POST /v1/run` (twice — the repeat must be a
-//! byte-identical cache hit), and shuts down gracefully. On top of the
-//! functional path it gates the observability surface: the correlation
-//! id returned in `X-Request-Id` must appear in the captured JSON log
-//! lines and in the retrievable Chrome trace, and `GET /metrics` in
-//! Prometheus text format must pass the in-tree exposition parser.
-//! Exits non-zero on any failure, so `ci.sh` can gate on it. Runs at
-//! test scale so the whole check takes seconds.
+//! one benchmark through `POST /v1/runs` (twice — the repeat must be a
+//! byte-identical cache hit), exercises the deprecated `/v1/run` alias
+//! (same bytes plus a `Deprecation` header), and shuts down gracefully.
+//! On top of the functional path it gates the observability surface: the
+//! correlation id returned in `X-Request-Id` must appear in the captured
+//! JSON log lines and in the retrievable Chrome trace, `GET /metrics` in
+//! Prometheus text format must pass the in-tree exposition parser, and
+//! every non-2xx must carry the JSON error envelope. A second server
+//! with an injected fault then runs a mixed sweep (duplicates plus one
+//! quarantined key) through `POST /v1/sweeps` and asserts the dedup
+//! counters. Exits non-zero on any failure, so `ci.sh` can gate on it.
+//! Runs at test scale so the whole check takes seconds.
 
 use std::sync::Arc;
 
+use heteropipe_faults::{FaultPlan, Injector, RetryPolicy};
 use heteropipe_obs::log::{self as obs_log, Level};
 use heteropipe_serve::json::Json;
 use heteropipe_serve::server::ServerConfig;
@@ -53,7 +58,7 @@ fn main() {
         ("organization".into(), Json::str("serial")),
         ("scale".into(), Json::F64(0.08)),
     ]);
-    let cold = client.post_json("/v1/run", &body).expect("POST /v1/run");
+    let cold = client.post_json("/v1/runs", &body).expect("POST /v1/runs");
     assert_eq!(cold.status, 200, "run status");
     let request_id = cold
         .header("x-request-id")
@@ -76,22 +81,57 @@ fn main() {
     );
 
     let warm = client
-        .post_json("/v1/run", &body)
-        .expect("warm POST /v1/run");
+        .post_json("/v1/runs", &body)
+        .expect("warm POST /v1/runs");
     assert_eq!(warm.body, cold.body, "warm repeat must be byte-identical");
     assert!(
         engine.metrics().hits() >= 1,
         "warm repeat must be a cache hit"
     );
-    let warm_id = warm
+    // The deprecated alias answers byte-identically to the canonical
+    // route, flagged with a Deprecation header pointing at its successor.
+    let alias = client
+        .post_json("/v1/run", &body)
+        .expect("POST /v1/run (deprecated alias)");
+    assert_eq!(alias.status, 200, "alias status");
+    assert_eq!(alias.body, cold.body, "alias must answer byte-identically");
+    assert_eq!(
+        alias.header("deprecation"),
+        Some("true"),
+        "alias carries a Deprecation header"
+    );
+    assert_eq!(
+        alias.header("link"),
+        Some("</v1/runs>; rel=\"successor-version\""),
+        "alias links to the canonical route"
+    );
+    let alias_id = alias
         .header("x-request-id")
-        .expect("X-Request-Id on the warm response")
+        .expect("X-Request-Id on the alias response")
         .to_string();
+
+    // The cached report is addressable as a resource.
+    let lookup = client
+        .get(&format!("/v1/runs/{run_key}"))
+        .expect("GET /v1/runs/{key}");
+    assert_eq!(lookup.status, 200, "cached-report lookup status");
+    assert_eq!(lookup.body, cold.body, "resource lookup returns the report");
+
+    // Errors arrive as the JSON envelope with a matching correlation id.
+    let missing = client.get("/nope").expect("GET /nope");
+    assert_eq!(missing.status, 404, "unknown route status");
+    let envelope = missing.api_error().expect("404 body is the envelope");
+    assert_eq!(envelope.code, "not_found", "envelope code");
+    assert_eq!(
+        Some(envelope.request_id.as_str()),
+        missing.header("x-request-id"),
+        "envelope and header agree on the request id"
+    );
 
     // The latest request id round-trips into the retrievable Chrome
     // trace, which keeps the simulated timeline from the cold execution.
     let trace = client
-        .get(&format!("/v1/run/{run_key}/trace"))
+        .get(&format!("/v1/runs/{run_key}/trace"))
         .expect("GET run trace");
     assert_eq!(trace.status, 200, "trace status");
     let trace_text = String::from_utf8(trace.body).expect("trace is UTF-8");
@@ -104,8 +144,8 @@ fn main() {
         "trace carries complete events"
     );
     assert!(
-        trace_text.contains(&format!("\"request_id\":\"{warm_id}\"")),
-        "X-Request-Id {warm_id} round-trips into the trace"
+        trace_text.contains(&format!("\"request_id\":\"{alias_id}\"")),
+        "X-Request-Id {alias_id} round-trips into the trace"
     );
 
     // The Prometheus exposition must parse under the in-tree validator
@@ -149,8 +189,137 @@ fn main() {
         "request id {request_id} missing from engine logs"
     );
 
+    sweep_smoke();
+
     eprintln!(
         "smoke: ok ({} log lines captured, request id {request_id})",
         lines.len()
     );
+}
+
+/// Runs a mixed sweep — duplicates plus one quarantined key — through
+/// `POST /v1/sweeps` on a second server whose engine panics once, and
+/// asserts the NDJSON stream shape and the dedup counters in `/metrics`.
+fn sweep_smoke() {
+    // One panic budget, no retries, one worker: the first kmeans
+    // execution fails deterministically and quarantines its run key.
+    let engine = heteropipe_engine::Engine::new()
+        .memory_cache_only()
+        .with_faults(Arc::new(Injector::new(
+            FaultPlan::parse("job.exec:err=panic:max=1").unwrap(),
+        )))
+        .with_retry(RetryPolicy::NONE)
+        .with_jobs(1);
+    let handle = api::serve(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            max_inflight: 16,
+            ..ServerConfig::default()
+        },
+        Arc::new(engine),
+    )
+    .unwrap_or_else(|e| panic!("could not bind sweep server: {e}"));
+    let mut client = Client::new(handle.addr().to_string());
+
+    // Quarantine rodinia/kmeans: the poisoned execution answers with the
+    // 500 envelope, and later requests for the key are refused.
+    let poison = Json::Obj(vec![
+        ("benchmark".into(), Json::str("rodinia/kmeans")),
+        ("scale".into(), Json::F64(0.08)),
+    ]);
+    let dead = client.post_json("/v1/runs", &poison).expect("poison run");
+    assert_eq!(dead.status, 500, "poisoned run status");
+    assert_eq!(
+        dead.api_error().expect("500 body is the envelope").code,
+        "internal",
+        "poisoned run envelope code"
+    );
+
+    // Mixed sweep: 5 jobs, 2 unique, the kmeans pair quarantined.
+    let jobs: Vec<Json> = [
+        "rodinia/kmeans",
+        "rodinia/srad",
+        "rodinia/srad",
+        "rodinia/kmeans",
+        "rodinia/srad",
+    ]
+    .iter()
+    .map(|b| {
+        Json::Obj(vec![
+            ("benchmark".into(), Json::str(*b)),
+            ("scale".into(), Json::F64(0.08)),
+        ])
+    })
+    .collect();
+    let body = Json::Obj(vec![("jobs".into(), Json::Arr(jobs))]);
+    let sweep = client
+        .post_json("/v1/sweeps", &body)
+        .expect("POST /v1/sweeps");
+    assert_eq!(sweep.status, 200, "sweep status");
+    assert_eq!(
+        sweep.header("content-type"),
+        Some("application/x-ndjson"),
+        "sweep content type"
+    );
+    assert!(
+        sweep.header("x-sweep-key").is_some_and(|k| k.len() == 32),
+        "sweep key header"
+    );
+    let records = sweep.ndjson().expect("sweep NDJSON parses");
+    assert_eq!(records.len(), 6, "5 records + summary");
+    for rec in &records[..5] {
+        let bench_is_kmeans = matches!(rec.get("index").and_then(Json::as_u64), Some(0) | Some(3));
+        let status = rec.get("status").and_then(Json::as_str);
+        if bench_is_kmeans {
+            assert_eq!(status, Some("error"), "quarantined entries fail: {rec:?}");
+            assert_eq!(
+                rec.get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_str),
+                Some("quarantined"),
+                "quarantined entries carry their code"
+            );
+        } else {
+            assert_eq!(status, Some("ok"), "healthy entries survive: {rec:?}");
+        }
+    }
+    let summary = records[5].get("sweep").expect("summary line");
+    assert_eq!(summary.get("jobs_total").and_then(Json::as_u64), Some(5));
+    assert_eq!(summary.get("jobs_unique").and_then(Json::as_u64), Some(2));
+    assert_eq!(summary.get("duplicates").and_then(Json::as_u64), Some(3));
+    assert_eq!(summary.get("failed").and_then(Json::as_u64), Some(2));
+
+    // Dedup accounting lands in both metrics formats.
+    let metrics = client
+        .get("/metrics")
+        .expect("GET /metrics")
+        .json()
+        .unwrap();
+    let sweeps = metrics
+        .get("engine")
+        .and_then(|e| e.get("sweeps"))
+        .expect("engine.sweeps in metrics");
+    assert_eq!(sweeps.get("count").and_then(Json::as_u64), Some(1));
+    assert_eq!(sweeps.get("jobs").and_then(Json::as_u64), Some(5));
+    assert_eq!(sweeps.get("deduped").and_then(Json::as_u64), Some(3));
+    let prom = client
+        .get("/metrics?format=prometheus")
+        .expect("GET /metrics (prometheus)");
+    let prom_text = String::from_utf8(prom.body).expect("exposition is UTF-8");
+    let samples = heteropipe_obs::expfmt::parse(&prom_text)
+        .unwrap_or_else(|e| panic!("exposition must validate: {e}"));
+    let value = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing sample {name}"))
+            .value
+    };
+    assert_eq!(value("heteropipe_engine_sweeps_total"), 1.0);
+    assert_eq!(value("heteropipe_engine_sweep_jobs_total"), 5.0);
+    assert_eq!(value("heteropipe_engine_sweep_deduped_total"), 3.0);
+
+    handle.shutdown_and_join();
+    eprintln!("smoke: sweep ok (5 jobs, 3 deduped, quarantined key isolated)");
 }

@@ -35,6 +35,15 @@ impl RunKey {
     pub fn hex(self) -> String {
         format!("{:032x}", self.0)
     }
+
+    /// Parses the form [`RunKey::hex`] produces. `None` unless `s` is
+    /// exactly 32 hex digits (either case).
+    pub fn from_hex(s: &str) -> Option<RunKey> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(RunKey)
+    }
 }
 
 /// Computes the run key for `job`.
@@ -369,6 +378,23 @@ mod tests {
         let b = key_of(&p, &c, Organization::Serial, false);
         assert_eq!(a, b);
         assert_eq!(a.hex().len(), 32);
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_junk() {
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let c = SystemConfig::discrete();
+        let key = key_of(&p, &c, Organization::Serial, false);
+        assert_eq!(RunKey::from_hex(&key.hex()), Some(key));
+        assert_eq!(RunKey::from_hex(&key.hex().to_uppercase()), Some(key));
+        for bad in ["", "abc", &format!("{}0", key.hex()), &"g".repeat(32)] {
+            assert_eq!(RunKey::from_hex(bad), None, "{bad:?} must not parse");
+        }
+        let zeros = "0".repeat(32);
+        assert_eq!(RunKey::from_hex(&zeros), Some(RunKey(0)));
     }
 
     #[test]

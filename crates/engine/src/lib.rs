@@ -14,6 +14,12 @@
 //! * a **job scheduler**: batches fan out over
 //!   [`heteropipe::exec::par_map`]'s bounded work-queue with per-job
 //!   failure capture and deterministic, submission-ordered results;
+//! * a **batch sweep pipeline** ([`Engine::execute_sweep`]): run keys are
+//!   computed up front, entries sharing a key are deduplicated onto one
+//!   execution, and concurrent identical jobs — within or across batches —
+//!   **single-flight** onto one leader (a condvar-gated slot per in-flight
+//!   key, in front of the cache), with per-sweep accounting
+//!   ([`SweepSummary`]) and streaming per-entry completion records;
 //! * **run metrics** ([`metrics::RunMetrics`]): jobs executed, cache hits
 //!   by tier, simulated time, and wall time, summarized on stderr and
 //!   exportable as CSV;
@@ -43,13 +49,14 @@ pub mod codec;
 pub mod error;
 pub mod key;
 pub mod metrics;
+pub mod sweep;
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use heteropipe::exec::{panic_message, par_map, JobError};
+use heteropipe::exec::{panic_message, JobError};
 use heteropipe::trace::TaskSpan;
 use heteropipe::{Executor, JobSpec, RunReport};
 use heteropipe_faults::{with_retries, FaultKind, Injector, RetryPolicy, Site};
@@ -60,6 +67,7 @@ pub use cache::{CacheTier, ResultCache};
 pub use error::EngineError;
 pub use key::{run_key, RunKey, SCHEMA_VERSION};
 pub use metrics::{MetricsSnapshot, RunMetrics};
+pub use sweep::{sweep_key, SweepOutcome, SweepRecord, SweepSummary};
 
 /// The default on-disk cache location, relative to the working directory.
 pub const DEFAULT_CACHE_DIR: &str = "results/cache";
@@ -80,6 +88,66 @@ pub struct Engine {
     retry: RetryPolicy,
     watchdog: Option<Duration>,
     poisoned: Mutex<HashSet<u128>>,
+    inflight: Mutex<HashMap<u128, Arc<Flight>>>,
+}
+
+/// A single-flight slot: the first request for a key becomes the leader
+/// and executes; concurrent requests for the same key block on the condvar
+/// and share the leader's published result (success or failure) instead of
+/// re-simulating.
+#[derive(Debug)]
+struct Flight {
+    slot: Mutex<Option<Result<RunReport, EngineError>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, result: Result<RunReport, EngineError>) {
+        *self.slot.lock().unwrap() = Some(result);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<RunReport, EngineError> {
+        let mut slot = self.slot.lock().unwrap();
+        loop {
+            match &*slot {
+                Some(result) => return result.clone(),
+                None => slot = self.done.wait(slot).unwrap(),
+            }
+        }
+    }
+}
+
+/// How a job's report was obtained; feeds the trace outcome label and the
+/// per-sweep accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Disposition {
+    MemoryHit,
+    DiskHit,
+    Executed,
+    Coalesced,
+}
+
+impl Disposition {
+    pub(crate) fn is_cache_hit(self) -> bool {
+        matches!(self, Disposition::MemoryHit | Disposition::DiskHit)
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Disposition::MemoryHit => "memory_hit",
+            Disposition::DiskHit => "disk_hit",
+            Disposition::Executed => "executed",
+            Disposition::Coalesced => "coalesced",
+        }
+    }
 }
 
 impl Engine {
@@ -95,6 +163,7 @@ impl Engine {
             retry: RetryPolicy::DEFAULT,
             watchdog: None,
             poisoned: Mutex::new(HashSet::new()),
+            inflight: Mutex::new(HashMap::new()),
         }
     }
 
@@ -230,18 +299,31 @@ impl Engine {
         self.try_execute_inner(job, request_id, 0)
     }
 
-    /// The shared execution path: refuses quarantined jobs, probes the
-    /// cache, simulates on a miss (retrying panicked attempts under
-    /// backoff), persists the result, and records a [`JobTrace`] of the
-    /// lifecycle. `queue_ns` is time already spent waiting in the batch
-    /// queue.
+    /// The shared execution path: refuses quarantined jobs, joins the
+    /// key's single-flight slot (concurrent identical jobs coalesce onto
+    /// one leader), probes the cache, simulates on a miss (retrying
+    /// panicked attempts under backoff), persists the result, and records
+    /// a [`JobTrace`] of the lifecycle. `queue_ns` is time already spent
+    /// waiting in the batch queue.
     fn try_execute_inner(
         &self,
         job: &JobSpec<'_>,
         request_id: Option<&str>,
         queue_ns: u64,
     ) -> Result<RunReport, EngineError> {
-        let mut timer = PhaseTimer::with_queue(queue_ns);
+        self.try_execute_disposed(job, request_id, queue_ns)
+            .map(|(report, _)| report)
+    }
+
+    /// [`Engine::try_execute_inner`] plus how the report was obtained,
+    /// for per-sweep accounting.
+    pub(crate) fn try_execute_disposed(
+        &self,
+        job: &JobSpec<'_>,
+        request_id: Option<&str>,
+        queue_ns: u64,
+    ) -> Result<(RunReport, Disposition), EngineError> {
+        let timer = PhaseTimer::with_queue(queue_ns);
         let key = run_key(job);
 
         if self.poisoned.lock().unwrap().contains(&key.0) {
@@ -256,29 +338,101 @@ impl Engine {
             return Err(EngineError::Quarantined { key_hex: key.hex() });
         }
 
+        let (flight, leader) = self.join_flight(key);
+        if !leader {
+            let mut timer = timer;
+            self.metrics.record_flight_coalesced();
+            let report = timer.time("flight_wait", || flight.wait())?;
+            self.store_trace(key, &report, request_id, "coalesced", timer, Vec::new());
+            self.log_job(
+                obs_log::Level::Debug,
+                "coalesced onto in-flight execution",
+                key,
+                &report,
+                request_id,
+                "coalesced",
+            );
+            return Ok((report, Disposition::Coalesced));
+        }
+
+        // The leader must publish whatever happens, or waiters would hang:
+        // a panic escaping the execution path (the paths below contain
+        // their own, so this is belt-and-braces) becomes a shared error.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.leader_execute(job, key, request_id, timer)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(EngineError::JobPanicked {
+                key_hex: key.hex(),
+                message: panic_message(payload),
+                attempts: 1,
+            })
+        });
+        self.inflight.lock().unwrap().remove(&key.0);
+        flight.publish(
+            result
+                .as_ref()
+                .map(|(r, _)| r.clone())
+                .map_err(Clone::clone),
+        );
+        result
+    }
+
+    /// Joins the single-flight slot for `key`. The first caller becomes
+    /// the leader (`true`) and owes a publish + removal; later callers
+    /// wait on the returned flight.
+    fn join_flight(&self, key: RunKey) -> (Arc<Flight>, bool) {
+        use std::collections::hash_map::Entry;
+        let mut map = self.inflight.lock().unwrap();
+        match map.entry(key.0) {
+            Entry::Occupied(e) => (Arc::clone(e.get()), false),
+            Entry::Vacant(v) => {
+                let flight = Arc::new(Flight::new());
+                v.insert(Arc::clone(&flight));
+                (flight, true)
+            }
+        }
+    }
+
+    /// The leader's side of a single flight: probe the cache, simulate on
+    /// a miss, persist, trace.
+    fn leader_execute(
+        &self,
+        job: &JobSpec<'_>,
+        key: RunKey,
+        request_id: Option<&str>,
+        mut timer: PhaseTimer,
+    ) -> Result<(RunReport, Disposition), EngineError> {
         if let Some(cache) = &self.cache {
             let probe = timer.time("cache_probe", || cache.get(key));
             if let Some((report, tier)) = probe {
-                let outcome = match tier {
+                let disposition = match tier {
                     CacheTier::Memory => {
                         self.metrics.record_memory_hit();
-                        "memory_hit"
+                        Disposition::MemoryHit
                     }
                     CacheTier::Disk => {
                         self.metrics.record_disk_hit();
-                        "disk_hit"
+                        Disposition::DiskHit
                     }
                 };
-                self.store_trace(key, &report, request_id, outcome, timer, Vec::new());
+                self.store_trace(
+                    key,
+                    &report,
+                    request_id,
+                    disposition.label(),
+                    timer,
+                    Vec::new(),
+                );
                 self.log_job(
                     obs_log::Level::Debug,
                     "cache hit",
                     key,
                     &report,
                     request_id,
-                    outcome,
+                    disposition.label(),
                 );
-                return Ok(report);
+                return Ok((report, disposition));
             }
             self.metrics.record_miss();
         }
@@ -343,7 +497,18 @@ impl Engine {
             request_id,
             "executed",
         );
-        Ok(report)
+        Ok((report, Disposition::Executed))
+    }
+
+    /// Looks up a cached report by key without executing anything,
+    /// bumping the engine's hit counters, or consulting the quarantine —
+    /// the read-only lookup behind `GET /v1/runs/{key}`. `None` when the
+    /// key was never run, has been evicted, or caching is disabled.
+    pub fn cached(&self, key: RunKey) -> Option<RunReport> {
+        self.cache
+            .as_ref()
+            .and_then(|cache| cache.get(key))
+            .map(|(report, _)| report)
     }
 
     /// One execution attempt: rolls the `job.exec` fault seam, isolates
@@ -474,30 +639,22 @@ impl Executor for Engine {
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// Batches route through the sweep pipeline ([`Engine::execute_sweep`]):
+    /// entries sharing a run key dedup onto one execution, the unique
+    /// residue fans out over the bounded work-queue, and each entry's
+    /// failure stays its own ([`JobError`] wraps the [`EngineError`]).
     fn execute_batch(&self, jobs: &[JobSpec<'_>]) -> Vec<Result<RunReport, JobError>> {
-        // Queue wait is measured from batch submission to the moment a
-        // worker picks the job up; it shows up as the `queue` phase of the
-        // job's trace.
-        let submit = Instant::now();
-        let out = par_map(jobs, self.jobs, |j| {
-            let queue_ns = submit.elapsed().as_nanos() as u64;
-            self.try_execute_inner(j, None, queue_ns)
-                .unwrap_or_else(|e| panic!("{e}"))
-        });
-        for (i, r) in out.iter().enumerate() {
-            if let Err(e) = r {
-                self.metrics.record_failure();
-                obs_log::error(
-                    "engine",
-                    "job failed",
-                    &[
-                        ("job_index", (i as u64).into()),
-                        ("error", e.to_string().into()),
-                    ],
-                );
-            }
-        }
-        out
+        self.execute_sweep(jobs)
+            .results
+            .into_iter()
+            .enumerate()
+            .map(|(index, result)| {
+                result.map_err(|e| JobError {
+                    index,
+                    message: e.to_string(),
+                })
+            })
+            .collect()
     }
 }
 
@@ -781,8 +938,8 @@ mod tests {
             kmeans_spec(&p1, &cfg),
         ];
 
-        // jobs=1 keeps the batch sequential so the duplicated job
-        // deterministically hits the entry its twin just wrote.
+        // The duplicated entry dedups onto its twin inside the batch, so
+        // it costs neither an execution nor a cache probe.
         let engine = Engine::new().memory_cache_only().with_jobs(1);
         let first: Vec<_> = engine
             .execute_batch(&jobs)
@@ -800,8 +957,103 @@ mod tests {
             .collect();
         assert_eq!(first, again);
         let m = engine.metrics();
-        assert_eq!(m.jobs_executed, 2, "three distinct keys, one duplicated");
-        assert!(m.hits() >= 4);
+        assert_eq!(m.jobs_executed, 2, "two distinct keys, one duplicated");
+        assert_eq!(m.hits(), 2, "warm repeat probes once per unique key");
+        assert_eq!(m.sweeps, 2);
+        assert_eq!(m.sweep_jobs, 6);
+        assert_eq!(m.sweep_deduped, 2);
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_identical_jobs() {
+        // Six threads release simultaneously on one key. A hang fault
+        // keeps the leader busy long enough that the rest arrive while it
+        // is in flight: exactly one execution, everyone gets its result.
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::discrete();
+        let spec = kmeans_spec(&p, &cfg);
+
+        let engine = Engine::new()
+            .memory_cache_only()
+            .with_faults(injector("job.exec:err=hang:ms=100:max=1"));
+        let barrier = std::sync::Barrier::new(6);
+        let reports: Vec<RunReport> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..6)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        engine.try_execute(&spec).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(reports.windows(2).all(|w| w[0] == w[1]));
+        let m = engine.metrics();
+        assert_eq!(m.jobs_executed, 1, "one leader simulates");
+        assert_eq!(
+            m.flights_coalesced + m.memory_hits,
+            5,
+            "everyone else coalesces onto the flight or hits the warm cache"
+        );
+        assert!(m.flights_coalesced >= 1, "at least one waiter coalesced");
+    }
+
+    #[test]
+    fn sweep_isolates_poisoned_entries_without_failing_the_batch() {
+        let p1 = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let p2 = registry::find("rodinia/srad")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::discrete();
+        // jobs=1 executes leaders in submission order, so the one-shot
+        // fault deterministically poisons the kmeans entry.
+        let jobs = [
+            kmeans_spec(&p1, &cfg),
+            kmeans_spec(&p1, &cfg),
+            kmeans_spec(&p2, &cfg),
+        ];
+        let engine = Engine::new()
+            .memory_cache_only()
+            .with_jobs(1)
+            .with_faults(injector("job.exec:err=panic:max=1"))
+            .with_retry(heteropipe_faults::RetryPolicy {
+                attempts: 1,
+                base_ms: 0,
+                cap_ms: 0,
+            });
+        let outcome = engine.execute_sweep(&jobs);
+        assert!(
+            matches!(&outcome.results[0], Err(EngineError::JobPanicked { .. })),
+            "poisoned leader fails its entry"
+        );
+        assert_eq!(
+            outcome.results[0], outcome.results[1],
+            "its duplicate shares the same error"
+        );
+        assert!(outcome.results[2].is_ok(), "healthy entry unaffected");
+        assert_eq!(outcome.summary.failed, 2);
+        assert_eq!(outcome.summary.executed, 1);
+        let m = engine.metrics();
+        assert_eq!(m.failures, 2);
+        assert_eq!(m.jobs_quarantined, 1);
+        assert_eq!(m.jobs_executed, 1);
+
+        // The quarantine holds on the next sweep: the poisoned entry
+        // fast-fails while the rest of the batch still answers.
+        let again = engine.execute_sweep(&jobs);
+        assert!(matches!(
+            &again.results[0],
+            Err(EngineError::Quarantined { .. })
+        ));
+        assert!(again.results[2].is_ok());
     }
 
     fn injector(plan: &str) -> Arc<heteropipe_faults::Injector> {

@@ -16,6 +16,10 @@ pub struct RunMetrics {
     exec_retries: AtomicU64,
     jobs_quarantined: AtomicU64,
     watchdog_fired: AtomicU64,
+    sweeps: AtomicU64,
+    sweep_jobs: AtomicU64,
+    sweep_deduped: AtomicU64,
+    flights_coalesced: AtomicU64,
 }
 
 impl RunMetrics {
@@ -58,6 +62,16 @@ impl RunMetrics {
         self.watchdog_fired.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_sweep(&self, jobs: u64, duplicates: u64) {
+        self.sweeps.fetch_add(1, Ordering::Relaxed);
+        self.sweep_jobs.fetch_add(jobs, Ordering::Relaxed);
+        self.sweep_deduped.fetch_add(duplicates, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_flight_coalesced(&self) {
+        self.flights_coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters. Cache-level resilience
     /// counters are zero here; [`crate::Engine::metrics`] merges them in.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -72,6 +86,10 @@ impl RunMetrics {
             exec_retries: self.exec_retries.load(Ordering::Relaxed),
             jobs_quarantined: self.jobs_quarantined.load(Ordering::Relaxed),
             watchdog_fired: self.watchdog_fired.load(Ordering::Relaxed),
+            sweeps: self.sweeps.load(Ordering::Relaxed),
+            sweep_jobs: self.sweep_jobs.load(Ordering::Relaxed),
+            sweep_deduped: self.sweep_deduped.load(Ordering::Relaxed),
+            flights_coalesced: self.flights_coalesced.load(Ordering::Relaxed),
             cache: crate::cache::CacheStatsSnapshot::default(),
         }
     }
@@ -101,6 +119,16 @@ pub struct MetricsSnapshot {
     pub jobs_quarantined: u64,
     /// Jobs whose execution overran the configured watchdog deadline.
     pub watchdog_fired: u64,
+    /// Sweeps (deduplicated batches) executed.
+    pub sweeps: u64,
+    /// Entries submitted across all sweeps, duplicates included.
+    pub sweep_jobs: u64,
+    /// Sweep entries folded onto another entry with the same run key
+    /// instead of occupying a worker slot.
+    pub sweep_deduped: u64,
+    /// Jobs that coalesced onto a concurrent identical execution
+    /// (single-flight: one leader executed, these waited for its result).
+    pub flights_coalesced: u64,
     /// The cache's resilience counters (temp sweeps, quarantined records,
     /// read errors, persist retries/failures).
     pub cache: crate::cache::CacheStatsSnapshot,
@@ -112,9 +140,10 @@ impl MetricsSnapshot {
         self.memory_hits + self.disk_hits
     }
 
-    /// Total jobs the engine was asked for.
+    /// Total jobs the engine was asked for: executions, cache hits, and
+    /// jobs coalesced onto a concurrent identical execution.
     pub fn jobs_total(&self) -> u64 {
-        self.jobs_executed + self.hits()
+        self.jobs_executed + self.hits() + self.flights_coalesced
     }
 
     /// Hit fraction in `[0, 1]` (0 when no lookups happened).
@@ -161,6 +190,12 @@ impl MetricsSnapshot {
                 self.cache.tmp_swept,
             ));
         }
+        if self.sweeps > 0 || self.flights_coalesced > 0 {
+            out.push_str(&format!(
+                ", sweeps: {} ({} jobs, {} deduped), {} coalesced",
+                self.sweeps, self.sweep_jobs, self.sweep_deduped, self.flights_coalesced,
+            ));
+        }
         out
     }
 
@@ -182,8 +217,9 @@ impl MetricsSnapshot {
         format!(
             "jobs_total,jobs_executed,memory_hits,disk_hits,misses,failures,hit_rate,simulated_ps,wall_ns,\
              exec_retries,jobs_quarantined,watchdog_fired,tmp_swept,records_quarantined,\
-             cache_read_errors,persist_retries,persist_failures\n\
-             {},{},{},{},{},{},{:.4},{},{},{},{},{},{},{},{},{},{}\n",
+             cache_read_errors,persist_retries,persist_failures,\
+             sweeps,sweep_jobs,sweep_deduped,flights_coalesced\n\
+             {},{},{},{},{},{},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             self.jobs_total(),
             self.jobs_executed,
             self.memory_hits,
@@ -201,6 +237,10 @@ impl MetricsSnapshot {
             self.cache.read_errors,
             self.cache.persist_retries,
             self.cache.persist_failures,
+            self.sweeps,
+            self.sweep_jobs,
+            self.sweep_deduped,
+            self.flights_coalesced,
         )
     }
 }
@@ -295,6 +335,29 @@ mod tests {
     }
 
     #[test]
+    fn sweep_counters_accumulate_and_render() {
+        let m = RunMetrics::new();
+        m.record_sweep(6, 2);
+        m.record_sweep(3, 0);
+        m.record_flight_coalesced();
+        let s = m.snapshot();
+        assert_eq!(s.sweeps, 2);
+        assert_eq!(s.sweep_jobs, 9);
+        assert_eq!(s.sweep_deduped, 2);
+        assert_eq!(s.flights_coalesced, 1);
+        let summary = s.summary();
+        assert!(
+            summary.contains("sweeps: 2 (9 jobs, 2 deduped)"),
+            "{summary}"
+        );
+        assert!(summary.contains("1 coalesced"), "{summary}");
+        assert!(
+            !RunMetrics::new().snapshot().summary().contains("sweeps"),
+            "sweep-free summary stays unchanged"
+        );
+    }
+
+    #[test]
     fn empty_metrics_are_safe() {
         let s = RunMetrics::new().snapshot();
         assert_eq!(s.hit_rate(), 0.0);
@@ -325,7 +388,7 @@ mod tests {
         assert!(summary.contains("2 tmp swept"), "{summary}");
         let csv = s.to_csv();
         let header = csv.lines().next().unwrap();
-        assert!(header.ends_with("persist_failures"), "{header}");
+        assert!(header.ends_with("flights_coalesced"), "{header}");
         assert_eq!(
             header.split(',').count(),
             csv.lines().nth(1).unwrap().split(',').count(),

@@ -1,0 +1,420 @@
+//! Batched sweep execution: key-level dedup, bounded fan-out, per-batch
+//! accounting.
+//!
+//! The paper's figures are built from *sweeps* — the same benchmark set
+//! re-run across `{copy, limited-copy}` versions and system configs — so
+//! consecutive batches share most of their run keys. The sweep pipeline
+//! exploits that before any worker is scheduled:
+//!
+//! 1. **plan**: every entry's [`RunKey`] is computed up front; entries
+//!    repeating an earlier entry's key become *duplicates* of that leader
+//!    and never occupy a worker slot;
+//! 2. **execute**: the unique residue fans out over
+//!    [`heteropipe::exec::par_map`]'s bounded work-queue. Each unique
+//!    entry still passes through the engine's cache and single-flight
+//!    layers, so identical jobs racing in from *other* batches coalesce
+//!    onto one execution too;
+//! 3. **report**: each entry resolves independently — a poisoned job
+//!    fails its own entry (and its duplicates), never the batch — and a
+//!    completion record is pushed to an observer sink the moment it
+//!    lands, which is how `POST /v1/sweeps` streams NDJSON.
+//!
+//! The sweep itself is content-addressed ([`sweep_key`]) and leaves a
+//! summary trace in the engine's trace store under that key.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::time::Instant;
+
+use heteropipe::exec::par_map;
+use heteropipe::{JobSpec, RunReport};
+use heteropipe_obs::log as obs_log;
+use heteropipe_obs::{JobTrace, PhaseTimer};
+
+use crate::error::EngineError;
+use crate::key::{run_key, KeyHasher, RunKey};
+use crate::{Disposition, Engine};
+
+/// The content address of a whole sweep: an order-sensitive hash over its
+/// member run keys. The sweep's summary trace is stored under this key,
+/// so `GET /v1/runs/{sweep_key}/trace` retrieves it like any job trace.
+pub fn sweep_key(keys: &[RunKey]) -> RunKey {
+    let mut h = KeyHasher::new();
+    h.str("sweep");
+    h.u64(keys.len() as u64);
+    for k in keys {
+        h.u64(k.0 as u64);
+        h.u64((k.0 >> 64) as u64);
+    }
+    h.finish()
+}
+
+/// One completed sweep entry, pushed to the observer sink the moment it
+/// resolves (completion order, not submission order).
+#[derive(Debug, Clone)]
+pub struct SweepRecord {
+    /// The entry's index in the submitted batch.
+    pub index: usize,
+    /// The entry's run key as 32 lowercase hex digits.
+    pub key_hex: String,
+    /// True when this entry repeated an earlier entry's key and shares
+    /// that leader's result instead of occupying a worker slot.
+    pub deduped: bool,
+    /// The entry's outcome. Failures are per-entry: one poisoned job
+    /// fails itself and its duplicates, never the batch.
+    pub result: Result<RunReport, EngineError>,
+}
+
+/// Aggregate accounting for one sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepSummary {
+    /// Entries submitted.
+    pub jobs_total: u64,
+    /// Distinct run keys among them.
+    pub jobs_unique: u64,
+    /// Entries folded onto an earlier entry with the same key
+    /// (`jobs_total - jobs_unique`).
+    pub duplicates: u64,
+    /// Unique entries served by the result cache (either tier).
+    pub cache_hits: u64,
+    /// Unique entries simulated fresh.
+    pub executed: u64,
+    /// Unique entries that coalesced onto a concurrent identical
+    /// execution from outside this sweep (single-flight).
+    pub coalesced: u64,
+    /// Entries that failed, duplicates included.
+    pub failed: u64,
+    /// Wall time for the whole sweep, nanoseconds.
+    pub wall_ns: u64,
+    /// Sum of per-entry wall times: what running the deduplicated residue
+    /// one job at a time would have cost.
+    pub serial_estimate_ns: u64,
+}
+
+impl SweepSummary {
+    /// Speedup of the bounded fan-out over the serial estimate (1.0 for
+    /// an empty sweep).
+    pub fn speedup_vs_serial(&self) -> f64 {
+        if self.wall_ns == 0 {
+            1.0
+        } else {
+            self.serial_estimate_ns as f64 / self.wall_ns as f64
+        }
+    }
+}
+
+/// What [`Engine::execute_sweep`] returns: per-entry results in
+/// submission order plus the sweep's aggregate accounting.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The sweep's content address ([`sweep_key`]) as hex; its summary
+    /// trace lives under this key in the engine's trace store.
+    pub key_hex: String,
+    /// Per-entry outcomes, index-aligned with the submitted batch.
+    pub results: Vec<Result<RunReport, EngineError>>,
+    /// Aggregate accounting.
+    pub summary: SweepSummary,
+}
+
+impl Engine {
+    /// Executes a batch through the sweep pipeline: run keys computed up
+    /// front, in-batch duplicates deduplicated onto one leader each, the
+    /// unique residue fanned out over the bounded work-queue, and every
+    /// entry resolved independently.
+    pub fn execute_sweep(&self, jobs: &[JobSpec<'_>]) -> SweepOutcome {
+        self.execute_sweep_observed(jobs, None, &|_| {})
+    }
+
+    /// [`Engine::execute_sweep`] with a request correlation id stamped on
+    /// traces and logs, and an observer `sink` invoked once per entry the
+    /// moment it completes (completion order; a duplicate's record
+    /// follows its leader's immediately). The sink is called from worker
+    /// threads, so it must serialize its own side effects.
+    pub fn execute_sweep_observed(
+        &self,
+        jobs: &[JobSpec<'_>],
+        request_id: Option<&str>,
+        sink: &(dyn Fn(&SweepRecord) + Sync),
+    ) -> SweepOutcome {
+        let start = Instant::now();
+        let mut timer = PhaseTimer::new();
+        let keys: Vec<RunKey> = jobs.iter().map(run_key).collect();
+        let sweep = sweep_key(&keys);
+
+        // Plan: the first entry carrying each key leads; later twins
+        // follow it and reuse its result.
+        let (leaders, followers) = timer.time("plan", || {
+            let mut first: HashMap<u128, usize> = HashMap::new();
+            let mut leaders: Vec<usize> = Vec::new();
+            let mut followers: HashMap<usize, Vec<usize>> = HashMap::new();
+            for (i, k) in keys.iter().enumerate() {
+                match first.entry(k.0) {
+                    Entry::Vacant(v) => {
+                        v.insert(i);
+                        leaders.push(i);
+                    }
+                    Entry::Occupied(o) => followers.entry(*o.get()).or_default().push(i),
+                }
+            }
+            (leaders, followers)
+        });
+        let duplicates = (jobs.len() - leaders.len()) as u64;
+        self.metrics.record_sweep(jobs.len() as u64, duplicates);
+
+        let emit = |index: usize, deduped: bool, result: &Result<RunReport, EngineError>| {
+            sink(&SweepRecord {
+                index,
+                key_hex: keys[index].hex(),
+                deduped,
+                result: result.clone(),
+            });
+        };
+        // Queue wait is measured from fan-out to worker pickup, as in any
+        // batch; it becomes the `queue` phase of each entry's trace.
+        let submit = Instant::now();
+        let outputs = timer.time("execute", || {
+            par_map(&leaders, self.jobs, |&i| {
+                let queue_ns = submit.elapsed().as_nanos() as u64;
+                let t0 = Instant::now();
+                let disposed = self.try_execute_disposed(&jobs[i], request_id, queue_ns);
+                let wall_ns = t0.elapsed().as_nanos() as u64;
+                let disposition = disposed.as_ref().ok().map(|(_, d)| *d);
+                let result = disposed.map(|(report, _)| report);
+                emit(i, false, &result);
+                for &d in followers.get(&i).into_iter().flatten() {
+                    emit(d, true, &result);
+                }
+                (result, disposition, wall_ns)
+            })
+        });
+
+        let mut results: Vec<Option<Result<RunReport, EngineError>>> = vec![None; jobs.len()];
+        let mut summary = SweepSummary {
+            jobs_total: jobs.len() as u64,
+            jobs_unique: leaders.len() as u64,
+            duplicates,
+            ..SweepSummary::default()
+        };
+        for (&i, out) in leaders.iter().zip(outputs) {
+            let (result, disposition, wall_ns) = match out {
+                Ok(x) => x,
+                // par_map catches worker panics, but try_execute_disposed
+                // already contains its own; reaching here means an
+                // invariant broke, so fail the entry rather than the batch
+                // (its records were never emitted to the sink).
+                Err(e) => (
+                    Err(EngineError::JobPanicked {
+                        key_hex: keys[i].hex(),
+                        message: e.message,
+                        attempts: 1,
+                    }),
+                    None,
+                    0,
+                ),
+            };
+            summary.serial_estimate_ns += wall_ns;
+            match disposition {
+                Some(d) if d.is_cache_hit() => summary.cache_hits += 1,
+                Some(Disposition::Executed) => summary.executed += 1,
+                Some(Disposition::Coalesced) => summary.coalesced += 1,
+                _ => {}
+            }
+            let dups = followers.get(&i).map_or(&[][..], Vec::as_slice);
+            if let Err(e) = &result {
+                let fanout = 1 + dups.len() as u64;
+                summary.failed += fanout;
+                for _ in 0..fanout {
+                    self.metrics.record_failure();
+                }
+                obs_log::error(
+                    "engine",
+                    "sweep entry failed",
+                    &[
+                        ("request_id", request_id.unwrap_or("-").into()),
+                        ("sweep_key", sweep.hex().into()),
+                        ("job_index", (i as u64).into()),
+                        ("duplicates", (dups.len() as u64).into()),
+                        ("error", e.to_string().into()),
+                    ],
+                );
+            }
+            for &d in dups {
+                results[d] = Some(result.clone());
+            }
+            results[i] = Some(result);
+        }
+        summary.wall_ns = start.elapsed().as_nanos() as u64;
+
+        self.traces.insert(JobTrace {
+            key_hex: sweep.hex(),
+            benchmark: format!("sweep[{}]", jobs.len()),
+            request_id: request_id.map(str::to_owned),
+            outcome: "sweep".to_owned(),
+            phases: timer.finish(),
+            sim_events: Vec::new(),
+        });
+        obs_log::info(
+            "engine",
+            "sweep executed",
+            &[
+                ("request_id", request_id.unwrap_or("-").into()),
+                ("sweep_key", sweep.hex().into()),
+                ("jobs", summary.jobs_total.into()),
+                ("unique", summary.jobs_unique.into()),
+                ("cache_hits", summary.cache_hits.into()),
+                ("executed", summary.executed.into()),
+                ("coalesced", summary.coalesced.into()),
+                ("failed", summary.failed.into()),
+                ("wall_ms", (summary.wall_ns / 1_000_000).into()),
+            ],
+        );
+
+        SweepOutcome {
+            key_hex: sweep.hex(),
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every sweep index resolves exactly once"))
+                .collect(),
+            summary,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteropipe::{Organization, SystemConfig};
+    use heteropipe_workloads::{registry, Scale};
+    use std::sync::Mutex;
+
+    fn spec<'a>(
+        pipeline: &'a heteropipe_workloads::Pipeline,
+        config: &'a SystemConfig,
+    ) -> JobSpec<'a> {
+        JobSpec {
+            pipeline,
+            config,
+            organization: Organization::Serial,
+            misalignment_sensitive: false,
+        }
+    }
+
+    #[test]
+    fn sweep_key_is_order_sensitive_and_length_prefixed() {
+        let a = RunKey(1);
+        let b = RunKey(2);
+        assert_eq!(sweep_key(&[a, b]), sweep_key(&[a, b]));
+        assert_ne!(sweep_key(&[a, b]), sweep_key(&[b, a]));
+        assert_ne!(sweep_key(&[a]), sweep_key(&[a, a]));
+        assert_ne!(sweep_key(&[]), sweep_key(&[a]));
+        // A sweep's key must not collide with its sole member's key.
+        assert_ne!(sweep_key(&[a]), a);
+    }
+
+    #[test]
+    fn n_copies_of_one_spec_execute_exactly_once() {
+        let p = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::discrete();
+        let jobs = vec![spec(&p, &cfg); 8];
+
+        // No cache: only the sweep's own dedup can collapse the copies.
+        let engine = Engine::new().without_cache();
+        let outcome = engine.execute_sweep(&jobs);
+        let reports: Vec<_> = outcome
+            .results
+            .iter()
+            .map(|r| r.as_ref().unwrap())
+            .collect();
+        assert!(reports.windows(2).all(|w| w[0] == w[1]), "all identical");
+        assert_eq!(outcome.summary.jobs_total, 8);
+        assert_eq!(outcome.summary.jobs_unique, 1);
+        assert_eq!(outcome.summary.duplicates, 7);
+        assert_eq!(outcome.summary.executed, 1);
+        assert_eq!(outcome.summary.cache_hits, 0);
+        assert_eq!(outcome.summary.failed, 0);
+        let m = engine.metrics();
+        assert_eq!(m.jobs_executed, 1, "exactly one execution for 8 copies");
+        assert_eq!(m.sweeps, 1);
+        assert_eq!(m.sweep_jobs, 8);
+        assert_eq!(m.sweep_deduped, 7);
+    }
+
+    #[test]
+    fn sink_sees_every_entry_with_duplicates_after_their_leader() {
+        let p1 = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let p2 = registry::find("rodinia/srad")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::discrete();
+        let jobs = [spec(&p1, &cfg), spec(&p1, &cfg), spec(&p2, &cfg)];
+
+        let engine = Engine::new().memory_cache_only().with_jobs(1);
+        let seen = Mutex::new(Vec::new());
+        let outcome = engine.execute_sweep_observed(&jobs, Some("req-sweep"), &|rec| {
+            assert!(rec.result.is_ok());
+            seen.lock()
+                .unwrap()
+                .push((rec.index, rec.deduped, rec.key_hex.clone()));
+        });
+        let seen = seen.into_inner().unwrap();
+        // jobs=1 makes completion order deterministic: leader 0, its
+        // duplicate 1, then leader 2.
+        assert_eq!(
+            seen.iter().map(|(i, d, _)| (*i, *d)).collect::<Vec<_>>(),
+            [(0, false), (1, true), (2, false)]
+        );
+        assert_eq!(seen[0].2, seen[1].2, "duplicate carries its leader's key");
+        assert_ne!(seen[0].2, seen[2].2);
+
+        // The sweep left a summary trace under its own key.
+        let t = engine.traces().get(&outcome.key_hex).expect("sweep traced");
+        assert_eq!(t.outcome, "sweep");
+        assert_eq!(t.benchmark, "sweep[3]");
+        assert_eq!(t.request_id.as_deref(), Some("req-sweep"));
+        let phases: Vec<&str> = t.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(phases, ["plan", "execute"]);
+    }
+
+    #[test]
+    fn warm_sweep_repeats_byte_identically_and_counts_hits() {
+        let p1 = registry::find("rodinia/kmeans")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let p2 = registry::find("rodinia/srad")
+            .unwrap()
+            .pipeline(Scale::TEST)
+            .unwrap();
+        let cfg = SystemConfig::discrete();
+        let jobs = [spec(&p1, &cfg), spec(&p2, &cfg), spec(&p1, &cfg)];
+
+        let engine = Engine::new().memory_cache_only();
+        let cold = engine.execute_sweep(&jobs);
+        assert_eq!(cold.summary.executed, 2);
+        let warm = engine.execute_sweep(&jobs);
+        assert_eq!(warm.key_hex, cold.key_hex, "same members, same sweep key");
+        assert_eq!(warm.results, cold.results);
+        assert_eq!(warm.summary.cache_hits, 2);
+        assert_eq!(warm.summary.executed, 0);
+        assert_eq!(engine.metrics().jobs_executed, 2);
+    }
+
+    #[test]
+    fn empty_sweep_is_a_noop() {
+        let engine = Engine::new().memory_cache_only();
+        let outcome = engine.execute_sweep(&[]);
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.summary.jobs_total, 0);
+        assert_eq!(outcome.summary.jobs_unique, 0);
+        assert_eq!(outcome.summary.failed, 0);
+        assert_eq!(SweepSummary::default().speedup_vs_serial(), 1.0);
+        assert_eq!(engine.metrics().jobs_executed, 0);
+    }
+}

@@ -1,29 +1,44 @@
 //! The HTTP API over the engine: health, metrics (JSON and Prometheus
-//! text format), the benchmark catalog, single runs with retrievable
-//! per-run traces, and whole-experiment renders.
+//! text format), the benchmark catalog, resource-oriented runs with
+//! retrievable per-run traces, batched sweeps streamed as NDJSON, and
+//! whole-experiment renders. The full route reference, error envelope
+//! schema, and deprecation policy live in `docs/api.md`.
 //!
 //! Responses are built from [`crate::json::Json`] values whose object keys
 //! are emitted in insertion order, and [`heteropipe::RunReport`] is
-//! float-free, so a `POST /v1/run` answered from the cache is
-//! byte-identical to the cold response that populated it. Every `/v1/run`
+//! float-free, so a `POST /v1/runs` answered from the cache is
+//! byte-identical to the cold response that populated it. Every run
 //! response carries the run's content address in `X-Run-Key`; feeding it
-//! back to `GET /v1/run/{key}/trace` returns the job's Chrome-trace
-//! timeline, stamped with the originating request's correlation id.
+//! back to `GET /v1/runs/{key}` returns the cached report and
+//! `GET /v1/runs/{key}/trace` the job's Chrome-trace timeline, stamped
+//! with the originating request's correlation id. `POST /v1/sweeps`
+//! executes a whole batch through the engine's dedup + single-flight
+//! pipeline, streaming one NDJSON record per entry in completion order.
+//! The pre-redesign routes `POST /v1/run` and `GET /v1/run/{key}/trace`
+//! remain as deprecated aliases answering identically to their canonical
+//! forms, plus a `Deprecation` header.
 
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use heteropipe::experiments::{characterize_all_with, fig3, fig456, fig78, fig9, tables};
 use heteropipe::{AccessClass, Executor, JobSpec, Organization, Platform, RunReport, SystemConfig};
-use heteropipe_engine::{Engine, EngineError};
+use heteropipe_engine::{run_key, sweep_key, Engine, EngineError, RunKey, SweepRecord};
 use heteropipe_faults::Injector;
 use heteropipe_obs::MetricRegistry;
-use heteropipe_workloads::{registry, Scale, Workload};
+use heteropipe_workloads::{registry, Pipeline, Scale, Workload};
 
 use crate::breaker::CircuitBreaker;
-use crate::http::{Request, Response};
+use crate::error::envelope;
+use crate::http::{BodyStream, Request, Response};
 use crate::json::Json;
 use crate::server::{Handler, ServerConfig, ServerStats};
 use crate::server::{Server, ServerHandle};
+
+/// Most entries accepted in one `POST /v1/sweeps` batch; larger sweeps
+/// are rejected with `413 payload_too_large` so a single request cannot
+/// monopolize the worker pool indefinitely.
+pub const MAX_SWEEP_JOBS: usize = 512;
 
 /// The handler implementing the heteropipe-serve routes. Share it via
 /// `Arc`; every worker thread dispatches through the same instance and the
@@ -84,30 +99,52 @@ impl Handler for Api {
     fn handle(&self, req: &Request) -> Response {
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz" | "/healthz/live") => health(),
-            ("GET", "/healthz/ready") => self.ready(),
+            ("GET", "/healthz/ready") => self.ready(req),
             ("GET", "/metrics") => self.metrics(req),
             ("GET", "/v1/benchmarks") => benchmarks(),
-            ("POST", "/v1/run") => self.run(req),
-            ("GET", path) if trace_key(path).is_some() => self.run_trace(trace_key(path).unwrap()),
+            ("POST", "/v1/runs") => self.run(req),
+            // Deprecated alias for `POST /v1/runs` (see docs/api.md).
+            ("POST", "/v1/run") => deprecated(self.run(req), "/v1/runs"),
+            ("POST", "/v1/sweeps") => self.sweeps(req),
+            (_, path) if path.starts_with("/v1/runs/") => {
+                self.run_resource(req, &path["/v1/runs/".len()..], false)
+            }
+            // Deprecated alias prefix for `/v1/runs/{key}/trace`.
+            (_, path) if path.starts_with("/v1/run/") => {
+                self.run_resource(req, &path["/v1/run/".len()..], true)
+            }
             ("POST", path) if path.starts_with("/v1/experiments/") => {
                 self.experiment(req, &path["/v1/experiments/".len()..])
             }
             (
                 _,
                 "/healthz" | "/healthz/live" | "/healthz/ready" | "/metrics" | "/v1/benchmarks",
-            ) => Response::error(405, "method not allowed").with_header("Allow", "GET"),
-            (_, path) if trace_key(path).is_some() => {
-                Response::error(405, "method not allowed").with_header("Allow", "GET")
-            }
-            (_, "/v1/run") => {
-                Response::error(405, "method not allowed").with_header("Allow", "POST")
-            }
-            (_, path) if path.starts_with("/v1/experiments/") => {
-                Response::error(405, "method not allowed").with_header("Allow", "POST")
-            }
-            _ => Response::error(404, "no such route"),
+            ) => method_not_allowed(req, "GET"),
+            (_, "/v1/runs" | "/v1/run" | "/v1/sweeps") => method_not_allowed(req, "POST"),
+            (_, path) if path.starts_with("/v1/experiments/") => method_not_allowed(req, "POST"),
+            _ => fail(req, 404, "not_found", "no such route"),
         }
     }
+}
+
+/// The error envelope with the request's correlation id (see
+/// [`crate::error::envelope`]).
+fn fail(req: &Request, status: u16, code: &str, message: &str) -> Response {
+    envelope(status, code, message, None, &req.request_id)
+}
+
+/// A 405 envelope carrying the route's `Allow` header.
+fn method_not_allowed(req: &Request, allow: &str) -> Response {
+    fail(req, 405, "method_not_allowed", "method not allowed").with_header("Allow", allow)
+}
+
+/// Marks a response as served by a deprecated route alias: RFC 9745's
+/// `Deprecation` header plus a `Link` to the canonical successor. The
+/// payload is untouched, so aliases answer byte-identically to their
+/// canonical routes.
+fn deprecated(resp: Response, successor: &str) -> Response {
+    resp.with_header("Deprecation", "true")
+        .with_header("Link", &format!("<{successor}>; rel=\"successor-version\""))
 }
 
 /// Liveness: the process is up and serving — always 200. `/healthz` keeps
@@ -120,40 +157,134 @@ impl Api {
     /// Readiness: whether this instance should receive traffic. Unready
     /// (503 + `Retry-After`) while the circuit breaker is open or graceful
     /// shutdown has begun; liveness stays green either way, so an
-    /// orchestrator drains traffic instead of killing the process.
-    fn ready(&self) -> Response {
+    /// orchestrator drains traffic instead of killing the process. The
+    /// unready body is the standard error envelope extended with the
+    /// probe fields (`status`, `breaker`, `shutting_down`).
+    fn ready(&self, req: &Request) -> Response {
         let breaker_open = self.breaker.get().is_some_and(|b| b.currently_open());
         let shutting_down = self
             .stats
             .get()
-            .is_some_and(|s| s.shutting_down.load(std::sync::atomic::Ordering::SeqCst));
+            .is_some_and(|s| s.shutting_down.load(Ordering::SeqCst));
         let state = self.breaker.get().map_or("unknown", |b| b.state_name());
-        let body = Json::Obj(vec![
+        let probe = vec![
             (
-                "status".into(),
+                "status".to_string(),
                 Json::str(if breaker_open || shutting_down {
                     "unready"
                 } else {
                     "ready"
                 }),
             ),
-            ("breaker".into(), Json::str(state)),
-            ("shutting_down".into(), Json::Bool(shutting_down)),
-        ]);
+            ("breaker".to_string(), Json::str(state)),
+            ("shutting_down".to_string(), Json::Bool(shutting_down)),
+        ];
         if breaker_open || shutting_down {
             let retry = self.breaker.get().map_or(1, |b| b.retry_after_secs());
-            Response::json(503, &body).with_header("Retry-After", &retry.to_string())
+            let mut fields = vec![
+                (
+                    "error".to_string(),
+                    Json::Obj(vec![
+                        ("code".into(), Json::str("unready")),
+                        (
+                            "message".into(),
+                            Json::str(if shutting_down {
+                                "shutting down"
+                            } else {
+                                "circuit breaker open"
+                            }),
+                        ),
+                        ("retry_after_s".into(), Json::U64(retry)),
+                    ]),
+                ),
+                ("request_id".to_string(), Json::str(&req.request_id)),
+            ];
+            fields.extend(probe);
+            Response::json(503, &Json::Obj(fields)).with_header("Retry-After", &retry.to_string())
         } else {
-            Response::json(200, &body)
+            Response::json(200, &Json::Obj(probe))
         }
     }
 }
 
-/// The run-key hex of a `/v1/run/{key}/trace` path, if `path` has that
-/// shape (the key segment must be non-empty and slash-free).
-fn trace_key(path: &str) -> Option<&str> {
-    let key = path.strip_prefix("/v1/run/")?.strip_suffix("/trace")?;
-    (!key.is_empty() && !key.contains('/')).then_some(key)
+/// Splits the remainder of a `/v1/runs/{key}[/sub]` path into the key
+/// segment and the optional sub-resource after it.
+fn split_resource(rest: &str) -> (&str, Option<&str>) {
+    match rest.split_once('/') {
+        Some((key, sub)) => (key, Some(sub)),
+        None => (rest, None),
+    }
+}
+
+/// Whether a path segment is a well-formed run key: exactly 32 hex
+/// digits. Anything else — wrong length, non-hex characters, embedded
+/// slashes (already split off by [`split_resource`]) — is rejected up
+/// front with a 400 envelope instead of falling through to a generic 404.
+fn valid_run_key(key: &str) -> bool {
+    key.len() == 32 && key.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+impl Api {
+    /// Dispatches `/v1/runs/{key}` and its sub-resources (`/trace`), plus
+    /// the deprecated `/v1/run/{key}/trace` alias when `alias` is set.
+    fn run_resource(&self, req: &Request, rest: &str, alias: bool) -> Response {
+        let (key, sub) = split_resource(rest);
+        if !valid_run_key(key) {
+            return fail(
+                req,
+                400,
+                "bad_request",
+                &format!("run key must be 32 hex characters, got {key:?}"),
+            );
+        }
+        match (sub, alias) {
+            (Some("trace"), _) => {
+                if req.method != "GET" {
+                    return method_not_allowed(req, "GET");
+                }
+                let resp = self.run_trace(req, key);
+                if alias {
+                    deprecated(resp, &format!("/v1/runs/{key}/trace"))
+                } else {
+                    resp
+                }
+            }
+            // The cached-report lookup is new with the redesign; it never
+            // existed under `/v1/run/{key}`, so the alias stays a 404 with
+            // a pointer at the canonical route.
+            (None, true) => fail(
+                req,
+                404,
+                "not_found",
+                &format!("no such route (the cached report lives at /v1/runs/{key})"),
+            ),
+            (None, false) => {
+                if req.method != "GET" {
+                    return method_not_allowed(req, "GET");
+                }
+                self.run_report(req, key)
+            }
+            (Some(other), _) => fail(
+                req,
+                404,
+                "not_found",
+                &format!("no such run sub-resource: {other:?} (try /trace)"),
+            ),
+        }
+    }
+
+    /// `GET /v1/runs/{key}`: the cached report for a previously executed
+    /// run, straight from the engine's result cache — no execution, no
+    /// cache-metric side effects.
+    fn run_report(&self, req: &Request, key: &str) -> Response {
+        let parsed = RunKey::from_hex(key).expect("validated by run_resource");
+        match self.engine.cached(parsed) {
+            Some(report) => {
+                Response::json(200, &report_json(&report)).with_header("X-Run-Key", &parsed.hex())
+            }
+            None => fail(req, 404, "not_found", "no cached report for that run key"),
+        }
+    }
 }
 
 /// Whether a `/metrics` request asked for Prometheus text format instead
@@ -220,6 +351,26 @@ impl Api {
             "heteropipe_engine_wall_nanoseconds_total",
             "Total wall-clock time spent simulating.",
             e.wall_ns,
+        );
+        set(
+            "heteropipe_engine_sweeps_total",
+            "Sweeps executed through the batch pipeline.",
+            e.sweeps,
+        );
+        set(
+            "heteropipe_engine_sweep_jobs_total",
+            "Entries submitted across all sweeps.",
+            e.sweep_jobs,
+        );
+        set(
+            "heteropipe_engine_sweep_deduped_total",
+            "Sweep entries deduplicated onto an in-batch leader.",
+            e.sweep_deduped,
+        );
+        set(
+            "heteropipe_engine_flights_coalesced_total",
+            "Jobs coalesced onto a concurrent identical execution.",
+            e.flights_coalesced,
         );
         r.gauge(
             "heteropipe_engine_traces_retained",
@@ -355,21 +506,23 @@ impl Api {
             )],
             body: r.render_prometheus().into_bytes(),
             chunked: false,
+            stream: None,
         }
     }
 
-    fn run_trace(&self, key: &str) -> Response {
-        if key.len() != 32 || !key.bytes().all(|b| b.is_ascii_hexdigit()) {
-            return Response::error(400, "run key must be 32 hex characters");
-        }
+    /// `GET /v1/runs/{key}/trace`: the Chrome-trace timeline retained for
+    /// a run (or sweep) key. The key is validated by [`Api::run_resource`]
+    /// before this is reached.
+    fn run_trace(&self, req: &Request, key: &str) -> Response {
         match self.engine.traces().render(&key.to_ascii_lowercase()) {
             Some(json) => Response {
                 status: 200,
                 headers: vec![("Content-Type".into(), "application/json".into())],
                 body: json.into_bytes(),
                 chunked: false,
+                stream: None,
             },
-            None => Response::error(404, "no trace retained for that run key"),
+            None => fail(req, 404, "not_found", "no trace retained for that run key"),
         }
     }
 
@@ -385,6 +538,15 @@ impl Api {
             ("hit_rate".into(), Json::F64(e.hit_rate())),
             ("simulated_ps".into(), Json::U64(e.simulated_ps)),
             ("wall_ns".into(), Json::U64(e.wall_ns)),
+            (
+                "sweeps".into(),
+                Json::Obj(vec![
+                    ("count".into(), Json::U64(e.sweeps)),
+                    ("jobs".into(), Json::U64(e.sweep_jobs)),
+                    ("deduped".into(), Json::U64(e.sweep_deduped)),
+                    ("flights_coalesced".into(), Json::U64(e.flights_coalesced)),
+                ]),
+            ),
             (
                 "resilience".into(),
                 Json::Obj(vec![
@@ -458,64 +620,14 @@ impl Api {
 
     fn run(&self, req: &Request) -> Response {
         let Some(body) = parse_body(req) else {
-            return Response::error(400, "body must be a JSON object");
+            return fail(req, 400, "bad_request", "body must be a JSON object");
         };
-        let Some(name) = body.get("benchmark").and_then(Json::as_str) else {
-            return Response::error(400, "missing field: benchmark");
+        let job = match parse_job_spec(&body) {
+            Ok(job) => job,
+            Err(e) => return fail(req, e.status, e.code, &e.message),
         };
-        let Some(workload) = registry::find(name) else {
-            return Response::error(404, &format!("unknown benchmark: {name}"));
-        };
-
-        let config = match body.get("system").and_then(Json::as_str) {
-            None | Some("discrete") => SystemConfig::discrete(),
-            Some("heterogeneous") => SystemConfig::heterogeneous(),
-            Some(other) => {
-                return Response::error(
-                    400,
-                    &format!("unknown system: {other} (discrete | heterogeneous)"),
-                )
-            }
-        };
-
-        let organization = match parse_organization(body.get("organization")) {
-            Ok(org) => org,
-            Err(why) => return Response::error(400, why),
-        };
-        // `lower` panics on a platform/organization mismatch; answer 400
-        // instead of letting the handler's panic guard turn it into a 500.
-        match (config.platform, organization) {
-            (Platform::DiscreteGpu, Organization::ChunkedParallel { .. }) => {
-                return Response::error(400, "chunked_parallel requires the heterogeneous system")
-            }
-            (Platform::Heterogeneous, Organization::AsyncStreams { .. }) => {
-                return Response::error(400, "async_streams requires the discrete system")
-            }
-            _ => {}
-        }
-
-        let scale = match parse_scale(&body) {
-            Ok(scale) => scale,
-            Err(why) => return Response::error(400, why),
-        };
-        let Some(pipeline) = workload.pipeline(scale) else {
-            return Response::error(
-                422,
-                &format!("benchmark {name} is catalogued but not runnable"),
-            );
-        };
-        let misalignment_sensitive = body
-            .get("misalignment_sensitive")
-            .and_then(Json::as_bool)
-            .unwrap_or(workload.meta.misalignment_sensitive);
-
-        let spec = JobSpec {
-            pipeline: &pipeline,
-            config: &config,
-            organization,
-            misalignment_sensitive,
-        };
-        let key = heteropipe_engine::run_key(&spec);
+        let spec = job.spec();
+        let key = run_key(&spec);
         let request_id = (!req.request_id.is_empty()).then_some(req.request_id.as_str());
         match self.engine.try_execute_observed(&spec, request_id) {
             Ok(report) => {
@@ -524,18 +636,96 @@ impl Api {
             // A quarantined job will stay broken until an operator looks
             // at it: 503 + Retry-After tells well-behaved clients to back
             // off rather than hammer a poisoned key.
-            Err(e @ EngineError::Quarantined { .. }) => Response::error(503, &e.to_string())
-                .with_header("Retry-After", "30")
-                .with_header("X-Run-Key", &key.hex()),
-            Err(e) => Response::error(500, &e.to_string()).with_header("X-Run-Key", &key.hex()),
+            Err(e @ EngineError::Quarantined { .. }) => envelope(
+                503,
+                "quarantined",
+                &e.to_string(),
+                Some(30),
+                &req.request_id,
+            )
+            .with_header("X-Run-Key", &key.hex()),
+            Err(e) => {
+                fail(req, 500, "internal", &e.to_string()).with_header("X-Run-Key", &key.hex())
+            }
         }
+    }
+
+    /// `POST /v1/sweeps`: executes a whole batch through the engine's
+    /// dedup + single-flight sweep pipeline, streaming one NDJSON record
+    /// per entry the moment it completes (completion order — each record
+    /// carries its request index and run key) and a final summary line.
+    /// The response carries the sweep's content address in `X-Sweep-Key`.
+    fn sweeps(&self, req: &Request) -> Response {
+        let Some(body) = parse_body(req) else {
+            return fail(req, 400, "bad_request", "body must be a JSON object");
+        };
+        let entries = match sweep_entries(&body) {
+            Ok(entries) => entries,
+            Err(e) => return fail(req, e.status, e.code, &e.message),
+        };
+        if entries.is_empty() {
+            return fail(req, 400, "bad_request", "sweep has no jobs");
+        }
+        if entries.len() > MAX_SWEEP_JOBS {
+            return fail(
+                req,
+                413,
+                "payload_too_large",
+                &format!(
+                    "sweep of {} jobs exceeds the {MAX_SWEEP_JOBS}-job cap",
+                    entries.len()
+                ),
+            );
+        }
+        let mut owned = Vec::with_capacity(entries.len());
+        for (i, entry) in entries.iter().enumerate() {
+            match parse_job_spec(entry) {
+                Ok(job) => owned.push(job),
+                Err(e) => return fail(req, e.status, e.code, &format!("jobs[{i}]: {}", e.message)),
+            }
+        }
+        let keys: Vec<RunKey> = owned.iter().map(|o| run_key(&o.spec())).collect();
+        let sweep_hex = sweep_key(&keys).hex();
+
+        let engine = Arc::clone(&self.engine);
+        let request_id = req.request_id.clone();
+        let stream = BodyStream::new(move |sink| {
+            let specs: Vec<JobSpec<'_>> = owned.iter().map(OwnedJobSpec::spec).collect();
+            // The engine calls the sink from its worker threads; the
+            // chunk writer is the one shared side effect to serialize.
+            let out = Mutex::new(sink);
+            let broken = AtomicBool::new(false);
+            let rid = (!request_id.is_empty()).then_some(request_id.as_str());
+            let outcome = engine.execute_sweep_observed(&specs, rid, &|rec| {
+                if broken.load(Ordering::Relaxed) {
+                    return;
+                }
+                let line = format!("{}\n", sweep_record_json(rec).dump());
+                if out.lock().unwrap().send(line.as_bytes()).is_err() {
+                    // The peer went away mid-stream. Keep executing (the
+                    // cache still warms for the retry) but stop writing.
+                    broken.store(true, Ordering::Relaxed);
+                }
+            });
+            if broken.load(Ordering::Relaxed) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "sweep stream peer went away",
+                ));
+            }
+            let line = format!("{}\n", sweep_summary_json(&outcome).dump());
+            let mut w = out.lock().unwrap();
+            w.send(line.as_bytes())
+        });
+        Response::streaming(200, "application/x-ndjson", stream)
+            .with_header("X-Sweep-Key", &sweep_hex)
     }
 
     fn experiment(&self, req: &Request, name: &str) -> Response {
         let body = parse_body(req).unwrap_or(Json::Obj(Vec::new()));
         let scale = match parse_scale(&body) {
             Ok(scale) => scale,
-            Err(why) => return Response::error(400, why),
+            Err(why) => return fail(req, 400, "bad_request", why),
         };
         let exec: &dyn Executor = &*self.engine;
 
@@ -553,8 +743,10 @@ impl Api {
             "table1" => tables::render_table1(),
             "table2" => tables::render_table2(),
             _ => {
-                return Response::error(
+                return fail(
+                    req,
                     404,
+                    "not_found",
                     &format!("unknown experiment: {name} (fig3..fig9, table1, table2)"),
                 )
             }
@@ -623,6 +815,245 @@ fn parse_organization(v: Option<&Json>) -> Result<Organization, &'static str> {
         }
         Some(_) => Err("organization must be \"serial\" or an object"),
     }
+}
+
+/// A job spec parsed from JSON, owning its pipeline and config so it can
+/// outlive the request body (the sweep stream borrows specs from inside
+/// the response producer, after the request has been dropped).
+#[derive(Debug)]
+struct OwnedJobSpec {
+    pipeline: Pipeline,
+    config: SystemConfig,
+    organization: Organization,
+    misalignment_sensitive: bool,
+}
+
+impl OwnedJobSpec {
+    fn spec(&self) -> JobSpec<'_> {
+        JobSpec {
+            pipeline: &self.pipeline,
+            config: &self.config,
+            organization: self.organization,
+            misalignment_sensitive: self.misalignment_sensitive,
+        }
+    }
+}
+
+/// Why a job spec failed to parse, shaped for the error envelope.
+#[derive(Debug)]
+struct SpecError {
+    status: u16,
+    code: &'static str,
+    message: String,
+}
+
+impl SpecError {
+    fn new(status: u16, code: &'static str, message: impl Into<String>) -> SpecError {
+        SpecError {
+            status,
+            code,
+            message: message.into(),
+        }
+    }
+
+    fn bad(message: impl Into<String>) -> SpecError {
+        SpecError::new(400, "bad_request", message)
+    }
+}
+
+/// Parses one job-spec object (`benchmark`, `system`, `organization`,
+/// `scale`, `misalignment_sensitive`) — the shared front half of
+/// `POST /v1/runs` and every `POST /v1/sweeps` entry.
+fn parse_job_spec(body: &Json) -> Result<OwnedJobSpec, SpecError> {
+    let Some(name) = body.get("benchmark").and_then(Json::as_str) else {
+        return Err(SpecError::bad("missing field: benchmark"));
+    };
+    let Some(workload) = registry::find(name) else {
+        return Err(SpecError::new(
+            404,
+            "not_found",
+            format!("unknown benchmark: {name}"),
+        ));
+    };
+    let config = match body.get("system").and_then(Json::as_str) {
+        None | Some("discrete") => SystemConfig::discrete(),
+        Some("heterogeneous") => SystemConfig::heterogeneous(),
+        Some(other) => {
+            return Err(SpecError::bad(format!(
+                "unknown system: {other} (discrete | heterogeneous)"
+            )))
+        }
+    };
+    let organization = parse_organization(body.get("organization")).map_err(SpecError::bad)?;
+    // `lower` panics on a platform/organization mismatch; answer 400
+    // instead of letting the handler's panic guard turn it into a 500.
+    match (config.platform, organization) {
+        (Platform::DiscreteGpu, Organization::ChunkedParallel { .. }) => {
+            return Err(SpecError::bad(
+                "chunked_parallel requires the heterogeneous system",
+            ))
+        }
+        (Platform::Heterogeneous, Organization::AsyncStreams { .. }) => {
+            return Err(SpecError::bad("async_streams requires the discrete system"))
+        }
+        _ => {}
+    }
+    let scale = parse_scale(body).map_err(SpecError::bad)?;
+    let Some(pipeline) = workload.pipeline(scale) else {
+        return Err(SpecError::new(
+            422,
+            "not_runnable",
+            format!("benchmark {name} is catalogued but not runnable"),
+        ));
+    };
+    let misalignment_sensitive = body
+        .get("misalignment_sensitive")
+        .and_then(Json::as_bool)
+        .unwrap_or(workload.meta.misalignment_sensitive);
+    Ok(OwnedJobSpec {
+        pipeline,
+        config,
+        organization,
+        misalignment_sensitive,
+    })
+}
+
+/// Expands a `POST /v1/sweeps` body into its per-job spec objects: either
+/// the explicit `"jobs"` array, or the generator cross-product
+/// `benchmarks × systems × organizations` with `scale` and
+/// `misalignment_sensitive` shared across every generated entry.
+fn sweep_entries(body: &Json) -> Result<Vec<Json>, SpecError> {
+    if let Some(jobs) = body.get("jobs") {
+        let Some(arr) = jobs.as_array() else {
+            return Err(SpecError::bad("\"jobs\" must be an array of job objects"));
+        };
+        for (i, j) in arr.iter().enumerate() {
+            if !matches!(j, Json::Obj(_)) {
+                return Err(SpecError::bad(format!("jobs[{i}] must be an object")));
+            }
+        }
+        return Ok(arr.to_vec());
+    }
+    let names: Vec<String> = match body.get("benchmarks") {
+        // The named sets skip catalogued-but-unrunnable workloads, since
+        // a generated sweep should not be doomed by the census.
+        Some(Json::Str(s)) if s == "all" || s == "examined" => registry::all()
+            .iter()
+            .filter(|w| (s == "all" || w.meta.examined) && w.pipeline(Scale::TEST).is_some())
+            .map(|w| w.meta.full_name())
+            .collect(),
+        Some(Json::Arr(items)) => {
+            let mut names = Vec::with_capacity(items.len());
+            for it in items {
+                match it.as_str() {
+                    Some(s) => names.push(s.to_owned()),
+                    None => return Err(SpecError::bad("\"benchmarks\" entries must be strings")),
+                }
+            }
+            names
+        }
+        _ => return Err(SpecError::bad(
+            "body needs \"jobs\" (array) or \"benchmarks\" (name list | \"examined\" | \"all\")",
+        )),
+    };
+    let systems: Vec<Json> = match body.get("systems") {
+        None => vec![Json::str("discrete")],
+        Some(Json::Arr(items)) if !items.is_empty() => items.clone(),
+        Some(s @ Json::Str(_)) => vec![s.clone()],
+        Some(_) => {
+            return Err(SpecError::bad(
+                "\"systems\" must be a system name or a non-empty array of them",
+            ))
+        }
+    };
+    let organizations: Vec<Json> = match body.get("organizations") {
+        None => vec![body.get("organization").cloned().unwrap_or(Json::Null)],
+        Some(Json::Arr(items)) if !items.is_empty() => items.clone(),
+        Some(_) => {
+            return Err(SpecError::bad(
+                "\"organizations\" must be a non-empty array",
+            ))
+        }
+    };
+    let mut entries = Vec::with_capacity(names.len() * systems.len() * organizations.len());
+    for name in &names {
+        for system in &systems {
+            for org in &organizations {
+                let mut obj = vec![
+                    ("benchmark".to_string(), Json::str(name.clone())),
+                    ("system".to_string(), system.clone()),
+                ];
+                if !matches!(org, Json::Null) {
+                    obj.push(("organization".to_string(), org.clone()));
+                }
+                for field in ["scale", "misalignment_sensitive"] {
+                    if let Some(v) = body.get(field) {
+                        obj.push((field.to_string(), v.clone()));
+                    }
+                }
+                entries.push(Json::Obj(obj));
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// The stable per-entry error code in sweep NDJSON records.
+fn engine_error_code(e: &EngineError) -> &'static str {
+    match e {
+        EngineError::Quarantined { .. } => "quarantined",
+        _ => "execution_failed",
+    }
+}
+
+/// One NDJSON line of a sweep stream. Deliberately free of timing and
+/// cache-disposition fields, so a warm repeat of the same sweep emits
+/// byte-identical records (only the trailing summary line varies).
+fn sweep_record_json(rec: &SweepRecord) -> Json {
+    let mut obj = vec![
+        ("index".to_string(), Json::U64(rec.index as u64)),
+        ("key".to_string(), Json::str(rec.key_hex.clone())),
+    ];
+    match &rec.result {
+        Ok(report) => {
+            obj.push(("status".to_string(), Json::str("ok")));
+            obj.push(("deduped".to_string(), Json::Bool(rec.deduped)));
+            obj.push(("report".to_string(), report_json(report)));
+        }
+        Err(e) => {
+            obj.push(("status".to_string(), Json::str("error")));
+            obj.push(("deduped".to_string(), Json::Bool(rec.deduped)));
+            obj.push((
+                "error".to_string(),
+                Json::Obj(vec![
+                    ("code".into(), Json::str(engine_error_code(e))),
+                    ("message".into(), Json::str(e.to_string())),
+                ]),
+            ));
+        }
+    }
+    Json::Obj(obj)
+}
+
+/// The trailing NDJSON summary line of a sweep stream (the one line that
+/// carries timing, excluded from byte-identity guarantees).
+fn sweep_summary_json(outcome: &heteropipe_engine::SweepOutcome) -> Json {
+    let s = &outcome.summary;
+    Json::Obj(vec![(
+        "sweep".to_string(),
+        Json::Obj(vec![
+            ("key".into(), Json::str(outcome.key_hex.clone())),
+            ("jobs_total".into(), Json::U64(s.jobs_total)),
+            ("jobs_unique".into(), Json::U64(s.jobs_unique)),
+            ("duplicates".into(), Json::U64(s.duplicates)),
+            ("cache_hits".into(), Json::U64(s.cache_hits)),
+            ("executed".into(), Json::U64(s.executed)),
+            ("coalesced".into(), Json::U64(s.coalesced)),
+            ("failed".into(), Json::U64(s.failed)),
+            ("wall_ms".into(), Json::U64(s.wall_ns / 1_000_000)),
+            ("speedup_vs_serial".into(), Json::F64(s.speedup_vs_serial())),
+        ]),
+    )])
 }
 
 fn benchmarks() -> Response {
@@ -752,12 +1183,77 @@ mod tests {
     use super::*;
 
     #[test]
-    fn trace_key_extraction() {
-        assert_eq!(trace_key("/v1/run/abc123/trace"), Some("abc123"));
-        assert_eq!(trace_key("/v1/run//trace"), None);
-        assert_eq!(trace_key("/v1/run/a/b/trace"), None);
-        assert_eq!(trace_key("/v1/run/abc123"), None);
-        assert_eq!(trace_key("/v1/runs/abc123/trace"), None);
+    fn run_resource_paths_split_and_keys_validate() {
+        assert_eq!(split_resource("abc123"), ("abc123", None));
+        assert_eq!(split_resource("abc123/trace"), ("abc123", Some("trace")));
+        assert_eq!(split_resource("a/b/trace"), ("a", Some("b/trace")));
+        assert_eq!(split_resource(""), ("", None));
+
+        let hex = "0123456789abcdef0123456789abcdef";
+        assert!(valid_run_key(hex));
+        assert!(valid_run_key(&hex.to_ascii_uppercase()));
+        assert!(!valid_run_key(""));
+        assert!(!valid_run_key("abc123"), "too short");
+        assert!(!valid_run_key(&"g".repeat(32)), "non-hex");
+        assert!(!valid_run_key(&format!("{hex}0")), "too long");
+    }
+
+    #[test]
+    fn sweep_entry_generator_expands_the_cross_product() {
+        let body = Json::Obj(vec![
+            (
+                "benchmarks".into(),
+                Json::Arr(vec![Json::str("rodinia/kmeans"), Json::str("rodinia/srad")]),
+            ),
+            (
+                "systems".into(),
+                Json::Arr(vec![Json::str("discrete"), Json::str("heterogeneous")]),
+            ),
+            ("scale".into(), Json::F64(0.08)),
+        ]);
+        let entries = sweep_entries(&body).unwrap();
+        assert_eq!(entries.len(), 4, "2 benchmarks x 2 systems");
+        for e in &entries {
+            assert!(e.get("benchmark").and_then(Json::as_str).is_some());
+            assert!(e.get("system").and_then(Json::as_str).is_some());
+            assert_eq!(e.get("scale").and_then(Json::as_f64), Some(0.08));
+        }
+        // Every generated entry parses into a runnable job spec.
+        assert!(entries.iter().all(|e| parse_job_spec(e).is_ok()));
+
+        // An explicit jobs array passes through untouched.
+        let explicit = Json::Obj(vec![(
+            "jobs".into(),
+            Json::Arr(vec![Json::Obj(vec![(
+                "benchmark".into(),
+                Json::str("rodinia/kmeans"),
+            )])]),
+        )]);
+        assert_eq!(sweep_entries(&explicit).unwrap().len(), 1);
+
+        // Neither jobs nor a benchmark set: a 400-shaped error.
+        let err = sweep_entries(&Json::Obj(Vec::new())).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert_eq!(err.code, "bad_request");
+    }
+
+    #[test]
+    fn job_spec_parse_errors_carry_envelope_codes() {
+        let spec = |fields: Vec<(String, Json)>| parse_job_spec(&Json::Obj(fields));
+        let err = spec(vec![]).unwrap_err();
+        assert_eq!((err.status, err.code), (400, "bad_request"));
+        let err = spec(vec![("benchmark".into(), Json::str("rodinia/nonesuch"))]).unwrap_err();
+        assert_eq!((err.status, err.code), (404, "not_found"));
+        let err = spec(vec![
+            ("benchmark".into(), Json::str("rodinia/kmeans")),
+            (
+                "organization".into(),
+                Json::Obj(vec![("chunked_parallel".into(), Json::U64(8))]),
+            ),
+        ])
+        .unwrap_err();
+        assert_eq!((err.status, err.code), (400, "bad_request"));
+        assert!(spec(vec![("benchmark".into(), Json::str("rodinia/kmeans"))]).is_ok());
     }
 
     #[test]

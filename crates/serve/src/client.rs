@@ -20,6 +20,20 @@ pub struct ClientResponse {
     pub body: Vec<u8>,
 }
 
+/// The server's JSON error envelope, as parsed from a non-2xx body (see
+/// `docs/api.md`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// Stable machine-readable error code (`not_found`, `quarantined`...).
+    pub code: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Back-off hint in seconds, when the server sent one.
+    pub retry_after_s: Option<u64>,
+    /// The correlation id the failure is logged under server-side.
+    pub request_id: String,
+}
+
 impl ClientResponse {
     /// First header value with the given (case-insensitive) name.
     pub fn header(&self, name: &str) -> Option<&str> {
@@ -33,6 +47,33 @@ impl ClientResponse {
     /// Parses the body as JSON.
     pub fn json(&self) -> Option<Json> {
         Json::parse(std::str::from_utf8(&self.body).ok()?)
+    }
+
+    /// Parses the body as the server's error envelope. `None` when the
+    /// body is not envelope-shaped (e.g. a 2xx payload).
+    pub fn api_error(&self) -> Option<ApiError> {
+        let v = self.json()?;
+        let err = v.get("error")?;
+        Some(ApiError {
+            code: err.get("code").and_then(Json::as_str)?.to_owned(),
+            message: err.get("message").and_then(Json::as_str)?.to_owned(),
+            retry_after_s: err.get("retry_after_s").and_then(Json::as_u64),
+            request_id: v
+                .get("request_id")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+        })
+    }
+
+    /// Parses the body as NDJSON: one JSON value per non-empty line, in
+    /// stream order. `None` if any line fails to parse.
+    pub fn ndjson(&self) -> Option<Vec<Json>> {
+        let text = std::str::from_utf8(&self.body).ok()?;
+        text.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(Json::parse)
+            .collect()
     }
 }
 

@@ -1,0 +1,76 @@
+//! The one JSON error envelope every non-2xx response carries (see
+//! `docs/api.md`):
+//!
+//! ```json
+//! {"error":{"code":"not_found","message":"no such route"},"request_id":"req-..."}
+//! ```
+//!
+//! `code` is a stable machine-readable slug, `message` is human-readable
+//! prose, and `retry_after_s` appears only when the server wants the
+//! client to back off (it is mirrored in the `Retry-After` header). The
+//! `request_id` is the same correlation id echoed in `X-Request-Id`, so a
+//! failure report alone is enough to find the server-side log lines.
+
+use crate::http::Response;
+use crate::json::Json;
+
+/// Builds the standard error envelope for `status`.
+///
+/// When `retry_after_s` is set the `Retry-After` header is added too.
+/// The `X-Request-Id` header is *not* added here: the connection loop
+/// stamps it on every handler response, and pre-parse error paths (which
+/// have no parsed request) add it themselves with a fresh id.
+pub fn envelope(
+    status: u16,
+    code: &str,
+    message: &str,
+    retry_after_s: Option<u64>,
+    request_id: &str,
+) -> Response {
+    let mut error = vec![
+        ("code".into(), Json::str(code)),
+        ("message".into(), Json::str(message)),
+    ];
+    if let Some(s) = retry_after_s {
+        error.push(("retry_after_s".into(), Json::U64(s)));
+    }
+    let body = Json::Obj(vec![
+        ("error".into(), Json::Obj(error)),
+        ("request_id".into(), Json::str(request_id)),
+    ]);
+    let resp = Response::json(status, &body);
+    match retry_after_s {
+        Some(s) => resp.with_header("Retry-After", &s.to_string()),
+        None => resp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_shape_is_stable() {
+        let resp = envelope(404, "not_found", "no such route", None, "req-1");
+        assert_eq!(resp.status, 404);
+        assert_eq!(
+            resp.body,
+            br#"{"error":{"code":"not_found","message":"no such route"},"request_id":"req-1"}"#
+        );
+        assert!(!resp.headers.iter().any(|(n, _)| n == "Retry-After"));
+    }
+
+    #[test]
+    fn retry_after_lands_in_body_and_header() {
+        let resp = envelope(503, "quarantined", "job poisoned", Some(30), "req-2");
+        let v = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("code").and_then(Json::as_str), Some("quarantined"));
+        assert_eq!(err.get("retry_after_s").and_then(Json::as_u64), Some(30));
+        assert_eq!(v.get("request_id").and_then(Json::as_str), Some("req-2"));
+        assert!(resp
+            .headers
+            .iter()
+            .any(|(n, v)| n == "Retry-After" && v == "30"));
+    }
+}

@@ -3,12 +3,15 @@
 //!
 //! The server only needs the subset the API speaks: request lines with
 //! origin-form targets, header fields, `Content-Length` and chunked request
-//! bodies, keep-alive negotiation, and `Content-Length` or chunked
-//! responses. Every limit (line length, header count, body size) is
+//! bodies, keep-alive negotiation, and `Content-Length`, chunked, or
+//! incrementally streamed ([`BodyStream`]) responses. Every limit (line
+//! length, header count, body size) is
 //! explicit, and any malformation surfaces as a typed [`ReadError`] the
 //! connection loop maps to a 4xx response — parsing never panics.
 
+use std::fmt;
 use std::io::{self, BufRead, Write};
+use std::sync::Arc;
 
 /// Parsing limits, chosen for an API whose largest legitimate payload is a
 /// small JSON document.
@@ -253,10 +256,60 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
+    }
+}
+
+/// The write side handed to a [`BodyStream`] closure: each [`send`]
+/// frames its bytes as one HTTP chunk and flushes, so the peer sees the
+/// record the moment it is produced (this is how `POST /v1/sweeps`
+/// streams NDJSON records in completion order).
+///
+/// [`send`]: ChunkSink::send
+pub struct ChunkSink<'a> {
+    w: &'a mut (dyn Write + Send),
+}
+
+impl ChunkSink<'_> {
+    /// Writes `data` as one chunk and flushes. Empty slices are skipped —
+    /// a zero-length chunk would terminate the stream early.
+    pub fn send(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.w, "{:x}\r\n", data.len())?;
+        self.w.write_all(data)?;
+        write!(self.w, "\r\n")?;
+        self.w.flush()
+    }
+}
+
+/// A streamed response body: a closure invoked with a [`ChunkSink`] after
+/// the headers go out, producing chunks incrementally instead of
+/// materializing the whole body. An `Err` tears the connection down —
+/// with chunked framing the missing terminal chunk tells the peer the
+/// stream was truncated.
+#[derive(Clone)]
+pub struct BodyStream(Arc<StreamFn>);
+
+/// The producer closure type inside a [`BodyStream`].
+type StreamFn = dyn Fn(&mut ChunkSink<'_>) -> io::Result<()> + Send + Sync;
+
+impl BodyStream {
+    /// Wraps a producer closure.
+    pub fn new(f: impl Fn(&mut ChunkSink<'_>) -> io::Result<()> + Send + Sync + 'static) -> Self {
+        BodyStream(Arc::new(f))
+    }
+}
+
+impl fmt::Debug for BodyStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BodyStream(..)")
     }
 }
 
@@ -268,11 +321,14 @@ pub struct Response {
     /// Extra header fields (`Content-Type` etc.; framing headers are added
     /// by [`write_to`](Self::write_to)).
     pub headers: Vec<(String, String)>,
-    /// Response body.
+    /// Response body (ignored when `stream` is set).
     pub body: Vec<u8>,
     /// Whether to send the body with chunked transfer-encoding instead of
     /// `Content-Length`.
     pub chunked: bool,
+    /// A streaming body producer; when set the body is always chunked and
+    /// `body` is ignored.
+    pub stream: Option<BodyStream>,
 }
 
 /// Chunk size used when writing chunked bodies.
@@ -286,6 +342,7 @@ impl Response {
             headers: vec![("Content-Type".into(), "application/json".into())],
             body: value.dump().into_bytes(),
             chunked: false,
+            stream: None,
         }
     }
 
@@ -296,15 +353,20 @@ impl Response {
             headers: vec![("Content-Type".into(), "text/plain; charset=utf-8".into())],
             body: body.into().into_bytes(),
             chunked: false,
+            stream: None,
         }
     }
 
-    /// The standard JSON error body `{"error": ...}` for a status.
-    pub fn error(status: u16, message: &str) -> Response {
-        Response::json(
+    /// A response whose body is produced incrementally by `stream`, sent
+    /// with chunked transfer-encoding as the producer emits.
+    pub fn streaming(status: u16, content_type: &str, stream: BodyStream) -> Response {
+        Response {
             status,
-            &crate::json::Json::Obj(vec![("error".into(), crate::json::Json::str(message))]),
-        )
+            headers: vec![("Content-Type".into(), content_type.into())],
+            body: Vec::new(),
+            chunked: true,
+            stream: Some(stream),
+        }
     }
 
     /// Adds a header field, builder-style.
@@ -322,7 +384,7 @@ impl Response {
     /// Writes the full response. `keep_alive` controls the `Connection`
     /// header (chunked bodies require HTTP/1.1, which every accepted
     /// request already negotiated or downgraded from).
-    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+    pub fn write_to(&self, w: &mut (impl Write + Send), keep_alive: bool) -> io::Result<()> {
         write!(
             w,
             "HTTP/1.1 {} {}\r\nServer: heteropipe-serve\r\n",
@@ -337,7 +399,12 @@ impl Response {
             "Connection: {}\r\n",
             if keep_alive { "keep-alive" } else { "close" }
         )?;
-        if self.chunked {
+        if let Some(stream) = &self.stream {
+            write!(w, "Transfer-Encoding: chunked\r\n\r\n")?;
+            let mut sink = ChunkSink { w };
+            (stream.0)(&mut sink)?;
+            write!(w, "0\r\n\r\n")?;
+        } else if self.chunked {
             write!(w, "Transfer-Encoding: chunked\r\n\r\n")?;
             for chunk in self.body.chunks(CHUNK) {
                 write!(w, "{:x}\r\n", chunk.len())?;
@@ -491,9 +558,21 @@ mod tests {
     }
 
     #[test]
-    fn error_response_is_json() {
-        let resp = Response::error(404, "not found");
-        assert_eq!(resp.status, 404);
-        assert_eq!(resp.body, br#"{"error":"not found"}"#);
+    fn streaming_response_frames_each_send_as_a_chunk() {
+        let stream = BodyStream::new(|sink| {
+            sink.send(b"first\n")?;
+            sink.send(b"")?; // must not terminate the stream
+            sink.send(b"second\n")
+        });
+        let resp = Response::streaming(200, "application/x-ndjson", stream);
+        let mut out = Vec::new();
+        resp.write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.contains("Content-Type: application/x-ndjson\r\n"));
+        assert!(!text.contains("Content-Length"));
+        assert!(text.contains("6\r\nfirst\n\r\n"), "{text}");
+        assert!(text.contains("7\r\nsecond\n\r\n"), "{text}");
+        assert!(text.ends_with("0\r\n\r\n"));
     }
 }

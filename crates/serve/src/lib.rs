@@ -9,7 +9,8 @@
 //! hand-rolled on `std`:
 //!
 //! * [`http`] — request parsing (Content-Length and chunked bodies),
-//!   response writing, keep-alive;
+//!   response writing (Content-Length, chunked, or incrementally streamed
+//!   via [`http::BodyStream`]), keep-alive;
 //! * [`json`] — a total JSON codec whose serialization is deterministic
 //!   (insertion-ordered objects, exact integers), so cached runs answer
 //!   byte-identically;
@@ -19,11 +20,16 @@
 //!   on the accept/read/write paths;
 //! * [`breaker`] — a circuit breaker that sheds doomed requests while the
 //!   backend is unhealthy (observability routes stay exempt);
-//! * [`api`] — the routes: `/healthz` (plus `/healthz/live` and
-//!   `/healthz/ready`), `/metrics`, `/v1/benchmarks`, `/v1/run`,
-//!   `/v1/experiments/{fig3..fig9,table1,table2}`;
+//! * [`error`] — the one JSON error envelope every non-2xx response
+//!   carries (`{"error":{"code","message"},"request_id"}`);
+//! * [`api`] — the routes (full reference in `docs/api.md`): `/healthz`
+//!   (plus `/healthz/live` and `/healthz/ready`), `/metrics`,
+//!   `/v1/benchmarks`, `POST /v1/runs`, `GET /v1/runs/{key}`,
+//!   `GET /v1/runs/{key}/trace`, `POST /v1/sweeps` (batched execution
+//!   streamed as NDJSON), `/v1/experiments/{fig3..fig9,table1,table2}`,
+//!   and the deprecated `/v1/run` aliases;
 //! * [`client`] — a small keep-alive client for tests, CI smoke checks,
-//!   and load generation;
+//!   and load generation, with envelope and NDJSON parsing;
 //! * [`shutdown`] — SIGINT/SIGTERM notification without `libc`.
 //!
 //! ```no_run
@@ -42,6 +48,7 @@
 pub mod api;
 pub mod breaker;
 pub mod client;
+pub mod error;
 pub mod http;
 pub mod json;
 pub mod server;
@@ -49,6 +56,7 @@ pub mod shutdown;
 
 pub use api::{serve, Api};
 pub use breaker::{Admission, BreakerConfig, CircuitBreaker};
-pub use client::{Client, ClientResponse};
+pub use client::{ApiError, Client, ClientResponse};
+pub use error::envelope;
 pub use json::Json;
 pub use server::{Handler, Server, ServerConfig, ServerHandle, ServerStats};

@@ -33,6 +33,7 @@ use heteropipe_obs::{new_request_id, valid_request_id};
 use heteropipe_sim::Histogram;
 
 use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
+use crate::error::envelope;
 use crate::http::{read_request, ReadError, Request, Response};
 
 /// Routes exempt from circuit-breaker shedding: liveness/readiness probes
@@ -308,8 +309,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
             let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
             let mut stream = stream;
-            if Response::error(503, "server at capacity")
-                .with_header("Retry-After", "1")
+            if pre_parse_error(503, "capacity", "server at capacity", Some(1))
                 .write_to(&mut stream, false)
                 .is_ok()
             {
@@ -323,6 +323,16 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
     }
     // No more admissions; wake every worker so idle ones can exit.
     shared.available.notify_all();
+}
+
+/// The error envelope for a response sent before (or instead of) parsing
+/// a request: no inbound correlation id exists yet, so a fresh one is
+/// generated and stamped on both the body and the `X-Request-Id` header
+/// (the connection loop only stamps handler responses).
+fn pre_parse_error(status: u16, code: &str, message: &str, retry_after_s: Option<u64>) -> Response {
+    let request_id = new_request_id();
+    envelope(status, code, message, retry_after_s, &request_id)
+        .with_header("X-Request-Id", &request_id)
 }
 
 /// Closes a connection the server answered *without reading the request*.
@@ -385,15 +395,17 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
             Ok(req) => req,
             Err(ReadError::Closed) | Err(ReadError::Timeout { mid_request: false }) => return,
             Err(ReadError::Timeout { mid_request: true }) => {
-                let _ = Response::error(408, "request timed out").write_to(&mut writer, false);
+                let _ = pre_parse_error(408, "timeout", "request timed out", None)
+                    .write_to(&mut writer, false);
                 return;
             }
             Err(ReadError::TooLarge) => {
-                let _ = Response::error(413, "request too large").write_to(&mut writer, false);
+                let _ = pre_parse_error(413, "payload_too_large", "request too large", None)
+                    .write_to(&mut writer, false);
                 return;
             }
             Err(ReadError::Malformed(why)) => {
-                let _ = Response::error(400, why).write_to(&mut writer, false);
+                let _ = pre_parse_error(400, "bad_request", why, None).write_to(&mut writer, false);
                 return;
             }
             Err(ReadError::Io(_)) => return,
@@ -418,14 +430,18 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
         let start = Instant::now();
         let resp = if shed {
             shared.stats.shed.fetch_add(1, Ordering::Relaxed);
-            Response::error(503, "circuit breaker open").with_header(
-                "Retry-After",
-                &shared.breaker.retry_after_secs().to_string(),
+            envelope(
+                503,
+                "breaker_open",
+                "circuit breaker open",
+                Some(shared.breaker.retry_after_secs()),
+                &req.request_id,
             )
         } else {
             let handler = Arc::clone(&shared.handler);
-            catch_unwind(AssertUnwindSafe(|| handler.handle(&req)))
-                .unwrap_or_else(|_| Response::error(500, "handler panicked"))
+            catch_unwind(AssertUnwindSafe(|| handler.handle(&req))).unwrap_or_else(|_| {
+                envelope(500, "internal", "handler panicked", None, &req.request_id)
+            })
         };
         let resp = resp.with_header("X-Request-Id", &req.request_id);
         if guarded && !shed {
@@ -652,7 +668,7 @@ mod tests {
         };
         let handler = |req: &Request| -> Response {
             if req.path == "/fail" {
-                return Response::error(500, "backend broken");
+                return envelope(500, "internal", "backend broken", None, &req.request_id);
             }
             Response::text(200, "ok")
         };

@@ -455,6 +455,363 @@ fn open_breaker_sheds_api_routes_but_readiness_reports_it() {
     handle.shutdown_and_join();
 }
 
+/// A 20-entry mixed sweep body: 4 unique job specs (2 benchmarks x 2
+/// systems) each repeated 5 times.
+fn mixed_sweep_body() -> Json {
+    let mut jobs = Vec::new();
+    for _ in 0..5 {
+        for (bench, system) in [
+            ("rodinia/kmeans", "discrete"),
+            ("rodinia/srad", "discrete"),
+            ("rodinia/kmeans", "heterogeneous"),
+            ("rodinia/srad", "heterogeneous"),
+        ] {
+            jobs.push(Json::Obj(vec![
+                ("benchmark".into(), Json::str(bench)),
+                ("system".into(), Json::str(system)),
+                ("scale".into(), Json::F64(0.08)),
+            ]));
+        }
+    }
+    Json::Obj(vec![("jobs".into(), Json::Arr(jobs))])
+}
+
+/// Splits an NDJSON sweep body into (records by index, summary line),
+/// asserting the stream shape along the way.
+fn split_sweep_stream(body: &[u8], expect_jobs: usize) -> (Vec<String>, Json) {
+    let text = String::from_utf8(body.to_vec()).expect("NDJSON is UTF-8");
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(lines.len(), expect_jobs + 1, "one record per job + summary");
+    let summary = Json::parse(lines[expect_jobs]).expect("summary parses");
+    assert!(summary.get("sweep").is_some(), "last line is the summary");
+    let mut by_index = vec![String::new(); expect_jobs];
+    for line in &lines[..expect_jobs] {
+        let v = Json::parse(line).expect("record parses");
+        let i = v.get("index").and_then(Json::as_u64).expect("index") as usize;
+        assert!(by_index[i].is_empty(), "each index appears exactly once");
+        by_index[i] = (*line).to_string();
+    }
+    (by_index, summary.get("sweep").unwrap().clone())
+}
+
+#[test]
+fn sweep_streams_ndjson_dedups_and_warm_repeat_is_byte_identical() {
+    let handle = start(Engine::new().memory_cache_only());
+    let mut client = Client::new(handle.addr().to_string());
+    let body = mixed_sweep_body();
+
+    // Cold sweep: 20 entries, 4 unique, streamed over keep-alive.
+    let cold = client.post_json("/v1/sweeps", &body).unwrap();
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold.header("content-type"), Some("application/x-ndjson"));
+    let sweep_key = cold.header("x-sweep-key").expect("sweep key").to_string();
+    assert_eq!(sweep_key.len(), 32);
+    let (cold_records, cold_summary) = split_sweep_stream(&cold.body, 20);
+    assert_eq!(
+        cold_summary.get("jobs_total").and_then(Json::as_u64),
+        Some(20)
+    );
+    assert_eq!(
+        cold_summary.get("jobs_unique").and_then(Json::as_u64),
+        Some(4)
+    );
+    assert_eq!(
+        cold_summary.get("duplicates").and_then(Json::as_u64),
+        Some(16)
+    );
+    assert_eq!(cold_summary.get("failed").and_then(Json::as_u64), Some(0));
+    let executed = cold_summary.get("executed").and_then(Json::as_u64).unwrap();
+    let coalesced = cold_summary
+        .get("coalesced")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(executed + coalesced, 4, "unique residue ran exactly once");
+    let deduped = cold_records
+        .iter()
+        .filter(|l| {
+            Json::parse(l)
+                .unwrap()
+                .get("deduped")
+                .and_then(Json::as_bool)
+                == Some(true)
+        })
+        .count();
+    assert_eq!(deduped, 16, "every repeat is marked deduped");
+    for line in &cold_records {
+        let v = Json::parse(line).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(v.get("key").and_then(Json::as_str).unwrap().len(), 32);
+        assert!(v.get("report").and_then(|r| r.get("roi_ps")).is_some());
+    }
+
+    // Warm repeat on the same keep-alive connection: byte-identical
+    // records (the summary line carries timing and is excluded).
+    let warm = client.post_json("/v1/sweeps", &body).unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-sweep-key"), Some(sweep_key.as_str()));
+    let (warm_records, warm_summary) = split_sweep_stream(&warm.body, 20);
+    assert_eq!(warm_records, cold_records, "per-record bytes identical");
+    assert_eq!(
+        warm_summary.get("cache_hits").and_then(Json::as_u64),
+        Some(4)
+    );
+    assert_eq!(warm_summary.get("executed").and_then(Json::as_u64), Some(0));
+
+    // The connection still serves ordinary requests after two streams.
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+
+    // The cached report behind any record is retrievable as a resource,
+    // and the sweep left a trace under its own key.
+    let rec = Json::parse(&cold_records[0]).unwrap();
+    let key = rec.get("key").and_then(Json::as_str).unwrap();
+    let report = client.get(&format!("/v1/runs/{key}")).unwrap();
+    assert_eq!(report.status, 200);
+    assert_eq!(report.header("x-run-key"), Some(key));
+    assert_eq!(
+        report.json().unwrap().dump(),
+        rec.get("report").unwrap().dump(),
+        "GET /v1/runs/{{key}} returns the same report the sweep streamed"
+    );
+    let trace = client.get(&format!("/v1/runs/{sweep_key}/trace")).unwrap();
+    assert_eq!(trace.status, 200);
+    let trace_text = String::from_utf8(trace.body).unwrap();
+    assert!(trace_text.contains("sweep[20]"), "{trace_text}");
+
+    // Dedup accounting lands in both metrics formats.
+    let metrics = client.get("/metrics").unwrap().json().unwrap();
+    let sweeps = metrics.get("engine").unwrap().get("sweeps").unwrap();
+    assert_eq!(sweeps.get("count").and_then(Json::as_u64), Some(2));
+    assert_eq!(sweeps.get("jobs").and_then(Json::as_u64), Some(40));
+    assert_eq!(sweeps.get("deduped").and_then(Json::as_u64), Some(32));
+    let text = client.get("/metrics?format=prometheus").unwrap();
+    let samples = heteropipe_obs::expfmt::parse(&String::from_utf8(text.body).unwrap()).unwrap();
+    let value = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing sample {name}"))
+            .value
+    };
+    assert_eq!(value("heteropipe_engine_sweeps_total"), 2.0);
+    assert_eq!(value("heteropipe_engine_sweep_jobs_total"), 40.0);
+    assert_eq!(value("heteropipe_engine_sweep_deduped_total"), 32.0);
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn sweep_isolates_poisoned_entries_and_reports_quarantine() {
+    // One panic budget, no retries, one worker: the first kmeans
+    // execution dies deterministically and poisons its key; srad and the
+    // batch itself survive.
+    let engine = faulty_engine("job.exec:err=panic:max=1", RetryPolicy::NONE).with_jobs(1);
+    let handle = start(engine);
+    let mut client = Client::new(handle.addr().to_string());
+
+    let jobs = |benches: &[&str]| {
+        Json::Obj(vec![(
+            "jobs".into(),
+            Json::Arr(
+                benches
+                    .iter()
+                    .map(|b| {
+                        Json::Obj(vec![
+                            ("benchmark".into(), Json::str(*b)),
+                            ("scale".into(), Json::F64(0.08)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    };
+
+    let resp = client
+        .post_json(
+            "/v1/sweeps",
+            &jobs(&["rodinia/kmeans", "rodinia/kmeans", "rodinia/srad"]),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "a poisoned entry never fails the batch");
+    let (records, summary) = split_sweep_stream(&resp.body, 3);
+    assert_eq!(summary.get("failed").and_then(Json::as_u64), Some(2));
+    for (i, line) in records.iter().enumerate() {
+        let v = Json::parse(line).unwrap();
+        if i < 2 {
+            assert_eq!(v.get("status").and_then(Json::as_str), Some("error"));
+            let err = v.get("error").unwrap();
+            assert_eq!(
+                err.get("code").and_then(Json::as_str),
+                Some("execution_failed")
+            );
+        } else {
+            assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+        }
+    }
+
+    // A later sweep touching the poisoned key fails fast per-entry with
+    // the quarantine code, while healthy entries keep answering.
+    let resp = client
+        .post_json("/v1/sweeps", &jobs(&["rodinia/kmeans", "rodinia/srad"]))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let (records, summary) = split_sweep_stream(&resp.body, 2);
+    assert_eq!(summary.get("failed").and_then(Json::as_u64), Some(1));
+    let poisoned = Json::parse(&records[0]).unwrap();
+    let err = poisoned.get("error").unwrap();
+    assert_eq!(err.get("code").and_then(Json::as_str), Some("quarantined"));
+    assert!(err
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("quarantined"));
+    assert_eq!(
+        Json::parse(&records[1])
+            .unwrap()
+            .get("status")
+            .and_then(Json::as_str),
+        Some("ok")
+    );
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn deprecated_aliases_answer_identically_to_canonical_routes() {
+    let handle = start(Engine::new().memory_cache_only());
+    let mut client = Client::new(handle.addr().to_string());
+    let body = run_body("rodinia/kmeans");
+
+    let canonical = client.post_json("/v1/runs", &body).unwrap();
+    assert_eq!(canonical.status, 200);
+    assert_eq!(canonical.header("deprecation"), None);
+    let key = canonical.header("x-run-key").unwrap().to_string();
+
+    let alias = client.post_json("/v1/run", &body).unwrap();
+    assert_eq!(alias.status, canonical.status);
+    assert_eq!(alias.body, canonical.body, "alias answers byte-identically");
+    assert_eq!(alias.header("deprecation"), Some("true"));
+    assert_eq!(
+        alias.header("link"),
+        Some("</v1/runs>; rel=\"successor-version\"")
+    );
+
+    let canonical = client.get(&format!("/v1/runs/{key}/trace")).unwrap();
+    let alias = client.get(&format!("/v1/run/{key}/trace")).unwrap();
+    assert_eq!(canonical.status, 200);
+    assert_eq!(alias.status, 200);
+    assert_eq!(alias.body, canonical.body);
+    assert_eq!(canonical.header("deprecation"), None);
+    assert_eq!(alias.header("deprecation"), Some("true"));
+    assert_eq!(
+        alias.header("link"),
+        Some(format!("</v1/runs/{key}/trace>; rel=\"successor-version\"").as_str())
+    );
+
+    // The cached-report lookup is canonical-only: the alias points at it.
+    let lookup = client.get(&format!("/v1/runs/{key}")).unwrap();
+    assert_eq!(lookup.status, 200);
+    let old = client.get(&format!("/v1/run/{key}")).unwrap();
+    assert_eq!(old.status, 404);
+    assert!(old
+        .api_error()
+        .unwrap()
+        .message
+        .contains(&format!("/v1/runs/{key}")));
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn every_client_visible_error_is_the_json_envelope() {
+    let handle = start(Engine::new().memory_cache_only());
+    let mut client = Client::new(handle.addr().to_string());
+
+    let check = |resp: &heteropipe_serve::ClientResponse, status: u16, code: &str| {
+        assert_eq!(resp.status, status);
+        let err = resp.api_error().unwrap_or_else(|| {
+            panic!(
+                "{status} body is not the envelope: {}",
+                String::from_utf8_lossy(&resp.body)
+            )
+        });
+        assert_eq!(err.code, code);
+        assert!(!err.message.is_empty());
+        assert_eq!(
+            Some(err.request_id.as_str()),
+            resp.header("x-request-id"),
+            "body and header agree on the correlation id"
+        );
+    };
+
+    let resp = client.get("/nope").unwrap();
+    check(&resp, 404, "not_found");
+    let resp = client.get("/v1/runs").unwrap();
+    check(&resp, 405, "method_not_allowed");
+    assert_eq!(resp.header("allow"), Some("POST"));
+    let resp = client.post_raw("/v1/runs", b"{not json".to_vec()).unwrap();
+    check(&resp, 400, "bad_request");
+    let resp = client
+        .post_json(
+            "/v1/runs",
+            &Json::Obj(vec![("benchmark".into(), Json::str("no/such"))]),
+        )
+        .unwrap();
+    check(&resp, 404, "not_found");
+
+    // Malformed run keys are rejected early with a hint, including keys
+    // smuggling extra path segments — not a silent fall-through to 404.
+    let resp = client.get("/v1/runs/nothex/trace").unwrap();
+    check(&resp, 400, "bad_request");
+    assert!(resp.api_error().unwrap().message.contains("32 hex"));
+    let resp = client.get("/v1/runs/a/b/trace").unwrap();
+    check(&resp, 400, "bad_request");
+    let resp = client.get(&format!("/v1/runs/{}", "g".repeat(32))).unwrap();
+    check(&resp, 400, "bad_request");
+    let missing = client.get(&format!("/v1/runs/{}", "0".repeat(32))).unwrap();
+    check(&missing, 404, "not_found");
+
+    // An oversized sweep is refused before any execution.
+    let too_many: Vec<Json> = (0..513)
+        .map(|_| Json::Obj(vec![("benchmark".into(), Json::str("rodinia/kmeans"))]))
+        .collect();
+    let resp = client
+        .post_json(
+            "/v1/sweeps",
+            &Json::Obj(vec![("jobs".into(), Json::Arr(too_many))]),
+        )
+        .unwrap();
+    check(&resp, 413, "payload_too_large");
+    let resp = client
+        .post_json(
+            "/v1/sweeps",
+            &Json::Obj(vec![("jobs".into(), Json::Arr(Vec::new()))]),
+        )
+        .unwrap();
+    check(&resp, 400, "bad_request");
+
+    // A catalogued-but-unrunnable benchmark answers 422 with its code.
+    let catalog = client.get("/v1/benchmarks").unwrap().json().unwrap();
+    let unrunnable = catalog
+        .get("benchmarks")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .find(|b| b.get("runnable").and_then(Json::as_bool) == Some(false))
+        .and_then(|b| b.get("name").and_then(Json::as_str))
+        .map(str::to_owned);
+    if let Some(name) = unrunnable {
+        let resp = client
+            .post_json(
+                "/v1/runs",
+                &Json::Obj(vec![("benchmark".into(), Json::str(name))]),
+            )
+            .unwrap();
+        check(&resp, 422, "not_runnable");
+    }
+
+    handle.shutdown_and_join();
+}
+
 #[test]
 fn experiment_endpoint_renders_tables() {
     let handle = start(Engine::new().memory_cache_only());
