@@ -19,10 +19,13 @@ cargo test -q --release
 # deprecated /v1/run alias must answer byte-identically with a
 # Deprecation header, and a mixed sweep (duplicates + one quarantined
 # key) must stream through POST /v1/sweeps with dedup counters visible
-# in /metrics. Also gates the observability surface: the Prometheus
-# /metrics exposition must parse, X-Request-Id must appear in the
-# captured logs and the retrievable Chrome trace, and non-2xx responses
-# must carry the JSON error envelope.
+# in /metrics. A figure workflow submitted twice through POST
+# /v1/workflows must stream stage events cold and be fully memoized warm
+# (zero stage executions, engine job counter unchanged), with the
+# workflow counters visible in both /metrics formats. Also gates the
+# observability surface: the Prometheus /metrics exposition must parse,
+# X-Request-Id must appear in the captured logs and the retrievable
+# Chrome trace, and non-2xx responses must carry the JSON error envelope.
 HETEROPIPE_LOG=info cargo run --release -p heteropipe-bench --bin smoke
 
 # Chaos gate: replays a pinned fixed-seed fault plan end-to-end (client

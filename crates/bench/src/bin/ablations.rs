@@ -1,23 +1,9 @@
 //! Runs every ablation sweep of DESIGN.md §5.
-
-use heteropipe::experiments::ablations;
+//!
+//! A thin wrapper submitting the built-in `ablations` task graph (see
+//! `heteropipe_flow::figures`); the eight sweeps run as independent
+//! stages.
 
 fn main() {
-    let args = heteropipe_bench::HarnessArgs::parse();
-    let engine = args.engine();
-    let sweeps = [
-        ablations::chunk_sweep_with(&engine, args.scale),
-        ablations::mlp_sweep_with(&engine, args.scale),
-        ablations::l2_sweep_with(&engine, args.scale),
-        ablations::fault_sweep_with(&engine, args.scale),
-        ablations::pcie_sweep_with(&engine, args.scale),
-        ablations::gpu_scaling_sweep_with(&engine, args.scale),
-        ablations::spill_window_sweep_with(&engine, args.scale),
-        ablations::alignment_sweep_with(&engine, args.scale),
-    ];
-    for s in &sweeps {
-        println!("== {} vs {} ==", s.metric, s.parameter);
-        println!("{}", s.render());
-    }
-    heteropipe_bench::finish(&engine);
+    heteropipe_bench::run_figure("ablations");
 }

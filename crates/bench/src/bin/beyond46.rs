@@ -1,13 +1,8 @@
 //! Characterizes the 12 benchmarks outside the paper's examined set.
-
-use heteropipe::experiments::beyond;
+//!
+//! A thin wrapper submitting the built-in `beyond46` task graph (see
+//! `heteropipe_flow::figures`).
 
 fn main() {
-    let args = heteropipe_bench::HarnessArgs::parse();
-    let engine = args.engine();
-    print!(
-        "{}",
-        beyond::render(&beyond::beyond46_with(&engine, args.scale))
-    );
-    heteropipe_bench::finish(&engine);
+    heteropipe_bench::run_figure("beyond46");
 }

@@ -1,24 +1,10 @@
 //! Runs the §VI optimization-direction studies: kernel fusion, model-driven
 //! compute migration, and footprint-aware chunk sizing.
-
-use heteropipe::experiments::extensions;
+//!
+//! A thin wrapper submitting the built-in `extensions` task graph (see
+//! `heteropipe_flow::figures`); the three studies run as independent
+//! stages.
 
 fn main() {
-    let args = heteropipe_bench::HarnessArgs::parse();
-    let engine = args.engine();
-    println!(
-        "{}",
-        extensions::render_fusion(&extensions::fusion_study_with(&engine, args.scale))
-    );
-    println!(
-        "{}",
-        extensions::render_migrate_study(&extensions::migrate_study_with(&engine, args.scale))
-    );
-    println!(
-        "{}",
-        extensions::render_chunks(&extensions::chunk_suggestion_study_with(
-            &engine, args.scale
-        ))
-    );
-    heteropipe_bench::finish(&engine);
+    heteropipe_bench::run_figure("extensions");
 }

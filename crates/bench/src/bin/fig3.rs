@@ -1,11 +1,8 @@
 //! Regenerates Fig. 3 — the kmeans case study.
-
-use heteropipe::experiments::fig3;
+//!
+//! A thin wrapper submitting the built-in `fig3` task graph (see
+//! `heteropipe_flow::figures`).
 
 fn main() {
-    let args = heteropipe_bench::HarnessArgs::parse();
-    let engine = args.engine();
-    let rows = fig3::compute_with(&engine, args.scale);
-    print!("{}", fig3::render(&rows));
-    heteropipe_bench::finish(&engine);
+    heteropipe_bench::run_figure("fig3");
 }

@@ -1,19 +1,8 @@
 //! Regenerates Fig. 6 — run time component activity.
-
-use heteropipe::experiments::{characterize_all_with, fig456};
+//!
+//! A thin wrapper submitting the built-in `fig6` task graph (see
+//! `heteropipe_flow::figures`).
 
 fn main() {
-    let args = heteropipe_bench::HarnessArgs::parse();
-    let engine = args.engine();
-    let pairs = characterize_all_with(&engine, args.scale);
-    let rows = fig456::fig6(&pairs);
-    print!(
-        "{}",
-        if args.csv {
-            fig456::csv_fig6(&rows)
-        } else {
-            fig456::render_fig6_with_effects(&rows, &pairs)
-        }
-    );
-    heteropipe_bench::finish(&engine);
+    heteropipe_bench::run_figure("fig6");
 }

@@ -1,19 +1,8 @@
 //! Regenerates Fig. 7 — component-overlap run time estimates (Eq. 1).
-
-use heteropipe::experiments::{characterize_all_with, fig78};
+//!
+//! A thin wrapper submitting the built-in `fig7` task graph (see
+//! `heteropipe_flow::figures`).
 
 fn main() {
-    let args = heteropipe_bench::HarnessArgs::parse();
-    let engine = args.engine();
-    let pairs = characterize_all_with(&engine, args.scale);
-    let rows = fig78::fig7(&pairs);
-    print!(
-        "{}",
-        if args.csv {
-            fig78::csv_estimates(&rows)
-        } else {
-            fig78::render_fig7(&rows)
-        }
-    );
-    heteropipe_bench::finish(&engine);
+    heteropipe_bench::run_figure("fig7");
 }

@@ -1,19 +1,8 @@
 //! Regenerates Fig. 8 — migrated-compute run time estimates (Eq. 2-4).
-
-use heteropipe::experiments::{characterize_all_with, fig78};
+//!
+//! A thin wrapper submitting the built-in `fig8` task graph (see
+//! `heteropipe_flow::figures`).
 
 fn main() {
-    let args = heteropipe_bench::HarnessArgs::parse();
-    let engine = args.engine();
-    let pairs = characterize_all_with(&engine, args.scale);
-    let rows = fig78::fig8(&pairs);
-    print!(
-        "{}",
-        if args.csv {
-            fig78::csv_estimates(&rows)
-        } else {
-            fig78::render_fig8(&rows)
-        }
-    );
-    heteropipe_bench::finish(&engine);
+    heteropipe_bench::run_figure("fig8");
 }

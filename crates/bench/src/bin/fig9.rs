@@ -1,19 +1,8 @@
 //! Regenerates Fig. 9 — off-chip memory accesses by cause.
-
-use heteropipe::experiments::{characterize_all_with, fig9};
+//!
+//! A thin wrapper submitting the built-in `fig9` task graph (see
+//! `heteropipe_flow::figures`).
 
 fn main() {
-    let args = heteropipe_bench::HarnessArgs::parse();
-    let engine = args.engine();
-    let pairs = characterize_all_with(&engine, args.scale);
-    let rows = fig9::fig9(&pairs);
-    print!(
-        "{}",
-        if args.csv {
-            fig9::csv(&rows)
-        } else {
-            fig9::render(&rows)
-        }
-    );
-    heteropipe_bench::finish(&engine);
+    heteropipe_bench::run_figure("fig9");
 }

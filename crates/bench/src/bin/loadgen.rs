@@ -20,8 +20,9 @@ use heteropipe_serve::server::ServerConfig;
 use heteropipe_serve::{api, Client};
 use heteropipe_sim::Histogram;
 
-/// The replayed mix: light reads, cache-served runs, and a small batched
-/// sweep (with an in-batch duplicate) streamed as NDJSON, weighted toward
+/// The replayed mix: light reads, cache-served runs, a small batched
+/// sweep (with an in-batch duplicate) streamed as NDJSON, and a built-in
+/// figure workflow (fully stage-memoized after warmup), weighted toward
 /// the run endpoints the service exists for.
 fn request_mix(scale: f64) -> Vec<(&'static str, &'static str, Option<Json>)> {
     let spec = |bench: &str| {
@@ -40,12 +41,17 @@ fn request_mix(scale: f64) -> Vec<(&'static str, &'static str, Option<Json>)> {
             spec("rodinia/kmeans"),
         ]),
     )]);
+    let workflow = Json::Obj(vec![
+        ("workflow".into(), Json::str("fig3")),
+        ("scale".into(), Json::F64(scale)),
+    ]);
     vec![
         ("GET", "/healthz", None),
         ("POST", "/v1/runs", Some(spec("rodinia/kmeans"))),
         ("POST", "/v1/runs", Some(spec("rodinia/srad"))),
         ("GET", "/metrics", None),
         ("POST", "/v1/sweeps", Some(sweep)),
+        ("POST", "/v1/workflows", Some(workflow)),
         ("POST", "/v1/runs", Some(spec("pannotia/pr"))),
         ("POST", "/v1/runs", Some(spec("rodinia/kmeans"))),
     ]

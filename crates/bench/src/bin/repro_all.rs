@@ -2,84 +2,13 @@
 //! ablation, printing each section in order. This is what EXPERIMENTS.md is
 //! generated from.
 //!
-//! Every run goes through one shared [`heteropipe_engine::Engine`], so the
-//! characterization that feeds Figs. 4-9 is simulated once, and a repeat
-//! invocation serves almost everything from `results/cache/`.
-
-use heteropipe::experiments::{
-    ablations, beyond, characterize_all_with, extensions, fig3, fig456, fig78, fig9, sensitivity,
-    tables, validate,
-};
+//! A thin wrapper submitting the built-in `repro_all` task graph — the
+//! union of every figure/table/study graph (see
+//! `heteropipe_flow::figures`). The characterization that feeds Figs. 4-9
+//! is one shared stage, simulated once; independent stages run
+//! concurrently under the engine's job cap; and a repeat invocation
+//! serves almost everything from `results/cache/`.
 
 fn main() {
-    let args = heteropipe_bench::HarnessArgs::parse();
-    let engine = args.engine();
-    println!("heteropipe full reproduction (scale {:?})\n", args.scale);
-
-    println!("{}", tables::render_table1());
-    println!("{}", tables::render_table2());
-
-    let rows = fig3::compute_with(&engine, args.scale);
-    println!("{}", fig3::render(&rows));
-
-    let pairs = characterize_all_with(&engine, args.scale);
-    println!("{}", fig456::render_fig4(&fig456::fig4(&pairs)));
-    println!("{}", fig456::render_fig5(&fig456::fig5(&pairs)));
-    println!(
-        "{}",
-        fig456::render_fig6_with_effects(&fig456::fig6(&pairs), &pairs)
-    );
-    println!("{}", fig78::render_fig7(&fig78::fig7(&pairs)));
-    println!("{}", fig78::render_fig8(&fig78::fig8(&pairs)));
-    println!("{}", fig9::render(&fig9::fig9(&pairs)));
-
-    println!(
-        "{}",
-        validate::render_overlap(&validate::validate_overlap_with(&engine, args.scale))
-    );
-    println!(
-        "{}",
-        validate::render_migrate(&validate::validate_migrate_with(&engine, args.scale))
-    );
-
-    println!(
-        "{}",
-        beyond::render(&beyond::beyond46_with(&engine, args.scale))
-    );
-
-    println!(
-        "{}",
-        extensions::render_fusion(&extensions::fusion_study_with(&engine, args.scale))
-    );
-    println!(
-        "{}",
-        extensions::render_migrate_study(&extensions::migrate_study_with(&engine, args.scale))
-    );
-    println!(
-        "{}",
-        extensions::render_chunks(&extensions::chunk_suggestion_study_with(
-            &engine, args.scale
-        ))
-    );
-
-    for s in [
-        ablations::chunk_sweep_with(&engine, args.scale),
-        ablations::mlp_sweep_with(&engine, args.scale),
-        ablations::l2_sweep_with(&engine, args.scale),
-        ablations::fault_sweep_with(&engine, args.scale),
-        ablations::pcie_sweep_with(&engine, args.scale),
-        ablations::gpu_scaling_sweep_with(&engine, args.scale),
-        ablations::spill_window_sweep_with(&engine, args.scale),
-        ablations::alignment_sweep_with(&engine, args.scale),
-    ] {
-        println!("== ablation: {} vs {} ==", s.metric, s.parameter);
-        println!("{}", s.render());
-    }
-
-    println!(
-        "{}",
-        sensitivity::render(&sensitivity::sensitivity_study_with(&engine, args.scale))
-    );
-
-    heteropipe_bench::finish(&engine);
+    heteropipe_bench::run_figure("repro_all");
 }

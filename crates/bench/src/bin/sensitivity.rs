@@ -1,13 +1,8 @@
 //! Tornado sensitivity analysis of the model constants.
-
-use heteropipe::experiments::sensitivity;
+//!
+//! A thin wrapper submitting the built-in `sensitivity` task graph (see
+//! `heteropipe_flow::figures`).
 
 fn main() {
-    let args = heteropipe_bench::HarnessArgs::parse();
-    let engine = args.engine();
-    print!(
-        "{}",
-        sensitivity::render(&sensitivity::sensitivity_study_with(&engine, args.scale))
-    );
-    heteropipe_bench::finish(&engine);
+    heteropipe_bench::run_figure("sensitivity");
 }

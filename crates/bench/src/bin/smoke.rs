@@ -11,8 +11,13 @@
 //! every non-2xx must carry the JSON error envelope. A second server
 //! with an injected fault then runs a mixed sweep (duplicates plus one
 //! quarantined key) through `POST /v1/sweeps` and asserts the dedup
-//! counters. Exits non-zero on any failure, so `ci.sh` can gate on it.
-//! Runs at test scale so the whole check takes seconds.
+//! counters. A third server runs a figure workflow twice through
+//! `POST /v1/workflows` — validating the stage-event stream cold, full
+//! memoization warm (zero stage executions, engine job counter
+//! unchanged), the journaled `GET /v1/workflows/{key}` lookup, an inline
+//! dependency graph's ordering, and the workflow counters in both
+//! `/metrics` formats. Exits non-zero on any failure, so `ci.sh` can
+//! gate on it. Runs at test scale so the whole check takes seconds.
 
 use std::sync::Arc;
 
@@ -190,6 +195,7 @@ fn main() {
     );
 
     sweep_smoke();
+    workflow_smoke();
 
     eprintln!(
         "smoke: ok ({} log lines captured, request id {request_id})",
@@ -322,4 +328,249 @@ fn sweep_smoke() {
 
     handle.shutdown_and_join();
     eprintln!("smoke: sweep ok (5 jobs, 3 deduped, quarantined key isolated)");
+}
+
+/// Runs the `fig3` workflow twice through `POST /v1/workflows` on a third
+/// server — cold then warm — then an inline two-stage dependency graph,
+/// asserting the NDJSON stage-event stream, full warm memoization, the
+/// journaled lookup, and the workflow counters in both metrics formats.
+fn workflow_smoke() {
+    let engine = Arc::new(heteropipe_engine::Engine::new().memory_cache_only());
+    let handle = api::serve(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            max_inflight: 16,
+            ..ServerConfig::default()
+        },
+        Arc::clone(&engine),
+    )
+    .unwrap_or_else(|e| panic!("could not bind workflow server: {e}"));
+    let mut client = Client::new(handle.addr().to_string());
+
+    // Cold run: the one fig3 stage executes and streams its event.
+    let body = Json::Obj(vec![
+        ("workflow".into(), Json::str("fig3")),
+        ("scale".into(), Json::F64(0.08)),
+    ]);
+    let cold = client
+        .post_json("/v1/workflows", &body)
+        .expect("POST /v1/workflows");
+    assert_eq!(cold.status, 200, "workflow status");
+    assert_eq!(
+        cold.header("content-type"),
+        Some("application/x-ndjson"),
+        "workflow content type"
+    );
+    let wkey = cold
+        .header("x-workflow-key")
+        .expect("X-Workflow-Key on the workflow response")
+        .to_string();
+    assert!(
+        wkey.len() == 32 && wkey.bytes().all(|b| b.is_ascii_hexdigit()),
+        "workflow key is 32 hex digits: {wkey}"
+    );
+    let lines = cold.ndjson().expect("workflow NDJSON parses");
+    assert_eq!(lines.len(), 2, "1 stage event + summary");
+    let ev = &lines[0];
+    assert_eq!(ev.get("stage").and_then(Json::as_str), Some("fig3"));
+    assert_eq!(ev.get("kind").and_then(Json::as_str), Some("analysis"));
+    assert_eq!(ev.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(ev.get("cache_hit").and_then(Json::as_bool), Some(false));
+    assert!(
+        ev.get("key")
+            .and_then(Json::as_str)
+            .is_some_and(|k| k.len() == 32),
+        "stage event carries its stage key"
+    );
+    let summary = lines[1].get("workflow").expect("summary line");
+    assert_eq!(summary.get("key").and_then(Json::as_str), Some(&*wkey));
+    assert_eq!(summary.get("stages_total").and_then(Json::as_u64), Some(1));
+    assert_eq!(summary.get("executed").and_then(Json::as_u64), Some(1));
+    assert_eq!(summary.get("cache_hits").and_then(Json::as_u64), Some(0));
+    assert_eq!(summary.get("failed").and_then(Json::as_u64), Some(0));
+    let jobs_cold = engine.metrics().jobs_executed;
+    assert!(jobs_cold > 0, "cold workflow simulates");
+
+    // Warm repeat: fully memoized — every stage a cache hit, zero
+    // executions, and the engine's job counter untouched.
+    let warm = client
+        .post_json("/v1/workflows", &body)
+        .expect("warm POST /v1/workflows");
+    assert_eq!(
+        warm.header("x-workflow-key"),
+        Some(&*wkey),
+        "same graph, same key"
+    );
+    let warm_lines = warm.ndjson().expect("warm workflow NDJSON parses");
+    assert_eq!(
+        warm_lines[0].get("cache_hit").and_then(Json::as_bool),
+        Some(true),
+        "warm stage is a memo hit"
+    );
+    let warm_summary = warm_lines[1].get("workflow").expect("warm summary");
+    assert_eq!(warm_summary.get("executed").and_then(Json::as_u64), Some(0));
+    assert_eq!(
+        warm_summary.get("cache_hits").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        engine.metrics().jobs_executed,
+        jobs_cold,
+        "warm workflow must not simulate"
+    );
+
+    // The journaled result is addressable by the workflow key.
+    let lookup = client
+        .get(&format!("/v1/workflows/{wkey}"))
+        .expect("GET /v1/workflows/{key}");
+    assert_eq!(lookup.status, 200, "journal lookup status");
+    let journaled = lookup.json().expect("journal lookup parses");
+    assert_eq!(
+        journaled
+            .get("workflow")
+            .and_then(|w| w.get("key"))
+            .and_then(Json::as_str),
+        Some(&*wkey)
+    );
+    assert_eq!(
+        journaled
+            .get("events")
+            .and_then(Json::as_array)
+            .map(<[Json]>::len),
+        Some(1)
+    );
+    let outputs = journaled
+        .get("outputs")
+        .and_then(Json::as_array)
+        .expect("journal carries outputs");
+    assert_eq!(outputs.len(), 1, "fig3 declares one output");
+    assert_eq!(outputs[0].get("stage").and_then(Json::as_str), Some("fig3"));
+    assert!(
+        outputs[0]
+            .get("text")
+            .and_then(Json::as_str)
+            .is_some_and(|t| !t.is_empty()),
+        "output text is the rendered figure"
+    );
+
+    // Unknown key: 404. Malformed key: 400. Wrong methods: 405.
+    let missing = client
+        .get(&format!("/v1/workflows/{}", "0".repeat(32)))
+        .expect("GET unknown workflow");
+    assert_eq!(missing.status, 404, "unknown workflow key");
+    let bad = client
+        .get("/v1/workflows/nope")
+        .expect("GET malformed workflow key");
+    assert_eq!(bad.status, 400, "malformed workflow key");
+    let list = client.get("/v1/workflows").expect("GET /v1/workflows");
+    assert_eq!(list.status, 405, "collection is POST-only");
+    assert_eq!(list.header("allow"), Some("POST"));
+    let unknown = client
+        .post_json(
+            "/v1/workflows",
+            &Json::Obj(vec![("workflow".into(), Json::str("fig999"))]),
+        )
+        .expect("POST unknown workflow name");
+    assert_eq!(unknown.status, 404, "unknown built-in graph");
+
+    // An inline two-stage dependency graph streams its events in
+    // dependency order; the second stage re-uses the first's sweep via
+    // the engine cache.
+    let job = Json::Obj(vec![
+        ("benchmark".into(), Json::str("rodinia/srad")),
+        ("scale".into(), Json::F64(0.08)),
+    ]);
+    let inline = Json::Obj(vec![(
+        "stages".into(),
+        Json::Arr(vec![
+            Json::Obj(vec![
+                ("name".into(), Json::str("first")),
+                ("jobs".into(), Json::Arr(vec![job.clone()])),
+            ]),
+            Json::Obj(vec![
+                ("name".into(), Json::str("second")),
+                ("deps".into(), Json::Arr(vec![Json::str("first")])),
+                ("jobs".into(), Json::Arr(vec![job])),
+            ]),
+        ]),
+    )]);
+    let chained = client
+        .post_json("/v1/workflows", &inline)
+        .expect("POST inline workflow");
+    assert_eq!(chained.status, 200, "inline workflow status");
+    let chained_lines = chained.ndjson().expect("inline NDJSON parses");
+    assert_eq!(chained_lines.len(), 3, "2 stage events + summary");
+    assert_eq!(
+        chained_lines[0].get("stage").and_then(Json::as_str),
+        Some("first"),
+        "dependency streams first"
+    );
+    assert_eq!(
+        chained_lines[1].get("stage").and_then(Json::as_str),
+        Some("second")
+    );
+    for ev in &chained_lines[..2] {
+        assert_eq!(ev.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(ev.get("kind").and_then(Json::as_str), Some("sweep"));
+    }
+
+    // A cyclic inline graph is rejected up front with the envelope.
+    let cyclic = Json::Obj(vec![(
+        "stages".into(),
+        Json::Arr(vec![Json::Obj(vec![
+            ("name".into(), Json::str("loop")),
+            ("deps".into(), Json::Arr(vec![Json::str("loop")])),
+            (
+                "jobs".into(),
+                Json::Arr(vec![Json::Obj(vec![
+                    ("benchmark".into(), Json::str("rodinia/srad")),
+                    ("scale".into(), Json::F64(0.08)),
+                ])]),
+            ),
+        ])]),
+    )]);
+    let rejected = client
+        .post_json("/v1/workflows", &cyclic)
+        .expect("POST cyclic workflow");
+    assert_eq!(rejected.status, 400, "cycle is a 400");
+    let envelope = rejected.api_error().expect("cycle body is the envelope");
+    assert!(
+        envelope.message.contains("cycle"),
+        "envelope names the cycle: {}",
+        envelope.message
+    );
+
+    // Workflow counters land in both metrics formats: 3 workflows (cold,
+    // warm, inline), 4 stage slots, 1 memo hit, 0 failures.
+    let metrics = client
+        .get("/metrics")
+        .expect("GET /metrics")
+        .json()
+        .unwrap();
+    let wf = metrics.get("workflows").expect("workflows in metrics");
+    assert_eq!(wf.get("count").and_then(Json::as_u64), Some(3));
+    assert_eq!(wf.get("stages").and_then(Json::as_u64), Some(4));
+    assert_eq!(wf.get("stage_cache_hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(wf.get("stage_failures").and_then(Json::as_u64), Some(0));
+    let prom = client
+        .get("/metrics?format=prometheus")
+        .expect("GET /metrics (prometheus)");
+    let prom_text = String::from_utf8(prom.body).expect("exposition is UTF-8");
+    let samples = heteropipe_obs::expfmt::parse(&prom_text)
+        .unwrap_or_else(|e| panic!("exposition must validate: {e}"));
+    let value = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing sample {name}"))
+            .value
+    };
+    assert_eq!(value("heteropipe_workflows_total"), 3.0);
+    assert_eq!(value("heteropipe_workflow_stages_total"), 4.0);
+    assert_eq!(value("heteropipe_workflow_stage_cache_hits_total"), 1.0);
+    assert_eq!(value("heteropipe_workflow_stage_failures_total"), 0.0);
+
+    handle.shutdown_and_join();
+    eprintln!("smoke: workflows ok (cold+warm fig3 memoized, inline graph ordered, key {wkey})");
 }

@@ -1,6 +1,8 @@
 //! Regenerates Table I — heterogeneous system parameters.
+//!
+//! A thin wrapper submitting the built-in `table1` task graph (see
+//! `heteropipe_flow::figures`).
 
 fn main() {
-    let _ = heteropipe_bench::HarnessArgs::parse();
-    print!("{}", heteropipe::experiments::tables::render_table1());
+    heteropipe_bench::run_figure("table1");
 }

@@ -1,6 +1,8 @@
 //! Regenerates Table II — producer-consumer constructs census.
+//!
+//! A thin wrapper submitting the built-in `table2` task graph (see
+//! `heteropipe_flow::figures`).
 
 fn main() {
-    let _ = heteropipe_bench::HarnessArgs::parse();
-    print!("{}", heteropipe::experiments::tables::render_table2());
+    heteropipe_bench::run_figure("table2");
 }

@@ -1,11 +1,8 @@
 //! Regenerates the §V-B migrated-compute model validation.
-
-use heteropipe::experiments::validate;
+//!
+//! A thin wrapper submitting the built-in `validate_migrate` task graph (see
+//! `heteropipe_flow::figures`).
 
 fn main() {
-    let args = heteropipe_bench::HarnessArgs::parse();
-    let engine = args.engine();
-    let rows = validate::validate_migrate_with(&engine, args.scale);
-    print!("{}", validate::render_migrate(&rows));
-    heteropipe_bench::finish(&engine);
+    heteropipe_bench::run_figure("validate_migrate");
 }

@@ -1,11 +1,8 @@
 //! Regenerates the §V-A component-overlap model validation.
-
-use heteropipe::experiments::validate;
+//!
+//! A thin wrapper submitting the built-in `validate_overlap` task graph (see
+//! `heteropipe_flow::figures`).
 
 fn main() {
-    let args = heteropipe_bench::HarnessArgs::parse();
-    let engine = args.engine();
-    let rows = validate::validate_overlap_with(&engine, args.scale);
-    print!("{}", validate::render_overlap(&rows));
-    heteropipe_bench::finish(&engine);
+    heteropipe_bench::run_figure("validate_overlap");
 }

@@ -132,6 +132,51 @@ impl HarnessArgs {
     }
 }
 
+/// Runs a built-in figure workflow end to end: parses the standard CLI
+/// arguments, builds the engine, submits the named
+/// [`heteropipe_flow::figures`] graph through a
+/// [`heteropipe_flow::FlowRunner`], prints every declared output in the
+/// binary's historical print style, and (where the binary historically
+/// did) ends with the metrics footer. Every `fig*` / `table*` /
+/// `validate_*` / study binary is a one-line wrapper over this.
+///
+/// # Panics
+///
+/// Panics on an unknown graph name, malformed CLI arguments, or a failed
+/// stage (nothing is printed to stdout in that case).
+pub fn run_figure(name: &str) {
+    use heteropipe_flow::{figures, FlowRunner, PrintStyle, StageStatus};
+
+    let args = HarnessArgs::parse();
+    let fg = figures::graph(name, args.scale, args.csv)
+        .unwrap_or_else(|| panic!("unknown built-in workflow {name:?}"));
+    let engine = std::sync::Arc::new(args.engine());
+    let runner = FlowRunner::new(std::sync::Arc::clone(&engine));
+    let result = runner
+        .run(&fg.graph)
+        .unwrap_or_else(|e| panic!("workflow {name:?} is invalid: {e}"));
+    if let Some(failed) = result
+        .events
+        .iter()
+        .find(|e| e.status == StageStatus::Failed)
+    {
+        panic!(
+            "workflow {name:?} stage {:?} failed: {}",
+            failed.stage,
+            failed.error.as_deref().unwrap_or("unknown error")
+        );
+    }
+    for (_, text) in &result.outputs {
+        match fg.style {
+            PrintStyle::Print => print!("{text}"),
+            PrintStyle::Println => println!("{text}"),
+        }
+    }
+    if fg.footer {
+        finish(&engine);
+    }
+}
+
 /// Ends a harness run: prints the engine's metrics footer to stderr and,
 /// when `HETEROPIPE_METRICS_CSV` names a path, writes the counters there
 /// as CSV. Stdout is untouched, so rendered tables stay byte-identical

@@ -57,6 +57,28 @@ pub fn run_key(job: &JobSpec<'_>) -> RunKey {
     h.finish()
 }
 
+/// The canonical derivation for every *composite* (non-job) key in the
+/// workspace: a sweep key, a workflow stage key, and a workflow key are
+/// all `composite_key(kind, inputs, members)` — [`SCHEMA_VERSION`], a
+/// kind tag, the length-prefixed canonical input tokens, then the member
+/// keys, hashed in that order and nothing else. `sweep.rs` and
+/// `heteropipe-flow` both call this, so they cannot drift on hashing or
+/// field order.
+pub fn composite_key(kind: &str, inputs: &[&str], members: &[RunKey]) -> RunKey {
+    let mut h = KeyHasher::new();
+    h.u32(SCHEMA_VERSION);
+    h.str(kind);
+    h.u64(inputs.len() as u64);
+    for s in inputs {
+        h.str(s);
+    }
+    h.u64(members.len() as u64);
+    for &k in members {
+        h.key(k);
+    }
+    h.finish()
+}
+
 /// Incremental structural hasher: two independent 64-bit FNV-1a streams
 /// (distinct offset bases, one fed byte-reversed input) concatenated into a
 /// u128, each finalized through a SplitMix64 avalanche. Not cryptographic —
@@ -132,6 +154,13 @@ impl KeyHasher {
     /// Hashes a time value by its exact picosecond count.
     pub fn ps(&mut self, t: heteropipe_sim::Ps) {
         self.u64(t.as_picos());
+    }
+
+    /// Hashes another key, both 64-bit halves in low-then-high order —
+    /// the one way member keys enter a composite key.
+    pub fn key(&mut self, k: RunKey) {
+        self.u64(k.0 as u64);
+        self.u64((k.0 >> 64) as u64);
     }
 
     /// Finalizes into a key.
@@ -451,6 +480,28 @@ mod tests {
 
         // Misalignment flag.
         assert_ne!(base, key_of(&p, &discrete, Organization::Serial, true));
+    }
+
+    #[test]
+    fn composite_key_separates_kind_inputs_and_members() {
+        let a = RunKey(1);
+        let b = RunKey(2);
+        let base = composite_key("stage", &["x=1"], &[a, b]);
+        assert_eq!(base, composite_key("stage", &["x=1"], &[a, b]));
+
+        // Every field participates: kind tag, each input token, member
+        // set, and member order.
+        assert_ne!(base, composite_key("sweep", &["x=1"], &[a, b]));
+        assert_ne!(base, composite_key("stage", &["x=2"], &[a, b]));
+        assert_ne!(base, composite_key("stage", &[], &[a, b]));
+        assert_ne!(base, composite_key("stage", &["x=1"], &[a]));
+        assert_ne!(base, composite_key("stage", &["x=1"], &[b, a]));
+
+        // Length-prefixing: token boundaries cannot collide.
+        assert_ne!(
+            composite_key("s", &["ab", "c"], &[]),
+            composite_key("s", &["a", "bc"], &[]),
+        );
     }
 
     #[test]

@@ -32,21 +32,16 @@ use heteropipe_obs::log as obs_log;
 use heteropipe_obs::{JobTrace, PhaseTimer};
 
 use crate::error::EngineError;
-use crate::key::{run_key, KeyHasher, RunKey};
+use crate::key::{composite_key, run_key, RunKey};
 use crate::{Disposition, Engine};
 
 /// The content address of a whole sweep: an order-sensitive hash over its
-/// member run keys. The sweep's summary trace is stored under this key,
-/// so `GET /v1/runs/{sweep_key}/trace` retrieves it like any job trace.
+/// member run keys, derived through the workspace's one canonical
+/// composite-key helper ([`composite_key`]). The sweep's summary trace is
+/// stored under this key, so `GET /v1/runs/{sweep_key}/trace` retrieves
+/// it like any job trace.
 pub fn sweep_key(keys: &[RunKey]) -> RunKey {
-    let mut h = KeyHasher::new();
-    h.str("sweep");
-    h.u64(keys.len() as u64);
-    for k in keys {
-        h.u64(k.0 as u64);
-        h.u64((k.0 >> 64) as u64);
-    }
-    h.finish()
+    composite_key("sweep", &[], keys)
 }
 
 /// One completed sweep entry, pushed to the observer sink the moment it

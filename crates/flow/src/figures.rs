@@ -1,0 +1,462 @@
+//! Built-in task graphs: one per paper figure/table/study, plus the
+//! `repro_all` union graph.
+//!
+//! Every harness binary (`fig3`…`fig9`, `table1`, `table2`, the
+//! validations, `extensions`, `ablations`, `sensitivity`, `repro_all`)
+//! is a thin wrapper submitting one of these graphs, and `POST
+//! /v1/workflows` resolves named workflows here too. The graphs share
+//! stages where the binaries shared work: Figs. 4–9 all hang off one
+//! `characterize` sweep stage, so running `fig5` then `fig6` then `fig9`
+//! through one [`crate::FlowRunner`] characterizes exactly once, and
+//! `repro_all` is the union of everything with the same stage keys as
+//! the standalone graphs (the `--csv` variants excepted, which key
+//! separately by their `csv=` input token).
+//!
+//! Rendered output is byte-identical to the pre-graph binaries: stage
+//! text carries exactly what each binary passed to `print!`/`println!`,
+//! and [`PrintStyle`] records which of the two the binary used.
+
+use heteropipe::experiments::{
+    ablations, beyond, characterize_all_with, extensions, fig3, fig456, fig78, fig9, sensitivity,
+    tables, validate, BenchPair,
+};
+use heteropipe::Executor;
+use heteropipe_workloads::Scale;
+
+use crate::graph::{Stage, StageKind, StageValue, TaskGraph};
+
+/// How a harness binary prints the graph's outputs: `print!` (figure
+/// binaries, whose render text is self-terminated) or `println!` (the
+/// section-per-line binaries: `extensions`, `ablations`, `repro_all`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrintStyle {
+    /// `print!("{}", text)` per output.
+    Print,
+    /// `println!("{}", text)` per output.
+    Println,
+}
+
+/// A built-in graph plus the print style its binary uses.
+#[derive(Debug)]
+pub struct FigureGraph {
+    /// The graph.
+    pub graph: TaskGraph,
+    /// How a binary should print the outputs.
+    pub style: PrintStyle,
+    /// Whether the binary historically printed the engine metrics footer
+    /// (the table binaries run no simulations and never did).
+    pub footer: bool,
+}
+
+/// Every built-in graph name, in `repro_all` section order.
+pub fn names() -> &'static [&'static str] {
+    &[
+        "table1",
+        "table2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "validate_overlap",
+        "validate_migrate",
+        "beyond46",
+        "extensions",
+        "ablations",
+        "sensitivity",
+        "repro_all",
+    ]
+}
+
+/// The canonical token binding a stage key to the run scale.
+fn scale_token(scale: Scale) -> String {
+    format!("scale={:016x}", scale.factor().to_bits())
+}
+
+/// The shared characterization sweep feeding Figs. 4–9.
+fn characterize_stage(scale: Scale) -> Stage {
+    Stage::new("characterize", StageKind::Sweep, move |ctx| {
+        Ok(StageValue::from_pairs(characterize_all_with(
+            ctx.exec(),
+            scale,
+        )))
+    })
+    .input("builtin=characterize")
+    .input(scale_token(scale))
+}
+
+/// A figure stage deriving its text purely from the characterization
+/// pairs. Scale reaches the key through the upstream stage key; only the
+/// csv switch is a direct input.
+fn pairs_stage(
+    name: &'static str,
+    csv: bool,
+    render: impl Fn(&[BenchPair], bool) -> String + Send + Sync + 'static,
+) -> Stage {
+    Stage::new(name, StageKind::Render, move |ctx| {
+        Ok(StageValue::from_text(render(ctx.dep_pairs(0)?, csv)))
+    })
+    .dep("characterize")
+    .input(format!("builtin={name}"))
+    .input(format!("csv={csv}"))
+}
+
+/// The Fig. 4–9 stages by id.
+fn figure_stage(id: &str, csv: bool) -> Option<Stage> {
+    Some(match id {
+        "fig4" => pairs_stage("fig4", csv, |pairs, csv| {
+            let rows = fig456::fig4(pairs);
+            if csv {
+                fig456::csv_fig4(&rows)
+            } else {
+                fig456::render_fig4(&rows)
+            }
+        }),
+        "fig5" => pairs_stage("fig5", csv, |pairs, csv| {
+            let rows = fig456::fig5(pairs);
+            if csv {
+                fig456::csv_fig5(&rows)
+            } else {
+                fig456::render_fig5(&rows)
+            }
+        }),
+        "fig6" => pairs_stage("fig6", csv, |pairs, csv| {
+            let rows = fig456::fig6(pairs);
+            if csv {
+                fig456::csv_fig6(&rows)
+            } else {
+                fig456::render_fig6_with_effects(&rows, pairs)
+            }
+        }),
+        "fig7" => pairs_stage("fig7", csv, |pairs, csv| {
+            let rows = fig78::fig7(pairs);
+            if csv {
+                fig78::csv_estimates(&rows)
+            } else {
+                fig78::render_fig7(&rows)
+            }
+        }),
+        "fig8" => pairs_stage("fig8", csv, |pairs, csv| {
+            let rows = fig78::fig8(pairs);
+            if csv {
+                fig78::csv_estimates(&rows)
+            } else {
+                fig78::render_fig8(&rows)
+            }
+        }),
+        "fig9" => pairs_stage("fig9", csv, |pairs, csv| {
+            let rows = fig9::fig9(pairs);
+            if csv {
+                fig9::csv(&rows)
+            } else {
+                fig9::render(&rows)
+            }
+        }),
+        _ => return None,
+    })
+}
+
+/// An analysis stage that drives the engine itself (characterization
+/// does not feed it), keyed by name and scale.
+fn analysis_stage(
+    name: &'static str,
+    scale: Scale,
+    run: impl Fn(&dyn Executor, Scale) -> String + Send + Sync + 'static,
+) -> Stage {
+    Stage::new(name, StageKind::Analysis, move |ctx| {
+        Ok(StageValue::from_text(run(ctx.exec(), scale)))
+    })
+    .input(format!("builtin={name}"))
+    .input(scale_token(scale))
+}
+
+/// A pure-text stage with no simulation behind it.
+fn render_stage(name: &'static str, text: impl Fn() -> String + Send + Sync + 'static) -> Stage {
+    Stage::new(name, StageKind::Render, move |_| {
+        Ok(StageValue::from_text(text()))
+    })
+    .input(format!("builtin={name}"))
+}
+
+fn fig3_stage(scale: Scale) -> Stage {
+    analysis_stage("fig3", scale, |exec, scale| {
+        fig3::render(&fig3::compute_with(exec, scale))
+    })
+}
+
+fn validate_overlap_stage(scale: Scale) -> Stage {
+    analysis_stage("validate_overlap", scale, |exec, scale| {
+        validate::render_overlap(&validate::validate_overlap_with(exec, scale))
+    })
+}
+
+fn validate_migrate_stage(scale: Scale) -> Stage {
+    analysis_stage("validate_migrate", scale, |exec, scale| {
+        validate::render_migrate(&validate::validate_migrate_with(exec, scale))
+    })
+}
+
+fn beyond46_stage(scale: Scale) -> Stage {
+    analysis_stage("beyond46", scale, |exec, scale| {
+        beyond::render(&beyond::beyond46_with(exec, scale))
+    })
+}
+
+fn sensitivity_stage(scale: Scale) -> Stage {
+    analysis_stage("sensitivity", scale, |exec, scale| {
+        sensitivity::render(&sensitivity::sensitivity_study_with(exec, scale))
+    })
+}
+
+fn extension_stages(scale: Scale) -> Vec<Stage> {
+    vec![
+        analysis_stage("ext_fusion", scale, |exec, scale| {
+            extensions::render_fusion(&extensions::fusion_study_with(exec, scale))
+        }),
+        analysis_stage("ext_migrate", scale, |exec, scale| {
+            extensions::render_migrate_study(&extensions::migrate_study_with(exec, scale))
+        }),
+        analysis_stage("ext_chunks", scale, |exec, scale| {
+            extensions::render_chunks(&extensions::chunk_suggestion_study_with(exec, scale))
+        }),
+    ]
+}
+
+/// The DESIGN.md §5 ablation sweeps. The standalone binary and
+/// `repro_all` print different section headers, so the header flavor is
+/// part of the stage key (`header=` token) and the two variants memoize
+/// separately; the simulations underneath share the engine result cache
+/// either way.
+fn ablation_stages(scale: Scale, repro_header: bool) -> Vec<Stage> {
+    type SweepFn = fn(&dyn Executor, Scale) -> ablations::Sweep;
+    const SWEEPS: &[(&str, SweepFn)] = &[
+        ("abl_chunk", ablations::chunk_sweep_with),
+        ("abl_mlp", ablations::mlp_sweep_with),
+        ("abl_l2", ablations::l2_sweep_with),
+        ("abl_fault", ablations::fault_sweep_with),
+        ("abl_pcie", ablations::pcie_sweep_with),
+        ("abl_gpu_scaling", ablations::gpu_scaling_sweep_with),
+        ("abl_spill_window", ablations::spill_window_sweep_with),
+        ("abl_alignment", ablations::alignment_sweep_with),
+    ];
+    let tag = if repro_header { "ablation: " } else { "" };
+    SWEEPS
+        .iter()
+        .map(|&(name, sweep)| {
+            Stage::new(name, StageKind::Analysis, move |ctx| {
+                let s = sweep(ctx.exec(), scale);
+                Ok(StageValue::from_text(format!(
+                    "== {tag}{} vs {} ==\n{}",
+                    s.metric,
+                    s.parameter,
+                    s.render()
+                )))
+            })
+            .input(format!("builtin={name}"))
+            .input(scale_token(scale))
+            .input(format!(
+                "header={}",
+                if repro_header { "repro" } else { "plain" }
+            ))
+        })
+        .collect()
+}
+
+fn header_stage(scale: Scale) -> Stage {
+    Stage::new("header", StageKind::Render, move |_| {
+        Ok(StageValue::from_text(format!(
+            "heteropipe full reproduction (scale {scale:?})\n"
+        )))
+    })
+    .input("builtin=header")
+    .input(scale_token(scale))
+}
+
+/// Builds the built-in graph named `name` at `scale`, or `None` for an
+/// unknown name. `csv` selects the CSV render for the figure graphs that
+/// support it and is ignored elsewhere (as the binaries ignore it);
+/// `repro_all` always builds its figures in table form so they share
+/// stage keys with the standalone non-csv graphs.
+pub fn graph(name: &str, scale: Scale, csv: bool) -> Option<FigureGraph> {
+    let mut g = TaskGraph::new(name);
+    let mut footer = true;
+    let style = match name {
+        "table1" => {
+            g.add(render_stage("table1", tables::render_table1));
+            g.output("table1");
+            footer = false;
+            PrintStyle::Print
+        }
+        "table2" => {
+            g.add(render_stage("table2", tables::render_table2));
+            g.output("table2");
+            footer = false;
+            PrintStyle::Print
+        }
+        "fig3" => {
+            g.add(fig3_stage(scale));
+            g.output("fig3");
+            PrintStyle::Print
+        }
+        "fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "fig9" => {
+            g.add(characterize_stage(scale));
+            g.add(figure_stage(name, csv)?);
+            g.output(name);
+            PrintStyle::Print
+        }
+        "validate_overlap" => {
+            g.add(validate_overlap_stage(scale));
+            g.output("validate_overlap");
+            PrintStyle::Print
+        }
+        "validate_migrate" => {
+            g.add(validate_migrate_stage(scale));
+            g.output("validate_migrate");
+            PrintStyle::Print
+        }
+        "beyond46" => {
+            g.add(beyond46_stage(scale));
+            g.output("beyond46");
+            PrintStyle::Print
+        }
+        "extensions" => {
+            for s in extension_stages(scale) {
+                let n = s.name().to_owned();
+                g.add(s);
+                g.output(n);
+            }
+            PrintStyle::Println
+        }
+        "ablations" => {
+            for s in ablation_stages(scale, false) {
+                let n = s.name().to_owned();
+                g.add(s);
+                g.output(n);
+            }
+            PrintStyle::Println
+        }
+        "sensitivity" => {
+            g.add(sensitivity_stage(scale));
+            g.output("sensitivity");
+            PrintStyle::Print
+        }
+        "repro_all" => {
+            g.add(header_stage(scale));
+            g.add(render_stage("table1", tables::render_table1));
+            g.add(render_stage("table2", tables::render_table2));
+            g.add(fig3_stage(scale));
+            g.add(characterize_stage(scale));
+            for id in ["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"] {
+                g.add(figure_stage(id, false)?);
+            }
+            g.add(validate_overlap_stage(scale));
+            g.add(validate_migrate_stage(scale));
+            g.add(beyond46_stage(scale));
+            for s in extension_stages(scale) {
+                g.add(s);
+            }
+            for s in ablation_stages(scale, true) {
+                g.add(s);
+            }
+            g.add(sensitivity_stage(scale));
+            for out in [
+                "header",
+                "table1",
+                "table2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig8",
+                "fig9",
+                "validate_overlap",
+                "validate_migrate",
+                "beyond46",
+                "ext_fusion",
+                "ext_migrate",
+                "ext_chunks",
+                "abl_chunk",
+                "abl_mlp",
+                "abl_l2",
+                "abl_fault",
+                "abl_pcie",
+                "abl_gpu_scaling",
+                "abl_spill_window",
+                "abl_alignment",
+                "sensitivity",
+            ] {
+                g.output(out);
+            }
+            PrintStyle::Println
+        }
+        _ => return None,
+    };
+    Some(FigureGraph {
+        graph: g,
+        style,
+        footer,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_graph_validates() {
+        for name in names() {
+            let fg = graph(name, Scale::TEST, false).expect(name);
+            fg.graph
+                .validate()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(fg.graph.name(), *name);
+        }
+        assert!(graph("fig999", Scale::TEST, false).is_none());
+    }
+
+    fn key_of(g: &TaskGraph, stage: &str) -> heteropipe_engine::RunKey {
+        let plan = g.plan().unwrap();
+        let keys = g.stage_keys(&plan);
+        let i = (0..g.len())
+            .find(|&i| g.stages[i].name() == stage)
+            .unwrap_or_else(|| panic!("no stage {stage:?} in {:?}", g.name()));
+        keys[i]
+    }
+
+    #[test]
+    fn figure_stages_share_keys_with_repro_all() {
+        let repro = graph("repro_all", Scale::TEST, false).unwrap().graph;
+        for fig in ["fig4", "fig5", "fig6", "fig9"] {
+            let standalone = graph(fig, Scale::TEST, false).unwrap().graph;
+            assert_eq!(
+                key_of(&standalone, "characterize"),
+                key_of(&repro, "characterize"),
+                "{fig}: shared sweep prefix must share its stage key"
+            );
+            assert_eq!(
+                key_of(&standalone, fig),
+                key_of(&repro, fig),
+                "{fig}: figure stage key must match repro_all"
+            );
+        }
+        // The csv variant keys differently...
+        let csv = graph("fig5", Scale::TEST, true).unwrap().graph;
+        assert_ne!(
+            key_of(&csv, "fig5"),
+            key_of(&repro, "fig5"),
+            "csv render is a different stage"
+        );
+        // ...but its sweep prefix is still shared.
+        assert_eq!(key_of(&csv, "characterize"), key_of(&repro, "characterize"));
+    }
+
+    #[test]
+    fn scale_is_part_of_the_stage_key() {
+        let a = graph("fig3", Scale::TEST, false).unwrap().graph;
+        let b = graph("fig3", Scale::PAPER, false).unwrap().graph;
+        assert_ne!(a.workflow_key().unwrap(), b.workflow_key().unwrap());
+    }
+}

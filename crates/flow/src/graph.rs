@@ -1,0 +1,600 @@
+//! Task graphs: named stages with explicit dependency edges, validated
+//! and scheduled as deterministic topological levels.
+//!
+//! A [`TaskGraph`] is a DAG of [`Stage`]s. Each stage names the stages it
+//! consumes (`deps`), carries canonical input tokens (`inputs`) that —
+//! together with its kind and its upstream stage keys — content-address
+//! the value it produces, and owns a closure that computes a
+//! [`StageValue`] from the resolved dependencies. Validation ([`plan`])
+//! rejects duplicate names, unknown edges, and cycles with errors naming
+//! the offending stages; the resulting plan groups stages into *levels*
+//! (every stage's dependencies live in strictly earlier levels), which is
+//! the unit of concurrency the runner fans out over `par_map`.
+//!
+//! [`plan`]: TaskGraph::plan
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use heteropipe::experiments::BenchPair;
+use heteropipe::Executor;
+use heteropipe_engine::{composite_key, Engine, RunKey};
+
+/// What kind of work a stage does; the first token of its stage key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// Runs simulations through the engine and produces characterization
+    /// pairs (backed by the engine's two-tier result cache underneath).
+    Sweep,
+    /// Derives figures/studies from upstream data or its own engine runs.
+    Analysis,
+    /// Produces text with no simulation behind it (tables, headers).
+    Render,
+}
+
+impl StageKind {
+    /// The kind's canonical key/JSON token.
+    pub fn label(self) -> &'static str {
+        match self {
+            StageKind::Sweep => "sweep",
+            StageKind::Analysis => "analysis",
+            StageKind::Render => "render",
+        }
+    }
+}
+
+/// A stage's product, cheap to clone (memoized values are shared via
+/// `Arc`, never re-rendered).
+#[derive(Debug, Clone)]
+pub enum StageValue {
+    /// Characterization pairs from a sweep stage.
+    Pairs(Arc<Vec<BenchPair>>),
+    /// Rendered text from an analysis or render stage.
+    Text(Arc<String>),
+}
+
+impl StageValue {
+    /// Wraps characterization pairs.
+    pub fn from_pairs(pairs: Vec<BenchPair>) -> StageValue {
+        StageValue::Pairs(Arc::new(pairs))
+    }
+
+    /// Wraps rendered text.
+    pub fn from_text(text: impl Into<String>) -> StageValue {
+        StageValue::Text(Arc::new(text.into()))
+    }
+
+    /// The pairs, if this is a `Pairs` value.
+    pub fn as_pairs(&self) -> Option<&[BenchPair]> {
+        match self {
+            StageValue::Pairs(p) => Some(p),
+            StageValue::Text(_) => None,
+        }
+    }
+
+    /// The text, if this is a `Text` value.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            StageValue::Text(t) => Some(t),
+            StageValue::Pairs(_) => None,
+        }
+    }
+}
+
+/// What a running stage sees: the engine to execute through and its
+/// resolved dependency values, in `deps` declaration order.
+pub struct StageCtx<'a> {
+    pub(crate) engine: &'a Engine,
+    pub(crate) deps: &'a [StageValue],
+}
+
+impl<'a> StageCtx<'a> {
+    /// The engine, as the executor the experiment drivers take.
+    pub fn exec(&self) -> &'a dyn Executor {
+        self.engine
+    }
+
+    /// The engine itself (for sweep stages that need batch execution).
+    pub fn engine(&self) -> &'a Engine {
+        self.engine
+    }
+
+    /// The `i`-th dependency's value.
+    pub fn dep(&self, i: usize) -> Result<&'a StageValue, String> {
+        self.deps.get(i).ok_or_else(|| {
+            format!(
+                "stage has {} dependencies, wanted index {i}",
+                self.deps.len()
+            )
+        })
+    }
+
+    /// The `i`-th dependency as characterization pairs.
+    pub fn dep_pairs(&self, i: usize) -> Result<&'a [BenchPair], String> {
+        self.dep(i)?
+            .as_pairs()
+            .ok_or_else(|| format!("dependency {i} is not a pairs value"))
+    }
+
+    /// The `i`-th dependency as rendered text.
+    pub fn dep_text(&self, i: usize) -> Result<&'a str, String> {
+        self.dep(i)?
+            .as_text()
+            .ok_or_else(|| format!("dependency {i} is not a text value"))
+    }
+}
+
+/// A stage body: dependencies in, value out. Errors (and panics, which
+/// the runner catches) fail the stage without poisoning the graph.
+pub type StageFn = Box<dyn Fn(&StageCtx<'_>) -> Result<StageValue, String> + Send + Sync>;
+
+/// One named node of a [`TaskGraph`].
+pub struct Stage {
+    pub(crate) name: String,
+    pub(crate) kind: StageKind,
+    pub(crate) deps: Vec<String>,
+    pub(crate) inputs: Vec<String>,
+    pub(crate) run: StageFn,
+}
+
+impl fmt::Debug for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stage")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("deps", &self.deps)
+            .field("inputs", &self.inputs)
+            .finish()
+    }
+}
+
+impl Stage {
+    /// A stage named `name` running `run`.
+    pub fn new(
+        name: impl Into<String>,
+        kind: StageKind,
+        run: impl Fn(&StageCtx<'_>) -> Result<StageValue, String> + Send + Sync + 'static,
+    ) -> Stage {
+        Stage {
+            name: name.into(),
+            kind,
+            deps: Vec::new(),
+            inputs: Vec::new(),
+            run: Box::new(run),
+        }
+    }
+
+    /// Adds a dependency edge on the stage named `dep`.
+    pub fn dep(mut self, dep: impl Into<String>) -> Stage {
+        self.deps.push(dep.into());
+        self
+    }
+
+    /// Adds a canonical input token. Tokens plus the stage kind plus the
+    /// upstream stage keys fully determine the stage key, so every value
+    /// the closure's behavior depends on (besides dependencies) must
+    /// appear here.
+    pub fn input(mut self, token: impl Into<String>) -> Stage {
+        self.inputs.push(token.into());
+        self
+    }
+
+    /// The stage's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The stage's kind.
+    pub fn kind(&self) -> StageKind {
+        self.kind
+    }
+}
+
+/// Why a graph failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowError {
+    /// The graph has no stages.
+    Empty,
+    /// Two stages share a name.
+    DuplicateStage(String),
+    /// A dependency edge names a stage that does not exist.
+    UnknownDependency {
+        /// The stage declaring the edge.
+        stage: String,
+        /// The missing dependency name.
+        dep: String,
+    },
+    /// An output names a stage that does not exist.
+    UnknownOutput(String),
+    /// The graph has a dependency cycle through the named stages.
+    Cycle(Vec<String>),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Empty => write!(f, "graph has no stages"),
+            FlowError::DuplicateStage(name) => write!(f, "duplicate stage name: {name:?}"),
+            FlowError::UnknownDependency { stage, dep } => {
+                write!(f, "stage {stage:?} depends on unknown stage {dep:?}")
+            }
+            FlowError::UnknownOutput(name) => write!(f, "output names unknown stage {name:?}"),
+            FlowError::Cycle(names) => {
+                write!(f, "dependency cycle through stages: {}", names.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// A validated schedule: stages grouped into topological levels plus
+/// per-stage resolved dependency indices.
+#[derive(Debug)]
+pub(crate) struct Plan {
+    /// Stage indices grouped by topological depth; within a level,
+    /// insertion order (so the whole order is deterministic).
+    pub levels: Vec<Vec<usize>>,
+    /// The flattened deterministic topological order.
+    pub order: Vec<usize>,
+    /// Resolved dependency indices per stage, in declaration order.
+    pub dep_idx: Vec<Vec<usize>>,
+}
+
+/// A DAG of named stages with declared outputs.
+#[derive(Debug)]
+pub struct TaskGraph {
+    pub(crate) name: String,
+    pub(crate) stages: Vec<Stage>,
+    pub(crate) outputs: Vec<String>,
+}
+
+impl TaskGraph {
+    /// An empty graph named `name`.
+    pub fn new(name: impl Into<String>) -> TaskGraph {
+        TaskGraph {
+            name: name.into(),
+            stages: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Adds a stage. Duplicate names are reported by [`validate`], not
+    /// here, so graph construction stays infallible.
+    ///
+    /// [`validate`]: TaskGraph::validate
+    pub fn add(&mut self, stage: Stage) -> &mut TaskGraph {
+        self.stages.push(stage);
+        self
+    }
+
+    /// Declares the stage named `stage` as an output: its rendered text
+    /// is returned (in declaration order) by the runner.
+    pub fn output(&mut self, stage: impl Into<String>) -> &mut TaskGraph {
+        self.outputs.push(stage.into());
+        self
+    }
+
+    /// The graph's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the graph has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Checks the graph is well-formed: non-empty, unique stage names,
+    /// every edge and output resolving, and no dependency cycles.
+    pub fn validate(&self) -> Result<(), FlowError> {
+        self.plan().map(|_| ())
+    }
+
+    /// Builds the level schedule, performing full validation.
+    pub(crate) fn plan(&self) -> Result<Plan, FlowError> {
+        let n = self.stages.len();
+        if n == 0 {
+            return Err(FlowError::Empty);
+        }
+        let mut index: HashMap<&str, usize> = HashMap::with_capacity(n);
+        for (i, s) in self.stages.iter().enumerate() {
+            if index.insert(s.name.as_str(), i).is_some() {
+                return Err(FlowError::DuplicateStage(s.name.clone()));
+            }
+        }
+        let mut dep_idx = Vec::with_capacity(n);
+        for s in &self.stages {
+            let mut ds = Vec::with_capacity(s.deps.len());
+            for d in &s.deps {
+                match index.get(d.as_str()) {
+                    Some(&j) => ds.push(j),
+                    None => {
+                        return Err(FlowError::UnknownDependency {
+                            stage: s.name.clone(),
+                            dep: d.clone(),
+                        })
+                    }
+                }
+            }
+            dep_idx.push(ds);
+        }
+        for o in &self.outputs {
+            if !index.contains_key(o.as_str()) {
+                return Err(FlowError::UnknownOutput(o.clone()));
+            }
+        }
+
+        // Level = 1 + max(dependency levels), found by fixpoint iteration
+        // scanning stages in insertion order — deterministic by
+        // construction. A self-edge or cycle never levels its stages.
+        let mut level = vec![usize::MAX; n];
+        loop {
+            let mut progressed = false;
+            for i in 0..n {
+                if level[i] != usize::MAX {
+                    continue;
+                }
+                let mut depth = 0usize;
+                let mut ready = true;
+                for &d in &dep_idx[i] {
+                    if d == i || level[d] == usize::MAX {
+                        ready = false;
+                        break;
+                    }
+                    depth = depth.max(level[d] + 1);
+                }
+                if ready {
+                    level[i] = depth;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        if level.contains(&usize::MAX) {
+            let cyclic = (0..n)
+                .filter(|&i| level[i] == usize::MAX)
+                .map(|i| self.stages[i].name.clone())
+                .collect();
+            return Err(FlowError::Cycle(cyclic));
+        }
+
+        let depth = level.iter().max().copied().unwrap_or(0) + 1;
+        let mut levels = vec![Vec::new(); depth];
+        for (i, &l) in level.iter().enumerate() {
+            levels[l].push(i);
+        }
+        let order = levels.iter().flatten().copied().collect();
+        Ok(Plan {
+            levels,
+            order,
+            dep_idx,
+        })
+    }
+
+    /// Content-addresses every stage: `composite_key("stage", kind +
+    /// input tokens, upstream stage keys)`, computed in topological order
+    /// so upstream keys are always resolved first. Indexed by stage.
+    pub(crate) fn stage_keys(&self, plan: &Plan) -> Vec<RunKey> {
+        let mut keys = vec![RunKey(0); self.stages.len()];
+        for &i in &plan.order {
+            let s = &self.stages[i];
+            let mut inputs: Vec<&str> = Vec::with_capacity(s.inputs.len() + 1);
+            inputs.push(s.kind.label());
+            inputs.extend(s.inputs.iter().map(String::as_str));
+            let members: Vec<RunKey> = plan.dep_idx[i].iter().map(|&d| keys[d]).collect();
+            keys[i] = composite_key("stage", &inputs, &members);
+        }
+        keys
+    }
+
+    /// The whole graph's content address: the graph name plus every stage
+    /// key in topological order. This is the journal key `GET
+    /// /v1/workflows/{key}` resolves and the `X-Workflow-Key` header.
+    pub fn workflow_key(&self) -> Result<RunKey, FlowError> {
+        let plan = self.plan()?;
+        let keys = self.stage_keys(&plan);
+        let ordered: Vec<RunKey> = plan.order.iter().map(|&i| keys[i]).collect();
+        Ok(composite_key("workflow", &[self.name.as_str()], &ordered))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteropipe_sim::check;
+
+    fn stage(name: &str, deps: &[&str]) -> Stage {
+        let mut s = Stage::new(name, StageKind::Render, |_| Ok(StageValue::from_text("")));
+        for d in deps {
+            s = s.dep(*d);
+        }
+        s
+    }
+
+    fn graph(stages: Vec<Stage>) -> TaskGraph {
+        let mut g = TaskGraph::new("test");
+        for s in stages {
+            g.add(s);
+        }
+        g
+    }
+
+    #[test]
+    fn empty_duplicate_and_unknown_are_rejected() {
+        assert_eq!(TaskGraph::new("t").validate(), Err(FlowError::Empty));
+
+        let g = graph(vec![stage("a", &[]), stage("a", &[])]);
+        assert_eq!(g.validate(), Err(FlowError::DuplicateStage("a".into())));
+
+        let g = graph(vec![stage("a", &["ghost"])]);
+        assert_eq!(
+            g.validate(),
+            Err(FlowError::UnknownDependency {
+                stage: "a".into(),
+                dep: "ghost".into(),
+            })
+        );
+
+        let mut g = graph(vec![stage("a", &[])]);
+        g.output("ghost");
+        assert_eq!(g.validate(), Err(FlowError::UnknownOutput("ghost".into())));
+    }
+
+    #[test]
+    fn cycles_are_rejected_with_the_stages_named() {
+        // a -> b -> c -> a, plus an innocent d.
+        let g = graph(vec![
+            stage("a", &["c"]),
+            stage("b", &["a"]),
+            stage("c", &["b"]),
+            stage("d", &[]),
+        ]);
+        let err = g.validate().unwrap_err();
+        assert_eq!(
+            err,
+            FlowError::Cycle(vec!["a".into(), "b".into(), "c".into()])
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("cycle"), "{msg}");
+        assert!(msg.contains("a, b, c"), "{msg}");
+
+        // Self-edges are one-stage cycles.
+        let g = graph(vec![stage("solo", &["solo"])]);
+        assert_eq!(g.validate(), Err(FlowError::Cycle(vec!["solo".into()])));
+    }
+
+    #[test]
+    fn levels_respect_edges() {
+        let g = graph(vec![
+            stage("sweep", &[]),
+            stage("fig_a", &["sweep"]),
+            stage("fig_b", &["sweep"]),
+            stage("summary", &["fig_a", "fig_b"]),
+            stage("table", &[]),
+        ]);
+        let plan = g.plan().unwrap();
+        assert_eq!(plan.levels, vec![vec![0, 4], vec![1, 2], vec![3]]);
+        assert_eq!(plan.order, vec![0, 4, 1, 2, 3]);
+    }
+
+    /// Topological order is deterministic and edge-respecting for random
+    /// DAGs (built acyclic by only allowing back-references).
+    #[test]
+    fn topo_order_is_deterministic_under_random_dags() {
+        check::cases(64, 0xF10E, |gen| {
+            let n = gen.usize(1, 12);
+            let mut stages = Vec::with_capacity(n);
+            let mut deps_of: Vec<Vec<usize>> = Vec::with_capacity(n);
+            for i in 0..n {
+                let mut deps = Vec::new();
+                if i > 0 {
+                    for d in 0..i {
+                        if gen.bool() {
+                            deps.push(d);
+                        }
+                    }
+                }
+                deps_of.push(deps.clone());
+                let names: Vec<String> = deps.iter().map(|d| format!("s{d}")).collect();
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                stages.push(stage(&format!("s{i}"), &refs));
+            }
+            let g = graph(stages);
+            let plan = g.plan().unwrap();
+            let plan2 = g.plan().unwrap();
+            assert_eq!(plan.order, plan2.order, "re-planning must not reorder");
+            assert_eq!(plan.levels, plan2.levels);
+
+            let pos: HashMap<usize, usize> = plan
+                .order
+                .iter()
+                .enumerate()
+                .map(|(p, &i)| (i, p))
+                .collect();
+            for (i, deps) in deps_of.iter().enumerate() {
+                for &d in deps {
+                    assert!(pos[&d] < pos[&i], "dep {d} must precede {i}");
+                }
+            }
+
+            // Stage keys are deterministic too.
+            let keys = g.stage_keys(&plan);
+            assert_eq!(keys, g.stage_keys(&plan));
+        });
+    }
+
+    #[test]
+    fn random_cycles_are_always_rejected() {
+        check::cases(32, 0xC1C7E, |gen| {
+            // A forward chain with one deliberate back edge somewhere.
+            let n = gen.usize(2, 10);
+            let back_from = gen.usize(0, n - 1);
+            let back_to = gen.usize(back_from + 1, n);
+            let mut stages = Vec::new();
+            for i in 0..n {
+                let mut deps: Vec<String> = Vec::new();
+                if i > 0 {
+                    deps.push(format!("s{}", i - 1));
+                }
+                if i == back_from {
+                    deps.push(format!("s{back_to}"));
+                }
+                let refs: Vec<&str> = deps.iter().map(String::as_str).collect();
+                stages.push(stage(&format!("s{i}"), &refs));
+            }
+            let err = graph(stages).validate().unwrap_err();
+            assert!(matches!(err, FlowError::Cycle(_)), "{err}");
+        });
+    }
+
+    #[test]
+    fn stage_keys_separate_kind_inputs_and_upstream() {
+        let build = |kind: StageKind, token: &str, dep_token: &str| {
+            let mut g = TaskGraph::new("t");
+            g.add(
+                Stage::new("up", StageKind::Sweep, |_| Ok(StageValue::from_text("")))
+                    .input(dep_token.to_string()),
+            );
+            g.add(
+                Stage::new("down", kind, |_| Ok(StageValue::from_text("")))
+                    .dep("up")
+                    .input(token.to_string()),
+            );
+            let plan = g.plan().unwrap();
+            g.stage_keys(&plan)[1]
+        };
+        let base = build(StageKind::Analysis, "x=1", "s=1");
+        assert_eq!(base, build(StageKind::Analysis, "x=1", "s=1"));
+        assert_ne!(base, build(StageKind::Render, "x=1", "s=1"), "kind");
+        assert_ne!(base, build(StageKind::Analysis, "x=2", "s=1"), "inputs");
+        assert_ne!(
+            base,
+            build(StageKind::Analysis, "x=1", "s=2"),
+            "upstream key must propagate"
+        );
+    }
+
+    #[test]
+    fn workflow_key_covers_name_and_stages() {
+        let make = |name: &str, token: &str| {
+            let mut g = TaskGraph::new(name);
+            g.add(
+                Stage::new("a", StageKind::Render, |_| Ok(StageValue::from_text("")))
+                    .input(token.to_string()),
+            );
+            g.workflow_key().unwrap()
+        };
+        assert_eq!(make("w", "x"), make("w", "x"));
+        assert_ne!(make("w", "x"), make("v", "x"));
+        assert_ne!(make("w", "x"), make("w", "y"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # heteropipe-flow
+//!
+//! The DAG workflow engine: whole paper figures run as dependency graphs
+//! of named stages instead of straight-line harness code.
+//!
+//! * [`graph`] — [`TaskGraph`]s of [`Stage`]s (sweep / analysis / render
+//!   kinds) with explicit dependency edges. Validation rejects duplicate
+//!   names, unknown edges, and cycles with errors naming the offending
+//!   stages; planning groups stages into deterministic topological
+//!   levels. Every stage is content-addressed by a *stage key*
+//!   ([`heteropipe_engine::composite_key`] over its kind, canonical input
+//!   tokens, and upstream stage keys), and the whole graph by a
+//!   *workflow key* over its name and stage keys;
+//! * [`runner`] — [`FlowRunner`] executes a graph level by level over
+//!   [`heteropipe::exec::par_map`]'s bounded pool (independent stages run
+//!   concurrently, capped by the engine's job limit), memoizes stage
+//!   values by stage key so shared sweep prefixes across figures execute
+//!   exactly once, isolates failures per stage (dependents are skipped,
+//!   independent branches proceed, engine retry/quarantine applies
+//!   inside sweep stages), journals results by workflow key for `GET
+//!   /v1/workflows/{key}`, and records a per-stage span timeline into
+//!   the engine's trace store;
+//! * [`figures`] — the built-in graphs: one per figure/table/study plus
+//!   `repro_all`, sharing stage keys so the harness binaries, the HTTP
+//!   API, and the full reproduction all hit the same memo entries.
+//!
+//! Like the rest of the workspace, the crate is `std`-only.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod graph;
+pub mod runner;
+
+pub use figures::{FigureGraph, PrintStyle};
+pub use graph::{FlowError, Stage, StageCtx, StageKind, StageValue, TaskGraph};
+pub use runner::{
+    FlowMetricsSnapshot, FlowRunner, StageEvent, StageStatus, WorkflowResult, WorkflowSummary,
+};

@@ -1,0 +1,106 @@
+//! End-to-end checks of the built-in figure graphs: byte-identity with
+//! the direct experiment APIs, shared-sweep-prefix memoization across
+//! figures, and fully-memoized warm re-runs of `repro_all`.
+
+use std::sync::Arc;
+
+use heteropipe::experiments::{characterize_all_with, fig456, fig9};
+use heteropipe_engine::Engine;
+use heteropipe_flow::{figures, FlowRunner};
+use heteropipe_workloads::Scale;
+
+fn runner() -> FlowRunner {
+    FlowRunner::new(Arc::new(Engine::new().memory_cache_only()))
+}
+
+#[test]
+fn fig5_graph_output_is_byte_identical_to_the_direct_api() {
+    let r = runner();
+    let fg = figures::graph("fig5", Scale::TEST, false).unwrap();
+    let result = r.run(&fg.graph).unwrap();
+    assert_eq!(result.summary.failed, 0);
+    assert_eq!(result.outputs.len(), 1);
+
+    let direct = Engine::new().memory_cache_only();
+    let expected = fig456::render_fig5(&fig456::fig5(&characterize_all_with(&direct, Scale::TEST)));
+    assert_eq!(
+        result.outputs[0].1.as_str(),
+        expected,
+        "graph render must match what the pre-graph binary printed"
+    );
+}
+
+#[test]
+fn csv_variant_renders_the_csv_form() {
+    let r = runner();
+    let fg = figures::graph("fig9", Scale::TEST, true).unwrap();
+    let result = r.run(&fg.graph).unwrap();
+    let direct = Engine::new().memory_cache_only();
+    let expected = fig9::csv(&fig9::fig9(&characterize_all_with(&direct, Scale::TEST)));
+    assert_eq!(result.outputs[0].1.as_str(), expected);
+}
+
+#[test]
+fn shared_sweep_prefix_across_figures_executes_once() {
+    let r = runner();
+    let run = |name: &str| {
+        let fg = figures::graph(name, Scale::TEST, false).unwrap();
+        let result = r.run(&fg.graph).unwrap();
+        assert_eq!(result.summary.failed, 0, "{name}");
+        result
+    };
+    let first = run("fig5");
+    assert_eq!(first.summary.executed, 2, "characterize + fig5 run cold");
+    let jobs_after_first = r.engine().metrics().jobs_executed;
+    assert!(jobs_after_first > 0);
+
+    // fig6 and fig9 share the characterize stage: the memo answers it, so
+    // the engine simulates nothing further.
+    for (name, hits_so_far) in [("fig6", 1), ("fig9", 2)] {
+        let result = run(name);
+        assert_eq!(result.summary.executed, 1, "{name}: only its own render");
+        assert_eq!(
+            result.summary.cache_hits, 1,
+            "{name}: characterize memoized"
+        );
+        assert_eq!(
+            r.engine().metrics().jobs_executed,
+            jobs_after_first,
+            "{name}: no new simulations"
+        );
+        assert_eq!(r.metrics().stage_cache_hits, hits_so_far);
+    }
+}
+
+#[test]
+fn warm_rerun_of_repro_all_executes_zero_stages() {
+    let r = runner();
+    let fg = figures::graph("repro_all", Scale::TEST, false).unwrap();
+
+    let cold = r.run(&fg.graph).unwrap();
+    assert_eq!(cold.summary.failed, 0);
+    assert_eq!(cold.summary.skipped, 0);
+    assert_eq!(cold.summary.executed, cold.summary.stages_total);
+    assert_eq!(
+        cold.outputs.len(),
+        fg.graph.len() - 1,
+        "all but characterize"
+    );
+    let jobs_cold = r.engine().metrics().jobs_executed;
+
+    let warm = r.run(&fg.graph).unwrap();
+    assert_eq!(warm.summary.executed, 0, "warm re-run executes no stage");
+    assert_eq!(warm.summary.cache_hits, warm.summary.stages_total);
+    assert_eq!(
+        r.engine().metrics().jobs_executed,
+        jobs_cold,
+        "warm re-run simulates nothing"
+    );
+    // Outputs are the same shared values, byte for byte.
+    assert_eq!(cold.outputs.len(), warm.outputs.len());
+    for ((n1, t1), (n2, t2)) in cold.outputs.iter().zip(warm.outputs.iter()) {
+        assert_eq!(n1, n2);
+        assert_eq!(t1, t2);
+    }
+    assert_eq!(cold.key_hex, warm.key_hex);
+}

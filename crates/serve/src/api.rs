@@ -14,6 +14,11 @@
 //! with the originating request's correlation id. `POST /v1/sweeps`
 //! executes a whole batch through the engine's dedup + single-flight
 //! pipeline, streaming one NDJSON record per entry in completion order.
+//! `POST /v1/workflows` runs a whole task graph — a built-in figure
+//! graph by name or an inline sweep-stage list — through the
+//! `heteropipe-flow` DAG runner, streaming one NDJSON stage-completion
+//! event per stage; `GET /v1/workflows/{key}` returns the journaled
+//! result (see docs/workflows.md).
 //! The pre-redesign routes `POST /v1/run` and `GET /v1/run/{key}/trace`
 //! remain as deprecated aliases answering identically to their canonical
 //! forms, plus a `Deprecation` header.
@@ -25,6 +30,9 @@ use heteropipe::experiments::{characterize_all_with, fig3, fig456, fig78, fig9, 
 use heteropipe::{AccessClass, Executor, JobSpec, Organization, Platform, RunReport, SystemConfig};
 use heteropipe_engine::{run_key, sweep_key, Engine, EngineError, RunKey, SweepRecord};
 use heteropipe_faults::Injector;
+use heteropipe_flow::{
+    figures, FlowRunner, Stage, StageEvent, StageKind, StageValue, TaskGraph, WorkflowResult,
+};
 use heteropipe_obs::MetricRegistry;
 use heteropipe_workloads::{registry, Pipeline, Scale, Workload};
 
@@ -40,11 +48,18 @@ use crate::server::{Server, ServerHandle};
 /// monopolize the worker pool indefinitely.
 pub const MAX_SWEEP_JOBS: usize = 512;
 
+/// Most stages accepted in one inline `POST /v1/workflows` graph; the
+/// built-in named graphs are exempt (the largest, `repro_all`, defines
+/// the practical ceiling). Total sweep jobs across every inline stage
+/// share the [`MAX_SWEEP_JOBS`] cap.
+pub const MAX_WORKFLOW_STAGES: usize = 32;
+
 /// The handler implementing the heteropipe-serve routes. Share it via
 /// `Arc`; every worker thread dispatches through the same instance and the
 /// same underlying [`Engine`].
 pub struct Api {
     engine: Arc<Engine>,
+    flow: Arc<FlowRunner>,
     stats: OnceLock<Arc<ServerStats>>,
     breaker: OnceLock<Arc<CircuitBreaker>>,
     server_faults: OnceLock<Arc<Injector>>,
@@ -53,8 +68,10 @@ pub struct Api {
 impl Api {
     /// An API over `engine`.
     pub fn new(engine: Arc<Engine>) -> Arc<Api> {
+        let flow = Arc::new(FlowRunner::new(Arc::clone(&engine)));
         Arc::new(Api {
             engine,
+            flow,
             stats: OnceLock::new(),
             breaker: OnceLock::new(),
             server_faults: OnceLock::new(),
@@ -64,6 +81,11 @@ impl Api {
     /// The engine this API executes against.
     pub fn engine(&self) -> &Arc<Engine> {
         &self.engine
+    }
+
+    /// The workflow runner behind `POST /v1/workflows`.
+    pub fn flow(&self) -> &Arc<FlowRunner> {
+        &self.flow
     }
 
     /// Wires in the server's own counters so `/metrics` can report them.
@@ -106,6 +128,15 @@ impl Handler for Api {
             // Deprecated alias for `POST /v1/runs` (see docs/api.md).
             ("POST", "/v1/run") => deprecated(self.run(req), "/v1/runs"),
             ("POST", "/v1/sweeps") => self.sweeps(req),
+            ("POST", "/v1/workflows") => self.workflows(req),
+            (_, path) if path.starts_with("/v1/workflows/") => {
+                let key = &path["/v1/workflows/".len()..];
+                if req.method == "GET" {
+                    self.workflow_lookup(req, key)
+                } else {
+                    method_not_allowed(req, "GET")
+                }
+            }
             (_, path) if path.starts_with("/v1/runs/") => {
                 self.run_resource(req, &path["/v1/runs/".len()..], false)
             }
@@ -120,7 +151,9 @@ impl Handler for Api {
                 _,
                 "/healthz" | "/healthz/live" | "/healthz/ready" | "/metrics" | "/v1/benchmarks",
             ) => method_not_allowed(req, "GET"),
-            (_, "/v1/runs" | "/v1/run" | "/v1/sweeps") => method_not_allowed(req, "POST"),
+            (_, "/v1/runs" | "/v1/run" | "/v1/sweeps" | "/v1/workflows") => {
+                method_not_allowed(req, "POST")
+            }
             (_, path) if path.starts_with("/v1/experiments/") => method_not_allowed(req, "POST"),
             _ => fail(req, 404, "not_found", "no such route"),
         }
@@ -378,6 +411,30 @@ impl Api {
         )
         .set(self.engine.traces().len() as f64);
 
+        // Workflow counters (docs/workflows.md): graphs executed through
+        // the DAG runner and their per-stage memoization activity.
+        let f = self.flow.metrics();
+        set(
+            "heteropipe_workflows_total",
+            "Workflows executed through the DAG runner.",
+            f.workflows,
+        );
+        set(
+            "heteropipe_workflow_stages_total",
+            "Stage slots processed across all workflows.",
+            f.stages,
+        );
+        set(
+            "heteropipe_workflow_stage_cache_hits_total",
+            "Workflow stages served from the stage memo without executing.",
+            f.stage_cache_hits,
+        );
+        set(
+            "heteropipe_workflow_stage_failures_total",
+            "Workflow stages whose body failed.",
+            f.stage_failures,
+        );
+
         // Resilience counters (docs/robustness.md): retries, quarantines,
         // watchdog overruns, and cache self-healing activity.
         set(
@@ -612,9 +669,21 @@ impl Api {
             None => Json::Null,
         };
 
+        let f = self.flow.metrics();
+        let workflows = Json::Obj(vec![
+            ("count".into(), Json::U64(f.workflows)),
+            ("stages".into(), Json::U64(f.stages)),
+            ("stage_cache_hits".into(), Json::U64(f.stage_cache_hits)),
+            ("stage_failures".into(), Json::U64(f.stage_failures)),
+        ]);
+
         Response::json(
             200,
-            &Json::Obj(vec![("engine".into(), engine), ("server".into(), server)]),
+            &Json::Obj(vec![
+                ("engine".into(), engine),
+                ("workflows".into(), workflows),
+                ("server".into(), server),
+            ]),
         )
     }
 
@@ -719,6 +788,80 @@ impl Api {
         });
         Response::streaming(200, "application/x-ndjson", stream)
             .with_header("X-Sweep-Key", &sweep_hex)
+    }
+
+    /// `POST /v1/workflows`: runs a task graph — a built-in named graph
+    /// (`{"workflow": "fig5", "scale": 0.08}`) or an inline list of sweep
+    /// stages with dependency edges — streaming one NDJSON stage-completion
+    /// event per stage and a trailing summary line. The response carries
+    /// the graph's content address in `X-Workflow-Key`; feeding it back to
+    /// `GET /v1/workflows/{key}` returns the journaled result.
+    fn workflows(&self, req: &Request) -> Response {
+        let Some(body) = parse_body(req) else {
+            return fail(req, 400, "bad_request", "body must be a JSON object");
+        };
+        let graph = match workflow_graph(&body) {
+            Ok(graph) => graph,
+            Err(e) => return fail(req, e.status, e.code, &e.message),
+        };
+        // Full validation (duplicates, unknown edges, cycles) up front, so
+        // a bad graph is a clean 400 envelope instead of a broken stream.
+        let wkey = match graph.workflow_key() {
+            Ok(key) => key.hex(),
+            Err(e) => return fail(req, 400, "bad_request", &format!("invalid workflow: {e}")),
+        };
+        let flow = Arc::clone(&self.flow);
+        let request_id = req.request_id.clone();
+        let stream = BodyStream::new(move |sink| {
+            // The runner calls the sink from its worker threads; the chunk
+            // writer is the one shared side effect to serialize.
+            let out = Mutex::new(sink);
+            let broken = AtomicBool::new(false);
+            let rid = (!request_id.is_empty()).then_some(request_id.as_str());
+            let result = flow.run_observed(&graph, rid, &|ev| {
+                if broken.load(Ordering::Relaxed) {
+                    return;
+                }
+                let line = format!("{}\n", stage_event_json(ev).dump());
+                if out.lock().unwrap().send(line.as_bytes()).is_err() {
+                    // The peer went away mid-stream. Keep executing (the
+                    // memo still warms for the retry) but stop writing.
+                    broken.store(true, Ordering::Relaxed);
+                }
+            });
+            let result = result.expect("graph validated before streaming");
+            if broken.load(Ordering::Relaxed) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "workflow stream peer went away",
+                ));
+            }
+            let line = format!("{}\n", workflow_summary_json(&result).dump());
+            let mut w = out.lock().unwrap();
+            w.send(line.as_bytes())
+        });
+        Response::streaming(200, "application/x-ndjson", stream)
+            .with_header("X-Workflow-Key", &wkey)
+    }
+
+    /// `GET /v1/workflows/{key}`: the journaled result of a previously
+    /// executed workflow — summary, per-stage events, and the rendered
+    /// text of every declared output stage.
+    fn workflow_lookup(&self, req: &Request, key: &str) -> Response {
+        if !valid_run_key(key) {
+            return fail(
+                req,
+                400,
+                "bad_request",
+                &format!("workflow key must be 32 hex characters, got {key:?}"),
+            );
+        }
+        match self.flow.journaled(&key.to_ascii_lowercase()) {
+            Some(result) => Response::json(200, &workflow_result_json(&result))
+                .with_header("X-Workflow-Key", &result.key_hex)
+                .into_chunked(),
+            None => fail(req, 404, "not_found", "no journaled workflow for that key"),
+        }
     }
 
     fn experiment(&self, req: &Request, name: &str) -> Response {
@@ -1054,6 +1197,213 @@ fn sweep_summary_json(outcome: &heteropipe_engine::SweepOutcome) -> Json {
             ("speedup_vs_serial".into(), Json::F64(s.speedup_vs_serial())),
         ]),
     )])
+}
+
+/// Builds the graph a `POST /v1/workflows` body describes: either a
+/// built-in named graph (`"workflow"` plus optional `"scale"`) or an
+/// inline `"stages"` array of sweep stages with dependency edges.
+fn workflow_graph(body: &Json) -> Result<TaskGraph, SpecError> {
+    if let Some(name) = body.get("workflow") {
+        let Some(name) = name.as_str() else {
+            return Err(SpecError::bad("\"workflow\" must be a string"));
+        };
+        let scale = parse_scale(body).map_err(SpecError::bad)?;
+        return match figures::graph(name, scale, false) {
+            Some(fg) => Ok(fg.graph),
+            None => Err(SpecError::new(
+                404,
+                "not_found",
+                format!(
+                    "unknown workflow: {name} (built-ins: {})",
+                    figures::names().join(", ")
+                ),
+            )),
+        };
+    }
+    let Some(stages) = body.get("stages") else {
+        return Err(SpecError::bad(
+            "body needs \"workflow\" (built-in name) or \"stages\" (array of stage objects)",
+        ));
+    };
+    let Some(stages) = stages.as_array() else {
+        return Err(SpecError::bad("\"stages\" must be an array"));
+    };
+    if stages.is_empty() {
+        return Err(SpecError::bad("workflow has no stages"));
+    }
+    if stages.len() > MAX_WORKFLOW_STAGES {
+        return Err(SpecError::new(
+            413,
+            "payload_too_large",
+            format!(
+                "workflow of {} stages exceeds the {MAX_WORKFLOW_STAGES}-stage cap",
+                stages.len()
+            ),
+        ));
+    }
+    let mut graph = TaskGraph::new("inline");
+    let mut total_jobs = 0usize;
+    for (i, stage) in stages.iter().enumerate() {
+        let Json::Obj(_) = stage else {
+            return Err(SpecError::bad(format!("stages[{i}] must be an object")));
+        };
+        let built = inline_stage(stage, &mut total_jobs)
+            .map_err(|e| SpecError::new(e.status, e.code, format!("stages[{i}]: {}", e.message)))?;
+        let name = built.name().to_owned();
+        graph.add(built);
+        graph.output(name);
+    }
+    Ok(graph)
+}
+
+/// Parses one inline workflow stage: a name, optional `deps`, and a sweep
+/// body (the same `jobs` / `benchmarks` forms as `POST /v1/sweeps`). The
+/// stage key is derived from the sweep's content address, so identical
+/// inline sweep stages memoize across workflows.
+fn inline_stage(stage: &Json, total_jobs: &mut usize) -> Result<Stage, SpecError> {
+    let Some(name) = stage.get("name").and_then(Json::as_str) else {
+        return Err(SpecError::bad("missing field: name"));
+    };
+    let deps: Vec<String> = match stage.get("deps") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(Json::Arr(items)) => {
+            let mut deps = Vec::with_capacity(items.len());
+            for d in items {
+                match d.as_str() {
+                    Some(s) => deps.push(s.to_owned()),
+                    None => return Err(SpecError::bad("\"deps\" entries must be stage names")),
+                }
+            }
+            deps
+        }
+        Some(_) => return Err(SpecError::bad("\"deps\" must be an array of stage names")),
+    };
+    let entries = sweep_entries(stage)?;
+    if entries.is_empty() {
+        return Err(SpecError::bad("stage sweep has no jobs"));
+    }
+    *total_jobs += entries.len();
+    if *total_jobs > MAX_SWEEP_JOBS {
+        return Err(SpecError::new(
+            413,
+            "payload_too_large",
+            format!("workflow exceeds the {MAX_SWEEP_JOBS}-job cap across its stages"),
+        ));
+    }
+    let mut owned = Vec::with_capacity(entries.len());
+    for (j, entry) in entries.iter().enumerate() {
+        match parse_job_spec(entry) {
+            Ok(job) => owned.push(job),
+            Err(e) => {
+                return Err(SpecError::new(
+                    e.status,
+                    e.code,
+                    format!("jobs[{j}]: {}", e.message),
+                ))
+            }
+        }
+    }
+    let keys: Vec<RunKey> = owned.iter().map(|o| run_key(&o.spec())).collect();
+    let sweep_hex = sweep_key(&keys).hex();
+    let mut built = Stage::new(name, StageKind::Sweep, move |ctx| {
+        let specs: Vec<JobSpec<'_>> = owned.iter().map(OwnedJobSpec::spec).collect();
+        let records = Mutex::new(Vec::with_capacity(specs.len()));
+        let outcome = ctx.engine().execute_sweep_observed(&specs, None, &|rec| {
+            records
+                .lock()
+                .unwrap()
+                .push((rec.index, sweep_record_json(rec).dump()));
+        });
+        if outcome.summary.failed > 0 {
+            return Err(format!(
+                "{} of {} sweep jobs failed",
+                outcome.summary.failed, outcome.summary.jobs_total
+            ));
+        }
+        // Completion order is nondeterministic; the stage value is the
+        // records in submission order, one JSON line each.
+        let mut records = records.into_inner().unwrap();
+        records.sort_by_key(|&(i, _)| i);
+        let mut text = String::new();
+        for (_, line) in records {
+            text.push_str(&line);
+            text.push('\n');
+        }
+        Ok(StageValue::from_text(text))
+    })
+    .input(format!("jobs={sweep_hex}"));
+    for d in deps {
+        built = built.dep(d);
+    }
+    Ok(built)
+}
+
+/// One NDJSON stage-completion event of a workflow stream (also the
+/// `events` entries of the journaled result).
+fn stage_event_json(ev: &StageEvent) -> Json {
+    let mut obj = vec![
+        ("stage".to_string(), Json::str(ev.stage.clone())),
+        ("kind".to_string(), Json::str(ev.kind.label())),
+        ("key".to_string(), Json::str(ev.key_hex.clone())),
+        ("status".to_string(), Json::str(ev.status.label())),
+        ("cache_hit".to_string(), Json::Bool(ev.cache_hit)),
+        ("wall_ms".to_string(), Json::U64(ev.wall_ns / 1_000_000)),
+    ];
+    if let Some(e) = &ev.error {
+        obj.push((
+            "error".to_string(),
+            Json::Obj(vec![("message".into(), Json::str(e.clone()))]),
+        ));
+    }
+    Json::Obj(obj)
+}
+
+/// The workflow summary object shared by the trailing NDJSON line and the
+/// journaled-result lookup.
+fn workflow_summary_json(result: &WorkflowResult) -> Json {
+    let s = &result.summary;
+    Json::Obj(vec![(
+        "workflow".to_string(),
+        Json::Obj(vec![
+            ("key".into(), Json::str(result.key_hex.clone())),
+            ("name".into(), Json::str(result.name.clone())),
+            ("stages_total".into(), Json::U64(s.stages_total)),
+            ("executed".into(), Json::U64(s.executed)),
+            ("cache_hits".into(), Json::U64(s.cache_hits)),
+            ("failed".into(), Json::U64(s.failed)),
+            ("skipped".into(), Json::U64(s.skipped)),
+            ("wall_ms".into(), Json::U64(s.wall_ns / 1_000_000)),
+        ]),
+    )])
+}
+
+/// The `GET /v1/workflows/{key}` body: summary, per-stage events, and the
+/// rendered text of every declared output stage.
+fn workflow_result_json(result: &WorkflowResult) -> Json {
+    let mut fields = match workflow_summary_json(result) {
+        Json::Obj(fields) => fields,
+        _ => unreachable!("summary is an object"),
+    };
+    fields.push((
+        "events".to_string(),
+        Json::Arr(result.events.iter().map(stage_event_json).collect()),
+    ));
+    fields.push((
+        "outputs".to_string(),
+        Json::Arr(
+            result
+                .outputs
+                .iter()
+                .map(|(stage, text)| {
+                    Json::Obj(vec![
+                        ("stage".into(), Json::str(stage.clone())),
+                        ("text".into(), Json::str(text.as_str())),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Json::Obj(fields)
 }
 
 fn benchmarks() -> Response {
