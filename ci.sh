@@ -11,8 +11,8 @@ cargo test -q --release
 # Every client-visible error must be the JSON envelope (docs/api.md):
 # the retired plain-text constructors must not creep back in.
 ! grep -rn "Response::error" crates/ --include='*.rs'
-! grep -rn "Response::text(4" crates/serve/src --include='*.rs'
-! grep -rn "Response::text(5" crates/serve/src --include='*.rs'
+! grep -rn "Response::text(4" crates/serve/src crates/cluster/src --include='*.rs'
+! grep -rn "Response::text(5" crates/serve/src crates/cluster/src --include='*.rs'
 
 # Server smoke: ephemeral port, /healthz + one POST /v1/runs through the
 # std-only client, warm repeat must be a byte-identical cache hit, the
@@ -35,3 +35,16 @@ HETEROPIPE_LOG=info cargo run --release -p heteropipe-bench --bin smoke
 # corruption. The plan seeds are compiled into the binary so every CI
 # run replays the identical fault schedule.
 HETEROPIPE_LOG=error cargo run --release -p heteropipe-bench --bin chaos
+
+# Cluster smoke: one coordinator over two loopback workers. A cold sweep
+# must shard across both workers and answer byte-identically to a single
+# node, a warm repeat must be served entirely from peer disk caches with
+# zero executions, and a worker torn down mid-sweep (dropped response,
+# then a real shutdown) must rehash and self-heal without changing a
+# single record byte (docs/cluster.md).
+HETEROPIPE_LOG=error cargo run --release -p heteropipe-bench --bin cluster_smoke -- --scale 0.05
+
+# Performance checkpoint: regenerates BENCH_<today>.json at a small scale
+# and, when an earlier committed BENCH_*.json exists, fails on any
+# throughput/latency collapse beyond the binary's generous tolerance.
+HETEROPIPE_LOG=error cargo run --release -p heteropipe-bench --bin perf -- --scale 0.05

@@ -8,6 +8,12 @@
 //! cargo run --release -p heteropipe-bench --bin serve -- \
 //!     --addr 127.0.0.1:7878 --threads 8 --max-inflight 64
 //! ```
+//!
+//! With `--worker --cache-dir <path>` the same binary serves as one
+//! worker of a `heteropipe-cluster` coordinator: the API is identical,
+//! the role is logged for supervisors, and the disk cache points at the
+//! worker's own shard directory (a coordinator treats it as the cluster's
+//! third cache tier).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -48,7 +54,13 @@ fn main() {
     obs_log::info(
         "serve",
         "listening",
-        &[("addr", handle.addr().to_string().into())],
+        &[
+            ("addr", handle.addr().to_string().into()),
+            (
+                "role",
+                if args.worker { "worker" } else { "standalone" }.into(),
+            ),
+        ],
     );
 
     shutdown::install();

@@ -29,9 +29,12 @@ use heteropipe_workloads::Scale;
 /// `--csv` (machine-readable output where supported). The server-facing
 /// binaries add `--addr <host:port>` (bind/target address),
 /// `--threads <N>` (server workers / load-generator clients),
-/// `--max-inflight <N>` (connection limit before 503 backpressure), and
-/// `--requests <N>` (load-generator requests per client). Unknown
-/// arguments are rejected with a message listing the accepted ones.
+/// `--max-inflight <N>` (connection limit before 503 backpressure),
+/// `--requests <N>` (load-generator requests per client),
+/// `--worker` (run `serve` as a cluster worker behind a coordinator),
+/// and `--cache-dir <path>` (disk-cache location, so cluster workers
+/// keep disjoint caches). Unknown arguments are rejected with a message
+/// listing the accepted ones.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HarnessArgs {
     /// Input scale for the workload models.
@@ -51,6 +54,13 @@ pub struct HarnessArgs {
     pub max_inflight: Option<usize>,
     /// Requests per load-generator thread.
     pub requests: Option<usize>,
+    /// Whether `serve` runs as a cluster worker behind a coordinator
+    /// (today a role marker for logs and process supervisors; the HTTP
+    /// surface is identical).
+    pub worker: bool,
+    /// Disk-cache directory override; cluster workers point this at
+    /// disjoint paths so each owns its shard's cache.
+    pub cache_dir: Option<String>,
 }
 
 impl HarnessArgs {
@@ -76,6 +86,8 @@ impl HarnessArgs {
             threads: None,
             max_inflight: None,
             requests: None,
+            worker: false,
+            cache_dir: None,
         };
         let mut it = args.into_iter();
         let positive = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -108,10 +120,19 @@ impl HarnessArgs {
                     out.max_inflight = Some(positive(&mut it, "--max-inflight"));
                 }
                 "--requests" => out.requests = Some(positive(&mut it, "--requests")),
+                "--worker" => out.worker = true,
+                "--cache-dir" => {
+                    out.cache_dir = Some(
+                        it.next()
+                            .filter(|s| !s.is_empty())
+                            .unwrap_or_else(|| panic!("--cache-dir requires a path")),
+                    );
+                }
                 other => panic!(
                     "unknown argument {other}; accepted: --scale <f64>, --jobs <N>, \
                      --no-cache, --csv, --addr <host:port>, --threads <N>, \
-                     --max-inflight <N>, --requests <N>"
+                     --max-inflight <N>, --requests <N>, --worker, \
+                     --cache-dir <path>"
                 ),
             }
         }
@@ -119,11 +140,14 @@ impl HarnessArgs {
     }
 
     /// Builds the [`Engine`] these arguments describe: default disk cache
-    /// (or none under `--no-cache`), parallelism from `--jobs`.
+    /// (or the `--cache-dir` override, or none under `--no-cache`),
+    /// parallelism from `--jobs`.
     pub fn engine(&self) -> Engine {
         let mut e = Engine::new();
         if self.no_cache {
             e = e.without_cache();
+        } else if let Some(dir) = &self.cache_dir {
+            e = e.with_cache_dir(dir);
         }
         if let Some(jobs) = self.jobs {
             e = e.with_jobs(jobs);
@@ -252,6 +276,21 @@ mod tests {
         assert_eq!(a.threads, Some(8));
         assert_eq!(a.max_inflight, Some(128));
         assert_eq!(a.requests, Some(500));
+        assert!(!a.worker);
+    }
+
+    #[test]
+    fn parses_worker_and_cache_dir() {
+        let a = args(&["--worker", "--cache-dir", "/tmp/shard-0"]);
+        assert!(a.worker);
+        assert_eq!(a.cache_dir.as_deref(), Some("/tmp/shard-0"));
+        assert!(a.engine().cache().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "--cache-dir requires")]
+    fn rejects_missing_cache_dir() {
+        HarnessArgs::from_iter(["--cache-dir".to_string()]);
     }
 
     #[test]

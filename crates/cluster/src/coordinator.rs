@@ -1,0 +1,1423 @@
+//! The coordinator: a `heteropipe-serve`-compatible front door that owns
+//! no engine of its own. Run keys place work on a static worker set via
+//! rendezvous hashing ([`crate::ring`]), sweeps fan out shard-wise and
+//! merge back into one deterministic NDJSON stream, and every worker's
+//! disk cache doubles as a cluster-wide third cache tier: before placing
+//! work anywhere, the coordinator asks the owning shard for a cached
+//! record (`GET /v1/runs/{key}` is side-effect-free on the worker).
+//!
+//! Failure semantics (full treatment in `docs/cluster.md`): each worker
+//! has its own circuit breaker; a transport failure records against it,
+//! masks the worker out of the current request, and rehashes the affected
+//! keys onto the survivors — so a mid-sweep worker death re-executes only
+//! that worker's shard, and the merged stream stays byte-identical to a
+//! fault-free run because records carry no timing and placement is
+//! deterministic. The `cluster.probe` and `cluster.forward` fault sites
+//! let `heteropipe-faults` inject partitions and slow workers at the
+//! exact seams real networks fail on.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::time::{Duration, Instant};
+
+use heteropipe_engine::{run_key, sweep_key, Engine, RunKey};
+use heteropipe_faults::{FaultKind, Injector, Site};
+use heteropipe_flow::{FlowRunner, Stage, StageKind, StageValue, TaskGraph};
+use heteropipe_obs::log as obs_log;
+use heteropipe_obs::{HistogramHandle, MetricRegistry};
+use heteropipe_serve::api::{
+    self, parse_body, parse_job_spec, stage_event_json, sweep_entries, wants_prometheus,
+    workflow_graph, workflow_result_json, workflow_summary_json, SpecError, MAX_SWEEP_JOBS,
+    MAX_WORKFLOW_STAGES,
+};
+use heteropipe_serve::breaker::{Admission, BreakerConfig, CircuitBreaker};
+use heteropipe_serve::error::envelope;
+use heteropipe_serve::http::{BodyStream, Request, Response};
+use heteropipe_serve::json::Json;
+use heteropipe_serve::server::{Handler, Server, ServerConfig, ServerHandle, ServerStats};
+use heteropipe_serve::{Client, ClientPool, ClientResponse};
+
+use crate::flight::{FlightMap, FlightResult};
+use crate::ring::WorkerRing;
+
+/// Coordinator tuning knobs.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Worker addresses (`host:port`), in slot order. Placement hashes
+    /// the slot index, so the order is part of the cluster's identity.
+    pub workers: Vec<String>,
+    /// Per-worker circuit-breaker configuration.
+    pub breaker: BreakerConfig,
+    /// I/O timeout for coordinator→worker calls.
+    pub timeout: Duration,
+    /// Fault injector for the `cluster.probe` / `cluster.forward` seams.
+    pub faults: Arc<Injector>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            workers: Vec::new(),
+            breaker: BreakerConfig::default(),
+            timeout: Duration::from_secs(120),
+            faults: Arc::new(Injector::disabled()),
+        }
+    }
+}
+
+/// Per-worker health and traffic accounting.
+struct WorkerState {
+    addr: String,
+    breaker: CircuitBreaker,
+    forwarded: AtomicU64,
+    peer_hits: AtomicU64,
+    peer_misses: AtomicU64,
+    failures: AtomicU64,
+    fwd_us: HistogramHandle,
+}
+
+/// The coordinator handler. Share via `Arc` (see [`Coordinator::new`]).
+pub struct Coordinator {
+    ring: WorkerRing,
+    workers: Vec<WorkerState>,
+    pool: ClientPool,
+    flights: FlightMap,
+    faults: Arc<Injector>,
+    /// Runs inline workflow graphs locally; stage bodies execute cluster
+    /// sweeps, so the engine behind this runner only memoizes stage
+    /// values — it never simulates, hence memory-cache-only.
+    flow: Arc<FlowRunner>,
+    rehashes: AtomicU64,
+    flights_coalesced: AtomicU64,
+    sweeps: AtomicU64,
+    sweep_jobs: AtomicU64,
+    stats: OnceLock<Arc<ServerStats>>,
+    self_ref: OnceLock<Weak<Coordinator>>,
+}
+
+/// Binds and starts a server running a [`Coordinator`] over `cluster`.
+pub fn serve_cluster(cfg: ServerConfig, cluster: ClusterConfig) -> std::io::Result<ServerHandle> {
+    let coordinator = Coordinator::new(cluster);
+    let handler: Arc<dyn Handler> = Arc::clone(&coordinator) as Arc<dyn Handler>;
+    let server = Server::bind(cfg, handler)?;
+    coordinator.attach_stats(server.stats());
+    Ok(server.start())
+}
+
+impl Coordinator {
+    /// A coordinator over the worker set in `cfg`.
+    pub fn new(cfg: ClusterConfig) -> Arc<Coordinator> {
+        let workers = cfg
+            .workers
+            .iter()
+            .map(|addr| WorkerState {
+                addr: addr.clone(),
+                breaker: CircuitBreaker::new(cfg.breaker),
+                forwarded: AtomicU64::new(0),
+                peer_hits: AtomicU64::new(0),
+                peer_misses: AtomicU64::new(0),
+                failures: AtomicU64::new(0),
+                fwd_us: HistogramHandle::default(),
+            })
+            .collect();
+        let flow = Arc::new(FlowRunner::new(Arc::new(Engine::new().memory_cache_only())));
+        let coordinator = Arc::new(Coordinator {
+            ring: WorkerRing::new(cfg.workers),
+            workers,
+            pool: ClientPool::new().with_timeout(cfg.timeout),
+            flights: FlightMap::new(),
+            faults: cfg.faults,
+            flow,
+            rehashes: AtomicU64::new(0),
+            flights_coalesced: AtomicU64::new(0),
+            sweeps: AtomicU64::new(0),
+            sweep_jobs: AtomicU64::new(0),
+            stats: OnceLock::new(),
+            self_ref: OnceLock::new(),
+        });
+        let weak = Arc::downgrade(&coordinator);
+        let _ = coordinator.self_ref.set(weak);
+        coordinator
+    }
+
+    /// The worker addresses this coordinator shards over, in slot order.
+    pub fn worker_addrs(&self) -> &[String] {
+        self.ring.addrs()
+    }
+
+    /// Wires in the server's counters so `/metrics` can report them.
+    /// Called by [`serve_cluster`]; later calls are ignored.
+    pub fn attach_stats(&self, stats: Arc<ServerStats>) {
+        let _ = self.stats.set(stats);
+    }
+
+    // ---- worker transport -------------------------------------------------
+
+    /// Rolls the injector at a cluster seam: a `hang` fault delays the
+    /// call (slow worker / slow link) but lets it proceed; every other
+    /// kind surfaces as the transport error a partition or dead worker
+    /// would produce.
+    fn roll(&self, site: Site) -> std::io::Result<()> {
+        if let Some(fault) = self.faults.roll(site) {
+            if fault.kind == FaultKind::Hang {
+                std::thread::sleep(Duration::from_millis(fault.hang_ms));
+            } else {
+                return Err(fault.io_error());
+            }
+        }
+        Ok(())
+    }
+
+    /// One coordinator→worker call through the pool, with the fault seam,
+    /// the worker's breaker, and per-worker accounting wrapped around it.
+    fn call_worker(
+        &self,
+        slot: usize,
+        site: Site,
+        call: impl FnOnce(&mut Client) -> std::io::Result<ClientResponse>,
+    ) -> std::io::Result<ClientResponse> {
+        let w = &self.workers[slot];
+        let start = Instant::now();
+        let result = self.roll(site).and_then(|()| {
+            let mut client = self.pool.checkout(&w.addr);
+            call(&mut client)
+        });
+        match &result {
+            Ok(_) => {
+                w.breaker.record_success();
+                w.forwarded.fetch_add(1, Ordering::Relaxed);
+                w.fwd_us.observe(start.elapsed().as_micros() as u64);
+            }
+            Err(e) => {
+                w.breaker.record_failure();
+                w.failures.fetch_add(1, Ordering::Relaxed);
+                obs_log::warn(
+                    "cluster",
+                    "worker call failed",
+                    &[
+                        ("worker", w.addr.clone().into()),
+                        ("site", site.label().into()),
+                        ("error", e.to_string().into()),
+                    ],
+                );
+            }
+        }
+        result
+    }
+
+    /// The request-local down mask: workers whose breaker sheds right now
+    /// start the request masked out (rehash-on-open). The mask only grows
+    /// within a request as transport failures are observed.
+    fn down_mask(&self) -> Vec<bool> {
+        self.workers
+            .iter()
+            .map(|w| w.breaker.admit() == Admission::Shed)
+            .collect()
+    }
+
+    /// Peer-cache probe: asks `slot` for a cached report. `Ok(Some(body))`
+    /// is a hit, `Ok(None)` a miss; transport errors propagate so the
+    /// caller can decide whether to mask the worker.
+    fn probe_peer(&self, slot: usize, hex: &str, rid: &str) -> std::io::Result<Option<Vec<u8>>> {
+        let path = format!("/v1/runs/{hex}");
+        let resp = self.call_worker(slot, Site::ClusterProbe, |c| {
+            c.get_with_headers(&path, &[("X-Request-Id", rid)])
+        })?;
+        if resp.status == 200 {
+            self.workers[slot].peer_hits.fetch_add(1, Ordering::Relaxed);
+            Ok(Some(resp.body))
+        } else {
+            self.workers[slot]
+                .peer_misses
+                .fetch_add(1, Ordering::Relaxed);
+            Ok(None)
+        }
+    }
+}
+
+/// A worker's response replayed verbatim (status + JSON body), plus any
+/// resource-address headers worth keeping.
+fn passthrough(resp: &ClientResponse) -> Response {
+    let mut out = Response {
+        status: resp.status,
+        headers: vec![("Content-Type".into(), "application/json".into())],
+        body: resp.body.clone(),
+        chunked: false,
+        stream: None,
+    };
+    for name in ["X-Run-Key", "X-Sweep-Key", "X-Workflow-Key", "Retry-After"] {
+        if let Some(v) = resp.header(&name.to_ascii_lowercase()) {
+            out = out.with_header(name, v);
+        }
+    }
+    out
+}
+
+fn fail(req: &Request, status: u16, code: &str, message: &str) -> Response {
+    envelope(status, code, message, None, &req.request_id)
+}
+
+fn spec_fail(req: &Request, e: &SpecError) -> Response {
+    fail(req, e.status, e.code, &e.message)
+}
+
+fn method_not_allowed(req: &Request, allow: &str) -> Response {
+    fail(req, 405, "method_not_allowed", "method not allowed").with_header("Allow", allow)
+}
+
+fn no_workers(rid: &str) -> Response {
+    envelope(
+        503,
+        "no_workers",
+        "no live workers to place the request on",
+        Some(1),
+        rid,
+    )
+}
+
+fn valid_key(key: &str) -> bool {
+    key.len() == 32 && key.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+impl Handler for Coordinator {
+    fn handle(&self, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz" | "/healthz/live") => {
+                Response::json(200, &Json::Obj(vec![("status".into(), Json::str("ok"))]))
+            }
+            ("GET", "/healthz/ready") => self.ready(req),
+            ("GET", "/metrics") => self.metrics(req),
+            ("GET", "/v1/benchmarks") => api::benchmarks(),
+            ("POST", "/v1/runs") => self.run(req),
+            ("POST", "/v1/sweeps") => self.sweeps(req),
+            ("POST", "/v1/workflows") => self.workflows(req),
+            (_, path) if path.starts_with("/v1/workflows/") => {
+                let key = &path["/v1/workflows/".len()..];
+                if req.method == "GET" {
+                    self.workflow_lookup(req, key)
+                } else {
+                    method_not_allowed(req, "GET")
+                }
+            }
+            (_, path) if path.starts_with("/v1/runs/") => {
+                self.run_resource(req, &path["/v1/runs/".len()..])
+            }
+            ("POST", path) if path.starts_with("/v1/experiments/") => self.experiment(req),
+            (
+                _,
+                "/healthz" | "/healthz/live" | "/healthz/ready" | "/metrics" | "/v1/benchmarks",
+            ) => method_not_allowed(req, "GET"),
+            (_, "/v1/runs" | "/v1/sweeps" | "/v1/workflows") => method_not_allowed(req, "POST"),
+            (_, path) if path.starts_with("/v1/experiments/") => method_not_allowed(req, "POST"),
+            _ => fail(req, 404, "not_found", "no such route"),
+        }
+    }
+}
+
+impl Coordinator {
+    /// Readiness: 200 while at least one worker's breaker admits traffic
+    /// and the coordinator is not draining; 503 + `Retry-After` otherwise.
+    fn ready(&self, req: &Request) -> Response {
+        let down = self.down_mask();
+        let live = down.iter().filter(|&&d| !d).count();
+        let shutting_down = self
+            .stats
+            .get()
+            .is_some_and(|s| s.shutting_down.load(Ordering::SeqCst));
+        let probe = vec![
+            (
+                "status".to_string(),
+                Json::str(if live == 0 || shutting_down {
+                    "unready"
+                } else {
+                    "ready"
+                }),
+            ),
+            ("workers_total".to_string(), Json::U64(down.len() as u64)),
+            ("workers_live".to_string(), Json::U64(live as u64)),
+            ("shutting_down".to_string(), Json::Bool(shutting_down)),
+        ];
+        if live == 0 || shutting_down {
+            let mut fields = vec![
+                (
+                    "error".to_string(),
+                    Json::Obj(vec![
+                        ("code".into(), Json::str("unready")),
+                        (
+                            "message".into(),
+                            Json::str(if shutting_down {
+                                "shutting down"
+                            } else {
+                                "every worker breaker is open"
+                            }),
+                        ),
+                        ("retry_after_s".into(), Json::U64(1)),
+                    ]),
+                ),
+                ("request_id".to_string(), Json::str(&req.request_id)),
+            ];
+            fields.extend(probe);
+            Response::json(503, &Json::Obj(fields)).with_header("Retry-After", "1")
+        } else {
+            Response::json(200, &Json::Obj(probe))
+        }
+    }
+
+    // ---- runs -------------------------------------------------------------
+
+    /// `POST /v1/runs`: coalesce concurrent identical requests onto one
+    /// flight, probe the owning shard's cache (the peer tier), and only
+    /// then forward the raw body to the owner — rehashing to the next
+    /// scorer when the owner is unreachable.
+    fn run(&self, req: &Request) -> Response {
+        let Some(body) = parse_body(req) else {
+            return fail(req, 400, "bad_request", "body must be a JSON object");
+        };
+        let job = match parse_job_spec(&body) {
+            Ok(job) => job,
+            Err(e) => return spec_fail(req, &e),
+        };
+        let key = run_key(&job.spec());
+        let (result, coalesced) = self
+            .flights
+            .run(key.0, || self.lead_run(key, &req.body, &req.request_id));
+        if coalesced {
+            self.flights_coalesced.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut resp = Response {
+            status: result.status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: result.body,
+            chunked: false,
+            stream: None,
+        };
+        if let Some(k) = &result.run_key {
+            resp = resp.with_header("X-Run-Key", k);
+        }
+        resp
+    }
+
+    /// The leader's side of a run flight: peer probe, then forward.
+    fn lead_run(&self, key: RunKey, raw: &[u8], rid: &str) -> FlightResult {
+        let hex = key.hex();
+        let mut down = self.down_mask();
+        loop {
+            let Some(slot) = self.ring.owner(key, &down) else {
+                let resp = no_workers(rid);
+                return FlightResult {
+                    status: resp.status,
+                    body: resp.body,
+                    run_key: Some(hex),
+                };
+            };
+            // Third cache tier: the owning shard's disk may already hold
+            // the record — serve it without executing anywhere. A probe
+            // transport error is not yet a verdict on the worker; the
+            // forward below decides whether to rehash.
+            if let Ok(Some(report)) = self.probe_peer(slot, &hex, rid) {
+                return FlightResult {
+                    status: 200,
+                    body: report,
+                    run_key: Some(hex),
+                };
+            }
+            let forwarded = self.call_worker(slot, Site::ClusterForward, |c| {
+                c.post_raw_with_headers("/v1/runs", raw.to_vec(), &[("X-Request-Id", rid)])
+            });
+            match forwarded {
+                Ok(resp) => {
+                    let run_key = resp
+                        .header("x-run-key")
+                        .map(str::to_owned)
+                        .or(Some(hex.clone()));
+                    return FlightResult {
+                        status: resp.status,
+                        body: resp.body,
+                        run_key,
+                    };
+                }
+                Err(_) => {
+                    down[slot] = true;
+                    self.rehashes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// `GET /v1/runs/{key}[/trace]`: proxied to the owning shard (reports
+    /// and traces live where the run executed), rehashing on failure.
+    fn run_resource(&self, req: &Request, rest: &str) -> Response {
+        let (key, sub) = match rest.split_once('/') {
+            Some((key, sub)) => (key, Some(sub)),
+            None => (rest, None),
+        };
+        if req.method != "GET" {
+            return method_not_allowed(req, "GET");
+        }
+        if !valid_key(key) {
+            return fail(
+                req,
+                400,
+                "bad_request",
+                &format!("run key must be 32 hex characters, got {key:?}"),
+            );
+        }
+        match sub {
+            None | Some("trace") => {}
+            Some(other) => {
+                return fail(
+                    req,
+                    404,
+                    "not_found",
+                    &format!("no such run sub-resource: {other:?} (try /trace)"),
+                )
+            }
+        }
+        let parsed = RunKey::from_hex(key).expect("validated above");
+        self.proxy_to_owner(req, parsed, &req.path.clone())
+    }
+
+    /// Forwards a GET for `path` to the worker owning `key`, walking down
+    /// the rendezvous ranking as workers fail.
+    fn proxy_to_owner(&self, req: &Request, key: RunKey, path: &str) -> Response {
+        let mut down = self.down_mask();
+        loop {
+            let Some(slot) = self.ring.owner(key, &down) else {
+                return no_workers(&req.request_id);
+            };
+            let result = self.call_worker(slot, Site::ClusterForward, |c| {
+                c.get_with_headers(path, &[("X-Request-Id", &req.request_id)])
+            });
+            match result {
+                Ok(resp) => return passthrough(&resp),
+                Err(_) => {
+                    down[slot] = true;
+                    self.rehashes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// `POST /v1/experiments/{name}`: whole-figure renders have no run key
+    /// to shard on; they go to the first live slot (deterministic, and the
+    /// worker's own caches keep repeats cheap).
+    fn experiment(&self, req: &Request) -> Response {
+        let mut down = self.down_mask();
+        loop {
+            let Some(slot) = (0..self.ring.len()).find(|&s| !down[s]) else {
+                return no_workers(&req.request_id);
+            };
+            let result = self.call_worker(slot, Site::ClusterForward, |c| {
+                c.post_raw_with_headers(
+                    &req.path,
+                    req.body.clone(),
+                    &[("X-Request-Id", &req.request_id)],
+                )
+            });
+            match result {
+                Ok(resp) => return passthrough(&resp),
+                Err(_) => {
+                    down[slot] = true;
+                    self.rehashes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+// ---- sweeps ---------------------------------------------------------------
+
+/// A merged cluster sweep: every record line in global submission order
+/// (no trailing newlines) plus the coordinator's summary.
+pub(crate) struct ClusterSweep {
+    pub lines: Vec<String>,
+    pub summary: ClusterSweepSummary,
+}
+
+/// The coordinator's sweep accounting — its own schema, one level above
+/// the worker summaries it aggregates (and like them, excluded from the
+/// stream's byte-identity guarantee).
+pub(crate) struct ClusterSweepSummary {
+    pub key_hex: String,
+    pub jobs_total: u64,
+    pub jobs_unique: u64,
+    pub duplicates: u64,
+    pub cache_hits: u64,
+    pub peer_cache_hits: u64,
+    pub executed: u64,
+    pub coalesced: u64,
+    pub failed: u64,
+    pub rehashes: u64,
+    pub wall_ms: u64,
+}
+
+impl ClusterSweepSummary {
+    fn json(&self) -> Json {
+        Json::Obj(vec![(
+            "sweep".to_string(),
+            Json::Obj(vec![
+                ("key".into(), Json::str(self.key_hex.clone())),
+                ("jobs_total".into(), Json::U64(self.jobs_total)),
+                ("jobs_unique".into(), Json::U64(self.jobs_unique)),
+                ("duplicates".into(), Json::U64(self.duplicates)),
+                ("cache_hits".into(), Json::U64(self.cache_hits)),
+                ("peer_cache_hits".into(), Json::U64(self.peer_cache_hits)),
+                ("executed".into(), Json::U64(self.executed)),
+                ("coalesced".into(), Json::U64(self.coalesced)),
+                ("failed".into(), Json::U64(self.failed)),
+                ("rehashes".into(), Json::U64(self.rehashes)),
+                ("wall_ms".into(), Json::U64(self.wall_ms)),
+            ]),
+        )])
+    }
+}
+
+/// A worker sweep record split into the parts the merge rewrites (local
+/// index, status) and the part it must preserve byte-for-byte (the
+/// `"report":…}` / `"error":…}` payload suffix — re-serializing a report
+/// could perturb float bytes, so it is never parsed).
+fn split_record(line: &str) -> Option<(usize, String, String)> {
+    let rest = line.strip_prefix("{\"index\":")?;
+    let index: usize = rest[..rest.find(',')?].parse().ok()?;
+    // First occurrences are the record's own fields: the fixed prefix
+    // (index, key, status, deduped) precedes any payload content.
+    let after_status = &line[line.find("\"status\":\"")? + "\"status\":\"".len()..];
+    let status = after_status[..after_status.find('"')?].to_string();
+    let after_deduped = &line[line.find("\"deduped\":")? + "\"deduped\":".len()..];
+    let payload = after_deduped[after_deduped.find(',')? + 1..].to_string();
+    Some((index, status, payload))
+}
+
+/// Renders one merged record: the single-node `sweep_record_json` layout
+/// with the global index and occurrence-order dedup flag spliced around
+/// the preserved payload.
+fn render_record(index: usize, hex: &str, status: &str, deduped: bool, payload: &str) -> String {
+    format!("{{\"index\":{index},\"key\":\"{hex}\",\"status\":\"{status}\",\"deduped\":{deduped},{payload}")
+}
+
+/// What a shard call resolved: per unique-key payloads plus the worker
+/// summary's execution accounting.
+struct ShardOutcome {
+    resolved: Vec<(usize, String, String)>,
+    cache_hits: u64,
+    executed: u64,
+    coalesced: u64,
+    peer_hits: u64,
+}
+
+impl Coordinator {
+    /// `POST /v1/sweeps`: parse and key every entry, then fan the unique
+    /// keys out shard-wise and merge the per-worker streams into one
+    /// deterministic stream (records sorted by global submission index,
+    /// then the coordinator summary).
+    fn sweeps(&self, req: &Request) -> Response {
+        let Some(body) = parse_body(req) else {
+            return fail(req, 400, "bad_request", "body must be a JSON object");
+        };
+        let entries = match sweep_entries(&body) {
+            Ok(entries) => entries,
+            Err(e) => return spec_fail(req, &e),
+        };
+        if entries.is_empty() {
+            return fail(req, 400, "bad_request", "sweep has no jobs");
+        }
+        if entries.len() > MAX_SWEEP_JOBS {
+            return fail(
+                req,
+                413,
+                "payload_too_large",
+                &format!(
+                    "sweep of {} jobs exceeds the {MAX_SWEEP_JOBS}-job cap",
+                    entries.len()
+                ),
+            );
+        }
+        let outcome = match self.cluster_sweep(&entries, &req.request_id) {
+            Ok(outcome) => outcome,
+            Err(e) => return spec_fail(req, &e),
+        };
+        self.sweeps.fetch_add(1, Ordering::Relaxed);
+        self.sweep_jobs
+            .fetch_add(outcome.summary.jobs_total, Ordering::Relaxed);
+        let sweep_hex = outcome.summary.key_hex.clone();
+        let stream = BodyStream::new(move |sink| {
+            for line in &outcome.lines {
+                sink.send(format!("{line}\n").as_bytes())?;
+            }
+            sink.send(format!("{}\n", outcome.summary.json().dump()).as_bytes())
+        });
+        Response::streaming(200, "application/x-ndjson", stream)
+            .with_header("X-Sweep-Key", &sweep_hex)
+    }
+
+    /// The sweep core shared by `POST /v1/sweeps` and inline workflow
+    /// stages: dedup to unique keys, probe/execute per shard with
+    /// rehash-on-failure, and reassemble global records.
+    pub(crate) fn cluster_sweep(
+        &self,
+        entries: &[Json],
+        rid: &str,
+    ) -> Result<ClusterSweep, SpecError> {
+        let start = Instant::now();
+        let mut owned = Vec::with_capacity(entries.len());
+        for (i, entry) in entries.iter().enumerate() {
+            match parse_job_spec(entry) {
+                Ok(job) => owned.push(job),
+                Err(e) => {
+                    return Err(SpecError {
+                        status: e.status,
+                        code: e.code,
+                        message: format!("jobs[{i}]: {}", e.message),
+                    })
+                }
+            }
+        }
+        let keys: Vec<RunKey> = owned.iter().map(|o| run_key(&o.spec())).collect();
+        let key_hex = sweep_key(&keys).hex();
+
+        // In-batch dedup, mirroring the engine: the first occurrence of a
+        // key leads (deduped=false), later occurrences follow. Duplicates
+        // never cross shards — a key has exactly one owner.
+        let mut unique: Vec<(RunKey, Vec<usize>)> = Vec::new();
+        let mut seen: HashMap<u128, usize> = HashMap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            match seen.get(&k.0) {
+                Some(&u) => unique[u].1.push(i),
+                None => {
+                    seen.insert(k.0, unique.len());
+                    unique.push((k, vec![i]));
+                }
+            }
+        }
+
+        let mut resolved: Vec<Option<(String, String)>> = vec![None; unique.len()];
+        let mut pending: Vec<usize> = (0..unique.len()).collect();
+        let mut down = self.down_mask();
+        let mut rehashes = 0u64;
+        let (mut cache_hits, mut peer_hits, mut executed, mut coalesced) = (0u64, 0u64, 0u64, 0u64);
+
+        while !pending.is_empty() {
+            // Assign every pending unique key to its owner under the
+            // current mask. Owners exist for all keys or none.
+            let mut shards: HashMap<usize, Vec<usize>> = HashMap::new();
+            for &u in &pending {
+                match self.ring.owner(unique[u].0, &down) {
+                    Some(slot) => shards.entry(slot).or_default().push(u),
+                    None => {
+                        // No live workers: the remaining keys fail in
+                        // place so the stream stays well-formed.
+                        for &u in &pending {
+                            resolved[u] = Some((
+                                "error".to_string(),
+                                "\"error\":{\"code\":\"no_workers\",\"message\":\"no live workers to place the job on\"}}".to_string(),
+                            ));
+                        }
+                        pending.clear();
+                        shards.clear();
+                        break;
+                    }
+                }
+            }
+            if pending.is_empty() {
+                break;
+            }
+
+            let results: Vec<(usize, Vec<usize>, std::io::Result<ShardOutcome>)> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = shards
+                        .into_iter()
+                        .map(|(slot, uidxs)| {
+                            let unique = &unique;
+                            scope.spawn(move || {
+                                let outcome = self.run_shard(slot, &uidxs, unique, entries, rid);
+                                (slot, uidxs, outcome)
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+
+            pending.clear();
+            for (slot, uidxs, outcome) in results {
+                match outcome {
+                    Ok(shard) => {
+                        cache_hits += shard.cache_hits;
+                        peer_hits += shard.peer_hits;
+                        executed += shard.executed;
+                        coalesced += shard.coalesced;
+                        for (u, status, payload) in shard.resolved {
+                            resolved[u] = Some((status, payload));
+                        }
+                    }
+                    Err(_) => {
+                        // The shard's worker is unreachable: mask it out
+                        // and rehash its keys onto the survivors.
+                        down[slot] = true;
+                        rehashes += 1;
+                        pending.extend(uidxs);
+                    }
+                }
+            }
+        }
+        self.rehashes.fetch_add(rehashes, Ordering::Relaxed);
+
+        let mut lines = vec![String::new(); keys.len()];
+        let mut failed = 0u64;
+        for (u, (key, globals)) in unique.iter().enumerate() {
+            let (status, payload) = resolved[u].as_ref().expect("every unique key resolves");
+            let hex = key.hex();
+            if status == "error" {
+                failed += globals.len() as u64;
+            }
+            for (j, &g) in globals.iter().enumerate() {
+                lines[g] = render_record(g, &hex, status, j > 0, payload);
+            }
+        }
+        let jobs_total = keys.len() as u64;
+        let jobs_unique = unique.len() as u64;
+        Ok(ClusterSweep {
+            lines,
+            summary: ClusterSweepSummary {
+                key_hex,
+                jobs_total,
+                jobs_unique,
+                duplicates: jobs_total - jobs_unique,
+                cache_hits,
+                peer_cache_hits: peer_hits,
+                executed,
+                coalesced,
+                failed,
+                rehashes,
+                wall_ms: start.elapsed().as_millis() as u64,
+            },
+        })
+    }
+
+    /// One shard's share of a sweep: probe the peer cache per key, then
+    /// POST the misses as a worker-local sweep and split its records.
+    /// Any transport error fails the whole shard (the caller rehashes).
+    fn run_shard(
+        &self,
+        slot: usize,
+        uidxs: &[usize],
+        unique: &[(RunKey, Vec<usize>)],
+        entries: &[Json],
+        rid: &str,
+    ) -> std::io::Result<ShardOutcome> {
+        let mut outcome = ShardOutcome {
+            resolved: Vec::with_capacity(uidxs.len()),
+            cache_hits: 0,
+            executed: 0,
+            coalesced: 0,
+            peer_hits: 0,
+        };
+        let mut misses = Vec::new();
+        for &u in uidxs {
+            let hex = unique[u].0.hex();
+            match self.probe_peer(slot, &hex, rid)? {
+                Some(report) => {
+                    // Embed the worker's report bytes verbatim; the peer
+                    // tier must answer byte-identically to execution.
+                    let body = String::from_utf8(report).map_err(|_| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 report")
+                    })?;
+                    outcome
+                        .resolved
+                        .push((u, "ok".to_string(), format!("\"report\":{body}}}")));
+                    outcome.peer_hits += 1;
+                }
+                None => misses.push(u),
+            }
+        }
+        if misses.is_empty() {
+            return Ok(outcome);
+        }
+
+        let jobs: Vec<String> = misses
+            .iter()
+            .map(|&u| entries[unique[u].1[0]].dump())
+            .collect();
+        let body = format!("{{\"jobs\":[{}]}}", jobs.join(","));
+        let resp = self.call_worker(slot, Site::ClusterForward, |c| {
+            c.post_raw_with_headers("/v1/sweeps", body.into_bytes(), &[("X-Request-Id", rid)])
+        })?;
+        let shard_error =
+            |why: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, why.to_string());
+        if resp.status != 200 {
+            return Err(shard_error(&format!(
+                "shard sweep answered {}",
+                resp.status
+            )));
+        }
+        let text =
+            std::str::from_utf8(&resp.body).map_err(|_| shard_error("non-UTF-8 sweep stream"))?;
+        let mut seen = 0usize;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            if let Some(rest) = line.strip_prefix("{\"sweep\":") {
+                // The worker's trailing summary: fold its execution
+                // accounting into the coordinator's.
+                let summary = Json::parse(&format!("{{\"sweep\":{rest}"))
+                    .ok_or_else(|| shard_error("unparseable shard summary"))?;
+                let field = |name: &str| {
+                    summary
+                        .get("sweep")
+                        .and_then(|s| s.get(name))
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0)
+                };
+                outcome.cache_hits += field("cache_hits");
+                outcome.executed += field("executed");
+                outcome.coalesced += field("coalesced");
+                continue;
+            }
+            let (local, status, payload) =
+                split_record(line).ok_or_else(|| shard_error("unsplittable shard record"))?;
+            let &u = misses
+                .get(local)
+                .ok_or_else(|| shard_error("shard record index out of range"))?;
+            outcome.resolved.push((u, status, payload));
+            seen += 1;
+        }
+        if seen != misses.len() {
+            return Err(shard_error("shard stream truncated"));
+        }
+        Ok(outcome)
+    }
+}
+
+// ---- workflows ------------------------------------------------------------
+
+impl Coordinator {
+    /// `POST /v1/workflows`: built-in named graphs are proxied whole to
+    /// the worker owning the workflow key (the figure pipeline runs where
+    /// its cache lives); inline stage lists run at the coordinator with
+    /// each sweep stage fanned out shard-wise.
+    fn workflows(&self, req: &Request) -> Response {
+        let Some(body) = parse_body(req) else {
+            return fail(req, 400, "bad_request", "body must be a JSON object");
+        };
+        if body.get("workflow").is_some() {
+            // Validate locally first so a bad name is a clean envelope
+            // from the coordinator, not a proxied error.
+            let graph = match workflow_graph(&body) {
+                Ok(graph) => graph,
+                Err(e) => return spec_fail(req, &e),
+            };
+            let wkey = match graph.workflow_key() {
+                Ok(key) => key,
+                Err(e) => return fail(req, 400, "bad_request", &format!("invalid workflow: {e}")),
+            };
+            return self.proxy_workflow(req, wkey);
+        }
+        let graph = match self.cluster_graph(&body, &req.request_id) {
+            Ok(graph) => graph,
+            Err(e) => return spec_fail(req, &e),
+        };
+        let wkey = match graph.workflow_key() {
+            Ok(key) => key.hex(),
+            Err(e) => return fail(req, 400, "bad_request", &format!("invalid workflow: {e}")),
+        };
+        let flow = Arc::clone(&self.flow);
+        let request_id = req.request_id.clone();
+        let stream = BodyStream::new(move |sink| {
+            let out = Mutex::new(sink);
+            let rid = (!request_id.is_empty()).then_some(request_id.as_str());
+            let result = flow.run_observed(&graph, rid, &|ev| {
+                let line = format!("{}\n", stage_event_json(ev).dump());
+                let _ = out.lock().unwrap().send(line.as_bytes());
+            });
+            let result = result.expect("graph validated before streaming");
+            let line = format!("{}\n", workflow_summary_json(&result).dump());
+            let sent = out.lock().unwrap().send(line.as_bytes());
+            sent
+        });
+        Response::streaming(200, "application/x-ndjson", stream)
+            .with_header("X-Workflow-Key", &wkey)
+    }
+
+    /// Proxies a whole built-in workflow request to the owner of its
+    /// workflow key, rehashing on failure.
+    fn proxy_workflow(&self, req: &Request, wkey: RunKey) -> Response {
+        let mut down = self.down_mask();
+        loop {
+            let Some(slot) = self.ring.owner(wkey, &down) else {
+                return no_workers(&req.request_id);
+            };
+            let result = self.call_worker(slot, Site::ClusterForward, |c| {
+                c.post_raw_with_headers(
+                    "/v1/workflows",
+                    req.body.clone(),
+                    &[("X-Request-Id", &req.request_id)],
+                )
+            });
+            match result {
+                Ok(resp) => {
+                    let mut out = Response {
+                        status: resp.status,
+                        headers: vec![("Content-Type".into(), "application/x-ndjson".into())],
+                        body: resp.body.clone(),
+                        chunked: true,
+                        stream: None,
+                    };
+                    if resp.status != 200 {
+                        return passthrough(&resp);
+                    }
+                    if let Some(v) = resp.header("x-workflow-key") {
+                        out = out.with_header("X-Workflow-Key", v);
+                    }
+                    return out;
+                }
+                Err(_) => {
+                    down[slot] = true;
+                    self.rehashes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Builds the inline-workflow graph with cluster-sweep stage bodies.
+    /// Stage keys derive from the same `jobs=<sweep key>` input string as
+    /// the single-node inline graph, so workflow keys (and journal
+    /// lookups) agree across deployment shapes.
+    fn cluster_graph(&self, body: &Json, rid: &str) -> Result<TaskGraph, SpecError> {
+        let Some(stages) = body.get("stages") else {
+            return Err(SpecError {
+                status: 400,
+                code: "bad_request",
+                message:
+                    "body needs \"workflow\" (built-in name) or \"stages\" (array of stage objects)"
+                        .to_string(),
+            });
+        };
+        let Some(stages) = stages.as_array() else {
+            return Err(bad_spec("\"stages\" must be an array"));
+        };
+        if stages.is_empty() {
+            return Err(bad_spec("workflow has no stages"));
+        }
+        if stages.len() > MAX_WORKFLOW_STAGES {
+            return Err(SpecError {
+                status: 413,
+                code: "payload_too_large",
+                message: format!(
+                    "workflow of {} stages exceeds the {MAX_WORKFLOW_STAGES}-stage cap",
+                    stages.len()
+                ),
+            });
+        }
+        let mut graph = TaskGraph::new("inline");
+        let mut total_jobs = 0usize;
+        for (i, stage) in stages.iter().enumerate() {
+            let Json::Obj(_) = stage else {
+                return Err(bad_spec(format!("stages[{i}] must be an object")));
+            };
+            let built = self
+                .cluster_stage(stage, &mut total_jobs, rid)
+                .map_err(|e| SpecError {
+                    status: e.status,
+                    code: e.code,
+                    message: format!("stages[{i}]: {}", e.message),
+                })?;
+            let name = built.name().to_owned();
+            graph.add(built);
+            graph.output(name);
+        }
+        Ok(graph)
+    }
+
+    /// One inline stage whose body runs a cluster sweep instead of a
+    /// local engine sweep. The stage value is the merged records, one
+    /// line per job in submission order — the same text a single-node
+    /// inline stage produces.
+    fn cluster_stage(
+        &self,
+        stage: &Json,
+        total_jobs: &mut usize,
+        rid: &str,
+    ) -> Result<Stage, SpecError> {
+        let Some(name) = stage.get("name").and_then(Json::as_str) else {
+            return Err(bad_spec("missing field: name"));
+        };
+        let deps: Vec<String> = match stage.get("deps") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(Json::Arr(items)) => {
+                let mut deps = Vec::with_capacity(items.len());
+                for d in items {
+                    match d.as_str() {
+                        Some(s) => deps.push(s.to_owned()),
+                        None => return Err(bad_spec("\"deps\" entries must be stage names")),
+                    }
+                }
+                deps
+            }
+            Some(_) => return Err(bad_spec("\"deps\" must be an array of stage names")),
+        };
+        let entries = sweep_entries(stage)?;
+        if entries.is_empty() {
+            return Err(bad_spec("stage sweep has no jobs"));
+        }
+        *total_jobs += entries.len();
+        if *total_jobs > MAX_SWEEP_JOBS {
+            return Err(SpecError {
+                status: 413,
+                code: "payload_too_large",
+                message: format!("workflow exceeds the {MAX_SWEEP_JOBS}-job cap across its stages"),
+            });
+        }
+        let mut keys = Vec::with_capacity(entries.len());
+        for (j, entry) in entries.iter().enumerate() {
+            match parse_job_spec(entry) {
+                Ok(job) => keys.push(run_key(&job.spec())),
+                Err(e) => {
+                    return Err(SpecError {
+                        status: e.status,
+                        code: e.code,
+                        message: format!("jobs[{j}]: {}", e.message),
+                    })
+                }
+            }
+        }
+        let sweep_hex = sweep_key(&keys).hex();
+        let coordinator = self
+            .self_ref
+            .get()
+            .cloned()
+            .expect("self reference set in new()");
+        let rid = rid.to_owned();
+        let mut built = Stage::new(name, StageKind::Sweep, move |_ctx| {
+            let Some(coordinator) = coordinator.upgrade() else {
+                return Err("coordinator shut down".to_string());
+            };
+            let sweep = coordinator
+                .cluster_sweep(&entries, &rid)
+                .map_err(|e| e.message)?;
+            if sweep.summary.failed > 0 {
+                return Err(format!(
+                    "{} of {} sweep jobs failed",
+                    sweep.summary.failed, sweep.summary.jobs_total
+                ));
+            }
+            let mut text = String::new();
+            for line in &sweep.lines {
+                text.push_str(line);
+                text.push('\n');
+            }
+            Ok(StageValue::from_text(text))
+        })
+        .input(format!("jobs={sweep_hex}"));
+        for d in deps {
+            built = built.dep(d);
+        }
+        Ok(built)
+    }
+
+    /// `GET /v1/workflows/{key}`: inline graphs journal at the
+    /// coordinator; built-in graphs journal on the worker that ran them —
+    /// check locally first, then ask the key's owner.
+    fn workflow_lookup(&self, req: &Request, key: &str) -> Response {
+        if !valid_key(key) {
+            return fail(
+                req,
+                400,
+                "bad_request",
+                &format!("workflow key must be 32 hex characters, got {key:?}"),
+            );
+        }
+        let lower = key.to_ascii_lowercase();
+        if let Some(result) = self.flow.journaled(&lower) {
+            return Response::json(200, &workflow_result_json(&result))
+                .with_header("X-Workflow-Key", &result.key_hex)
+                .into_chunked();
+        }
+        let parsed = RunKey::from_hex(&lower).expect("validated above");
+        self.proxy_to_owner(req, parsed, &format!("/v1/workflows/{lower}"))
+    }
+}
+
+fn bad_spec(message: impl Into<String>) -> SpecError {
+    SpecError {
+        status: 400,
+        code: "bad_request",
+        message: message.into(),
+    }
+}
+
+// ---- metrics --------------------------------------------------------------
+
+impl Coordinator {
+    fn metrics(&self, req: &Request) -> Response {
+        if wants_prometheus(req) {
+            return self.metrics_prometheus();
+        }
+        self.metrics_json()
+    }
+
+    fn metrics_json(&self) -> Response {
+        use std::sync::atomic::Ordering::Relaxed;
+        let workers: Vec<Json> = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(slot, w)| {
+                Json::Obj(vec![
+                    ("slot".into(), Json::U64(slot as u64)),
+                    ("addr".into(), Json::str(w.addr.clone())),
+                    ("breaker".into(), Json::str(w.breaker.state_name())),
+                    ("forwarded".into(), Json::U64(w.forwarded.load(Relaxed))),
+                    ("peer_hits".into(), Json::U64(w.peer_hits.load(Relaxed))),
+                    ("peer_misses".into(), Json::U64(w.peer_misses.load(Relaxed))),
+                    ("failures".into(), Json::U64(w.failures.load(Relaxed))),
+                ])
+            })
+            .collect();
+        let cluster = Json::Obj(vec![
+            ("workers".into(), Json::Arr(workers)),
+            ("rehashes".into(), Json::U64(self.rehashes.load(Relaxed))),
+            (
+                "flights_coalesced".into(),
+                Json::U64(self.flights_coalesced.load(Relaxed)),
+            ),
+            (
+                "sweeps".into(),
+                Json::Obj(vec![
+                    ("count".into(), Json::U64(self.sweeps.load(Relaxed))),
+                    ("jobs".into(), Json::U64(self.sweep_jobs.load(Relaxed))),
+                ]),
+            ),
+            ("faults_fired".into(), Json::U64(self.faults.total_fired())),
+        ]);
+        let server = match self.stats.get() {
+            Some(s) => {
+                let lat = s.latency_us.lock().unwrap();
+                Json::Obj(vec![
+                    ("requests".into(), Json::U64(s.requests.load(Relaxed))),
+                    ("in_flight".into(), Json::U64(s.in_flight.load(Relaxed))),
+                    ("rejected_503".into(), Json::U64(s.rejected.load(Relaxed))),
+                    ("shed_503".into(), Json::U64(s.shed.load(Relaxed))),
+                    (
+                        "responses".into(),
+                        Json::Obj(vec![
+                            ("2xx".into(), Json::U64(s.status_2xx.load(Relaxed))),
+                            ("4xx".into(), Json::U64(s.status_4xx.load(Relaxed))),
+                            ("5xx".into(), Json::U64(s.status_5xx.load(Relaxed))),
+                        ]),
+                    ),
+                    (
+                        "latency_us".into(),
+                        Json::Obj(vec![
+                            ("count".into(), Json::U64(lat.count())),
+                            ("p50".into(), Json::U64(lat.percentile(0.50))),
+                            ("p99".into(), Json::U64(lat.percentile(0.99))),
+                        ]),
+                    ),
+                ])
+            }
+            None => Json::Null,
+        };
+        Response::json(
+            200,
+            &Json::Obj(vec![("cluster".into(), cluster), ("server".into(), server)]),
+        )
+        .into_chunked()
+    }
+
+    fn metrics_prometheus(&self) -> Response {
+        use std::sync::atomic::Ordering::Relaxed;
+        let r = MetricRegistry::new();
+        for w in &self.workers {
+            let labels: &[(&str, &str)] = &[("worker", w.addr.as_str())];
+            r.counter_with(
+                "heteropipe_cluster_forwarded_total",
+                "Coordinator calls answered by this worker (probes and forwards).",
+                labels,
+            )
+            .set(w.forwarded.load(Relaxed));
+            r.counter_with(
+                "heteropipe_cluster_peer_cache_hits_total",
+                "Peer-cache probes answered from this worker's disk cache.",
+                labels,
+            )
+            .set(w.peer_hits.load(Relaxed));
+            r.counter_with(
+                "heteropipe_cluster_peer_cache_misses_total",
+                "Peer-cache probes this worker answered with a miss.",
+                labels,
+            )
+            .set(w.peer_misses.load(Relaxed));
+            r.counter_with(
+                "heteropipe_cluster_worker_failures_total",
+                "Coordinator calls to this worker that failed in transport.",
+                labels,
+            )
+            .set(w.failures.load(Relaxed));
+            r.gauge_with(
+                "heteropipe_cluster_worker_healthy",
+                "Whether this worker's breaker admits traffic (1 = healthy).",
+                labels,
+            )
+            .set(f64::from(u8::from(!w.breaker.currently_open())));
+            r.histogram_with(
+                "heteropipe_cluster_forward_latency_microseconds",
+                "Coordinator-observed latency of calls to this worker.",
+                labels,
+            )
+            .merge(&w.fwd_us.snapshot());
+        }
+        let set = |name: &str, help: &str, v: u64| r.counter(name, help).set(v);
+        set(
+            "heteropipe_cluster_rehashes_total",
+            "Key placements moved off an unreachable worker.",
+            self.rehashes.load(Relaxed),
+        );
+        set(
+            "heteropipe_cluster_flights_coalesced_total",
+            "Requests coalesced onto a concurrent identical run flight.",
+            self.flights_coalesced.load(Relaxed),
+        );
+        set(
+            "heteropipe_cluster_sweeps_total",
+            "Sweeps merged through the coordinator.",
+            self.sweeps.load(Relaxed),
+        );
+        set(
+            "heteropipe_cluster_sweep_jobs_total",
+            "Entries submitted across all coordinator sweeps.",
+            self.sweep_jobs.load(Relaxed),
+        );
+        for c in self.faults.counts() {
+            r.counter_with(
+                "heteropipe_faults_injected_total",
+                "Faults fired by the deterministic injector.",
+                &[("site", c.site), ("kind", c.kind)],
+            )
+            .set(c.fired);
+        }
+        if let Some(s) = self.stats.get() {
+            set(
+                "heteropipe_server_requests_total",
+                "Requests fully parsed and dispatched to the handler.",
+                s.requests.load(Relaxed),
+            );
+            for (class, v) in [
+                ("2xx", s.status_2xx.load(Relaxed)),
+                ("4xx", s.status_4xx.load(Relaxed)),
+                ("5xx", s.status_5xx.load(Relaxed)),
+            ] {
+                r.counter_with(
+                    "heteropipe_server_responses_total",
+                    "Responses sent, by status class.",
+                    &[("class", class)],
+                )
+                .set(v);
+            }
+        }
+        Response {
+            status: 200,
+            headers: vec![(
+                "Content-Type".into(),
+                "text/plain; version=0.0.4; charset=utf-8".into(),
+            )],
+            body: r.render_prometheus().into_bytes(),
+            chunked: false,
+            stream: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_splitting_round_trips() {
+        let ok = r#"{"index":3,"key":"00ff","status":"ok","deduped":false,"report":{"benchmark":"x","roi_ps":12}}"#;
+        let (idx, status, payload) = split_record(ok).unwrap();
+        assert_eq!(idx, 3);
+        assert_eq!(status, "ok");
+        assert_eq!(payload, r#""report":{"benchmark":"x","roi_ps":12}}"#);
+        assert_eq!(render_record(3, "00ff", &status, false, &payload), ok);
+        // A follower occurrence flips only the dedup flag.
+        assert_eq!(
+            render_record(7, "00ff", &status, true, &payload),
+            r#"{"index":7,"key":"00ff","status":"ok","deduped":true,"report":{"benchmark":"x","roi_ps":12}}"#
+        );
+    }
+
+    #[test]
+    fn record_splitting_handles_errors_and_rejects_garbage() {
+        let err = r#"{"index":0,"key":"aa","status":"error","deduped":false,"error":{"code":"quarantined","message":"job aa is quarantined"}}"#;
+        let (idx, status, payload) = split_record(err).unwrap();
+        assert_eq!((idx, status.as_str()), (0, "error"));
+        assert!(payload.starts_with("\"error\":"));
+        assert!(split_record("not json").is_none());
+        assert!(split_record("{\"sweep\":{}}").is_none());
+    }
+
+    #[test]
+    fn no_workers_coordinator_answers_503_envelopes() {
+        let coordinator = Coordinator::new(ClusterConfig::default());
+        let req = Request {
+            method: "POST".into(),
+            path: "/v1/runs".into(),
+            query: String::new(),
+            headers: Vec::new(),
+            body: br#"{"benchmark":"rodinia/hotspot","scale":0.02}"#.to_vec(),
+            http10: false,
+            request_id: "req-test".into(),
+        };
+        let resp = coordinator.handle(&req);
+        assert_eq!(resp.status, 503);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("no_workers"), "{body}");
+    }
+
+    #[test]
+    fn routing_rejects_unknown_and_misused_routes() {
+        let coordinator = Coordinator::new(ClusterConfig::default());
+        let req = |method: &str, path: &str| Request {
+            method: method.into(),
+            path: path.into(),
+            query: String::new(),
+            headers: Vec::new(),
+            body: Vec::new(),
+            http10: false,
+            request_id: "req-test".into(),
+        };
+        assert_eq!(coordinator.handle(&req("GET", "/healthz")).status, 200);
+        assert_eq!(coordinator.handle(&req("DELETE", "/v1/runs")).status, 405);
+        assert_eq!(coordinator.handle(&req("GET", "/nope")).status, 404);
+        assert_eq!(
+            coordinator.handle(&req("GET", "/v1/runs/zz")).status,
+            400,
+            "malformed run key"
+        );
+        // All breakers vacuously open (no workers): unready.
+        assert_eq!(
+            coordinator.handle(&req("GET", "/healthz/ready")).status,
+            503
+        );
+    }
+
+    #[test]
+    fn metrics_render_without_workers() {
+        let coordinator = Coordinator::new(ClusterConfig {
+            workers: vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
+            ..ClusterConfig::default()
+        });
+        let req = Request {
+            method: "GET".into(),
+            path: "/metrics".into(),
+            query: "format=prometheus".into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+            http10: false,
+            request_id: "req-test".into(),
+        };
+        let resp = coordinator.handle(&req);
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        heteropipe_obs::expfmt::parse(&text).expect("valid exposition format");
+        assert!(text.contains("heteropipe_cluster_worker_healthy{worker=\"127.0.0.1:1\"}"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Cross-node single-flight: concurrent identical `POST /v1/runs` at the
+//! coordinator coalesce onto one worker call.
+//!
+//! This generalizes the engine's in-process flight map one level up the
+//! stack: the engine deduplicates identical jobs racing into one process;
+//! this map deduplicates identical *requests* racing into the cluster, so
+//! N clients asking for the same run key cost one probe + one forward,
+//! not N. The leader (first arrival) executes; followers block on a
+//! condvar and receive a clone of the leader's response.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What a flight resolves to: enough of the upstream response to replay
+/// it to every waiter (status, body, and the run's content address).
+#[derive(Debug, Clone)]
+pub struct FlightResult {
+    /// Upstream HTTP status.
+    pub status: u16,
+    /// Upstream body bytes, verbatim.
+    pub body: Vec<u8>,
+    /// The `X-Run-Key` to stamp on the replayed response, when known.
+    pub run_key: Option<String>,
+}
+
+struct Flight {
+    done: Mutex<Option<FlightResult>>,
+    cv: Condvar,
+}
+
+/// The in-flight map: run key → the one call resolving it.
+#[derive(Default)]
+pub struct FlightMap {
+    flights: Mutex<HashMap<u128, Arc<Flight>>>,
+}
+
+impl FlightMap {
+    /// An empty map.
+    pub fn new() -> FlightMap {
+        FlightMap::default()
+    }
+
+    /// Runs `exec` for `key`, coalescing concurrent callers: the first
+    /// caller (leader) executes and publishes; the rest block until the
+    /// leader finishes and get a clone of its result. Returns the result
+    /// and whether this caller was coalesced onto another's flight.
+    ///
+    /// `exec` must not panic — error responses are results, not panics —
+    /// or followers of the poisoned flight would block forever.
+    pub fn run(&self, key: u128, exec: impl FnOnce() -> FlightResult) -> (FlightResult, bool) {
+        let flight = {
+            let mut flights = self.flights.lock().expect("flight map poisoned");
+            if let Some(existing) = flights.get(&key) {
+                Some(Arc::clone(existing))
+            } else {
+                flights.insert(
+                    key,
+                    Arc::new(Flight {
+                        done: Mutex::new(None),
+                        cv: Condvar::new(),
+                    }),
+                );
+                None
+            }
+        };
+        match flight {
+            Some(flight) => {
+                let mut done = flight.done.lock().expect("flight poisoned");
+                while done.is_none() {
+                    done = flight.cv.wait(done).expect("flight poisoned");
+                }
+                (done.clone().expect("flight resolved"), true)
+            }
+            None => {
+                let result = exec();
+                let mut flights = self.flights.lock().expect("flight map poisoned");
+                let flight = flights.remove(&key).expect("leader owns its flight");
+                drop(flights);
+                *flight.done.lock().expect("flight poisoned") = Some(result.clone());
+                flight.cv.notify_all();
+                (result, false)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn sequential_calls_each_lead() {
+        let map = FlightMap::new();
+        let execs = AtomicU64::new(0);
+        for _ in 0..3 {
+            let (result, coalesced) = map.run(42, || {
+                execs.fetch_add(1, Ordering::SeqCst);
+                FlightResult {
+                    status: 200,
+                    body: b"ok".to_vec(),
+                    run_key: None,
+                }
+            });
+            assert_eq!(result.status, 200);
+            assert!(!coalesced);
+        }
+        assert_eq!(execs.load(Ordering::SeqCst), 3, "no flight to join");
+    }
+
+    #[test]
+    fn concurrent_callers_coalesce_onto_one_execution() {
+        let map = Arc::new(FlightMap::new());
+        let execs = Arc::new(AtomicU64::new(0));
+        let coalesced_total = Arc::new(AtomicU64::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let (map, execs, coalesced_total) = (
+                    Arc::clone(&map),
+                    Arc::clone(&execs),
+                    Arc::clone(&coalesced_total),
+                );
+                std::thread::spawn(move || {
+                    let (result, coalesced) = map.run(7, || {
+                        // Hold the flight open long enough for the other
+                        // threads to pile in behind the leader.
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        execs.fetch_add(1, Ordering::SeqCst);
+                        FlightResult {
+                            status: 200,
+                            body: b"led".to_vec(),
+                            run_key: Some("aa".into()),
+                        }
+                    });
+                    if coalesced {
+                        coalesced_total.fetch_add(1, Ordering::SeqCst);
+                    }
+                    assert_eq!(result.body, b"led");
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(execs.load(Ordering::SeqCst), 1, "exactly one leader ran");
+        assert_eq!(coalesced_total.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let map = FlightMap::new();
+        let (_, c1) = map.run(1, || FlightResult {
+            status: 200,
+            body: Vec::new(),
+            run_key: None,
+        });
+        let (_, c2) = map.run(2, || FlightResult {
+            status: 200,
+            body: Vec::new(),
+            run_key: None,
+        });
+        assert!(!c1 && !c2);
+    }
+}

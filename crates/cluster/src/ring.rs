@@ -1,0 +1,105 @@
+//! Rendezvous (highest-random-weight) placement of run keys over a static
+//! worker set.
+//!
+//! Every `(key, worker slot)` pair gets a score from
+//! [`heteropipe_engine::shard_score`]; the key's owner is the live worker
+//! with the highest score. Two properties make this the right shape here:
+//!
+//! * **Deterministic** — scores hash the worker's *slot index*, not its
+//!   address, so a test cluster on ephemeral ports shards exactly like a
+//!   production one, and the same key always lands on the same slot.
+//! * **Minimal movement** — when a worker goes down, only the keys it
+//!   owned move (each to its second-highest scorer); every other key's
+//!   placement is untouched, so a failure invalidates one shard's worth
+//!   of cache locality instead of the whole ring.
+
+use heteropipe_engine::{shard_score, RunKey};
+
+/// The static worker set, ordered by slot index.
+#[derive(Debug, Clone)]
+pub struct WorkerRing {
+    workers: Vec<String>,
+}
+
+impl WorkerRing {
+    /// A ring over `workers` (slot `i` is `workers[i]`).
+    pub fn new(workers: Vec<String>) -> WorkerRing {
+        WorkerRing { workers }
+    }
+
+    /// Number of slots (live or not).
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the ring has no workers at all.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// The address at `slot`.
+    pub fn addr(&self, slot: usize) -> &str {
+        &self.workers[slot]
+    }
+
+    /// All addresses, in slot order.
+    pub fn addrs(&self) -> &[String] {
+        &self.workers
+    }
+
+    /// The slot owning `key` among workers not masked out by `down`
+    /// (`down[i] == true` skips slot `i`). `None` when every slot is down.
+    /// `down` must be ring-sized.
+    pub fn owner(&self, key: RunKey, down: &[bool]) -> Option<usize> {
+        debug_assert_eq!(down.len(), self.workers.len());
+        (0..self.workers.len())
+            .filter(|&slot| !down[slot])
+            .max_by_key(|&slot| shard_score(key, slot as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> WorkerRing {
+        WorkerRing::new((0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect())
+    }
+
+    #[test]
+    fn owner_is_deterministic_and_total() {
+        let r = ring(3);
+        let down = vec![false; 3];
+        for i in 0..100u64 {
+            let key = RunKey(i as u128 * 0x9e37_79b9);
+            let a = r.owner(key, &down).unwrap();
+            let b = r.owner(key, &down).unwrap();
+            assert_eq!(a, b);
+            assert!(a < 3);
+        }
+    }
+
+    #[test]
+    fn masking_a_slot_only_moves_its_own_keys() {
+        let r = ring(4);
+        let all_up = vec![false; 4];
+        let mut victim_down = vec![false; 4];
+        victim_down[2] = true;
+        for i in 0..200u64 {
+            let key = RunKey(i as u128 * 0x6a09_e667);
+            let before = r.owner(key, &all_up).unwrap();
+            let after = r.owner(key, &victim_down).unwrap();
+            if before != 2 {
+                assert_eq!(before, after, "survivor placement moved for key {i}");
+            } else {
+                assert_ne!(after, 2, "key {i} still assigned to a down worker");
+            }
+        }
+    }
+
+    #[test]
+    fn all_down_has_no_owner() {
+        let r = ring(2);
+        assert_eq!(r.owner(RunKey(7), &[true, true]), None);
+    }
+}

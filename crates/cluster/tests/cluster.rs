@@ -1,0 +1,393 @@
+//! End-to-end cluster tests: a real coordinator and real workers on
+//! ephemeral loopback ports, driven through the serve crate's client.
+//!
+//! The load-bearing property throughout is *deployment transparency*:
+//! a sweep answered by the cluster — cold, warm from peer caches, or
+//! interrupted by partitions and a worker death — must be byte-identical
+//! (record lines; summaries are accounting, not results) to the same
+//! sweep on a single node.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use heteropipe_cluster::{serve_cluster, ClusterConfig};
+use heteropipe_engine::Engine;
+use heteropipe_faults::{FaultPlan, Injector};
+use heteropipe_serve::server::ServerConfig;
+use heteropipe_serve::{api, Client, Json, ServerHandle};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "heteropipe-cluster-test-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn server_cfg() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        max_inflight: 32,
+        ..ServerConfig::default()
+    }
+}
+
+fn start_worker(cache_dir: &std::path::Path) -> ServerHandle {
+    api::serve(
+        server_cfg(),
+        Arc::new(Engine::new().with_jobs(2).with_cache_dir(cache_dir)),
+    )
+    .expect("bind worker")
+}
+
+fn start_worker_with_faults(cache_dir: &std::path::Path, plan: &str) -> ServerHandle {
+    let mut cfg = server_cfg();
+    cfg.faults = Arc::new(Injector::new(FaultPlan::parse(plan).unwrap()));
+    api::serve(
+        cfg,
+        Arc::new(Engine::new().with_jobs(2).with_cache_dir(cache_dir)),
+    )
+    .expect("bind worker")
+}
+
+fn start_coordinator(workers: Vec<String>, faults: Arc<Injector>) -> ServerHandle {
+    serve_cluster(
+        server_cfg(),
+        ClusterConfig {
+            workers,
+            faults,
+            ..ClusterConfig::default()
+        },
+    )
+    .expect("bind coordinator")
+}
+
+fn job(benchmark: &str, scale: f64) -> Json {
+    Json::Obj(vec![
+        ("benchmark".into(), Json::str(benchmark)),
+        ("system".into(), Json::str("discrete")),
+        ("organization".into(), Json::str("serial")),
+        ("scale".into(), Json::F64(scale)),
+    ])
+}
+
+/// A sweep with distinct jobs (for shard spread) and one duplicate (for
+/// dedup-consistency across the coordinator merge).
+fn sweep_body() -> Json {
+    let jobs = vec![
+        job("rodinia/kmeans", 0.05),
+        job("rodinia/hotspot", 0.05),
+        job("rodinia/bfs", 0.05),
+        job("rodinia/backprop", 0.05),
+        job("rodinia/nw", 0.05),
+        job("rodinia/kmeans", 0.05), // duplicate of jobs[0]
+    ];
+    Json::Obj(vec![("jobs".into(), Json::Arr(jobs))])
+}
+
+/// Record lines of an NDJSON sweep stream — everything but the trailing
+/// summary object(s), which carry timing and are excluded from the
+/// byte-identity contract. Sorted into submission (index) order: a
+/// single node streams records in completion order, the coordinator in
+/// index order; the contract is that the *records* are byte-identical.
+fn record_lines(body: &[u8]) -> Vec<String> {
+    let mut lines: Vec<String> = std::str::from_utf8(body)
+        .expect("sweep stream is UTF-8")
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with("{\"sweep\":"))
+        .map(str::to_owned)
+        .collect();
+    lines.sort_by_key(|l| {
+        let rest = l.strip_prefix("{\"index\":").expect("record line");
+        rest[..rest.find(',').unwrap()].parse::<usize>().unwrap()
+    });
+    lines
+}
+
+/// The trailing summary object of an NDJSON sweep stream.
+fn summary(body: &[u8]) -> Json {
+    let text = std::str::from_utf8(body).unwrap();
+    let line = text
+        .lines()
+        .rev()
+        .find(|l| l.starts_with("{\"sweep\":"))
+        .expect("stream has a summary");
+    Json::parse(line).expect("summary parses")
+}
+
+fn sweep_field(s: &Json, name: &str) -> u64 {
+    s.get("sweep")
+        .and_then(|v| v.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("summary missing {name}"))
+}
+
+/// Single-node ground truth for `body`: run it on a fresh, isolated
+/// worker and return its record lines.
+fn single_node_records(body: &Json, tag: &str) -> Vec<String> {
+    let dir = temp_dir(tag);
+    let handle = start_worker(&dir);
+    let mut client = Client::new(handle.addr().to_string());
+    let resp = client.post_json("/v1/sweeps", body).unwrap();
+    assert_eq!(resp.status, 200);
+    let records = record_lines(&resp.body);
+    handle.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+    records
+}
+
+#[test]
+fn cold_sweep_shards_across_workers_and_matches_single_node() {
+    let baseline = single_node_records(&sweep_body(), "cold-baseline");
+
+    let (dir_a, dir_b) = (temp_dir("cold-a"), temp_dir("cold-b"));
+    let (wa, wb) = (start_worker(&dir_a), start_worker(&dir_b));
+    let coordinator = start_coordinator(
+        vec![wa.addr().to_string(), wb.addr().to_string()],
+        Arc::new(Injector::disabled()),
+    );
+    let mut client = Client::new(coordinator.addr().to_string());
+
+    let resp = client.post_json("/v1/sweeps", &sweep_body()).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.header("x-sweep-key").is_some());
+    assert_eq!(record_lines(&resp.body), baseline, "cold cluster sweep");
+    let s = summary(&resp.body);
+    assert_eq!(sweep_field(&s, "jobs_total"), 6);
+    assert_eq!(sweep_field(&s, "jobs_unique"), 5);
+    assert_eq!(sweep_field(&s, "duplicates"), 1);
+    assert_eq!(sweep_field(&s, "executed"), 5, "cold: every unique runs");
+    assert_eq!(sweep_field(&s, "peer_cache_hits"), 0);
+    assert_eq!(sweep_field(&s, "failed"), 0);
+
+    // The merge really fanned out: both workers answered calls.
+    let resp = client.get("/metrics").unwrap();
+    let m = resp.json().unwrap();
+    let workers = m
+        .get("cluster")
+        .and_then(|c| c.get("workers"))
+        .and_then(Json::as_array)
+        .expect("worker stats");
+    assert_eq!(workers.len(), 2);
+    for w in workers {
+        let forwarded = w.get("forwarded").and_then(Json::as_u64).unwrap();
+        assert!(forwarded > 0, "worker {w:?} saw no traffic");
+    }
+
+    // Warm repeat: every unique key is now in a worker's disk cache, so
+    // the peer tier answers everything and nothing executes anywhere.
+    let resp = client.post_json("/v1/sweeps", &sweep_body()).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(record_lines(&resp.body), baseline, "warm repeat");
+    let s = summary(&resp.body);
+    assert_eq!(sweep_field(&s, "peer_cache_hits"), 5);
+    assert_eq!(sweep_field(&s, "executed"), 0, "warm: peer caches answer");
+
+    coordinator.shutdown_and_join();
+    wa.shutdown_and_join();
+    wb.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn runs_probe_peer_caches_and_proxy_reports() {
+    let (dir_a, dir_b) = (temp_dir("runs-a"), temp_dir("runs-b"));
+    let (wa, wb) = (start_worker(&dir_a), start_worker(&dir_b));
+    let coordinator = start_coordinator(
+        vec![wa.addr().to_string(), wb.addr().to_string()],
+        Arc::new(Injector::disabled()),
+    );
+    let mut client = Client::new(coordinator.addr().to_string());
+
+    let body = job("rodinia/kmeans", 0.05);
+    let cold = client.post_json("/v1/runs", &body).unwrap();
+    assert_eq!(cold.status, 200);
+    let key = cold.header("x-run-key").expect("run key").to_string();
+
+    // Repeat: the owner's disk cache answers through the peer probe, and
+    // the report bytes are identical to the executed ones.
+    let warm = client.post_json("/v1/runs", &body).unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.body, cold.body, "peer-cache hit replays the record");
+
+    let resp = client.get("/metrics").unwrap();
+    let m = resp.json().unwrap();
+    let peer_hits: u64 = m
+        .get("cluster")
+        .and_then(|c| c.get("workers"))
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|w| w.get("peer_hits").and_then(Json::as_u64).unwrap())
+        .sum();
+    assert!(peer_hits >= 1, "warm run came from the peer tier");
+
+    // The run resource proxies to the owning shard.
+    let report = client.get(&format!("/v1/runs/{key}")).unwrap();
+    assert_eq!(report.status, 200);
+    assert_eq!(report.body, cold.body);
+    let trace = client.get(&format!("/v1/runs/{key}/trace")).unwrap();
+    assert_eq!(trace.status, 200, "trace lives where the run executed");
+
+    // Prometheus exposition stays well-formed with live worker labels.
+    let resp = client.get("/metrics?format=prometheus").unwrap();
+    assert_eq!(resp.status, 200);
+    let text = String::from_utf8(resp.body).unwrap();
+    heteropipe_obs::expfmt::parse(&text).expect("valid exposition format");
+    assert!(text.contains("heteropipe_cluster_peer_cache_hits_total"));
+
+    coordinator.shutdown_and_join();
+    wa.shutdown_and_join();
+    wb.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn partition_faults_rehash_to_identical_bytes() {
+    let baseline = single_node_records(&sweep_body(), "chaos-baseline");
+
+    // One bounded fault per scenario: with two workers, a fault on each
+    // shard in the same round would mask both and correctly fail the
+    // sweep with no_workers — the property under test is that a *single*
+    // partition costs a rehash, never a wrong answer. A hang is also
+    // thrown in: slow links delay, they don't fail.
+    for plan in [
+        "seed=7;cluster.probe:err=eio:max=1;cluster.probe:err=hang:ms=40:max=1",
+        "seed=7;cluster.forward:err=drop:max=1",
+    ] {
+        let faults = Arc::new(Injector::new(FaultPlan::parse(plan).unwrap()));
+        let (dir_a, dir_b) = (temp_dir("chaos-a"), temp_dir("chaos-b"));
+        let (wa, wb) = (start_worker(&dir_a), start_worker(&dir_b));
+        let coordinator =
+            start_coordinator(vec![wa.addr().to_string(), wb.addr().to_string()], faults);
+        let mut client = Client::new(coordinator.addr().to_string());
+
+        let resp = client.post_json("/v1/sweeps", &sweep_body()).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            record_lines(&resp.body),
+            baseline,
+            "records are placement-independent under {plan}"
+        );
+        let s = summary(&resp.body);
+        assert_eq!(sweep_field(&s, "failed"), 0, "{plan}");
+        assert!(
+            sweep_field(&s, "rehashes") >= 1,
+            "the injected partition forced at least one rehash ({plan})"
+        );
+
+        coordinator.shutdown_and_join();
+        wa.shutdown_and_join();
+        wb.shutdown_and_join();
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+}
+
+#[test]
+fn worker_death_mid_sweep_self_heals_to_identical_bytes() {
+    let baseline = single_node_records(&sweep_body(), "death-baseline");
+
+    // Worker B drops the connection mid-response exactly once — the
+    // coordinator sees a transport error partway through B's shard,
+    // masks B, and re-executes that shard on A.
+    let (dir_a, dir_b) = (temp_dir("death-a"), temp_dir("death-b"));
+    let wa = start_worker(&dir_a);
+    let wb = start_worker_with_faults(&dir_b, "serve.write:err=drop:max=1");
+    let coordinator = start_coordinator(
+        vec![wa.addr().to_string(), wb.addr().to_string()],
+        Arc::new(Injector::disabled()),
+    );
+    let mut client = Client::new(coordinator.addr().to_string());
+
+    let resp = client.post_json("/v1/sweeps", &sweep_body()).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(record_lines(&resp.body), baseline, "mid-sweep drop");
+    let s = summary(&resp.body);
+    assert_eq!(sweep_field(&s, "failed"), 0);
+    assert!(sweep_field(&s, "rehashes") >= 1);
+
+    // Now B actually dies. A fresh sweep still answers identically:
+    // probes/forwards to B fail, its keys rehash onto A.
+    wb.shutdown_and_join();
+    let resp = client.post_json("/v1/sweeps", &sweep_body()).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(record_lines(&resp.body), baseline, "after worker death");
+    assert_eq!(sweep_field(&summary(&resp.body), "failed"), 0);
+
+    coordinator.shutdown_and_join();
+    wa.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn inline_workflows_share_keys_with_single_node_and_journal() {
+    let workflow = Json::Obj(vec![(
+        "stages".into(),
+        Json::Arr(vec![
+            Json::Obj(vec![
+                ("name".into(), Json::str("characterize")),
+                ("jobs".into(), Json::Arr(vec![job("rodinia/kmeans", 0.05)])),
+            ]),
+            Json::Obj(vec![
+                ("name".into(), Json::str("compare")),
+                ("deps".into(), Json::Arr(vec![Json::str("characterize")])),
+                ("jobs".into(), Json::Arr(vec![job("rodinia/hotspot", 0.05)])),
+            ]),
+        ]),
+    )]);
+
+    // Single-node workflow key for the same graph.
+    let dir_s = temp_dir("wf-single");
+    let ws = start_worker(&dir_s);
+    let mut client = Client::new(ws.addr().to_string());
+    let resp = client.post_json("/v1/workflows", &workflow).unwrap();
+    assert_eq!(resp.status, 200);
+    let single_key = resp.header("x-workflow-key").unwrap().to_string();
+    ws.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir_s);
+
+    let (dir_a, dir_b) = (temp_dir("wf-a"), temp_dir("wf-b"));
+    let (wa, wb) = (start_worker(&dir_a), start_worker(&dir_b));
+    let coordinator = start_coordinator(
+        vec![wa.addr().to_string(), wb.addr().to_string()],
+        Arc::new(Injector::disabled()),
+    );
+    let mut client = Client::new(coordinator.addr().to_string());
+
+    let resp = client.post_json("/v1/workflows", &workflow).unwrap();
+    assert_eq!(resp.status, 200);
+    let cluster_key = resp.header("x-workflow-key").unwrap().to_string();
+    assert_eq!(
+        cluster_key, single_key,
+        "inline stage keys agree across deployment shapes"
+    );
+    let events = resp.ndjson().expect("stage event stream");
+    let summary = events.last().expect("workflow summary");
+    let wf = summary.get("workflow").expect("summary object");
+    assert_eq!(wf.get("failed").and_then(Json::as_u64), Some(0));
+    assert_eq!(wf.get("stages_total").and_then(Json::as_u64), Some(2));
+
+    // The coordinator journals inline workflows locally.
+    let resp = client.get(&format!("/v1/workflows/{cluster_key}")).unwrap();
+    assert_eq!(resp.status, 200);
+    let journaled = resp.json().unwrap();
+    assert_eq!(
+        journaled
+            .get("workflow")
+            .and_then(|w| w.get("key"))
+            .and_then(Json::as_str),
+        Some(cluster_key.as_str())
+    );
+
+    coordinator.shutdown_and_join();
+    wa.shutdown_and_join();
+    wb.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}

@@ -79,6 +79,23 @@ pub fn composite_key(kind: &str, inputs: &[&str], members: &[RunKey]) -> RunKey 
     h.finish()
 }
 
+/// Rendezvous (highest-random-weight) placement score for `key` on the
+/// worker occupying slot `worker` of a static cluster. The owner of a key
+/// is the worker with the highest score among the live set; because each
+/// `(key, worker)` pair scores independently, removing a worker only moves
+/// the keys that worker owned — every other placement is untouched, which
+/// is what lets a coordinator rehash around a dead worker without
+/// invalidating the survivors' caches. Scoring by slot index (not address)
+/// keeps placement stable across restarts with ephemeral ports.
+pub fn shard_score(key: RunKey, worker: u64) -> u128 {
+    let mut h = KeyHasher::new();
+    h.u32(SCHEMA_VERSION);
+    h.str("shard");
+    h.key(key);
+    h.u64(worker);
+    h.finish().0
+}
+
 /// Incremental structural hasher: two independent 64-bit FNV-1a streams
 /// (distinct offset bases, one fed byte-reversed input) concatenated into a
 /// u128, each finalized through a SplitMix64 avalanche. Not cryptographic —
@@ -502,6 +519,31 @@ mod tests {
             composite_key("s", &["ab", "c"], &[]),
             composite_key("s", &["a", "bc"], &[]),
         );
+    }
+
+    #[test]
+    fn shard_scores_are_deterministic_and_spread() {
+        let keys: Vec<RunKey> = (0..64u128)
+            .map(|i| RunKey(i.wrapping_mul(0x9E37)))
+            .collect();
+        // Same inputs, same score.
+        assert_eq!(shard_score(keys[0], 0), shard_score(keys[0], 0));
+        assert_ne!(shard_score(keys[0], 0), shard_score(keys[0], 1));
+        // Highest-score placement across 4 workers uses every slot.
+        let owner = |k: RunKey, n: u64| (0..n).max_by_key(|&w| shard_score(k, w)).unwrap();
+        let mut used = [false; 4];
+        for &k in &keys {
+            used[owner(k, 4) as usize] = true;
+        }
+        assert_eq!(used, [true; 4], "64 keys over 4 workers hit every slot");
+        // Rendezvous property: dropping worker 3 only moves worker 3's keys.
+        for &k in &keys {
+            let before = owner(k, 4);
+            if before != 3 {
+                let after = (0..3).max_by_key(|&w| shard_score(k, w)).unwrap();
+                assert_eq!(before, after, "surviving placements must not move");
+            }
+        }
     }
 
     #[test]

@@ -65,7 +65,7 @@ use heteropipe_obs::{JobTrace, PhaseTimer, TraceStore};
 
 pub use cache::{CacheTier, ResultCache};
 pub use error::EngineError;
-pub use key::{composite_key, run_key, RunKey, SCHEMA_VERSION};
+pub use key::{composite_key, run_key, shard_score, RunKey, SCHEMA_VERSION};
 pub use metrics::{MetricsSnapshot, RunMetrics};
 pub use sweep::{sweep_key, SweepOutcome, SweepRecord, SweepSummary};
 

@@ -8,7 +8,8 @@
 //! ```
 //!
 //! * `site` — where the fault fires: `cache.write`, `cache.read`,
-//!   `job.exec`, `serve.accept`, `serve.read`, `serve.write`;
+//!   `job.exec`, `serve.accept`, `serve.read`, `serve.write`,
+//!   `cluster.probe`, `cluster.forward`;
 //! * `err` — what happens: `enospc` / `eio` (an I/O error), `corrupt`
 //!   (bytes are bit-flipped in flight), `panic` (the job panics), `hang`
 //!   (the job stalls for `ms` milliseconds), `drop` (the connection is
@@ -45,17 +46,25 @@ pub enum Site {
     ServeRead,
     /// Writing a response back to the peer.
     ServeWrite,
+    /// A coordinator's peer-cache probe to the shard owning a run key
+    /// (`drop`/`eio` emulate a network partition, `hang` a slow link).
+    ClusterProbe,
+    /// A coordinator forwarding work to a worker (`drop`/`eio` emulate a
+    /// partition or dead worker, `hang` a slow worker).
+    ClusterForward,
 }
 
 impl Site {
     /// Every known site, in grammar order.
-    pub const ALL: [Site; 6] = [
+    pub const ALL: [Site; 8] = [
         Site::CacheWrite,
         Site::CacheRead,
         Site::JobExec,
         Site::ServeAccept,
         Site::ServeRead,
         Site::ServeWrite,
+        Site::ClusterProbe,
+        Site::ClusterForward,
     ];
 
     /// The grammar / metric-label spelling (`cache.write`, ...).
@@ -67,6 +76,8 @@ impl Site {
             Site::ServeAccept => "serve.accept",
             Site::ServeRead => "serve.read",
             Site::ServeWrite => "serve.write",
+            Site::ClusterProbe => "cluster.probe",
+            Site::ClusterForward => "cluster.forward",
         }
     }
 }
@@ -204,7 +215,9 @@ fn parse_rule(clause: &str) -> Result<FaultRule, PlanError> {
         .next()
         .unwrap_or("")
         .parse()
-        .map_err(|()| err("unknown site (cache.write, cache.read, job.exec, serve.accept, serve.read, serve.write)"))?;
+        .map_err(|()| {
+            err("unknown site (cache.write, cache.read, job.exec, serve.accept, serve.read, serve.write, cluster.probe, cluster.forward)")
+        })?;
 
     let mut kind = None;
     let mut rule = FaultRule {

@@ -206,7 +206,18 @@ impl MetricRegistry {
 
     /// Registers (or retrieves) an unlabeled histogram.
     pub fn histogram(&self, name: &str, help: &str) -> HistogramHandle {
-        match self.register(name, help, "histogram", &[], || {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a histogram with the given label set (e.g.
+    /// a per-worker forward-latency distribution on a cluster coordinator).
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> HistogramHandle {
+        match self.register(name, help, "histogram", labels, || {
             Value::Histogram(HistogramHandle::default())
         }) {
             Value::Histogram(h) => h,
@@ -363,6 +374,22 @@ mod tests {
         assert!(text.contains("latency_us_bucket{le=\"+Inf\"} 4\n"));
         assert!(text.contains("latency_us_sum 106\n"));
         assert!(text.contains("latency_us_count 4\n"));
+    }
+
+    #[test]
+    fn labeled_histograms_render_per_label_set() {
+        let r = MetricRegistry::new();
+        r.histogram_with("fwd_us", "Forward latency.", &[("worker", "a")])
+            .observe(3);
+        r.histogram_with("fwd_us", "Forward latency.", &[("worker", "b")])
+            .observe(7);
+        let text = r.render_prometheus();
+        assert!(text.contains("fwd_us_count{worker=\"a\"} 1\n"), "{text}");
+        assert!(text.contains("fwd_us_count{worker=\"b\"} 1\n"), "{text}");
+        assert!(
+            text.contains("fwd_us_bucket{worker=\"a\",le=\"4\"} 1\n"),
+            "{text}"
+        );
     }
 
     #[test]

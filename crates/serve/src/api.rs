@@ -324,7 +324,7 @@ impl Api {
 /// of the JSON default: `?format=prometheus` wins, `?format=json` forces
 /// JSON, otherwise an `Accept` header preferring `text/plain` (or an
 /// OpenMetrics type) selects Prometheus.
-fn wants_prometheus(req: &Request) -> bool {
+pub fn wants_prometheus(req: &Request) -> bool {
     for kv in req.query.split('&') {
         match kv {
             "format=prometheus" => return true,
@@ -911,7 +911,10 @@ fn fig4_rows(exec: &dyn Executor, scale: Scale) -> Vec<fig456::Fig4Row> {
     fig456::fig4(&characterize_all_with(exec, scale))
 }
 
-fn parse_body(req: &Request) -> Option<Json> {
+/// Parses a request body as a JSON object (`None` for empty, non-UTF-8,
+/// unparseable, or non-object bodies). Shared with the cluster
+/// coordinator so both front doors reject malformed bodies identically.
+pub fn parse_body(req: &Request) -> Option<Json> {
     if req.body.is_empty() {
         return None;
     }
@@ -964,7 +967,7 @@ fn parse_organization(v: Option<&Json>) -> Result<Organization, &'static str> {
 /// outlive the request body (the sweep stream borrows specs from inside
 /// the response producer, after the request has been dropped).
 #[derive(Debug)]
-struct OwnedJobSpec {
+pub struct OwnedJobSpec {
     pipeline: Pipeline,
     config: SystemConfig,
     organization: Organization,
@@ -972,7 +975,8 @@ struct OwnedJobSpec {
 }
 
 impl OwnedJobSpec {
-    fn spec(&self) -> JobSpec<'_> {
+    /// The borrowed [`JobSpec`] view the engine executes and keys on.
+    pub fn spec(&self) -> JobSpec<'_> {
         JobSpec {
             pipeline: &self.pipeline,
             config: &self.config,
@@ -984,10 +988,13 @@ impl OwnedJobSpec {
 
 /// Why a job spec failed to parse, shaped for the error envelope.
 #[derive(Debug)]
-struct SpecError {
-    status: u16,
-    code: &'static str,
-    message: String,
+pub struct SpecError {
+    /// HTTP status the envelope should carry (400, 404, 413, 422).
+    pub status: u16,
+    /// Stable machine-readable error code.
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
 }
 
 impl SpecError {
@@ -1007,7 +1014,7 @@ impl SpecError {
 /// Parses one job-spec object (`benchmark`, `system`, `organization`,
 /// `scale`, `misalignment_sensitive`) — the shared front half of
 /// `POST /v1/runs` and every `POST /v1/sweeps` entry.
-fn parse_job_spec(body: &Json) -> Result<OwnedJobSpec, SpecError> {
+pub fn parse_job_spec(body: &Json) -> Result<OwnedJobSpec, SpecError> {
     let Some(name) = body.get("benchmark").and_then(Json::as_str) else {
         return Err(SpecError::bad("missing field: benchmark"));
     };
@@ -1065,7 +1072,7 @@ fn parse_job_spec(body: &Json) -> Result<OwnedJobSpec, SpecError> {
 /// the explicit `"jobs"` array, or the generator cross-product
 /// `benchmarks × systems × organizations` with `scale` and
 /// `misalignment_sensitive` shared across every generated entry.
-fn sweep_entries(body: &Json) -> Result<Vec<Json>, SpecError> {
+pub fn sweep_entries(body: &Json) -> Result<Vec<Json>, SpecError> {
     if let Some(jobs) = body.get("jobs") {
         let Some(arr) = jobs.as_array() else {
             return Err(SpecError::bad("\"jobs\" must be an array of job objects"));
@@ -1202,7 +1209,7 @@ fn sweep_summary_json(outcome: &heteropipe_engine::SweepOutcome) -> Json {
 /// Builds the graph a `POST /v1/workflows` body describes: either a
 /// built-in named graph (`"workflow"` plus optional `"scale"`) or an
 /// inline `"stages"` array of sweep stages with dependency edges.
-fn workflow_graph(body: &Json) -> Result<TaskGraph, SpecError> {
+pub fn workflow_graph(body: &Json) -> Result<TaskGraph, SpecError> {
     if let Some(name) = body.get("workflow") {
         let Some(name) = name.as_str() else {
             return Err(SpecError::bad("\"workflow\" must be a string"));
@@ -1340,7 +1347,7 @@ fn inline_stage(stage: &Json, total_jobs: &mut usize) -> Result<Stage, SpecError
 
 /// One NDJSON stage-completion event of a workflow stream (also the
 /// `events` entries of the journaled result).
-fn stage_event_json(ev: &StageEvent) -> Json {
+pub fn stage_event_json(ev: &StageEvent) -> Json {
     let mut obj = vec![
         ("stage".to_string(), Json::str(ev.stage.clone())),
         ("kind".to_string(), Json::str(ev.kind.label())),
@@ -1360,7 +1367,7 @@ fn stage_event_json(ev: &StageEvent) -> Json {
 
 /// The workflow summary object shared by the trailing NDJSON line and the
 /// journaled-result lookup.
-fn workflow_summary_json(result: &WorkflowResult) -> Json {
+pub fn workflow_summary_json(result: &WorkflowResult) -> Json {
     let s = &result.summary;
     Json::Obj(vec![(
         "workflow".to_string(),
@@ -1379,7 +1386,7 @@ fn workflow_summary_json(result: &WorkflowResult) -> Json {
 
 /// The `GET /v1/workflows/{key}` body: summary, per-stage events, and the
 /// rendered text of every declared output stage.
-fn workflow_result_json(result: &WorkflowResult) -> Json {
+pub fn workflow_result_json(result: &WorkflowResult) -> Json {
     let mut fields = match workflow_summary_json(result) {
         Json::Obj(fields) => fields,
         _ => unreachable!("summary is an object"),
@@ -1406,7 +1413,9 @@ fn workflow_result_json(result: &WorkflowResult) -> Json {
     Json::Obj(fields)
 }
 
-fn benchmarks() -> Response {
+/// The `GET /v1/benchmarks` census response (also served locally by the
+/// cluster coordinator — the catalogue is static, so no proxying).
+pub fn benchmarks() -> Response {
     let all = registry::all();
     let examined = all.iter().filter(|w| w.meta.examined).count();
     let list: Vec<Json> = all.iter().map(benchmark_json).collect();

@@ -1,10 +1,16 @@
 //! A small blocking HTTP/1.1 client, enough to exercise the server: used
-//! by the integration tests, the CI smoke check, and the load generator.
-//! Keeps one connection alive across requests and reconnects transparently
-//! when the server closes it.
+//! by the integration tests, the CI smoke check, the load generator, and
+//! the cluster coordinator's worker calls. A [`Client`] keeps one
+//! connection alive across requests and reconnects transparently when the
+//! server closes it; a [`ClientPool`] keeps a bounded set of idle
+//! kept-alive connections *per host*, so concurrent request paths check
+//! out warm connections instead of re-dialing.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use crate::json::Json;
@@ -135,6 +141,24 @@ impl Client {
         self.request("POST", path, Some(body), &[])
     }
 
+    /// Sends a POST with a raw body and extra request headers (the
+    /// coordinator's proxy path: the already-serialized client body plus a
+    /// propagated `X-Request-Id`).
+    pub fn post_raw_with_headers(
+        &mut self,
+        path: &str,
+        body: Vec<u8>,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, Some(body), headers)
+    }
+
+    /// Whether a kept-alive connection is currently held (a pool only
+    /// retains clients that still have one).
+    pub fn has_connection(&self) -> bool {
+        self.conn.is_some()
+    }
+
     fn connect(&self) -> std::io::Result<BufReader<TcpStream>> {
         let stream = TcpStream::connect(&self.addr)?;
         stream.set_read_timeout(Some(self.timeout))?;
@@ -200,6 +224,115 @@ impl Client {
             self.conn = None;
         }
         Ok(resp)
+    }
+}
+
+/// A bounded pool of idle kept-alive [`Client`]s, keyed by host address.
+///
+/// `checkout(addr)` hands back a warm connection when one is idle and a
+/// fresh (unconnected) client otherwise; dropping the returned
+/// [`PooledClient`] checks the client back in *only* when it still holds a
+/// live kept-alive connection, so broken or server-closed connections are
+/// discarded instead of being handed to the next caller. At most
+/// `max_idle_per_host` clients are retained per address — surplus
+/// check-ins simply drop their connection.
+pub struct ClientPool {
+    timeout: Duration,
+    max_idle_per_host: usize,
+    idle: Mutex<HashMap<String, Vec<Client>>>,
+}
+
+impl Default for ClientPool {
+    fn default() -> ClientPool {
+        ClientPool::new()
+    }
+}
+
+impl ClientPool {
+    /// An empty pool with a 30 s I/O timeout and 8 idle clients per host.
+    pub fn new() -> ClientPool {
+        ClientPool {
+            timeout: Duration::from_secs(30),
+            max_idle_per_host: 8,
+            idle: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Overrides the I/O timeout applied to clients the pool creates.
+    pub fn with_timeout(mut self, timeout: Duration) -> ClientPool {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Overrides how many idle clients are retained per host.
+    pub fn with_max_idle(mut self, max_idle_per_host: usize) -> ClientPool {
+        self.max_idle_per_host = max_idle_per_host;
+        self
+    }
+
+    /// Checks out a client for `addr`: a pooled warm one when available,
+    /// a fresh one otherwise. The client returns to the pool on drop if
+    /// its connection survived.
+    pub fn checkout(&self, addr: &str) -> PooledClient<'_> {
+        let client = self
+            .idle
+            .lock()
+            .expect("client pool poisoned")
+            .get_mut(addr)
+            .and_then(Vec::pop)
+            .unwrap_or_else(|| Client::new(addr).with_timeout(self.timeout));
+        PooledClient {
+            pool: self,
+            client: Some(client),
+        }
+    }
+
+    /// How many idle clients are currently pooled for `addr`.
+    pub fn idle_count(&self, addr: &str) -> usize {
+        self.idle
+            .lock()
+            .expect("client pool poisoned")
+            .get(addr)
+            .map_or(0, Vec::len)
+    }
+
+    fn checkin(&self, client: Client) {
+        if !client.has_connection() {
+            return;
+        }
+        let mut idle = self.idle.lock().expect("client pool poisoned");
+        let slot = idle.entry(client.addr.clone()).or_default();
+        if slot.len() < self.max_idle_per_host {
+            slot.push(client);
+        }
+    }
+}
+
+/// A [`Client`] checked out of a [`ClientPool`]; derefs to the client and
+/// checks it back in on drop (when the connection is still alive).
+pub struct PooledClient<'a> {
+    pool: &'a ClientPool,
+    client: Option<Client>,
+}
+
+impl Deref for PooledClient<'_> {
+    type Target = Client;
+    fn deref(&self) -> &Client {
+        self.client.as_ref().expect("client taken")
+    }
+}
+
+impl DerefMut for PooledClient<'_> {
+    fn deref_mut(&mut self) -> &mut Client {
+        self.client.as_mut().expect("client taken")
+    }
+}
+
+impl Drop for PooledClient<'_> {
+    fn drop(&mut self) {
+        if let Some(client) = self.client.take() {
+            self.pool.checkin(client);
+        }
     }
 }
 
@@ -279,4 +412,84 @@ pub fn read_response(r: &mut impl BufRead) -> std::io::Result<ClientResponse> {
         headers,
         body,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    /// A keep-alive HTTP server good for a few requests: reads one request
+    /// head per loop and answers `200 ok` without closing the connection.
+    fn tiny_server() -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 1024];
+            let mut seen = Vec::new();
+            loop {
+                let n = match stream.read(&mut buf) {
+                    Ok(0) | Err(_) => return,
+                    Ok(n) => n,
+                };
+                seen.extend_from_slice(&buf[..n]);
+                while let Some(end) = seen.windows(4).position(|w| w == b"\r\n\r\n") {
+                    seen.drain(..end + 4);
+                    let resp = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok";
+                    if stream.write_all(resp).is_err() {
+                        return;
+                    }
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn pool_reuses_kept_alive_connections() {
+        let (addr, server) = tiny_server();
+        let pool = ClientPool::new().with_timeout(Duration::from_secs(5));
+        assert_eq!(pool.idle_count(&addr), 0);
+        {
+            let mut c = pool.checkout(&addr);
+            assert!(!c.has_connection(), "fresh checkout starts unconnected");
+            let resp = c.get("/healthz").unwrap();
+            assert_eq!(resp.status, 200);
+            assert!(c.has_connection());
+        }
+        assert_eq!(pool.idle_count(&addr), 1, "live connection checked in");
+        {
+            let mut c = pool.checkout(&addr);
+            assert!(c.has_connection(), "warm connection reused");
+            assert_eq!(c.get("/healthz").unwrap().status, 200);
+        }
+        assert_eq!(pool.idle_count(&addr), 1);
+        drop(pool);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn pool_discards_connectionless_clients_and_caps_idle() {
+        let pool = ClientPool::new().with_max_idle(1);
+        // Never-connected clients are not retained.
+        drop(pool.checkout("127.0.0.1:9"));
+        assert_eq!(pool.idle_count("127.0.0.1:9"), 0);
+        // The cap bounds how many live clients one host retains.
+        let (addr, server) = tiny_server();
+        let mut a = pool.checkout(&addr);
+        assert_eq!(a.get("/healthz").unwrap().status, 200);
+        let b = Client::new(&addr).with_timeout(Duration::from_secs(5));
+        // Second connection to the same accept-once server would block; a
+        // connected client is enough to exercise the cap, so hand the pool
+        // one real connection and one fresh client.
+        drop(a);
+        assert_eq!(pool.idle_count(&addr), 1);
+        assert!(!b.has_connection());
+        pool.checkin(b);
+        assert_eq!(pool.idle_count(&addr), 1, "connectionless client dropped");
+        drop(pool);
+        server.join().unwrap();
+    }
 }

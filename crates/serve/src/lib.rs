@@ -29,7 +29,8 @@
 //!   streamed as NDJSON), `/v1/experiments/{fig3..fig9,table1,table2}`,
 //!   and the deprecated `/v1/run` aliases;
 //! * [`client`] — a small keep-alive client for tests, CI smoke checks,
-//!   and load generation, with envelope and NDJSON parsing;
+//!   load generation, and coordinator→worker calls, with envelope and
+//!   NDJSON parsing plus a per-host connection pool ([`ClientPool`]);
 //! * [`shutdown`] — SIGINT/SIGTERM notification without `libc`.
 //!
 //! ```no_run
@@ -56,7 +57,7 @@ pub mod shutdown;
 
 pub use api::{serve, Api};
 pub use breaker::{Admission, BreakerConfig, CircuitBreaker};
-pub use client::{ApiError, Client, ClientResponse};
+pub use client::{ApiError, Client, ClientPool, ClientResponse, PooledClient};
 pub use error::envelope;
 pub use json::Json;
 pub use server::{Handler, Server, ServerConfig, ServerHandle, ServerStats};
