@@ -10,6 +10,12 @@
 //! 3. a worker that drops its connection mid-sweep and then dies
 //!    outright costs rehashes, never a wrong or missing record.
 //!
+//! It also gates the cluster observability surface: the cold sweep's
+//! stitched cross-node trace must be one valid Chrome array with a lane
+//! per worker and the caller's request id on every span, and the
+//! coordinator's federated `/metrics` exposition must parse with
+//! worker-labeled series from both workers (docs/observability.md).
+//!
 //! Exits non-zero (panics) on any violation.
 //!
 //! ```text
@@ -146,8 +152,15 @@ fn main() {
     let mut client = Client::new(coordinator.addr().to_string());
 
     // 1. Cold sweep: byte-identical records, sharded across both workers.
-    let resp = client.post_json("/v1/sweeps", &body).expect("cold sweep");
+    let rid = "req-cluster-smoke-cold";
+    let resp = client
+        .post_json_with_headers("/v1/sweeps", &body, &[("X-Request-Id", rid)])
+        .expect("cold sweep");
     assert_eq!(resp.status, 200);
+    let sweep_key = resp
+        .header("x-sweep-key")
+        .expect("cold sweep exposes its key")
+        .to_string();
     assert_eq!(record_lines(&resp.body), baseline, "cold sweep records");
     assert_eq!(summary_field(&resp.body, "executed"), 5);
     assert_eq!(summary_field(&resp.body, "failed"), 0);
@@ -162,6 +175,74 @@ fn main() {
         assert!(forwarded > 0, "a worker saw no traffic: {}", w.dump());
     }
     println!("cluster_smoke: cold sweep byte-identical, sharded across both workers");
+
+    // 1b. The cold sweep's stitched cross-node trace: one Chrome array
+    // with the coordinator lane plus a lane per worker, every span
+    // carrying the originating request id (docs/observability.md).
+    let trace = client
+        .get(&format!("/v1/sweeps/{sweep_key}/trace"))
+        .expect("stitched trace");
+    assert_eq!(trace.status, 200);
+    let text = std::str::from_utf8(&trace.body).expect("trace is UTF-8");
+    let parsed = Json::parse(text).expect("stitched trace parses");
+    let events = parsed.as_array().expect("trace is an array");
+    assert!(text.contains("heteropipe-coordinator"), "coordinator lane");
+    for addr in [wa.addr().to_string(), wb.addr().to_string()] {
+        assert!(
+            text.contains(&format!("worker {addr}")),
+            "missing lane for worker {addr}"
+        );
+    }
+    let mut spans = 0;
+    for ev in events {
+        if ev.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        spans += 1;
+        assert_eq!(
+            ev.get("args")
+                .and_then(|a| a.get("request_id"))
+                .and_then(Json::as_str),
+            Some(rid),
+            "span missing the request id: {}",
+            ev.dump()
+        );
+    }
+    assert!(spans > 0, "stitched trace has spans");
+    println!("cluster_smoke: stitched trace spans both workers' lanes ({spans} spans, one id)");
+
+    // 1c. Federated metrics: the coordinator's Prometheus exposition
+    // parses and carries worker-labeled series scraped live from both
+    // workers' registries, with zero scrape errors on a healthy cluster.
+    let prom = client
+        .get("/metrics?format=prometheus")
+        .expect("prometheus metrics");
+    assert_eq!(prom.status, 200);
+    let prom_text = std::str::from_utf8(&prom.body).expect("exposition is UTF-8");
+    let samples = heteropipe_obs::expfmt::parse(prom_text).expect("exposition parses");
+    for addr in [wa.addr().to_string(), wb.addr().to_string()] {
+        let executed = samples
+            .iter()
+            .find(|s| {
+                s.name == "heteropipe_engine_jobs_executed_total"
+                    && s.label("worker") == Some(addr.as_str())
+            })
+            .unwrap_or_else(|| panic!("no federated series for worker {addr}"));
+        assert!(
+            executed.value > 0.0,
+            "worker {addr} federates zero executed jobs"
+        );
+        let errors: f64 = samples
+            .iter()
+            .filter(|s| {
+                s.name == "heteropipe_cluster_scrape_errors_total"
+                    && s.label("worker") == Some(addr.as_str())
+            })
+            .map(|s| s.value)
+            .sum();
+        assert_eq!(errors, 0.0, "scrape errors against a healthy {addr}");
+    }
+    println!("cluster_smoke: federated /metrics parses with worker-labeled series");
 
     // 2. Warm repeat: the peer tier answers everything, nothing executes.
     let resp = client.post_json("/v1/sweeps", &body).expect("warm sweep");

@@ -3,7 +3,8 @@
 //! Starts an in-process server over a shared engine (or targets an
 //! already-running one via `--addr`), replays a mixed request stream from
 //! `--threads` concurrent clients, and reports throughput and latency
-//! percentiles. After a warmup pass the run jobs are all cache hits, so
+//! percentiles — aggregate first, then broken down per route of the
+//! replayed mix. After a warmup pass the run jobs are all cache hits, so
 //! the numbers measure the serving path, not the simulator.
 //!
 //! ```text
@@ -98,17 +99,20 @@ fn main() {
     drop(warm);
 
     let start = Instant::now();
-    let per_thread: Vec<(Histogram, u64)> = std::thread::scope(|s| {
+    // Latency and error counts are kept per mix entry so the report can
+    // break the aggregate down by route.
+    let per_thread: Vec<Vec<(Histogram, u64)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let target = target.clone();
                 let mix = &mix;
                 s.spawn(move || {
-                    let mut lat = Histogram::new();
-                    let mut errors = 0u64;
+                    let mut routes: Vec<(Histogram, u64)> =
+                        (0..mix.len()).map(|_| (Histogram::new(), 0)).collect();
                     let mut client = Client::new(target);
                     for i in 0..requests {
-                        let (method, path, body) = &mix[(t + i) % mix.len()];
+                        let slot = (t + i) % mix.len();
+                        let (method, path, body) = &mix[slot];
                         let sent = Instant::now();
                         let ok = match (*method, body) {
                             ("POST", Some(body)) => client.post_json(path, body),
@@ -116,12 +120,12 @@ fn main() {
                         }
                         .map(|r| r.status == 200)
                         .unwrap_or(false);
-                        lat.record(sent.elapsed().as_micros() as u64);
+                        routes[slot].0.record(sent.elapsed().as_micros() as u64);
                         if !ok {
-                            errors += 1;
+                            routes[slot].1 += 1;
                         }
                     }
-                    (lat, errors)
+                    routes
                 })
             })
             .collect();
@@ -129,11 +133,17 @@ fn main() {
     });
     let elapsed = start.elapsed();
 
+    let mut route_stats: Vec<(Histogram, u64)> =
+        (0..mix.len()).map(|_| (Histogram::new(), 0)).collect();
     let mut lat = Histogram::new();
     let mut errors = 0u64;
-    for (h, e) in &per_thread {
-        lat.merge(h);
-        errors += e;
+    for thread_routes in &per_thread {
+        for (slot, (h, e)) in thread_routes.iter().enumerate() {
+            route_stats[slot].0.merge(h);
+            route_stats[slot].1 += e;
+            lat.merge(h);
+            errors += e;
+        }
     }
     let total = lat.count();
     let rps = total as f64 / elapsed.as_secs_f64();
@@ -149,6 +159,17 @@ fn main() {
             lat.mean(),
             lat.max(),
         );
+        println!("route,count,errors,p50_us,p99_us,max_us");
+        for (slot, (method, path, _)) in mix.iter().enumerate() {
+            let (h, e) = &route_stats[slot];
+            println!(
+                "{method} {path},{},{e},{},{},{}",
+                h.count(),
+                h.percentile(0.50),
+                h.percentile(0.99),
+                h.max(),
+            );
+        }
     } else {
         println!("loadgen: {threads} threads x {requests} requests against {target}");
         println!(
@@ -163,6 +184,18 @@ fn main() {
             lat.mean(),
             lat.max(),
         );
+        println!("  per-route (mix order; duplicate rows are distinct bodies):");
+        for (slot, (method, path, _)) in mix.iter().enumerate() {
+            let (h, e) = &route_stats[slot];
+            println!(
+                "    {:<20} {:>6} reqs  p50 {:>7} us  p99 {:>7} us  max {:>8} us  {e} errors",
+                format!("{method} {path}"),
+                h.count(),
+                h.percentile(0.50),
+                h.percentile(0.99),
+                h.max(),
+            );
+        }
     }
 
     if let Some((handle, engine)) = local {

@@ -40,6 +40,40 @@ use heteropipe_serve::{Client, ClientPool, ClientResponse};
 
 use crate::flight::{FlightMap, FlightResult};
 use crate::ring::WorkerRing;
+use crate::stitch::{self, CoordSpan, StitchPlan, StitchShard, StitchStore};
+
+/// How many stitched-trace plans the coordinator retains (oldest
+/// evicted), mirroring the engine-side trace store's bound.
+const STITCH_CAP: usize = 64;
+
+/// Profiler slots for the coordinator's cluster seams, registered once
+/// per process like the engine's (see `heteropipe_obs::profile`).
+mod cprof {
+    use heteropipe_obs::profile::{self, PhaseId};
+    use std::sync::OnceLock;
+
+    macro_rules! phase_slot {
+        ($fn_name:ident, $phase:literal) => {
+            pub(crate) fn $fn_name() -> PhaseId {
+                static P: OnceLock<PhaseId> = OnceLock::new();
+                *P.get_or_init(|| profile::phase($phase))
+            }
+        };
+    }
+
+    phase_slot!(probe, "cluster.peer_probe");
+    phase_slot!(forward, "cluster.forward");
+    phase_slot!(merge, "cluster.merge");
+}
+
+/// The `X-Trace-Context` header value the coordinator sends with every
+/// worker call: the trace id (the originating request id), the named
+/// parent span on the coordinator timeline, and the coordinator-side
+/// send offset in microseconds — the clock sample trace stitching uses
+/// to place worker spans (see `crate::stitch`).
+fn trace_context(rid: &str, parent: &str, offset_us: u64) -> String {
+    format!("trace={rid};parent={parent};offset_us={offset_us}")
+}
 
 /// Coordinator tuning knobs.
 #[derive(Clone)]
@@ -74,6 +108,7 @@ struct WorkerState {
     peer_hits: AtomicU64,
     peer_misses: AtomicU64,
     failures: AtomicU64,
+    scrape_errors: AtomicU64,
     fwd_us: HistogramHandle,
 }
 
@@ -92,6 +127,9 @@ pub struct Coordinator {
     flights_coalesced: AtomicU64,
     sweeps: AtomicU64,
     sweep_jobs: AtomicU64,
+    /// Stitch plans for recent cluster sweeps, resolved lazily by
+    /// `GET /v1/sweeps/{key}/trace` (see `crate::stitch`).
+    stitch: StitchStore,
     stats: OnceLock<Arc<ServerStats>>,
     self_ref: OnceLock<Weak<Coordinator>>,
 }
@@ -118,6 +156,7 @@ impl Coordinator {
                 peer_hits: AtomicU64::new(0),
                 peer_misses: AtomicU64::new(0),
                 failures: AtomicU64::new(0),
+                scrape_errors: AtomicU64::new(0),
                 fwd_us: HistogramHandle::default(),
             })
             .collect();
@@ -133,6 +172,7 @@ impl Coordinator {
             flights_coalesced: AtomicU64::new(0),
             sweeps: AtomicU64::new(0),
             sweep_jobs: AtomicU64::new(0),
+            stitch: StitchStore::new(STITCH_CAP),
             stats: OnceLock::new(),
             self_ref: OnceLock::new(),
         });
@@ -218,12 +258,23 @@ impl Coordinator {
 
     /// Peer-cache probe: asks `slot` for a cached report. `Ok(Some(body))`
     /// is a hit, `Ok(None)` a miss; transport errors propagate so the
-    /// caller can decide whether to mask the worker.
-    fn probe_peer(&self, slot: usize, hex: &str, rid: &str) -> std::io::Result<Option<Vec<u8>>> {
+    /// caller can decide whether to mask the worker. `offset_us` is the
+    /// coordinator-side send offset carried in `X-Trace-Context`.
+    fn probe_peer(
+        &self,
+        slot: usize,
+        hex: &str,
+        rid: &str,
+        offset_us: u64,
+    ) -> std::io::Result<Option<Vec<u8>>> {
         let path = format!("/v1/runs/{hex}");
+        let tc = trace_context(rid, "peer_probe", offset_us);
+        let t0 = Instant::now();
         let resp = self.call_worker(slot, Site::ClusterProbe, |c| {
-            c.get_with_headers(&path, &[("X-Request-Id", rid)])
-        })?;
+            c.get_with_headers(&path, &[("X-Request-Id", rid), ("X-Trace-Context", &tc)])
+        });
+        heteropipe_obs::profile::record(cprof::probe(), t0.elapsed().as_nanos() as u64);
+        let resp = resp?;
         if resp.status == 200 {
             self.workers[slot].peer_hits.fetch_add(1, Ordering::Relaxed);
             Ok(Some(resp.body))
@@ -289,6 +340,7 @@ impl Handler for Coordinator {
             ("GET", "/healthz/ready") => self.ready(req),
             ("GET", "/metrics") => self.metrics(req),
             ("GET", "/v1/benchmarks") => api::benchmarks(),
+            ("GET", "/v1/debug/profile") => api::profile_snapshot(),
             ("POST", "/v1/runs") => self.run(req),
             ("POST", "/v1/sweeps") => self.sweeps(req),
             ("POST", "/v1/workflows") => self.workflows(req),
@@ -302,6 +354,11 @@ impl Handler for Coordinator {
             }
             (_, path) if path.starts_with("/v1/runs/") => {
                 self.run_resource(req, &path["/v1/runs/".len()..])
+            }
+            // The stitched cross-node trace for a recent cluster sweep
+            // (see crate::stitch and docs/observability.md).
+            (_, path) if path.starts_with("/v1/sweeps/") => {
+                self.sweep_resource(req, &path["/v1/sweeps/".len()..])
             }
             ("POST", path) if path.starts_with("/v1/experiments/") => self.experiment(req),
             (
@@ -415,15 +472,20 @@ impl Coordinator {
             // the record — serve it without executing anywhere. A probe
             // transport error is not yet a verdict on the worker; the
             // forward below decides whether to rehash.
-            if let Ok(Some(report)) = self.probe_peer(slot, &hex, rid) {
+            if let Ok(Some(report)) = self.probe_peer(slot, &hex, rid, 0) {
                 return FlightResult {
                     status: 200,
                     body: report,
                     run_key: Some(hex),
                 };
             }
+            let tc = trace_context(rid, "run_forward", 0);
             let forwarded = self.call_worker(slot, Site::ClusterForward, |c| {
-                c.post_raw_with_headers("/v1/runs", raw.to_vec(), &[("X-Request-Id", rid)])
+                c.post_raw_with_headers(
+                    "/v1/runs",
+                    raw.to_vec(),
+                    &[("X-Request-Id", rid), ("X-Trace-Context", &tc)],
+                )
             });
             match forwarded {
                 Ok(resp) => {
@@ -486,8 +548,12 @@ impl Coordinator {
             let Some(slot) = self.ring.owner(key, &down) else {
                 return no_workers(&req.request_id);
             };
+            let tc = trace_context(&req.request_id, "proxy", 0);
             let result = self.call_worker(slot, Site::ClusterForward, |c| {
-                c.get_with_headers(path, &[("X-Request-Id", &req.request_id)])
+                c.get_with_headers(
+                    path,
+                    &[("X-Request-Id", &req.request_id), ("X-Trace-Context", &tc)],
+                )
             });
             match result {
                 Ok(resp) => return passthrough(&resp),
@@ -508,11 +574,12 @@ impl Coordinator {
             let Some(slot) = (0..self.ring.len()).find(|&s| !down[s]) else {
                 return no_workers(&req.request_id);
             };
+            let tc = trace_context(&req.request_id, "experiment", 0);
             let result = self.call_worker(slot, Site::ClusterForward, |c| {
                 c.post_raw_with_headers(
                     &req.path,
                     req.body.clone(),
-                    &[("X-Request-Id", &req.request_id)],
+                    &[("X-Request-Id", &req.request_id), ("X-Trace-Context", &tc)],
                 )
             });
             match result {
@@ -597,13 +664,16 @@ fn render_record(index: usize, hex: &str, status: &str, deduped: bool, payload: 
 }
 
 /// What a shard call resolved: per unique-key payloads plus the worker
-/// summary's execution accounting.
+/// summary's execution accounting, and the coordinator-side spans and
+/// stitch metadata trace stitching needs (see `crate::stitch`).
 struct ShardOutcome {
     resolved: Vec<(usize, String, String)>,
     cache_hits: u64,
     executed: u64,
     coalesced: u64,
     peer_hits: u64,
+    spans: Vec<CoordSpan>,
+    stitch: Option<StitchShard>,
 }
 
 impl Coordinator {
@@ -690,6 +760,17 @@ impl Coordinator {
                 }
             }
         }
+        let mut spans = vec![CoordSpan {
+            name: "plan".into(),
+            tid: 0,
+            ts_us: 0.0,
+            dur_us: start.elapsed().as_micros() as f64,
+            args: vec![
+                ("jobs".into(), entries.len().to_string()),
+                ("unique".into(), unique.len().to_string()),
+            ],
+        }];
+        let mut stitch_shards: Vec<StitchShard> = Vec::new();
 
         let mut resolved: Vec<Option<(String, String)>> = vec![None; unique.len()];
         let mut pending: Vec<usize> = (0..unique.len()).collect();
@@ -729,8 +810,10 @@ impl Coordinator {
                         .into_iter()
                         .map(|(slot, uidxs)| {
                             let unique = &unique;
+                            let t0 = &start;
                             scope.spawn(move || {
-                                let outcome = self.run_shard(slot, &uidxs, unique, entries, rid);
+                                let outcome =
+                                    self.run_shard(slot, &uidxs, unique, entries, rid, t0);
                                 (slot, uidxs, outcome)
                             })
                         })
@@ -746,6 +829,8 @@ impl Coordinator {
                         peer_hits += shard.peer_hits;
                         executed += shard.executed;
                         coalesced += shard.coalesced;
+                        spans.extend(shard.spans);
+                        stitch_shards.extend(shard.stitch);
                         for (u, status, payload) in shard.resolved {
                             resolved[u] = Some((status, payload));
                         }
@@ -762,6 +847,8 @@ impl Coordinator {
         }
         self.rehashes.fetch_add(rehashes, Ordering::Relaxed);
 
+        let merge_ts = start.elapsed().as_micros() as f64;
+        let merge_t0 = Instant::now();
         let mut lines = vec![String::new(); keys.len()];
         let mut failed = 0u64;
         for (u, (key, globals)) in unique.iter().enumerate() {
@@ -774,8 +861,23 @@ impl Coordinator {
                 lines[g] = render_record(g, &hex, status, j > 0, payload);
             }
         }
+        heteropipe_obs::profile::record(cprof::merge(), merge_t0.elapsed().as_nanos() as u64);
+        spans.push(CoordSpan {
+            name: "merge".into(),
+            tid: 0,
+            ts_us: merge_ts,
+            dur_us: start.elapsed().as_micros() as f64 - merge_ts,
+            args: vec![("records".into(), keys.len().to_string())],
+        });
         let jobs_total = keys.len() as u64;
         let jobs_unique = unique.len() as u64;
+        self.stitch.insert(StitchPlan {
+            sweep_key: key_hex.clone(),
+            request_id: rid.to_string(),
+            jobs: jobs_total,
+            spans,
+            shards: stitch_shards,
+        });
         Ok(ClusterSweep {
             lines,
             summary: ClusterSweepSummary {
@@ -804,18 +906,34 @@ impl Coordinator {
         unique: &[(RunKey, Vec<usize>)],
         entries: &[Json],
         rid: &str,
+        t0: &Instant,
     ) -> std::io::Result<ShardOutcome> {
+        let tid = 1 + slot as u32;
         let mut outcome = ShardOutcome {
             resolved: Vec::with_capacity(uidxs.len()),
             cache_hits: 0,
             executed: 0,
             coalesced: 0,
             peer_hits: 0,
+            spans: Vec::new(),
+            stitch: None,
         };
         let mut misses = Vec::new();
         for &u in uidxs {
             let hex = unique[u].0.hex();
-            match self.probe_peer(slot, &hex, rid)? {
+            let probe_ts = t0.elapsed().as_micros() as f64;
+            let probed = self.probe_peer(slot, &hex, rid, probe_ts as u64)?;
+            outcome.spans.push(CoordSpan {
+                name: "peer_probe".into(),
+                tid,
+                ts_us: probe_ts,
+                dur_us: t0.elapsed().as_micros() as f64 - probe_ts,
+                args: vec![
+                    ("run_key".into(), hex),
+                    ("hit".into(), probed.is_some().to_string()),
+                ],
+            });
+            match probed {
                 Some(report) => {
                     // Embed the worker's report bytes verbatim; the peer
                     // tier must answer byte-identically to execution.
@@ -831,6 +949,14 @@ impl Coordinator {
             }
         }
         if misses.is_empty() {
+            // Every key was a peer hit: the lane exists on the stitched
+            // timeline but there is no worker-side trace to pull.
+            outcome.stitch = Some(StitchShard {
+                slot,
+                addr: self.workers[slot].addr.clone(),
+                worker_sweep_key: None,
+                offset_us: 0.0,
+            });
             return Ok(outcome);
         }
 
@@ -839,9 +965,20 @@ impl Coordinator {
             .map(|&u| entries[unique[u].1[0]].dump())
             .collect();
         let body = format!("{{\"jobs\":[{}]}}", jobs.join(","));
+        let fwd_ts = t0.elapsed().as_micros() as f64;
+        let tc = trace_context(rid, "forward_sweep", fwd_ts as u64);
+        let fwd_t0 = Instant::now();
         let resp = self.call_worker(slot, Site::ClusterForward, |c| {
-            c.post_raw_with_headers("/v1/sweeps", body.into_bytes(), &[("X-Request-Id", rid)])
-        })?;
+            c.post_raw_with_headers(
+                "/v1/sweeps",
+                body.into_bytes(),
+                &[("X-Request-Id", rid), ("X-Trace-Context", &tc)],
+            )
+        });
+        heteropipe_obs::profile::record(cprof::forward(), fwd_t0.elapsed().as_nanos() as u64);
+        let resp = resp?;
+        let fwd_dur = t0.elapsed().as_micros() as f64 - fwd_ts;
+        let worker_sweep_key = resp.header("x-sweep-key").map(str::to_owned);
         let shard_error =
             |why: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, why.to_string());
         if resp.status != 200 {
@@ -853,6 +990,7 @@ impl Coordinator {
         let text =
             std::str::from_utf8(&resp.body).map_err(|_| shard_error("non-UTF-8 sweep stream"))?;
         let mut seen = 0usize;
+        let mut worker_wall_ms = 0u64;
         for line in text.lines().filter(|l| !l.trim().is_empty()) {
             if let Some(rest) = line.strip_prefix("{\"sweep\":") {
                 // The worker's trailing summary: fold its execution
@@ -869,6 +1007,7 @@ impl Coordinator {
                 outcome.cache_hits += field("cache_hits");
                 outcome.executed += field("executed");
                 outcome.coalesced += field("coalesced");
+                worker_wall_ms = field("wall_ms");
                 continue;
             }
             let (local, status, payload) =
@@ -882,7 +1021,103 @@ impl Coordinator {
         if seen != misses.len() {
             return Err(shard_error("shard stream truncated"));
         }
+        outcome.spans.push(CoordSpan {
+            name: "forward_sweep".into(),
+            tid,
+            ts_us: fwd_ts,
+            dur_us: fwd_dur,
+            args: vec![
+                ("jobs".into(), misses.len().to_string()),
+                (
+                    "worker_sweep_key".into(),
+                    worker_sweep_key.clone().unwrap_or_else(|| "-".into()),
+                ),
+            ],
+        });
+        // The half-residual-RTT clock sample: the worker's trace clock
+        // started roughly when the forward's transport overhead was half
+        // spent (see crate::stitch for the full derivation).
+        let residual_us = (fwd_dur - worker_wall_ms as f64 * 1000.0).max(0.0);
+        outcome.stitch = Some(StitchShard {
+            slot,
+            addr: self.workers[slot].addr.clone(),
+            worker_sweep_key,
+            offset_us: fwd_ts + residual_us / 2.0,
+        });
         Ok(outcome)
+    }
+
+    /// Dispatches `/v1/sweeps/{key}` sub-resources; only `/trace` exists.
+    fn sweep_resource(&self, req: &Request, rest: &str) -> Response {
+        let (key, sub) = match rest.split_once('/') {
+            Some((key, sub)) => (key, Some(sub)),
+            None => (rest, None),
+        };
+        if !valid_key(key) {
+            return fail(
+                req,
+                400,
+                "bad_request",
+                &format!("sweep key must be 32 hex characters, got {key:?}"),
+            );
+        }
+        match sub {
+            Some("trace") => {
+                if req.method != "GET" {
+                    return method_not_allowed(req, "GET");
+                }
+                self.sweep_trace(req, key)
+            }
+            _ => fail(
+                req,
+                404,
+                "not_found",
+                "no such sweep sub-resource (try /trace)",
+            ),
+        }
+    }
+
+    /// `GET /v1/sweeps/{key}/trace`: resolves the retained stitch plan
+    /// into one Chrome trace — coordinator spans plus each worker's
+    /// journaled sweep phases on its own process lane (see
+    /// `crate::stitch`). Worker traces are fetched lazily here, so the
+    /// sweep's hot path pays nothing for stitching.
+    fn sweep_trace(&self, req: &Request, key: &str) -> Response {
+        let rid = &req.request_id;
+        let rendered = self.stitch.with(&key.to_ascii_lowercase(), |plan| {
+            stitch::render(plan, |shard| {
+                let wskey = shard.worker_sweep_key.as_deref()?;
+                let path = format!("/v1/sweeps/{wskey}/trace");
+                let tc = trace_context(rid, "stitch_fetch", 0);
+                let resp = self
+                    .call_worker(shard.slot, Site::ClusterForward, |c| {
+                        c.get_with_headers(
+                            &path,
+                            &[("X-Request-Id", rid), ("X-Trace-Context", &tc)],
+                        )
+                    })
+                    .ok()?;
+                if resp.status != 200 {
+                    return None;
+                }
+                String::from_utf8(resp.body).ok()
+            })
+        });
+        match rendered {
+            Some(json) => Response {
+                status: 200,
+                headers: vec![("Content-Type".into(), "application/json".into())],
+                body: json.into_bytes(),
+                chunked: false,
+                stream: None,
+            },
+            None => fail(
+                req,
+                404,
+                "not_found",
+                "no stitched trace retained for that sweep key",
+            ),
+        }
     }
 }
 
@@ -944,11 +1179,12 @@ impl Coordinator {
             let Some(slot) = self.ring.owner(wkey, &down) else {
                 return no_workers(&req.request_id);
             };
+            let tc = trace_context(&req.request_id, "workflow_forward", 0);
             let result = self.call_worker(slot, Site::ClusterForward, |c| {
                 c.post_raw_with_headers(
                     "/v1/workflows",
                     req.body.clone(),
-                    &[("X-Request-Id", &req.request_id)],
+                    &[("X-Request-Id", &req.request_id), ("X-Trace-Context", &tc)],
                 )
             });
             match result {
@@ -1153,6 +1389,63 @@ impl Coordinator {
         self.metrics_json()
     }
 
+    /// Metrics federation: scrapes every worker's Prometheus exposition
+    /// over the client pool and merges each into `r` under a `worker`
+    /// label, so one coordinator scrape sees the whole cluster. Scrapes
+    /// bypass [`Coordinator::call_worker`] on purpose — a metrics pull
+    /// must never perturb the breakers or the forwarding counters the
+    /// metrics themselves report. Unreachable workers count against
+    /// `heteropipe_cluster_scrape_errors_total` and degrade to their
+    /// coordinator-side view only. Returns one status object per worker
+    /// for the JSON rendering.
+    fn federate(&self, r: &MetricRegistry) -> Vec<Json> {
+        self.workers
+            .iter()
+            .map(|w| {
+                let result = (|| -> Result<usize, String> {
+                    let mut client = self.pool.checkout(&w.addr);
+                    let resp = client
+                        .get_with_headers("/metrics?format=prometheus", &[])
+                        .map_err(|e| e.to_string())?;
+                    if resp.status != 200 {
+                        return Err(format!("scrape answered {}", resp.status));
+                    }
+                    let text = std::str::from_utf8(&resp.body)
+                        .map_err(|_| "non-UTF-8 exposition".to_string())?;
+                    let scraped = MetricRegistry::from_exposition(text)?;
+                    Ok(r.merge(&scraped, &[("worker", &w.addr)]))
+                })();
+                let mut fields = vec![("addr".to_string(), Json::str(w.addr.clone()))];
+                match result {
+                    Ok(skipped) => {
+                        fields.push(("ok".into(), Json::Bool(true)));
+                        if skipped > 0 {
+                            fields.push(("skipped_families".into(), Json::U64(skipped as u64)));
+                        }
+                    }
+                    Err(why) => {
+                        w.scrape_errors.fetch_add(1, Ordering::Relaxed);
+                        obs_log::warn(
+                            "cluster",
+                            "metrics scrape failed",
+                            &[
+                                ("worker", w.addr.clone().into()),
+                                ("error", why.clone().into()),
+                            ],
+                        );
+                        fields.push(("ok".into(), Json::Bool(false)));
+                        fields.push(("error".into(), Json::str(why)));
+                    }
+                }
+                fields.push((
+                    "scrape_errors".into(),
+                    Json::U64(w.scrape_errors.load(Ordering::Relaxed)),
+                ));
+                Json::Obj(fields)
+            })
+            .collect()
+    }
+
     fn metrics_json(&self) -> Response {
         use std::sync::atomic::Ordering::Relaxed;
         let workers: Vec<Json> = self
@@ -1215,9 +1508,31 @@ impl Coordinator {
             }
             None => Json::Null,
         };
+        // The federated view: every worker's registry scraped and merged
+        // under `worker` labels, rendered through the registry's own JSON
+        // exposition so the JSON and Prometheus formats stay in parity.
+        let fed = MetricRegistry::new();
+        let scrapes = self.federate(&fed);
+        let scrape_errors: u64 = self
+            .workers
+            .iter()
+            .map(|w| w.scrape_errors.load(Relaxed))
+            .sum();
+        let families = Json::parse(&fed.render_json())
+            .and_then(|v| v.get("families").cloned())
+            .unwrap_or(Json::Null);
+        let federation = Json::Obj(vec![
+            ("scrape_errors".into(), Json::U64(scrape_errors)),
+            ("workers".into(), Json::Arr(scrapes)),
+            ("families".into(), families),
+        ]);
         Response::json(
             200,
-            &Json::Obj(vec![("cluster".into(), cluster), ("server".into(), server)]),
+            &Json::Obj(vec![
+                ("cluster".into(), cluster),
+                ("server".into(), server),
+                ("federation".into(), federation),
+            ]),
         )
         .into_chunked()
     }
@@ -1225,6 +1540,9 @@ impl Coordinator {
     fn metrics_prometheus(&self) -> Response {
         use std::sync::atomic::Ordering::Relaxed;
         let r = MetricRegistry::new();
+        // Federate first so this scrape's failures are visible in the
+        // scrape-error counters emitted below.
+        self.federate(&r);
         for w in &self.workers {
             let labels: &[(&str, &str)] = &[("worker", w.addr.as_str())];
             r.counter_with(
@@ -1251,6 +1569,12 @@ impl Coordinator {
                 labels,
             )
             .set(w.failures.load(Relaxed));
+            r.counter_with(
+                "heteropipe_cluster_scrape_errors_total",
+                "Federated metrics scrapes of this worker that failed.",
+                labels,
+            )
+            .set(w.scrape_errors.load(Relaxed));
             r.gauge_with(
                 "heteropipe_cluster_worker_healthy",
                 "Whether this worker's breaker admits traffic (1 = healthy).",
@@ -1311,6 +1635,23 @@ impl Coordinator {
                 )
                 .set(v);
             }
+        }
+        // The coordinator's own profiled phases (cluster.peer_probe /
+        // cluster.forward / cluster.merge); worker phases arrive via
+        // federation under their `worker` labels.
+        for p in heteropipe_obs::profile::snapshot() {
+            r.counter_with(
+                "heteropipe_profile_phase_total_nanoseconds",
+                "Wall nanoseconds attributed to a profiled phase.",
+                &[("phase", p.name)],
+            )
+            .set(p.total_ns);
+            r.histogram_with(
+                "heteropipe_profile_phase_duration_nanoseconds",
+                "Per-call wall-time distribution of a profiled phase.",
+                &[("phase", p.name)],
+            )
+            .merge(&p.histogram);
         }
         Response {
             status: 200,

@@ -27,6 +27,7 @@
 pub mod coordinator;
 pub mod flight;
 pub mod ring;
+pub mod stitch;
 
 pub use coordinator::{serve_cluster, ClusterConfig, Coordinator};
 pub use flight::{FlightMap, FlightResult};

@@ -391,3 +391,99 @@ fn inline_workflows_share_keys_with_single_node_and_journal() {
     let _ = std::fs::remove_dir_all(&dir_a);
     let _ = std::fs::remove_dir_all(&dir_b);
 }
+
+/// S3/acceptance: one `X-Request-Id` survives coordinator → worker →
+/// response — the same id shows up in the worker's request log lines
+/// (alongside the propagated `X-Trace-Context`) and on every span of the
+/// stitched cross-node trace.
+#[test]
+fn request_id_propagates_into_worker_logs_and_stitched_trace() {
+    let logs = heteropipe_obs::log::capture();
+    heteropipe_obs::log::set_level(heteropipe_obs::log::Level::Info);
+    let rid = "req-stitch-e2e-0001";
+
+    let (dir_a, dir_b) = (temp_dir("rid-a"), temp_dir("rid-b"));
+    let (wa, wb) = (start_worker(&dir_a), start_worker(&dir_b));
+    let (addr_a, addr_b) = (wa.addr().to_string(), wb.addr().to_string());
+    let coordinator = start_coordinator(
+        vec![addr_a.clone(), addr_b.clone()],
+        Arc::new(Injector::disabled()),
+    );
+    let mut client = Client::new(coordinator.addr().to_string());
+
+    let resp = client
+        .post_json_with_headers("/v1/sweeps", &sweep_body(), &[("X-Request-Id", rid)])
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.header("x-request-id"),
+        Some(rid),
+        "the caller's id echoes back on the response"
+    );
+    let sweep_key = resp.header("x-sweep-key").expect("sweep key").to_string();
+
+    // The stitched cross-node trace: one valid Chrome array with the
+    // coordinator lane plus both workers' lanes, every span stamped with
+    // the originating request id.
+    let trace = client
+        .get_with_headers(
+            &format!("/v1/sweeps/{sweep_key}/trace"),
+            &[("X-Request-Id", rid)],
+        )
+        .unwrap();
+    assert_eq!(trace.status, 200);
+    let text = String::from_utf8(trace.body).unwrap();
+    let parsed = Json::parse(&text).expect("stitched trace is valid JSON");
+    let events = parsed.as_array().expect("trace is an array");
+    assert!(text.contains("heteropipe-coordinator"));
+    for addr in [&addr_a, &addr_b] {
+        assert!(
+            text.contains(&format!("worker {addr}")),
+            "missing lane for worker {addr}"
+        );
+    }
+    let mut span_pids = std::collections::HashSet::new();
+    for ev in events {
+        if ev.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        span_pids.insert(ev.get("pid").and_then(Json::as_u64).unwrap());
+        assert_eq!(
+            ev.get("args")
+                .and_then(|a| a.get("request_id"))
+                .and_then(Json::as_str),
+            Some(rid),
+            "span missing the request id: {ev:?}"
+        );
+    }
+    assert!(span_pids.contains(&0), "coordinator spans present");
+    assert!(
+        span_pids.contains(&1) && span_pids.contains(&2),
+        "both workers' spans are on their own lanes, got pids {span_pids:?}"
+    );
+
+    coordinator.shutdown_and_join();
+    wa.shutdown_and_join();
+    wb.shutdown_and_join();
+
+    // The same id went through the workers' request logs, next to the
+    // coordinator's trace context.
+    let lines = logs.lock().unwrap();
+    let worker_sweep_logs = lines
+        .iter()
+        .filter(|l| {
+            l.contains("\"msg\":\"request\"")
+                && l.contains(&format!("\"request_id\":\"{rid}\""))
+                && l.contains("\"path\":\"/v1/sweeps\"")
+                && l.contains("\"trace_context\":\"trace=req-stitch-e2e-0001;")
+        })
+        .count();
+    assert!(
+        worker_sweep_logs >= 1,
+        "no worker request log carries the propagated id and trace context"
+    );
+    drop(lines);
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}

@@ -176,7 +176,9 @@ impl ResultCache {
                 *b ^= 0x40; // flip a magic bit: decode must reject it
             }
         }
-        match codec::decode(&bytes) {
+        let decoded =
+            heteropipe_obs::profile::time(crate::prof::decode(), || codec::decode(&bytes));
+        match decoded {
             Some(report) => {
                 self.memory.lock().unwrap().insert(key.0, report.clone());
                 Some((report, CacheTier::Disk))

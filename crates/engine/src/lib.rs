@@ -63,6 +63,30 @@ use heteropipe_faults::{with_retries, FaultKind, Injector, RetryPolicy, Site};
 use heteropipe_obs::log as obs_log;
 use heteropipe_obs::{JobTrace, PhaseTimer, TraceStore};
 
+/// Hot-path profiler phase slots, registered once per process and cached
+/// behind `OnceLock`s so the execute path pays only the profiler's atomic
+/// adds. These are additive instrumentation: the per-job [`PhaseTimer`]
+/// phases (and the trace phase lists tests pin) are untouched.
+pub(crate) mod prof {
+    use heteropipe_obs::profile::{self, PhaseId};
+    use std::sync::OnceLock;
+
+    macro_rules! phase_slot {
+        ($fn_name:ident, $phase:literal) => {
+            pub(crate) fn $fn_name() -> PhaseId {
+                static P: OnceLock<PhaseId> = OnceLock::new();
+                *P.get_or_init(|| profile::phase($phase))
+            }
+        };
+    }
+
+    phase_slot!(cache_probe, "engine.cache_probe");
+    phase_slot!(decode, "engine.cache_decode");
+    phase_slot!(execute, "engine.execute");
+    phase_slot!(persist, "engine.persist");
+    phase_slot!(splice, "engine.trace_splice");
+}
+
 pub use cache::{CacheTier, ResultCache};
 pub use error::EngineError;
 pub use key::{composite_key, run_key, shard_score, RunKey, SCHEMA_VERSION};
@@ -404,7 +428,9 @@ impl Engine {
         mut timer: PhaseTimer,
     ) -> Result<(RunReport, Disposition), EngineError> {
         if let Some(cache) = &self.cache {
-            let probe = timer.time("cache_probe", || cache.get(key));
+            let probe = timer.time("cache_probe", || {
+                heteropipe_obs::profile::time(prof::cache_probe(), || cache.get(key))
+            });
             if let Some((report, tier)) = probe {
                 let disposition = match tier {
                     CacheTier::Memory => {
@@ -440,24 +466,26 @@ impl Engine {
         let start = Instant::now();
         let jitter_seed = (key.0 as u64) ^ ((key.0 >> 64) as u64);
         let outcome = timer.time("execute", || {
-            with_retries(
-                &self.retry,
-                jitter_seed,
-                |_| self.run_attempt(job),
-                |attempt, message: &String, sleep_ms| {
-                    self.metrics.record_exec_retry();
-                    obs_log::warn(
-                        "engine",
-                        "job attempt panicked, retrying",
-                        &[
-                            ("run_key", key.hex().into()),
-                            ("attempt", u64::from(attempt).into()),
-                            ("backoff_ms", sleep_ms.into()),
-                            ("panic", message.clone().into()),
-                        ],
-                    );
-                },
-            )
+            heteropipe_obs::profile::time(prof::execute(), || {
+                with_retries(
+                    &self.retry,
+                    jitter_seed,
+                    |_| self.run_attempt(job),
+                    |attempt, message: &String, sleep_ms| {
+                        self.metrics.record_exec_retry();
+                        obs_log::warn(
+                            "engine",
+                            "job attempt panicked, retrying",
+                            &[
+                                ("run_key", key.hex().into()),
+                                ("attempt", u64::from(attempt).into()),
+                                ("backoff_ms", sleep_ms.into()),
+                                ("panic", message.clone().into()),
+                            ],
+                        );
+                    },
+                )
+            })
         });
         let (report, spans) = match outcome {
             Ok(ok) => ok,
@@ -485,7 +513,9 @@ impl Engine {
         self.metrics
             .record_executed(report.roi.as_picos(), start.elapsed().as_nanos() as u64);
         if let Some(cache) = &self.cache {
-            timer.time("persist", || cache.put(key, &report));
+            timer.time("persist", || {
+                heteropipe_obs::profile::time(prof::persist(), || cache.put(key, &report));
+            });
         }
         let sim_events = heteropipe::trace::span_events(&report.benchmark, &spans);
         self.store_trace(key, &report, request_id, "executed", timer, sim_events);
@@ -573,13 +603,15 @@ impl Engine {
         timer: PhaseTimer,
         sim_events: Vec<String>,
     ) {
-        self.traces.insert(JobTrace {
-            key_hex: key.hex(),
-            benchmark: report.benchmark.clone(),
-            request_id: request_id.map(str::to_owned),
-            outcome: outcome.to_owned(),
-            phases: timer.finish(),
-            sim_events,
+        heteropipe_obs::profile::time(prof::splice(), || {
+            self.traces.insert(JobTrace {
+                key_hex: key.hex(),
+                benchmark: report.benchmark.clone(),
+                request_id: request_id.map(str::to_owned),
+                outcome: outcome.to_owned(),
+                phases: timer.finish(),
+                sim_events,
+            });
         });
     }
 

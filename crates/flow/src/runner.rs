@@ -32,6 +32,13 @@ use crate::graph::{FlowError, StageCtx, StageKind, StageValue, TaskGraph};
 /// How many journaled workflow results are retained (oldest evicted).
 const JOURNAL_CAP: usize = 64;
 
+/// Profiler slot covering each workflow stage body (wall-clock
+/// attribution only; results are unaffected).
+fn flow_stage_phase() -> heteropipe_obs::profile::PhaseId {
+    static P: std::sync::OnceLock<heteropipe_obs::profile::PhaseId> = std::sync::OnceLock::new();
+    *P.get_or_init(|| heteropipe_obs::profile::phase("flow.stage"))
+}
+
 /// How one stage concluded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StageStatus {
@@ -280,7 +287,9 @@ impl FlowRunner {
                 let off = start.elapsed().as_nanos() as u64;
                 let t0 = Instant::now();
                 let out = (stage.run)(&ctx);
-                (off, t0.elapsed().as_nanos() as u64, out)
+                let wall = t0.elapsed().as_nanos() as u64;
+                heteropipe_obs::profile::record(flow_stage_phase(), wall);
+                (off, wall, out)
             });
             for (slot, result) in results.into_iter().enumerate() {
                 let i = to_run[slot];

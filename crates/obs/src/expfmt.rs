@@ -100,12 +100,32 @@ fn parse_labels(s: &str) -> Option<Vec<(String, String)>> {
     Some(labels)
 }
 
+/// A fully parsed exposition: the samples plus the `# TYPE` and `# HELP`
+/// metadata federation needs to rebuild a registry from a scrape.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    /// Every sample line, in source order.
+    pub samples: Vec<Sample>,
+    /// Family name → declared type (`counter`, `gauge`, `histogram`, ...).
+    pub types: HashMap<String, String>,
+    /// Family name → help text (unescaped).
+    pub helps: HashMap<String, String>,
+}
+
 /// Validates `text` as Prometheus text exposition format and returns the
 /// parsed samples. The first malformed line aborts with a message naming
 /// the 1-based line number and the problem.
 pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    parse_full(text).map(|e| e.samples)
+}
+
+/// Like [`parse`], but also returns the `# TYPE` and `# HELP` metadata —
+/// what [`crate::MetricRegistry::from_exposition`] rebuilds a scraped
+/// registry from.
+pub fn parse_full(text: &str) -> Result<Exposition, String> {
     let mut samples = Vec::new();
     let mut types: HashMap<String, String> = HashMap::new();
+    let mut helps: HashMap<String, String> = HashMap::new();
     for (ln, line) in text.lines().enumerate() {
         let ln = ln + 1;
         let line = line.trim_end();
@@ -119,6 +139,11 @@ pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
                 if !valid_metric_name(name) {
                     return Err(format!("line {ln}: HELP names invalid metric {name:?}"));
                 }
+                let help = rest[name.len()..]
+                    .trim_start()
+                    .replace("\\n", "\n")
+                    .replace("\\\\", "\\");
+                helps.insert(name.to_owned(), help);
             } else if let Some(rest) = comment.strip_prefix("TYPE ") {
                 let mut parts = rest.split_whitespace();
                 let name = parts.next().unwrap_or("");
@@ -183,7 +208,11 @@ pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
     }
 
     validate_histograms(&samples, &types)?;
-    Ok(samples)
+    Ok(Exposition {
+        samples,
+        types,
+        helps,
+    })
 }
 
 /// For every family declared `histogram`, checks bucket counts are
@@ -272,6 +301,31 @@ mod tests {
         assert!(samples
             .iter()
             .any(|s| s.name == "latency_us_bucket" && s.label("le") == Some("+Inf")));
+    }
+
+    #[test]
+    fn parse_full_returns_types_and_helps() {
+        let text = "# HELP jobs_total Jobs seen.\n# TYPE jobs_total counter\njobs_total 3\n\
+                    # HELP lat_us Latency, two\\nlines.\n# TYPE lat_us histogram\n\
+                    lat_us_bucket{le=\"+Inf\"} 0\nlat_us_sum 0\nlat_us_count 0\n";
+        let exp = parse_full(text).unwrap();
+        assert_eq!(
+            exp.types.get("jobs_total").map(String::as_str),
+            Some("counter")
+        );
+        assert_eq!(
+            exp.types.get("lat_us").map(String::as_str),
+            Some("histogram")
+        );
+        assert_eq!(
+            exp.helps.get("jobs_total").map(String::as_str),
+            Some("Jobs seen.")
+        );
+        assert_eq!(
+            exp.helps.get("lat_us").map(String::as_str),
+            Some("Latency, two\nlines.")
+        );
+        assert_eq!(exp.samples.len(), 4);
     }
 
     #[test]

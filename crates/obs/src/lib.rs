@@ -22,17 +22,23 @@
 //! * [`span`] — request correlation ids, wall-clock phase timers for the
 //!   engine's job lifecycle (queue wait → cache probe → execute →
 //!   persist), and the bounded [`span::TraceStore`] that serves
-//!   `GET /v1/run/{key}/trace`.
+//!   `GET /v1/run/{key}/trace`;
+//! * [`profile`] — the always-on hot-path phase profiler: atomic-counter
+//!   wall-time attribution for the sim event loop and engine execute
+//!   path, exposed as `/metrics` histograms and the `GET
+//!   /v1/debug/profile` snapshot.
 
 #![warn(missing_docs)]
 
 pub mod chrome;
 pub mod expfmt;
 pub mod log;
+pub mod profile;
 pub mod registry;
 pub mod span;
 
 pub use chrome::{json_escape, TraceBuilder};
 pub use log::Level;
+pub use profile::{PhaseId, PhaseSnapshot};
 pub use registry::{Counter, Gauge, HistogramHandle, MetricRegistry};
 pub use span::{new_request_id, valid_request_id, JobTrace, Phase, PhaseTimer, TraceStore};

@@ -89,6 +89,43 @@ enum Value {
     Histogram(HistogramHandle),
 }
 
+/// A metric's value at snapshot time.
+// The histogram variant carries its full bucket array inline; snapshots
+// are short-lived scrape-sized vectors, so the size skew is cheaper
+// than boxing every percentile read.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// A counter's current count.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(f64),
+    /// A point-in-time copy of a histogram's samples.
+    Histogram(Histogram),
+}
+
+/// One metric (one label set) at snapshot time.
+#[derive(Debug, Clone)]
+pub struct MetricSnapshot {
+    /// Labels in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: MetricValue,
+}
+
+/// One family at snapshot time.
+#[derive(Debug, Clone)]
+pub struct FamilySnapshot {
+    /// The family name.
+    pub name: String,
+    /// The family's help text.
+    pub help: String,
+    /// `"counter"`, `"gauge"`, or `"histogram"`.
+    pub kind: &'static str,
+    /// Every metric in the family, in registration order.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
 #[derive(Debug)]
 struct Metric {
     labels: Vec<(String, String)>,
@@ -246,6 +283,239 @@ impl MetricRegistry {
                 }
             }
         }
+        out
+    }
+
+    /// A point-in-time copy of every family, in registration order. This
+    /// is the single source both renderings ([`render_prometheus`] walks
+    /// the same structure live, [`render_json`] is derived from it) and
+    /// the transfer format [`merge`] copies.
+    ///
+    /// [`render_prometheus`]: Self::render_prometheus
+    /// [`render_json`]: Self::render_json
+    /// [`merge`]: Self::merge
+    pub fn snapshot(&self) -> Vec<FamilySnapshot> {
+        self.families
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|f| FamilySnapshot {
+                name: f.name.clone(),
+                help: f.help.clone(),
+                kind: f.kind,
+                metrics: f
+                    .metrics
+                    .iter()
+                    .map(|m| MetricSnapshot {
+                        labels: m.labels.clone(),
+                        value: match &m.value {
+                            Value::Counter(c) => MetricValue::Counter(c.get()),
+                            Value::Gauge(g) => MetricValue::Gauge(g.get()),
+                            Value::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                        },
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Folds a snapshot of `other` into this registry, appending
+    /// `extra_labels` to every copied metric (the cluster coordinator
+    /// merges each worker's scraped registry under a `worker` label this
+    /// way). Counters add, gauges overwrite, histograms accumulate. An
+    /// extra label already present on a metric is left as-is. Families
+    /// whose kind conflicts with an existing family here are skipped
+    /// rather than panicking (scraped data is not trusted); the return
+    /// value is how many families were skipped.
+    pub fn merge(&self, other: &MetricRegistry, extra_labels: &[(&str, &str)]) -> usize {
+        let mut skipped = 0;
+        for f in other.snapshot() {
+            let conflict = {
+                let mine = self.families.lock().unwrap();
+                mine.iter().any(|x| x.name == f.name && x.kind != f.kind)
+            };
+            if conflict {
+                skipped += 1;
+                continue;
+            }
+            for m in &f.metrics {
+                let mut labels: Vec<(&str, &str)> = m
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                for &(k, v) in extra_labels {
+                    if !labels.iter().any(|&(lk, _)| lk == k) {
+                        labels.push((k, v));
+                    }
+                }
+                match &m.value {
+                    MetricValue::Counter(v) => {
+                        self.counter_with(&f.name, &f.help, &labels).add(*v);
+                    }
+                    MetricValue::Gauge(v) => {
+                        self.gauge_with(&f.name, &f.help, &labels).set(*v);
+                    }
+                    MetricValue::Histogram(h) => {
+                        self.histogram_with(&f.name, &f.help, &labels).merge(h);
+                    }
+                }
+            }
+        }
+        skipped
+    }
+
+    /// Rebuilds a registry from a Prometheus text exposition (a worker's
+    /// `/metrics?format=prometheus` scrape). Counter and gauge samples
+    /// copy over directly; histogram families are reconstructed by
+    /// de-cumulating the `le` buckets and replaying each bucket's delta at
+    /// its upper bound — exact bucket-for-bucket when the source uses this
+    /// crate's power-of-two boundaries, while `_sum` becomes the folded
+    /// upper-bound sum (an overestimate of up to 2x). Untyped samples
+    /// become gauges.
+    pub fn from_exposition(text: &str) -> Result<MetricRegistry, String> {
+        let exp = crate::expfmt::parse_full(text)?;
+        let r = MetricRegistry::new();
+        let help = |name: &str| exp.helps.get(name).cloned().unwrap_or_default();
+        // A histogram sample's owning family, if any.
+        let hist_family = |name: &str| -> Option<String> {
+            ["_bucket", "_sum", "_count"].iter().find_map(|suffix| {
+                name.strip_suffix(suffix)
+                    .filter(|f| exp.types.get(*f).map(String::as_str) == Some("histogram"))
+                    .map(str::to_owned)
+            })
+        };
+        // Histogram label groups already reconstructed, keyed by family +
+        // labels-minus-le.
+        let mut done: Vec<(String, Vec<(String, String)>)> = Vec::new();
+        for s in &exp.samples {
+            let labels: Vec<(&str, &str)> = s
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            match hist_family(&s.name) {
+                Some(family) => {
+                    let key: Vec<(String, String)> = s
+                        .labels
+                        .iter()
+                        .filter(|(k, _)| k != "le")
+                        .cloned()
+                        .collect();
+                    if done.iter().any(|(f, k)| *f == family && *k == key) {
+                        continue;
+                    }
+                    done.push((family.clone(), key.clone()));
+                    let bucket_name = format!("{family}_bucket");
+                    let mut h = Histogram::new();
+                    let mut cumulative = 0.0f64;
+                    for b in exp.samples.iter().filter(|b| {
+                        b.name == bucket_name
+                            && b.labels
+                                .iter()
+                                .filter(|(k, _)| k != "le")
+                                .cloned()
+                                .collect::<Vec<_>>()
+                                == key
+                    }) {
+                        let upper = match b.label("le") {
+                            Some("+Inf") => u64::MAX,
+                            Some(le) => le
+                                .parse::<f64>()
+                                .map_err(|_| format!("histogram {family}: bad le {le:?}"))?
+                                .ceil() as u64,
+                            None => continue,
+                        };
+                        let delta = (b.value - cumulative).max(0.0) as u64;
+                        cumulative = b.value;
+                        h.record_n(upper, delta);
+                    }
+                    let key_refs: Vec<(&str, &str)> =
+                        key.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                    r.histogram_with(&family, &help(&family), &key_refs)
+                        .merge(&h);
+                }
+                None => match exp.types.get(&s.name).map(String::as_str) {
+                    Some("histogram") => continue, // bare family-name sample; not ours
+                    Some("counter") => {
+                        r.counter_with(&s.name, &help(&s.name), &labels)
+                            .add(s.value.max(0.0) as u64);
+                    }
+                    _ => r.gauge_with(&s.name, &help(&s.name), &labels).set(s.value),
+                },
+            }
+        }
+        Ok(r)
+    }
+
+    /// Renders every family as one JSON object — the same metric set as
+    /// [`render_prometheus`](Self::render_prometheus) (the parity test in
+    /// this module keeps the two from drifting), shaped as
+    /// `{"families":[{"name","kind","help","metrics":[{"labels",...}]}]}`.
+    /// Histogram metrics carry `count`/`sum`/`mean`/`p50`/`p99`/`max` and
+    /// their non-empty buckets.
+    pub fn render_json(&self) -> String {
+        use crate::chrome::json_escape;
+        let mut out = String::from("{\"families\":[");
+        for (fi, f) in self.snapshot().iter().enumerate() {
+            if fi > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"kind\":\"{}\",\"help\":\"{}\",\"metrics\":[",
+                json_escape(&f.name),
+                f.kind,
+                json_escape(&f.help)
+            ));
+            for (mi, m) in f.metrics.iter().enumerate() {
+                if mi > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"labels\":{");
+                for (li, (k, v)) in m.labels.iter().enumerate() {
+                    if li > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+                }
+                out.push('}');
+                match &m.value {
+                    MetricValue::Counter(v) => out.push_str(&format!(",\"value\":{v}")),
+                    MetricValue::Gauge(v) => {
+                        out.push_str(&format!(",\"value\":{}", format_value(*v)));
+                    }
+                    MetricValue::Histogram(h) => {
+                        out.push_str(&format!(
+                            ",\"count\":{},\"sum\":{},\"mean\":{:.1},\"p50\":{},\"p99\":{},\
+                             \"max\":{},\"buckets\":[",
+                            h.count(),
+                            h.sum(),
+                            h.mean(),
+                            h.percentile(0.50),
+                            h.percentile(0.99),
+                            h.max()
+                        ));
+                        let mut first = true;
+                        for (upper, count) in h.iter() {
+                            if !first {
+                                out.push(',');
+                            }
+                            first = false;
+                            let le = if upper == u64::MAX {
+                                "+Inf".to_owned()
+                            } else {
+                                upper.to_string()
+                            };
+                            out.push_str(&format!("{{\"le\":\"{le}\",\"count\":{count}}}"));
+                        }
+                        out.push(']');
+                    }
+                }
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
         out
     }
 }
@@ -424,5 +694,157 @@ mod tests {
             .incr();
         let text = r.render_prometheus();
         assert!(text.contains("path=\"a\\\"b\\\\c\""), "{text}");
+    }
+
+    fn sample_registry() -> MetricRegistry {
+        let r = MetricRegistry::new();
+        r.counter("jobs_total", "Jobs seen.").add(3);
+        r.counter_with("hits_total", "Hits.", &[("tier", "memory")])
+            .add(5);
+        r.counter_with("hits_total", "Hits.", &[("tier", "disk")])
+            .add(7);
+        r.gauge("in_flight", "In flight.").set(2.0);
+        let h = r.histogram_with("lat_us", "Latency.", &[("worker", "a")]);
+        for v in [1u64, 3, 900] {
+            h.observe(v);
+        }
+        r
+    }
+
+    /// The JSON and Prometheus renderings must expose the same metric
+    /// set — every (family, label set) in the snapshot (which
+    /// `render_json` is derived from) appears in the parsed Prometheus
+    /// exposition and vice versa, so the two formats can't silently
+    /// drift.
+    #[test]
+    fn json_and_prometheus_expose_the_same_metric_set() {
+        let r = sample_registry();
+        let exp = crate::expfmt::parse_full(&r.render_prometheus()).unwrap();
+        let snap = r.snapshot();
+
+        // Snapshot → Prometheus: every family is typed, every metric has
+        // a sample with exactly its label set.
+        for f in &snap {
+            assert_eq!(
+                exp.types.get(&f.name).map(String::as_str),
+                Some(f.kind),
+                "family {} missing or mistyped in Prometheus",
+                f.name
+            );
+            for m in &f.metrics {
+                let want = if f.kind == "histogram" {
+                    format!("{}_count", f.name)
+                } else {
+                    f.name.clone()
+                };
+                assert!(
+                    exp.samples
+                        .iter()
+                        .any(|s| s.name == want && s.labels == m.labels),
+                    "metric {want} {:?} absent from Prometheus",
+                    m.labels
+                );
+            }
+        }
+
+        // Prometheus → snapshot: every sample maps back to a snapshot
+        // metric (histogram suffixes fold to their family, minus `le`).
+        for s in &exp.samples {
+            let (family, labels): (&str, Vec<(String, String)>) = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suf| {
+                    s.name
+                        .strip_suffix(suf)
+                        .filter(|f| exp.types.get(*f).map(String::as_str) == Some("histogram"))
+                })
+                .map(|f| {
+                    (
+                        f,
+                        s.labels
+                            .iter()
+                            .filter(|(k, _)| k != "le")
+                            .cloned()
+                            .collect(),
+                    )
+                })
+                .unwrap_or((s.name.as_str(), s.labels.clone()));
+            assert!(
+                snap.iter()
+                    .any(|f| f.name == family && f.metrics.iter().any(|m| m.labels == labels)),
+                "Prometheus sample {} {:?} absent from snapshot",
+                s.name,
+                s.labels
+            );
+        }
+
+        // And the JSON rendering carries every snapshot entry.
+        let json = r.render_json();
+        for f in &snap {
+            assert!(json.contains(&format!("\"name\":\"{}\"", f.name)), "{json}");
+            for m in &f.metrics {
+                for (k, v) in &m.labels {
+                    assert!(json.contains(&format!("\"{k}\":\"{v}\"")), "{json}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_appends_worker_label_and_accumulates() {
+        let fed = MetricRegistry::new();
+        fed.counter("own_total", "Coordinator's own.").add(1);
+        let skipped = fed.merge(&sample_registry(), &[("worker", "127.0.0.1:9001")]);
+        assert_eq!(skipped, 0);
+        let text = fed.render_prometheus();
+        assert!(text.contains("own_total 1\n"), "{text}");
+        assert!(
+            text.contains("jobs_total{worker=\"127.0.0.1:9001\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hits_total{tier=\"disk\",worker=\"127.0.0.1:9001\"} 7\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_us_count{worker=\"a\"} 3\n"),
+            "an existing worker label is preserved, not overwritten: {text}"
+        );
+
+        // Merging the same snapshot again accumulates counters.
+        fed.merge(&sample_registry(), &[("worker", "127.0.0.1:9001")]);
+        assert!(fed
+            .render_prometheus()
+            .contains("jobs_total{worker=\"127.0.0.1:9001\"} 6\n"));
+
+        // A kind conflict skips the family instead of panicking.
+        let bad = MetricRegistry::new();
+        bad.gauge("own_total", "Now a gauge.").set(9.0);
+        assert_eq!(fed.merge(&bad, &[]), 1);
+    }
+
+    #[test]
+    fn from_exposition_round_trips_a_scrape() {
+        let r = sample_registry();
+        let text = r.render_prometheus();
+        let rebuilt = MetricRegistry::from_exposition(&text).unwrap();
+        // Counters and gauges copy exactly; histogram buckets land in the
+        // same power-of-two buckets, so a re-render is bucket-identical.
+        let rebuilt_text = rebuilt.render_prometheus();
+        assert!(rebuilt_text.contains("jobs_total 3\n"), "{rebuilt_text}");
+        assert!(
+            rebuilt_text.contains("hits_total{tier=\"memory\"} 5\n"),
+            "{rebuilt_text}"
+        );
+        assert!(rebuilt_text.contains("in_flight 2\n"), "{rebuilt_text}");
+        for line in text.lines().filter(|l| l.starts_with("lat_us_bucket")) {
+            assert!(rebuilt_text.contains(line), "{line} missing in rebuild");
+        }
+        assert!(
+            rebuilt_text.contains("lat_us_count{worker=\"a\"} 3\n"),
+            "{rebuilt_text}"
+        );
+        // The rebuilt exposition still validates.
+        crate::expfmt::parse(&rebuilt_text).unwrap();
+        assert!(MetricRegistry::from_exposition("garbage {{{").is_err());
     }
 }

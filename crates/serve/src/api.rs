@@ -124,6 +124,7 @@ impl Handler for Api {
             ("GET", "/healthz/ready") => self.ready(req),
             ("GET", "/metrics") => self.metrics(req),
             ("GET", "/v1/benchmarks") => benchmarks(),
+            ("GET", "/v1/debug/profile") => profile_snapshot(),
             ("POST", "/v1/runs") => self.run(req),
             // Deprecated alias for `POST /v1/runs` (see docs/api.md).
             ("POST", "/v1/run") => deprecated(self.run(req), "/v1/runs"),
@@ -139,6 +140,12 @@ impl Handler for Api {
             }
             (_, path) if path.starts_with("/v1/runs/") => {
                 self.run_resource(req, &path["/v1/runs/".len()..], false)
+            }
+            // A sweep's retained trace lives under the sweep key the
+            // `X-Sweep-Key` response header reported; workers and the
+            // cluster coordinator expose the same shape.
+            (_, path) if path.starts_with("/v1/sweeps/") => {
+                self.sweep_resource(req, &path["/v1/sweeps/".len()..])
             }
             // Deprecated alias prefix for `/v1/runs/{key}/trace`.
             (_, path) if path.starts_with("/v1/run/") => {
@@ -317,6 +324,49 @@ impl Api {
             }
             None => fail(req, 404, "not_found", "no cached report for that run key"),
         }
+    }
+
+    /// Dispatches `/v1/sweeps/{key}` sub-resources. Only `/trace` exists:
+    /// sweep results are streamed at submission time, but the engine
+    /// journals a per-sweep trace under the sweep key reported in the
+    /// `X-Sweep-Key` response header.
+    fn sweep_resource(&self, req: &Request, rest: &str) -> Response {
+        let (key, sub) = split_resource(rest);
+        if !valid_run_key(key) {
+            return fail(
+                req,
+                400,
+                "bad_request",
+                &format!("sweep key must be 32 hex characters, got {key:?}"),
+            );
+        }
+        match sub {
+            Some("trace") => {
+                if req.method != "GET" {
+                    return method_not_allowed(req, "GET");
+                }
+                self.run_trace(req, key)
+            }
+            _ => fail(
+                req,
+                404,
+                "not_found",
+                "no such sweep sub-resource (try /trace)",
+            ),
+        }
+    }
+}
+
+/// `GET /v1/debug/profile`: a JSON snapshot of the always-on phase
+/// profiler, heaviest phase first (see docs/observability.md). The
+/// cluster coordinator serves the same route from its own process.
+pub fn profile_snapshot() -> Response {
+    Response {
+        status: 200,
+        headers: vec![("Content-Type".into(), "application/json".into())],
+        body: heteropipe_obs::profile::render_debug_json().into_bytes(),
+        chunked: false,
+        stream: None,
     }
 }
 
@@ -555,6 +605,24 @@ impl Api {
             .merge(&s.latency_us.lock().unwrap());
         }
 
+        // Always-on phase profiler (docs/observability.md): wall time
+        // attributed to named hot-path phases in the sim event loop, the
+        // engine execute path, and the workflow runner.
+        for p in heteropipe_obs::profile::snapshot() {
+            r.counter_with(
+                "heteropipe_profile_phase_total_nanoseconds",
+                "Wall nanoseconds attributed to a profiled phase.",
+                &[("phase", p.name)],
+            )
+            .set(p.total_ns);
+            r.histogram_with(
+                "heteropipe_profile_phase_duration_nanoseconds",
+                "Per-call wall-time distribution of a profiled phase.",
+                &[("phase", p.name)],
+            )
+            .merge(&p.histogram);
+        }
+
         Response {
             status: 200,
             headers: vec![(
@@ -677,12 +745,28 @@ impl Api {
             ("stage_failures".into(), Json::U64(f.stage_failures)),
         ]);
 
+        let profile = Json::Arr(
+            heteropipe_obs::profile::snapshot()
+                .into_iter()
+                .map(|p| {
+                    Json::Obj(vec![
+                        ("phase".into(), Json::str(p.name)),
+                        ("count".into(), Json::U64(p.count)),
+                        ("total_ns".into(), Json::U64(p.total_ns)),
+                        ("p99_ns".into(), Json::U64(p.histogram.percentile(0.99))),
+                        ("max_ns".into(), Json::U64(p.max_ns)),
+                    ])
+                })
+                .collect(),
+        );
+
         Response::json(
             200,
             &Json::Obj(vec![
                 ("engine".into(), engine),
                 ("workflows".into(), workflows),
                 ("server".into(), server),
+                ("profile".into(), profile),
             ]),
         )
     }

@@ -454,17 +454,20 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
         shared.stats.in_flight.fetch_sub(1, Ordering::SeqCst);
         let elapsed = start.elapsed();
         shared.stats.record(resp.status, elapsed);
-        obs_log::info(
-            "serve",
-            "request",
-            &[
-                ("request_id", req.request_id.as_str().into()),
-                ("method", req.method.as_str().into()),
-                ("path", req.path.as_str().into()),
-                ("status", u64::from(resp.status).into()),
-                ("latency_us", (elapsed.as_micros() as u64).into()),
-            ],
-        );
+        let mut fields = vec![
+            ("request_id", req.request_id.as_str().into()),
+            ("method", req.method.as_str().into()),
+            ("path", req.path.as_str().into()),
+            ("status", u64::from(resp.status).into()),
+            ("latency_us", (elapsed.as_micros() as u64).into()),
+        ];
+        // Distributed-trace context from a coordinator upstream: logged
+        // verbatim so a worker log line correlates with its span on the
+        // stitched cluster timeline (docs/observability.md).
+        if let Some(tc) = req.header("x-trace-context") {
+            fields.push(("trace_context", tc.into()));
+        }
+        obs_log::info("serve", "request", &fields);
 
         // Chaos seam: a write fault stalls (hang) or tears (anything else)
         // the connection before the response goes out.

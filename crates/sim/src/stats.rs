@@ -108,6 +108,26 @@ impl Histogram {
         self.max = self.max.max(v);
     }
 
+    /// Records `n` samples of the same value in one step. Equivalent to
+    /// calling [`record`](Self::record) `n` times, but O(1): used to
+    /// rebuild a histogram from an exposition's bucket counts, where a
+    /// bucket may hold millions of samples. Sums saturate rather than
+    /// overflow.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let b = if v <= 1 {
+            0
+        } else {
+            64 - (v - 1).leading_zeros() as usize
+        };
+        self.buckets[b] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        self.max = self.max.max(v);
+    }
+
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
         self.count
@@ -442,6 +462,27 @@ mod tests {
         let mut single = Histogram::new();
         single.record(7);
         assert_eq!(single.percentile(0.5), 7);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = Histogram::new();
+        let mut loop_h = Histogram::new();
+        for (v, n) in [(0u64, 3u64), (1, 2), (2, 5), (100, 7), (4096, 4)] {
+            bulk.record_n(v, n);
+            for _ in 0..n {
+                loop_h.record(v);
+            }
+        }
+        bulk.record_n(42, 0); // no-op
+        assert_eq!(bulk, loop_h);
+
+        // Sums saturate instead of overflowing on extreme values.
+        let mut extreme = Histogram::new();
+        extreme.record_n(u64::MAX, 3);
+        assert_eq!(extreme.count(), 3);
+        assert_eq!(extreme.sum(), u64::MAX);
+        assert_eq!(extreme.iter().collect::<Vec<_>>(), vec![(u64::MAX, 3)]);
     }
 
     #[test]
