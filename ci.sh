@@ -36,6 +36,15 @@ HETEROPIPE_LOG=info cargo run --release -p heteropipe-bench --bin smoke
 # run replays the identical fault schedule.
 HETEROPIPE_LOG=error cargo run --release -p heteropipe-bench --bin chaos
 
+# Crash-resume gate: SIGKILL a durable serve process (and, in the
+# cluster suite, a durable coordinator) mid-sweep, restart it over the
+# same journal, and require completion with records byte-identical to an
+# uninterrupted run — re-executing only the jobs the crash lost. The
+# chaos binary above additionally exercises the journal fault seams
+# (append refusal, replay EIO, on-disk rot -> quarantine).
+cargo test -q --release -p heteropipe-bench --test crash_resume
+cargo test -q --release -p heteropipe-cluster --test cluster coordinator_sigkill
+
 # Cluster smoke: one coordinator over two loopback workers. A cold sweep
 # must shard across both workers and answer byte-identically to a single
 # node, a warm repeat must be served entirely from peer disk caches with

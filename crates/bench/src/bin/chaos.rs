@@ -17,6 +17,13 @@
 //!    disk; a fresh fault-free engine over the same cache must detect
 //!    the corruption, quarantine the record, transparently re-execute,
 //!    and again answer byte-identically.
+//! 4. **Durability**: a durable server runs an async sweep under
+//!    `journal.append` / `journal.replay` faults. The faulted submit is
+//!    refused with `503` + `Retry-After` (never run undurably), the
+//!    resubmit journals and completes, the faulted records fetch is
+//!    refused then the retry reconstructs the synchronous stream
+//!    byte-identically, and an on-disk rotted segment is quarantined
+//!    instead of served.
 //!
 //! All probabilities in the plans are 1.0 with firing budgets (`max=`),
 //! so the run is deterministic regardless of thread interleaving. Exits
@@ -43,11 +50,22 @@ const ENGINE_PLAN: &str = "seed=48879;job.exec:err=panic:max=3;cache.write:err=e
 const SERVER_PLAN: &str =
     "seed=51966;serve.accept:err=drop:max=1;serve.read:err=drop:max=2;serve.write:err=hang:ms=25:max=2";
 
+/// Journal-side plan for the durability phase: the first append (the
+/// async submit's intent write) hits ENOSPC, and the first *records
+/// fetch* replay hits EIO. Every async submit also replays once for
+/// sealed-segment adoption — the two `after=` skips cover those probes
+/// (initial submit + resubmit) so the EIO lands on the fetch itself.
+/// Both faults must surface as 503s the caller can retry past, never as
+/// lost or undurable work.
+const JOURNAL_PLAN: &str =
+    "seed=7;journal.append:err=enospc:max=1;journal.replay:err=eio:after=2:max=1";
+
 /// Total firings the budgets above pin: 3 + 4 engine-side, 1 + 2 + 2
-/// server-side. The run asserts these exactly — fewer means a seam went
-/// dead, more means a budget leaked.
+/// server-side, 1 + 1 journal-side. The run asserts these exactly —
+/// fewer means a seam went dead, more means a budget leaked.
 const ENGINE_FAULTS_EXPECTED: u64 = 7;
 const SERVER_FAULTS_EXPECTED: u64 = 5;
+const JOURNAL_FAULTS_EXPECTED: u64 = 2;
 
 fn job_list() -> Vec<Json> {
     let job = |benchmark: &str, system: &str, organization: Json| {
@@ -104,6 +122,25 @@ fn post_with_retries(addr: &str, body: &Json) -> ClientResponse {
         }
     }
     panic!("job did not recover within 10 attempts (last: {last})");
+}
+
+/// Extracts the per-job record lines from a sweep NDJSON body, sorted by
+/// their `index` field. The synchronous stream is completion-ordered and
+/// ends with a timing summary; `/records` is index-ordered with no
+/// summary — this normalizes both to the same comparable form. The
+/// record lines themselves are timing-free and byte-stable.
+fn sorted_records(body: &[u8]) -> Vec<String> {
+    let text = String::from_utf8_lossy(body);
+    let mut records: Vec<(u64, String)> = text
+        .lines()
+        .filter_map(|line| {
+            let v = Json::parse(line)?;
+            let idx = v.get("index").and_then(Json::as_u64)?;
+            Some((idx, line.to_string()))
+        })
+        .collect();
+    records.sort_by_key(|&(i, _)| i);
+    records.into_iter().map(|(_, l)| l).collect()
 }
 
 /// Flips one byte in the middle of the first cache record under `dir`,
@@ -256,7 +293,117 @@ fn main() {
         "re-execution rewrote the healed record in place"
     );
     handle.shutdown_and_join();
+    eprintln!("chaos: self-heal ok (quarantined 1 record and re-executed)");
+
+    // Phase 4 — durability: an async sweep under journal faults.
+    let durable_dir = tmp.join("durable");
+    let journal_faults = Arc::new(Injector::new(
+        FaultPlan::parse(JOURNAL_PLAN).expect("journal plan parses"),
+    ));
+    let engine = Arc::new(Engine::new().with_cache_dir(durable_dir.join("cache")));
+    let journal = heteropipe_engine::Journal::open(durable_dir.join("journal"))
+        .expect("open journal")
+        .with_faults(Arc::clone(&journal_faults));
+    let handle = api::serve_durable(
+        server_config(Arc::new(Injector::disabled())),
+        Arc::clone(&engine),
+        Arc::new(journal),
+    )
+    .expect("bind durable server");
+    let addr = handle.addr().to_string();
+    let sweep_body = Json::Obj(vec![("jobs".into(), Json::Arr(jobs.clone()))]);
+
+    // Reference: the synchronous stream over the same (cold) cache.
+    let mut client = Client::new(addr.clone()).with_timeout(Duration::from_secs(60));
+    let sync = client
+        .post_json("/v1/sweeps", &sweep_body)
+        .expect("sync sweep");
+    assert_eq!(sync.status, 200, "reference sweep must succeed");
+    let reference = sorted_records(&sync.body);
+    assert_eq!(reference.len(), jobs.len(), "one record per job");
+
+    // The first async submit lands on the ENOSPC append fault: the
+    // journal is unavailable, so the server refuses durably with a
+    // retryable 503 instead of accepting work it could lose.
+    let refused = client
+        .post_json("/v1/sweeps?async=1", &sweep_body)
+        .expect("faulted submit");
+    assert_eq!(refused.status, 503, "append fault refuses the submit");
+    assert!(
+        refused.header("retry-after").is_some(),
+        "journal refusal carries Retry-After"
+    );
+
+    // The budget is spent; the resubmit journals and is accepted.
+    let accepted = client
+        .post_json("/v1/sweeps?async=1", &sweep_body)
+        .expect("resubmit");
+    assert_eq!(accepted.status, 202, "resubmit is accepted");
+    let key = Json::parse(&String::from_utf8_lossy(&accepted.body))
+        .and_then(|v| v.get("key").and_then(Json::as_str).map(str::to_string))
+        .expect("202 body carries the sweep key");
+    let mut state = String::new();
+    for _ in 0..600 {
+        let resp = client
+            .get(&format!("/v1/sweeps/{key}"))
+            .expect("status poll");
+        assert_eq!(resp.status, 200, "status poll");
+        state = Json::parse(&String::from_utf8_lossy(&resp.body))
+            .and_then(|v| v.get("state").and_then(Json::as_str).map(str::to_string))
+            .expect("status body carries state");
+        if state == "done" || state == "failed" {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(state, "done", "async sweep settles");
+
+    // First records fetch hits the EIO replay fault and is refused; the
+    // retry reconstructs the synchronous stream byte-identically.
+    let faulted = client
+        .get(&format!("/v1/sweeps/{key}/records"))
+        .expect("faulted records fetch");
+    assert_eq!(faulted.status, 503, "replay fault refuses the fetch");
+    let records = client
+        .get(&format!("/v1/sweeps/{key}/records"))
+        .expect("records fetch");
+    assert_eq!(records.status, 200, "records fetch succeeds after retry");
+    assert_eq!(
+        sorted_records(&records.body),
+        reference,
+        "journaled records reconstruct the synchronous stream"
+    );
+    assert_eq!(
+        journal_faults.total_fired(),
+        JOURNAL_FAULTS_EXPECTED,
+        "every journal fault budget spent exactly"
+    );
+
+    // Rot a middle line of the sealed segment on disk: the next fetch
+    // must quarantine the segment and report nothing journaled rather
+    // than serve a stream it cannot vouch for.
+    let seg = durable_dir.join("journal").join(format!("{key}.jnl"));
+    let mut lines: Vec<String> = std::fs::read_to_string(&seg)
+        .expect("read segment")
+        .lines()
+        .map(String::from)
+        .collect();
+    assert!(lines.len() >= 3, "segment has intent, records, and seal");
+    let mut rotted = lines[1].clone().into_bytes();
+    rotted[0] ^= 0x01;
+    lines[1] = String::from_utf8(rotted).expect("single-bit rot stays UTF-8");
+    std::fs::write(&seg, format!("{}\n", lines.join("\n"))).expect("write rotted segment");
+    let gone = client
+        .get(&format!("/v1/sweeps/{key}/records"))
+        .expect("post-rot fetch");
+    assert_eq!(gone.status, 404, "rotted segment reports nothing journaled");
+    let quarantined = std::fs::read_dir(durable_dir.join("journal").join(".quarantine"))
+        .expect("journal quarantine dir exists")
+        .flatten()
+        .count();
+    assert_eq!(quarantined, 1, "rotted segment moved aside, not deleted");
+    handle.shutdown_and_join();
 
     let _ = std::fs::remove_dir_all(&tmp);
-    eprintln!("chaos: ok (self-heal quarantined 1 record and re-executed)");
+    eprintln!("chaos: ok (durability refused, resumed, and quarantined under journal faults)");
 }

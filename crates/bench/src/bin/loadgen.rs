@@ -11,6 +11,15 @@
 //! cargo run --release -p heteropipe-bench --bin loadgen -- \
 //!     --scale 0.08 --threads 8 --requests 200 [--csv]
 //! ```
+//!
+//! With `--async` the sweep route goes through the durable job API
+//! instead of synchronous streaming: submit with `?async=1`, poll the
+//! status resource until the job settles, then fetch the journaled
+//! `/records`, with each leg timed as its own route. `--deadline-ms <N>`
+//! stamps every timed request with an `X-Deadline-Ms` budget. Tenant
+//! throttles (429) and deadline aborts (504) are policy refusals, not
+//! failures: they are tallied in their own per-route columns and do not
+//! trip the final error check.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -20,6 +29,44 @@ use heteropipe_serve::json::Json;
 use heteropipe_serve::server::ServerConfig;
 use heteropipe_serve::{api, Client};
 use heteropipe_sim::Histogram;
+
+/// Per-route tally: latency plus the three ways a request can come back
+/// without a result — hard errors, tenant throttles, deadline aborts.
+struct RouteStat {
+    lat: Histogram,
+    errors: u64,
+    throttled: u64,
+    deadline: u64,
+}
+
+impl RouteStat {
+    fn new() -> Self {
+        RouteStat {
+            lat: Histogram::new(),
+            errors: 0,
+            throttled: 0,
+            deadline: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &RouteStat) {
+        self.lat.merge(&other.lat);
+        self.errors += other.errors;
+        self.throttled += other.throttled;
+        self.deadline += other.deadline;
+    }
+
+    /// Classifies one response status against the route's expected code.
+    /// `None` (transport error) counts as an error.
+    fn note(&mut self, status: Option<u16>, expect: u16) {
+        match status {
+            Some(429) => self.throttled += 1,
+            Some(504) => self.deadline += 1,
+            Some(s) if s == expect => {}
+            _ => self.errors += 1,
+        }
+    }
+}
 
 /// The replayed mix: light reads, cache-served runs, a small batched
 /// sweep (with an in-batch duplicate) streamed as NDJSON, and a built-in
@@ -58,6 +105,71 @@ fn request_mix(scale: f64) -> Vec<(&'static str, &'static str, Option<Json>)> {
     ]
 }
 
+/// Follows one async sweep end to end: `202` submit, status polls until
+/// the job settles, then a `/records` fetch. Each leg is tallied under
+/// its own route slot (submit at `submit_slot`, polls and the records
+/// fetch at the two virtual slots after the mix).
+fn run_async_sweep(
+    client: &mut Client,
+    body: &Json,
+    extra: &[(&str, &str)],
+    routes: &mut [RouteStat],
+    submit_slot: usize,
+    poll_slot: usize,
+) {
+    let sent = Instant::now();
+    let resp = client.post_json_with_headers("/v1/sweeps?async=1", body, extra);
+    routes[submit_slot]
+        .lat
+        .record(sent.elapsed().as_micros() as u64);
+    let key = match &resp {
+        Ok(r) if r.status == 202 => Json::parse(&String::from_utf8_lossy(&r.body))
+            .and_then(|v| v.get("key").and_then(Json::as_str).map(str::to_string)),
+        _ => None,
+    };
+    routes[submit_slot].note(resp.ok().map(|r| r.status), 202);
+    let Some(key) = key else { return };
+
+    // Poll until the job settles. Warmed sweeps settle within a few
+    // polls, so the bound is a hang guard, not a tuning knob.
+    let mut done = false;
+    for _ in 0..5000 {
+        let sent = Instant::now();
+        let resp = client.get_with_headers(&format!("/v1/sweeps/{key}"), extra);
+        routes[poll_slot]
+            .lat
+            .record(sent.elapsed().as_micros() as u64);
+        let state = match &resp {
+            Ok(r) if r.status == 200 => Json::parse(&String::from_utf8_lossy(&r.body))
+                .and_then(|v| v.get("state").and_then(Json::as_str).map(str::to_string)),
+            _ => None,
+        };
+        routes[poll_slot].note(resp.ok().map(|r| r.status), 200);
+        match state.as_deref() {
+            Some("done") => {
+                done = true;
+                break;
+            }
+            Some("failed") => {
+                routes[poll_slot].errors += 1;
+                return;
+            }
+            _ => std::thread::sleep(std::time::Duration::from_millis(1)),
+        }
+    }
+    if !done {
+        routes[poll_slot].errors += 1;
+        return;
+    }
+
+    let sent = Instant::now();
+    let resp = client.get_with_headers(&format!("/v1/sweeps/{key}/records"), extra);
+    routes[poll_slot + 1]
+        .lat
+        .record(sent.elapsed().as_micros() as u64);
+    routes[poll_slot + 1].note(resp.ok().map(|r| r.status), 200);
+}
+
 fn main() {
     // Quiet by default: per-request info logs from an in-process server
     // would swamp the load run. `HETEROPIPE_LOG=info` turns them on.
@@ -66,8 +178,12 @@ fn main() {
     let threads = args.threads.unwrap_or(4);
     let requests = args.requests.unwrap_or(200);
     let scale = args.scale.factor();
+    let deadline_ms = args.deadline_ms.map(|ms| ms.to_string());
 
-    // Either drive a remote server or spin one up in-process.
+    // Either drive a remote server or spin one up in-process. Async mode
+    // needs a durable server, so the local one gets a journal — at
+    // `--journal-dir` if given, else in a throwaway temp directory.
+    let mut journal_tmp: Option<std::path::PathBuf> = None;
     let (target, local) = match &args.addr {
         Some(addr) => (addr.clone(), None),
         None => {
@@ -78,15 +194,41 @@ fn main() {
                 ..ServerConfig::default()
             };
             let engine = Arc::new(args.engine());
-            let handle = api::serve(cfg, Arc::clone(&engine))
-                .unwrap_or_else(|e| panic!("could not bind server: {e}"));
+            let handle = if args.async_mode || args.journal_dir.is_some() {
+                let dir = args.journal_dir.clone().unwrap_or_else(|| {
+                    let d = std::env::temp_dir()
+                        .join(format!("heteropipe-loadgen-journal-{}", std::process::id()));
+                    journal_tmp = Some(d.clone());
+                    d.to_string_lossy().into_owned()
+                });
+                let journal = heteropipe_engine::Journal::open(&dir)
+                    .unwrap_or_else(|e| panic!("could not open journal at {dir}: {e}"));
+                api::serve_durable(cfg, Arc::clone(&engine), Arc::new(journal))
+            } else {
+                api::serve(cfg, Arc::clone(&engine))
+            }
+            .unwrap_or_else(|e| panic!("could not bind server: {e}"));
             (handle.addr().to_string(), Some((handle, engine)))
         }
     };
     let mix = request_mix(scale);
+    let sweep_slot = mix
+        .iter()
+        .position(|(m, p, _)| *m == "POST" && *p == "/v1/sweeps")
+        .expect("mix has a sweep route");
+    // Route labels for the report; async mode rewrites the sweep row and
+    // appends the two virtual legs (polls, records fetch).
+    let mut labels: Vec<String> = mix.iter().map(|(m, p, _)| format!("{m} {p}")).collect();
+    if args.async_mode {
+        labels[sweep_slot] = "POST /v1/sweeps?async=1".into();
+        labels.push("GET /v1/sweeps/{key} (poll)".into());
+        labels.push("GET /v1/sweeps/{key}/records".into());
+    }
+    let nroutes = labels.len();
 
     // Warmup: populate the engine cache so the timed phase measures the
-    // serving path at steady state.
+    // serving path at steady state. Always synchronous and without the
+    // deadline header — warmup does the real simulation work.
     let mut warm = Client::new(target.clone());
     for (method, path, body) in &mix {
         let resp = match (*method, body) {
@@ -98,32 +240,46 @@ fn main() {
     }
     drop(warm);
 
+    // Headers for the timed phase: an API key so tenant buckets attribute
+    // the traffic, and the optional deadline budget.
+    let mut extra: Vec<(&str, &str)> = vec![("X-Api-Key", "loadgen")];
+    if let Some(ms) = deadline_ms.as_deref() {
+        extra.push(("X-Deadline-Ms", ms));
+    }
+
     let start = Instant::now();
     // Latency and error counts are kept per mix entry so the report can
     // break the aggregate down by route.
-    let per_thread: Vec<Vec<(Histogram, u64)>> = std::thread::scope(|s| {
+    let per_thread: Vec<Vec<RouteStat>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let target = target.clone();
                 let mix = &mix;
+                let extra = &extra;
+                let async_mode = args.async_mode;
                 s.spawn(move || {
-                    let mut routes: Vec<(Histogram, u64)> =
-                        (0..mix.len()).map(|_| (Histogram::new(), 0)).collect();
+                    let mut routes: Vec<RouteStat> =
+                        (0..nroutes).map(|_| RouteStat::new()).collect();
                     let mut client = Client::new(target);
                     for i in 0..requests {
                         let slot = (t + i) % mix.len();
                         let (method, path, body) = &mix[slot];
+                        if async_mode && slot == sweep_slot {
+                            let body = body.as_ref().expect("sweep route has a body");
+                            run_async_sweep(&mut client, body, extra, &mut routes, slot, mix.len());
+                            continue;
+                        }
                         let sent = Instant::now();
-                        let ok = match (*method, body) {
-                            ("POST", Some(body)) => client.post_json(path, body),
-                            _ => client.get(path),
+                        let status = match (*method, body) {
+                            ("POST", Some(body)) => {
+                                client.post_json_with_headers(path, body, extra)
+                            }
+                            _ => client.get_with_headers(path, extra),
                         }
-                        .map(|r| r.status == 200)
-                        .unwrap_or(false);
-                        routes[slot].0.record(sent.elapsed().as_micros() as u64);
-                        if !ok {
-                            routes[slot].1 += 1;
-                        }
+                        .ok()
+                        .map(|r| r.status);
+                        routes[slot].lat.record(sent.elapsed().as_micros() as u64);
+                        routes[slot].note(status, 200);
                     }
                     routes
                 })
@@ -133,25 +289,27 @@ fn main() {
     });
     let elapsed = start.elapsed();
 
-    let mut route_stats: Vec<(Histogram, u64)> =
-        (0..mix.len()).map(|_| (Histogram::new(), 0)).collect();
-    let mut lat = Histogram::new();
-    let mut errors = 0u64;
+    let mut route_stats: Vec<RouteStat> = (0..nroutes).map(|_| RouteStat::new()).collect();
+    let mut agg = RouteStat::new();
     for thread_routes in &per_thread {
-        for (slot, (h, e)) in thread_routes.iter().enumerate() {
-            route_stats[slot].0.merge(h);
-            route_stats[slot].1 += e;
-            lat.merge(h);
-            errors += e;
+        for (slot, stat) in thread_routes.iter().enumerate() {
+            route_stats[slot].merge(stat);
+            agg.merge(stat);
         }
     }
+    let (lat, errors) = (&agg.lat, agg.errors);
     let total = lat.count();
     let rps = total as f64 / elapsed.as_secs_f64();
 
     if args.csv {
-        println!("threads,requests,errors,elapsed_s,req_per_s,p50_us,p90_us,p99_us,mean_us,max_us");
         println!(
-            "{threads},{total},{errors},{:.3},{rps:.1},{},{},{},{:.1},{}",
+            "threads,requests,errors,throttled,deadline,elapsed_s,req_per_s,\
+             p50_us,p90_us,p99_us,mean_us,max_us"
+        );
+        println!(
+            "{threads},{total},{errors},{},{},{:.3},{rps:.1},{},{},{},{:.1},{}",
+            agg.throttled,
+            agg.deadline,
             elapsed.as_secs_f64(),
             lat.percentile(0.50),
             lat.percentile(0.90),
@@ -159,22 +317,28 @@ fn main() {
             lat.mean(),
             lat.max(),
         );
-        println!("route,count,errors,p50_us,p99_us,max_us");
-        for (slot, (method, path, _)) in mix.iter().enumerate() {
-            let (h, e) = &route_stats[slot];
+        println!("route,count,errors,throttled,deadline,p50_us,p99_us,max_us");
+        for (slot, label) in labels.iter().enumerate() {
+            let r = &route_stats[slot];
             println!(
-                "{method} {path},{},{e},{},{},{}",
-                h.count(),
-                h.percentile(0.50),
-                h.percentile(0.99),
-                h.max(),
+                "{label},{},{},{},{},{},{},{}",
+                r.lat.count(),
+                r.errors,
+                r.throttled,
+                r.deadline,
+                r.lat.percentile(0.50),
+                r.lat.percentile(0.99),
+                r.lat.max(),
             );
         }
     } else {
         println!("loadgen: {threads} threads x {requests} requests against {target}");
         println!(
-            "  {total} requests in {:.3} s ({rps:.1} req/s), {errors} errors",
-            elapsed.as_secs_f64()
+            "  {total} requests in {:.3} s ({rps:.1} req/s), {errors} errors, \
+             {} throttled, {} deadline-aborted",
+            elapsed.as_secs_f64(),
+            agg.throttled,
+            agg.deadline,
         );
         println!(
             "  latency: p50 {} us, p90 {} us, p99 {} us, mean {:.1} us, max {} us",
@@ -185,15 +349,19 @@ fn main() {
             lat.max(),
         );
         println!("  per-route (mix order; duplicate rows are distinct bodies):");
-        for (slot, (method, path, _)) in mix.iter().enumerate() {
-            let (h, e) = &route_stats[slot];
+        for (slot, label) in labels.iter().enumerate() {
+            let r = &route_stats[slot];
             println!(
-                "    {:<20} {:>6} reqs  p50 {:>7} us  p99 {:>7} us  max {:>8} us  {e} errors",
-                format!("{method} {path}"),
-                h.count(),
-                h.percentile(0.50),
-                h.percentile(0.99),
-                h.max(),
+                "    {:<28} {:>6} reqs  p50 {:>7} us  p99 {:>7} us  max {:>8} us  \
+                 {} errors  {} throttled  {} deadline",
+                label,
+                r.lat.count(),
+                r.lat.percentile(0.50),
+                r.lat.percentile(0.99),
+                r.lat.max(),
+                r.errors,
+                r.throttled,
+                r.deadline,
             );
         }
     }
@@ -201,6 +369,9 @@ fn main() {
     if let Some((handle, engine)) = local {
         handle.shutdown_and_join();
         heteropipe_bench::finish(&engine);
+    }
+    if let Some(dir) = journal_tmp {
+        let _ = std::fs::remove_dir_all(dir);
     }
     assert_eq!(errors, 0, "load run saw non-200 responses");
 }

@@ -47,8 +47,19 @@ fn main() {
         obs_log::warn("serve", "fault injection enabled", &[]);
     }
     cfg.faults = Arc::clone(&faults);
-    let engine = Arc::new(args.engine().with_faults(faults));
-    let handle = api::serve(cfg, Arc::clone(&engine)).unwrap_or_else(|e| {
+    let engine = Arc::new(args.engine().with_faults(Arc::clone(&faults)));
+    // `--journal-dir` makes the server durable: async jobs are journaled
+    // ahead of execution and interrupted ones resume on the next start.
+    let handle = match &args.journal_dir {
+        Some(dir) => {
+            let journal = heteropipe_engine::Journal::open(dir)
+                .unwrap_or_else(|e| panic!("could not open journal at {dir}: {e}"))
+                .with_faults(faults);
+            api::serve_durable(cfg, Arc::clone(&engine), Arc::new(journal))
+        }
+        None => api::serve(cfg, Arc::clone(&engine)),
+    }
+    .unwrap_or_else(|e| {
         panic!("could not bind server: {e}");
     });
     obs_log::info(
@@ -60,6 +71,7 @@ fn main() {
                 "role",
                 if args.worker { "worker" } else { "standalone" }.into(),
             ),
+            ("durable", args.journal_dir.is_some().into()),
         ],
     );
 

@@ -172,6 +172,47 @@ fn render_frame(
         );
     }
 
+    // Durability and admission: journal counters, deadline aborts, and
+    // one column per configured tenant bucket. All three are omitted
+    // when the target has no journal, no deadline refusals, and no
+    // tenant plan, so pre-existing frames render unchanged.
+    let deadline = metrics
+        .get("deadline_exceeded")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    if let Some(j) = metrics.get("journal").filter(|j| !matches!(j, Json::Null)) {
+        let g = |k: &str| j.get(k).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "  journal: {} appended, {} replayed, {} recovered, {} async jobs; {} deadline aborts",
+            g("appended"),
+            g("replayed"),
+            g("recovered"),
+            g("async_jobs"),
+            deadline,
+        );
+    } else if deadline > 0 {
+        println!("  deadline: {deadline} aborts");
+    }
+    if let Some(tenants) = metrics
+        .get("tenants")
+        .and_then(Json::as_array)
+        .filter(|t| !t.is_empty())
+    {
+        let cols: Vec<String> = tenants
+            .iter()
+            .map(|t| {
+                let g = |k: &str| t.get(k).and_then(Json::as_u64).unwrap_or(0);
+                format!(
+                    "{} {} ok / {} throttled",
+                    t.get("tenant").and_then(Json::as_str).unwrap_or("?"),
+                    g("requests"),
+                    g("throttled"),
+                )
+            })
+            .collect();
+        println!("  tenants: {}", cols.join("; "));
+    }
+
     // Per-worker table: rates and latency from the federated exposition,
     // breaker and peer tier from the cluster JSON block.
     let cluster_workers = metrics

@@ -32,9 +32,14 @@ use heteropipe_workloads::Scale;
 /// `--max-inflight <N>` (connection limit before 503 backpressure),
 /// `--requests <N>` (load-generator requests per client),
 /// `--worker` (run `serve` as a cluster worker behind a coordinator),
-/// and `--cache-dir <path>` (disk-cache location, so cluster workers
-/// keep disjoint caches). Unknown arguments are rejected with a message
-/// listing the accepted ones.
+/// `--cache-dir <path>` (disk-cache location, so cluster workers
+/// keep disjoint caches), `--journal-dir <path>` (write-ahead journal
+/// for durable `?async=1` jobs — `serve` and `loadgen` use it),
+/// `--async` (loadgen submits sweeps asynchronously and polls them), and
+/// `--deadline-ms <N>` (loadgen stamps every request with an
+/// `X-Deadline-Ms` budget so deadline aborts become measurable).
+/// Unknown arguments are rejected with a message listing the accepted
+/// ones.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HarnessArgs {
     /// Input scale for the workload models.
@@ -61,6 +66,15 @@ pub struct HarnessArgs {
     /// Disk-cache directory override; cluster workers point this at
     /// disjoint paths so each owns its shard's cache.
     pub cache_dir: Option<String>,
+    /// Write-ahead journal directory: `serve` started with one accepts
+    /// `?async=1` jobs durably and resumes them after a crash.
+    pub journal_dir: Option<String>,
+    /// Whether `loadgen` exercises the async sweep path (submit, poll,
+    /// fetch records) instead of synchronous streaming.
+    pub async_mode: bool,
+    /// Deadline budget `loadgen` attaches to every timed request as
+    /// `X-Deadline-Ms`; aborted requests are tallied per route.
+    pub deadline_ms: Option<u64>,
 }
 
 impl HarnessArgs {
@@ -88,6 +102,9 @@ impl HarnessArgs {
             requests: None,
             worker: false,
             cache_dir: None,
+            journal_dir: None,
+            async_mode: false,
+            deadline_ms: None,
         };
         let mut it = args.into_iter();
         let positive = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -128,11 +145,23 @@ impl HarnessArgs {
                             .unwrap_or_else(|| panic!("--cache-dir requires a path")),
                     );
                 }
+                "--journal-dir" => {
+                    out.journal_dir = Some(
+                        it.next()
+                            .filter(|s| !s.is_empty())
+                            .unwrap_or_else(|| panic!("--journal-dir requires a path")),
+                    );
+                }
+                "--async" => out.async_mode = true,
+                "--deadline-ms" => {
+                    out.deadline_ms = Some(positive(&mut it, "--deadline-ms") as u64);
+                }
                 other => panic!(
                     "unknown argument {other}; accepted: --scale <f64>, --jobs <N>, \
                      --no-cache, --csv, --addr <host:port>, --threads <N>, \
                      --max-inflight <N>, --requests <N>, --worker, \
-                     --cache-dir <path>"
+                     --cache-dir <path>, --journal-dir <path>, --async, \
+                     --deadline-ms <N>"
                 ),
             }
         }
@@ -285,6 +314,35 @@ mod tests {
         assert!(a.worker);
         assert_eq!(a.cache_dir.as_deref(), Some("/tmp/shard-0"));
         assert!(a.engine().cache().is_some());
+    }
+
+    #[test]
+    fn parses_journal_dir_and_async() {
+        let a = args(&["--journal-dir", "/tmp/journal-0", "--async"]);
+        assert_eq!(a.journal_dir.as_deref(), Some("/tmp/journal-0"));
+        assert!(a.async_mode);
+        let b = HarnessArgs::from_iter(Vec::new());
+        assert_eq!(b.journal_dir, None);
+        assert!(!b.async_mode);
+        assert_eq!(b.deadline_ms, None);
+    }
+
+    #[test]
+    fn parses_deadline_ms() {
+        let a = args(&["--deadline-ms", "250"]);
+        assert_eq!(a.deadline_ms, Some(250));
+    }
+
+    #[test]
+    #[should_panic(expected = "--deadline-ms requires")]
+    fn rejects_zero_deadline() {
+        HarnessArgs::from_iter(["--deadline-ms".to_string(), "0".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--journal-dir requires")]
+    fn rejects_missing_journal_dir() {
+        HarnessArgs::from_iter(["--journal-dir".to_string()]);
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! Crash-resume end-to-end: SIGKILL a durable `serve` process mid-sweep,
+//! restart it over the same cache and journal directories, and prove the
+//! write-ahead journal brings the job to completion with records
+//! byte-identical to an uninterrupted run — re-executing only the jobs
+//! the crash lost.
+//!
+//! The first process runs under a `job.exec` hang plan (200 ms per job,
+//! `--jobs 1`), stretching an 8-job sweep to ~1.6 s so the kill lands
+//! mid-run deterministically; the hang changes timing only, never record
+//! bytes. `ci.sh` runs this as the crash-resume gate.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use heteropipe_engine::{Engine, Journal};
+use heteropipe_serve::server::ServerConfig;
+use heteropipe_serve::{api, Client, Json};
+
+/// Every exec attempt stalls 200 ms; record bytes are unaffected.
+const SLOW_PLAN: &str = "seed=5;job.exec:err=hang:ms=200:p=1:max=1000";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "heteropipe-crash-resume-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn job(benchmark: &str) -> Json {
+    Json::Obj(vec![
+        ("benchmark".into(), Json::str(benchmark)),
+        ("system".into(), Json::str("discrete")),
+        ("organization".into(), Json::str("serial")),
+        ("scale".into(), Json::F64(0.05)),
+    ])
+}
+
+/// Eight distinct jobs: enough runway that the kill lands with some
+/// journaled and some still pending.
+fn sweep_body() -> Json {
+    let jobs = vec![
+        job("rodinia/kmeans"),
+        job("rodinia/hotspot"),
+        job("rodinia/bfs"),
+        job("rodinia/backprop"),
+        job("rodinia/nw"),
+        job("rodinia/srad"),
+        job("rodinia/btree"),
+        job("rodinia/myocyte"),
+    ];
+    Json::Obj(vec![("jobs".into(), Json::Arr(jobs))])
+}
+
+/// Per-job record lines of a sweep NDJSON body, sorted by their `index`
+/// field (the sync stream is completion-ordered and ends with a timing
+/// summary; `/records` is index-ordered with no summary). The record
+/// lines themselves are timing-free and byte-stable.
+fn record_lines(body: &[u8]) -> Vec<String> {
+    let text = std::str::from_utf8(body).expect("sweep stream is UTF-8");
+    let mut records: Vec<(u64, String)> = text
+        .lines()
+        .filter_map(|line| {
+            let v = Json::parse(line)?;
+            let idx = v.get("index").and_then(Json::as_u64)?;
+            Some((idx, line.to_string()))
+        })
+        .collect();
+    records.sort_by_key(|&(i, _)| i);
+    records.into_iter().map(|(_, l)| l).collect()
+}
+
+/// Ground truth: the same sweep run synchronously on a fresh in-process
+/// server that nothing kills.
+fn baseline_records(body: &Json) -> Vec<String> {
+    let dir = temp_dir("baseline-cache");
+    let engine = Arc::new(Engine::new().with_jobs(1).with_cache_dir(&dir));
+    let handle = api::serve(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 4,
+            max_inflight: 32,
+            ..ServerConfig::default()
+        },
+        engine,
+    )
+    .expect("bind baseline server");
+    let resp = Client::new(handle.addr().to_string())
+        .with_timeout(Duration::from_secs(120))
+        .post_json("/v1/sweeps", body)
+        .expect("baseline sweep");
+    assert_eq!(resp.status, 200, "baseline sweep succeeds");
+    let records = record_lines(&resp.body);
+    handle.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+    records
+}
+
+/// Spawns the real `serve` binary with stderr teed to `log`, then tails
+/// the log for the "listening" line to learn the ephemeral address.
+// The child is returned to the caller, which kills and waits on it.
+#[allow(clippy::zombie_processes)]
+fn spawn_serve(cache: &Path, journal: &Path, log: &Path, faults: Option<&str>) -> (Child, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_serve"));
+    cmd.args([
+        "--addr",
+        "127.0.0.1:0",
+        "--threads",
+        "4",
+        "--jobs",
+        "1",
+        "--cache-dir",
+        cache.to_str().unwrap(),
+        "--journal-dir",
+        journal.to_str().unwrap(),
+    ])
+    .stdout(Stdio::null())
+    .stderr(std::fs::File::create(log).expect("create serve log"));
+    match faults {
+        Some(plan) => cmd.env("HETEROPIPE_FAULTS", plan),
+        None => cmd.env_remove("HETEROPIPE_FAULTS"),
+    };
+    let mut child = cmd.spawn().expect("spawn serve binary");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(log) {
+            if let Some(line) = text.lines().find(|l| l.contains("\"msg\":\"listening\"")) {
+                let v = Json::parse(line).expect("listening log line parses");
+                let addr = v
+                    .get("addr")
+                    .and_then(Json::as_str)
+                    .expect("listening line carries addr");
+                return (child, addr.to_string());
+            }
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            panic!("serve did not report listening within 60s");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn poll_status(client: &mut Client, key: &str) -> Json {
+    let resp = client
+        .get(&format!("/v1/sweeps/{key}"))
+        .expect("status poll");
+    assert_eq!(resp.status, 200, "status poll answers");
+    Json::parse(std::str::from_utf8(&resp.body).expect("status is UTF-8"))
+        .expect("status body parses")
+}
+
+#[test]
+fn sigkill_mid_sweep_resumes_to_byte_identical_records() {
+    let body = sweep_body();
+    let total = 8u64;
+    let baseline = baseline_records(&body);
+    assert_eq!(baseline.len() as u64, total, "one record per job");
+
+    let cache = temp_dir("cache");
+    let journal_dir = temp_dir("journal");
+    let logs = temp_dir("logs");
+    std::fs::create_dir_all(&logs).expect("create log dir");
+
+    // First life: submit asynchronously, wait for partial progress, then
+    // pull the plug without ceremony.
+    let (mut child, addr) = spawn_serve(
+        &cache,
+        &journal_dir,
+        &logs.join("first.log"),
+        Some(SLOW_PLAN),
+    );
+    let mut client = Client::new(addr).with_timeout(Duration::from_secs(10));
+    let submitted = Instant::now();
+    let accepted = client
+        .post_json("/v1/sweeps?async=1", &body)
+        .expect("async submit");
+    let submit_latency = submitted.elapsed();
+    assert_eq!(accepted.status, 202, "async submit is accepted");
+    assert!(
+        submit_latency < Duration::from_millis(500),
+        "202 must not wait for execution (took {submit_latency:?} against 1.6s of work)"
+    );
+    let key = Json::parse(std::str::from_utf8(&accepted.body).unwrap())
+        .and_then(|v| v.get("key").and_then(Json::as_str).map(str::to_string))
+        .expect("202 body carries the sweep key");
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = poll_status(&mut client, &key);
+        let done = status
+            .get("records_done")
+            .and_then(Json::as_u64)
+            .expect("status carries records_done");
+        if done >= 2 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "sweep made no progress before the kill"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().expect("SIGKILL the serve process");
+    let _ = child.wait();
+
+    // The journal must hold the intent and a strict subset of records —
+    // the crash landed mid-sweep, before the seal.
+    let journaled = {
+        let j = Journal::open(&journal_dir).expect("reopen journal");
+        let replay = j
+            .replay(&key)
+            .expect("replay readable")
+            .expect("segment exists");
+        assert!(!replay.done, "kill landed before the seal");
+        assert!(!replay.records.is_empty(), "some records were journaled");
+        assert!(
+            (replay.records.len() as u64) < total,
+            "kill landed before completion ({} of {total} journaled)",
+            replay.records.len()
+        );
+        replay.records.len() as u64
+    };
+
+    // Second life: same directories, no faults. The resume driver must
+    // finish the job unprompted.
+    let (mut child, addr) = spawn_serve(&cache, &journal_dir, &logs.join("second.log"), None);
+    let mut client = Client::new(addr).with_timeout(Duration::from_secs(10));
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let status = poll_status(&mut client, &key);
+        let state = status
+            .get("state")
+            .and_then(Json::as_str)
+            .expect("status carries state");
+        assert_ne!(state, "failed", "resumed sweep must not fail: {status:?}");
+        if state == "done" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "resumed sweep did not finish");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Byte identity: the journaled records reconstruct exactly what the
+    // uninterrupted synchronous run streamed.
+    let records = client
+        .get(&format!("/v1/sweeps/{key}/records"))
+        .expect("records fetch");
+    assert_eq!(records.status, 200, "records fetch succeeds");
+    assert_eq!(
+        record_lines(&records.body),
+        baseline,
+        "resumed records are byte-identical to the uninterrupted run"
+    );
+
+    // The metrics of the second life prove the resume was incremental:
+    // the journaled prefix was replayed, only the missing tail was
+    // appended (plus the seal), one recovery was counted, and the engine
+    // executed fewer jobs than the sweep holds.
+    let resp = client.get("/metrics").expect("metrics fetch");
+    assert_eq!(resp.status, 200);
+    let m = Json::parse(std::str::from_utf8(&resp.body).unwrap()).expect("metrics parse");
+    let journal = m.get("journal").expect("journal metrics present");
+    let g = |k: &str| {
+        journal
+            .get(k)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("journal metrics carry {k}"))
+    };
+    assert!(g("recovered") >= 1, "the resume counts as a recovery");
+    assert!(
+        g("replayed") >= journaled,
+        "startup replay read the journaled prefix"
+    );
+    assert_eq!(
+        g("appended"),
+        total - journaled + 1,
+        "only the missing tail (plus the seal) was appended"
+    );
+    let executed = m
+        .get("engine")
+        .and_then(|e| e.get("jobs_executed"))
+        .and_then(Json::as_u64)
+        .expect("engine metrics carry jobs_executed");
+    assert!(
+        executed < total,
+        "resume re-executed only un-journaled jobs ({executed} of {total})"
+    );
+
+    child.kill().expect("stop resumed server");
+    let _ = child.wait();
+    for dir in [&cache, &journal_dir, &logs] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -14,7 +14,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use heteropipe_cluster::{serve_cluster, ClusterConfig};
+use heteropipe_cluster::{serve_cluster, serve_cluster_durable, ClusterConfig};
 use heteropipe_obs::log::{self as obs_log, Level};
 use heteropipe_serve::server::ServerConfig;
 use heteropipe_serve::shutdown;
@@ -25,6 +25,7 @@ struct Args {
     threads: Option<usize>,
     max_inflight: Option<usize>,
     timeout_ms: Option<u64>,
+    journal_dir: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -34,6 +35,7 @@ fn parse_args() -> Args {
         threads: None,
         max_inflight: None,
         timeout_ms: None,
+        journal_dir: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -57,8 +59,9 @@ fn parse_args() -> Args {
             "--timeout-ms" => {
                 out.timeout_ms = Some(value("--timeout-ms").parse().expect("--timeout-ms"));
             }
+            "--journal-dir" => out.journal_dir = Some(value("--journal-dir")),
             other => panic!(
-                "unknown flag {other} (expected --addr, --workers, --threads, --max-inflight, --timeout-ms)"
+                "unknown flag {other} (expected --addr, --workers, --threads, --max-inflight, --timeout-ms, --journal-dir)"
             ),
         }
     }
@@ -102,7 +105,19 @@ fn main() {
         cluster.timeout = Duration::from_millis(ms);
     }
 
-    let handle = serve_cluster(cfg, cluster).unwrap_or_else(|e| {
+    // `--journal-dir` makes the coordinator durable: async sweeps and
+    // workflows are journaled ahead of execution and interrupted ones
+    // resume on the next start.
+    let handle = match &args.journal_dir {
+        Some(dir) => {
+            let journal = heteropipe_engine::Journal::open(dir)
+                .unwrap_or_else(|e| panic!("could not open journal at {dir}: {e}"))
+                .with_faults(Arc::clone(&cluster.faults));
+            serve_cluster_durable(cfg, cluster, Arc::new(journal))
+        }
+        None => serve_cluster(cfg, cluster),
+    }
+    .unwrap_or_else(|e| {
         panic!("could not bind coordinator: {e}");
     });
     obs_log::info(
@@ -111,6 +126,7 @@ fn main() {
         &[
             ("addr", handle.addr().to_string().into()),
             ("workers", args.workers.join(",").into()),
+            ("durable", args.journal_dir.is_some().into()),
         ],
     );
 

@@ -16,26 +16,28 @@
 //! let `heteropipe-faults` inject partitions and slow workers at the
 //! exact seams real networks fail on.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
-use heteropipe_engine::{run_key, sweep_key, Engine, RunKey};
+use heteropipe_engine::{run_key, sweep_key, Engine, Journal, RunKey};
 use heteropipe_faults::{FaultKind, Injector, Site};
 use heteropipe_flow::{FlowRunner, Stage, StageKind, StageValue, TaskGraph};
 use heteropipe_obs::log as obs_log;
 use heteropipe_obs::{HistogramHandle, MetricRegistry};
 use heteropipe_serve::api::{
-    self, parse_body, parse_job_spec, stage_event_json, sweep_entries, wants_prometheus,
-    workflow_graph, workflow_result_json, workflow_summary_json, SpecError, MAX_SWEEP_JOBS,
-    MAX_WORKFLOW_STAGES,
+    self, parse_body, parse_job_spec, stage_event_json, sweep_entries, wants_async,
+    wants_prometheus, workflow_graph, workflow_result_json, workflow_summary_json, SpecError,
+    MAX_SWEEP_JOBS, MAX_WORKFLOW_STAGES,
 };
 use heteropipe_serve::breaker::{Admission, BreakerConfig, CircuitBreaker};
 use heteropipe_serve::error::envelope;
 use heteropipe_serve::http::{BodyStream, Request, Response};
+use heteropipe_serve::jobs::{self, AsyncJob, AsyncJobs, JobState};
 use heteropipe_serve::json::Json;
 use heteropipe_serve::server::{Handler, Server, ServerConfig, ServerHandle, ServerStats};
+use heteropipe_serve::tenant::{Admit, TenantGate};
 use heteropipe_serve::{Client, ClientPool, ClientResponse};
 
 use crate::flight::{FlightMap, FlightResult};
@@ -73,6 +75,59 @@ mod cprof {
 /// to place worker spans (see `crate::stitch`).
 fn trace_context(rid: &str, parent: &str, offset_us: u64) -> String {
     format!("trace={rid};parent={parent};offset_us={offset_us}")
+}
+
+/// Concurrent peer-cache probes per shard. The client pool keeps idle
+/// connections per host, so probing a shard's keys in parallel costs a
+/// few extra sockets and removes the serialized round-trip chain that
+/// docs/observability.md measured as the cluster's dominant overhead.
+const PROBE_CONCURRENCY: usize = 8;
+
+/// A request's absolute deadline, derived from its `X-Deadline-Ms`
+/// budget at admission. Copy so sweep shards and stage closures can
+/// carry it; each coordinator→worker hop re-derives the remaining
+/// budget and forwards it as the next hop's `X-Deadline-Ms`.
+#[derive(Clone, Copy)]
+pub(crate) struct Deadline(Option<Instant>);
+
+impl Deadline {
+    /// No deadline: every hop proceeds, no header forwarded.
+    fn none() -> Deadline {
+        Deadline(None)
+    }
+
+    /// The deadline a request's (already validated) header implies.
+    fn from_request(req: &Request) -> Deadline {
+        Deadline(
+            api::deadline_ms(req)
+                .ok()
+                .flatten()
+                .map(|ms| Instant::now() + Duration::from_millis(ms)),
+        )
+    }
+
+    /// Whether the budget is spent.
+    fn expired(&self) -> bool {
+        self.0.is_some_and(|dl| Instant::now() >= dl)
+    }
+
+    /// Milliseconds left to forward downstream: `Ok(None)` when no
+    /// deadline is set, `Err(())` when the budget is spent (a whole
+    /// remaining millisecond is required — forwarding `0` would only
+    /// make the worker refuse the call anyway).
+    fn remaining_ms(&self) -> Result<Option<u64>, ()> {
+        match self.0 {
+            None => Ok(None),
+            Some(dl) => {
+                let left = dl.saturating_duration_since(Instant::now()).as_millis() as u64;
+                if left == 0 {
+                    Err(())
+                } else {
+                    Ok(Some(left))
+                }
+            }
+        }
+    }
 }
 
 /// Coordinator tuning knobs.
@@ -132,15 +187,51 @@ pub struct Coordinator {
     stitch: StitchStore,
     stats: OnceLock<Arc<ServerStats>>,
     self_ref: OnceLock<Weak<Coordinator>>,
+    /// Write-ahead journal for async cluster sweeps/workflows, when the
+    /// coordinator was started durably (see [`serve_cluster_durable`]).
+    journal: OnceLock<Arc<Journal>>,
+    /// Live `?async=1` job registry (shared shape with serve's `Api`).
+    async_jobs: AsyncJobs,
+    /// Per-tenant admission gate (`HETEROPIPE_TENANTS`).
+    tenants: OnceLock<Arc<TenantGate>>,
+    /// Requests refused or aborted because their deadline budget ran out.
+    deadline_exceeded: AtomicU64,
 }
 
 /// Binds and starts a server running a [`Coordinator`] over `cluster`.
 pub fn serve_cluster(cfg: ServerConfig, cluster: ClusterConfig) -> std::io::Result<ServerHandle> {
+    serve_cluster_inner(cfg, cluster, None)
+}
+
+/// Like [`serve_cluster`], but with a write-ahead journal: async sweeps
+/// and workflows are journaled before execution, and any incomplete
+/// segments found on startup are resumed.
+pub fn serve_cluster_durable(
+    cfg: ServerConfig,
+    cluster: ClusterConfig,
+    journal: Arc<Journal>,
+) -> std::io::Result<ServerHandle> {
+    serve_cluster_inner(cfg, cluster, Some(journal))
+}
+
+fn serve_cluster_inner(
+    cfg: ServerConfig,
+    cluster: ClusterConfig,
+    journal: Option<Arc<Journal>>,
+) -> std::io::Result<ServerHandle> {
     let coordinator = Coordinator::new(cluster);
+    let tenants = TenantGate::from_env()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    coordinator.attach_tenants(Arc::new(tenants));
+    if let Some(journal) = journal {
+        coordinator.attach_journal(journal);
+    }
     let handler: Arc<dyn Handler> = Arc::clone(&coordinator) as Arc<dyn Handler>;
     let server = Server::bind(cfg, handler)?;
     coordinator.attach_stats(server.stats());
-    Ok(server.start())
+    let handle = server.start();
+    coordinator.resume_incomplete();
+    Ok(handle)
 }
 
 impl Coordinator {
@@ -175,10 +266,77 @@ impl Coordinator {
             stitch: StitchStore::new(STITCH_CAP),
             stats: OnceLock::new(),
             self_ref: OnceLock::new(),
+            journal: OnceLock::new(),
+            async_jobs: AsyncJobs::new(),
+            tenants: OnceLock::new(),
+            deadline_exceeded: AtomicU64::new(0),
         });
         let weak = Arc::downgrade(&coordinator);
         let _ = coordinator.self_ref.set(weak);
         coordinator
+    }
+
+    /// Wires in the write-ahead journal for async jobs. Called by
+    /// [`serve_cluster_durable`]; later calls are ignored.
+    pub fn attach_journal(&self, journal: Arc<Journal>) {
+        let _ = self.journal.set(journal);
+    }
+
+    /// Wires in the per-tenant admission gate. Called by
+    /// [`serve_cluster`]; later calls are ignored.
+    pub fn attach_tenants(&self, tenants: Arc<TenantGate>) {
+        let _ = self.tenants.set(tenants);
+    }
+
+    /// The attached journal, when this coordinator was started durably.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.get()
+    }
+
+    /// Request admission: per-tenant token buckets and the deadline
+    /// header, checked before routing. Observability routes stay exempt
+    /// so throttled tenants can still watch their own backlog drain.
+    fn admission(&self, req: &Request) -> Option<Response> {
+        let exempt = matches!(
+            req.path.as_str(),
+            "/healthz" | "/healthz/live" | "/healthz/ready" | "/metrics"
+        );
+        if exempt {
+            return None;
+        }
+        if let Some(gate) = self.tenants.get() {
+            if let Admit::Throttled {
+                tenant,
+                retry_after_s,
+            } = gate.admit(req.header("x-api-key"))
+            {
+                return Some(envelope(
+                    429,
+                    "tenant_throttled",
+                    &format!("tenant {tenant:?} is over its request budget"),
+                    Some(retry_after_s),
+                    &req.request_id,
+                ));
+            }
+        }
+        match api::deadline_ms(req) {
+            Err(e) => Some(fail(req, 400, "bad_request", &e)),
+            Ok(Some(0)) => Some(self.deadline_refusal(req)),
+            Ok(_) => None,
+        }
+    }
+
+    /// The 504 envelope for a request whose deadline budget is already
+    /// spent, counted for `/metrics`.
+    fn deadline_refusal(&self, req: &Request) -> Response {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        envelope(
+            504,
+            "deadline_exceeded",
+            "deadline budget exhausted before execution",
+            Some(1),
+            &req.request_id,
+        )
     }
 
     /// The worker addresses this coordinator shards over, in slot order.
@@ -259,19 +417,25 @@ impl Coordinator {
     /// Peer-cache probe: asks `slot` for a cached report. `Ok(Some(body))`
     /// is a hit, `Ok(None)` a miss; transport errors propagate so the
     /// caller can decide whether to mask the worker. `offset_us` is the
-    /// coordinator-side send offset carried in `X-Trace-Context`.
+    /// coordinator-side send offset carried in `X-Trace-Context`;
+    /// `budget` the remaining deadline to forward as `X-Deadline-Ms`.
     fn probe_peer(
         &self,
         slot: usize,
         hex: &str,
         rid: &str,
         offset_us: u64,
+        budget: Option<&str>,
     ) -> std::io::Result<Option<Vec<u8>>> {
         let path = format!("/v1/runs/{hex}");
         let tc = trace_context(rid, "peer_probe", offset_us);
+        let mut headers = vec![("X-Request-Id", rid), ("X-Trace-Context", tc.as_str())];
+        if let Some(ms) = budget {
+            headers.push(("X-Deadline-Ms", ms));
+        }
         let t0 = Instant::now();
         let resp = self.call_worker(slot, Site::ClusterProbe, |c| {
-            c.get_with_headers(&path, &[("X-Request-Id", rid), ("X-Trace-Context", &tc)])
+            c.get_with_headers(&path, &headers)
         });
         heteropipe_obs::profile::record(cprof::probe(), t0.elapsed().as_nanos() as u64);
         let resp = resp?;
@@ -333,6 +497,9 @@ fn valid_key(key: &str) -> bool {
 
 impl Handler for Coordinator {
     fn handle(&self, req: &Request) -> Response {
+        if let Some(refused) = self.admission(req) {
+            return refused;
+        }
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz" | "/healthz/live") => {
                 Response::json(200, &Json::Obj(vec![("status".into(), Json::str("ok"))]))
@@ -436,9 +603,10 @@ impl Coordinator {
             Err(e) => return spec_fail(req, &e),
         };
         let key = run_key(&job.spec());
-        let (result, coalesced) = self
-            .flights
-            .run(key.0, || self.lead_run(key, &req.body, &req.request_id));
+        let deadline = Deadline::from_request(req);
+        let (result, coalesced) = self.flights.run(key.0, || {
+            self.lead_run(key, &req.body, &req.request_id, deadline)
+        });
         if coalesced {
             self.flights_coalesced.fetch_add(1, Ordering::Relaxed);
         }
@@ -456,10 +624,26 @@ impl Coordinator {
     }
 
     /// The leader's side of a run flight: peer probe, then forward.
-    fn lead_run(&self, key: RunKey, raw: &[u8], rid: &str) -> FlightResult {
+    fn lead_run(&self, key: RunKey, raw: &[u8], rid: &str, deadline: Deadline) -> FlightResult {
         let hex = key.hex();
         let mut down = self.down_mask();
         loop {
+            let Ok(budget) = deadline.remaining_ms() else {
+                self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                let resp = envelope(
+                    504,
+                    "deadline_exceeded",
+                    "deadline budget exhausted mid-request",
+                    Some(1),
+                    rid,
+                );
+                return FlightResult {
+                    status: resp.status,
+                    body: resp.body,
+                    run_key: Some(hex),
+                };
+            };
+            let budget = budget.map(|ms| ms.to_string());
             let Some(slot) = self.ring.owner(key, &down) else {
                 let resp = no_workers(rid);
                 return FlightResult {
@@ -472,7 +656,7 @@ impl Coordinator {
             // the record — serve it without executing anywhere. A probe
             // transport error is not yet a verdict on the worker; the
             // forward below decides whether to rehash.
-            if let Ok(Some(report)) = self.probe_peer(slot, &hex, rid, 0) {
+            if let Ok(Some(report)) = self.probe_peer(slot, &hex, rid, 0, budget.as_deref()) {
                 return FlightResult {
                     status: 200,
                     body: report,
@@ -480,12 +664,12 @@ impl Coordinator {
                 };
             }
             let tc = trace_context(rid, "run_forward", 0);
+            let mut headers = vec![("X-Request-Id", rid), ("X-Trace-Context", tc.as_str())];
+            if let Some(ms) = budget.as_deref() {
+                headers.push(("X-Deadline-Ms", ms));
+            }
             let forwarded = self.call_worker(slot, Site::ClusterForward, |c| {
-                c.post_raw_with_headers(
-                    "/v1/runs",
-                    raw.to_vec(),
-                    &[("X-Request-Id", rid), ("X-Trace-Context", &tc)],
-                )
+                c.post_raw_with_headers("/v1/runs", raw.to_vec(), &headers)
             });
             match forwarded {
                 Ok(resp) => {
@@ -543,17 +727,26 @@ impl Coordinator {
     /// Forwards a GET for `path` to the worker owning `key`, walking down
     /// the rendezvous ranking as workers fail.
     fn proxy_to_owner(&self, req: &Request, key: RunKey, path: &str) -> Response {
+        let deadline = Deadline::from_request(req);
         let mut down = self.down_mask();
         loop {
+            let Ok(budget) = deadline.remaining_ms() else {
+                return self.deadline_refusal(req);
+            };
+            let budget = budget.map(|ms| ms.to_string());
             let Some(slot) = self.ring.owner(key, &down) else {
                 return no_workers(&req.request_id);
             };
             let tc = trace_context(&req.request_id, "proxy", 0);
+            let mut headers = vec![
+                ("X-Request-Id", req.request_id.as_str()),
+                ("X-Trace-Context", tc.as_str()),
+            ];
+            if let Some(ms) = budget.as_deref() {
+                headers.push(("X-Deadline-Ms", ms));
+            }
             let result = self.call_worker(slot, Site::ClusterForward, |c| {
-                c.get_with_headers(
-                    path,
-                    &[("X-Request-Id", &req.request_id), ("X-Trace-Context", &tc)],
-                )
+                c.get_with_headers(path, &headers)
             });
             match result {
                 Ok(resp) => return passthrough(&resp),
@@ -569,18 +762,26 @@ impl Coordinator {
     /// to shard on; they go to the first live slot (deterministic, and the
     /// worker's own caches keep repeats cheap).
     fn experiment(&self, req: &Request) -> Response {
+        let deadline = Deadline::from_request(req);
         let mut down = self.down_mask();
         loop {
+            let Ok(budget) = deadline.remaining_ms() else {
+                return self.deadline_refusal(req);
+            };
+            let budget = budget.map(|ms| ms.to_string());
             let Some(slot) = (0..self.ring.len()).find(|&s| !down[s]) else {
                 return no_workers(&req.request_id);
             };
             let tc = trace_context(&req.request_id, "experiment", 0);
+            let mut headers = vec![
+                ("X-Request-Id", req.request_id.as_str()),
+                ("X-Trace-Context", tc.as_str()),
+            ];
+            if let Some(ms) = budget.as_deref() {
+                headers.push(("X-Deadline-Ms", ms));
+            }
             let result = self.call_worker(slot, Site::ClusterForward, |c| {
-                c.post_raw_with_headers(
-                    &req.path,
-                    req.body.clone(),
-                    &[("X-Request-Id", &req.request_id), ("X-Trace-Context", &tc)],
-                )
+                c.post_raw_with_headers(&req.path, req.body.clone(), &headers)
             });
             match result {
                 Ok(resp) => return passthrough(&resp),
@@ -703,9 +904,13 @@ impl Coordinator {
                 ),
             );
         }
-        let outcome = match self.cluster_sweep(&entries, &req.request_id) {
+        if wants_async(req) {
+            return self.sweep_async(req, &entries);
+        }
+        let deadline = Deadline::from_request(req);
+        let outcome = match self.cluster_sweep(&entries, &req.request_id, deadline) {
             Ok(outcome) => outcome,
-            Err(e) => return spec_fail(req, &e),
+            Err(e) => return self.sweep_fail(req, &e),
         };
         self.sweeps.fetch_add(1, Ordering::Relaxed);
         self.sweep_jobs
@@ -721,6 +926,17 @@ impl Coordinator {
             .with_header("X-Sweep-Key", &sweep_hex)
     }
 
+    /// The envelope for a failed sweep: a deadline abort carries
+    /// `Retry-After` and counts toward the deadline metric; everything
+    /// else is the plain spec-error envelope.
+    fn sweep_fail(&self, req: &Request, e: &SpecError) -> Response {
+        if e.code == "deadline_exceeded" {
+            self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            return envelope(e.status, e.code, &e.message, Some(1), &req.request_id);
+        }
+        spec_fail(req, e)
+    }
+
     /// The sweep core shared by `POST /v1/sweeps` and inline workflow
     /// stages: dedup to unique keys, probe/execute per shard with
     /// rehash-on-failure, and reassemble global records.
@@ -728,6 +944,7 @@ impl Coordinator {
         &self,
         entries: &[Json],
         rid: &str,
+        deadline: Deadline,
     ) -> Result<ClusterSweep, SpecError> {
         let start = Instant::now();
         let mut owned = Vec::with_capacity(entries.len());
@@ -779,6 +996,19 @@ impl Coordinator {
         let (mut cache_hits, mut peer_hits, mut executed, mut coalesced) = (0u64, 0u64, 0u64, 0u64);
 
         while !pending.is_empty() {
+            // A spent deadline aborts the remaining shards: the caller
+            // answers 504 instead of placing work nobody is waiting for.
+            if deadline.expired() {
+                return Err(SpecError {
+                    status: 504,
+                    code: "deadline_exceeded",
+                    message: format!(
+                        "deadline budget exhausted with {} of {} unique jobs unresolved",
+                        pending.len(),
+                        unique.len()
+                    ),
+                });
+            }
             // Assign every pending unique key to its owner under the
             // current mask. Owners exist for all keys or none.
             let mut shards: HashMap<usize, Vec<usize>> = HashMap::new();
@@ -812,8 +1042,8 @@ impl Coordinator {
                             let unique = &unique;
                             let t0 = &start;
                             scope.spawn(move || {
-                                let outcome =
-                                    self.run_shard(slot, &uidxs, unique, entries, rid, t0);
+                                let outcome = self
+                                    .run_shard(slot, &uidxs, unique, entries, rid, t0, deadline);
                                 (slot, uidxs, outcome)
                             })
                         })
@@ -896,9 +1126,11 @@ impl Coordinator {
         })
     }
 
-    /// One shard's share of a sweep: probe the peer cache per key, then
-    /// POST the misses as a worker-local sweep and split its records.
-    /// Any transport error fails the whole shard (the caller rehashes).
+    /// One shard's share of a sweep: probe the peer cache per key — up to
+    /// [`PROBE_CONCURRENCY`] probes in flight at once — then POST the
+    /// misses as a worker-local sweep and split its records. Any
+    /// transport error fails the whole shard (the caller rehashes).
+    #[allow(clippy::too_many_arguments)]
     fn run_shard(
         &self,
         slot: usize,
@@ -907,6 +1139,7 @@ impl Coordinator {
         entries: &[Json],
         rid: &str,
         t0: &Instant,
+        deadline: Deadline,
     ) -> std::io::Result<ShardOutcome> {
         let tid = 1 + slot as u32;
         let mut outcome = ShardOutcome {
@@ -918,18 +1151,52 @@ impl Coordinator {
             spans: Vec::new(),
             stitch: None,
         };
+        // Probe the shard's keys concurrently. Serialized probes chained
+        // one worker round-trip per key onto the critical path — the
+        // dominant coordinator overhead on cache-warm sweeps (see
+        // docs/observability.md §7); the pool opens one connection per
+        // in-flight probe and keeps them for the next shard.
+        type Probed = (usize, f64, f64, std::io::Result<Option<Vec<u8>>>);
+        let probes: Vec<Probed> = {
+            let cursor = AtomicUsize::new(0);
+            let collected: Mutex<Vec<Probed>> = Mutex::new(Vec::with_capacity(uidxs.len()));
+            std::thread::scope(|scope| {
+                for _ in 0..PROBE_CONCURRENCY.min(uidxs.len()) {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&u) = uidxs.get(i) else { break };
+                        let hex = unique[u].0.hex();
+                        let probe_ts = t0.elapsed().as_micros() as f64;
+                        let probed = match deadline.remaining_ms() {
+                            Err(()) => Err(std::io::Error::new(
+                                std::io::ErrorKind::TimedOut,
+                                "deadline budget exhausted before peer probe",
+                            )),
+                            Ok(budget) => {
+                                let budget = budget.map(|ms| ms.to_string());
+                                self.probe_peer(slot, &hex, rid, probe_ts as u64, budget.as_deref())
+                            }
+                        };
+                        let dur = t0.elapsed().as_micros() as f64 - probe_ts;
+                        collected.lock().unwrap().push((i, probe_ts, dur, probed));
+                    });
+                }
+            });
+            let mut v = collected.into_inner().unwrap();
+            v.sort_by_key(|p| p.0);
+            v
+        };
         let mut misses = Vec::new();
-        for &u in uidxs {
-            let hex = unique[u].0.hex();
-            let probe_ts = t0.elapsed().as_micros() as f64;
-            let probed = self.probe_peer(slot, &hex, rid, probe_ts as u64)?;
+        for (i, probe_ts, dur, probed) in probes {
+            let u = uidxs[i];
+            let probed = probed?;
             outcome.spans.push(CoordSpan {
                 name: "peer_probe".into(),
                 tid,
                 ts_us: probe_ts,
-                dur_us: t0.elapsed().as_micros() as f64 - probe_ts,
+                dur_us: dur,
                 args: vec![
-                    ("run_key".into(), hex),
+                    ("run_key".into(), unique[u].0.hex()),
                     ("hit".into(), probed.is_some().to_string()),
                 ],
             });
@@ -967,13 +1234,20 @@ impl Coordinator {
         let body = format!("{{\"jobs\":[{}]}}", jobs.join(","));
         let fwd_ts = t0.elapsed().as_micros() as f64;
         let tc = trace_context(rid, "forward_sweep", fwd_ts as u64);
+        let budget = deadline.remaining_ms().map_err(|()| {
+            std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "deadline budget exhausted before shard forward",
+            )
+        })?;
+        let budget = budget.map(|ms| ms.to_string());
+        let mut headers = vec![("X-Request-Id", rid), ("X-Trace-Context", tc.as_str())];
+        if let Some(ms) = budget.as_deref() {
+            headers.push(("X-Deadline-Ms", ms));
+        }
         let fwd_t0 = Instant::now();
         let resp = self.call_worker(slot, Site::ClusterForward, |c| {
-            c.post_raw_with_headers(
-                "/v1/sweeps",
-                body.into_bytes(),
-                &[("X-Request-Id", rid), ("X-Trace-Context", &tc)],
-            )
+            c.post_raw_with_headers("/v1/sweeps", body.into_bytes(), &headers)
         });
         heteropipe_obs::profile::record(cprof::forward(), fwd_t0.elapsed().as_nanos() as u64);
         let resp = resp?;
@@ -1068,11 +1342,97 @@ impl Coordinator {
                 }
                 self.sweep_trace(req, key)
             }
+            Some("records") => {
+                if req.method != "GET" {
+                    return method_not_allowed(req, "GET");
+                }
+                self.sweep_records(req, key)
+            }
+            None => {
+                if req.method != "GET" {
+                    return method_not_allowed(req, "GET");
+                }
+                self.sweep_status(req, key)
+            }
             _ => fail(
                 req,
                 404,
                 "not_found",
-                "no such sweep sub-resource (try /trace)",
+                "no such sweep sub-resource (try /trace or /records)",
+            ),
+        }
+    }
+
+    /// `GET /v1/sweeps/{key}`: the status of an async cluster sweep —
+    /// from the live registry when this coordinator is (or was) driving
+    /// it, otherwise reconstructed from the on-disk journal.
+    fn sweep_status(&self, req: &Request, key: &str) -> Response {
+        let key = key.to_ascii_lowercase();
+        if let Some(job) = self.async_jobs.get(&key) {
+            return Response::json(200, &jobs::status_json(&key, &job))
+                .with_header("X-Sweep-Key", &key);
+        }
+        if let Some(journal) = self.journal.get() {
+            if let Ok(Some(replay)) = journal.replay(&key) {
+                if let Some(body) = api::journal_status_json(&key, "sweep", &replay) {
+                    return Response::json(200, &body).with_header("X-Sweep-Key", &key);
+                }
+            }
+        }
+        fail(
+            req,
+            404,
+            "not_found",
+            "no such async sweep (submit one with POST /v1/sweeps?async=1)",
+        )
+    }
+
+    /// `GET /v1/sweeps/{key}/records?from_index=N`: the journaled NDJSON
+    /// records of an async cluster sweep, index-ordered from
+    /// `from_index`, with no summary line — the same contract as the
+    /// single-node route (see `docs/api.md`).
+    fn sweep_records(&self, req: &Request, key: &str) -> Response {
+        let key = key.to_ascii_lowercase();
+        let from = match api::from_index(req) {
+            Ok(from) => from,
+            Err(why) => return fail(req, 400, "bad_request", &why),
+        };
+        let Some(journal) = self.journal.get() else {
+            return fail(
+                req,
+                404,
+                "not_found",
+                "this coordinator has no journal (async records live on durable coordinators)",
+            );
+        };
+        match journal.replay(&key) {
+            Ok(Some(replay)) => {
+                let mut records = replay.records;
+                records.sort_by_key(|&(i, _)| i);
+                let mut body = String::new();
+                for (index, line) in &records {
+                    if *index >= from {
+                        body.push_str(line);
+                        body.push('\n');
+                    }
+                }
+                Response {
+                    status: 200,
+                    headers: vec![("Content-Type".into(), "application/x-ndjson".into())],
+                    body: body.into_bytes(),
+                    chunked: false,
+                    stream: None,
+                }
+                .with_header("X-Sweep-Key", &key)
+                .with_header("X-Job-State", if replay.done { "done" } else { "pending" })
+            }
+            Ok(None) => fail(req, 404, "not_found", "no journaled records for that key"),
+            Err(e) => envelope(
+                503,
+                "journal_unavailable",
+                &format!("journal replay failed: {e}"),
+                Some(1),
+                &req.request_id,
             ),
         }
     }
@@ -1084,17 +1444,23 @@ impl Coordinator {
     /// sweep's hot path pays nothing for stitching.
     fn sweep_trace(&self, req: &Request, key: &str) -> Response {
         let rid = &req.request_id;
+        let deadline = Deadline::from_request(req);
         let rendered = self.stitch.with(&key.to_ascii_lowercase(), |plan| {
             stitch::render(plan, |shard| {
                 let wskey = shard.worker_sweep_key.as_deref()?;
+                // A spent budget degrades the stitch to coordinator-only
+                // lanes instead of chasing worker traces past it.
+                let budget = deadline.remaining_ms().ok()?;
+                let budget = budget.map(|ms| ms.to_string());
                 let path = format!("/v1/sweeps/{wskey}/trace");
                 let tc = trace_context(rid, "stitch_fetch", 0);
+                let mut headers = vec![("X-Request-Id", rid.as_str()), ("X-Trace-Context", &tc)];
+                if let Some(ms) = budget.as_deref() {
+                    headers.push(("X-Deadline-Ms", ms));
+                }
                 let resp = self
                     .call_worker(shard.slot, Site::ClusterForward, |c| {
-                        c.get_with_headers(
-                            &path,
-                            &[("X-Request-Id", rid), ("X-Trace-Context", &tc)],
-                        )
+                        c.get_with_headers(&path, &headers)
                     })
                     .ok()?;
                 if resp.status != 200 {
@@ -1121,6 +1487,446 @@ impl Coordinator {
     }
 }
 
+// ---- async jobs -----------------------------------------------------------
+
+impl Coordinator {
+    /// `POST /v1/sweeps?async=1`: journals the sweep's intent and answers
+    /// `202 Accepted` with the key to poll; a background thread fans the
+    /// batch out across the cluster and journals the merged records.
+    /// Resubmission while running (or after completion) is idempotent.
+    fn sweep_async(&self, req: &Request, entries: &[Json]) -> Response {
+        let Some(journal) = self.journal.get() else {
+            return envelope(
+                503,
+                "async_unavailable",
+                "async sweeps need a write-ahead journal; start the coordinator with one (coordinator --journal-dir)",
+                None,
+                &req.request_id,
+            );
+        };
+        let mut keys = Vec::with_capacity(entries.len());
+        for (i, entry) in entries.iter().enumerate() {
+            match parse_job_spec(entry) {
+                Ok(job) => keys.push(run_key(&job.spec())),
+                Err(e) => return fail(req, e.status, e.code, &format!("jobs[{i}]: {}", e.message)),
+            }
+        }
+        let sweep_hex = sweep_key(&keys).hex();
+        let total = entries.len() as u64;
+        // A sealed segment from an earlier run means the job is already
+        // complete: adopt it instead of re-executing.
+        let sealed = matches!(journal.replay(&sweep_hex), Ok(Some(r)) if r.done);
+        let state = if sealed {
+            JobState::Done
+        } else {
+            JobState::Running
+        };
+        let done = if sealed { total } else { 0 };
+        let (job, fresh) = self
+            .async_jobs
+            .register(&sweep_hex, "sweep", total, state, done);
+        if !fresh || sealed {
+            return Response::json(202, &jobs::status_json(&sweep_hex, &job))
+                .with_header("X-Sweep-Key", &sweep_hex);
+        }
+        // Write-ahead: the full expanded job list hits the journal before
+        // any shard is contacted, so a coordinator crash at any later
+        // point is resumable.
+        if let Err(e) = journal.begin(&sweep_hex, &jobs::sweep_intent(entries)) {
+            job.fail(format!("journal intent write failed: {e}"));
+            return envelope(
+                503,
+                "journal_unavailable",
+                &format!("could not journal sweep intent: {e}"),
+                Some(1),
+                &req.request_id,
+            );
+        }
+        self.spawn_sweep_driver(
+            job,
+            entries.to_vec(),
+            sweep_hex.clone(),
+            req.request_id.clone(),
+            HashSet::new(),
+            false,
+        );
+        Response::json(
+            202,
+            &jobs::accepted_json(
+                &sweep_hex,
+                "sweep",
+                &format!("/v1/sweeps/{sweep_hex}"),
+                total,
+            ),
+        )
+        .with_header("X-Sweep-Key", &sweep_hex)
+    }
+
+    /// Spawns the background thread driving an async cluster sweep.
+    /// `already` holds record indexes a previous process journaled
+    /// (resume skips re-appending them — worker caches make re-resolution
+    /// nearly free); `recovered` marks a crash-resume for the
+    /// `heteropipe_journal_recovered_total` counter.
+    fn spawn_sweep_driver(
+        &self,
+        job: Arc<AsyncJob>,
+        entries: Vec<Json>,
+        key_hex: String,
+        request_id: String,
+        already: HashSet<u64>,
+        recovered: bool,
+    ) {
+        let this = self
+            .self_ref
+            .get()
+            .cloned()
+            .expect("self reference set in new()");
+        std::thread::spawn(move || {
+            if let Some(c) = this.upgrade() {
+                c.drive_sweep(&job, &entries, &key_hex, &request_id, &already, recovered);
+            }
+        });
+    }
+
+    /// The background body of an async cluster sweep: resolve the batch
+    /// shard-wise, journal each merged record, then seal the segment. A
+    /// failed append is retried once after the batch; only records that
+    /// still cannot be journaled fail the job.
+    fn drive_sweep(
+        &self,
+        job: &Arc<AsyncJob>,
+        entries: &[Json],
+        key_hex: &str,
+        request_id: &str,
+        already: &HashSet<u64>,
+        recovered: bool,
+    ) {
+        let journal = self.journal.get().expect("driver spawned with journal");
+        let sweep = match self.cluster_sweep(entries, request_id, Deadline::none()) {
+            Ok(sweep) => sweep,
+            Err(e) => {
+                job.fail(format!("cluster sweep failed: {}", e.message));
+                return;
+            }
+        };
+        self.sweeps.fetch_add(1, Ordering::Relaxed);
+        self.sweep_jobs
+            .fetch_add(sweep.summary.jobs_total, Ordering::Relaxed);
+        let mut retry: Vec<(u64, &String, bool)> = Vec::new();
+        for (i, line) in sweep.lines.iter().enumerate() {
+            let index = i as u64;
+            if already.contains(&index) {
+                continue;
+            }
+            let errored = split_record(line).is_some_and(|(_, status, _)| status == "error");
+            match journal.append_record(key_hex, index, line) {
+                Ok(()) => job.record_done(errored),
+                Err(e) => {
+                    obs_log::warn(
+                        "cluster",
+                        "journal append failed; retrying after the batch",
+                        &[
+                            ("key", key_hex.to_string().into()),
+                            ("index", index.into()),
+                            ("error", e.to_string().into()),
+                        ],
+                    );
+                    retry.push((index, line, errored));
+                }
+            }
+        }
+        let mut lost = 0u64;
+        for (index, line, errored) in retry {
+            match journal.append_record(key_hex, index, line) {
+                Ok(()) => job.record_done(errored),
+                Err(e) => {
+                    lost += 1;
+                    obs_log::error(
+                        "cluster",
+                        "journal append failed permanently",
+                        &[
+                            ("key", key_hex.to_string().into()),
+                            ("index", index.into()),
+                            ("error", e.to_string().into()),
+                        ],
+                    );
+                }
+            }
+        }
+        if lost > 0 {
+            job.fail(format!("{lost} record(s) could not be journaled"));
+            return;
+        }
+        match journal.finish(key_hex, job.total) {
+            Ok(()) => {
+                if recovered {
+                    journal.mark_recovered();
+                }
+                job.set_state(JobState::Done);
+            }
+            Err(e) => job.fail(format!("journal seal failed: {e}")),
+        }
+    }
+
+    /// `POST /v1/workflows?async=1` (inline graphs): journals the body as
+    /// intent, answers 202, and drives the graph on a background thread —
+    /// one record per stage event plus a final record with the full
+    /// result. Named built-in graphs never reach here: they are proxied
+    /// whole (query included) to the owning worker's journal.
+    fn workflow_async(
+        &self,
+        req: &Request,
+        body: &Json,
+        graph: TaskGraph,
+        wkey: String,
+    ) -> Response {
+        let Some(journal) = self.journal.get() else {
+            return envelope(
+                503,
+                "async_unavailable",
+                "async workflows need a write-ahead journal; start the coordinator with one (coordinator --journal-dir)",
+                None,
+                &req.request_id,
+            );
+        };
+        let total = graph.len() as u64 + 1;
+        let sealed = matches!(journal.replay(&wkey), Ok(Some(r)) if r.done);
+        let state = if sealed {
+            JobState::Done
+        } else {
+            JobState::Running
+        };
+        let done = if sealed { total } else { 0 };
+        let (job, fresh) = self
+            .async_jobs
+            .register(&wkey, "workflow", total, state, done);
+        if !fresh || sealed {
+            return Response::json(202, &jobs::status_json(&wkey, &job))
+                .with_header("X-Workflow-Key", &wkey);
+        }
+        if let Err(e) = journal.begin(&wkey, &jobs::workflow_intent(body)) {
+            job.fail(format!("journal intent write failed: {e}"));
+            return envelope(
+                503,
+                "journal_unavailable",
+                &format!("could not journal workflow intent: {e}"),
+                Some(1),
+                &req.request_id,
+            );
+        }
+        self.spawn_workflow_driver(
+            job,
+            graph,
+            wkey.clone(),
+            req.request_id.clone(),
+            HashSet::new(),
+            false,
+        );
+        Response::json(
+            202,
+            &jobs::accepted_json(&wkey, "workflow", &format!("/v1/workflows/{wkey}"), total),
+        )
+        .with_header("X-Workflow-Key", &wkey)
+    }
+
+    /// Spawns the background thread driving an async inline workflow (see
+    /// [`Coordinator::spawn_sweep_driver`] for the `already`/`recovered`
+    /// contract).
+    fn spawn_workflow_driver(
+        &self,
+        job: Arc<AsyncJob>,
+        graph: TaskGraph,
+        key_hex: String,
+        request_id: String,
+        already: HashSet<u64>,
+        recovered: bool,
+    ) {
+        let this = self
+            .self_ref
+            .get()
+            .cloned()
+            .expect("self reference set in new()");
+        std::thread::spawn(move || {
+            if let Some(c) = this.upgrade() {
+                c.drive_workflow(&job, &graph, &key_hex, &request_id, &already, recovered);
+            }
+        });
+    }
+
+    /// The background body of an async inline workflow: run the graph
+    /// (stages fan sweeps out across the cluster), journaling one record
+    /// per stage event and a final record holding the full result JSON —
+    /// the shape `GET /v1/workflows/{key}` serves.
+    fn drive_workflow(
+        &self,
+        job: &Arc<AsyncJob>,
+        graph: &TaskGraph,
+        key_hex: &str,
+        request_id: &str,
+        already: &HashSet<u64>,
+        recovered: bool,
+    ) {
+        let journal = self.journal.get().expect("driver spawned with journal");
+        let rid = (!request_id.is_empty()).then_some(request_id);
+        let counter = AtomicU64::new(0);
+        let result = self.flow.run_observed(graph, rid, &|ev| {
+            let index = counter.fetch_add(1, Ordering::Relaxed);
+            if already.contains(&index) {
+                return;
+            }
+            let line = stage_event_json(ev).dump();
+            let errored = ev.error.is_some();
+            match journal.append_record(key_hex, index, &line) {
+                Ok(()) => job.record_done(errored),
+                Err(e) => obs_log::warn(
+                    "cluster",
+                    "journal append failed for workflow stage event",
+                    &[
+                        ("key", key_hex.to_string().into()),
+                        ("index", index.into()),
+                        ("error", e.to_string().into()),
+                    ],
+                ),
+            }
+        });
+        match result {
+            Ok(result) => {
+                let final_index = job.total.saturating_sub(1);
+                if !already.contains(&final_index) {
+                    let line = workflow_result_json(&result).dump();
+                    if let Err(e) = journal.append_record(key_hex, final_index, &line) {
+                        job.fail(format!("journal append failed for workflow result: {e}"));
+                        return;
+                    }
+                    job.record_done(false);
+                }
+                match journal.finish(key_hex, job.total) {
+                    Ok(()) => {
+                        if recovered {
+                            journal.mark_recovered();
+                        }
+                        job.set_state(JobState::Done);
+                    }
+                    Err(e) => job.fail(format!("journal seal failed: {e}")),
+                }
+            }
+            Err(e) => job.fail(format!("workflow failed: {e}")),
+        }
+    }
+
+    /// Replays the journal at startup: every segment with an intent but
+    /// no seal is re-registered and driven to completion on background
+    /// threads. Worker caches turn already-resolved jobs into peer hits,
+    /// so only the missing tail actually re-executes and the journaled
+    /// records end up identical to an uninterrupted run's.
+    pub fn resume_incomplete(&self) {
+        let Some(journal) = self.journal.get() else {
+            return;
+        };
+        for key in journal.incomplete() {
+            let Ok(Some(replay)) = journal.replay(&key) else {
+                continue;
+            };
+            let Some((kind, payload)) = jobs::parse_intent(&replay.intent) else {
+                obs_log::warn(
+                    "cluster",
+                    "journaled intent is unreadable; segment left unresumed",
+                    &[("key", key.clone().into())],
+                );
+                continue;
+            };
+            match kind.as_str() {
+                "sweep" => self.resume_sweep(&key, &payload, &replay),
+                "workflow" => self.resume_workflow(&key, &payload, &replay),
+                _ => {}
+            }
+        }
+    }
+
+    fn resume_sweep(&self, key: &str, payload: &Json, replay: &heteropipe_engine::Replay) {
+        let entries = payload.as_array().map(<[Json]>::to_vec).unwrap_or_default();
+        for (i, entry) in entries.iter().enumerate() {
+            if let Err(e) = parse_job_spec(entry) {
+                let (job, _) = self.async_jobs.register(
+                    key,
+                    "sweep",
+                    entries.len() as u64,
+                    JobState::Failed,
+                    0,
+                );
+                job.fail(format!(
+                    "journaled intent no longer parses: jobs[{i}]: {}",
+                    e.message
+                ));
+                return;
+            }
+        }
+        let already = replay.indexes();
+        let (job, fresh) = self.async_jobs.register(
+            key,
+            "sweep",
+            entries.len() as u64,
+            JobState::Running,
+            already.len() as u64,
+        );
+        if !fresh {
+            return;
+        }
+        obs_log::info(
+            "cluster",
+            "resuming interrupted async sweep from journal",
+            &[
+                ("key", key.to_string().into()),
+                ("jobs_total", (entries.len() as u64).into()),
+                ("records_journaled", (already.len() as u64).into()),
+            ],
+        );
+        self.spawn_sweep_driver(
+            job,
+            entries,
+            key.to_string(),
+            format!("resume-{key}"),
+            already,
+            true,
+        );
+    }
+
+    fn resume_workflow(&self, key: &str, payload: &Json, replay: &heteropipe_engine::Replay) {
+        let rid = format!("resume-{key}");
+        let graph = match self.cluster_graph(payload, &rid, Deadline::none()) {
+            Ok(graph) => graph,
+            Err(e) => {
+                let (job, _) = self
+                    .async_jobs
+                    .register(key, "workflow", 0, JobState::Failed, 0);
+                job.fail(format!("journaled intent no longer parses: {}", e.message));
+                return;
+            }
+        };
+        let total = graph.len() as u64 + 1;
+        let already = replay.indexes();
+        let (job, fresh) = self.async_jobs.register(
+            key,
+            "workflow",
+            total,
+            JobState::Running,
+            already.len() as u64,
+        );
+        if !fresh {
+            return;
+        }
+        obs_log::info(
+            "cluster",
+            "resuming interrupted async workflow from journal",
+            &[
+                ("key", key.to_string().into()),
+                ("records_journaled", (already.len() as u64).into()),
+            ],
+        );
+        self.spawn_workflow_driver(job, graph, key.to_string(), rid, already, true);
+    }
+}
+
 // ---- workflows ------------------------------------------------------------
 
 impl Coordinator {
@@ -1143,9 +1949,20 @@ impl Coordinator {
                 Ok(key) => key,
                 Err(e) => return fail(req, 400, "bad_request", &format!("invalid workflow: {e}")),
             };
+            // Proxied verbatim, query included: `?async=1` journals on
+            // the owning worker, whose journal is where lookups for this
+            // key land anyway.
             return self.proxy_workflow(req, wkey);
         }
-        let graph = match self.cluster_graph(&body, &req.request_id) {
+        // An async graph runs in the background with no deadline (the 202
+        // returns immediately); a sync graph inherits the request budget,
+        // checked between DAG levels and forwarded with each stage sweep.
+        let deadline = if wants_async(req) {
+            Deadline::none()
+        } else {
+            Deadline::from_request(req)
+        };
+        let graph = match self.cluster_graph(&body, &req.request_id, deadline) {
             Ok(graph) => graph,
             Err(e) => return spec_fail(req, &e),
         };
@@ -1153,15 +1970,23 @@ impl Coordinator {
             Ok(key) => key.hex(),
             Err(e) => return fail(req, 400, "bad_request", &format!("invalid workflow: {e}")),
         };
+        if wants_async(req) {
+            return self.workflow_async(req, &body, graph, wkey);
+        }
         let flow = Arc::clone(&self.flow);
         let request_id = req.request_id.clone();
         let stream = BodyStream::new(move |sink| {
             let out = Mutex::new(sink);
             let rid = (!request_id.is_empty()).then_some(request_id.as_str());
-            let result = flow.run_observed(&graph, rid, &|ev| {
-                let line = format!("{}\n", stage_event_json(ev).dump());
-                let _ = out.lock().unwrap().send(line.as_bytes());
-            });
+            let result = flow.run_observed_deadline(
+                &graph,
+                rid,
+                &|ev| {
+                    let line = format!("{}\n", stage_event_json(ev).dump());
+                    let _ = out.lock().unwrap().send(line.as_bytes());
+                },
+                deadline.0,
+            );
             let result = result.expect("graph validated before streaming");
             let line = format!("{}\n", workflow_summary_json(&result).dump());
             let sent = out.lock().unwrap().send(line.as_bytes());
@@ -1174,18 +1999,32 @@ impl Coordinator {
     /// Proxies a whole built-in workflow request to the owner of its
     /// workflow key, rehashing on failure.
     fn proxy_workflow(&self, req: &Request, wkey: RunKey) -> Response {
+        let deadline = Deadline::from_request(req);
+        // Forward the query string too, so `?async=1` survives the hop.
+        let path = if req.query.is_empty() {
+            "/v1/workflows".to_string()
+        } else {
+            format!("/v1/workflows?{}", req.query)
+        };
         let mut down = self.down_mask();
         loop {
+            let Ok(budget) = deadline.remaining_ms() else {
+                return self.deadline_refusal(req);
+            };
+            let budget = budget.map(|ms| ms.to_string());
             let Some(slot) = self.ring.owner(wkey, &down) else {
                 return no_workers(&req.request_id);
             };
             let tc = trace_context(&req.request_id, "workflow_forward", 0);
+            let mut headers = vec![
+                ("X-Request-Id", req.request_id.as_str()),
+                ("X-Trace-Context", tc.as_str()),
+            ];
+            if let Some(ms) = budget.as_deref() {
+                headers.push(("X-Deadline-Ms", ms));
+            }
             let result = self.call_worker(slot, Site::ClusterForward, |c| {
-                c.post_raw_with_headers(
-                    "/v1/workflows",
-                    req.body.clone(),
-                    &[("X-Request-Id", &req.request_id), ("X-Trace-Context", &tc)],
-                )
+                c.post_raw_with_headers(&path, req.body.clone(), &headers)
             });
             match result {
                 Ok(resp) => {
@@ -1216,7 +2055,12 @@ impl Coordinator {
     /// Stage keys derive from the same `jobs=<sweep key>` input string as
     /// the single-node inline graph, so workflow keys (and journal
     /// lookups) agree across deployment shapes.
-    fn cluster_graph(&self, body: &Json, rid: &str) -> Result<TaskGraph, SpecError> {
+    fn cluster_graph(
+        &self,
+        body: &Json,
+        rid: &str,
+        deadline: Deadline,
+    ) -> Result<TaskGraph, SpecError> {
         let Some(stages) = body.get("stages") else {
             return Err(SpecError {
                 status: 400,
@@ -1249,7 +2093,7 @@ impl Coordinator {
                 return Err(bad_spec(format!("stages[{i}] must be an object")));
             };
             let built = self
-                .cluster_stage(stage, &mut total_jobs, rid)
+                .cluster_stage(stage, &mut total_jobs, rid, deadline)
                 .map_err(|e| SpecError {
                     status: e.status,
                     code: e.code,
@@ -1271,6 +2115,7 @@ impl Coordinator {
         stage: &Json,
         total_jobs: &mut usize,
         rid: &str,
+        deadline: Deadline,
     ) -> Result<Stage, SpecError> {
         let Some(name) = stage.get("name").and_then(Json::as_str) else {
             return Err(bad_spec("missing field: name"));
@@ -1326,7 +2171,7 @@ impl Coordinator {
                 return Err("coordinator shut down".to_string());
             };
             let sweep = coordinator
-                .cluster_sweep(&entries, &rid)
+                .cluster_sweep(&entries, &rid, deadline)
                 .map_err(|e| e.message)?;
             if sweep.summary.failed > 0 {
                 return Err(format!(
@@ -1365,6 +2210,36 @@ impl Coordinator {
             return Response::json(200, &workflow_result_json(&result))
                 .with_header("X-Workflow-Key", &result.key_hex)
                 .into_chunked();
+        }
+        // An async inline workflow this coordinator is (or was) driving
+        // answers its live status...
+        if let Some(job) = self.async_jobs.get(&lower) {
+            if job.state() != JobState::Done {
+                return Response::json(200, &jobs::status_json(&lower, &job))
+                    .with_header("X-Workflow-Key", &lower);
+            }
+        }
+        // ...and a sealed segment from a previous coordinator process
+        // answers from disk: its final record is the full result JSON.
+        if let Some(journal) = self.journal.get() {
+            if let Ok(Some(replay)) = journal.replay(&lower) {
+                if replay.done {
+                    if let Some(result) = replay
+                        .records
+                        .iter()
+                        .max_by_key(|&&(i, _)| i)
+                        .and_then(|(_, line)| Json::parse(line))
+                        .filter(|v| v.get("workflow").is_some())
+                    {
+                        return Response::json(200, &result)
+                            .with_header("X-Workflow-Key", &lower)
+                            .into_chunked();
+                    }
+                }
+                if let Some(body) = api::journal_status_json(&lower, "workflow", &replay) {
+                    return Response::json(200, &body).with_header("X-Workflow-Key", &lower);
+                }
+            }
         }
         let parsed = RunKey::from_hex(&lower).expect("validated above");
         self.proxy_to_owner(req, parsed, &format!("/v1/workflows/{lower}"))
@@ -1480,6 +2355,39 @@ impl Coordinator {
             ),
             ("faults_fired".into(), Json::U64(self.faults.total_fired())),
         ]);
+        let journal = match self.journal.get() {
+            Some(j) => {
+                let s = j.stats();
+                Json::Obj(vec![
+                    ("appended".into(), Json::U64(s.appended)),
+                    ("replayed".into(), Json::U64(s.replayed)),
+                    ("recovered".into(), Json::U64(s.recovered)),
+                    ("tmp_swept".into(), Json::U64(s.tmp_swept)),
+                    (
+                        "segments_quarantined".into(),
+                        Json::U64(s.segments_quarantined),
+                    ),
+                    ("torn_truncated".into(), Json::U64(s.torn_truncated)),
+                    ("async_jobs".into(), Json::U64(self.async_jobs.len() as u64)),
+                ])
+            }
+            None => Json::Null,
+        };
+        let tenants = match self.tenants.get() {
+            Some(gate) => Json::Arr(
+                gate.counts()
+                    .into_iter()
+                    .map(|c| {
+                        Json::Obj(vec![
+                            ("tenant".into(), Json::str(c.tenant)),
+                            ("requests".into(), Json::U64(c.requests)),
+                            ("throttled".into(), Json::U64(c.throttled)),
+                        ])
+                    })
+                    .collect(),
+            ),
+            None => Json::Arr(Vec::new()),
+        };
         let server = match self.stats.get() {
             Some(s) => {
                 let lat = s.latency_us.lock().unwrap();
@@ -1530,6 +2438,12 @@ impl Coordinator {
             200,
             &Json::Obj(vec![
                 ("cluster".into(), cluster),
+                ("journal".into(), journal),
+                ("tenants".into(), tenants),
+                (
+                    "deadline_exceeded".into(),
+                    Json::U64(self.deadline_exceeded.load(Relaxed)),
+                ),
                 ("server".into(), server),
                 ("federation".into(), federation),
             ]),
@@ -1609,6 +2523,54 @@ impl Coordinator {
             "Entries submitted across all coordinator sweeps.",
             self.sweep_jobs.load(Relaxed),
         );
+        // Same names and help text as the single-node server's families,
+        // so worker-side counters arriving via federation merge into the
+        // identical family instead of being skipped.
+        if let Some(j) = self.journal.get() {
+            let s = j.stats();
+            set(
+                "heteropipe_journal_appended_total",
+                "Lines appended to the write-ahead journal (intent, record, and seal lines).",
+                s.appended,
+            );
+            set(
+                "heteropipe_journal_replayed_total",
+                "Record lines read back by journal replay.",
+                s.replayed,
+            );
+            set(
+                "heteropipe_journal_recovered_total",
+                "Interrupted async jobs resumed to completion after a restart.",
+                s.recovered,
+            );
+            set(
+                "heteropipe_journal_segments_quarantined_total",
+                "Corrupt journal segments moved to quarantine.",
+                s.segments_quarantined,
+            );
+        }
+        set(
+            "heteropipe_deadline_exceeded_total",
+            "Requests refused because their X-Deadline-Ms budget was exhausted.",
+            self.deadline_exceeded.load(Relaxed),
+        );
+        if let Some(gate) = self.tenants.get() {
+            for c in gate.counts() {
+                let labels: &[(&str, &str)] = &[("tenant", c.tenant.as_str())];
+                r.counter_with(
+                    "heteropipe_tenant_requests_total",
+                    "Requests admitted per tenant bucket.",
+                    labels,
+                )
+                .set(c.requests);
+                r.counter_with(
+                    "heteropipe_tenant_throttled_total",
+                    "Requests refused with a 429 per tenant bucket.",
+                    labels,
+                )
+                .set(c.throttled);
+            }
+        }
         for c in self.faults.counts() {
             r.counter_with(
                 "heteropipe_faults_injected_total",

@@ -487,3 +487,183 @@ fn request_id_propagates_into_worker_logs_and_stitched_trace() {
     let _ = std::fs::remove_dir_all(&dir_a);
     let _ = std::fs::remove_dir_all(&dir_b);
 }
+
+// ---- durability: coordinator crash-resume ------------------------------
+
+/// A worker whose every job execution stalls (timing only, never record
+/// bytes), so a cluster sweep stays in flight long enough to kill the
+/// coordinator mid-run.
+fn start_slow_worker(cache_dir: &std::path::Path, ms: u64) -> ServerHandle {
+    let plan = format!("seed=5;job.exec:err=hang:ms={ms}:p=1:max=1000");
+    let engine = Engine::new()
+        .with_jobs(1)
+        .with_cache_dir(cache_dir)
+        .with_faults(Arc::new(Injector::new(FaultPlan::parse(&plan).unwrap())));
+    api::serve(server_cfg(), Arc::new(engine)).expect("bind slow worker")
+}
+
+/// Spawns the real `coordinator` binary with stderr teed to `log`, then
+/// tails the log for the "listening" line to learn the ephemeral address.
+// The child is returned to the caller, which kills and waits on it.
+#[allow(clippy::zombie_processes)]
+fn spawn_coordinator(
+    workers: &[String],
+    journal: &std::path::Path,
+    log: &std::path::Path,
+) -> (std::process::Child, String) {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_coordinator"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            &workers.join(","),
+            "--journal-dir",
+            journal.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::fs::File::create(log).expect("create coordinator log"))
+        .env_remove("HETEROPIPE_FAULTS")
+        .env_remove("HETEROPIPE_TENANTS")
+        .spawn()
+        .expect("spawn coordinator binary");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(log) {
+            if let Some(line) = text.lines().find(|l| l.contains("\"msg\":\"listening\"")) {
+                let addr = Json::parse(line)
+                    .and_then(|v| v.get("addr").and_then(Json::as_str).map(str::to_string))
+                    .expect("listening line carries addr");
+                return (child, addr);
+            }
+        }
+        if std::time::Instant::now() >= deadline {
+            let _ = child.kill();
+            panic!("coordinator did not report listening within 60s");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
+/// SIGKILL the coordinator mid-sweep and prove the journal resumes the
+/// job to records byte-identical to a single node. The coordinator
+/// journals the merged stream only after the cluster sweep completes, so
+/// the kill (on wall clock, while the state is still `running`) leaves
+/// an intent with zero records — resume re-runs the sweep, and the
+/// workers' disk caches make the already-finished jobs cache hits.
+#[test]
+fn coordinator_sigkill_mid_sweep_resumes_to_byte_identical_records() {
+    let body = sweep_body();
+    let baseline = single_node_records(&body, "resume-baseline");
+
+    let (dir_a, dir_b) = (temp_dir("resume-a"), temp_dir("resume-b"));
+    // 300 ms per exec and serial workers: >= ceil(5/2) * 300 ms = 900 ms
+    // of wall clock minimum, so a kill at ~400 ms lands mid-sweep.
+    let (wa, wb) = (
+        start_slow_worker(&dir_a, 300),
+        start_slow_worker(&dir_b, 300),
+    );
+    let workers = vec![wa.addr().to_string(), wb.addr().to_string()];
+    let journal_dir = temp_dir("resume-journal");
+    let logs = temp_dir("resume-logs");
+    std::fs::create_dir_all(&logs).expect("create log dir");
+
+    // First life: accept the sweep, then pull the plug mid-run.
+    let (mut child, addr) = spawn_coordinator(&workers, &journal_dir, &logs.join("first.log"));
+    let mut client = Client::new(addr).with_timeout(std::time::Duration::from_secs(10));
+    let accepted = client
+        .post_json("/v1/sweeps?async=1", &body)
+        .expect("async submit");
+    assert_eq!(accepted.status, 202, "async submit is accepted");
+    let key = accepted
+        .json()
+        .and_then(|v| v.get("key").and_then(Json::as_str).map(str::to_string))
+        .expect("202 body carries the sweep key");
+
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let status = client
+        .get(&format!("/v1/sweeps/{key}"))
+        .expect("status poll");
+    assert_eq!(status.status, 200);
+    assert_eq!(
+        status.json().unwrap().get("state").and_then(Json::as_str),
+        Some("running"),
+        "kill must land while the sweep is in flight"
+    );
+    child.kill().expect("SIGKILL the coordinator");
+    let _ = child.wait();
+
+    // Coarse journaling: the intent survived the crash, no records did.
+    {
+        let j = heteropipe_engine::Journal::open(&journal_dir).expect("reopen journal");
+        let replay = j
+            .replay(&key)
+            .expect("replay readable")
+            .expect("segment exists");
+        assert!(!replay.done, "kill landed before the seal");
+        assert!(
+            replay.records.is_empty(),
+            "the coordinator journals merged records only after the sweep"
+        );
+        assert_eq!(j.incomplete(), vec![key.clone()]);
+    }
+
+    // Second life over the same journal: the resume driver re-runs the
+    // sweep unprompted; finished jobs are worker cache hits.
+    let (mut child, addr) = spawn_coordinator(&workers, &journal_dir, &logs.join("second.log"));
+    let mut client = Client::new(addr).with_timeout(std::time::Duration::from_secs(10));
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    loop {
+        let resp = client
+            .get(&format!("/v1/sweeps/{key}"))
+            .expect("status poll");
+        assert_eq!(resp.status, 200, "resumed coordinator knows the sweep");
+        let v = resp.json().unwrap();
+        match v.get("state").and_then(Json::as_str) {
+            Some("done") => break,
+            Some("failed") => panic!("resumed sweep failed: {v:?}"),
+            _ => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "resumed sweep did not finish"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        }
+    }
+
+    let records = client
+        .get(&format!("/v1/sweeps/{key}/records"))
+        .expect("records fetch");
+    assert_eq!(records.status, 200);
+    assert_eq!(
+        record_lines(&records.body),
+        baseline,
+        "resumed cluster records are byte-identical to a single node"
+    );
+
+    // The second life counted the recovery, and deadline admission works
+    // at the coordinator exactly as it does at a worker.
+    let m = client
+        .get("/metrics")
+        .expect("metrics")
+        .json()
+        .expect("metrics parse");
+    let recovered = m
+        .get("journal")
+        .and_then(|j| j.get("recovered"))
+        .and_then(Json::as_u64)
+        .expect("journal metrics present");
+    assert!(recovered >= 1, "the resume counts as a recovery");
+    let spent = client
+        .get_with_headers("/v1/benchmarks", &[("X-Deadline-Ms", "0")])
+        .expect("deadline probe");
+    assert_eq!(spent.status, 504, "coordinator honors deadline admission");
+
+    child.kill().expect("stop resumed coordinator");
+    let _ = child.wait();
+    wa.shutdown_and_join();
+    wb.shutdown_and_join();
+    for dir in [&dir_a, &dir_b, &journal_dir, &logs] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

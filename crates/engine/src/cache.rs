@@ -298,8 +298,10 @@ impl ResultCache {
 }
 
 /// Removes `.*.tmp.*` files a crashed writer left in `dir`, returning how
-/// many were swept. A missing directory sweeps nothing.
-fn sweep_stale_tmp(dir: &Path) -> u64 {
+/// many were swept. A missing directory sweeps nothing. Shared with the
+/// sweep journal ([`crate::journal`]), whose intent writes use the same
+/// dot-tmp-rename discipline and leave the same orphans on a crash.
+pub(crate) fn sweep_stale_tmp(dir: &Path) -> u64 {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return 0;
     };

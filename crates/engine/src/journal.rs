@@ -1,0 +1,571 @@
+//! Write-ahead sweep journal: the durability layer under async jobs.
+//!
+//! A [`Journal`] is a directory of per-job segment files
+//! (`<key>.jnl` under `results/journal/` by default). Before an async
+//! sweep or workflow executes, the driver writes an *intent* line — the
+//! canonical job list, enough to re-create the work from nothing — via
+//! the same dot-tmp-plus-rename discipline as the result cache, so a
+//! crash leaves either no segment or a complete intent, never a torn
+//! one. As each job completes, its rendered record line is *appended*
+//! (write + flush; a `kill -9` loses at most the lines still in the
+//! process's buffers, and those jobs simply re-execute). A trailing
+//! *done* line seals the segment.
+//!
+//! On restart, [`Journal::incomplete`] lists segments with an intent but
+//! no seal; the serving layer replays each one: re-parse the intent,
+//! re-submit the sweep (the result cache turns every already-persisted
+//! job into a hit), and append only the records the journal is missing —
+//! the finished stream is byte-identical to an uninterrupted run.
+//!
+//! Corruption discipline mirrors the cache: every line carries an
+//! FNV-1a checksum. A torn *tail* line (the crash landed mid-append) is
+//! truncated and counted; a rotten line anywhere else condemns the whole
+//! segment to `.quarantine/` (evidence for debugging) and replay reports
+//! "nothing journaled", so the driver starts the job from its intent or
+//! fails it cleanly instead of resuming from lies.
+//!
+//! The `journal.append` / `journal.replay` fault sites let the chaos
+//! gate prove all of the above with a pinned seed; a journal failure is
+//! never fatal to the job itself — the worst case is re-execution.
+
+use std::collections::HashSet;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use heteropipe_faults::{FaultKind, Injector, Site};
+use heteropipe_obs::log as obs_log;
+
+/// Default journal directory, a sibling of the default result cache.
+pub const DEFAULT_JOURNAL_DIR: &str = "results/journal";
+
+/// Segment file extension.
+const SEGMENT_EXT: &str = "jnl";
+
+/// Subdirectory (under the journal dir) holding quarantined segments.
+pub const QUARANTINE_DIR: &str = ".quarantine";
+
+/// Counters behind `heteropipe_journal_*_total` (see
+/// docs/observability.md).
+#[derive(Debug, Default)]
+struct JournalStats {
+    appended: AtomicU64,
+    replayed: AtomicU64,
+    recovered: AtomicU64,
+    tmp_swept: AtomicU64,
+    segments_quarantined: AtomicU64,
+    torn_truncated: AtomicU64,
+}
+
+/// A point-in-time snapshot of the journal counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStatsSnapshot {
+    /// Journal lines appended (intent, record, and done lines).
+    pub appended: u64,
+    /// Record lines successfully read back by replay.
+    pub replayed: u64,
+    /// Interrupted jobs resumed to completion after a restart.
+    pub recovered: u64,
+    /// Orphaned temp files swept at open.
+    pub tmp_swept: u64,
+    /// Corrupt segments moved to quarantine instead of failing replay.
+    pub segments_quarantined: u64,
+    /// Torn tail lines truncated during replay.
+    pub torn_truncated: u64,
+}
+
+/// What a segment held when it was replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replay {
+    /// The intent payload exactly as [`Journal::begin`] wrote it.
+    pub intent: String,
+    /// Journaled `(index, payload)` record lines, in append order.
+    pub records: Vec<(u64, String)>,
+    /// Whether the segment carries the trailing done seal.
+    pub done: bool,
+}
+
+impl Replay {
+    /// The set of record indexes already journaled (the resume driver
+    /// appends only indexes outside this set).
+    pub fn indexes(&self) -> HashSet<u64> {
+        self.records.iter().map(|&(i, _)| i).collect()
+    }
+}
+
+/// The write-ahead journal over one directory of segment files. Cheap to
+/// share behind an `Arc`; appends open the segment per call, so distinct
+/// keys never contend and a segment has exactly one driver at a time.
+#[derive(Debug)]
+pub struct Journal {
+    dir: PathBuf,
+    faults: Arc<Injector>,
+    stats: JournalStats,
+}
+
+impl Journal {
+    /// Opens (creating if needed) a journal rooted at `dir`, sweeping any
+    /// `.*.tmp.*` orphans a crashed intent writer left behind.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Journal> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let journal = Journal {
+            stats: JournalStats {
+                tmp_swept: AtomicU64::new(crate::cache::sweep_stale_tmp(&dir)),
+                ..JournalStats::default()
+            },
+            dir,
+            faults: Arc::new(Injector::disabled()),
+        };
+        Ok(journal)
+    }
+
+    /// Threads a fault injector into the append and replay paths (the
+    /// `journal.append` / `journal.replay` seams).
+    pub fn with_faults(mut self, faults: Arc<Injector>) -> Journal {
+        self.faults = faults;
+        self
+    }
+
+    /// The directory this journal writes under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> JournalStatsSnapshot {
+        JournalStatsSnapshot {
+            appended: self.stats.appended.load(Ordering::Relaxed),
+            replayed: self.stats.replayed.load(Ordering::Relaxed),
+            recovered: self.stats.recovered.load(Ordering::Relaxed),
+            tmp_swept: self.stats.tmp_swept.load(Ordering::Relaxed),
+            segments_quarantined: self.stats.segments_quarantined.load(Ordering::Relaxed),
+            torn_truncated: self.stats.torn_truncated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records that an interrupted job was resumed to completion.
+    pub fn mark_recovered(&self) {
+        self.stats.recovered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether a segment exists for `key_hex`.
+    pub fn contains(&self, key_hex: &str) -> bool {
+        segment_key(key_hex)
+            .map(|k| self.segment_path(&k).is_file())
+            .unwrap_or(false)
+    }
+
+    /// Writes the intent line, atomically creating (or replacing) the
+    /// segment: the whole segment goes through a dot-tmp file and a
+    /// rename, so a crash mid-begin leaves no half-written intent.
+    /// `intent` must be newline-free (canonical JSON is).
+    pub fn begin(&self, key_hex: &str, intent: &str) -> std::io::Result<()> {
+        let key = segment_key(key_hex)?;
+        let line = seal_line(&format!("I {}", flatten(intent)));
+        let line = self.roll_append(line.into_bytes())?;
+        let tmp = self.dir.join(format!(
+            ".{key}.{SEGMENT_EXT}.tmp.{}.{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, &line).and_then(|()| {
+            std::fs::rename(&tmp, self.segment_path(&key)).inspect_err(|_| {
+                let _ = std::fs::remove_file(&tmp);
+            })
+        })?;
+        self.stats.appended.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Appends one completed-job record line and flushes it. `payload` is
+    /// opaque to the journal (the serving layer stores its rendered
+    /// NDJSON record) and must be newline-free.
+    pub fn append_record(&self, key_hex: &str, index: u64, payload: &str) -> std::io::Result<()> {
+        self.append_line(key_hex, &format!("R {index} {}", flatten(payload)))
+    }
+
+    /// Appends the done seal: the segment is complete, `records` lines
+    /// were journaled, and restarts have nothing to resume.
+    pub fn finish(&self, key_hex: &str, records: u64) -> std::io::Result<()> {
+        self.append_line(key_hex, &format!("D {records}"))
+    }
+
+    /// Removes the segment for `key_hex` (an operator reset; replayable
+    /// state is gone afterwards).
+    pub fn remove(&self, key_hex: &str) -> std::io::Result<()> {
+        let key = segment_key(key_hex)?;
+        std::fs::remove_file(self.segment_path(&key))
+    }
+
+    /// Reads a segment back. `Ok(None)` means nothing usable is
+    /// journaled: no segment, or a corrupt one (quarantined on the way
+    /// out). A torn tail line is truncated, counted, and the rest of the
+    /// segment is served.
+    pub fn replay(&self, key_hex: &str) -> std::io::Result<Option<Replay>> {
+        let key = segment_key(key_hex)?;
+        let path = self.segment_path(&key);
+        if let Some(fault) = self.faults.roll(Site::JournalReplay) {
+            match fault.kind {
+                FaultKind::Hang => {
+                    std::thread::sleep(std::time::Duration::from_millis(fault.hang_ms))
+                }
+                FaultKind::Corrupt => {
+                    // Emulate rot discovered mid-replay: condemn the
+                    // segment exactly as a real checksum failure would.
+                    self.quarantine(&key, &path, "injected corruption");
+                    return Ok(None);
+                }
+                _ => return Err(fault.io_error()),
+            }
+        }
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let text = String::from_utf8_lossy(&bytes);
+        let mut lines: Vec<&str> = text.split('\n').collect();
+        // A complete append always ends with '\n', so a non-empty final
+        // element is a torn tail; drop it before verification. An empty
+        // final element is the normal trailing split artifact.
+        let torn_tail = lines.pop().is_some_and(|last| !last.is_empty());
+        let mut replay = Replay {
+            intent: String::new(),
+            records: Vec::new(),
+            done: false,
+        };
+        for (i, line) in lines.iter().enumerate() {
+            let Some(payload) = open_line(line) else {
+                if i + 1 == lines.len() {
+                    // The rot is confined to the last sealed line: treat
+                    // it like a torn tail and keep everything before it.
+                    self.stats.torn_truncated.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                self.quarantine(&key, &path, "checksum mismatch");
+                return Ok(None);
+            };
+            let parsed = match payload.split_once(' ') {
+                Some(("I", intent)) if i == 0 => {
+                    replay.intent = intent.to_string();
+                    true
+                }
+                Some(("R", rest)) if i > 0 && !replay.done => match rest.split_once(' ') {
+                    Some((idx, body)) => match idx.parse::<u64>() {
+                        Ok(idx) => {
+                            replay.records.push((idx, body.to_string()));
+                            true
+                        }
+                        Err(_) => false,
+                    },
+                    None => false,
+                },
+                Some(("D", n)) if i > 0 => {
+                    replay.done = n.parse::<u64>().is_ok();
+                    replay.done
+                }
+                _ => false,
+            };
+            if !parsed {
+                self.quarantine(&key, &path, "malformed journal line");
+                return Ok(None);
+            }
+        }
+        if torn_tail {
+            self.stats.torn_truncated.fetch_add(1, Ordering::Relaxed);
+        }
+        if replay.intent.is_empty() && replay.records.is_empty() && !replay.done {
+            // Nothing survived truncation: an empty segment is no segment.
+            return Ok(None);
+        }
+        self.stats
+            .replayed
+            .fetch_add(replay.records.len() as u64, Ordering::Relaxed);
+        Ok(Some(replay))
+    }
+
+    /// Keys of segments holding an intent but no done seal — the jobs a
+    /// restart must resume, oldest first (directory order is fine; the
+    /// resume driver runs them all).
+    pub fn incomplete(&self) -> Vec<String> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut keys = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let Some(key) = name.strip_suffix(&format!(".{SEGMENT_EXT}")) else {
+                continue;
+            };
+            if segment_key(key).is_err() {
+                continue;
+            }
+            if let Ok(Some(replay)) = self.replay(key) {
+                if !replay.done {
+                    keys.push(key.to_string());
+                }
+            }
+        }
+        keys.sort();
+        keys
+    }
+
+    // ---- internals --------------------------------------------------------
+
+    fn segment_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.{SEGMENT_EXT}"))
+    }
+
+    fn append_line(&self, key_hex: &str, payload: &str) -> std::io::Result<()> {
+        let key = segment_key(key_hex)?;
+        let line = self.roll_append(seal_line(payload).into_bytes())?;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(self.segment_path(&key))?;
+        f.write_all(&line)?;
+        f.flush()?;
+        self.stats.appended.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The `journal.append` fault seam: `corrupt` rots the sealed line in
+    /// flight (replay must catch it), `hang` stalls, anything else is the
+    /// I/O error a full or failing disk would raise.
+    fn roll_append(&self, mut line: Vec<u8>) -> std::io::Result<Vec<u8>> {
+        if let Some(fault) = self.faults.roll(Site::JournalAppend) {
+            match fault.kind {
+                FaultKind::Corrupt => {
+                    if let Some(b) = line.first_mut() {
+                        *b ^= 0x01;
+                    }
+                }
+                FaultKind::Hang => {
+                    std::thread::sleep(std::time::Duration::from_millis(fault.hang_ms))
+                }
+                _ => return Err(fault.io_error()),
+            }
+        }
+        Ok(line)
+    }
+
+    fn quarantine(&self, key: &str, path: &Path, why: &str) {
+        self.stats
+            .segments_quarantined
+            .fetch_add(1, Ordering::Relaxed);
+        let qdir = self.dir.join(QUARANTINE_DIR);
+        let moved = std::fs::create_dir_all(&qdir).is_ok()
+            && std::fs::rename(path, qdir.join(format!("{key}.{SEGMENT_EXT}"))).is_ok();
+        if !moved {
+            let _ = std::fs::remove_file(path);
+        }
+        obs_log::warn(
+            "journal",
+            "corrupt segment quarantined",
+            &[
+                ("key", key.to_string().into()),
+                ("reason", why.to_string().into()),
+                ("moved", moved.into()),
+            ],
+        );
+    }
+}
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Validates and canonicalizes a segment key: run/sweep/workflow keys are
+/// 32 lowercase hex characters, which also keeps the key filename-safe.
+fn segment_key(key_hex: &str) -> std::io::Result<String> {
+    if key_hex.len() == 32 && key_hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        Ok(key_hex.to_ascii_lowercase())
+    } else {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("journal key must be 32 hex characters, got {key_hex:?}"),
+        ))
+    }
+}
+
+/// Journal payloads are single lines; canonical JSON never carries raw
+/// newlines, but the journal defends itself anyway.
+fn flatten(payload: &str) -> String {
+    if payload.contains('\n') || payload.contains('\r') {
+        payload.replace(['\n', '\r'], " ")
+    } else {
+        payload.to_string()
+    }
+}
+
+/// One sealed journal line: `"<fnv64-hex> <payload>\n"`.
+fn seal_line(payload: &str) -> String {
+    format!("{:016x} {payload}\n", fnv64(payload.as_bytes()))
+}
+
+/// Verifies a sealed line, returning the payload when the checksum holds.
+fn open_line(line: &str) -> Option<&str> {
+    let (sum, payload) = line.split_once(' ')?;
+    let sum = u64::from_str_radix(sum, 16).ok()?;
+    (sum == fnv64(payload.as_bytes())).then_some(payload)
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteropipe_faults::FaultPlan;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "heteropipe-journal-{name}-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const KEY: &str = "0123456789abcdef0123456789abcdef";
+
+    #[test]
+    fn journal_round_trips_and_seals() {
+        let dir = tmpdir("roundtrip");
+        let j = Journal::open(&dir).unwrap();
+        assert!(!j.contains(KEY));
+        j.begin(KEY, r#"{"jobs":[{"benchmark":"x"}]}"#).unwrap();
+        assert!(j.contains(KEY));
+        j.append_record(KEY, 0, r#"{"index":0,"status":"ok"}"#)
+            .unwrap();
+        j.append_record(KEY, 2, r#"{"index":2,"status":"ok"}"#)
+            .unwrap();
+        let partial = j.replay(KEY).unwrap().unwrap();
+        assert_eq!(partial.intent, r#"{"jobs":[{"benchmark":"x"}]}"#);
+        assert_eq!(partial.records.len(), 2);
+        assert!(!partial.done);
+        assert_eq!(j.incomplete(), vec![KEY.to_string()]);
+
+        j.finish(KEY, 2).unwrap();
+        let full = j.replay(KEY).unwrap().unwrap();
+        assert!(full.done);
+        assert!(full.indexes().contains(&2));
+        assert!(j.incomplete().is_empty());
+        let stats = j.stats();
+        assert_eq!(stats.appended, 4);
+        assert!(stats.replayed >= 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_truncates_but_corrupt_middle_quarantines() {
+        let dir = tmpdir("torn");
+        let j = Journal::open(&dir).unwrap();
+        j.begin(KEY, "intent").unwrap();
+        j.append_record(KEY, 0, "rec0").unwrap();
+        let path = j.segment_path(KEY);
+
+        // A crash mid-append leaves a half line with no newline.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"deadbeef R 1 torn-half-li");
+        std::fs::write(&path, &bytes).unwrap();
+        let replay = j.replay(KEY).unwrap().unwrap();
+        assert_eq!(replay.records, vec![(0, "rec0".to_string())]);
+        assert_eq!(j.stats().torn_truncated, 1);
+
+        // Rot in the middle of the segment condemns the whole thing: a
+        // fresh well-formed segment with its first record line rotted.
+        j.begin(KEY, "intent").unwrap();
+        j.append_record(KEY, 0, "rec0").unwrap();
+        j.append_record(KEY, 1, "rec1").unwrap();
+        let rotten = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("rec0", "rot!");
+        std::fs::write(&path, rotten).unwrap();
+        assert_eq!(j.replay(KEY).unwrap(), None);
+        assert!(!path.exists(), "segment moved out");
+        assert!(dir
+            .join(QUARANTINE_DIR)
+            .join(format!("{KEY}.{SEGMENT_EXT}"))
+            .exists());
+        assert_eq!(j.stats().segments_quarantined, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_orphaned_tmp_files() {
+        let dir = tmpdir("sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(format!(".{KEY}.jnl.tmp.1.2")), b"orphan").unwrap();
+        let j = Journal::open(&dir).unwrap();
+        assert_eq!(j.stats().tmp_swept, 1);
+        assert!(!dir.join(format!(".{KEY}.jnl.tmp.1.2")).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_faults_surface_and_corrupt_rots_detectably() {
+        let dir = tmpdir("faults");
+        let j = Journal::open(&dir)
+            .unwrap()
+            .with_faults(Arc::new(Injector::new(
+                FaultPlan::parse("journal.append:err=enospc:max=1").unwrap(),
+            )));
+        let err = j.begin(KEY, "intent").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+        j.begin(KEY, "intent").unwrap();
+
+        let rot = Journal::open(&dir)
+            .unwrap()
+            .with_faults(Arc::new(Injector::new(
+                FaultPlan::parse("journal.append:err=corrupt:max=1").unwrap(),
+            )));
+        rot.append_record(KEY, 0, "rec0").unwrap();
+        // The rotten line is the last sealed line: replay truncates it
+        // and keeps the clean prefix instead of condemning the segment.
+        let replay = rot.replay(KEY).unwrap().unwrap();
+        assert_eq!(replay.intent, "intent");
+        assert!(replay.records.is_empty());
+        assert_eq!(rot.stats().torn_truncated, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_fault_quarantines_or_errors() {
+        let dir = tmpdir("replayfault");
+        let j = Journal::open(&dir).unwrap();
+        j.begin(KEY, "intent").unwrap();
+        let eio = Journal::open(&dir)
+            .unwrap()
+            .with_faults(Arc::new(Injector::new(
+                FaultPlan::parse("journal.replay:err=eio:max=1").unwrap(),
+            )));
+        assert!(eio.replay(KEY).is_err());
+        assert!(eio.replay(KEY).unwrap().is_some(), "budget spent");
+
+        let corrupt = Journal::open(&dir)
+            .unwrap()
+            .with_faults(Arc::new(Injector::new(
+                FaultPlan::parse("journal.replay:err=corrupt:max=1").unwrap(),
+            )));
+        assert_eq!(corrupt.replay(KEY).unwrap(), None);
+        assert_eq!(corrupt.stats().segments_quarantined, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_path_smuggling_keys() {
+        let dir = tmpdir("keys");
+        let j = Journal::open(&dir).unwrap();
+        for bad in ["../evil", "short", "", &"g".repeat(32)] {
+            assert!(j.begin(bad, "intent").is_err(), "{bad:?}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

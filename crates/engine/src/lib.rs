@@ -47,6 +47,7 @@
 pub mod cache;
 pub mod codec;
 pub mod error;
+pub mod journal;
 pub mod key;
 pub mod metrics;
 pub mod sweep;
@@ -89,6 +90,7 @@ pub(crate) mod prof {
 
 pub use cache::{CacheTier, ResultCache};
 pub use error::EngineError;
+pub use journal::{Journal, JournalStatsSnapshot, Replay, DEFAULT_JOURNAL_DIR};
 pub use key::{composite_key, run_key, shard_score, RunKey, SCHEMA_VERSION};
 pub use metrics::{MetricsSnapshot, RunMetrics};
 pub use sweep::{sweep_key, SweepOutcome, SweepRecord, SweepSummary};

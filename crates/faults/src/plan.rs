@@ -9,7 +9,8 @@
 //!
 //! * `site` — where the fault fires: `cache.write`, `cache.read`,
 //!   `job.exec`, `serve.accept`, `serve.read`, `serve.write`,
-//!   `cluster.probe`, `cluster.forward`;
+//!   `cluster.probe`, `cluster.forward`, `journal.append`,
+//!   `journal.replay`;
 //! * `err` — what happens: `enospc` / `eio` (an I/O error), `corrupt`
 //!   (bytes are bit-flipped in flight), `panic` (the job panics), `hang`
 //!   (the job stalls for `ms` milliseconds), `drop` (the connection is
@@ -52,11 +53,16 @@ pub enum Site {
     /// A coordinator forwarding work to a worker (`drop`/`eio` emulate a
     /// partition or dead worker, `hang` a slow worker).
     ClusterForward,
+    /// Appending an intent/record/done line to the write-ahead sweep
+    /// journal (`corrupt` rots the line so replay must quarantine it).
+    JournalAppend,
+    /// Replaying a journal segment at startup or on a records fetch.
+    JournalReplay,
 }
 
 impl Site {
     /// Every known site, in grammar order.
-    pub const ALL: [Site; 8] = [
+    pub const ALL: [Site; 10] = [
         Site::CacheWrite,
         Site::CacheRead,
         Site::JobExec,
@@ -65,6 +71,8 @@ impl Site {
         Site::ServeWrite,
         Site::ClusterProbe,
         Site::ClusterForward,
+        Site::JournalAppend,
+        Site::JournalReplay,
     ];
 
     /// The grammar / metric-label spelling (`cache.write`, ...).
@@ -78,6 +86,8 @@ impl Site {
             Site::ServeWrite => "serve.write",
             Site::ClusterProbe => "cluster.probe",
             Site::ClusterForward => "cluster.forward",
+            Site::JournalAppend => "journal.append",
+            Site::JournalReplay => "journal.replay",
         }
     }
 }
@@ -216,7 +226,7 @@ fn parse_rule(clause: &str) -> Result<FaultRule, PlanError> {
         .unwrap_or("")
         .parse()
         .map_err(|()| {
-            err("unknown site (cache.write, cache.read, job.exec, serve.accept, serve.read, serve.write, cluster.probe, cluster.forward)")
+            err("unknown site (cache.write, cache.read, job.exec, serve.accept, serve.read, serve.write, cluster.probe, cluster.forward, journal.append, journal.replay)")
         })?;
 
     let mut kind = None;

@@ -208,6 +208,22 @@ impl FlowRunner {
         request_id: Option<&str>,
         sink: &(dyn Fn(&StageEvent) + Sync),
     ) -> Result<Arc<WorkflowResult>, FlowError> {
+        self.run_observed_deadline(graph, request_id, sink, None)
+    }
+
+    /// [`FlowRunner::run_observed`] under a wall-clock deadline (the
+    /// `X-Deadline-Ms` budget the serving layer parsed): stages whose
+    /// level starts after `deadline` fail with a "deadline exceeded"
+    /// event instead of executing, and their dependents skip as with any
+    /// other stage failure. Memo hits are still served — they cost no
+    /// budget worth protecting.
+    pub fn run_observed_deadline(
+        &self,
+        graph: &TaskGraph,
+        request_id: Option<&str>,
+        sink: &(dyn Fn(&StageEvent) + Sync),
+        deadline: Option<Instant>,
+    ) -> Result<Arc<WorkflowResult>, FlowError> {
         let start = Instant::now();
         let plan = graph.plan()?;
         let keys = graph.stage_keys(&plan);
@@ -268,6 +284,27 @@ impl FlowRunner {
             }
 
             if to_run.is_empty() {
+                continue;
+            }
+            // Deadline gate: once the budget is spent, remaining stages
+            // fail (not skip — skipping implies an upstream cause) so
+            // dependents cascade and the summary counts the abort.
+            if deadline.is_some_and(|dl| Instant::now() >= dl) {
+                for &i in &to_run {
+                    let stage = &graph.stages[i];
+                    let ev = StageEvent {
+                        stage: stage.name.clone(),
+                        kind: stage.kind,
+                        key_hex: keys[i].hex(),
+                        status: StageStatus::Failed,
+                        cache_hit: false,
+                        wall_ns: 0,
+                        error: Some("deadline exceeded before stage execution".to_string()),
+                    };
+                    spans[i] = (start.elapsed().as_nanos() as u64, 0);
+                    sink(&ev);
+                    events[i] = Some(ev);
+                }
                 continue;
             }
             // Fan the level's runnable stages out over the engine's job

@@ -23,25 +23,29 @@
 //! remain as deprecated aliases answering identically to their canonical
 //! forms, plus a `Deprecation` header.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use heteropipe::experiments::{characterize_all_with, fig3, fig456, fig78, fig9, tables};
 use heteropipe::{AccessClass, Executor, JobSpec, Organization, Platform, RunReport, SystemConfig};
-use heteropipe_engine::{run_key, sweep_key, Engine, EngineError, RunKey, SweepRecord};
+use heteropipe_engine::{run_key, sweep_key, Engine, EngineError, Journal, RunKey, SweepRecord};
 use heteropipe_faults::Injector;
 use heteropipe_flow::{
     figures, FlowRunner, Stage, StageEvent, StageKind, StageValue, TaskGraph, WorkflowResult,
 };
+use heteropipe_obs::log as obs_log;
 use heteropipe_obs::MetricRegistry;
 use heteropipe_workloads::{registry, Pipeline, Scale, Workload};
 
 use crate::breaker::CircuitBreaker;
 use crate::error::envelope;
 use crate::http::{BodyStream, Request, Response};
+use crate::jobs::{self, AsyncJob, AsyncJobs, JobState};
 use crate::json::Json;
 use crate::server::{Handler, ServerConfig, ServerStats};
 use crate::server::{Server, ServerHandle};
+use crate::tenant::{Admit, TenantGate};
 
 /// Most entries accepted in one `POST /v1/sweeps` batch; larger sweeps
 /// are rejected with `413 payload_too_large` so a single request cannot
@@ -63,6 +67,10 @@ pub struct Api {
     stats: OnceLock<Arc<ServerStats>>,
     breaker: OnceLock<Arc<CircuitBreaker>>,
     server_faults: OnceLock<Arc<Injector>>,
+    journal: OnceLock<Arc<Journal>>,
+    async_jobs: AsyncJobs,
+    tenants: OnceLock<Arc<TenantGate>>,
+    deadline_exceeded: AtomicU64,
 }
 
 impl Api {
@@ -75,6 +83,10 @@ impl Api {
             stats: OnceLock::new(),
             breaker: OnceLock::new(),
             server_faults: OnceLock::new(),
+            journal: OnceLock::new(),
+            async_jobs: AsyncJobs::new(),
+            tenants: OnceLock::new(),
+            deadline_exceeded: AtomicU64::new(0),
         })
     }
 
@@ -105,20 +117,73 @@ impl Api {
     pub fn attach_faults(&self, faults: Arc<Injector>) {
         let _ = self.server_faults.set(faults);
     }
+
+    /// Wires in the write-ahead journal enabling `?async=1` submission
+    /// and crash-resume. Called by [`serve_durable`]; later calls ignored.
+    pub fn attach_journal(&self, journal: Arc<Journal>) {
+        let _ = self.journal.set(journal);
+    }
+
+    /// Wires in the per-tenant admission gate. [`serve`] builds it from
+    /// `HETEROPIPE_TENANTS`; tests attach a hand-parsed gate directly.
+    /// Later calls ignored.
+    pub fn attach_tenants(&self, tenants: Arc<TenantGate>) {
+        let _ = self.tenants.set(tenants);
+    }
+
+    /// The write-ahead journal, when one is attached.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.get()
+    }
 }
 
-/// Binds and starts a server running [`Api`] over `engine`.
+/// Binds and starts a server running [`Api`] over `engine`. The tenant
+/// admission gate is read from `HETEROPIPE_TENANTS`; a malformed plan
+/// fails startup rather than admitting everyone silently.
 pub fn serve(cfg: ServerConfig, engine: Arc<Engine>) -> std::io::Result<ServerHandle> {
+    serve_inner(cfg, engine, None)
+}
+
+/// Like [`serve`], but with a write-ahead journal: `?async=1` submission
+/// is enabled, and any sweep or workflow the journal shows as interrupted
+/// (intent logged, segment unsealed) is resumed on background threads
+/// before the listener accepts traffic. Thanks to the result cache,
+/// resume re-executes only the jobs whose records never made it to the
+/// journal.
+pub fn serve_durable(
+    cfg: ServerConfig,
+    engine: Arc<Engine>,
+    journal: Arc<Journal>,
+) -> std::io::Result<ServerHandle> {
+    serve_inner(cfg, engine, Some(journal))
+}
+
+fn serve_inner(
+    cfg: ServerConfig,
+    engine: Arc<Engine>,
+    journal: Option<Arc<Journal>>,
+) -> std::io::Result<ServerHandle> {
     let api = Api::new(engine);
     api.attach_faults(Arc::clone(&cfg.faults));
+    let tenants = TenantGate::from_env()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    api.attach_tenants(Arc::new(tenants));
+    if let Some(journal) = journal {
+        api.attach_journal(journal);
+    }
     let server = Server::bind(cfg, api.clone())?;
     api.attach_stats(server.stats());
     api.attach_breaker(server.breaker());
-    Ok(server.start())
+    let handle = server.start();
+    api.resume_incomplete();
+    Ok(handle)
 }
 
 impl Handler for Api {
     fn handle(&self, req: &Request) -> Response {
+        if let Some(refused) = self.admission(req) {
+            return refused;
+        }
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz" | "/healthz/live") => health(),
             ("GET", "/healthz/ready") => self.ready(req),
@@ -164,6 +229,88 @@ impl Handler for Api {
             (_, path) if path.starts_with("/v1/experiments/") => method_not_allowed(req, "POST"),
             _ => fail(req, 404, "not_found", "no such route"),
         }
+    }
+}
+
+impl Api {
+    /// The front-door admission check every route but the operator
+    /// surfaces (health probes, metric scrapes) passes through: the
+    /// per-tenant token bucket first, then the `X-Deadline-Ms` budget.
+    /// `None` means admitted.
+    fn admission(&self, req: &Request) -> Option<Response> {
+        if matches!(
+            req.path.as_str(),
+            "/healthz" | "/healthz/live" | "/healthz/ready" | "/metrics"
+        ) {
+            return None;
+        }
+        if let Some(gate) = self.tenants.get() {
+            if let Admit::Throttled {
+                tenant,
+                retry_after_s,
+            } = gate.admit(req.header("x-api-key"))
+            {
+                return Some(envelope(
+                    429,
+                    "tenant_throttled",
+                    &format!("tenant {tenant:?} is over its request budget"),
+                    Some(retry_after_s),
+                    &req.request_id,
+                ));
+            }
+        }
+        match deadline_ms(req) {
+            Err(why) => Some(fail(req, 400, "bad_request", &why)),
+            Ok(Some(0)) => Some(self.deadline_refusal(req)),
+            Ok(_) => None,
+        }
+    }
+
+    /// The 504 envelope for a request whose deadline budget is already
+    /// spent, counted for `/metrics`.
+    fn deadline_refusal(&self, req: &Request) -> Response {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        envelope(
+            504,
+            "deadline_exceeded",
+            "deadline budget exhausted before execution",
+            Some(1),
+            &req.request_id,
+        )
+    }
+}
+
+/// Parses the `X-Deadline-Ms` header: the caller's remaining time budget
+/// in milliseconds, decremented hop by hop across the cluster. Absent
+/// means no deadline; a non-integer value is a 400-shaped error.
+pub fn deadline_ms(req: &Request) -> Result<Option<u64>, String> {
+    match req.header("x-deadline-ms") {
+        None => Ok(None),
+        Some(v) => v.trim().parse::<u64>().map(Some).map_err(|_| {
+            format!("X-Deadline-Ms must be a non-negative integer of milliseconds, got {v:?}")
+        }),
+    }
+}
+
+/// Whether the request asked for asynchronous (journaled) execution:
+/// `?async=1` or `?async=true`.
+pub fn wants_async(req: &Request) -> bool {
+    req.query
+        .split('&')
+        .any(|kv| kv == "async=1" || kv == "async=true")
+}
+
+/// Parses the `?from_index=N` resume cursor of a `/records` fetch.
+pub fn from_index(req: &Request) -> Result<u64, String> {
+    match req
+        .query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix("from_index="))
+    {
+        None => Ok(0),
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| format!("from_index must be a non-negative integer, got {v:?}")),
     }
 }
 
@@ -326,10 +473,10 @@ impl Api {
         }
     }
 
-    /// Dispatches `/v1/sweeps/{key}` sub-resources. Only `/trace` exists:
-    /// sweep results are streamed at submission time, but the engine
-    /// journals a per-sweep trace under the sweep key reported in the
-    /// `X-Sweep-Key` response header.
+    /// Dispatches `/v1/sweeps/{key}` and its sub-resources: the bare key
+    /// answers an async job's status, `/records` streams its journaled
+    /// NDJSON records, and `/trace` the engine's retained Chrome trace
+    /// (under the sweep key the `X-Sweep-Key` response header reported).
     fn sweep_resource(&self, req: &Request, rest: &str) -> Response {
         let (key, sub) = split_resource(rest);
         if !valid_run_key(key) {
@@ -347,14 +494,151 @@ impl Api {
                 }
                 self.run_trace(req, key)
             }
+            Some("records") => {
+                if req.method != "GET" {
+                    return method_not_allowed(req, "GET");
+                }
+                self.sweep_records(req, key)
+            }
+            None => {
+                if req.method != "GET" {
+                    return method_not_allowed(req, "GET");
+                }
+                self.sweep_status(req, key)
+            }
             _ => fail(
                 req,
                 404,
                 "not_found",
-                "no such sweep sub-resource (try /trace)",
+                "no such sweep sub-resource (try /trace or /records)",
             ),
         }
     }
+
+    /// `GET /v1/sweeps/{key}`: the status of an async sweep — from this
+    /// process's registry when it is (or was) driving the job, otherwise
+    /// reconstructed from the on-disk journal so a restarted process
+    /// still answers for jobs it has not resumed.
+    fn sweep_status(&self, req: &Request, key: &str) -> Response {
+        let key = key.to_ascii_lowercase();
+        if let Some(job) = self.async_jobs.get(&key) {
+            return Response::json(200, &jobs::status_json(&key, &job))
+                .with_header("X-Sweep-Key", &key);
+        }
+        if let Some(journal) = self.journal.get() {
+            if let Ok(Some(replay)) = journal.replay(&key) {
+                if let Some(body) = journal_status_json(&key, "sweep", &replay) {
+                    return Response::json(200, &body).with_header("X-Sweep-Key", &key);
+                }
+            }
+        }
+        fail(
+            req,
+            404,
+            "not_found",
+            "no such async sweep (submit one with POST /v1/sweeps?async=1)",
+        )
+    }
+
+    /// `GET /v1/sweeps/{key}/records?from_index=N`: the journaled NDJSON
+    /// records of an async sweep, in index order (ascending), starting at
+    /// `from_index` so a poller can resume a partial read. A snapshot of
+    /// what is journaled right now — poll the status route for `done`
+    /// before treating the stream as complete. No trailing summary line:
+    /// records are timing-free and byte-stable; the summary is not.
+    fn sweep_records(&self, req: &Request, key: &str) -> Response {
+        let key = key.to_ascii_lowercase();
+        let from = match from_index(req) {
+            Ok(from) => from,
+            Err(why) => return fail(req, 400, "bad_request", &why),
+        };
+        let Some(journal) = self.journal.get() else {
+            return fail(
+                req,
+                404,
+                "not_found",
+                "this server has no journal (async records live on durable servers)",
+            );
+        };
+        match journal.replay(&key) {
+            Ok(Some(replay)) => {
+                let mut records = replay.records;
+                records.sort_by_key(|&(i, _)| i);
+                let mut body = String::new();
+                for (index, line) in &records {
+                    if *index >= from {
+                        body.push_str(line);
+                        body.push('\n');
+                    }
+                }
+                Response {
+                    status: 200,
+                    headers: vec![("Content-Type".into(), "application/x-ndjson".into())],
+                    body: body.into_bytes(),
+                    chunked: false,
+                    stream: None,
+                }
+                .with_header("X-Sweep-Key", &key)
+                .with_header("X-Job-State", if replay.done { "done" } else { "pending" })
+            }
+            Ok(None) => fail(req, 404, "not_found", "no journaled records for that key"),
+            Err(e) => envelope(
+                503,
+                "journal_unavailable",
+                &format!("journal replay failed: {e}"),
+                Some(1),
+                &req.request_id,
+            ),
+        }
+    }
+}
+
+/// A status body reconstructed from a journal segment alone, for keys no
+/// live registry entry covers (a previous process journaled them). `None`
+/// when the segment's intent is unreadable or of a different kind.
+pub fn journal_status_json(
+    key: &str,
+    kind: &str,
+    replay: &heteropipe_engine::Replay,
+) -> Option<Json> {
+    let (ikind, payload) = jobs::parse_intent(&replay.intent)?;
+    if ikind != kind {
+        return None;
+    }
+    let total = match kind {
+        "sweep" => payload.as_array()?.len() as u64,
+        // Workflow totals are stage events + the trailing result record;
+        // without running the graph we only know what is journaled.
+        _ => replay.records.len() as u64,
+    };
+    let state = if replay.done { "done" } else { "pending" };
+    let failed = replay
+        .records
+        .iter()
+        .filter(|(_, line)| {
+            Json::parse(line)
+                .and_then(|v| v.get("status").and_then(Json::as_str).map(|s| s == "error"))
+                .unwrap_or(false)
+        })
+        .count() as u64;
+    let mut fields = vec![
+        ("key".to_string(), Json::str(key)),
+        ("kind".to_string(), Json::str(kind)),
+        ("state".to_string(), Json::str(state)),
+        ("jobs_total".to_string(), Json::U64(total)),
+        (
+            "records_done".to_string(),
+            Json::U64(replay.records.len() as u64),
+        ),
+        ("records_failed".to_string(), Json::U64(failed)),
+    ];
+    if kind == "sweep" {
+        fields.push((
+            "records_url".to_string(),
+            Json::str(format!("/v1/sweeps/{key}/records")),
+        ));
+    }
+    Some(Json::Obj(fields))
 }
 
 /// `GET /v1/debug/profile`: a JSON snapshot of the always-on phase
@@ -527,6 +811,53 @@ impl Api {
             "Cache persists abandoned after the retry budget.",
             e.cache.persist_failures,
         );
+
+        // Durability counters (docs/robustness.md): write-ahead journal
+        // activity plus the admission layer's refusals.
+        if let Some(j) = self.journal.get() {
+            let js = j.stats();
+            set(
+                "heteropipe_journal_appended_total",
+                "Lines appended to the write-ahead journal (intent, record, and seal lines).",
+                js.appended,
+            );
+            set(
+                "heteropipe_journal_replayed_total",
+                "Record lines read back by journal replay.",
+                js.replayed,
+            );
+            set(
+                "heteropipe_journal_recovered_total",
+                "Interrupted async jobs resumed to completion after a restart.",
+                js.recovered,
+            );
+            set(
+                "heteropipe_journal_segments_quarantined_total",
+                "Corrupt journal segments moved to quarantine.",
+                js.segments_quarantined,
+            );
+        }
+        set(
+            "heteropipe_deadline_exceeded_total",
+            "Requests refused because their X-Deadline-Ms budget was exhausted.",
+            self.deadline_exceeded.load(Ordering::Relaxed),
+        );
+        if let Some(gate) = self.tenants.get() {
+            for t in gate.counts() {
+                r.counter_with(
+                    "heteropipe_tenant_requests_total",
+                    "Requests admitted per tenant bucket.",
+                    &[("tenant", &t.tenant)],
+                )
+                .set(t.requests);
+                r.counter_with(
+                    "heteropipe_tenant_throttled_total",
+                    "Requests refused with a 429 per tenant bucket.",
+                    &[("tenant", &t.tenant)],
+                )
+                .set(t.throttled);
+            }
+        }
 
         // Injected-fault tallies per (site, kind), from the engine's
         // injector plus the server's (skipped when they are one shared
@@ -760,11 +1091,52 @@ impl Api {
                 .collect(),
         );
 
+        let journal = match self.journal.get() {
+            Some(j) => {
+                let js = j.stats();
+                Json::Obj(vec![
+                    ("appended".into(), Json::U64(js.appended)),
+                    ("replayed".into(), Json::U64(js.replayed)),
+                    ("recovered".into(), Json::U64(js.recovered)),
+                    ("tmp_swept".into(), Json::U64(js.tmp_swept)),
+                    (
+                        "segments_quarantined".into(),
+                        Json::U64(js.segments_quarantined),
+                    ),
+                    ("torn_truncated".into(), Json::U64(js.torn_truncated)),
+                    ("async_jobs".into(), Json::U64(self.async_jobs.len() as u64)),
+                ])
+            }
+            None => Json::Null,
+        };
+
+        let tenants = Json::Arr(
+            self.tenants
+                .get()
+                .map(|g| g.counts())
+                .unwrap_or_default()
+                .into_iter()
+                .map(|t| {
+                    Json::Obj(vec![
+                        ("tenant".into(), Json::str(t.tenant)),
+                        ("requests".into(), Json::U64(t.requests)),
+                        ("throttled".into(), Json::U64(t.throttled)),
+                    ])
+                })
+                .collect(),
+        );
+
         Response::json(
             200,
             &Json::Obj(vec![
                 ("engine".into(), engine),
                 ("workflows".into(), workflows),
+                ("journal".into(), journal),
+                ("tenants".into(), tenants),
+                (
+                    "deadline_exceeded".into(),
+                    Json::U64(self.deadline_exceeded.load(Ordering::Relaxed)),
+                ),
                 ("server".into(), server),
                 ("profile".into(), profile),
             ]),
@@ -840,6 +1212,10 @@ impl Api {
         let keys: Vec<RunKey> = owned.iter().map(|o| run_key(&o.spec())).collect();
         let sweep_hex = sweep_key(&keys).hex();
 
+        if wants_async(req) {
+            return self.sweep_async(req, &entries, owned, sweep_hex);
+        }
+
         let engine = Arc::clone(&self.engine);
         let request_id = req.request_id.clone();
         let stream = BodyStream::new(move |sink| {
@@ -874,6 +1250,322 @@ impl Api {
             .with_header("X-Sweep-Key", &sweep_hex)
     }
 
+    /// `POST /v1/sweeps?async=1`: accepts the (already validated) sweep,
+    /// journals its intent, and answers `202 Accepted` immediately with
+    /// the key to poll. A background thread executes the batch, appending
+    /// each record to the journal as it completes; `GET /v1/sweeps/{key}`
+    /// reports progress and `GET /v1/sweeps/{key}/records` streams the
+    /// journaled NDJSON. Resubmitting the same sweep while it runs (or
+    /// after it finishes) is idempotent: same key, same 202.
+    fn sweep_async(
+        &self,
+        req: &Request,
+        entries: &[Json],
+        owned: Vec<OwnedJobSpec>,
+        sweep_hex: String,
+    ) -> Response {
+        let Some(journal) = self.journal.get() else {
+            return envelope(
+                503,
+                "async_unavailable",
+                "async sweeps need a write-ahead journal; start the server with one (serve --journal-dir)",
+                None,
+                &req.request_id,
+            );
+        };
+        let total = owned.len() as u64;
+        // A sealed segment from an earlier run means the job is already
+        // complete: adopt it instead of re-executing.
+        let sealed = matches!(journal.replay(&sweep_hex), Ok(Some(r)) if r.done);
+        let state = if sealed {
+            JobState::Done
+        } else {
+            JobState::Running
+        };
+        let done = if sealed { total } else { 0 };
+        let (job, fresh) = self
+            .async_jobs
+            .register(&sweep_hex, "sweep", total, state, done);
+        if !fresh || sealed {
+            return Response::json(202, &jobs::status_json(&sweep_hex, &job))
+                .with_header("X-Sweep-Key", &sweep_hex);
+        }
+        // Write-ahead: the full expanded job list hits the journal before
+        // any execution, so a crash at any later point is resumable.
+        if let Err(e) = journal.begin(&sweep_hex, &jobs::sweep_intent(entries)) {
+            job.fail(format!("journal intent write failed: {e}"));
+            return envelope(
+                503,
+                "journal_unavailable",
+                &format!("could not journal sweep intent: {e}"),
+                Some(1),
+                &req.request_id,
+            );
+        }
+        let rid = (!req.request_id.is_empty()).then(|| req.request_id.clone());
+        self.spawn_sweep_driver(
+            Arc::clone(journal),
+            job,
+            owned,
+            sweep_hex.clone(),
+            rid,
+            HashSet::new(),
+            false,
+        );
+        Response::json(
+            202,
+            &jobs::accepted_json(
+                &sweep_hex,
+                "sweep",
+                &format!("/v1/sweeps/{sweep_hex}"),
+                total,
+            ),
+        )
+        .with_header("X-Sweep-Key", &sweep_hex)
+    }
+
+    /// Spawns the background thread that executes an async sweep and
+    /// journals its records. `already` holds the record indexes a prior
+    /// process journaled (resume skips re-appending them — the cache makes
+    /// re-execution itself nearly free); `recovered` marks a crash-resume
+    /// so completion counts toward `heteropipe_journal_recovered_total`.
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_sweep_driver(
+        &self,
+        journal: Arc<Journal>,
+        job: Arc<AsyncJob>,
+        owned: Vec<OwnedJobSpec>,
+        key_hex: String,
+        request_id: Option<String>,
+        already: HashSet<u64>,
+        recovered: bool,
+    ) {
+        let engine = Arc::clone(&self.engine);
+        std::thread::spawn(move || {
+            drive_sweep(
+                &engine, &journal, &job, &owned, &key_hex, request_id, &already, recovered,
+            );
+        });
+    }
+
+    /// `POST /v1/workflows?async=1`: accepts the validated graph, journals
+    /// the submitted body as intent, answers 202, and drives the workflow
+    /// on a background thread — one journaled record per stage event plus
+    /// a final record holding the full result (the shape
+    /// `GET /v1/workflows/{key}` serves).
+    fn workflow_async(
+        &self,
+        req: &Request,
+        body: &Json,
+        graph: TaskGraph,
+        wkey: String,
+    ) -> Response {
+        let Some(journal) = self.journal.get() else {
+            return envelope(
+                503,
+                "async_unavailable",
+                "async workflows need a write-ahead journal; start the server with one (serve --journal-dir)",
+                None,
+                &req.request_id,
+            );
+        };
+        // Stage events plus the trailing result record.
+        let total = graph.len() as u64 + 1;
+        let sealed = matches!(journal.replay(&wkey), Ok(Some(r)) if r.done);
+        let state = if sealed {
+            JobState::Done
+        } else {
+            JobState::Running
+        };
+        let done = if sealed { total } else { 0 };
+        let (job, fresh) = self
+            .async_jobs
+            .register(&wkey, "workflow", total, state, done);
+        if !fresh || sealed {
+            return Response::json(202, &jobs::status_json(&wkey, &job))
+                .with_header("X-Workflow-Key", &wkey);
+        }
+        if let Err(e) = journal.begin(&wkey, &jobs::workflow_intent(body)) {
+            job.fail(format!("journal intent write failed: {e}"));
+            return envelope(
+                503,
+                "journal_unavailable",
+                &format!("could not journal workflow intent: {e}"),
+                Some(1),
+                &req.request_id,
+            );
+        }
+        let rid = (!req.request_id.is_empty()).then(|| req.request_id.clone());
+        self.spawn_workflow_driver(
+            Arc::clone(journal),
+            job,
+            graph,
+            wkey.clone(),
+            rid,
+            HashSet::new(),
+            false,
+        );
+        Response::json(
+            202,
+            &jobs::accepted_json(&wkey, "workflow", &format!("/v1/workflows/{wkey}"), total),
+        )
+        .with_header("X-Workflow-Key", &wkey)
+    }
+
+    /// Spawns the background thread driving an async workflow (see
+    /// [`Api::spawn_sweep_driver`] for the `already`/`recovered` contract).
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_workflow_driver(
+        &self,
+        journal: Arc<Journal>,
+        job: Arc<AsyncJob>,
+        graph: TaskGraph,
+        key_hex: String,
+        request_id: Option<String>,
+        already: HashSet<u64>,
+        recovered: bool,
+    ) {
+        let flow = Arc::clone(&self.flow);
+        std::thread::spawn(move || {
+            drive_workflow(
+                &flow, &journal, &job, &graph, &key_hex, request_id, &already, recovered,
+            );
+        });
+    }
+
+    /// Replays the journal at startup: every segment with an intent but no
+    /// seal is re-registered and driven to completion on background
+    /// threads. The result cache turns already-persisted jobs into hits,
+    /// so only the missing tail actually re-executes, and the journaled
+    /// records end up identical to an uninterrupted run's.
+    pub fn resume_incomplete(&self) {
+        let Some(journal) = self.journal.get() else {
+            return;
+        };
+        for key in journal.incomplete() {
+            let Ok(Some(replay)) = journal.replay(&key) else {
+                continue;
+            };
+            let Some((kind, payload)) = jobs::parse_intent(&replay.intent) else {
+                obs_log::warn(
+                    "serve",
+                    "journaled intent is unreadable; segment left unresumed",
+                    &[("key", key.clone().into())],
+                );
+                continue;
+            };
+            match kind.as_str() {
+                "sweep" => self.resume_sweep(journal, &key, &payload, &replay),
+                "workflow" => self.resume_workflow(journal, &key, &payload, &replay),
+                _ => {}
+            }
+        }
+    }
+
+    fn resume_sweep(
+        &self,
+        journal: &Arc<Journal>,
+        key: &str,
+        payload: &Json,
+        replay: &heteropipe_engine::Replay,
+    ) {
+        let entries = payload.as_array().map(<[Json]>::to_vec).unwrap_or_default();
+        let mut owned = Vec::with_capacity(entries.len());
+        for entry in &entries {
+            match parse_job_spec(entry) {
+                Ok(job) => owned.push(job),
+                Err(e) => {
+                    let (job, _) = self.async_jobs.register(
+                        key,
+                        "sweep",
+                        entries.len() as u64,
+                        JobState::Failed,
+                        0,
+                    );
+                    job.fail(format!("journaled intent no longer parses: {}", e.message));
+                    return;
+                }
+            }
+        }
+        let already = replay.indexes();
+        let (job, fresh) = self.async_jobs.register(
+            key,
+            "sweep",
+            owned.len() as u64,
+            JobState::Running,
+            already.len() as u64,
+        );
+        if !fresh {
+            return;
+        }
+        obs_log::info(
+            "serve",
+            "resuming interrupted async sweep from journal",
+            &[
+                ("key", key.to_string().into()),
+                ("jobs_total", (owned.len() as u64).into()),
+                ("records_journaled", (already.len() as u64).into()),
+            ],
+        );
+        self.spawn_sweep_driver(
+            Arc::clone(journal),
+            job,
+            owned,
+            key.to_string(),
+            None,
+            already,
+            true,
+        );
+    }
+
+    fn resume_workflow(
+        &self,
+        journal: &Arc<Journal>,
+        key: &str,
+        payload: &Json,
+        replay: &heteropipe_engine::Replay,
+    ) {
+        let graph = match workflow_graph(payload) {
+            Ok(graph) => graph,
+            Err(e) => {
+                let (job, _) = self
+                    .async_jobs
+                    .register(key, "workflow", 0, JobState::Failed, 0);
+                job.fail(format!("journaled intent no longer parses: {}", e.message));
+                return;
+            }
+        };
+        let total = graph.len() as u64 + 1;
+        let already = replay.indexes();
+        let (job, fresh) = self.async_jobs.register(
+            key,
+            "workflow",
+            total,
+            JobState::Running,
+            already.len() as u64,
+        );
+        if !fresh {
+            return;
+        }
+        obs_log::info(
+            "serve",
+            "resuming interrupted async workflow from journal",
+            &[
+                ("key", key.to_string().into()),
+                ("records_journaled", (already.len() as u64).into()),
+            ],
+        );
+        self.spawn_workflow_driver(
+            Arc::clone(journal),
+            job,
+            graph,
+            key.to_string(),
+            None,
+            already,
+            true,
+        );
+    }
+
     /// `POST /v1/workflows`: runs a task graph — a built-in named graph
     /// (`{"workflow": "fig5", "scale": 0.08}`) or an inline list of sweep
     /// stages with dependency edges — streaming one NDJSON stage-completion
@@ -894,6 +1586,17 @@ impl Api {
             Ok(key) => key.hex(),
             Err(e) => return fail(req, 400, "bad_request", &format!("invalid workflow: {e}")),
         };
+        if wants_async(req) {
+            return self.workflow_async(req, &body, graph, wkey);
+        }
+        // An `X-Deadline-Ms` budget (already vetted by admission) becomes
+        // an absolute deadline the DAG runner checks between levels:
+        // stages whose level starts past it fail with a deadline error
+        // and their dependents cascade-skip.
+        let deadline = deadline_ms(req)
+            .ok()
+            .flatten()
+            .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
         let flow = Arc::clone(&self.flow);
         let request_id = req.request_id.clone();
         let stream = BodyStream::new(move |sink| {
@@ -902,17 +1605,23 @@ impl Api {
             let out = Mutex::new(sink);
             let broken = AtomicBool::new(false);
             let rid = (!request_id.is_empty()).then_some(request_id.as_str());
-            let result = flow.run_observed(&graph, rid, &|ev| {
-                if broken.load(Ordering::Relaxed) {
-                    return;
-                }
-                let line = format!("{}\n", stage_event_json(ev).dump());
-                if out.lock().unwrap().send(line.as_bytes()).is_err() {
-                    // The peer went away mid-stream. Keep executing (the
-                    // memo still warms for the retry) but stop writing.
-                    broken.store(true, Ordering::Relaxed);
-                }
-            });
+            let result = flow.run_observed_deadline(
+                &graph,
+                rid,
+                &|ev| {
+                    if broken.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let line = format!("{}\n", stage_event_json(ev).dump());
+                    if out.lock().unwrap().send(line.as_bytes()).is_err() {
+                        // The peer went away mid-stream. Keep executing
+                        // (the memo still warms for the retry) but stop
+                        // writing.
+                        broken.store(true, Ordering::Relaxed);
+                    }
+                },
+                deadline,
+            );
             let result = result.expect("graph validated before streaming");
             if broken.load(Ordering::Relaxed) {
                 return Err(std::io::Error::new(
@@ -940,12 +1649,43 @@ impl Api {
                 &format!("workflow key must be 32 hex characters, got {key:?}"),
             );
         }
-        match self.flow.journaled(&key.to_ascii_lowercase()) {
-            Some(result) => Response::json(200, &workflow_result_json(&result))
+        let key = key.to_ascii_lowercase();
+        if let Some(result) = self.flow.journaled(&key) {
+            return Response::json(200, &workflow_result_json(&result))
                 .with_header("X-Workflow-Key", &result.key_hex)
-                .into_chunked(),
-            None => fail(req, 404, "not_found", "no journaled workflow for that key"),
+                .into_chunked();
         }
+        // Not in the in-memory result journal: an async workflow this
+        // process is (or was) driving answers its live status...
+        if let Some(job) = self.async_jobs.get(&key) {
+            if job.state() != JobState::Done {
+                return Response::json(200, &jobs::status_json(&key, &job))
+                    .with_header("X-Workflow-Key", &key);
+            }
+        }
+        // ...and a sealed segment from a previous process answers from
+        // disk: its final record is the full result JSON.
+        if let Some(journal) = self.journal.get() {
+            if let Ok(Some(replay)) = journal.replay(&key) {
+                if replay.done {
+                    if let Some(result) = replay
+                        .records
+                        .iter()
+                        .max_by_key(|&&(i, _)| i)
+                        .and_then(|(_, line)| Json::parse(line))
+                        .filter(|v| v.get("workflow").is_some())
+                    {
+                        return Response::json(200, &result)
+                            .with_header("X-Workflow-Key", &key)
+                            .into_chunked();
+                    }
+                }
+                if let Some(body) = journal_status_json(&key, "workflow", &replay) {
+                    return Response::json(200, &body).with_header("X-Workflow-Key", &key);
+                }
+            }
+        }
+        fail(req, 404, "not_found", "no journaled workflow for that key")
     }
 
     fn experiment(&self, req: &Request, name: &str) -> Response {
@@ -993,6 +1733,145 @@ impl Api {
 
 fn fig4_rows(exec: &dyn Executor, scale: Scale) -> Vec<fig456::Fig4Row> {
     fig456::fig4(&characterize_all_with(exec, scale))
+}
+
+/// The background body of an async sweep: execute the batch, append each
+/// record to the journal as it completes, then seal the segment. Records
+/// whose index is in `already` were journaled by a previous process and
+/// are skipped (the engine still "executes" them, but the cache answers).
+/// A failed append never fails the job — it is retried once after the
+/// batch; only records that still cannot be journaled fail the job, since
+/// an unsealed segment without them could never resume faithfully.
+#[allow(clippy::too_many_arguments)]
+fn drive_sweep(
+    engine: &Arc<Engine>,
+    journal: &Arc<Journal>,
+    job: &Arc<AsyncJob>,
+    owned: &[OwnedJobSpec],
+    key_hex: &str,
+    request_id: Option<String>,
+    already: &HashSet<u64>,
+    recovered: bool,
+) {
+    let specs: Vec<JobSpec<'_>> = owned.iter().map(OwnedJobSpec::spec).collect();
+    let rid = request_id.as_deref();
+    let retry: Mutex<Vec<(u64, String, bool)>> = Mutex::new(Vec::new());
+    engine.execute_sweep_observed(&specs, rid, &|rec| {
+        let index = rec.index as u64;
+        if already.contains(&index) {
+            return;
+        }
+        let line = sweep_record_json(rec).dump();
+        let errored = rec.result.is_err();
+        match journal.append_record(key_hex, index, &line) {
+            Ok(()) => job.record_done(errored),
+            Err(e) => {
+                obs_log::warn(
+                    "serve",
+                    "journal append failed; retrying after the batch",
+                    &[
+                        ("key", key_hex.to_string().into()),
+                        ("index", index.into()),
+                        ("error", e.to_string().into()),
+                    ],
+                );
+                retry.lock().unwrap().push((index, line, errored));
+            }
+        }
+    });
+    let mut lost = 0u64;
+    for (index, line, errored) in retry.into_inner().unwrap() {
+        match journal.append_record(key_hex, index, &line) {
+            Ok(()) => job.record_done(errored),
+            Err(e) => {
+                lost += 1;
+                obs_log::error(
+                    "serve",
+                    "journal append failed permanently",
+                    &[
+                        ("key", key_hex.to_string().into()),
+                        ("index", index.into()),
+                        ("error", e.to_string().into()),
+                    ],
+                );
+            }
+        }
+    }
+    if lost > 0 {
+        job.fail(format!("{lost} record(s) could not be journaled"));
+        return;
+    }
+    match journal.finish(key_hex, job.total) {
+        Ok(()) => {
+            if recovered {
+                journal.mark_recovered();
+            }
+            job.set_state(JobState::Done);
+        }
+        Err(e) => job.fail(format!("journal seal failed: {e}")),
+    }
+}
+
+/// The background body of an async workflow: run the graph, journaling
+/// one record per stage event (in emission order) and a final record
+/// holding the full result JSON — the shape `GET /v1/workflows/{key}`
+/// serves, so a restarted process can answer lookups from disk alone.
+#[allow(clippy::too_many_arguments)]
+fn drive_workflow(
+    flow: &Arc<FlowRunner>,
+    journal: &Arc<Journal>,
+    job: &Arc<AsyncJob>,
+    graph: &TaskGraph,
+    key_hex: &str,
+    request_id: Option<String>,
+    already: &HashSet<u64>,
+    recovered: bool,
+) {
+    let rid = request_id.as_deref();
+    let counter = AtomicU64::new(0);
+    let result = flow.run_observed(graph, rid, &|ev| {
+        let index = counter.fetch_add(1, Ordering::Relaxed);
+        if already.contains(&index) {
+            return;
+        }
+        let line = stage_event_json(ev).dump();
+        let errored = ev.error.is_some();
+        match journal.append_record(key_hex, index, &line) {
+            Ok(()) => job.record_done(errored),
+            Err(e) => obs_log::warn(
+                "serve",
+                "journal append failed for workflow stage event",
+                &[
+                    ("key", key_hex.to_string().into()),
+                    ("index", index.into()),
+                    ("error", e.to_string().into()),
+                ],
+            ),
+        }
+    });
+    match result {
+        Ok(result) => {
+            let final_index = job.total.saturating_sub(1);
+            if !already.contains(&final_index) {
+                let line = workflow_result_json(&result).dump();
+                if let Err(e) = journal.append_record(key_hex, final_index, &line) {
+                    job.fail(format!("journal append failed for workflow result: {e}"));
+                    return;
+                }
+                job.record_done(false);
+            }
+            match journal.finish(key_hex, job.total) {
+                Ok(()) => {
+                    if recovered {
+                        journal.mark_recovered();
+                    }
+                    job.set_state(JobState::Done);
+                }
+                Err(e) => job.fail(format!("journal seal failed: {e}")),
+            }
+        }
+        Err(e) => job.fail(format!("workflow failed: {e}")),
+    }
 }
 
 /// Parses a request body as a JSON object (`None` for empty, non-UTF-8,

@@ -51,13 +51,16 @@ pub mod breaker;
 pub mod client;
 pub mod error;
 pub mod http;
+pub mod jobs;
 pub mod json;
 pub mod server;
 pub mod shutdown;
+pub mod tenant;
 
-pub use api::{serve, Api};
+pub use api::{serve, serve_durable, Api};
 pub use breaker::{Admission, BreakerConfig, CircuitBreaker};
 pub use client::{ApiError, Client, ClientPool, ClientResponse, PooledClient};
 pub use error::envelope;
 pub use json::Json;
 pub use server::{Handler, Server, ServerConfig, ServerHandle, ServerStats};
+pub use tenant::TenantGate;

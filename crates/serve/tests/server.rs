@@ -6,8 +6,8 @@ use std::sync::Arc;
 
 use heteropipe_engine::Engine;
 use heteropipe_faults::{FaultPlan, Injector, RetryPolicy};
-use heteropipe_serve::server::ServerConfig;
-use heteropipe_serve::{api, BreakerConfig, Client, Json, ServerHandle};
+use heteropipe_serve::server::{Server, ServerConfig};
+use heteropipe_serve::{api, Api, BreakerConfig, Client, Json, ServerHandle, TenantGate};
 
 fn start(engine: Engine) -> ServerHandle {
     let cfg = ServerConfig {
@@ -833,4 +833,358 @@ fn experiment_endpoint_renders_tables() {
     assert_eq!(resp.status, 404, "unknown experiment name");
 
     handle.shutdown_and_join();
+}
+
+// ---- durability, deadlines, and admission ------------------------------
+
+fn temp_journal(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "heteropipe-serve-test-journal-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_durable(engine: Engine, journal_dir: &std::path::Path) -> ServerHandle {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        max_inflight: 32,
+        ..ServerConfig::default()
+    };
+    let journal = heteropipe_engine::Journal::open(journal_dir).expect("open journal");
+    api::serve_durable(cfg, Arc::new(engine), Arc::new(journal)).expect("bind durable server")
+}
+
+/// A server whose admission gate is hand-built instead of read from the
+/// environment (the env var would race with parallel tests).
+fn start_gated(engine: Engine, plan: &str) -> ServerHandle {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        max_inflight: 32,
+        ..ServerConfig::default()
+    };
+    let api = Api::new(Arc::new(engine));
+    api.attach_tenants(Arc::new(
+        TenantGate::parse(plan).expect("tenant plan parses"),
+    ));
+    let server = Server::bind(cfg, api.clone()).expect("bind gated server");
+    api.attach_stats(server.stats());
+    api.attach_breaker(server.breaker());
+    server.start()
+}
+
+fn sweep_of(benchmarks: &[&str]) -> Json {
+    Json::Obj(vec![(
+        "jobs".into(),
+        Json::Arr(benchmarks.iter().map(|b| run_body(b)).collect()),
+    )])
+}
+
+/// Per-job record lines of a sweep NDJSON body, sorted by `index` (the
+/// sync stream is completion-ordered with a trailing timing summary;
+/// `/records` is index-ordered without one).
+fn sorted_records(body: &[u8]) -> Vec<String> {
+    let text = std::str::from_utf8(body).expect("stream is UTF-8");
+    let mut records: Vec<(u64, String)> = text
+        .lines()
+        .filter_map(|line| {
+            let v = Json::parse(line)?;
+            Some((v.get("index").and_then(Json::as_u64)?, line.to_string()))
+        })
+        .collect();
+    records.sort_by_key(|&(i, _)| i);
+    records.into_iter().map(|(_, l)| l).collect()
+}
+
+#[test]
+fn async_sweep_lifecycle_reconstructs_the_sync_stream() {
+    let journal_dir = temp_journal("lifecycle");
+    let handle = start_durable(Engine::new().memory_cache_only(), &journal_dir);
+    let mut client = Client::new(handle.addr().to_string());
+    // Three entries with an in-batch duplicate: records are per entry,
+    // so the duplicate owns its own index in both streams.
+    let body = sweep_of(&["rodinia/kmeans", "rodinia/srad", "rodinia/kmeans"]);
+
+    let sync = client.post_json("/v1/sweeps", &body).unwrap();
+    assert_eq!(sync.status, 200);
+    let reference = sorted_records(&sync.body);
+    assert_eq!(reference.len(), 3);
+
+    let accepted = client.post_json("/v1/sweeps?async=1", &body).unwrap();
+    assert_eq!(accepted.status, 202, "async submit is accepted");
+    let v = accepted.json().unwrap();
+    let key = v.get("key").and_then(Json::as_str).unwrap().to_string();
+    assert_eq!(v.get("kind").and_then(Json::as_str), Some("sweep"));
+    assert_eq!(
+        v.get("status_url").and_then(Json::as_str),
+        Some(format!("/v1/sweeps/{key}").as_str())
+    );
+    assert_eq!(accepted.header("x-sweep-key"), Some(key.as_str()));
+
+    // Poll to completion; cache hits make this settle in a few rounds.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let status = loop {
+        let resp = client.get(&format!("/v1/sweeps/{key}")).unwrap();
+        assert_eq!(resp.status, 200);
+        let v = resp.json().unwrap();
+        match v.get("state").and_then(Json::as_str) {
+            Some("done") => break v,
+            Some("failed") => panic!("async sweep failed: {v:?}"),
+            _ => {
+                assert!(std::time::Instant::now() < deadline, "sweep never settled");
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        }
+    };
+    assert_eq!(status.get("jobs_total").and_then(Json::as_u64), Some(3));
+    assert_eq!(status.get("records_done").and_then(Json::as_u64), Some(3));
+    assert_eq!(status.get("records_failed").and_then(Json::as_u64), Some(0));
+
+    // The journaled records reconstruct the synchronous stream exactly.
+    let records = client.get(&format!("/v1/sweeps/{key}/records")).unwrap();
+    assert_eq!(records.status, 200);
+    assert_eq!(records.header("content-type"), Some("application/x-ndjson"));
+    assert_eq!(sorted_records(&records.body), reference);
+
+    // from_index resumes a partial read; a bad value is a 400.
+    let tail = client
+        .get(&format!("/v1/sweeps/{key}/records?from_index=2"))
+        .unwrap();
+    assert_eq!(tail.status, 200);
+    assert_eq!(sorted_records(&tail.body), reference[2..].to_vec());
+    let bad = client
+        .get(&format!("/v1/sweeps/{key}/records?from_index=x"))
+        .unwrap();
+    assert_eq!(bad.status, 400);
+
+    // Resubmitting a sealed sweep adopts the finished job instead of
+    // re-executing: still a 202, already done.
+    let again = client.post_json("/v1/sweeps?async=1", &body).unwrap();
+    assert_eq!(again.status, 202);
+    assert_eq!(
+        again.json().unwrap().get("state").and_then(Json::as_str),
+        Some("done")
+    );
+
+    // Unknown keys answer 404 on both resources.
+    let nope = "00000000000000000000000000000000";
+    assert_eq!(
+        client.get(&format!("/v1/sweeps/{nope}")).unwrap().status,
+        404
+    );
+    assert_eq!(
+        client
+            .get(&format!("/v1/sweeps/{nope}/records"))
+            .unwrap()
+            .status,
+        404
+    );
+
+    handle.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}
+
+#[test]
+fn async_submit_without_a_journal_is_refused() {
+    let handle = start(Engine::new().memory_cache_only());
+    let mut client = Client::new(handle.addr().to_string());
+    let resp = client
+        .post_json("/v1/sweeps?async=1", &sweep_of(&["rodinia/kmeans"]))
+        .unwrap();
+    assert_eq!(resp.status, 503, "no journal, no durable accept");
+    let v = resp.json().unwrap();
+    assert_eq!(
+        v.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("async_unavailable")
+    );
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn tenant_gate_throttles_with_envelope_and_metrics() {
+    let handle = start_gated(Engine::new().memory_cache_only(), "alice=1:2;*=1:1");
+    let mut client = Client::new(handle.addr().to_string());
+    let alice: &[(&str, &str)] = &[("X-Api-Key", "alice")];
+
+    // Burst of 2, then the bucket is empty.
+    for _ in 0..2 {
+        assert_eq!(
+            client
+                .get_with_headers("/v1/benchmarks", alice)
+                .unwrap()
+                .status,
+            200
+        );
+    }
+    let throttled = client.get_with_headers("/v1/benchmarks", alice).unwrap();
+    assert_eq!(throttled.status, 429);
+    let retry_after: u64 = throttled
+        .header("retry-after")
+        .expect("429 carries Retry-After")
+        .parse()
+        .unwrap();
+    assert!(retry_after >= 1);
+    let v = throttled.json().unwrap();
+    let err = v.get("error").unwrap();
+    assert_eq!(
+        err.get("code").and_then(Json::as_str),
+        Some("tenant_throttled")
+    );
+    assert_eq!(
+        err.get("retry_after_s").and_then(Json::as_u64),
+        Some(retry_after)
+    );
+
+    // Unknown keys share the wildcard bucket; keyless and exempt
+    // requests always admit.
+    let mallory: &[(&str, &str)] = &[("X-Api-Key", "mallory")];
+    assert_eq!(
+        client
+            .get_with_headers("/v1/benchmarks", mallory)
+            .unwrap()
+            .status,
+        200
+    );
+    assert_eq!(
+        client
+            .get_with_headers("/v1/benchmarks", mallory)
+            .unwrap()
+            .status,
+        429
+    );
+    assert_eq!(client.get("/v1/benchmarks").unwrap().status, 200);
+    assert_eq!(
+        client.get_with_headers("/healthz", alice).unwrap().status,
+        200
+    );
+
+    // Both metric formats expose the per-tenant tallies.
+    let m = client.get("/metrics").unwrap().json().unwrap();
+    let tenants = m.get("tenants").and_then(Json::as_array).unwrap();
+    let alice_row = tenants
+        .iter()
+        .find(|t| t.get("tenant").and_then(Json::as_str) == Some("alice"))
+        .expect("alice bucket exported");
+    assert_eq!(alice_row.get("requests").and_then(Json::as_u64), Some(2));
+    assert_eq!(alice_row.get("throttled").and_then(Json::as_u64), Some(1));
+    let prom = client.get("/metrics?format=prometheus").unwrap();
+    let text = String::from_utf8(prom.body).unwrap();
+    assert!(
+        text.contains("heteropipe_tenant_throttled_total{tenant=\"alice\"} 1"),
+        "prometheus view carries the throttle counter"
+    );
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn deadline_header_refusals_and_validation() {
+    let handle = start(Engine::new().memory_cache_only());
+    let mut client = Client::new(handle.addr().to_string());
+
+    // A spent budget is refused with the standard envelope before any
+    // execution happens.
+    let spent = client
+        .get_with_headers("/v1/benchmarks", &[("X-Deadline-Ms", "0")])
+        .unwrap();
+    assert_eq!(spent.status, 504);
+    let v = spent.json().unwrap();
+    assert_eq!(
+        v.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("deadline_exceeded")
+    );
+    assert!(spent.header("retry-after").is_some());
+
+    // A garbage header is the caller's bug, not a timeout.
+    let bad = client
+        .get_with_headers("/v1/benchmarks", &[("X-Deadline-Ms", "soon")])
+        .unwrap();
+    assert_eq!(bad.status, 400);
+
+    // A generous budget sails through; the refusal shows up in both
+    // metric formats.
+    let ok = client
+        .get_with_headers("/v1/benchmarks", &[("X-Deadline-Ms", "60000")])
+        .unwrap();
+    assert_eq!(ok.status, 200);
+    let m = client.get("/metrics").unwrap().json().unwrap();
+    assert_eq!(m.get("deadline_exceeded").and_then(Json::as_u64), Some(1));
+    let prom = client.get("/metrics?format=prometheus").unwrap();
+    let text = String::from_utf8(prom.body).unwrap();
+    assert!(text.contains("heteropipe_deadline_exceeded_total 1"));
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn async_submit_of_a_maximum_size_sweep_answers_before_execution() {
+    let journal_dir = temp_journal("full-size");
+    let handle = start_durable(Engine::new().memory_cache_only(), &journal_dir);
+    let mut client =
+        Client::new(handle.addr().to_string()).with_timeout(std::time::Duration::from_secs(60));
+
+    // The sweep cap (512 entries) built from four unique jobs: in-batch
+    // dedup keeps execution cheap while the journal still carries one
+    // record per entry.
+    let benches = [
+        "rodinia/kmeans",
+        "rodinia/srad",
+        "rodinia/bfs",
+        "rodinia/nw",
+    ];
+    let jobs: Vec<Json> = (0..512)
+        .map(|i| run_body(benches[i % benches.len()]))
+        .collect();
+    let body = Json::Obj(vec![("jobs".into(), Json::Arr(jobs))]);
+
+    let sync = client.post_json("/v1/sweeps", &body).unwrap();
+    assert_eq!(sync.status, 200);
+    let reference = sorted_records(&sync.body);
+    assert_eq!(reference.len(), 512);
+
+    // The 202 must come back as soon as the intent is durable — never
+    // after execution. 250 ms is generous headroom over the <50 ms
+    // target for a loaded CI machine.
+    let submitted = std::time::Instant::now();
+    let accepted = client.post_json("/v1/sweeps?async=1", &body).unwrap();
+    let latency = submitted.elapsed();
+    assert_eq!(accepted.status, 202);
+    assert!(
+        latency < std::time::Duration::from_millis(250),
+        "512-job async submit must not wait for execution (took {latency:?})"
+    );
+    let key = accepted
+        .json()
+        .and_then(|v| v.get("key").and_then(Json::as_str).map(str::to_string))
+        .unwrap();
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let v = client
+            .get(&format!("/v1/sweeps/{key}"))
+            .unwrap()
+            .json()
+            .unwrap();
+        match v.get("state").and_then(Json::as_str) {
+            Some("done") => break,
+            Some("failed") => panic!("async sweep failed: {v:?}"),
+            _ => {
+                assert!(std::time::Instant::now() < deadline, "sweep never settled");
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        }
+    }
+    let records = client.get(&format!("/v1/sweeps/{key}/records")).unwrap();
+    assert_eq!(records.status, 200);
+    assert_eq!(sorted_records(&records.body), reference);
+
+    handle.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&journal_dir);
 }
