@@ -50,11 +50,14 @@ fn main() {
     let engine = Arc::new(args.engine().with_faults(Arc::clone(&faults)));
     // `--journal-dir` makes the server durable: async jobs are journaled
     // ahead of execution and interrupted ones resume on the next start.
+    // Sealed segments past the `--journal-keep` retention are swept first
+    // so the directory resume scans does not grow without bound.
     let handle = match &args.journal_dir {
         Some(dir) => {
             let journal = heteropipe_engine::Journal::open(dir)
                 .unwrap_or_else(|e| panic!("could not open journal at {dir}: {e}"))
                 .with_faults(faults);
+            journal.gc(Duration::from_secs(args.journal_keep_s));
             api::serve_durable(cfg, Arc::clone(&engine), Arc::new(journal))
         }
         None => api::serve(cfg, Arc::clone(&engine)),

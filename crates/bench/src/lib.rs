@@ -21,6 +21,10 @@ pub mod timing;
 use heteropipe_engine::Engine;
 use heteropipe_workloads::Scale;
 
+/// Default `--journal-keep` retention for sealed journal segments: seven
+/// days, in seconds.
+pub const DEFAULT_JOURNAL_KEEP_S: u64 = 7 * 24 * 60 * 60;
+
 /// Parses the common CLI arguments of the harness binaries.
 ///
 /// Recognized: `--scale <f64>` (input scale factor, default 1.0),
@@ -35,6 +39,8 @@ use heteropipe_workloads::Scale;
 /// `--cache-dir <path>` (disk-cache location, so cluster workers
 /// keep disjoint caches), `--journal-dir <path>` (write-ahead journal
 /// for durable `?async=1` jobs — `serve` and `loadgen` use it),
+/// `--journal-keep <seconds>` (retention for sealed journal segments;
+/// older ones are GC'd at startup, default seven days),
 /// `--async` (loadgen submits sweeps asynchronously and polls them), and
 /// `--deadline-ms <N>` (loadgen stamps every request with an
 /// `X-Deadline-Ms` budget so deadline aborts become measurable).
@@ -69,6 +75,11 @@ pub struct HarnessArgs {
     /// Write-ahead journal directory: `serve` started with one accepts
     /// `?async=1` jobs durably and resumes them after a crash.
     pub journal_dir: Option<String>,
+    /// Journal retention threshold in seconds: at startup, sealed journal
+    /// segments older than this are deleted before resume scans the
+    /// directory (`heteropipe_journal_gc_total` counts them). Default
+    /// seven days; unsealed segments are never GC'd.
+    pub journal_keep_s: u64,
     /// Whether `loadgen` exercises the async sweep path (submit, poll,
     /// fetch records) instead of synchronous streaming.
     pub async_mode: bool,
@@ -103,6 +114,7 @@ impl HarnessArgs {
             worker: false,
             cache_dir: None,
             journal_dir: None,
+            journal_keep_s: DEFAULT_JOURNAL_KEEP_S,
             async_mode: false,
             deadline_ms: None,
         };
@@ -152,6 +164,12 @@ impl HarnessArgs {
                             .unwrap_or_else(|| panic!("--journal-dir requires a path")),
                     );
                 }
+                "--journal-keep" => {
+                    out.journal_keep_s = it
+                        .next()
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or_else(|| panic!("--journal-keep requires seconds"));
+                }
                 "--async" => out.async_mode = true,
                 "--deadline-ms" => {
                     out.deadline_ms = Some(positive(&mut it, "--deadline-ms") as u64);
@@ -160,8 +178,8 @@ impl HarnessArgs {
                     "unknown argument {other}; accepted: --scale <f64>, --jobs <N>, \
                      --no-cache, --csv, --addr <host:port>, --threads <N>, \
                      --max-inflight <N>, --requests <N>, --worker, \
-                     --cache-dir <path>, --journal-dir <path>, --async, \
-                     --deadline-ms <N>"
+                     --cache-dir <path>, --journal-dir <path>, \
+                     --journal-keep <seconds>, --async, --deadline-ms <N>"
                 ),
             }
         }
@@ -325,6 +343,22 @@ mod tests {
         assert_eq!(b.journal_dir, None);
         assert!(!b.async_mode);
         assert_eq!(b.deadline_ms, None);
+    }
+
+    #[test]
+    fn parses_journal_keep() {
+        let a = args(&["--journal-keep", "3600"]);
+        assert_eq!(a.journal_keep_s, 3600);
+        let b = args(&["--journal-keep", "0"]);
+        assert_eq!(b.journal_keep_s, 0, "zero retention sweeps everything");
+        let c = HarnessArgs::from_iter(Vec::new());
+        assert_eq!(c.journal_keep_s, DEFAULT_JOURNAL_KEEP_S);
+    }
+
+    #[test]
+    #[should_panic(expected = "--journal-keep requires")]
+    fn rejects_bad_journal_keep() {
+        HarnessArgs::from_iter(["--journal-keep".to_string(), "soon".to_string()]);
     }
 
     #[test]

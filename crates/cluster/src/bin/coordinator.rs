@@ -26,7 +26,11 @@ struct Args {
     max_inflight: Option<usize>,
     timeout_ms: Option<u64>,
     journal_dir: Option<String>,
+    journal_keep_s: u64,
 }
+
+/// Default `--journal-keep` retention: seven days, in seconds.
+const DEFAULT_JOURNAL_KEEP_S: u64 = 7 * 24 * 60 * 60;
 
 fn parse_args() -> Args {
     let mut out = Args {
@@ -36,6 +40,7 @@ fn parse_args() -> Args {
         max_inflight: None,
         timeout_ms: None,
         journal_dir: None,
+        journal_keep_s: DEFAULT_JOURNAL_KEEP_S,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -60,8 +65,11 @@ fn parse_args() -> Args {
                 out.timeout_ms = Some(value("--timeout-ms").parse().expect("--timeout-ms"));
             }
             "--journal-dir" => out.journal_dir = Some(value("--journal-dir")),
+            "--journal-keep" => {
+                out.journal_keep_s = value("--journal-keep").parse().expect("--journal-keep");
+            }
             other => panic!(
-                "unknown flag {other} (expected --addr, --workers, --threads, --max-inflight, --timeout-ms, --journal-dir)"
+                "unknown flag {other} (expected --addr, --workers, --threads, --max-inflight, --timeout-ms, --journal-dir, --journal-keep)"
             ),
         }
     }
@@ -107,12 +115,14 @@ fn main() {
 
     // `--journal-dir` makes the coordinator durable: async sweeps and
     // workflows are journaled ahead of execution and interrupted ones
-    // resume on the next start.
+    // resume on the next start. Sealed segments past the `--journal-keep`
+    // retention are swept first.
     let handle = match &args.journal_dir {
         Some(dir) => {
             let journal = heteropipe_engine::Journal::open(dir)
                 .unwrap_or_else(|e| panic!("could not open journal at {dir}: {e}"))
                 .with_faults(Arc::clone(&cluster.faults));
+            journal.gc(Duration::from_secs(args.journal_keep_s));
             serve_cluster_durable(cfg, cluster, Arc::new(journal))
         }
         None => serve_cluster(cfg, cluster),

@@ -461,7 +461,13 @@ fn passthrough(resp: &ClientResponse) -> Response {
         chunked: false,
         stream: None,
     };
-    for name in ["X-Run-Key", "X-Sweep-Key", "X-Workflow-Key", "Retry-After"] {
+    for name in [
+        "X-Run-Key",
+        "X-Sweep-Key",
+        "X-Workflow-Key",
+        "ETag",
+        "Retry-After",
+    ] {
         if let Some(v) = resp.header(&name.to_ascii_lowercase()) {
             out = out.with_header(name, v);
         }
@@ -527,13 +533,22 @@ impl Handler for Coordinator {
             (_, path) if path.starts_with("/v1/sweeps/") => {
                 self.sweep_resource(req, &path["/v1/sweeps/".len()..])
             }
+            // The experiment catalogue is static metadata; both GET forms
+            // answer locally from the same tables the workers serve.
+            ("GET", "/v1/experiments") => api::experiments(),
+            ("GET", path) if path.starts_with("/v1/experiments/") => {
+                api::experiment_lookup(req, &path["/v1/experiments/".len()..])
+            }
             ("POST", path) if path.starts_with("/v1/experiments/") => self.experiment(req),
             (
                 _,
                 "/healthz" | "/healthz/live" | "/healthz/ready" | "/metrics" | "/v1/benchmarks",
             ) => method_not_allowed(req, "GET"),
             (_, "/v1/runs" | "/v1/sweeps" | "/v1/workflows") => method_not_allowed(req, "POST"),
-            (_, path) if path.starts_with("/v1/experiments/") => method_not_allowed(req, "POST"),
+            (_, "/v1/experiments") => method_not_allowed(req, "GET"),
+            (_, path) if path.starts_with("/v1/experiments/") => {
+                method_not_allowed(req, "GET, POST")
+            }
             _ => fail(req, 404, "not_found", "no such route"),
         }
     }
@@ -620,6 +635,9 @@ impl Coordinator {
         if let Some(k) = &result.run_key {
             resp = resp.with_header("X-Run-Key", k);
         }
+        if let Some(etag) = &result.etag {
+            resp = resp.with_header("ETag", etag);
+        }
         resp
     }
 
@@ -641,6 +659,7 @@ impl Coordinator {
                     status: resp.status,
                     body: resp.body,
                     run_key: Some(hex),
+                    etag: None,
                 };
             };
             let budget = budget.map(|ms| ms.to_string());
@@ -650,6 +669,7 @@ impl Coordinator {
                     status: resp.status,
                     body: resp.body,
                     run_key: Some(hex),
+                    etag: None,
                 };
             };
             // Third cache tier: the owning shard's disk may already hold
@@ -657,10 +677,15 @@ impl Coordinator {
             // transport error is not yet a verdict on the worker; the
             // forward below decides whether to rehash.
             if let Ok(Some(report)) = self.probe_peer(slot, &hex, rid, 0, budget.as_deref()) {
+                // The peer tier served validated bytes; the content
+                // address is a strong validator, echoed as the ETag
+                // exactly as the worker's own GET would.
+                let etag = format!("\"{hex}\"");
                 return FlightResult {
                     status: 200,
                     body: report,
                     run_key: Some(hex),
+                    etag: Some(etag),
                 };
             }
             let tc = trace_context(rid, "run_forward", 0);
@@ -681,6 +706,7 @@ impl Coordinator {
                         status: resp.status,
                         body: resp.body,
                         run_key,
+                        etag: None,
                     };
                 }
                 Err(_) => {
@@ -2368,6 +2394,7 @@ impl Coordinator {
                         Json::U64(s.segments_quarantined),
                     ),
                     ("torn_truncated".into(), Json::U64(s.torn_truncated)),
+                    ("gc_swept".into(), Json::U64(s.gc_swept)),
                     ("async_jobs".into(), Json::U64(self.async_jobs.len() as u64)),
                 ])
             }
@@ -2547,6 +2574,11 @@ impl Coordinator {
                 "heteropipe_journal_segments_quarantined_total",
                 "Corrupt journal segments moved to quarantine.",
                 s.segments_quarantined,
+            );
+            set(
+                "heteropipe_journal_gc_total",
+                "Expired sealed journal segments deleted by startup GC.",
+                s.gc_swept,
             );
         }
         set(

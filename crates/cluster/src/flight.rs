@@ -21,6 +21,10 @@ pub struct FlightResult {
     pub body: Vec<u8>,
     /// The `X-Run-Key` to stamp on the replayed response, when known.
     pub run_key: Option<String>,
+    /// The `ETag` to stamp on the replayed response — set when the body
+    /// came from the peer-cache probe, whose content address doubles as a
+    /// strong validator.
+    pub etag: Option<String>,
 }
 
 struct Flight {
@@ -100,6 +104,7 @@ mod tests {
                     status: 200,
                     body: b"ok".to_vec(),
                     run_key: None,
+                    etag: None,
                 }
             });
             assert_eq!(result.status, 200);
@@ -130,6 +135,7 @@ mod tests {
                             status: 200,
                             body: b"led".to_vec(),
                             run_key: Some("aa".into()),
+                            etag: None,
                         }
                     });
                     if coalesced {
@@ -153,11 +159,13 @@ mod tests {
             status: 200,
             body: Vec::new(),
             run_key: None,
+            etag: None,
         });
         let (_, c2) = map.run(2, || FlightResult {
             status: 200,
             body: Vec::new(),
             run_key: None,
+            etag: None,
         });
         assert!(!c1 && !c2);
     }

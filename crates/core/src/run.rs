@@ -10,6 +10,7 @@
 //! serial server that picks the lowest-id ready task, so bulk-synchronous,
 //! streamed, and chunked organizations all execute deterministically.
 
+use std::cell::RefCell;
 use std::collections::BTreeSet;
 
 use heteropipe_cpu::{CpuModel, LevelCounts, StageWork};
@@ -81,6 +82,68 @@ struct Resources {
     pcie: Option<heteropipe_sim::ResourceId>,
 }
 
+/// Pooled per-run state — the run "arena". Every growable buffer a run
+/// needs is checked out of a thread-local pool when the run starts and
+/// returned (cleared, capacity intact) when the report is built, so
+/// repeated runs on one thread — the engine's job workers, every sweep —
+/// reuse a single set of allocations instead of growing and freeing
+/// thousands of per-pattern line buffers and bookkeeping vectors per job.
+#[derive(Default)]
+struct RunArena {
+    /// Pool of pattern line buffers (`Pattern::emit` targets).
+    line_bufs: Vec<Vec<LineAddr>>,
+    /// Fused-kernel pattern staging for the interleaved tile walk.
+    interleaved: Vec<(AccessKind, Vec<LineAddr>)>,
+    /// Tile cursors for the interleaved walk.
+    offsets: Vec<usize>,
+    /// `(component, start, end)` busy intervals.
+    busy: Vec<(Component, Ps, Ps)>,
+    /// Kernel-launch / DMA-setup intervals.
+    launches: Vec<(Ps, Ps)>,
+    /// Unmet-dependency counts per task.
+    indegree: Vec<usize>,
+    /// Reverse dependency lists per task.
+    dependents: Vec<Vec<usize>>,
+}
+
+thread_local! {
+    static ARENA: RefCell<RunArena> = RefCell::new(RunArena::default());
+}
+
+impl RunArena {
+    /// Checks the thread's arena out of the pool (empty on first use).
+    fn take() -> RunArena {
+        ARENA.with(|a| std::mem::take(&mut *a.borrow_mut()))
+    }
+
+    /// Returns the arena to the pool: one sweep of `clear()`s keeps every
+    /// buffer's capacity for the next run.
+    fn put_back(mut self) {
+        for b in &mut self.line_bufs {
+            b.clear();
+        }
+        while let Some((_, mut b)) = self.interleaved.pop() {
+            b.clear();
+            self.line_bufs.push(b);
+        }
+        self.offsets.clear();
+        self.busy.clear();
+        self.launches.clear();
+        self.indegree.clear();
+        for d in &mut self.dependents {
+            d.clear();
+        }
+        ARENA.with(|a| *a.borrow_mut() = self);
+    }
+
+    /// A cleared line buffer from the pool (fresh if the pool is dry).
+    fn line_buf(&mut self) -> Vec<LineAddr> {
+        let mut b = self.line_bufs.pop().unwrap_or_default();
+        b.clear();
+        b
+    }
+}
+
 struct FuncResult {
     counts: LevelCounts,
     /// Scattered first-touch faults (full handler round trip each).
@@ -124,11 +187,8 @@ struct Runner<'a> {
     cpu_flops: u64,
     gpu_flops: u64,
     faults: u64,
-    // (component, start, end) busy intervals + launch intervals.
-    busy: Vec<(Component, Ps, Ps)>,
-    launches: Vec<(Ps, Ps)>,
+    arena: RunArena,
     spans: Vec<TaskSpan>,
-    scratch_lines: Vec<LineAddr>,
     sm_cursor: u64,
 }
 
@@ -191,18 +251,22 @@ impl<'a> Runner<'a> {
             cpu_flops: 0,
             gpu_flops: 0,
             faults: 0,
-            busy: Vec::new(),
-            launches: Vec::new(),
+            arena: RunArena::take(),
             spans: Vec::new(),
-            scratch_lines: Vec::new(),
             sm_cursor: 0,
         }
     }
 
     fn execute(mut self) -> (RunReport, Vec<TaskSpan>) {
         let n = self.graph.tasks.len();
-        let mut indegree: Vec<usize> = self.graph.tasks.iter().map(|t| t.deps.len()).collect();
-        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indegree = std::mem::take(&mut self.arena.indegree);
+        indegree.clear();
+        indegree.extend(self.graph.tasks.iter().map(|t| t.deps.len()));
+        let mut dependents = std::mem::take(&mut self.arena.dependents);
+        for d in &mut dependents {
+            d.clear();
+        }
+        dependents.resize_with(n, Vec::new);
         for t in &self.graph.tasks {
             for d in &t.deps {
                 dependents[d.0].push(t.id.0);
@@ -259,6 +323,8 @@ impl<'a> Runner<'a> {
             }
         }
 
+        self.arena.indegree = indegree;
+        self.arena.dependents = dependents;
         let spans = std::mem::take(&mut self.spans);
         (self.report(now), spans)
     }
@@ -311,8 +377,8 @@ impl<'a> Runner<'a> {
                     }
                 };
                 if launch > Ps::ZERO {
-                    self.launches.push((now, now + launch));
-                    self.busy.push((Component::Cpu, now, now + launch));
+                    self.arena.launches.push((now, now + launch));
+                    self.arena.busy.push((Component::Cpu, now, now + launch));
                 }
                 let bytes = func.counts.offchip_transactions() as f64 * LINE_BYTES as f64;
                 // Row-buffer locality bounds the bandwidth this stage can
@@ -333,8 +399,8 @@ impl<'a> Runner<'a> {
                 // Queued DMA descriptors after the first chunk are cheap.
                 let full = self.config.pcie.expect("discrete has pcie").setup_latency();
                 let setup = if task.chunk.0 == 0 { full } else { full / 5 };
-                self.launches.push((now, now + setup));
-                self.busy.push((Component::Cpu, now, now + setup));
+                self.arena.launches.push((now, now + setup));
+                self.arena.busy.push((Component::Cpu, now, now + setup));
                 let transfer = self
                     .config
                     .pcie
@@ -392,7 +458,7 @@ impl<'a> Runner<'a> {
             TaskBody::SharedMemcpy { .. } => Ps::ZERO,
         };
         let body_start = (start + head).min(end);
-        self.busy.push((component, body_start, end));
+        self.arena.busy.push((component, body_start, end));
         self.spans.push(TaskSpan {
             name: match &self.pipeline.stages[task.body.stage()] {
                 Stage::Compute(c) => c.name.clone(),
@@ -428,7 +494,7 @@ impl<'a> Runner<'a> {
         // Fused kernels interleave their patterns tile-wise: emit each
         // pattern separately, then walk them round-robin in 64-line tiles
         // so a produced tile is consumed while still cache-resident.
-        let mut interleaved: Vec<(heteropipe_mem::AccessKind, Vec<LineAddr>)> = Vec::new();
+        let mut interleaved = std::mem::take(&mut self.arena.interleaved);
 
         for (pi, p) in c.patterns.iter().enumerate() {
             let resolved = &self.graph.buffers[p.buf.0];
@@ -450,8 +516,7 @@ impl<'a> Runner<'a> {
             let mut rng = SplitMix64::new(
                 0x5EED_0000 ^ (task.body.stage() as u64) << 32 ^ (chunk_i as u64) << 16 ^ pi as u64,
             );
-            self.scratch_lines.clear();
-            let mut lines = std::mem::take(&mut self.scratch_lines);
+            let mut lines = self.arena.line_buf();
             pattern.emit(range, elem, &mut rng, &mut lines);
             let is_random = matches!(
                 pattern,
@@ -466,7 +531,6 @@ impl<'a> Runner<'a> {
 
             if c.interleave_patterns {
                 interleaved.push((p.kind, lines));
-                self.scratch_lines = Vec::new();
                 continue;
             }
 
@@ -493,11 +557,14 @@ impl<'a> Runner<'a> {
                     }
                 }
             }
-            self.scratch_lines = lines;
+            lines.clear();
+            self.arena.line_bufs.push(lines);
         }
         if c.interleave_patterns && !interleaved.is_empty() {
             const TILE: usize = 64;
-            let mut offsets = vec![0usize; interleaved.len()];
+            let mut offsets = std::mem::take(&mut self.arena.offsets);
+            offsets.clear();
+            offsets.resize(interleaved.len(), 0);
             let mut remaining = true;
             while remaining {
                 remaining = false;
@@ -532,7 +599,15 @@ impl<'a> Runner<'a> {
                     }
                 }
             }
+            self.arena.offsets = offsets;
         }
+        // Hand the pattern buffers (and the staging vec itself) back to
+        // the pool for the next task.
+        while let Some((_, mut b)) = interleaved.pop() {
+            b.clear();
+            self.arena.line_bufs.push(b);
+        }
+        self.arena.interleaved = interleaved;
         self.faults += faults_full + faults_batched;
         FuncResult {
             counts,
@@ -682,7 +757,7 @@ impl<'a> Runner<'a> {
         let cpu_c = tl.add_component("cpu");
         let gpu_c = tl.add_component("gpu");
         let launch_c = tl.add_component("launch");
-        for &(comp, s, e) in &self.busy {
+        for &(comp, s, e) in &self.arena.busy {
             let c = match comp {
                 Component::Copy => copy_c,
                 Component::Cpu => cpu_c,
@@ -690,7 +765,7 @@ impl<'a> Runner<'a> {
             };
             tl.record(c, s, e);
         }
-        for &(s, e) in &self.launches {
+        for &(s, e) in &self.arena.launches {
             tl.record(launch_c, s, e);
         }
         let bd = tl.breakdown();
@@ -737,7 +812,7 @@ impl<'a> Runner<'a> {
         let bw = self.config.gpu_mem_bw();
         let bw_limited = roi > Ps::ZERO && offchip_bytes as f64 / roi.as_secs_f64() > 0.70 * bw;
 
-        RunReport {
+        let report = RunReport {
             benchmark: self.pipeline.name.clone(),
             platform: self.config.platform,
             organization: self.org,
@@ -757,7 +832,9 @@ impl<'a> Runner<'a> {
             gpu_flops: self.gpu_flops,
             remote_hits: self.hierarchy.remote_hits_cpu() + self.hierarchy.remote_hits_gpu(),
             bw_limited,
-        }
+        };
+        self.arena.put_back();
+        report
     }
 }
 

@@ -79,7 +79,12 @@ pub struct CacheStatsSnapshot {
 /// The result cache.
 #[derive(Debug)]
 pub struct ResultCache {
-    memory: Mutex<HashMap<u128, RunReport>>,
+    memory: Mutex<HashMap<u128, Arc<RunReport>>>,
+    /// Encoded-record tier for the zero-copy warm path: the exact `.hpr`
+    /// bytes per key, shared out as `Arc`s so warm `GET /v1/runs/{key}`
+    /// reads clone a pointer, not a report. Populated on `put` (from the
+    /// bytes just encoded for disk) and on validated disk reads.
+    bytes: Mutex<HashMap<u128, Arc<Vec<u8>>>>,
     disk_dir: Option<PathBuf>,
     faults: Arc<Injector>,
     retry: RetryPolicy,
@@ -93,6 +98,7 @@ impl ResultCache {
     pub fn in_memory() -> Self {
         ResultCache {
             memory: Mutex::new(HashMap::new()),
+            bytes: Mutex::new(HashMap::new()),
             disk_dir: None,
             faults: Arc::new(Injector::disabled()),
             retry: RetryPolicy::DEFAULT,
@@ -146,8 +152,11 @@ impl ResultCache {
     /// Looks `key` up, reporting which tier served it. Disk records that
     /// fail to decode are quarantined and read as misses.
     pub fn get(&self, key: RunKey) -> Option<(RunReport, CacheTier)> {
-        if let Some(hit) = self.memory.lock().unwrap().get(&key.0) {
-            return Some((hit.clone(), CacheTier::Memory));
+        // Clone the Arc inside the lock and the report outside it: warm
+        // hits contend only for a refcount bump, not a deep copy.
+        let hit = self.memory.lock().unwrap().get(&key.0).map(Arc::clone);
+        if let Some(hit) = hit {
+            return Some(((*hit).clone(), CacheTier::Memory));
         }
         let path = self.path_for(key)?;
 
@@ -180,7 +189,13 @@ impl ResultCache {
             heteropipe_obs::profile::time(crate::prof::decode(), || codec::decode(&bytes));
         match decoded {
             Some(report) => {
-                self.memory.lock().unwrap().insert(key.0, report.clone());
+                self.memory
+                    .lock()
+                    .unwrap()
+                    .insert(key.0, Arc::new(report.clone()));
+                // The bytes just read and verified feed the zero-copy
+                // tier too: the next byte-level read skips the disk.
+                self.bytes.lock().unwrap().insert(key.0, Arc::new(bytes));
                 Some((report, CacheTier::Disk))
             }
             None => {
@@ -190,17 +205,72 @@ impl ResultCache {
         }
     }
 
+    /// Byte-level lookup for the zero-copy warm path: the encoded `.hpr`
+    /// record for `key`, *validated* (magic, version, checksum — see
+    /// [`codec::validate`]) but never decoded. Serving layers that only
+    /// need the raw record — `GET /v1/runs/{key}`, the cluster peer-cache
+    /// probe — skip the full field-by-field decode entirely. Records that
+    /// fail validation are quarantined exactly like decode failures.
+    pub fn get_bytes(&self, key: RunKey) -> Option<(Arc<Vec<u8>>, CacheTier)> {
+        if let Some(hit) = self.bytes.lock().unwrap().get(&key.0) {
+            return Some((Arc::clone(hit), CacheTier::Memory));
+        }
+        let path = self.path_for(key)?;
+
+        let mut corrupt_injected = false;
+        if let Some(fault) = self.faults.roll(Site::CacheRead) {
+            if fault.kind == FaultKind::Corrupt {
+                corrupt_injected = true;
+            } else {
+                self.stats.read_errors.fetch_add(1, Ordering::Relaxed);
+                self.warn_io(key, "read cache file", &fault.io_error());
+                return None;
+            }
+        }
+
+        let mut bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                self.stats.read_errors.fetch_add(1, Ordering::Relaxed);
+                self.warn_io(key, "read cache file", &e);
+                return None;
+            }
+        };
+        if corrupt_injected {
+            if let Some(b) = bytes.first_mut() {
+                *b ^= 0x40;
+            }
+        }
+        let ok = heteropipe_obs::profile::time(crate::prof::validate(), || codec::validate(&bytes));
+        if ok {
+            let arc = Arc::new(bytes);
+            self.bytes.lock().unwrap().insert(key.0, Arc::clone(&arc));
+            Some((arc, CacheTier::Disk))
+        } else {
+            self.quarantine(key, &path);
+            None
+        }
+    }
+
     /// Stores `report` under `key` in both tiers. Transient disk failures
     /// are retried with backoff; a persist that stays broken never
     /// surfaces to the caller — caching is an optimization, never a
     /// correctness requirement — but is counted and logged at warn level
     /// so a silently cold cache is diagnosable.
     pub fn put(&self, key: RunKey, report: &RunReport) {
-        self.memory.lock().unwrap().insert(key.0, report.clone());
+        self.memory
+            .lock()
+            .unwrap()
+            .insert(key.0, Arc::new(report.clone()));
+        let encoded = Arc::new(codec::encode(report));
+        self.bytes
+            .lock()
+            .unwrap()
+            .insert(key.0, Arc::clone(&encoded));
         let Some(path) = self.path_for(key) else {
             return;
         };
-        let encoded = codec::encode(report);
         let jitter_seed = (key.0 as u64) ^ ((key.0 >> 64) as u64);
         let outcome = with_retries(
             &self.retry,

@@ -85,6 +85,28 @@ pub fn encode(report: &RunReport) -> Vec<u8> {
     w.buf
 }
 
+/// Cheaply validates an encoded report without decoding it: magic,
+/// version, and the trailing FNV-1a checksum — one linear pass, no field
+/// parsing and no allocation. The zero-copy warm path serves bytes that
+/// pass this check directly; anything [`decode`] would reject for
+/// structural reasons beyond these is caught by the checksum in practice
+/// (and the full decode still guards the first, cold read).
+pub fn validate(bytes: &[u8]) -> bool {
+    if bytes.len() < MAGIC.len() + 4 + 8 {
+        return false;
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return false;
+    }
+    let version = u32::from_le_bytes(bytes[MAGIC.len()..MAGIC.len() + 4].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return false;
+    }
+    let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+    fnv1a(body) == stored
+}
+
 /// Decodes a report, returning `None` on any malformation.
 pub fn decode(bytes: &[u8]) -> Option<RunReport> {
     // Checksum covers everything before the trailing 8 bytes.
@@ -276,6 +298,40 @@ mod tests {
         let bytes = encode(&report);
         let back = decode(&bytes).expect("decodes");
         assert_eq!(back, report);
+    }
+
+    /// `validate` accepts exactly what `decode` accepts on well-formed
+    /// encodes, and rejects the same magic/version/checksum malformations.
+    #[test]
+    fn validate_agrees_with_decode() {
+        let bytes = encode(&real_report());
+        assert!(validate(&bytes));
+
+        assert!(!validate(&[]));
+        assert!(!validate(&bytes[..bytes.len() - 1]), "truncated");
+        assert!(!validate(&bytes[1..]), "missing magic byte");
+
+        let mut flipped = bytes.clone();
+        flipped[10] ^= 0xFF;
+        assert!(!validate(&flipped), "checksum catches a bit flip");
+
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 0xEE;
+        let body_len = wrong_version.len() - 8;
+        let sum = fnv1a(&wrong_version[..body_len]).to_le_bytes();
+        wrong_version[body_len..].copy_from_slice(&sum);
+        assert!(!validate(&wrong_version), "unknown version");
+
+        heteropipe_sim::check::cases(128, 0x7A11_DA7E, |g| {
+            let n = g.usize(0, 256);
+            let noise = g.bytes(n);
+            if validate(&noise) {
+                // Anything validate accepts, decode must accept too
+                // (modulo structural damage the checksum missed, which the
+                // generator cannot produce from noise).
+                assert!(decode(&noise).is_some());
+            }
+        });
     }
 
     #[test]

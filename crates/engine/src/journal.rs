@@ -56,6 +56,7 @@ struct JournalStats {
     tmp_swept: AtomicU64,
     segments_quarantined: AtomicU64,
     torn_truncated: AtomicU64,
+    gc_swept: AtomicU64,
 }
 
 /// A point-in-time snapshot of the journal counters.
@@ -73,6 +74,8 @@ pub struct JournalStatsSnapshot {
     pub segments_quarantined: u64,
     /// Torn tail lines truncated during replay.
     pub torn_truncated: u64,
+    /// Expired sealed segments deleted by [`Journal::gc`].
+    pub gc_swept: u64,
 }
 
 /// What a segment held when it was replayed.
@@ -142,6 +145,7 @@ impl Journal {
             tmp_swept: self.stats.tmp_swept.load(Ordering::Relaxed),
             segments_quarantined: self.stats.segments_quarantined.load(Ordering::Relaxed),
             torn_truncated: self.stats.torn_truncated.load(Ordering::Relaxed),
+            gc_swept: self.stats.gc_swept.load(Ordering::Relaxed),
         }
     }
 
@@ -311,6 +315,53 @@ impl Journal {
         }
         keys.sort();
         keys
+    }
+
+    /// Deletes sealed segments whose last modification is older than
+    /// `keep`, returning how many were swept. Only segments replay shows
+    /// as done are eligible — an unsealed segment is pending resume work
+    /// no matter how old it is — and quarantined segments are left for
+    /// the operator. Run once at startup (before resume) by the durable
+    /// servers' `--journal-keep` retention flag; the count lands in
+    /// `heteropipe_journal_gc_total`.
+    pub fn gc(&self, keep: std::time::Duration) -> u64 {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let now = std::time::SystemTime::now();
+        let mut swept = 0u64;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let Some(key) = name.strip_suffix(&format!(".{SEGMENT_EXT}")) else {
+                continue;
+            };
+            if segment_key(key).is_err() {
+                continue;
+            }
+            let expired = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|mtime| now.duration_since(mtime).ok())
+                .is_some_and(|age| age > keep);
+            if !expired {
+                continue;
+            }
+            let sealed = matches!(self.replay(key), Ok(Some(replay)) if replay.done);
+            if sealed && std::fs::remove_file(entry.path()).is_ok() {
+                swept += 1;
+            }
+        }
+        if swept > 0 {
+            self.stats.gc_swept.fetch_add(swept, Ordering::Relaxed);
+            obs_log::info(
+                "journal",
+                "expired sealed segments swept",
+                &[("swept", swept.into()), ("keep_s", keep.as_secs().into())],
+            );
+        }
+        swept
     }
 
     // ---- internals --------------------------------------------------------
@@ -556,6 +607,30 @@ mod tests {
             )));
         assert_eq!(corrupt.replay(KEY).unwrap(), None);
         assert_eq!(corrupt.stats().segments_quarantined, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_sweeps_only_expired_sealed_segments() {
+        let dir = tmpdir("gc");
+        let j = Journal::open(&dir).unwrap();
+        const SEALED: &str = "aaaa0000aaaa0000aaaa0000aaaa0000";
+        const OPEN: &str = "bbbb0000bbbb0000bbbb0000bbbb0000";
+        j.begin(SEALED, "intent").unwrap();
+        j.append_record(SEALED, 0, "rec0").unwrap();
+        j.finish(SEALED, 1).unwrap();
+        j.begin(OPEN, "intent").unwrap();
+
+        // Everything is brand new: a generous threshold sweeps nothing.
+        assert_eq!(j.gc(std::time::Duration::from_secs(3600)), 0);
+        // A zero threshold makes both segments "old", but only the sealed
+        // one is eligible; the unsealed one still has resume work.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(j.gc(std::time::Duration::ZERO), 1);
+        assert!(!j.contains(SEALED));
+        assert!(j.contains(OPEN));
+        assert_eq!(j.stats().gc_swept, 1);
+        assert_eq!(j.incomplete(), vec![OPEN.to_string()]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -83,6 +83,7 @@ pub(crate) mod prof {
 
     phase_slot!(cache_probe, "engine.cache_probe");
     phase_slot!(decode, "engine.cache_decode");
+    phase_slot!(validate, "engine.cache_validate");
     phase_slot!(execute, "engine.execute");
     phase_slot!(persist, "engine.persist");
     phase_slot!(splice, "engine.trace_splice");
@@ -541,6 +542,18 @@ impl Engine {
             .as_ref()
             .and_then(|cache| cache.get(key))
             .map(|(report, _)| report)
+    }
+
+    /// The zero-copy variant of [`Engine::cached`]: the encoded `.hpr`
+    /// record for `key`, validated (magic/version/checksum) but not
+    /// decoded, shared as an `Arc`. Warm repeats cost a map lookup and a
+    /// pointer clone — no decode, no allocation, no byte copy — which is
+    /// what `GET /v1/runs/{key}` and the cluster peer-cache probe serve.
+    pub fn cached_bytes(&self, key: RunKey) -> Option<Arc<Vec<u8>>> {
+        self.cache
+            .as_ref()
+            .and_then(|cache| cache.get_bytes(key))
+            .map(|(bytes, _)| bytes)
     }
 
     /// One execution attempt: rolls the `job.exec` fault seam, isolates

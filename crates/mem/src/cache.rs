@@ -3,6 +3,12 @@
 //! A functional cache model: it tracks presence, dirtiness, and LRU order,
 //! and reports hits, misses, and dirty evictions. Timing is applied by the
 //! core models over the aggregate counts.
+//!
+//! Storage is structure-of-arrays: one flat tag array, one flat LRU array,
+//! and packed valid/dirty bitsets, so a set probe is a linear sweep over
+//! `ways` adjacent tags instead of a strided walk over per-way structs.
+//! The simulator spends most of its functional-model time in [`
+//! SetAssocCache::access`], and the tag sweep is the inner loop.
 
 use std::fmt;
 
@@ -106,12 +112,41 @@ impl CacheStats {
     }
 }
 
-#[derive(Clone)]
-struct Way {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    lru: u64,
+/// A packed per-slot bitset (one bit per line slot).
+#[derive(Clone, Default)]
+struct SlotBits {
+    words: Vec<u64>,
+}
+
+impl SlotBits {
+    fn zeroed(slots: usize) -> Self {
+        SlotBits {
+            words: vec![0; slots.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn get(&self, slot: usize) -> bool {
+        self.words[slot >> 6] & (1u64 << (slot & 63)) != 0
+    }
+
+    #[inline]
+    fn set(&mut self, slot: usize, value: bool) {
+        let mask = 1u64 << (slot & 63);
+        if value {
+            self.words[slot >> 6] |= mask;
+        } else {
+            self.words[slot >> 6] &= !mask;
+        }
+    }
+
+    fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
 }
 
 /// A set-associative, write-allocate, writeback cache with LRU replacement.
@@ -130,7 +165,12 @@ struct Way {
 /// ```
 pub struct SetAssocCache {
     config: CacheConfig,
-    sets: Vec<Way>,
+    /// Tags, slot-major: set `s` occupies `[s*ways, (s+1)*ways)`.
+    tags: Vec<u64>,
+    /// Last-touch tick per slot (LRU order within a set).
+    lru: Vec<u64>,
+    valid: SlotBits,
+    dirty: SlotBits,
     tick: u64,
     stats: CacheStats,
 }
@@ -141,15 +181,10 @@ impl SetAssocCache {
         let slots = (config.sets() * config.ways as u64) as usize;
         SetAssocCache {
             config,
-            sets: vec![
-                Way {
-                    tag: 0,
-                    valid: false,
-                    dirty: false,
-                    lru: 0,
-                };
-                slots
-            ],
+            tags: vec![0; slots],
+            lru: vec![0; slots],
+            valid: SlotBits::zeroed(slots),
+            dirty: SlotBits::zeroed(slots),
             tick: 0,
             stats: CacheStats::default(),
         }
@@ -177,10 +212,21 @@ impl SetAssocCache {
         (set * self.config.ways as usize, tag)
     }
 
-    fn line_of(&self, base: usize, way: usize) -> LineAddr {
+    fn line_of(&self, slot: usize) -> LineAddr {
         let sets = self.config.sets();
-        let set = (base / self.config.ways as usize) as u64;
-        LineAddr(self.sets[base + way].tag * sets + set)
+        let set = (slot / self.config.ways as usize) as u64;
+        LineAddr(self.tags[slot] * sets + set)
+    }
+
+    /// Linear sweep of one set's tag array for a valid slot holding `tag`.
+    #[inline]
+    fn find(&self, base: usize, tag: u64) -> Option<usize> {
+        let ways = self.config.ways as usize;
+        self.tags[base..base + ways]
+            .iter()
+            .enumerate()
+            .find(|&(w, &t)| t == tag && self.valid.get(base + w))
+            .map(|(w, _)| base + w)
     }
 
     /// Performs an access, allocating on miss. Returns whether it hit and
@@ -188,48 +234,41 @@ impl SetAssocCache {
     pub fn access(&mut self, line: LineAddr, kind: AccessKind) -> CacheOutcome {
         self.tick += 1;
         let (base, tag) = self.set_range(line);
-        let ways = self.config.ways as usize;
-        // Hit path.
-        for w in 0..ways {
-            let slot = &mut self.sets[base + w];
-            if slot.valid && slot.tag == tag {
-                slot.lru = self.tick;
-                slot.dirty |= kind.is_write();
-                self.stats.hits += 1;
-                return CacheOutcome {
-                    hit: true,
-                    writeback: None,
-                };
+        if let Some(slot) = self.find(base, tag) {
+            self.lru[slot] = self.tick;
+            if kind.is_write() {
+                self.dirty.set(slot, true);
             }
+            self.stats.hits += 1;
+            return CacheOutcome {
+                hit: true,
+                writeback: None,
+            };
         }
         self.stats.misses += 1;
         // Fill: prefer an invalid way, else evict true-LRU.
-        let mut victim = 0;
+        let ways = self.config.ways as usize;
+        let mut victim = base;
         let mut best = u64::MAX;
-        for w in 0..ways {
-            let slot = &self.sets[base + w];
-            if !slot.valid {
-                victim = w;
+        for slot in base..base + ways {
+            if !self.valid.get(slot) {
+                victim = slot;
                 break;
             }
-            if slot.lru < best {
-                best = slot.lru;
-                victim = w;
+            if self.lru[slot] < best {
+                best = self.lru[slot];
+                victim = slot;
             }
         }
         let mut writeback = None;
-        {
-            let evicted_line = self.line_of(base, victim);
-            let slot = &mut self.sets[base + victim];
-            if slot.valid && slot.dirty {
-                writeback = Some(evicted_line);
-                self.stats.writebacks += 1;
-            }
-            slot.tag = tag;
-            slot.valid = true;
-            slot.dirty = kind.is_write();
-            slot.lru = self.tick;
+        if self.valid.get(victim) && self.dirty.get(victim) {
+            writeback = Some(self.line_of(victim));
+            self.stats.writebacks += 1;
         }
+        self.tags[victim] = tag;
+        self.valid.set(victim, true);
+        self.dirty.set(victim, kind.is_write());
+        self.lru[victim] = self.tick;
         CacheOutcome {
             hit: false,
             writeback,
@@ -239,33 +278,25 @@ impl SetAssocCache {
     /// Whether the line is currently resident.
     pub fn contains(&self, line: LineAddr) -> bool {
         let (base, tag) = self.set_range(line);
-        (0..self.config.ways as usize)
-            .any(|w| self.sets[base + w].valid && self.sets[base + w].tag == tag)
+        self.find(base, tag).is_some()
     }
 
     /// Whether the line is resident and dirty.
     pub fn is_dirty(&self, line: LineAddr) -> bool {
         let (base, tag) = self.set_range(line);
-        (0..self.config.ways as usize).any(|w| {
-            let s = &self.sets[base + w];
-            s.valid && s.tag == tag && s.dirty
-        })
+        self.find(base, tag)
+            .is_some_and(|slot| self.dirty.get(slot))
     }
 
     /// Invalidates one line if present, returning whether it was dirty
     /// (i.e. a writeback to memory is required).
     pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
         let (base, tag) = self.set_range(line);
-        for w in 0..self.config.ways as usize {
-            let slot = &mut self.sets[base + w];
-            if slot.valid && slot.tag == tag {
-                slot.valid = false;
-                let was_dirty = slot.dirty;
-                slot.dirty = false;
-                return Some(was_dirty);
-            }
-        }
-        None
+        let slot = self.find(base, tag)?;
+        self.valid.set(slot, false);
+        let was_dirty = self.dirty.get(slot);
+        self.dirty.set(slot, false);
+        Some(was_dirty)
     }
 
     /// Invalidates every line of `range` (as a DMA transfer does to the CPU
@@ -289,26 +320,20 @@ impl SetAssocCache {
     /// transferred to another cache).
     pub fn clean(&mut self, line: LineAddr) {
         let (base, tag) = self.set_range(line);
-        for w in 0..self.config.ways as usize {
-            let slot = &mut self.sets[base + w];
-            if slot.valid && slot.tag == tag {
-                slot.dirty = false;
-                return;
-            }
+        if let Some(slot) = self.find(base, tag) {
+            self.dirty.set(slot, false);
         }
     }
 
     /// Number of currently valid lines.
     pub fn occupancy(&self) -> u64 {
-        self.sets.iter().filter(|s| s.valid).count() as u64
+        self.valid.count_ones()
     }
 
     /// Drops all contents and statistics.
     pub fn flush_all(&mut self) {
-        for s in &mut self.sets {
-            s.valid = false;
-            s.dirty = false;
-        }
+        self.valid.clear_all();
+        self.dirty.clear_all();
     }
 }
 
@@ -489,6 +514,102 @@ mod tests {
             }
             assert!(c.stats().writebacks <= writes);
             assert_eq!(c.stats().accesses(), c.stats().hits + c.stats().misses);
+        });
+    }
+
+    /// SoA model agrees with a naive per-way AoS reference under random
+    /// traffic: identical hit/miss/writeback sequences and final contents.
+    #[test]
+    fn matches_aos_reference() {
+        #[derive(Clone)]
+        struct Way {
+            tag: u64,
+            valid: bool,
+            dirty: bool,
+            lru: u64,
+        }
+        struct Ref {
+            sets: Vec<Way>,
+            ways: usize,
+            nsets: u64,
+            tick: u64,
+        }
+        impl Ref {
+            fn access(&mut self, line: LineAddr, write: bool) -> (bool, Option<LineAddr>) {
+                self.tick += 1;
+                let set = (line.0 % self.nsets) as usize;
+                let tag = line.0 / self.nsets;
+                let base = set * self.ways;
+                for w in 0..self.ways {
+                    let s = &mut self.sets[base + w];
+                    if s.valid && s.tag == tag {
+                        s.lru = self.tick;
+                        s.dirty |= write;
+                        return (true, None);
+                    }
+                }
+                let mut victim = 0;
+                let mut best = u64::MAX;
+                for w in 0..self.ways {
+                    let s = &self.sets[base + w];
+                    if !s.valid {
+                        victim = w;
+                        break;
+                    }
+                    if s.lru < best {
+                        best = s.lru;
+                        victim = w;
+                    }
+                }
+                let s = &mut self.sets[base + victim];
+                let wb = if s.valid && s.dirty {
+                    Some(LineAddr(s.tag * self.nsets + set as u64))
+                } else {
+                    None
+                };
+                s.tag = tag;
+                s.valid = true;
+                s.dirty = write;
+                s.lru = self.tick;
+                (false, wb)
+            }
+        }
+        heteropipe_sim::check::cases(64, 0x50A0, |g| {
+            let mut c = tiny();
+            let mut r = Ref {
+                sets: vec![
+                    Way {
+                        tag: 0,
+                        valid: false,
+                        dirty: false,
+                        lru: 0
+                    };
+                    8
+                ],
+                ways: 2,
+                nsets: 4,
+                tick: 0,
+            };
+            for (line, is_write) in g.vec(1, 400, |g| (g.u64(0, 64), g.bool())) {
+                let kind = if is_write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                let out = c.access(LineAddr(line), kind);
+                let (hit, wb) = r.access(LineAddr(line), is_write);
+                assert_eq!(out.hit, hit);
+                assert_eq!(out.writeback, wb);
+            }
+            for line in 0..64 {
+                let set = (line % 4) as usize;
+                let tag = line / 4;
+                let present = (0..2).any(|w| {
+                    let s = &r.sets[set * 2 + w];
+                    s.valid && s.tag == tag
+                });
+                assert_eq!(c.contains(LineAddr(line)), present);
+            }
         });
     }
 }

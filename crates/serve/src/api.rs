@@ -23,7 +23,7 @@
 //! remain as deprecated aliases answering identically to their canonical
 //! forms, plus a `Deprecation` header.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -71,7 +71,17 @@ pub struct Api {
     async_jobs: AsyncJobs,
     tenants: OnceLock<Arc<TenantGate>>,
     deadline_exceeded: AtomicU64,
+    /// Rendered report-JSON bodies keyed by run key. The key is a content
+    /// address and `report_json` is deterministic, so a memoized body is
+    /// immutable; warm `GET /v1/runs/{key}` serves it without touching
+    /// the record codec at all (see [`Api::run_report`]).
+    report_bodies: Mutex<HashMap<u128, Arc<Vec<u8>>>>,
 }
+
+/// Most rendered report bodies [`Api::run_report`] memoizes before the
+/// map is cleared wholesale (reports are a few KiB each, so this bounds
+/// the memo near 100 MiB worst case).
+const MAX_MEMOIZED_BODIES: usize = 8192;
 
 impl Api {
     /// An API over `engine`.
@@ -87,6 +97,7 @@ impl Api {
             async_jobs: AsyncJobs::new(),
             tenants: OnceLock::new(),
             deadline_exceeded: AtomicU64::new(0),
+            report_bodies: Mutex::new(HashMap::new()),
         })
     }
 
@@ -216,6 +227,10 @@ impl Handler for Api {
             (_, path) if path.starts_with("/v1/run/") => {
                 self.run_resource(req, &path["/v1/run/".len()..], true)
             }
+            ("GET", "/v1/experiments") => experiments(),
+            ("GET", path) if path.starts_with("/v1/experiments/") => {
+                experiment_lookup(req, &path["/v1/experiments/".len()..])
+            }
             ("POST", path) if path.starts_with("/v1/experiments/") => {
                 self.experiment(req, &path["/v1/experiments/".len()..])
             }
@@ -226,7 +241,10 @@ impl Handler for Api {
             (_, "/v1/runs" | "/v1/run" | "/v1/sweeps" | "/v1/workflows") => {
                 method_not_allowed(req, "POST")
             }
-            (_, path) if path.starts_with("/v1/experiments/") => method_not_allowed(req, "POST"),
+            (_, "/v1/experiments") => method_not_allowed(req, "GET"),
+            (_, path) if path.starts_with("/v1/experiments/") => {
+                method_not_allowed(req, "GET, POST")
+            }
             _ => fail(req, 404, "not_found", "no such route"),
         }
     }
@@ -463,14 +481,57 @@ impl Api {
     /// `GET /v1/runs/{key}`: the cached report for a previously executed
     /// run, straight from the engine's result cache — no execution, no
     /// cache-metric side effects.
+    ///
+    /// The hot path is zero-decode: existence is proven by the engine's
+    /// validated-bytes tier (magic + version + checksum, no field parse),
+    /// the run key doubles as a strong `ETag` (it is a content address
+    /// and [`report_json`] is deterministic), and a warm repeat serves
+    /// the memoized rendered body — or, with a matching `If-None-Match`,
+    /// an empty `304 Not Modified`. Only the first `GET` after a cold
+    /// start pays the record decode.
     fn run_report(&self, req: &Request, key: &str) -> Response {
         let parsed = RunKey::from_hex(key).expect("validated by run_resource");
-        match self.engine.cached(parsed) {
-            Some(report) => {
-                Response::json(200, &report_json(&report)).with_header("X-Run-Key", &parsed.hex())
-            }
-            None => fail(req, 404, "not_found", "no cached report for that run key"),
+        let hex = parsed.hex();
+        if self.engine.cached_bytes(parsed).is_none() {
+            return fail(req, 404, "not_found", "no cached report for that run key");
         }
+        let etag = format!("\"{hex}\"");
+        if if_none_match(req, &etag) {
+            return Response {
+                status: 304,
+                headers: Vec::new(),
+                body: Vec::new(),
+                chunked: false,
+                stream: None,
+            }
+            .with_header("X-Run-Key", &hex)
+            .with_header("ETag", &etag);
+        }
+        let memoized = self.report_bodies.lock().unwrap().get(&parsed.0).cloned();
+        let body = match memoized {
+            Some(body) => body,
+            None => {
+                let Some(report) = self.engine.cached(parsed) else {
+                    return fail(req, 404, "not_found", "no cached report for that run key");
+                };
+                let body = Arc::new(report_json(&report).dump().into_bytes());
+                let mut memo = self.report_bodies.lock().unwrap();
+                if memo.len() >= MAX_MEMOIZED_BODIES {
+                    memo.clear();
+                }
+                memo.insert(parsed.0, Arc::clone(&body));
+                body
+            }
+        };
+        Response {
+            status: 200,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: body.as_ref().clone(),
+            chunked: false,
+            stream: None,
+        }
+        .with_header("X-Run-Key", &hex)
+        .with_header("ETag", &etag)
     }
 
     /// Dispatches `/v1/sweeps/{key}` and its sub-resources: the bare key
@@ -836,6 +897,11 @@ impl Api {
                 "Corrupt journal segments moved to quarantine.",
                 js.segments_quarantined,
             );
+            set(
+                "heteropipe_journal_gc_total",
+                "Expired sealed journal segments deleted by startup GC.",
+                js.gc_swept,
+            );
         }
         set(
             "heteropipe_deadline_exceeded_total",
@@ -1104,6 +1170,7 @@ impl Api {
                         Json::U64(js.segments_quarantined),
                     ),
                     ("torn_truncated".into(), Json::U64(js.torn_truncated)),
+                    ("gc_swept".into(), Json::U64(js.gc_swept)),
                     ("async_jobs".into(), Json::U64(self.async_jobs.len() as u64)),
                 ])
             }
@@ -2413,6 +2480,125 @@ fn benchmark_json(w: &Workload) -> Json {
             Json::Bool(m.misalignment_sensitive),
         ),
     ])
+}
+
+/// Whether a request's `If-None-Match` header matches `etag` (a quoted
+/// entity tag). Strong comparison over a comma-separated candidate list,
+/// tolerating a `W/` weakness prefix, the bare unquoted tag (clients
+/// often echo the `X-Run-Key` value directly), and `*`.
+fn if_none_match(req: &Request, etag: &str) -> bool {
+    let Some(raw) = req.header("if-none-match") else {
+        return false;
+    };
+    let bare = etag.trim_matches('"');
+    raw.split(',').map(str::trim).any(|cand| {
+        let cand = cand.strip_prefix("W/").unwrap_or(cand);
+        cand == "*" || cand == etag || cand == bare
+    })
+}
+
+/// The experiment catalogue: every paper figure/table reproduction the
+/// API can execute, with its paper section and the knobs a `POST` body
+/// accepts. One row per `{id}` of `/v1/experiments/{id}`.
+const EXPERIMENTS: &[(&str, &str, &str)] = &[
+    (
+        "fig3",
+        "kmeans case study: run time and component activity across five organizations",
+        "II",
+    ),
+    (
+        "fig4",
+        "memory footprint by component set, copy vs limited-copy",
+        "IV-A",
+    ),
+    (
+        "fig5",
+        "memory accesses by component, copy vs limited-copy",
+        "IV-B",
+    ),
+    (
+        "fig6",
+        "run time activity breakdown, copy vs limited-copy",
+        "IV-C",
+    ),
+    ("fig7", "component-overlap run time estimate (Eq. 1)", "V-A"),
+    (
+        "fig8",
+        "migrated-compute run time estimate (Eq. 2-4)",
+        "V-B",
+    ),
+    (
+        "fig9",
+        "off-chip memory accesses classified by cause",
+        "IV-D",
+    ),
+    ("table1", "simulated system parameters", "III"),
+    (
+        "table2",
+        "producer-consumer constructs census, 58 benchmarks",
+        "III",
+    ),
+];
+
+/// One experiment's metadata object (the `GET /v1/experiments/{id}` body
+/// and the per-entry shape of the index).
+fn experiment_json(id: &str, title: &str, section: &str) -> Json {
+    Json::Obj(vec![
+        ("id".into(), Json::str(id)),
+        ("title".into(), Json::str(title)),
+        ("section".into(), Json::str(section)),
+        ("knobs".into(), Json::Arr(vec![Json::str("scale")])),
+        (
+            "execute".into(),
+            Json::str(format!("POST /v1/experiments/{id}")),
+        ),
+    ])
+}
+
+/// The `GET /v1/experiments` index body: every figure/table reproduction
+/// with id, title, paper section, and accepted knobs. Also served
+/// locally by the cluster coordinator — the catalogue is static, so no
+/// proxying.
+pub fn experiments_index() -> Json {
+    Json::Obj(vec![
+        ("total".into(), Json::U64(EXPERIMENTS.len() as u64)),
+        (
+            "experiments".into(),
+            Json::Arr(
+                EXPERIMENTS
+                    .iter()
+                    .map(|&(id, title, section)| experiment_json(id, title, section))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The metadata object for one experiment id, or `None` when unknown.
+pub fn experiment_meta(id: &str) -> Option<Json> {
+    EXPERIMENTS
+        .iter()
+        .find(|&&(eid, _, _)| eid == id)
+        .map(|&(eid, title, section)| experiment_json(eid, title, section))
+}
+
+/// The `GET /v1/experiments` response.
+pub fn experiments() -> Response {
+    Response::json(200, &experiments_index()).into_chunked()
+}
+
+/// The `GET /v1/experiments/{id}` response: metadata only — execution
+/// stays on `POST`.
+pub fn experiment_lookup(req: &Request, id: &str) -> Response {
+    match experiment_meta(id) {
+        Some(meta) => Response::json(200, &meta),
+        None => fail(
+            req,
+            404,
+            "not_found",
+            &format!("unknown experiment: {id} (fig3..fig9, table1, table2)"),
+        ),
+    }
 }
 
 /// Renders a [`RunReport`] as a JSON object. Every field is an integer,

@@ -835,6 +835,170 @@ fn experiment_endpoint_renders_tables() {
     handle.shutdown_and_join();
 }
 
+#[test]
+fn experiments_resource_lists_and_describes_the_catalogue() {
+    let handle = start(Engine::new().memory_cache_only());
+    let mut client = Client::new(handle.addr().to_string());
+
+    // The index names every figure/table reproduction with enough
+    // metadata to execute it, round-tripping through the in-tree codec.
+    let resp = client.get("/v1/experiments").unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("content-type"), Some("application/json"));
+    let v = resp.json().expect("index is valid JSON");
+    assert_eq!(v.get("total").and_then(Json::as_u64), Some(9));
+    let list = v.get("experiments").and_then(Json::as_array).unwrap();
+    assert_eq!(list.len(), 9);
+    for entry in list {
+        let id = entry.get("id").and_then(Json::as_str).expect("id");
+        assert!(!entry
+            .get("title")
+            .and_then(Json::as_str)
+            .expect("title")
+            .is_empty());
+        assert!(!entry
+            .get("section")
+            .and_then(Json::as_str)
+            .expect("paper section")
+            .is_empty());
+        let knobs = entry.get("knobs").and_then(Json::as_array).unwrap();
+        assert_eq!(knobs.len(), 1, "{id} takes the scale knob");
+        assert_eq!(knobs[0].as_str(), Some("scale"));
+        assert_eq!(
+            entry.get("execute").and_then(Json::as_str),
+            Some(format!("POST /v1/experiments/{id}").as_str())
+        );
+    }
+    let ids: Vec<&str> = list
+        .iter()
+        .filter_map(|e| e.get("id").and_then(Json::as_str))
+        .collect();
+    assert_eq!(
+        ids,
+        ["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2"]
+    );
+
+    // One experiment's metadata matches its index row.
+    let resp = client.get("/v1/experiments/fig5").unwrap();
+    assert_eq!(resp.status, 200);
+    let meta = resp.json().unwrap();
+    assert_eq!(meta.get("id").and_then(Json::as_str), Some("fig5"));
+    assert_eq!(meta.get("section").and_then(Json::as_str), Some("IV-B"));
+    let indexed = list
+        .iter()
+        .find(|e| e.get("id").and_then(Json::as_str) == Some("fig5"))
+        .unwrap();
+    assert_eq!(meta.dump(), indexed.dump(), "index row equals the resource");
+
+    // Unknown ids 404 with the catalogue hinted; the collection itself
+    // is read-only, and execution stays on the per-id POST.
+    let resp = client.get("/v1/experiments/nope").unwrap();
+    assert_eq!(resp.status, 404);
+    assert!(resp.api_error().unwrap().message.contains("fig3"));
+    let resp = client.post_json("/v1/experiments", &Json::Null).unwrap();
+    assert_eq!(resp.status, 405);
+    assert_eq!(resp.header("allow"), Some("GET"));
+    let resp = client
+        .post_json("/v1/experiments/table2", &Json::Obj(Vec::new()))
+        .unwrap();
+    assert_eq!(resp.status, 200, "POST execution is unchanged");
+    assert!(resp.json().unwrap().get("rendered").is_some());
+
+    handle.shutdown_and_join();
+}
+
+/// The process-wide count of one profiler phase, read over the wire.
+fn phase_count(client: &mut Client, phase: &str) -> u64 {
+    let v = client.get("/v1/debug/profile").unwrap().json().unwrap();
+    v.get("phases")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .find(|p| p.get("name").and_then(Json::as_str) == Some(phase))
+        .and_then(|p| p.get("count").and_then(Json::as_u64))
+        .unwrap_or(0)
+}
+
+#[test]
+fn warm_report_reads_are_zero_copy_and_conditional() {
+    // A disk cache is the only tier whose reads can decode, so this test
+    // owns every `engine.cache_decode` increment in the process (all
+    // other tests run memory-only engines).
+    let dir = std::env::temp_dir().join(format!(
+        "heteropipe-serve-test-zerocopy-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Populate the disk cache, then restart so the next read must come
+    // from the `.hpr` record, not the warm in-memory report map.
+    let handle = start(Engine::new().with_cache_dir(&dir));
+    let mut client = Client::new(handle.addr().to_string());
+    let resp = client
+        .post_json("/v1/runs", &run_body("rodinia/kmeans"))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let key = resp.header("x-run-key").unwrap().to_string();
+    handle.shutdown_and_join();
+
+    let handle = start(Engine::new().with_cache_dir(&dir));
+    let mut client = Client::new(handle.addr().to_string());
+    let etag = format!("\"{key}\"");
+
+    // Cold lookup decodes the record once and renders the report.
+    let decodes_before = phase_count(&mut client, "engine.cache_decode");
+    let cold = client.get(&format!("/v1/runs/{key}")).unwrap();
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold.header("etag"), Some(etag.as_str()));
+    assert_eq!(cold.header("x-run-key"), Some(key.as_str()));
+    let decodes_cold = phase_count(&mut client, "engine.cache_decode");
+    assert!(
+        decodes_cold > decodes_before,
+        "cold read decodes the record"
+    );
+
+    // Warm repeats serve the validated bytes without touching the
+    // decoder, and the body is byte-identical to the decode path's.
+    for _ in 0..3 {
+        let warm = client.get(&format!("/v1/runs/{key}")).unwrap();
+        assert_eq!(warm.status, 200);
+        assert_eq!(warm.body, cold.body, "warm bytes match the decode path");
+        assert_eq!(warm.header("etag"), Some(etag.as_str()));
+    }
+    assert_eq!(
+        phase_count(&mut client, "engine.cache_decode"),
+        decodes_cold,
+        "warm repeats never re-decode"
+    );
+
+    // The run key doubles as a strong validator: a matching
+    // `If-None-Match` short-circuits to an empty 304 that still names
+    // the resource; weak and wildcard forms match, stale tags do not.
+    for sent in [
+        etag.clone(),
+        format!("W/{etag}"),
+        "*".to_string(),
+        format!("\"{}\", {etag}", "0".repeat(32)),
+    ] {
+        let resp = client
+            .get_with_headers(&format!("/v1/runs/{key}"), &[("If-None-Match", &sent)])
+            .unwrap();
+        assert_eq!(resp.status, 304, "validator {sent}");
+        assert!(resp.body.is_empty());
+        assert_eq!(resp.header("etag"), Some(etag.as_str()));
+        assert_eq!(resp.header("x-run-key"), Some(key.as_str()));
+    }
+    let stale = format!("\"{}\"", "0".repeat(32));
+    let resp = client
+        .get_with_headers(&format!("/v1/runs/{key}"), &[("If-None-Match", &stale)])
+        .unwrap();
+    assert_eq!(resp.status, 200, "stale validator gets the full body");
+    assert_eq!(resp.body, cold.body);
+
+    handle.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 // ---- durability, deadlines, and admission ------------------------------
 
 fn temp_journal(tag: &str) -> std::path::PathBuf {
